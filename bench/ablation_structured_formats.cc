@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: fixed-rate structured-sparsity formats vs the dual-side
+ * bitmap design across weight sparsity. The 2:4 (Ampere) and
+ * vector-wise 75% [72] designs are flat lines — they exploit exactly
+ * their format ratio and nothing more — while the bitmap
+ * outer-product design tracks the actual sparsity (the paper's core
+ * argument, Secs. I-II and VI-D).
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/engine.h"
+
+using namespace dstc;
+
+int
+main()
+{
+    DstcEngine engine;
+    Rng rng(24);
+    const int64_t n = 4096;
+    const double dense_us = engine.denseGemmTime(n, n, n).timeUs();
+
+    std::printf("== Ablation: structured formats vs dual-side bitmap "
+                "(%lld^3, dense activations) ==\n\n",
+                static_cast<long long>(n));
+    TextTable table;
+    table.setHeader({"weight sparsity", "2:4 (A100)",
+                     "vector-wise 75% [72]", "ours (uniform)",
+                     "ours (clustered x8)"});
+    for (double sparsity : {0.5, 0.625, 0.75, 0.875, 0.9375, 0.99}) {
+        const double ampere =
+            engine.ampereGemmTime(n, n, n, sparsity).timeUs();
+        const double zhu =
+            engine.zhuGemmTime(n, n, n, sparsity).timeUs();
+
+        SparsityProfile acts = SparsityProfile::denseA(n, n, 32);
+        SparsityProfile uniform = SparsityProfile::randomA(
+            n, n, 32, 1.0 - sparsity, 1.0, rng);
+        SparsityProfile clustered = SparsityProfile::randomA(
+            n, n, 32, 1.0 - sparsity, 8.0, rng);
+        const double ours_uniform =
+            engine.spgemmTime(acts, uniform).timeUs();
+        const double ours_clustered =
+            engine.spgemmTime(acts, clustered).timeUs();
+
+        table.addRow({fmtDouble(sparsity, 4),
+                      fmtSpeedup(dense_us / ampere),
+                      fmtSpeedup(dense_us / zhu),
+                      fmtSpeedup(dense_us / ours_uniform),
+                      fmtSpeedup(dense_us / ours_clustered)});
+    }
+    table.print();
+    std::printf("\nThe fixed-rate designs are flat: 2:4 tops out at "
+                "~1.75x and the vector-wise design at ~1.86x, while "
+                "the bitmap design keeps converting sparsity into "
+                "speedup (and benefits further from the clustered "
+                "patterns real pruning produces).\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: one-level vs two-level bitmap encoding (Sec. VI-D).
+ * With clustered high sparsity, the warp-bitmap lets entire warp
+ * tiles be skipped and shrinks the encoded operand footprint; this
+ * bench quantifies both effects across sparsity and clustering.
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "model/sparsity_gen.h"
+#include "sparse/two_level.h"
+
+using namespace dstc;
+
+int
+main()
+{
+    DstcEngine engine;
+    Rng rng(77);
+    const int n = 1024;
+
+    std::printf("== Ablation: two-level bitmap (warp-bitmap skipping) "
+                "==\n\n");
+    TextTable table;
+    table.setHeader({"sparsity", "cluster", "tiles skipped (%)",
+                     "compute w/o skip (us)", "compute w/ skip (us)",
+                     "skip speedup", "encoding bytes 1-lvl/2-lvl"});
+
+    for (double sparsity : {0.9, 0.97, 0.99}) {
+        for (double cluster : {1.0, 8.0, 32.0}) {
+            Matrix<float> a = clusteredSparseMatrix(n, n, sparsity, 32,
+                                                    cluster, rng);
+            Matrix<float> b = clusteredSparseMatrix(n, n, sparsity, 32,
+                                                    cluster, rng);
+            SpGemmOptions skip;
+            skip.functional = false;
+            SpGemmOptions no_skip = skip;
+            no_skip.two_level = false;
+
+            KernelStats with_stats =
+                engine.spgemm(a, b, skip).stats;
+            KernelStats without_stats =
+                engine.spgemm(a, b, no_skip).stats;
+
+            const double total_tiles = static_cast<double>(
+                with_stats.warp_tiles + with_stats.warp_tiles_skipped);
+            BitmapMatrix one = BitmapMatrix::encode(a, Major::Col);
+            TwoLevelBitmapMatrix two =
+                TwoLevelBitmapMatrix::encode(a, 32, 32, Major::Col);
+
+            table.addRow(
+                {fmtDouble(sparsity, 2), fmtDouble(cluster, 0),
+                 fmtDouble(100.0 * with_stats.warp_tiles_skipped /
+                               total_tiles,
+                           1),
+                 fmtDouble(without_stats.compute_us, 1),
+                 fmtDouble(with_stats.compute_us, 1),
+                 fmtSpeedup(without_stats.compute_us /
+                            with_stats.compute_us),
+                 std::to_string(one.encodedBytes()) + "/" +
+                     std::to_string(two.encodedBytes())});
+        }
+    }
+    table.print();
+    std::printf("\nUniform patterns (cluster=1) rarely produce empty "
+                "32x32 tiles, so skipping only pays off once pruning "
+                "clusters the non-zeros — the Sec. VI-D effect.\n");
+    return 0;
+}

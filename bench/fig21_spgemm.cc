@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig. 21: SpGEMM execution time on 4096x4096x4096 across the
+ * (A sparsity x B sparsity) grid, for four methods:
+ *   - CUTLASS          dense tensor-core baseline (the 1x line)
+ *   - Sparse TC [72]   fixed-rate vector-wise design (~1.86x line)
+ *   - cuSparse         CSR SpGEMM (B fixed at 99%, A 90%..99.9%)
+ *   - Ours             dual-side bitmap outer-product SpGEMM
+ *
+ * Prints execution time in microseconds plus the speedup over
+ * CUTLASS for every series point the paper plots.
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/engine.h"
+
+using namespace dstc;
+
+namespace {
+
+constexpr int64_t kN = 4096;
+
+} // namespace
+
+int
+main()
+{
+    DstcEngine engine;
+    const double dense_us =
+        engine.denseGemmTime(kN, kN, kN).timeUs();
+    const double zhu_us = engine.zhuGemmTime(kN, kN, kN, 0.75).timeUs();
+
+    std::printf("== Fig. 21: SpGEMM on %lldx%lldx%lld ==\n\n",
+                static_cast<long long>(kN), static_cast<long long>(kN),
+                static_cast<long long>(kN));
+    std::printf("CUTLASS (dense baseline): %.0f us\n", dense_us);
+    std::printf("Sparse Tensor Core [72]:  %.0f us (%.2fx, fixed)\n\n",
+                zhu_us, dense_us / zhu_us);
+
+    // cuSparse series: B at 99%, A from 90% to 99.9% (the paper notes
+    // it is far too slow below 90%).
+    std::printf("-- cuSparse (B sparsity fixed at 99%%) --\n");
+    TextTable cusparse;
+    cusparse.setHeader(
+        {"A sparsity (%)", "time (us)", "speedup vs CUTLASS"});
+    for (double sa : {90.0, 95.0, 99.0, 99.9}) {
+        const double t =
+            engine.cusparseTime(kN, kN, kN, 1.0 - sa / 100.0, 0.01)
+                .timeUs();
+        cusparse.addRow({fmtDouble(sa, 1), fmtDouble(t, 0),
+                         fmtSpeedup(dense_us / t)});
+    }
+    cusparse.print();
+
+    // Our method: the full grid.
+    std::printf("\n-- Our dual-side SpGEMM --\n");
+    TextTable ours;
+    ours.setHeader({"A sp. (%)", "B sp. (%)", "time (us)",
+                    "speedup vs CUTLASS", "bound"});
+    Rng rng(21);
+    for (double sb : {0.0, 50.0, 90.0, 99.0, 99.9}) {
+        for (double sa : {0.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+            SparsityProfile pa = SparsityProfile::randomA(
+                kN, kN, 32, 1.0 - sa / 100.0, 1.0, rng);
+            SparsityProfile pb = SparsityProfile::randomA(
+                kN, kN, 32, 1.0 - sb / 100.0, 1.0, rng);
+            KernelStats stats = engine.spgemmTime(pa, pb);
+            ours.addRow({fmtDouble(sa, 1), fmtDouble(sb, 1),
+                         fmtDouble(stats.timeUs(), 0),
+                         fmtSpeedup(dense_us / stats.timeUs()),
+                         stats.bound == Bound::Compute ? "compute"
+                                                       : "memory"});
+        }
+    }
+    ours.print();
+
+    // The paper's pruned operands are not uniform Bernoulli — AGP
+    // and movement pruning cluster the non-zeros (dead filters,
+    // heads), which is what lets warp tiles empty out (Fig. 6 /
+    // Sec. VI-D). Re-run the B-sparse series with a pruned-like
+    // clustered pattern.
+    std::printf("\n-- Our dual-side SpGEMM, clustered (pruned-like, "
+                "cluster=8) non-zero distribution --\n");
+    TextTable clustered;
+    clustered.setHeader({"A sp. (%)", "B sp. (%)", "time (us)",
+                         "speedup vs CUTLASS", "bound"});
+    for (double sb : {90.0, 99.0, 99.9}) {
+        for (double sa : {0.0, 50.0, 90.0, 99.0, 99.9}) {
+            SparsityProfile pa = SparsityProfile::randomA(
+                kN, kN, 32, 1.0 - sa / 100.0, sa > 0.0 ? 8.0 : 1.0,
+                rng);
+            SparsityProfile pb = SparsityProfile::randomA(
+                kN, kN, 32, 1.0 - sb / 100.0, 8.0, rng);
+            KernelStats stats = engine.spgemmTime(pa, pb);
+            clustered.addRow(
+                {fmtDouble(sa, 1), fmtDouble(sb, 1),
+                 fmtDouble(stats.timeUs(), 0),
+                 fmtSpeedup(dense_us / stats.timeUs()),
+                 stats.bound == Bound::Compute ? "compute"
+                                               : "memory"});
+        }
+    }
+    clustered.print();
+
+    std::printf("\npaper anchors: A=0/B=99 -> 13.4x; A=99.9/B=99 -> "
+                "23x (13.7x over cuSparse); crossover vs dense at "
+                "A~25%% when B=0; Sparse TC fixed at 1.86x.\n");
+    return 0;
+}

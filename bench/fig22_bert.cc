@@ -1,0 +1,11 @@
+/** @file Fig. 22, BERT-base encoder panel. */
+#include "fig22_common.h"
+
+int
+main()
+{
+    dstc::bench::runGemmPanel(dstc::makeBertBase());
+    std::printf("\npaper: Single Sparse 1.20x-1.77x (capped by the "
+                "fixed 75%% format); Dual Sparse 3.62x-8.45x\n");
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Shared harness for the five Fig. 22 panels: layer-wise and
+ * full-model speedups for one DNN workload.
+ *
+ * CNN models compare five strategies normalized to Dense Implicit;
+ * GEMM models (BERT, RNN) compare three normalized to Dense GEMM,
+ * exactly as the paper's figure does.
+ */
+#ifndef DSTC_BENCH_FIG22_COMMON_H
+#define DSTC_BENCH_FIG22_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "model/zoo.h"
+
+namespace dstc {
+namespace bench {
+
+/** Run a CNN model panel: 5 conv strategies per layer. */
+inline void
+runConvPanel(const DnnModel &model)
+{
+    DstcEngine engine;
+    std::printf("== Fig. 22 panel: %s (normalized to Dense Implicit) "
+                "==\n\n",
+                model.name.c_str());
+
+    const std::vector<ConvMethod> methods = {
+        ConvMethod::DenseExplicit, ConvMethod::DenseImplicit,
+        ConvMethod::SingleSparseExplicit,
+        ConvMethod::SingleSparseImplicit,
+        ConvMethod::DualSparseImplicit};
+
+    TextTable table;
+    table.setHeader({"layer", "wsp", "asp", "DenseExp", "DenseImp",
+                     "1S-Exp", "1S-Imp", "Dual-Imp"});
+
+    std::vector<double> totals(methods.size(), 0.0);
+    uint64_t seed = 1;
+    for (const auto &layer : model.conv_layers) {
+        std::vector<double> times;
+        for (ConvMethod method : methods) {
+            const double t =
+                engine
+                    .convTime(layer.shape, method,
+                              layer.weight_sparsity,
+                              layer.act_sparsity, seed,
+                              layer.weight_cluster, layer.act_cluster)
+                    .timeUs();
+            times.push_back(t);
+        }
+        ++seed;
+        for (size_t i = 0; i < methods.size(); ++i)
+            totals[i] += times[i];
+        const double base = times[1]; // Dense Implicit
+        table.addRow({layer.name, fmtDouble(layer.weight_sparsity, 2),
+                      fmtDouble(layer.act_sparsity, 2),
+                      fmtSpeedup(base / times[0]),
+                      fmtSpeedup(1.0),
+                      fmtSpeedup(base / times[2]),
+                      fmtSpeedup(base / times[3]),
+                      fmtSpeedup(base / times[4])});
+    }
+    // Full-model GEMM layers (e.g. Mask R-CNN's box head) fold into
+    // the totals with the three GEMM methods mapped onto columns.
+    for (const auto &layer : model.gemm_layers) {
+        const double dense =
+            engine.denseGemmTime(layer.m, layer.n, layer.k).timeUs();
+        const double zhu = engine
+                               .zhuGemmTime(layer.m, layer.n, layer.k,
+                                            layer.weight_sparsity)
+                               .timeUs();
+        Rng rng(seed++);
+        SparsityProfile pa = SparsityProfile::randomA(
+            layer.m, layer.k, 32, 1.0 - layer.act_sparsity,
+            layer.act_cluster, rng);
+        SparsityProfile pb = SparsityProfile::randomA(
+            layer.n, layer.k, 32, 1.0 - layer.weight_sparsity,
+            layer.weight_cluster, rng);
+        const double ours = engine.spgemmTime(pa, pb).timeUs();
+        totals[0] += dense;
+        totals[1] += dense;
+        totals[2] += zhu;
+        totals[3] += zhu;
+        totals[4] += ours;
+        table.addRow({layer.name + " (GEMM)",
+                      fmtDouble(layer.weight_sparsity, 2),
+                      fmtDouble(layer.act_sparsity, 2),
+                      fmtSpeedup(1.0), fmtSpeedup(1.0),
+                      fmtSpeedup(dense / zhu), fmtSpeedup(dense / zhu),
+                      fmtSpeedup(dense / ours)});
+    }
+
+    const double base_total = totals[1];
+    table.addRow({"FULL MODEL", "", "",
+                  fmtSpeedup(base_total / totals[0]), fmtSpeedup(1.0),
+                  fmtSpeedup(base_total / totals[2]),
+                  fmtSpeedup(base_total / totals[3]),
+                  fmtSpeedup(base_total / totals[4])});
+    table.print();
+}
+
+/** Run a GEMM model panel (BERT, RNN): 3 strategies per layer. */
+inline void
+runGemmPanel(const DnnModel &model)
+{
+    DstcEngine engine;
+    std::printf("== Fig. 22 panel: %s (normalized to Dense GEMM) "
+                "==\n\n",
+                model.name.c_str());
+
+    TextTable table;
+    table.setHeader({"layer", "m x n x k", "wsp", "Dense",
+                     "Single Sparse", "Dual Sparse"});
+    double dense_total = 0.0, zhu_total = 0.0, ours_total = 0.0;
+    uint64_t seed = 100;
+    for (const auto &layer : model.gemm_layers) {
+        const double dense =
+            engine.denseGemmTime(layer.m, layer.n, layer.k).timeUs();
+        const double zhu = engine
+                               .zhuGemmTime(layer.m, layer.n, layer.k,
+                                            layer.weight_sparsity)
+                               .timeUs();
+        Rng rng(seed++);
+        SparsityProfile pa = SparsityProfile::randomA(
+            layer.m, layer.k, 32, 1.0 - layer.act_sparsity,
+            layer.act_cluster, rng);
+        SparsityProfile pb = SparsityProfile::randomA(
+            layer.n, layer.k, 32, 1.0 - layer.weight_sparsity,
+            layer.weight_cluster, rng);
+        const double ours = engine.spgemmTime(pa, pb).timeUs();
+        dense_total += dense;
+        zhu_total += zhu;
+        ours_total += ours;
+        table.addRow({layer.name,
+                      std::to_string(layer.m) + "x" +
+                          std::to_string(layer.n) + "x" +
+                          std::to_string(layer.k),
+                      fmtDouble(layer.weight_sparsity, 2),
+                      fmtSpeedup(1.0), fmtSpeedup(dense / zhu),
+                      fmtSpeedup(dense / ours)});
+    }
+    table.addRow({"FULL MODEL", "", "", fmtSpeedup(1.0),
+                  fmtSpeedup(dense_total / zhu_total),
+                  fmtSpeedup(dense_total / ours_total)});
+    table.print();
+}
+
+} // namespace bench
+} // namespace dstc
+
+#endif // DSTC_BENCH_FIG22_COMMON_H

@@ -1,0 +1,9 @@
+/** @file Fig. 22, Mask R-CNN panel. */
+#include "fig22_common.h"
+
+int
+main()
+{
+    dstc::bench::runConvPanel(dstc::makeMaskRcnn());
+    return 0;
+}

@@ -1,0 +1,11 @@
+/** @file Fig. 22, ResNet-18 panel. */
+#include "fig22_common.h"
+
+int
+main()
+{
+    dstc::bench::runConvPanel(dstc::makeResnet18());
+    std::printf("\npaper note: small late layers (e.g. 5-4) see small "
+                "speedups — they are bound by data movement\n");
+    return 0;
+}

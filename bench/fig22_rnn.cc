@@ -1,0 +1,11 @@
+/** @file Fig. 22, RNN language-model panel. */
+#include "fig22_common.h"
+
+int
+main()
+{
+    dstc::bench::runGemmPanel(dstc::makeRnnLM());
+    std::printf("\npaper: average Dual Sparse speedup 6.74x on the "
+                "GEMM models, 3.46x over Single Sparse\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 6: speedup on the global matrix beyond the quantized warp
+ * ratios. A row with 37.5% average sparsity yields no speedup if the
+ * non-zeros are spread uniformly (every warp sees > 50% occupancy on
+ * the B side), but a clustered distribution leaves some warps
+ * lighter and recovers ~1.3x — the paper's argument for why the
+ * enumerable per-warp ratios do not cap the global speedup.
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/engine.h"
+#include "model/sparsity_gen.h"
+
+using namespace dstc;
+
+namespace {
+
+double
+spgemmComputeUs(const DstcEngine &engine, const Matrix<float> &a,
+                const Matrix<float> &b)
+{
+    SpGemmOptions opts;
+    opts.functional = false;
+    return engine.spgemm(a, b, opts).stats.compute_us;
+}
+
+} // namespace
+
+int
+main()
+{
+    DstcEngine engine;
+    Rng rng(6);
+    const int n = 1024;
+
+    std::printf("== Fig. 6: uneven non-zero distribution unlocks "
+                "speedup beyond the quantized ratios ==\n\n");
+
+    // Dense baseline at the same shape (compute side).
+    Matrix<float> dense_a = randomSparseMatrix(n, n, 0.0, rng);
+    Matrix<float> dense_b = randomSparseMatrix(n, n, 0.0, rng);
+    const double dense_us = spgemmComputeUs(engine, dense_a, dense_b);
+
+    TextTable table;
+    table.setHeader({"B distribution (37.5% sparsity)",
+                     "compute time (us)", "speedup vs dense"});
+    Matrix<float> a = randomSparseMatrix(n, n, 0.0, rng);
+
+    Matrix<float> b_uniform = uniformSparseMatrix(n, n, 0.375, rng);
+    const double uniform_us = spgemmComputeUs(engine, a, b_uniform);
+    table.addRow({"uniform", fmtDouble(uniform_us, 1),
+                  fmtSpeedup(dense_us / uniform_us)});
+
+    for (double cluster : {1.5, 2.0, 2.66}) {
+        Matrix<float> b_clustered =
+            clusteredSparseMatrix(n, n, 0.375, 32, cluster, rng);
+        const double t = spgemmComputeUs(engine, a, b_clustered);
+        char label[64];
+        std::snprintf(label, sizeof(label), "clustered (x%.2f local)",
+                      cluster);
+        table.addRow({label, fmtDouble(t, 1),
+                      fmtSpeedup(dense_us / t)});
+    }
+    table.print();
+    std::printf("\npaper example: 37.5%% sparsity row -> 1.3x once "
+                "warps are unevenly loaded; uniform -> ~1x because "
+                "every 32-wide B row still needs both 16-chunks\n");
+    return 0;
+}

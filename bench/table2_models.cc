@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Table II: the evaluated sparse DNN models, plus the layer
+ * inventory (shapes and sparsity operating points) each benchmark
+ * panel of Fig. 22 runs.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "model/zoo.h"
+
+using namespace dstc;
+
+int
+main()
+{
+    std::printf("== Table II: evaluated sparse DNN models ==\n\n");
+    TextTable table;
+    table.setHeader({"Models", "Pruning Scheme", "Dataset", "Accuracy"});
+    for (const auto &model : allModels())
+        table.addRow({model.name, model.pruning, model.dataset,
+                      model.accuracy});
+    table.print();
+
+    std::printf("\n== Layer inventory ==\n\n");
+    for (const auto &model : allModels()) {
+        std::printf("-- %s --\n", model.name.c_str());
+        TextTable layers;
+        layers.setHeader({"layer", "shape (GEMM m x n x k)",
+                          "weight sp.", "act sp."});
+        for (const auto &layer : model.conv_layers) {
+            layers.addRow(
+                {layer.name,
+                 layer.shape.str() + " -> " +
+                     std::to_string(layer.shape.loweredRows()) + "x" +
+                     std::to_string(layer.shape.out_c) + "x" +
+                     std::to_string(layer.shape.loweredCols()),
+                 fmtDouble(layer.weight_sparsity, 2),
+                 fmtDouble(layer.act_sparsity, 2)});
+        }
+        for (const auto &layer : model.gemm_layers) {
+            layers.addRow({layer.name,
+                           std::to_string(layer.m) + "x" +
+                               std::to_string(layer.n) + "x" +
+                               std::to_string(layer.k),
+                           fmtDouble(layer.weight_sparsity, 2),
+                           fmtDouble(layer.act_sparsity, 2)});
+        }
+        layers.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * BERT-base encoder layer on the dual-side sparse Tensor Core: all
+ * four GEMMs of one transformer block with movement-pruned weights,
+ * comparing Dense / Single Sparse / Dual Sparse execution — the
+ * Fig. 22 BERT workflow at full layer scale.
+ *
+ * Build & run:  ./build/examples/bert_encoder
+ */
+#include <cstdio>
+
+#include "core/engine.h"
+#include "common/rng.h"
+#include "model/zoo.h"
+
+int
+main()
+{
+    using namespace dstc;
+    DstcEngine engine;
+    DnnModel bert = makeBertBase();
+
+    std::printf("BERT-base encoder block, seq len 128, movement-pruned "
+                "weights (Table II)\n\n");
+    std::printf("%-10s %-16s %10s %14s %13s\n", "layer", "m x n x k",
+                "dense(us)", "single(x)", "dual(x)");
+
+    double dense_total = 0.0, single_total = 0.0, dual_total = 0.0;
+    Rng rng(2024);
+    for (const auto &layer : bert.gemm_layers) {
+        const double dense =
+            engine.denseGemmTime(layer.m, layer.n, layer.k).timeUs();
+        const double single =
+            engine
+                .zhuGemmTime(layer.m, layer.n, layer.k,
+                             layer.weight_sparsity)
+                .timeUs();
+        // Movement pruning concentrates the surviving weights into
+        // whole heads/neurons, so the weight pattern is clustered.
+        SparsityProfile acts = SparsityProfile::randomA(
+            layer.m, layer.k, 32, 1.0 - layer.act_sparsity,
+            layer.act_cluster, rng);
+        SparsityProfile wts = SparsityProfile::randomA(
+            layer.n, layer.k, 32, 1.0 - layer.weight_sparsity,
+            layer.weight_cluster, rng);
+        const double dual = engine.spgemmTime(acts, wts).timeUs();
+
+        dense_total += dense;
+        single_total += single;
+        dual_total += dual;
+        std::printf("%-10s %4lld x %4lld x %4lld %10.1f %13.2fx %12.2fx\n",
+                    layer.name.c_str(), static_cast<long long>(layer.m),
+                    static_cast<long long>(layer.n),
+                    static_cast<long long>(layer.k), dense,
+                    dense / single, dense / dual);
+    }
+
+    std::printf("\nfull block: dense %.1f us | single sparse %.2fx | "
+                "dual sparse %.2fx\n",
+                dense_total, dense_total / single_total,
+                dense_total / dual_total);
+    std::printf("\nThe Single Sparse baseline is capped by its fixed "
+                "75%% pruning format, while the >90%% movement-pruned "
+                "weights let the dual-side design keep scaling "
+                "(Sec. VI-D).\n");
+    return 0;
+}

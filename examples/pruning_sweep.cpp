@@ -1,0 +1,53 @@
+/**
+ * @file
+ * AGP pruning sweep: prune one weight matrix along the cubic AGP
+ * schedule and watch the dual-side SpGEMM speedup grow with
+ * sparsity — the end-to-end pruning -> acceleration loop a model
+ * owner would run with this library.
+ *
+ * Build & run:  ./build/examples/pruning_sweep
+ */
+#include <cstdio>
+
+#include "core/engine.h"
+#include "common/rng.h"
+#include "model/pruning.h"
+#include "model/sparsity_gen.h"
+
+int
+main()
+{
+    using namespace dstc;
+    DstcEngine engine;
+    Rng rng(7);
+
+    const int n = 1024;
+    Matrix<float> dense_weights = randomSparseMatrix(n, n, 0.0, rng);
+    Matrix<float> activations = reluActivationMatrix(n, n, 0.5, rng);
+    const double dense_us = engine.denseGemmTime(n, n, n).timeUs();
+
+    std::printf("AGP schedule to 95%% sparsity over 10 steps, "
+                "%dx%dx%d GEMM, activations 50%% sparse\n\n",
+                n, n, n);
+    std::printf("%6s %10s %12s %10s\n", "step", "sparsity",
+                "time (us)", "speedup");
+
+    SpGemmOptions timing_only;
+    timing_only.functional = false;
+
+    for (int step = 0; step <= 10; ++step) {
+        const double target = agpSparsity(0.0, 0.95, step, 10);
+        Matrix<float> pruned = magnitudePrune(dense_weights, target);
+        KernelStats stats =
+            engine.spgemm(activations, pruned, timing_only).stats;
+        std::printf("%6d %9.1f%% %12.1f %9.2fx\n", step,
+                    pruned.sparsity() * 100.0, stats.timeUs(),
+                    dense_us / stats.timeUs());
+    }
+
+    std::printf("\nThe cubic AGP ramp prunes aggressively early; the "
+                "dual-side design converts every additional increment "
+                "of sparsity into time, with no 50%%/75%% format "
+                "cliff.\n");
+    return 0;
+}

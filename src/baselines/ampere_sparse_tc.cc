@@ -1,0 +1,42 @@
+#include "baselines/ampere_sparse_tc.h"
+
+#include "gemm/dense_gemm.h"
+#include "model/pruning.h"
+#include "tensor/reference.h"
+#include "timing/memory_model.h"
+
+namespace dstc {
+
+KernelStats
+ampereGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k,
+           double weight_sparsity)
+{
+    (void)weight_sparsity; // fixed-rate format, like the vector-wise
+                           // design: extra sparsity is not exploitable
+    DenseGemmDevice device(cfg);
+    KernelStats stats = device.timeOnly(m, n, k);
+    stats.name = "ampere_sparse_tc";
+    stats.compute_us /= kAmpereEffectiveSpeedup;
+
+    // Weights move condensed at 50% plus 2 bits of lane metadata per
+    // kept value; activations and output stay dense.
+    MemoryModel mem(cfg);
+    const double bytes_a = static_cast<double>(m) * k * 2.0;
+    const double bytes_b = static_cast<double>(k) * n *
+                           (1.0 - kAmperePruneRatio) * 2.25;
+    const double bytes_d = static_cast<double>(m) * n * 2.0;
+    stats.dram_bytes =
+        mem.gemmTrafficBytes(m, n, bytes_a, bytes_b, bytes_d);
+    stats.memory_us = mem.dramTimeUs(stats.dram_bytes);
+    stats.bound = stats.compute_us > stats.memory_us ? Bound::Compute
+                                                     : Bound::Memory;
+    return stats;
+}
+
+Matrix<float>
+ampereGemmFunctional(const Matrix<float> &a, const Matrix<float> &b)
+{
+    return refGemmFp16(a, prune2of4(b));
+}
+
+} // namespace dstc

@@ -1,0 +1,16 @@
+#include "baselines/cutlass_like.h"
+
+#include "gemm/dense_gemm.h"
+
+namespace dstc {
+
+KernelStats
+cutlassGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k)
+{
+    DenseGemmDevice device(cfg);
+    KernelStats stats = device.timeOnly(m, n, k);
+    stats.name = "cutlass";
+    return stats;
+}
+
+} // namespace dstc

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * CUTLASS-like dense GEMM baseline (Sec. VI-A): a tuned dense
+ * tensor-core kernel sustaining a fixed fraction of peak. This is
+ * the normalization baseline of Fig. 21 and the Dense GEMM cases of
+ * Fig. 22.
+ */
+#ifndef DSTC_BASELINES_CUTLASS_LIKE_H
+#define DSTC_BASELINES_CUTLASS_LIKE_H
+
+#include <cstdint>
+
+#include "timing/gpu_config.h"
+#include "timing/stats.h"
+
+namespace dstc {
+
+/** Kernel time of a CUTLASS-like dense m x n x k FP16 GEMM. */
+KernelStats cutlassGemm(const GpuConfig &cfg, int64_t m, int64_t n,
+                        int64_t k);
+
+} // namespace dstc
+
+#endif // DSTC_BASELINES_CUTLASS_LIKE_H

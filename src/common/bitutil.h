@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the bitmap formats, the
+ * POPC-based predication logic, and the accumulation-buffer model.
+ */
+#ifndef DSTC_COMMON_BITUTIL_H
+#define DSTC_COMMON_BITUTIL_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dstc {
+
+/** Number of set bits in a 64-bit word (the hardware POPC primitive). */
+inline int
+popcount64(uint64_t word)
+{
+    return std::popcount(word);
+}
+
+/** Integer ceiling division; the OHMMA-chunk arithmetic of Fig. 15. */
+template <typename T>
+constexpr T
+ceilDiv(T value, T divisor)
+{
+    return (value + divisor - 1) / divisor;
+}
+
+/** Round @p value up to the next multiple of @p align. */
+template <typename T>
+constexpr T
+alignUp(T value, T align)
+{
+    return ceilDiv(value, align) * align;
+}
+
+/** Mask with the low @p n bits set (n in [0, 64]). */
+inline uint64_t
+lowMask64(int n)
+{
+    return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/** Read bit @p pos from a packed bit vector. */
+inline bool
+getBit(const std::vector<uint64_t> &bits, size_t pos)
+{
+    return (bits[pos >> 6] >> (pos & 63)) & 1;
+}
+
+/** Set bit @p pos in a packed bit vector. */
+inline void
+setBit(std::vector<uint64_t> &bits, size_t pos)
+{
+    bits[pos >> 6] |= uint64_t{1} << (pos & 63);
+}
+
+/** Clear bit @p pos in a packed bit vector. */
+inline void
+clearBit(std::vector<uint64_t> &bits, size_t pos)
+{
+    bits[pos >> 6] &= ~(uint64_t{1} << (pos & 63));
+}
+
+/**
+ * Count set bits in the half-open bit range [lo, hi) of a packed bit
+ * vector. This is the hardware POPC over a k-step chunk of a bitmap
+ * line.
+ */
+int popcountRange(const std::vector<uint64_t> &bits, size_t lo, size_t hi);
+
+/**
+ * Invoke @p fn(bit_index) for every set bit in the half-open range
+ * [lo, hi) of a packed bit vector, in increasing index order.
+ */
+template <typename Fn>
+void
+forEachSetBit(const std::vector<uint64_t> &bits, size_t lo, size_t hi,
+              Fn &&fn)
+{
+    for (size_t w = lo >> 6; w <= (hi ? (hi - 1) >> 6 : 0); ++w) {
+        if (w >= bits.size())
+            break;
+        uint64_t word = bits[w];
+        if (w == (lo >> 6))
+            word &= ~lowMask64(static_cast<int>(lo & 63));
+        size_t hi_in_word = hi - (w << 6);
+        if (hi_in_word < 64)
+            word &= lowMask64(static_cast<int>(hi_in_word));
+        while (word) {
+            int b = std::countr_zero(word);
+            fn((w << 6) + b);
+            word &= word - 1;
+        }
+    }
+}
+
+inline int
+popcountRange(const std::vector<uint64_t> &bits, size_t lo, size_t hi)
+{
+    if (hi <= lo)
+        return 0;
+    size_t w_lo = lo >> 6;
+    size_t w_hi = (hi - 1) >> 6;
+    int count = 0;
+    for (size_t w = w_lo; w <= w_hi && w < bits.size(); ++w) {
+        uint64_t word = bits[w];
+        if (w == w_lo)
+            word &= ~lowMask64(static_cast<int>(lo & 63));
+        size_t hi_in_word = hi - (w << 6);
+        if (hi_in_word < 64)
+            word &= lowMask64(static_cast<int>(hi_in_word));
+        count += std::popcount(word);
+    }
+    return count;
+}
+
+} // namespace dstc
+
+#endif // DSTC_COMMON_BITUTIL_H

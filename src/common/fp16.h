@@ -1,0 +1,66 @@
+/**
+ * @file
+ * IEEE 754 binary16 storage type.
+ *
+ * Tensor Core multiplies in FP16 and accumulates in FP32; this type
+ * models the storage/rounding behaviour so the functional kernels see
+ * the same quantization the hardware would. Conversions use
+ * round-to-nearest-even, and handle subnormals, infinities and NaN.
+ */
+#ifndef DSTC_COMMON_FP16_H
+#define DSTC_COMMON_FP16_H
+
+#include <cstdint>
+
+namespace dstc {
+
+/** Convert a float to its binary16 bit pattern (round-to-nearest-even). */
+uint16_t floatToHalfBits(float value);
+
+/** Convert a binary16 bit pattern to float (exact). */
+float halfBitsToFloat(uint16_t bits);
+
+/**
+ * A 16-bit floating point value with float conversion operators.
+ *
+ * Arithmetic is intentionally not provided: Tensor Core datapaths
+ * convert to wider types before computing, so kernels should convert
+ * to float explicitly and round only on store.
+ */
+class Fp16
+{
+  public:
+    Fp16() : bits_(0) {}
+    explicit Fp16(float value) : bits_(floatToHalfBits(value)) {}
+
+    /** Construct from a raw bit pattern. */
+    static Fp16
+    fromBits(uint16_t bits)
+    {
+        Fp16 h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** The exact float this half represents. */
+    float toFloat() const { return halfBitsToFloat(bits_); }
+    explicit operator float() const { return toFloat(); }
+
+    uint16_t bits() const { return bits_; }
+
+    bool operator==(const Fp16 &other) const = default;
+
+  private:
+    uint16_t bits_;
+};
+
+/** Round a float through FP16 precision (the A/B operand quantization). */
+inline float
+roundToFp16(float value)
+{
+    return halfBitsToFloat(floatToHalfBits(value));
+}
+
+} // namespace dstc
+
+#endif // DSTC_COMMON_FP16_H

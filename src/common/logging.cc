@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dstc {
+namespace detail {
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    if (file)
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    else
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    if (file)
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    else
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace dstc

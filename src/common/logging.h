@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style.
+ *
+ * fatal()  — the run cannot continue because of a user error (bad
+ *            configuration, invalid arguments); exits with code 1.
+ * panic()  — an internal invariant was violated (a dstc bug); aborts.
+ * warn()   — something is suspicious but the run continues.
+ * inform() — plain status output.
+ */
+#ifndef DSTC_COMMON_LOGGING_H
+#define DSTC_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace dstc {
+
+namespace detail {
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Terminate with exit(1): a condition that is the user's fault. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...),
+                      nullptr, 0);
+}
+
+/** Terminate with abort(): something that should never happen. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...),
+                      nullptr, 0);
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational message to stdout. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless the stated invariant holds. */
+#define DSTC_ASSERT(cond, ...)                                            \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::dstc::detail::panicImpl(                                    \
+                ::dstc::detail::concat("assertion failed: " #cond " ",    \
+                                       ##__VA_ARGS__),                    \
+                __FILE__, __LINE__);                                      \
+        }                                                                 \
+    } while (0)
+
+} // namespace dstc
+
+#endif // DSTC_COMMON_LOGGING_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses.
+ *
+ * Every bench binary prints the rows/series the paper reports; this
+ * helper keeps the output format consistent across all of them.
+ */
+#ifndef DSTC_COMMON_TABLE_H
+#define DSTC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dstc {
+
+/** Accumulates rows of cells and renders them with aligned columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a rule under the header. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits fractional digits. */
+std::string fmtDouble(double value, int digits = 2);
+
+/** Format a speedup as e.g. "4.38x". */
+std::string fmtSpeedup(double value, int digits = 2);
+
+} // namespace dstc
+
+#endif // DSTC_COMMON_TABLE_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The SpCONV executor: runs a convolution layer under each of the
+ * five strategies compared in Fig. 22.
+ *
+ *  - DenseExplicit        CUTLASS GEMM after an explicit im2col
+ *  - DenseImplicit        cuDNN-style fused (implicit) im2col + GEMM
+ *  - SingleSparseExplicit Sparse Tensor Core [72] + explicit im2col
+ *  - SingleSparseImplicit our bitmap implicit im2col, weight-side
+ *                         sparsity only (activations treated dense)
+ *  - DualSparseImplicit   the full dual-side sparse Tensor Core
+ *
+ * All strategies compute the same convolution (given the same
+ * weights); they differ only in execution time. Structural pruning
+ * required by a baseline (e.g. Zhu's vector-wise 75%) is the
+ * caller's responsibility so the numeric semantics stay explicit.
+ */
+#ifndef DSTC_CONV_SPCONV_H
+#define DSTC_CONV_SPCONV_H
+
+#include "gemm/sparsity_profile.h"
+#include "im2col/bitmap_im2col.h"
+#include "im2col/conv_shape.h"
+#include "tensor/matrix.h"
+#include "tensor/tensor4d.h"
+#include "timing/gpu_config.h"
+#include "timing/stats.h"
+
+namespace dstc {
+
+/** Convolution execution strategy (the Fig. 22 legend). */
+enum class ConvMethod
+{
+    DenseExplicit,
+    DenseImplicit,
+    SingleSparseExplicit,
+    SingleSparseImplicit,
+    DualSparseImplicit,
+};
+
+/** Printable name matching the paper's legend. */
+const char *convMethodName(ConvMethod method);
+
+/** Output of a convolution run. */
+struct ConvResult
+{
+    Tensor4d output;   ///< valid when run functionally
+    KernelStats stats;
+};
+
+/** Runs convolution layers on the modeled device. */
+class ConvExecutor
+{
+  public:
+    explicit ConvExecutor(const GpuConfig &cfg);
+
+    /**
+     * Execute a convolution functionally and return its simulated
+     * time. @p weights is (out_c) x (in_c * kernel * kernel).
+     */
+    ConvResult run(const Tensor4d &input, const Matrix<float> &weights,
+                   const ConvShape &shape, ConvMethod method) const;
+
+    /**
+     * Timing-only path for the model sweeps: synthesizes an input at
+     * @p act_sparsity and weights at @p weight_sparsity, then times
+     * @p method without computing values. The cluster factors shape
+     * the non-zero distribution (>= 1, 1 = uniform Bernoulli; see
+     * gemm/sparsity_profile.h). Deterministic for a given @p seed.
+     */
+    KernelStats timeOnly(const ConvShape &shape, ConvMethod method,
+                         double weight_sparsity, double act_sparsity,
+                         uint64_t seed = 1, double weight_cluster = 1.0,
+                         double act_cluster = 1.0) const;
+
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    /**
+     * Shared composition: compute side per method, memory side from
+     * the convolution traffic model. @p a_profile / @p b_profile are
+     * only consulted by the implicit-sparse methods; @p input_bytes
+     * and @p weight_bytes already reflect each method's encoding.
+     */
+    KernelStats timeGemmPhase(const ConvShape &shape, ConvMethod method,
+                              const SparsityProfile *a_profile,
+                              const SparsityProfile *b_profile,
+                              double input_bytes,
+                              double weight_bytes) const;
+
+    GpuConfig cfg_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_CONV_SPCONV_H

@@ -1,0 +1,91 @@
+#include "core/engine.h"
+
+namespace dstc {
+
+DstcEngine::DstcEngine(GpuConfig cfg)
+    : cfg_(cfg), spgemm_device_(cfg), dense_device_(cfg),
+      conv_executor_(cfg)
+{
+}
+
+SpGemmResult
+DstcEngine::spgemm(const Matrix<float> &a, const Matrix<float> &b,
+                   const SpGemmOptions &options) const
+{
+    return spgemm_device_.multiply(a, b, options);
+}
+
+SpGemmResult
+DstcEngine::spgemmEncoded(const TwoLevelBitmapMatrix &a,
+                          const TwoLevelBitmapMatrix &b,
+                          const SpGemmOptions &options) const
+{
+    return spgemm_device_.multiplyEncoded(a, b, options);
+}
+
+KernelStats
+DstcEngine::spgemmTime(const SparsityProfile &a, const SparsityProfile &b,
+                       const SpGemmOptions &options) const
+{
+    return spgemm_device_.timeFromProfiles(a, b, options);
+}
+
+ConvResult
+DstcEngine::conv(const Tensor4d &input, const Matrix<float> &weights,
+                 const ConvShape &shape, ConvMethod method) const
+{
+    return conv_executor_.run(input, weights, shape, method);
+}
+
+KernelStats
+DstcEngine::convTime(const ConvShape &shape, ConvMethod method,
+                     double weight_sparsity, double act_sparsity,
+                     uint64_t seed, double weight_cluster,
+                     double act_cluster) const
+{
+    return conv_executor_.timeOnly(shape, method, weight_sparsity,
+                                   act_sparsity, seed, weight_cluster,
+                                   act_cluster);
+}
+
+KernelStats
+DstcEngine::denseGemmTime(int64_t m, int64_t n, int64_t k) const
+{
+    return cutlassGemm(cfg_, m, n, k);
+}
+
+DenseGemmResult
+DstcEngine::denseGemm(const Matrix<float> &a, const Matrix<float> &b,
+                      bool outer_product) const
+{
+    return dense_device_.multiply(a, b, outer_product);
+}
+
+KernelStats
+DstcEngine::zhuGemmTime(int64_t m, int64_t n, int64_t k,
+                        double weight_sparsity) const
+{
+    return zhuGemm(cfg_, m, n, k, weight_sparsity);
+}
+
+KernelStats
+DstcEngine::ampereGemmTime(int64_t m, int64_t n, int64_t k,
+                           double weight_sparsity) const
+{
+    return ampereGemm(cfg_, m, n, k, weight_sparsity);
+}
+
+KernelStats
+DstcEngine::cusparseTime(int64_t m, int64_t n, int64_t k,
+                         double density_a, double density_b) const
+{
+    return cusparseGemmTimeExpected(cfg_, m, n, k, density_a, density_b);
+}
+
+OverheadReport
+DstcEngine::hardwareOverhead() const
+{
+    return estimateOverhead(cfg_);
+}
+
+} // namespace dstc

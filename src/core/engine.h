@@ -1,0 +1,103 @@
+/**
+ * @file
+ * DstcEngine — the library's public facade.
+ *
+ * One object holds the machine description and exposes every
+ * execution path of the evaluation: the dual-side sparse Tensor Core
+ * SpGEMM/SpCONV (the paper's contribution) and the dense/sparse
+ * baselines it is compared against. Typical use:
+ *
+ * @code
+ *   dstc::DstcEngine engine;                       // V100 model
+ *   auto r = engine.spgemm(a, b);                  // functional+timed
+ *   auto t = engine.spgemmTime(profile_a, profile_b); // timing-only
+ *   auto c = engine.conv(input, weights, shape,
+ *                        dstc::ConvMethod::DualSparseImplicit);
+ * @endcode
+ */
+#ifndef DSTC_CORE_ENGINE_H
+#define DSTC_CORE_ENGINE_H
+
+#include "baselines/ampere_sparse_tc.h"
+#include "baselines/cusparse_like.h"
+#include "baselines/cutlass_like.h"
+#include "baselines/zhu_sparse_tc.h"
+#include "conv/spconv.h"
+#include "gemm/dense_gemm.h"
+#include "gemm/spgemm_device.h"
+#include "hwmodel/area_power.h"
+#include "timing/gpu_config.h"
+
+namespace dstc {
+
+/** Facade over the dual-side sparse Tensor Core model. */
+class DstcEngine
+{
+  public:
+    explicit DstcEngine(GpuConfig cfg = GpuConfig::v100());
+
+    // -- the paper's contribution -------------------------------------
+
+    /** Dual-side SpGEMM, functional + timed. */
+    SpGemmResult spgemm(const Matrix<float> &a, const Matrix<float> &b,
+                        const SpGemmOptions &options = {}) const;
+
+    /** Dual-side SpGEMM over pre-encoded two-level operands. */
+    SpGemmResult spgemmEncoded(const TwoLevelBitmapMatrix &a,
+                               const TwoLevelBitmapMatrix &b,
+                               const SpGemmOptions &options = {}) const;
+
+    /** Dual-side SpGEMM, timing only, from popcount profiles. */
+    KernelStats spgemmTime(const SparsityProfile &a,
+                           const SparsityProfile &b,
+                           const SpGemmOptions &options = {}) const;
+
+    /** Convolution under any of the five Fig. 22 strategies. */
+    ConvResult conv(const Tensor4d &input, const Matrix<float> &weights,
+                    const ConvShape &shape, ConvMethod method) const;
+
+    /** Convolution timing from shape + sparsity operating point. */
+    KernelStats convTime(const ConvShape &shape, ConvMethod method,
+                         double weight_sparsity, double act_sparsity,
+                         uint64_t seed = 1, double weight_cluster = 1.0,
+                         double act_cluster = 1.0) const;
+
+    // -- baselines ----------------------------------------------------
+
+    /** CUTLASS-like dense GEMM time. */
+    KernelStats denseGemmTime(int64_t m, int64_t n, int64_t k) const;
+
+    /** Functional dense GEMM on the Tensor Core model. */
+    DenseGemmResult denseGemm(const Matrix<float> &a,
+                              const Matrix<float> &b,
+                              bool outer_product = false) const;
+
+    /** Sparse Tensor Core [72] (vector-wise 75%) GEMM time. */
+    KernelStats zhuGemmTime(int64_t m, int64_t n, int64_t k,
+                            double weight_sparsity) const;
+
+    /** Ampere-style 2:4 sparse Tensor Core GEMM time. */
+    KernelStats ampereGemmTime(int64_t m, int64_t n, int64_t k,
+                               double weight_sparsity) const;
+
+    /** cuSparse-like CSR SpGEMM expected time at given densities. */
+    KernelStats cusparseTime(int64_t m, int64_t n, int64_t k,
+                             double density_a, double density_b) const;
+
+    // -- hardware -----------------------------------------------------
+
+    /** Area/power overhead of the extension (Table IV). */
+    OverheadReport hardwareOverhead() const;
+
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    GpuConfig cfg_;
+    SpGemmDevice spgemm_device_;
+    DenseGemmDevice dense_device_;
+    ConvExecutor conv_executor_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_CORE_ENGINE_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dense tensor-core GEMM: the functional tiled-WMMA execution used
+ * for validation plus the analytic device timing shared by the
+ * CUTLASS-like baseline.
+ */
+#ifndef DSTC_GEMM_DENSE_GEMM_H
+#define DSTC_GEMM_DENSE_GEMM_H
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+#include "timing/gpu_config.h"
+#include "timing/memory_model.h"
+#include "timing/stats.h"
+
+namespace dstc {
+
+/** Output of a dense GEMM run. */
+struct DenseGemmResult
+{
+    Matrix<float> d;
+    KernelStats stats;
+};
+
+/** Dense GEMM on the (inner- or outer-product) Tensor Core model. */
+class DenseGemmDevice
+{
+  public:
+    explicit DenseGemmDevice(const GpuConfig &cfg);
+
+    /**
+     * Functional tiled execution (16x16x16 WMMA tiles) plus timing.
+     * @p outer_product selects the OWMMA order; results are bitwise
+     * identical either way (see gemm/wmma.h).
+     */
+    DenseGemmResult multiply(const Matrix<float> &a,
+                             const Matrix<float> &b,
+                             bool outer_product = false) const;
+
+    /**
+     * Timing-only estimate for an m x n x k dense GEMM at the
+     * configured dense efficiency (FP16 operands, FP16 output).
+     */
+    KernelStats timeOnly(int64_t m, int64_t n, int64_t k) const;
+
+  private:
+    GpuConfig cfg_;
+    MemoryModel memory_model_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_GEMM_DENSE_GEMM_H

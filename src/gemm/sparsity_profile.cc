@@ -1,0 +1,160 @@
+#include "gemm/sparsity_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace dstc {
+
+SparsityProfile::SparsityProfile(int groups, int64_t k, int tile)
+    : groups_(groups), k_(k), tile_(tile),
+      counts_(static_cast<size_t>(groups) * k, 0)
+{
+    DSTC_ASSERT(groups > 0 && k > 0 && tile > 0);
+}
+
+int64_t
+SparsityProfile::tileNnz(int g, int tk, int tile_k) const
+{
+    const int64_t lo = static_cast<int64_t>(tk) * tile_k;
+    const int64_t hi = std::min(k_, lo + tile_k);
+    int64_t total = 0;
+    for (int64_t kk = lo; kk < hi; ++kk)
+        total += count(g, kk);
+    return total;
+}
+
+int64_t
+SparsityProfile::totalNnz() const
+{
+    int64_t total = 0;
+    for (uint16_t c : counts_)
+        total += c;
+    return total;
+}
+
+size_t
+SparsityProfile::encodedBytes(int tile_k) const
+{
+    const int64_t tiles_k = ceilDiv(k_, static_cast<int64_t>(tile_k));
+    size_t bytes =
+        ceilDiv(static_cast<size_t>(groups_) * tiles_k, size_t{8});
+    for (int g = 0; g < groups_; ++g) {
+        for (int64_t tk = 0; tk < tiles_k; ++tk) {
+            int64_t nnz = tileNnz(g, static_cast<int>(tk), tile_k);
+            if (nnz == 0)
+                continue;
+            bytes += static_cast<size_t>(tile_) * tile_k / 8; // bitmap
+            bytes += static_cast<size_t>(nnz) * 2;            // FP16
+        }
+    }
+    return bytes;
+}
+
+SparsityProfile
+SparsityProfile::fromMatrixA(const Matrix<float> &a, int tile)
+{
+    const int groups = ceilDiv(a.rows(), tile);
+    SparsityProfile profile(groups, a.cols(), tile);
+    for (int g = 0; g < groups; ++g) {
+        const int r0 = g * tile;
+        const int r1 = std::min(a.rows(), r0 + tile);
+        for (int kk = 0; kk < a.cols(); ++kk) {
+            int nnz = 0;
+            for (int r = r0; r < r1; ++r)
+                nnz += a.at(r, kk) != 0.0f;
+            profile.setCount(g, kk, nnz);
+        }
+    }
+    return profile;
+}
+
+SparsityProfile
+SparsityProfile::fromMatrixB(const Matrix<float> &b, int tile)
+{
+    const int groups = ceilDiv(b.cols(), tile);
+    SparsityProfile profile(groups, b.rows(), tile);
+    for (int g = 0; g < groups; ++g) {
+        const int c0 = g * tile;
+        const int c1 = std::min(b.cols(), c0 + tile);
+        for (int kk = 0; kk < b.rows(); ++kk) {
+            int nnz = 0;
+            for (int c = c0; c < c1; ++c)
+                nnz += b.at(kk, c) != 0.0f;
+            profile.setCount(g, kk, nnz);
+        }
+    }
+    return profile;
+}
+
+SparsityProfile
+SparsityProfile::fromLowered(const LoweredFeatureMap &lfm, int tile)
+{
+    const int groups = ceilDiv(lfm.rows, tile);
+    SparsityProfile profile(groups, lfm.cols, tile);
+    for (int j = 0; j < lfm.cols; ++j) {
+        const auto &bits = lfm.columns[j].bits;
+        for (int g = 0; g < groups; ++g) {
+            const size_t lo = static_cast<size_t>(g) * tile;
+            const size_t hi = std::min(
+                static_cast<size_t>(lfm.rows), lo + tile);
+            profile.setCount(g, j, popcountRange(bits, lo, hi));
+        }
+    }
+    return profile;
+}
+
+SparsityProfile
+SparsityProfile::denseA(int64_t rows, int64_t k, int tile)
+{
+    const int groups =
+        static_cast<int>(ceilDiv(rows, static_cast<int64_t>(tile)));
+    SparsityProfile profile(groups, k, tile);
+    for (int g = 0; g < groups; ++g) {
+        const int span = static_cast<int>(
+            std::min<int64_t>(tile, rows - static_cast<int64_t>(g) * tile));
+        for (int64_t kk = 0; kk < k; ++kk)
+            profile.setCount(g, kk, span);
+    }
+    return profile;
+}
+
+SparsityProfile
+SparsityProfile::randomA(int64_t rows, int64_t k, int tile,
+                         double density, double cluster, Rng &rng)
+{
+    DSTC_ASSERT(density >= 0.0 && density <= 1.0);
+    DSTC_ASSERT(cluster >= 1.0);
+    const int groups =
+        static_cast<int>(ceilDiv(rows, static_cast<int64_t>(tile)));
+    SparsityProfile profile(groups, k, tile);
+
+    // Clustered pattern: a region (one warp tile: tile rows x tile
+    // k-steps) is active with probability density/local; active
+    // regions carry density*cluster locally so the global density is
+    // preserved. Region-level clustering is what pruned checkpoints
+    // exhibit (dead neurons/heads) and what the warp-bitmap skips.
+    const double local = std::min(1.0, density * cluster);
+    const double p_active = local > 0.0 ? density / local : 0.0;
+
+    for (int g = 0; g < groups; ++g) {
+        const int span = static_cast<int>(
+            std::min<int64_t>(tile, rows - static_cast<int64_t>(g) * tile));
+        for (int64_t kb = 0; kb < k; kb += tile) {
+            if (!rng.bernoulli(p_active))
+                continue;
+            const int64_t kb_hi = std::min(k, kb + tile);
+            for (int64_t kk = kb; kk < kb_hi; ++kk) {
+                int nnz = 0;
+                for (int i = 0; i < span; ++i)
+                    nnz += rng.bernoulli(local);
+                profile.setCount(g, kk, nnz);
+            }
+        }
+    }
+    return profile;
+}
+
+} // namespace dstc

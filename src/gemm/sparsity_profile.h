@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-warp-tile popcount profiles: the minimal information the
+ * timing model needs about an operand — for every (tile line group,
+ * k) pair, how many non-zeros the 32-element bitmap line holds.
+ *
+ * Profiles can be extracted from real matrices / lowered feature
+ * maps, or synthesized directly (uniform or clustered patterns)
+ * without materializing the operand, which keeps the 4096^3 sweeps
+ * of Fig. 21 cheap.
+ */
+#ifndef DSTC_GEMM_SPARSITY_PROFILE_H
+#define DSTC_GEMM_SPARSITY_PROFILE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "im2col/bitmap_im2col.h"
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/** Popcount profile of one GEMM operand at warp-tile granularity. */
+class SparsityProfile
+{
+  public:
+    /**
+     * @param groups    number of tile line groups (ceil(M/tile) for
+     *                  the A side, ceil(N/tile) for B)
+     * @param k         shared K dimension (elements)
+     * @param tile      elements per line (warp-tile edge, 32)
+     */
+    SparsityProfile(int groups, int64_t k, int tile);
+
+    /** Popcount of line (group g, k-step kk). */
+    int
+    count(int g, int64_t kk) const
+    {
+        return counts_[static_cast<size_t>(g) * k_ + kk];
+    }
+
+    void
+    setCount(int g, int64_t kk, int value)
+    {
+        counts_[static_cast<size_t>(g) * k_ + kk] =
+            static_cast<uint16_t>(value);
+    }
+
+    int groups() const { return groups_; }
+    int64_t k() const { return k_; }
+    int tile() const { return tile_; }
+
+    /** Non-zeros in the (g, tk) two-level tile (tile_k k-steps). */
+    int64_t tileNnz(int g, int tk, int tile_k) const;
+
+    /** Total non-zeros. */
+    int64_t totalNnz() const;
+
+    /**
+     * Two-level encoded footprint in bytes: warp bitmap + element
+     * bitmaps and FP16 values of non-empty tiles.
+     */
+    size_t encodedBytes(int tile_k) const;
+
+    // -- constructors from real operands ------------------------------
+
+    /** Profile of the A operand (lines are 32-row column slices). */
+    static SparsityProfile fromMatrixA(const Matrix<float> &a, int tile);
+
+    /** Profile of the B operand (lines are 32-col row slices). */
+    static SparsityProfile fromMatrixB(const Matrix<float> &b, int tile);
+
+    /** Profile of a lowered feature map as the A operand. */
+    static SparsityProfile fromLowered(const LoweredFeatureMap &lfm,
+                                       int tile);
+
+    // -- synthetic generators -----------------------------------------
+
+    /** Fully dense profile of an (rows x k) A-side operand. */
+    static SparsityProfile denseA(int64_t rows, int64_t k, int tile);
+
+    /**
+     * Random A-side profile at a target density. @p cluster >= 1
+     * concentrates the non-zeros: inside an active region the local
+     * density is cluster * density and a matching fraction of
+     * regions is entirely empty (the non-uniform distribution of
+     * Fig. 6). cluster = 1 is the uniform Bernoulli pattern.
+     */
+    static SparsityProfile randomA(int64_t rows, int64_t k, int tile,
+                                   double density, double cluster,
+                                   Rng &rng);
+
+  private:
+    int groups_;
+    int64_t k_;
+    int tile_;
+    std::vector<uint16_t> counts_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_GEMM_SPARSITY_PROFILE_H

@@ -1,0 +1,285 @@
+#include "gemm/spgemm_device.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "timing/scheduler.h"
+
+namespace dstc {
+
+namespace {
+
+/**
+ * Fixed per-tile-pair pipeline cost: shared-memory operand staging
+ * and accumulator spill/fill between K chunks. Amortized over the
+ * SpWMMA's 32 k-steps this is small, but it keeps fully-sparse tiles
+ * from looking free when they still had to be scheduled.
+ */
+constexpr int64_t kTileOverheadCycles = 4;
+
+} // namespace
+
+SpGemmDevice::SpGemmDevice(const GpuConfig &cfg)
+    : cfg_(cfg), warp_engine_(cfg), memory_model_(cfg)
+{
+}
+
+SpGemmResult
+SpGemmDevice::multiply(const Matrix<float> &a, const Matrix<float> &b,
+                       const SpGemmOptions &options) const
+{
+    DSTC_ASSERT(a.cols() == b.rows(), "SpGEMM dims: ", a.rows(), "x",
+                a.cols(), " * ", b.rows(), "x", b.cols());
+
+    // Two-level encodings: A tiled (tile_m x tile_k) column-major,
+    // B tiled (tile_k x tile_n) row-major (Fig. 8b / Fig. 9).
+    TwoLevelBitmapMatrix a_enc = TwoLevelBitmapMatrix::encode(
+        a, options.tile_m, options.tile_k, Major::Col);
+    TwoLevelBitmapMatrix b_enc = TwoLevelBitmapMatrix::encode(
+        b, options.tile_k, options.tile_n, Major::Row);
+    return multiplyEncoded(a_enc, b_enc, options);
+}
+
+SpGemmResult
+SpGemmDevice::multiplyEncoded(const TwoLevelBitmapMatrix &a_enc,
+                              const TwoLevelBitmapMatrix &b_enc,
+                              const SpGemmOptions &options) const
+{
+    DSTC_ASSERT(a_enc.cols() == b_enc.rows(),
+                "SpGEMM dims: ", a_enc.rows(), "x", a_enc.cols(), " * ",
+                b_enc.rows(), "x", b_enc.cols());
+    DSTC_ASSERT(a_enc.tileRows() == options.tile_m &&
+                    a_enc.tileCols() == options.tile_k &&
+                    b_enc.tileRows() == options.tile_k &&
+                    b_enc.tileCols() == options.tile_n,
+                "operand tiling must match the SpGEMM options");
+    const int m = a_enc.rows(), n = b_enc.cols();
+
+    const int tiles_m = a_enc.numTileRows();
+    const int tiles_k = a_enc.numTileCols();
+    const int tiles_n = b_enc.numTileCols();
+    DSTC_ASSERT(tiles_k == b_enc.numTileRows());
+
+    SpGemmResult result;
+    result.stats.name = "dstc_spgemm";
+    if (options.functional)
+        result.d = Matrix<float>(m, n);
+
+    // Each (output tile, K chunk) is an independent work item: the
+    // kernel splits K across thread blocks for small outputs (the
+    // partial accumulators merge through the same gather-scatter
+    // path), so the scheduler sees chunk-level parallelism.
+    std::vector<int64_t> work;
+    work.reserve(static_cast<size_t>(tiles_m) * tiles_n);
+    double output_nnz_estimate = 0.0;
+
+    std::vector<std::pair<int, int>> popcs;
+    for (int ti = 0; ti < tiles_m; ++ti) {
+        for (int tj = 0; tj < tiles_n; ++tj) {
+            const int rows = std::min(options.tile_m,
+                                      m - ti * options.tile_m);
+            const int cols = std::min(options.tile_n,
+                                      n - tj * options.tile_n);
+            Matrix<float> accum;
+            if (options.functional)
+                accum = Matrix<float>(rows, cols);
+            double p_cell_zero = 1.0;
+
+            for (int tk = 0; tk < tiles_k; ++tk) {
+                const bool a_empty = !a_enc.tileNonEmpty(ti, tk);
+                const bool b_empty = !b_enc.tileNonEmpty(tk, tj);
+                if (options.two_level && (a_empty || b_empty)) {
+                    // Warp-bit is 0 for one input: skip the chunk
+                    // without issuing anything (Sec. III-C).
+                    ++result.stats.warp_tiles_skipped;
+                    continue;
+                }
+                ++result.stats.warp_tiles;
+                const BitmapMatrix &a_tile = a_enc.tile(ti, tk);
+                const BitmapMatrix &b_tile = b_enc.tile(tk, tj);
+
+                WarpTileResult wr;
+                if (options.functional) {
+                    wr = warp_engine_.computeTile(
+                        a_tile, b_tile, &accum, options.detailed_merge);
+                } else {
+                    const int kk = a_tile.cols();
+                    popcs.clear();
+                    for (int s = 0; s < kk; ++s)
+                        popcs.emplace_back(a_tile.lineNnz(s),
+                                           b_tile.lineNnz(s));
+                    wr = warp_engine_.timeTile(popcs);
+                }
+                result.stats.mix += wr.mix;
+                result.stats.merge_cycles += wr.merge_cycles;
+                work.push_back(wr.cycles() + kTileOverheadCycles);
+
+                // Track the expected output density for the sparse
+                // write-back estimate.
+                const int kk = a_tile.cols();
+                for (int s = 0; s < kk; ++s) {
+                    double pa = static_cast<double>(a_tile.lineNnz(s)) /
+                                rows;
+                    double pb = static_cast<double>(b_tile.lineNnz(s)) /
+                                cols;
+                    p_cell_zero *= 1.0 - pa * pb;
+                }
+            }
+            output_nnz_estimate +=
+                (1.0 - p_cell_zero) * rows * cols;
+
+            if (options.functional) {
+                for (int r = 0; r < rows; ++r)
+                    for (int c = 0; c < cols; ++c)
+                        result.d.at(ti * options.tile_m + r,
+                                    tj * options.tile_n + c) =
+                            accum.at(r, c);
+            }
+        }
+    }
+
+    // Compute time: LPT makespan of output-tile work over sub-cores,
+    // derated by the kernel's achievable issue efficiency.
+    int64_t makespan = lptMakespan(work, cfg_.totalSubcores());
+    result.stats.compute_us =
+        static_cast<double>(makespan) /
+        (cfg_.clock_ghz * 1e3 * cfg_.sparse_issue_efficiency);
+
+    // Memory time: the sparse encodings are the operands' footprint;
+    // D is written bitmap-encoded when smaller (gather-scatter
+    // write-back, Fig. 7) and dense FP16 otherwise.
+    double bytes_a = static_cast<double>(a_enc.encodedBytes());
+    double bytes_b = static_cast<double>(b_enc.encodedBytes());
+    double d_dense = static_cast<double>(m) * n * 2.0;
+    double d_sparse =
+        static_cast<double>(m) * n / 8.0 + output_nnz_estimate * 2.0;
+    double bytes_d = options.sparse_output
+                         ? std::min(d_dense, d_sparse)
+                         : d_dense;
+    result.stats.dram_bytes = memory_model_.gemmTrafficBytes(
+        m, n, bytes_a, bytes_b, bytes_d);
+    result.stats.memory_us =
+        memory_model_.dramTimeUs(result.stats.dram_bytes);
+    result.stats.launch_us = cfg_.kernel_launch_us;
+    result.stats.bound = result.stats.compute_us > result.stats.memory_us
+                             ? Bound::Compute
+                             : Bound::Memory;
+    return result;
+}
+
+KernelStats
+SpGemmDevice::timeFromProfiles(const SparsityProfile &a,
+                               const SparsityProfile &b,
+                               const SpGemmOptions &options) const
+{
+    DSTC_ASSERT(a.k() == b.k(), "profile K mismatch");
+    DSTC_ASSERT(a.tile() == options.tile_m && b.tile() == options.tile_n,
+                "profile tiling must match the SpGEMM options");
+    const int64_t k = a.k();
+    const int tiles_m = a.groups();
+    const int tiles_n = b.groups();
+    const int tiles_k =
+        static_cast<int>(ceilDiv(k, static_cast<int64_t>(options.tile_k)));
+    const SpWmmaShape shape = warp_engine_.shape();
+    MergeCostModel merge_model(cfg_.accum_banks, cfg_.operand_collector);
+
+    KernelStats stats;
+    stats.name = "dstc_spgemm";
+
+    // Per-(group, k-chunk) tile non-zeros for the warp-bitmap skip.
+    auto tile_nnz = [&](const SparsityProfile &p) {
+        std::vector<int64_t> nnz(
+            static_cast<size_t>(p.groups()) * tiles_k);
+        for (int g = 0; g < p.groups(); ++g)
+            for (int tk = 0; tk < tiles_k; ++tk)
+                nnz[static_cast<size_t>(g) * tiles_k + tk] =
+                    p.tileNnz(g, tk, options.tile_k);
+        return nnz;
+    };
+    const auto a_tile_nnz = tile_nnz(a);
+    const auto b_tile_nnz = tile_nnz(b);
+
+    std::vector<int64_t> work;
+    work.reserve(static_cast<size_t>(tiles_m) * tiles_n);
+    double output_nnz_estimate = 0.0;
+    const double tile_cells =
+        static_cast<double>(options.tile_m) * options.tile_n;
+
+    for (int ti = 0; ti < tiles_m; ++ti) {
+        for (int tj = 0; tj < tiles_n; ++tj) {
+            double p_cell_zero = 1.0;
+            for (int tk = 0; tk < tiles_k; ++tk) {
+                const bool a_empty =
+                    a_tile_nnz[static_cast<size_t>(ti) * tiles_k + tk] ==
+                    0;
+                const bool b_empty =
+                    b_tile_nnz[static_cast<size_t>(tj) * tiles_k + tk] ==
+                    0;
+                if (options.two_level && (a_empty || b_empty)) {
+                    ++stats.warp_tiles_skipped;
+                    continue;
+                }
+                ++stats.warp_tiles;
+                const int64_t k_lo =
+                    static_cast<int64_t>(tk) * options.tile_k;
+                const int64_t k_hi =
+                    std::min(k, k_lo + options.tile_k);
+                int64_t issued = 0, accesses = 0, bohmma = 0;
+                for (int64_t kk = k_lo; kk < k_hi; ++kk) {
+                    const int na = a.count(ti, kk);
+                    const int nb = b.count(tj, kk);
+                    if (na == 0 || nb == 0)
+                        continue;
+                    stats.mix.popc += 2;
+                    ++bohmma;
+                    const int enabled = enabledOhmmas(na, nb, shape);
+                    issued += enabled;
+                    stats.mix.ohmma_skipped +=
+                        shape.ohmmasPerSet() - enabled;
+                    accesses += static_cast<int64_t>(na) * nb;
+                    p_cell_zero *= 1.0 - static_cast<double>(na) * nb /
+                                             tile_cells;
+                }
+                stats.mix.bohmma += bohmma;
+                stats.mix.ohmma_issued += issued;
+                const int64_t issue_cycles = issued + bohmma;
+                const int64_t scalar_cycles = bohmma + 2;
+                const int64_t merge_cycles = static_cast<int64_t>(
+                    merge_model.tileCycles(accesses, issued));
+                stats.merge_cycles += merge_cycles;
+                work.push_back(std::max({issue_cycles, merge_cycles,
+                                         scalar_cycles}) +
+                               kTileOverheadCycles);
+            }
+            output_nnz_estimate += (1.0 - p_cell_zero) * tile_cells;
+        }
+    }
+
+    int64_t makespan = lptMakespan(work, cfg_.totalSubcores());
+    stats.compute_us =
+        static_cast<double>(makespan) /
+        (cfg_.clock_ghz * 1e3 * cfg_.sparse_issue_efficiency);
+
+    const int64_t m = static_cast<int64_t>(tiles_m) * options.tile_m;
+    const int64_t n = static_cast<int64_t>(tiles_n) * options.tile_n;
+    const double bytes_a =
+        static_cast<double>(a.encodedBytes(options.tile_k));
+    const double bytes_b =
+        static_cast<double>(b.encodedBytes(options.tile_k));
+    const double d_dense = static_cast<double>(m) * n * 2.0;
+    const double d_sparse = static_cast<double>(m) * n / 8.0 +
+                            output_nnz_estimate * 2.0;
+    const double bytes_d = options.sparse_output
+                               ? std::min(d_dense, d_sparse)
+                               : d_dense;
+    MemoryModel memory_model(cfg_);
+    stats.dram_bytes =
+        memory_model.gemmTrafficBytes(m, n, bytes_a, bytes_b, bytes_d);
+    stats.memory_us = memory_model.dramTimeUs(stats.dram_bytes);
+    stats.launch_us = cfg_.kernel_launch_us;
+    stats.bound = stats.compute_us > stats.memory_us ? Bound::Compute
+                                                     : Bound::Memory;
+    return stats;
+}
+
+} // namespace dstc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Device-level bitmap SpGEMM (Sec. III-C): tiles the M x N output
+ * into warp tiles, iterates K in chunks, skips empty tiles via the
+ * two-level warp-bitmap, and folds per-warp cycles into a kernel
+ * time through the SM scheduler and the memory model.
+ */
+#ifndef DSTC_GEMM_SPGEMM_DEVICE_H
+#define DSTC_GEMM_SPGEMM_DEVICE_H
+
+#include "gemm/sparsity_profile.h"
+#include "gemm/spgemm_warp.h"
+#include "sparse/two_level.h"
+#include "tensor/matrix.h"
+#include "timing/memory_model.h"
+#include "timing/stats.h"
+
+namespace dstc {
+
+/** Knobs of the device-level SpGEMM execution. */
+struct SpGemmOptions
+{
+    int tile_m = 32; ///< warp-tile rows (accumulator = tile_m x tile_n)
+    int tile_n = 32; ///< warp-tile cols
+    int tile_k = 32; ///< K extent of one two-level A/B tile
+
+    /** Use the warp-bitmap to skip empty tiles (two-level format). */
+    bool two_level = true;
+
+    /** Compute values (tests/examples) or only time (big sweeps). */
+    bool functional = true;
+
+    /** Use the cycle-accurate accumulation-buffer simulator. */
+    bool detailed_merge = false;
+
+    /**
+     * Write D back bitmap-encoded when that is smaller than dense.
+     * Off by default: the GEMM contract of the evaluation returns a
+     * dense D (the next layer's GEMM re-encodes its own operands),
+     * and the paper's high-sparsity speedups saturate consistently
+     * with a dense write-back. Enable for fused sparse pipelines.
+     */
+    bool sparse_output = false;
+};
+
+/** Output of a device-level SpGEMM run. */
+struct SpGemmResult
+{
+    Matrix<float> d;   ///< valid only when options.functional
+    KernelStats stats;
+};
+
+/** The dual-side sparse Tensor Core SpGEMM kernel model. */
+class SpGemmDevice
+{
+  public:
+    explicit SpGemmDevice(const GpuConfig &cfg);
+
+    /**
+     * D = A x B on the dual-side sparse Tensor Core. Inputs are dense
+     * logical matrices; the engine encodes them into the two-level
+     * bitmap format (A column-major, B row-major within tiles), which
+     * is charged to the memory model as the operands' footprint.
+     */
+    SpGemmResult multiply(const Matrix<float> &a, const Matrix<float> &b,
+                          const SpGemmOptions &options = {}) const;
+
+    /**
+     * D = A x B over operands already in the two-level bitmap format
+     * (A tiled tile_m x tile_k column-major, B tiled tile_k x tile_n
+     * row-major). This is the encode-once / multiply-many entry
+     * point: weights are typically encoded offline (see
+     * sparse/serialize.h) and reused across inferences.
+     */
+    SpGemmResult multiplyEncoded(const TwoLevelBitmapMatrix &a,
+                                 const TwoLevelBitmapMatrix &b,
+                                 const SpGemmOptions &options = {}) const;
+
+    /**
+     * Timing-only execution from popcount profiles (see
+     * gemm/sparsity_profile.h): the path used by the large sweeps
+     * and the model benchmarks, where operand values are irrelevant.
+     * Both profiles must share the K dimension; @p a groups tile the
+     * M dimension and @p b groups tile N.
+     */
+    KernelStats timeFromProfiles(const SparsityProfile &a,
+                                 const SparsityProfile &b,
+                                 const SpGemmOptions &options = {}) const;
+
+    const GpuConfig &config() const { return cfg_; }
+
+  private:
+    GpuConfig cfg_;
+    SpGemmWarpEngine warp_engine_;
+    MemoryModel memory_model_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_GEMM_SPGEMM_DEVICE_H

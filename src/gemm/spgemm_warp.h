@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Warp-level bitmap SpGEMM engine (Sec. III-B): executes one warp
+ * tile's outer-product multiply on the OTC model, both functionally
+ * (producing the exact partial-sum values) and in time (building the
+ * predicated SpWMMA instruction stream and charging the merge step).
+ */
+#ifndef DSTC_GEMM_SPGEMM_WARP_H
+#define DSTC_GEMM_SPGEMM_WARP_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isa/program_builder.h"
+#include "sparse/bitmap.h"
+#include "tensor/matrix.h"
+#include "timing/accum_buffer.h"
+#include "timing/gpu_config.h"
+#include "timing/merge_model.h"
+
+namespace dstc {
+
+/** Timing outcome of one warp tile's SpWMMA execution. */
+struct WarpTileResult
+{
+    InstructionMix mix;
+    int64_t issue_cycles = 0;   ///< tensor-core issue slots consumed
+    int64_t merge_accesses = 0; ///< scattered accumulations performed
+    int64_t merge_cycles = 0;   ///< accumulation-buffer time
+    int64_t scalar_cycles = 0;  ///< POPC/predicate work per k-step
+    int64_t macs = 0;           ///< real multiply-accumulates
+
+    /**
+     * Warp-visible cycles: the merge and scalar (POPC + predicate
+     * setup) pipelines overlap tensor issue, so the slowest of the
+     * three dominates (Sec. III-B4). The scalar term is the floor
+     * that keeps fully-skipped k-steps from being free — the warp
+     * still fetches and evaluates their predication.
+     */
+    int64_t
+    cycles() const
+    {
+        int64_t c = issue_cycles > merge_cycles ? issue_cycles
+                                                : merge_cycles;
+        return c > scalar_cycles ? c : scalar_cycles;
+    }
+
+    WarpTileResult &
+    operator+=(const WarpTileResult &other)
+    {
+        mix += other.mix;
+        issue_cycles += other.issue_cycles;
+        merge_accesses += other.merge_accesses;
+        merge_cycles += other.merge_cycles;
+        scalar_cycles += other.scalar_cycles;
+        macs += other.macs;
+        return *this;
+    }
+};
+
+/** Executes warp tiles on the modeled outer-product Tensor Core. */
+class SpGemmWarpEngine
+{
+  public:
+    explicit SpGemmWarpEngine(const GpuConfig &cfg);
+
+    /**
+     * Functional + timed execution of one warp tile.
+     *
+     * @param a_tile column-major bitmap of the (m x k) A tile
+     * @param b_tile row-major bitmap of the (k x n) B tile
+     * @param accum  if non-null, the (m x n) FP32 accumulator the
+     *               partial sums merge into (gather-accumulate-
+     *               scatter, Fig. 7)
+     * @param detailed_merge use the cycle-accurate bank simulator
+     *               instead of the analytic merge model
+     */
+    WarpTileResult computeTile(const BitmapMatrix &a_tile,
+                               const BitmapMatrix &b_tile,
+                               Matrix<float> *accum,
+                               bool detailed_merge = false) const;
+
+    /**
+     * Timing-only execution from POPC results: @p popcs holds one
+     * (popc_a, popc_b) pair per k-step. Used by the device-level
+     * sweeps where values are irrelevant.
+     */
+    WarpTileResult timeTile(
+        const std::vector<std::pair<int, int>> &popcs) const;
+
+    const SpWmmaShape &shape() const { return shape_; }
+
+  private:
+    GpuConfig cfg_;
+    SpWmmaShape shape_;
+    MergeCostModel merge_model_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_GEMM_SPGEMM_WARP_H

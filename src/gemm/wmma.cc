@@ -1,0 +1,54 @@
+#include "gemm/wmma.h"
+
+#include "common/fp16.h"
+#include "common/logging.h"
+
+namespace dstc {
+
+Matrix<float>
+wmmaInner(const Matrix<float> &a, const Matrix<float> &b,
+          const Matrix<float> *c)
+{
+    DSTC_ASSERT(a.cols() == b.rows());
+    Matrix<float> d(a.rows(), b.cols());
+    if (c) {
+        DSTC_ASSERT(c->rows() == d.rows() && c->cols() == d.cols());
+        d = *c;
+    }
+    // FEDP: for each output element, a running dot product over k.
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int j = 0; j < b.cols(); ++j) {
+            float acc = d.at(i, j);
+            for (int k = 0; k < a.cols(); ++k)
+                acc += roundToFp16(a.at(i, k)) * roundToFp16(b.at(k, j));
+            d.at(i, j) = acc;
+        }
+    }
+    return d;
+}
+
+Matrix<float>
+wmmaOuter(const Matrix<float> &a, const Matrix<float> &b,
+          const Matrix<float> *c)
+{
+    DSTC_ASSERT(a.cols() == b.rows());
+    Matrix<float> d(a.rows(), b.cols());
+    if (c) {
+        DSTC_ASSERT(c->rows() == d.rows() && c->cols() == d.cols());
+        d = *c;
+    }
+    // FEOP: a rank-1 update per k; per output element the adds still
+    // land in increasing-k order, matching wmmaInner bitwise.
+    for (int k = 0; k < a.cols(); ++k) {
+        for (int i = 0; i < a.rows(); ++i) {
+            float av = roundToFp16(a.at(i, k));
+            if (av == 0.0f)
+                continue;
+            for (int j = 0; j < b.cols(); ++j)
+                d.at(i, j) += av * roundToFp16(b.at(k, j));
+        }
+    }
+    return d;
+}
+
+} // namespace dstc

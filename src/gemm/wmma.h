@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Functional models of the warp-level matrix-multiply primitives.
+ *
+ * wmmaInner executes in the inner-product (FEDP) order of the
+ * original Tensor Core (Fig. 3a); wmmaOuter executes the same
+ * multiply as a sequence of rank-1 outer-product updates (FEOP,
+ * Fig. 4a). Both quantize operands through FP16 and accumulate in
+ * FP32 in increasing-k order, so their results are bitwise equal —
+ * the architectural claim that swapping FEDP for FEOP preserves the
+ * dense semantics (Sec. V-A1), proven in tests.
+ */
+#ifndef DSTC_GEMM_WMMA_H
+#define DSTC_GEMM_WMMA_H
+
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/** D = A x B (+C) with FEDP (inner-product) evaluation order. */
+Matrix<float> wmmaInner(const Matrix<float> &a, const Matrix<float> &b,
+                        const Matrix<float> *c = nullptr);
+
+/** D = A x B (+C) with FEOP (outer-product, rank-1 update) order. */
+Matrix<float> wmmaOuter(const Matrix<float> &a, const Matrix<float> &b,
+                        const Matrix<float> *c = nullptr);
+
+} // namespace dstc
+
+#endif // DSTC_GEMM_WMMA_H

@@ -1,0 +1,104 @@
+#include "hwmodel/area_power.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+double
+OverheadReport::totalAreaMm2() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.area_mm2;
+    return total;
+}
+
+double
+OverheadReport::totalPowerW() const
+{
+    double total = 0.0;
+    for (const auto &c : components)
+        total += c.power_w;
+    return total;
+}
+
+double
+nodeAreaScale(int from_nm, int to_nm)
+{
+    DSTC_ASSERT(from_nm > 0 && to_nm > 0);
+    // Area scales close to the square of the feature size across the
+    // planar/early-FinFET nodes used here (Stillmaker & Baas report
+    // near-quadratic scaling from 22 nm down to 14/12 nm).
+    const double ratio = static_cast<double>(to_nm) / from_nm;
+    return ratio * ratio;
+}
+
+namespace {
+
+// Per-unit constants at 12 nm, calibrated so the V100 configuration
+// (80 SMs x 4 sub-cores, 4 KB buffer, 128 accumulators, window-8
+// collector) reproduces Table IV. They are ordinary per-instance
+// densities, so non-V100 configurations scale sensibly.
+
+/** mm^2 per KB for the banked accumulation SRAM (22 nm, pre-scale). */
+constexpr double kSramMm2PerKb22nm = 8.762e-3 / 0.2975; // /scale(22->12)
+
+/** Leakage+dynamic W per KB for that SRAM at 12 nm. */
+constexpr double kSramWPerKb = 1.08 / 1280.0;
+
+/** mm^2 per FP32 accumulate adder at 12 nm (RTL estimate). */
+constexpr double kAdderMm2 = 0.121 / (320.0 * 128.0);
+
+/** W per FP32 adder at full toggle, 12 nm. */
+constexpr double kAdderW = 2.35 / (320.0 * 128.0);
+
+/** mm^2 per operand-collector queue entry (queues + crossbar share). */
+constexpr double kCollectorMm2PerEntry = 1.51 / (320.0 * 8.0);
+
+/** W per collector queue entry. */
+constexpr double kCollectorWPerEntry = 0.46 / (320.0 * 8.0);
+
+} // namespace
+
+double
+sramAreaMm2(double kbytes, int banks, int node_nm)
+{
+    DSTC_ASSERT(kbytes >= 0.0 && banks > 0);
+    // Banking overhead: decoders/sense amps replicate per bank; the
+    // 128-bank reference point is folded into the density constant.
+    const double bank_factor =
+        1.0 + 0.02 * (std::log2(static_cast<double>(banks)) - 7.0);
+    return kbytes * kSramMm2PerKb22nm * bank_factor *
+           nodeAreaScale(22, node_nm);
+}
+
+OverheadReport
+estimateOverhead(const GpuConfig &cfg)
+{
+    OverheadReport report;
+    const double subcores = cfg.totalSubcores();
+
+    // 128-way parallel accumulators (Sec. III-B4): FP32 adders that
+    // replace the narrower FEDP accumulate network.
+    const double adders = subcores * cfg.accum_banks;
+    report.components.push_back(
+        {"Float Point Adders", adders * kAdderMm2, adders * kAdderW});
+
+    // Accumulation operand collector (Fig. 20): queues + crossbar.
+    const double entries = subcores * cfg.collector_window;
+    report.components.push_back({"Accumulation Operand Collector",
+                                 entries * kCollectorMm2PerEntry,
+                                 entries * kCollectorWPerEntry});
+
+    // Shared accumulation buffer: accum_bytes per sub-core.
+    const double total_kb = subcores * cfg.accum_bytes / 1024.0;
+    report.components.push_back(
+        {"Shared Accumulation Buffer",
+         sramAreaMm2(total_kb, cfg.accum_banks, 12),
+         total_kb * kSramWPerKb});
+    return report;
+}
+
+} // namespace dstc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Hardware overhead model (Sec. VI-E, Table IV): area and power of
+ * the three added structures — FP32 accumulation adders, the
+ * accumulation operand collector, and the shared accumulation
+ * buffer — on the V100 die.
+ *
+ * SRAM structures follow a CACTI-7-style capacity model evaluated at
+ * 22 nm and scaled to 12 nm with Stillmaker-Baas-style factors; the
+ * logic constants come from the paper's RTL estimates. Per-unit
+ * constants are calibrated so the V100 configuration reproduces
+ * Table IV, and the model then scales with the machine description
+ * (SM count, buffer size, collector window) for ablations.
+ */
+#ifndef DSTC_HWMODEL_AREA_POWER_H
+#define DSTC_HWMODEL_AREA_POWER_H
+
+#include <string>
+#include <vector>
+
+#include "timing/gpu_config.h"
+
+namespace dstc {
+
+/** One added hardware structure's cost. */
+struct ComponentOverhead
+{
+    std::string name;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+};
+
+/** The full overhead report (Table IV). */
+struct OverheadReport
+{
+    std::vector<ComponentOverhead> components;
+    double die_area_mm2 = 815.0; ///< V100 die
+    double tdp_w = 250.0;        ///< V100 TDP
+
+    double totalAreaMm2() const;
+    double totalPowerW() const;
+    double areaFraction() const { return totalAreaMm2() / die_area_mm2; }
+    double powerFraction() const { return totalPowerW() / tdp_w; }
+};
+
+/** Linear process-node area scaling factor (from -> to). */
+double nodeAreaScale(int from_nm, int to_nm);
+
+/**
+ * Banked-SRAM area in mm^2 at @p node_nm. The density constant
+ * reflects a heavily banked, latency-critical local buffer (not a
+ * dense cache macro).
+ */
+double sramAreaMm2(double kbytes, int banks, int node_nm);
+
+/** Overhead of the dual-side sparse extension on @p cfg. */
+OverheadReport estimateOverhead(const GpuConfig &cfg);
+
+} // namespace dstc
+
+#endif // DSTC_HWMODEL_AREA_POWER_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Kernel energy model: converts a KernelStats record into energy by
+ * charging per-operation energies (FP16 MAC, binary MAC, POPC, SRAM
+ * accumulation access, DRAM transfer) plus static power over the
+ * kernel's runtime.
+ *
+ * The per-op constants are 12 nm estimates in the range used by
+ * accelerator papers of the period; they matter only *relatively* —
+ * the evaluation compares methods on the same constants, mirroring
+ * how the paper argues efficiency (Sec. I, Table IV).
+ */
+#ifndef DSTC_HWMODEL_ENERGY_MODEL_H
+#define DSTC_HWMODEL_ENERGY_MODEL_H
+
+#include "timing/gpu_config.h"
+#include "timing/stats.h"
+
+namespace dstc {
+
+/** Per-operation energy constants (picojoules) at 12 nm. */
+struct EnergyParams
+{
+    double fp16_mac_pj = 1.1;      ///< FP16 multiply + FP32 accumulate
+    double binary_mac_pj = 0.07;   ///< 1-bit AND + pop-accumulate
+    double popc_pj = 0.4;          ///< 32-bit population count
+    double accum_sram_pj = 0.35;   ///< banked accumulation access
+    double dram_pj_per_byte = 7.0; ///< HBM2 access energy
+    double static_w = 80.0;        ///< idle/leakage draw of the chip
+
+    static EnergyParams v100_12nm() { return {}; }
+};
+
+/** Energy breakdown of one kernel, in microjoules. */
+struct EnergyReport
+{
+    double compute_uj = 0.0; ///< MAC + bitmap + POPC energy
+    double merge_uj = 0.0;   ///< accumulation-buffer traffic
+    double dram_uj = 0.0;    ///< DRAM transfer energy
+    double static_uj = 0.0;  ///< static power x runtime
+
+    double
+    totalUj() const
+    {
+        return compute_uj + merge_uj + dram_uj + static_uj;
+    }
+};
+
+/** Charge the per-op energies against a kernel's statistics. */
+EnergyReport estimateEnergy(const KernelStats &stats,
+                            const EnergyParams &params,
+                            const GpuConfig &cfg);
+
+/**
+ * Dense-GEMM energy for the same m x n x k work: the baseline an
+ * efficiency ratio is formed against.
+ */
+EnergyReport denseGemmEnergy(int64_t m, int64_t n, int64_t k,
+                             const EnergyParams &params,
+                             const GpuConfig &cfg);
+
+} // namespace dstc
+
+#endif // DSTC_HWMODEL_ENERGY_MODEL_H

@@ -1,0 +1,250 @@
+#include "im2col/bitmap_im2col.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace dstc {
+
+BitmapFeatureMap
+BitmapFeatureMap::encode(const Tensor4d &input)
+{
+    BitmapFeatureMap fmap;
+    fmap.channels_ = input.c();
+    fmap.planes_.reserve(static_cast<size_t>(input.n()) * input.c());
+    for (int n = 0; n < input.n(); ++n) {
+        for (int c = 0; c < input.c(); ++c) {
+            Matrix<float> plane(input.h(), input.w());
+            for (int h = 0; h < input.h(); ++h)
+                for (int w = 0; w < input.w(); ++w)
+                    plane.at(h, w) = input.at(n, c, h, w);
+            fmap.planes_.push_back(
+                BitmapMatrix::encode(plane, Major::Row));
+        }
+    }
+    return fmap;
+}
+
+size_t
+BitmapFeatureMap::encodedBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &p : planes_)
+        bytes += p.encodedBytes();
+    return bytes;
+}
+
+Matrix<float>
+LoweredFeatureMap::decode() const
+{
+    Matrix<float> dense(rows, cols);
+    for (int j = 0; j < cols; ++j) {
+        const LoweredColumn &col = columns[j];
+        size_t vi = 0;
+        for (int r = 0; r < rows; ++r) {
+            if (getBit(col.bits, r)) {
+                DSTC_ASSERT(vi < col.values.size());
+                dense.at(r, j) = col.values[vi++];
+            }
+        }
+        DSTC_ASSERT(vi == col.values.size(),
+                    "column ", j, " bitmap/value mismatch");
+    }
+    return dense;
+}
+
+int
+LoweredFeatureMap::columnNnz(int j) const
+{
+    return popcountRange(columns[j].bits, 0,
+                         static_cast<size_t>(rows));
+}
+
+int64_t
+LoweredFeatureMap::totalNnz() const
+{
+    int64_t total = 0;
+    for (int j = 0; j < cols; ++j)
+        total += columnNnz(j);
+    return total;
+}
+
+namespace {
+
+/** Appends bit runs into a packed column bitmap. */
+class BitWriter
+{
+  public:
+    explicit BitWriter(std::vector<uint64_t> &bits) : bits_(bits) {}
+
+    /** Append the low @p count bits of @p chunk (count <= 64). */
+    void
+    append(uint64_t chunk, int count)
+    {
+        DSTC_ASSERT(count >= 0 && count <= 64);
+        if (count == 0)
+            return;
+        chunk &= lowMask64(count);
+        size_t word = pos_ >> 6;
+        int offset = static_cast<int>(pos_ & 63);
+        if (word >= bits_.size())
+            bits_.resize(word + 2, 0);
+        bits_[word] |= chunk << offset;
+        if (offset + count > 64) {
+            if (word + 1 >= bits_.size())
+                bits_.resize(word + 2, 0);
+            bits_[word + 1] |= chunk >> (64 - offset);
+        }
+        pos_ += count;
+    }
+
+    /** Append @p count zero bits. */
+    void
+    skip(int count)
+    {
+        pos_ += count;
+        size_t need = (pos_ + 63) >> 6;
+        if (need > bits_.size())
+            bits_.resize(need, 0);
+    }
+
+  private:
+    std::vector<uint64_t> &bits_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Extract bits [start, start + count) of a row bitmap into packed
+ * words; positions outside [0, row_len) read as zero (padding).
+ * Counts the word operations performed into @p ops.
+ */
+std::vector<uint64_t>
+extractRowBits(std::span<const uint64_t> row, int row_len, int start,
+               int count, int64_t &ops)
+{
+    std::vector<uint64_t> out(ceilDiv(count, 64), 0);
+    auto word_at = [&](int w) -> uint64_t {
+        if (w < 0 || w >= static_cast<int>(row.size()))
+            return 0;
+        return row[w];
+    };
+    for (int t = 0; t < count; t += 64) {
+        const int want = std::min(64, count - t);
+        const int src = start + t;
+        // Gather up to two source words and shift into place: the
+        // "shift left / apply mask" steps of Fig. 11b. Out-of-range
+        // source words read as zero, which realizes the padding.
+        const int w0 = src >= 0 ? src >> 6 : -ceilDiv(-src, 64);
+        const int off = src - (w0 << 6);
+        uint64_t chunk = word_at(w0) >> off;
+        if (off != 0)
+            chunk |= word_at(w0 + 1) << (64 - off);
+        ops += 3;
+        // Clamp to the valid tail of the row.
+        if (src + want > row_len) {
+            const int valid = row_len - src;
+            chunk &= valid <= 0 ? 0 : lowMask64(valid);
+            ++ops;
+        }
+        out[t >> 6] = chunk & lowMask64(want);
+    }
+    return out;
+}
+
+} // namespace
+
+LoweredFeatureMap
+im2colFromBitmap(const BitmapFeatureMap &fmap, const ConvShape &shape,
+                 bool gather_values)
+{
+    LoweredFeatureMap lowered;
+    lowered.rows = static_cast<int>(shape.loweredRows());
+    lowered.cols = static_cast<int>(shape.loweredCols());
+    lowered.columns.resize(lowered.cols);
+    const int out_h = shape.outH();
+    const int out_w = shape.outW();
+
+    int col = 0;
+    for (int c = 0; c < shape.in_c; ++c) {
+        for (int kh = 0; kh < shape.kernel; ++kh) {
+            for (int kw = 0; kw < shape.kernel; ++kw, ++col) {
+                LoweredColumn &out = lowered.columns[col];
+                BitWriter writer(out.bits);
+                for (int n = 0; n < shape.batch; ++n) {
+                    const BitmapMatrix &plane = fmap.plane(n, c);
+                    for (int oh = 0; oh < out_h; ++oh) {
+                        const int ih =
+                            oh * shape.stride + kh - shape.pad;
+                        if (ih < 0 || ih >= shape.in_h) {
+                            writer.skip(out_w);
+                            continue;
+                        }
+                        const int start = kw - shape.pad;
+                        if (shape.stride == 1) {
+                            // Fast path: the window is a contiguous
+                            // slice of the row bitmap.
+                            auto bits = extractRowBits(
+                                plane.lineBits(ih), shape.in_w, start,
+                                out_w, lowered.register_ops);
+                            for (int t = 0; t < out_w; t += 64)
+                                writer.append(bits[t >> 6],
+                                              std::min(64, out_w - t));
+                            // Address offset by popcount of the
+                            // prefix (S3), then take the masked
+                            // values in order (S4).
+                            const int lo = std::max(0, start);
+                            const int hi = std::min(shape.in_w,
+                                                    start + out_w);
+                            if (gather_values && hi > lo) {
+                                auto vals = plane.lineValuesRange(
+                                    ih, lo, hi);
+                                lowered.register_ops += 2; // 2x POPC
+                                out.values.insert(out.values.end(),
+                                                  vals.begin(),
+                                                  vals.end());
+                            }
+                        } else {
+                            // Strided windows gather bit-by-bit but
+                            // still via bitmap tests + one popcount
+                            // per hit.
+                            uint64_t chunk = 0;
+                            int filled = 0;
+                            for (int ow = 0; ow < out_w; ++ow) {
+                                const int iw =
+                                    ow * shape.stride + start;
+                                bool set = iw >= 0 &&
+                                           iw < shape.in_w &&
+                                           plane.bit(ih, iw);
+                                ++lowered.register_ops;
+                                if (set) {
+                                    chunk |= uint64_t{1} << filled;
+                                    if (gather_values) {
+                                        const int off =
+                                            plane.linePopcount(ih, 0,
+                                                               iw);
+                                        out.values.push_back(
+                                            plane.lineValues(ih)[off]);
+                                    }
+                                    ++lowered.register_ops;
+                                }
+                                if (++filled == 64) {
+                                    writer.append(chunk, 64);
+                                    chunk = 0;
+                                    filled = 0;
+                                }
+                            }
+                            if (filled > 0)
+                                writer.append(chunk, filled);
+                        }
+                    }
+                }
+                // Normalize the bitmap length to cover all M rows.
+                out.bits.resize(ceilDiv(static_cast<size_t>(lowered.rows),
+                                        size_t{64}),
+                                0);
+            }
+        }
+    }
+    return lowered;
+}
+
+} // namespace dstc

@@ -1,0 +1,17 @@
+#include "im2col/conv_shape.h"
+
+#include <sstream>
+
+namespace dstc {
+
+std::string
+ConvShape::str() const
+{
+    std::ostringstream oss;
+    oss << batch << "x" << in_c << "x" << in_h << "x" << in_w << " * "
+        << out_c << "x" << in_c << "x" << kernel << "x" << kernel
+        << " (s=" << stride << ", p=" << pad << ")";
+    return oss.str();
+}
+
+} // namespace dstc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Convolution shape algebra: the lowered-GEMM dimensions of the
+ * im2col transformation (Fig. 1) and the data-inflation factor that
+ * makes explicit im2col expensive.
+ */
+#ifndef DSTC_IM2COL_CONV_SHAPE_H
+#define DSTC_IM2COL_CONV_SHAPE_H
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/reference.h"
+
+namespace dstc {
+
+/** Full description of a convolution layer instance. */
+struct ConvShape
+{
+    int batch = 1;
+    int in_c = 1;
+    int in_h = 1;
+    int in_w = 1;
+    int out_c = 1;
+    int kernel = 3;
+    int stride = 1;
+    int pad = 0;
+
+    int outH() const { return convOutDim(in_h, kernel, stride, pad); }
+    int outW() const { return convOutDim(in_w, kernel, stride, pad); }
+
+    /** Rows of the lowered feature map: one per output pixel. */
+    int64_t
+    loweredRows() const
+    {
+        return static_cast<int64_t>(batch) * outH() * outW();
+    }
+
+    /** Cols of the lowered feature map: one per (c, kh, kw). */
+    int64_t
+    loweredCols() const
+    {
+        return static_cast<int64_t>(in_c) * kernel * kernel;
+    }
+
+    /** Input feature-map elements. */
+    int64_t
+    inputElems() const
+    {
+        return static_cast<int64_t>(batch) * in_c * in_h * in_w;
+    }
+
+    /** Output feature-map elements. */
+    int64_t
+    outputElems() const
+    {
+        return static_cast<int64_t>(batch) * out_c * outH() * outW();
+    }
+
+    /** Lowered-matrix size over input size (~kernel^2 for stride 1). */
+    double
+    inflation() const
+    {
+        return static_cast<double>(loweredRows()) * loweredCols() /
+               static_cast<double>(inputElems());
+    }
+
+    /** Direct-convolution parameter view. */
+    Conv2dParams
+    params() const
+    {
+        return {in_c, out_c, kernel, stride, pad};
+    }
+
+    /** MACs of the convolution = lowered GEMM M*N*K. */
+    int64_t
+    macs() const
+    {
+        return loweredRows() * loweredCols() * out_c;
+    }
+
+    std::string str() const;
+};
+
+} // namespace dstc
+
+#endif // DSTC_IM2COL_CONV_SHAPE_H

@@ -1,0 +1,63 @@
+#include "im2col/csr_im2col.h"
+
+namespace dstc {
+
+CsrFeatureMap
+CsrFeatureMap::encode(const Tensor4d &input)
+{
+    CsrFeatureMap fmap;
+    fmap.channels_ = input.c();
+    fmap.planes_.reserve(static_cast<size_t>(input.n()) * input.c());
+    for (int n = 0; n < input.n(); ++n) {
+        for (int c = 0; c < input.c(); ++c) {
+            Matrix<float> plane(input.h(), input.w());
+            for (int h = 0; h < input.h(); ++h)
+                for (int w = 0; w < input.w(); ++w)
+                    plane.at(h, w) = input.at(n, c, h, w);
+            fmap.planes_.push_back(CsrMatrix::encode(plane));
+        }
+    }
+    return fmap;
+}
+
+Matrix<float>
+im2colFromCsr(const CsrFeatureMap &fmap, const ConvShape &shape,
+              int64_t *probes)
+{
+    const int out_h = shape.outH();
+    const int out_w = shape.outW();
+    Matrix<float> lowered(static_cast<int>(shape.loweredRows()),
+                          static_cast<int>(shape.loweredCols()));
+    int row = 0;
+    for (int n = 0; n < shape.batch; ++n) {
+        for (int oh = 0; oh < out_h; ++oh) {
+            for (int ow = 0; ow < out_w; ++ow, ++row) {
+                int col = 0;
+                for (int c = 0; c < shape.in_c; ++c) {
+                    const CsrMatrix &plane = fmap.plane(n, c);
+                    for (int kh = 0; kh < shape.kernel; ++kh) {
+                        for (int kw = 0; kw < shape.kernel;
+                             ++kw, ++col) {
+                            const int ih = oh * shape.stride + kh -
+                                           shape.pad;
+                            const int iw = ow * shape.stride + kw -
+                                           shape.pad;
+                            if (ih < 0 || ih >= shape.in_h || iw < 0 ||
+                                iw >= shape.in_w)
+                                continue;
+                            // The data-dependent scan through the
+                            // compressed row is the cost being
+                            // measured in Table III.
+                            float v = plane.valueAt(ih, iw, probes);
+                            if (v != 0.0f)
+                                lowered.at(row, col) = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return lowered;
+}
+
+} // namespace dstc

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * CSR-encoded im2col — the comparison point of Table III.
+ *
+ * The input feature map is CSR-encoded per (n, c) plane (rows =
+ * image rows). Building the lowered matrix then requires locating
+ * (ih, iw) inside a compressed row for every window element: each
+ * access costs data-dependent reads of row_ptr and col_idx, which is
+ * the overhead the paper measures at 101x dense at 0% sparsity and
+ * still 1.2x at 99.9%.
+ */
+#ifndef DSTC_IM2COL_CSR_IM2COL_H
+#define DSTC_IM2COL_CSR_IM2COL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "im2col/conv_shape.h"
+#include "sparse/csr.h"
+#include "tensor/matrix.h"
+#include "tensor/tensor4d.h"
+
+namespace dstc {
+
+/** CSR encoding of an NCHW tensor: one CSR (h x w) per (n, c). */
+class CsrFeatureMap
+{
+  public:
+    static CsrFeatureMap encode(const Tensor4d &input);
+
+    const CsrMatrix &
+    plane(int n, int c) const
+    {
+        return planes_[static_cast<size_t>(n) * channels_ + c];
+    }
+
+    int channels() const { return channels_; }
+
+  private:
+    int channels_ = 0;
+    std::vector<CsrMatrix> planes_;
+};
+
+/**
+ * im2col from the CSR feature map to the dense lowered matrix.
+ * @p probes, if non-null, accumulates the number of data-dependent
+ * col_idx reads performed (the decoding overhead metric).
+ */
+Matrix<float> im2colFromCsr(const CsrFeatureMap &fmap,
+                            const ConvShape &shape,
+                            int64_t *probes = nullptr);
+
+} // namespace dstc
+
+#endif // DSTC_IM2COL_CSR_IM2COL_H

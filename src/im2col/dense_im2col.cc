@@ -1,0 +1,128 @@
+#include "im2col/dense_im2col.h"
+
+#include <algorithm>
+
+namespace dstc {
+
+Matrix<float>
+im2colExplicit(const Tensor4d &input, const ConvShape &shape)
+{
+    DSTC_ASSERT(input.n() == shape.batch && input.c() == shape.in_c &&
+                input.h() == shape.in_h && input.w() == shape.in_w);
+    const int out_h = shape.outH();
+    const int out_w = shape.outW();
+    Matrix<float> lowered(static_cast<int>(shape.loweredRows()),
+                          static_cast<int>(shape.loweredCols()));
+    // Column-block order with contiguous row segments: for stride 1,
+    // each (c, kh, kw) column is a shifted copy of an input row, so
+    // the inner loop is a straight std::copy — this is the tuned
+    // dense baseline that Table III normalizes against.
+    const int k2 = shape.kernel * shape.kernel;
+    for (int n = 0; n < shape.batch; ++n) {
+        const int row_base = n * out_h * out_w;
+        for (int c = 0; c < shape.in_c; ++c) {
+            for (int kh = 0; kh < shape.kernel; ++kh) {
+                for (int kw = 0; kw < shape.kernel; ++kw) {
+                    const int col = c * k2 + kh * shape.kernel + kw;
+                    for (int oh = 0; oh < out_h; ++oh) {
+                        const int ih = oh * shape.stride + kh -
+                                       shape.pad;
+                        if (ih < 0 || ih >= shape.in_h)
+                            continue;
+                        const int row = row_base + oh * out_w;
+                        if (shape.stride == 1) {
+                            const int start = kw - shape.pad;
+                            const int lo = std::max(0, -start);
+                            const int hi = std::min(
+                                out_w, shape.in_w - start);
+                            if (hi <= lo)
+                                continue;
+                            const float *src =
+                                &input.at(n, c, ih, start + lo);
+                            for (int ow = lo; ow < hi; ++ow)
+                                lowered.data()[static_cast<size_t>(
+                                                   row + ow) *
+                                                   lowered.cols() +
+                                               col] = *src++;
+                        } else {
+                            for (int ow = 0; ow < out_w; ++ow) {
+                                const int iw = ow * shape.stride +
+                                               kw - shape.pad;
+                                if (iw < 0 || iw >= shape.in_w)
+                                    continue;
+                                lowered.at(row + ow, col) =
+                                    input.at(n, c, ih, iw);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return lowered;
+}
+
+Matrix<float>
+im2colOuterFriendly(const Tensor4d &input, const ConvShape &shape)
+{
+    DSTC_ASSERT(input.n() == shape.batch && input.c() == shape.in_c &&
+                input.h() == shape.in_h && input.w() == shape.in_w);
+    const int out_h = shape.outH();
+    const int out_w = shape.outW();
+    Matrix<float> lowered(static_cast<int>(shape.loweredRows()),
+                          static_cast<int>(shape.loweredCols()));
+    // Column-by-column: the loop nest of the row-major version with
+    // the innermost (column) loop permuted outermost (Sec. IV-A).
+    int col = 0;
+    for (int c = 0; c < shape.in_c; ++c) {
+        for (int kh = 0; kh < shape.kernel; ++kh) {
+            for (int kw = 0; kw < shape.kernel; ++kw, ++col) {
+                int row = 0;
+                for (int n = 0; n < shape.batch; ++n) {
+                    for (int oh = 0; oh < out_h; ++oh) {
+                        const int ih = oh * shape.stride + kh -
+                                       shape.pad;
+                        if (ih < 0 || ih >= shape.in_h) {
+                            row += out_w;
+                            continue;
+                        }
+                        for (int ow = 0; ow < out_w; ++ow, ++row) {
+                            const int iw = ow * shape.stride + kw -
+                                           shape.pad;
+                            if (iw < 0 || iw >= shape.in_w)
+                                continue;
+                            lowered.at(row, col) =
+                                input.at(n, c, ih, iw);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return lowered;
+}
+
+Matrix<float>
+flattenWeightsTransposed(const Matrix<float> &weights)
+{
+    return weights.transpose();
+}
+
+Tensor4d
+foldLoweredOutput(const Matrix<float> &d, const ConvShape &shape)
+{
+    DSTC_ASSERT(d.rows() == shape.loweredRows() &&
+                d.cols() == shape.out_c);
+    const int out_h = shape.outH();
+    const int out_w = shape.outW();
+    Tensor4d out(shape.batch, shape.out_c, out_h, out_w);
+    int row = 0;
+    for (int n = 0; n < shape.batch; ++n)
+        for (int oh = 0; oh < out_h; ++oh)
+            for (int ow = 0; ow < out_w; ++ow, ++row)
+                for (int oc = 0; oc < shape.out_c; ++oc)
+                    out.at(n, oc, oh, ow) = d.at(row, oc);
+    return out;
+}
+
+} // namespace dstc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Dense im2col: the explicit row-major lowering (the baseline of
+ * Table III) and the outer-product-friendly column-order generation
+ * of Fig. 10b, which produces the same lowered matrix column by
+ * column so the GEMM can consume it as outer-product operands.
+ */
+#ifndef DSTC_IM2COL_DENSE_IM2COL_H
+#define DSTC_IM2COL_DENSE_IM2COL_H
+
+#include "im2col/conv_shape.h"
+#include "tensor/matrix.h"
+#include "tensor/tensor4d.h"
+
+namespace dstc {
+
+/**
+ * Explicit dense im2col: lowered (M x K) matrix, row r = output
+ * pixel (n, oh, ow), column j = (c, kh, kw). Inner-product friendly
+ * (Fig. 10a): generated row by row.
+ */
+Matrix<float> im2colExplicit(const Tensor4d &input,
+                             const ConvShape &shape);
+
+/**
+ * Outer-product-friendly dense im2col (Fig. 10b): generates the
+ * identical lowered matrix, but column by column — each column is a
+ * shifted/strided slice of one input plane, which is the access
+ * order the outer-product GEMM consumes. Returned in the same
+ * logical (M x K) layout so the two variants are comparable.
+ */
+Matrix<float> im2colOuterFriendly(const Tensor4d &input,
+                                  const ConvShape &shape);
+
+/**
+ * Flatten OIHW weights (out_c x in_c*k*k) into the transposed
+ * (K x N) operand of the lowered GEMM: D = lowered x weightsT.
+ */
+Matrix<float> flattenWeightsTransposed(const Matrix<float> &weights);
+
+/** Fold the (M x N) lowered-GEMM output back into an NCHW tensor. */
+Tensor4d foldLoweredOutput(const Matrix<float> &d, const ConvShape &shape);
+
+} // namespace dstc
+
+#endif // DSTC_IM2COL_DENSE_IM2COL_H

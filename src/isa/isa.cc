@@ -1,0 +1,116 @@
+#include "isa/isa.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+int
+issueCycles(Opcode op)
+{
+    switch (op) {
+      case Opcode::HMMA_884:
+        // A 16x16x16 WMMA is 16 HMMA.884 in 32 cycles (Sec. V-A2).
+        return 2;
+      case Opcode::OHMMA_8161:
+        // A 16x16x16 OWMMA is 32 OHMMA.8161 in 32 cycles.
+        return 1;
+      case Opcode::BOHMMA_32321:
+        // Binary operands process a 16x larger tile per cycle.
+        return 1;
+      case Opcode::POPC:
+        // Scalar pipeline; overlapped with tensor-core issue.
+        return 0;
+    }
+    panic("unknown opcode");
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::HMMA_884:
+        return "HMMA.884.F32.F32";
+      case Opcode::OHMMA_8161:
+        return "HMMA.OHMMA.8161.F32.F32";
+      case Opcode::BOHMMA_32321:
+        return "HMMA.BOHMMA.32321.B32.B32";
+      case Opcode::POPC:
+        return "POPC";
+    }
+    panic("unknown opcode");
+}
+
+std::string
+Instruction::disassemble() const
+{
+    std::ostringstream oss;
+    if (op == Opcode::OHMMA_8161)
+        oss << (predicate ? "@p1 " : "@p0 ");
+    oss << mnemonic(op);
+    if (op == Opcode::OHMMA_8161 || op == Opcode::BOHMMA_32321 ||
+        op == Opcode::HMMA_884) {
+        oss << " ; set=" << set;
+        if (op == Opcode::OHMMA_8161)
+            oss << " a_chunk=" << static_cast<int>(a_chunk)
+                << " b_chunk=" << static_cast<int>(b_chunk);
+    }
+    return oss.str();
+}
+
+int64_t
+InstructionMix::tensorCycles() const
+{
+    return hmma * issueCycles(Opcode::HMMA_884) +
+           ohmma_issued * issueCycles(Opcode::OHMMA_8161) +
+           bohmma * issueCycles(Opcode::BOHMMA_32321);
+}
+
+InstructionMix &
+InstructionMix::operator+=(const InstructionMix &other)
+{
+    hmma += other.hmma;
+    ohmma_issued += other.ohmma_issued;
+    ohmma_skipped += other.ohmma_skipped;
+    bohmma += other.bohmma;
+    popc += other.popc;
+    return *this;
+}
+
+InstructionMix
+WarpProgram::mix() const
+{
+    InstructionMix m;
+    for (const auto &instr : instrs_) {
+        switch (instr.op) {
+          case Opcode::HMMA_884:
+            ++m.hmma;
+            break;
+          case Opcode::OHMMA_8161:
+            if (instr.predicate)
+                ++m.ohmma_issued;
+            else
+                ++m.ohmma_skipped;
+            break;
+          case Opcode::BOHMMA_32321:
+            ++m.bohmma;
+            break;
+          case Opcode::POPC:
+            ++m.popc;
+            break;
+        }
+    }
+    return m;
+}
+
+std::string
+WarpProgram::disassemble() const
+{
+    std::ostringstream oss;
+    for (const auto &instr : instrs_)
+        oss << instr.disassemble() << '\n';
+    return oss.str();
+}
+
+} // namespace dstc

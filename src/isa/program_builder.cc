@@ -1,0 +1,89 @@
+#include "isa/program_builder.h"
+
+#include "common/bitutil.h"
+#include "common/logging.h"
+
+namespace dstc {
+
+int
+enabledOhmmas(int popc_a, int popc_b, const SpWmmaShape &shape)
+{
+    DSTC_ASSERT(popc_a >= 0 && popc_a <= shape.m);
+    DSTC_ASSERT(popc_b >= 0 && popc_b <= shape.n);
+    if (popc_a == 0 || popc_b == 0)
+        return 0;
+    return ceilDiv(popc_a, shape.a_chunk) * ceilDiv(popc_b, shape.b_chunk);
+}
+
+void
+buildSpWmmaSet(WarpProgram &prog, int set, int popc_a, int popc_b,
+               const SpWmmaShape &shape)
+{
+    if (popc_a == 0 || popc_b == 0) {
+        // Either operand vector is all zero: the k-step is compacted
+        // away entirely. The warp finds the non-empty k-steps by
+        // ANDing the per-tile occupancy bitmaps once per tile, so an
+        // empty step costs no fetch slots at all (Sec. III-B3).
+        return;
+    }
+
+    Instruction popc{Opcode::POPC, true, static_cast<int16_t>(set), 0, 0};
+    prog.append(popc); // POPC on the A-column bitmap
+    prog.append(popc); // POPC on the B-row bitmap
+
+    prog.append(
+        {Opcode::BOHMMA_32321, true, static_cast<int16_t>(set), 0, 0});
+
+    const int a_need = ceilDiv(popc_a, shape.a_chunk);
+    const int b_need = ceilDiv(popc_b, shape.b_chunk);
+    // OHMMA index = a_chunk * bChunks() + b_chunk: with 4x2 chunks
+    // and (a_need=3, b_need=1) this enables OHMMA 0/2/4 as in Fig. 15.
+    for (int a = 0; a < shape.aChunks(); ++a) {
+        for (int b = 0; b < shape.bChunks(); ++b) {
+            prog.append({Opcode::OHMMA_8161, a < a_need && b < b_need,
+                         static_cast<int16_t>(set),
+                         static_cast<int8_t>(a), static_cast<int8_t>(b)});
+        }
+    }
+}
+
+WarpProgram
+buildSpWmma(const std::vector<std::pair<int, int>> &popcs,
+            const SpWmmaShape &shape)
+{
+    WarpProgram prog;
+    for (size_t set = 0; set < popcs.size(); ++set)
+        buildSpWmmaSet(prog, static_cast<int>(set), popcs[set].first,
+                       popcs[set].second, shape);
+    return prog;
+}
+
+WarpProgram
+buildDenseOwmma(int sets, const SpWmmaShape &shape)
+{
+    WarpProgram prog;
+    for (int set = 0; set < sets; ++set) {
+        for (int a = 0; a < shape.aChunks(); ++a)
+            for (int b = 0; b < shape.bChunks(); ++b)
+                prog.append({Opcode::OHMMA_8161, true,
+                             static_cast<int16_t>(set),
+                             static_cast<int8_t>(a),
+                             static_cast<int8_t>(b)});
+    }
+    return prog;
+}
+
+WarpProgram
+buildDenseWmma(int m, int n, int k)
+{
+    // HMMA.884 covers an 8x8x4 slab; the stream is the full cross
+    // product of the three tilings (Fig. 13a).
+    WarpProgram prog;
+    int64_t count = static_cast<int64_t>(ceilDiv(m, 8)) * ceilDiv(n, 8) *
+                    ceilDiv(k, 4);
+    for (int64_t i = 0; i < count; ++i)
+        prog.append({Opcode::HMMA_884, true, 0, 0, 0});
+    return prog;
+}
+
+} // namespace dstc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Builders that compile warp-level MMA APIs into machine instruction
+ * streams, mirroring how SpWMMA compiles to predicated OHMMAs
+ * (Figs. 15-17).
+ */
+#ifndef DSTC_ISA_PROGRAM_BUILDER_H
+#define DSTC_ISA_PROGRAM_BUILDER_H
+
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace dstc {
+
+/** Geometry of the SpWMMA warp tile (Sec. III-B3 / Fig. 15). */
+struct SpWmmaShape
+{
+    int m = 32;        ///< warp-tile rows
+    int n = 32;        ///< warp-tile cols
+    int a_chunk = 8;   ///< OHMMA rows per A chunk
+    int b_chunk = 16;  ///< OHMMA cols per B chunk
+
+    int aChunks() const { return m / a_chunk; } ///< 4 for 32x32
+    int bChunks() const { return n / b_chunk; } ///< 2 for 32x32
+    int ohmmasPerSet() const { return aChunks() * bChunks(); } ///< 8
+};
+
+/**
+ * Compile one SpWMMA set (a 32x32x1 outer product) given the POPC
+ * results of the A-column and B-row bitmaps. Emits: two POPCs, then
+ * (if both operands are non-empty) one BOHMMA and the 8 predicated
+ * OHMMAs of which ceil(popc_a/8) x ceil(popc_b/16) are enabled —
+ * exactly the Fig. 15 example (popc_a=20, popc_b=12 enables
+ * OHMMA 0/2/4).
+ */
+void buildSpWmmaSet(WarpProgram &prog, int set, int popc_a, int popc_b,
+                    const SpWmmaShape &shape = {});
+
+/**
+ * Compile a full SpWMMA call: one set per (popc_a, popc_b) pair,
+ * i.e. one per k-step of the warp tile.
+ */
+WarpProgram buildSpWmma(const std::vector<std::pair<int, int>> &popcs,
+                        const SpWmmaShape &shape = {});
+
+/** Dense OWMMA: every OHMMA of every set enabled, no bitmap work. */
+WarpProgram buildDenseOwmma(int sets, const SpWmmaShape &shape = {});
+
+/**
+ * Dense inner-product WMMA over an m x n x k warp tile: the V100
+ * baseline instruction stream (16 HMMA.884 per 16x16x16).
+ */
+WarpProgram buildDenseWmma(int m, int n, int k);
+
+/** Number of enabled OHMMAs for one set: the Fig. 15 arithmetic. */
+int enabledOhmmas(int popc_a, int popc_b, const SpWmmaShape &shape = {});
+
+} // namespace dstc
+
+#endif // DSTC_ISA_PROGRAM_BUILDER_H

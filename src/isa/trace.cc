@@ -1,0 +1,48 @@
+#include "isa/trace.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+TileTrace
+traceWarpTile(const BitmapMatrix &a_tile, const BitmapMatrix &b_tile,
+              const SpWmmaShape &shape)
+{
+    DSTC_ASSERT(a_tile.major() == Major::Col &&
+                b_tile.major() == Major::Row);
+    DSTC_ASSERT(a_tile.cols() == b_tile.rows());
+
+    TileTrace trace;
+    std::ostringstream oss;
+    const int k = a_tile.cols();
+    for (int step = 0; step < k; ++step) {
+        const int popc_a = a_tile.lineNnz(step);
+        const int popc_b = b_tile.lineNnz(step);
+        oss << "// set " << step << ": POPC(Av)=" << popc_a
+            << " POPC(Bv)=" << popc_b;
+        if (popc_a == 0 || popc_b == 0) {
+            oss << "  -> compacted away\n";
+            buildSpWmmaSet(trace.program, step, popc_a, popc_b, shape);
+            continue;
+        }
+        oss << "  -> " << enabledOhmmas(popc_a, popc_b, shape) << "/"
+            << shape.ohmmasPerSet() << " OHMMAs enabled\n";
+        WarpProgram set_prog;
+        buildSpWmmaSet(set_prog, step, popc_a, popc_b, shape);
+        oss << set_prog.disassemble();
+        for (const auto &instr : set_prog.instructions())
+            trace.program.append(instr);
+    }
+    trace.mix = trace.program.mix();
+
+    oss << "// totals: " << trace.mix.ohmma_issued << " OHMMA issued, "
+        << trace.mix.ohmma_skipped << " squashed, " << trace.mix.bohmma
+        << " BOHMMA, " << trace.mix.popc << " POPC; "
+        << trace.mix.tensorCycles() << " tensor issue cycles\n";
+    trace.listing = oss.str();
+    return trace;
+}
+
+} // namespace dstc

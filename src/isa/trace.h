@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ISA-level tracing: compile a real warp tile into its predicated
+ * SpWMMA instruction stream and render an annotated, Fig. 17-style
+ * listing. Used by the inspect_isa example and for debugging the
+ * predication logic against hand-worked cases.
+ */
+#ifndef DSTC_ISA_TRACE_H
+#define DSTC_ISA_TRACE_H
+
+#include <string>
+
+#include "isa/program_builder.h"
+#include "sparse/bitmap.h"
+
+namespace dstc {
+
+/** A compiled warp tile plus its rendered listing. */
+struct TileTrace
+{
+    WarpProgram program;
+    InstructionMix mix;
+    std::string listing;
+};
+
+/**
+ * Compile the SpWMMA stream for one warp tile (A column-major,
+ * B row-major) and render it with per-set POPC annotations.
+ */
+TileTrace traceWarpTile(const BitmapMatrix &a_tile,
+                        const BitmapMatrix &b_tile,
+                        const SpWmmaShape &shape = {});
+
+} // namespace dstc
+
+#endif // DSTC_ISA_TRACE_H

@@ -1,0 +1,111 @@
+#include "model/pruning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+double
+agpSparsity(double initial, double final_sparsity, int step,
+            int total_steps)
+{
+    DSTC_ASSERT(total_steps > 0);
+    DSTC_ASSERT(step >= 0 && step <= total_steps);
+    const double progress =
+        static_cast<double>(step) / static_cast<double>(total_steps);
+    const double ramp = 1.0 - std::pow(1.0 - progress, 3.0);
+    return initial + (final_sparsity - initial) * ramp;
+}
+
+Matrix<float>
+magnitudePrune(const Matrix<float> &weights, double sparsity)
+{
+    DSTC_ASSERT(sparsity >= 0.0 && sparsity <= 1.0);
+    const size_t total = weights.size();
+    const size_t to_zero = static_cast<size_t>(
+        std::llround(sparsity * static_cast<double>(total)));
+    if (to_zero == 0)
+        return weights;
+
+    std::vector<size_t> order(total);
+    std::iota(order.begin(), order.end(), size_t{0});
+    const auto &data = weights.data();
+    std::nth_element(order.begin(), order.begin() + (to_zero - 1),
+                     order.end(), [&](size_t x, size_t y) {
+                         float ax = std::fabs(data[x]);
+                         float ay = std::fabs(data[y]);
+                         return ax != ay ? ax < ay : x < y;
+                     });
+    Matrix<float> pruned = weights;
+    for (size_t i = 0; i < to_zero; ++i)
+        pruned.data()[order[i]] = 0.0f;
+    return pruned;
+}
+
+Matrix<float>
+vectorWisePrune(const Matrix<float> &weights, int vec_len, double ratio)
+{
+    DSTC_ASSERT(vec_len > 0);
+    DSTC_ASSERT(ratio >= 0.0 && ratio < 1.0);
+    Matrix<float> pruned = weights;
+    const int keep_per_vec = std::max(
+        1, static_cast<int>(std::lround(vec_len * (1.0 - ratio))));
+    std::vector<int> idx;
+    for (int r = 0; r < weights.rows(); ++r) {
+        for (int v0 = 0; v0 < weights.cols(); v0 += vec_len) {
+            const int v1 = std::min(weights.cols(), v0 + vec_len);
+            const int len = v1 - v0;
+            const int keep = std::min(
+                len, len == vec_len
+                         ? keep_per_vec
+                         : std::max(1, static_cast<int>(std::lround(
+                                           len * (1.0 - ratio)))));
+            idx.resize(len);
+            std::iota(idx.begin(), idx.end(), 0);
+            std::nth_element(
+                idx.begin(), idx.begin() + keep, idx.end(),
+                [&](int x, int y) {
+                    return std::fabs(weights.at(r, v0 + x)) >
+                           std::fabs(weights.at(r, v0 + y));
+                });
+            for (int i = keep; i < len; ++i)
+                pruned.at(r, v0 + idx[i]) = 0.0f;
+        }
+    }
+    return pruned;
+}
+
+Matrix<float>
+prune2of4(const Matrix<float> &weights)
+{
+    Matrix<float> pruned = weights;
+    for (int r = 0; r < weights.rows(); ++r) {
+        for (int v0 = 0; v0 + 4 <= weights.cols(); v0 += 4) {
+            // Keep the two largest magnitudes of the quad.
+            int idx[4] = {0, 1, 2, 3};
+            std::sort(std::begin(idx), std::end(idx), [&](int x, int y) {
+                return std::fabs(weights.at(r, v0 + x)) >
+                       std::fabs(weights.at(r, v0 + y));
+            });
+            pruned.at(r, v0 + idx[2]) = 0.0f;
+            pruned.at(r, v0 + idx[3]) = 0.0f;
+        }
+    }
+    return pruned;
+}
+
+Matrix<float>
+agpPrune(const Matrix<float> &weights, double final_sparsity, int steps)
+{
+    Matrix<float> current = weights;
+    for (int s = 1; s <= steps; ++s)
+        current = magnitudePrune(
+            current, agpSparsity(0.0, final_sparsity, s, steps));
+    return current;
+}
+
+} // namespace dstc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Weight pruning algorithms used to produce the sparse models of
+ * Table II: the AGP schedule (Zhu & Gupta) with magnitude pruning,
+ * the vector-wise structural pruning of the Sparse Tensor Core
+ * baseline, and Ampere's 2:4 pattern for reference.
+ */
+#ifndef DSTC_MODEL_PRUNING_H
+#define DSTC_MODEL_PRUNING_H
+
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/**
+ * Automated Gradual Pruning schedule: the target sparsity after
+ * @p step of @p total_steps pruning steps, ramping cubically from
+ * @p initial to @p final_sparsity.
+ */
+double agpSparsity(double initial, double final_sparsity, int step,
+                   int total_steps);
+
+/**
+ * Magnitude pruning: zero the smallest-|w| elements until the matrix
+ * reaches @p sparsity (global threshold, ties broken by index).
+ */
+Matrix<float> magnitudePrune(const Matrix<float> &weights,
+                             double sparsity);
+
+/**
+ * Vector-wise structural pruning [Zhu et al., MICRO'19]: split every
+ * row into @p vec_len-element vectors and keep only the largest
+ * (1 - ratio) fraction of each vector.
+ */
+Matrix<float> vectorWisePrune(const Matrix<float> &weights, int vec_len,
+                              double ratio);
+
+/** Ampere-style 2:4 pruning: keep the 2 largest of every 4 in a row. */
+Matrix<float> prune2of4(const Matrix<float> &weights);
+
+/**
+ * Run the full AGP schedule on @p weights: @p steps rounds of
+ * magnitude pruning following the cubic ramp to @p final_sparsity.
+ * Returns the final pruned weights (intermediate masks are
+ * monotonically nested, which the tests verify).
+ */
+Matrix<float> agpPrune(const Matrix<float> &weights,
+                       double final_sparsity, int steps);
+
+} // namespace dstc
+
+#endif // DSTC_MODEL_PRUNING_H

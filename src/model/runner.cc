@@ -1,0 +1,106 @@
+#include "model/runner.h"
+
+#include "common/logging.h"
+
+namespace dstc {
+
+const char *
+modelMethodName(ModelMethod method)
+{
+    switch (method) {
+      case ModelMethod::DenseExplicit:
+        return "Dense Explicit";
+      case ModelMethod::DenseImplicit:
+        return "Dense Implicit";
+      case ModelMethod::SingleSparseExplicit:
+        return "Single Sparse Explicit";
+      case ModelMethod::SingleSparseImplicit:
+        return "Single Sparse Implicit";
+      case ModelMethod::DualSparseImplicit:
+        return "Dual Sparse Implicit";
+    }
+    panic("unknown model method");
+}
+
+double
+ModelRunResult::totalTimeUs() const
+{
+    double total = 0.0;
+    for (const auto &layer : layers)
+        total += layer.stats.timeUs();
+    return total;
+}
+
+namespace {
+
+ConvMethod
+toConvMethod(ModelMethod method)
+{
+    switch (method) {
+      case ModelMethod::DenseExplicit:
+        return ConvMethod::DenseExplicit;
+      case ModelMethod::DenseImplicit:
+        return ConvMethod::DenseImplicit;
+      case ModelMethod::SingleSparseExplicit:
+        return ConvMethod::SingleSparseExplicit;
+      case ModelMethod::SingleSparseImplicit:
+        return ConvMethod::SingleSparseImplicit;
+      case ModelMethod::DualSparseImplicit:
+        return ConvMethod::DualSparseImplicit;
+    }
+    panic("unknown model method");
+}
+
+} // namespace
+
+KernelStats
+ModelRunner::runGemmLayer(const GemmLayerSpec &layer, ModelMethod method,
+                          uint64_t seed) const
+{
+    switch (method) {
+      case ModelMethod::DenseExplicit:
+      case ModelMethod::DenseImplicit:
+        return engine_.denseGemmTime(layer.m, layer.n, layer.k);
+      case ModelMethod::SingleSparseExplicit:
+      case ModelMethod::SingleSparseImplicit:
+        return engine_.zhuGemmTime(layer.m, layer.n, layer.k,
+                                   layer.weight_sparsity);
+      case ModelMethod::DualSparseImplicit: {
+        Rng rng(seed);
+        SparsityProfile acts = SparsityProfile::randomA(
+            layer.m, layer.k, 32, 1.0 - layer.act_sparsity,
+            layer.act_cluster, rng);
+        SparsityProfile weights = SparsityProfile::randomA(
+            layer.n, layer.k, 32, 1.0 - layer.weight_sparsity,
+            layer.weight_cluster, rng);
+        return engine_.spgemmTime(acts, weights);
+      }
+    }
+    panic("unknown model method");
+}
+
+ModelRunResult
+ModelRunner::run(const DnnModel &model, ModelMethod method,
+                 uint64_t seed) const
+{
+    ModelRunResult result;
+    result.model = model.name;
+    result.method = method;
+
+    for (const auto &layer : model.conv_layers) {
+        KernelStats stats = engine_.convTime(
+            layer.shape, toConvMethod(method), layer.weight_sparsity,
+            layer.act_sparsity, seed, layer.weight_cluster,
+            layer.act_cluster);
+        result.layers.push_back({layer.name, stats});
+        ++seed;
+    }
+    for (const auto &layer : model.gemm_layers) {
+        result.layers.push_back(
+            {layer.name, runGemmLayer(layer, method, seed)});
+        ++seed;
+    }
+    return result;
+}
+
+} // namespace dstc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Whole-model execution: run every layer of a DnnModel under a
+ * chosen strategy and aggregate per-layer and full-model statistics.
+ * This is the library API behind the Fig. 22 panels; the benches are
+ * thin printers over it.
+ */
+#ifndef DSTC_MODEL_RUNNER_H
+#define DSTC_MODEL_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "conv/spconv.h"
+#include "core/engine.h"
+#include "model/zoo.h"
+
+namespace dstc {
+
+/** Execution strategy at model granularity. */
+enum class ModelMethod
+{
+    DenseExplicit,        ///< conv layers only
+    DenseImplicit,        ///< dense GEMM for GEMM layers
+    SingleSparseExplicit, ///< Sparse TC [72] (+ explicit im2col)
+    SingleSparseImplicit, ///< our im2col, weight sparsity only
+    DualSparseImplicit,   ///< the full dual-side design
+};
+
+const char *modelMethodName(ModelMethod method);
+
+/** Per-layer outcome of a model run. */
+struct LayerResult
+{
+    std::string name;
+    KernelStats stats;
+};
+
+/** Aggregated outcome of a model run. */
+struct ModelRunResult
+{
+    std::string model;
+    ModelMethod method;
+    std::vector<LayerResult> layers;
+
+    /** Sum of layer kernel times. */
+    double totalTimeUs() const;
+};
+
+/** Runs model zoo workloads on the engine (timing-only). */
+class ModelRunner
+{
+  public:
+    explicit ModelRunner(const DstcEngine &engine) : engine_(engine) {}
+
+    /**
+     * Time every layer of @p model under @p method. Deterministic
+     * for a given @p seed; sparsity patterns follow each layer's
+     * (sparsity, cluster) operating point.
+     */
+    ModelRunResult run(const DnnModel &model, ModelMethod method,
+                       uint64_t seed = 1) const;
+
+  private:
+    KernelStats runGemmLayer(const GemmLayerSpec &layer,
+                             ModelMethod method, uint64_t seed) const;
+
+    const DstcEngine &engine_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_MODEL_RUNNER_H

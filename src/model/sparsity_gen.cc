@@ -1,0 +1,134 @@
+#include "model/sparsity_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+Matrix<float>
+uniformSparseMatrix(int rows, int cols, double sparsity, Rng &rng)
+{
+    return randomSparseMatrix(rows, cols, sparsity, rng);
+}
+
+Matrix<float>
+clusteredSparseMatrix(int rows, int cols, double sparsity, int block,
+                      double cluster, Rng &rng)
+{
+    DSTC_ASSERT(sparsity >= 0.0 && sparsity <= 1.0);
+    DSTC_ASSERT(block > 0 && cluster >= 1.0);
+    const double density = 1.0 - sparsity;
+    const double local = std::min(1.0, density * cluster);
+    const double p_active = local > 0.0 ? density / local : 0.0;
+
+    Matrix<float> m(rows, cols);
+    for (int br = 0; br < rows; br += block) {
+        for (int bc = 0; bc < cols; bc += block) {
+            if (!rng.bernoulli(p_active))
+                continue;
+            const int r1 = std::min(rows, br + block);
+            const int c1 = std::min(cols, bc + block);
+            for (int r = br; r < r1; ++r) {
+                for (int c = bc; c < c1; ++c) {
+                    if (rng.bernoulli(local)) {
+                        float v = rng.uniformFloat(-1.0f, 1.0f);
+                        m.at(r, c) = (v == 0.0f) ? 0.5f : v;
+                    }
+                }
+            }
+        }
+    }
+    return m;
+}
+
+namespace {
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * relative error < 1.2e-9) — used to place the ReLU threshold.
+ */
+double
+inverseNormalCdf(double p)
+{
+    DSTC_ASSERT(p > 0.0 && p < 1.0);
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double plow = 0.02425;
+    double q, r;
+    if (p < plow) {
+        q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p <= 1.0 - plow) {
+        q = p - 0.5;
+        r = q * q;
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+                 a[4]) * r + a[5]) * q /
+               (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r +
+                 b[4]) * r + 1.0);
+    }
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) *
+                 q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+float
+reluDraw(double sparsity, Rng &rng)
+{
+    // relu(x - t) with t = Phi^-1(sparsity): P(output == 0) matches.
+    if (sparsity <= 0.0)
+        return static_cast<float>(std::fabs(rng.normal())) + 1e-3f;
+    if (sparsity >= 1.0)
+        return 0.0f;
+    const double t = inverseNormalCdf(sparsity);
+    const double x = rng.normal() - t;
+    return x > 0.0 ? static_cast<float>(x) : 0.0f;
+}
+
+} // namespace
+
+Matrix<float>
+reluActivationMatrix(int rows, int cols, double sparsity, Rng &rng)
+{
+    Matrix<float> m(rows, cols);
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            m.at(r, c) = reluDraw(sparsity, rng);
+    return m;
+}
+
+Tensor4d
+reluActivationTensor(int n, int c, int h, int w, double sparsity,
+                     Rng &rng)
+{
+    Tensor4d t(n, c, h, w);
+    for (float &v : t.data())
+        v = reluDraw(sparsity, rng);
+    return t;
+}
+
+} // namespace dstc

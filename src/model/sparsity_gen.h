@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload synthesis: sparsity-pattern generators standing in for
+ * the paper's pruned checkpoints and measured activations. The
+ * accelerator only observes patterns (density + spatial
+ * distribution), so these generators are the data substrate of the
+ * evaluation (see DESIGN.md, substitutions).
+ */
+#ifndef DSTC_MODEL_SPARSITY_GEN_H
+#define DSTC_MODEL_SPARSITY_GEN_H
+
+#include "common/rng.h"
+#include "tensor/matrix.h"
+#include "tensor/tensor4d.h"
+
+namespace dstc {
+
+/** Uniform Bernoulli pattern: each element zero with p = sparsity. */
+Matrix<float> uniformSparseMatrix(int rows, int cols, double sparsity,
+                                  Rng &rng);
+
+/**
+ * Clustered pattern: non-zeros concentrated in a fraction of
+ * @p block x @p block blocks. @p cluster >= 1 scales the local
+ * density inside active blocks (1 = uniform); the complement of
+ * blocks is entirely zero, preserving the global sparsity. This is
+ * the uneven distribution that lets warp tiling exceed the fixed
+ * quantized ratios (Fig. 6).
+ */
+Matrix<float> clusteredSparseMatrix(int rows, int cols, double sparsity,
+                                    int block, double cluster, Rng &rng);
+
+/**
+ * ReLU-like activations: relu(x + mu) over standard normal draws,
+ * with the bias mu chosen so P(zero) = sparsity. Produces the
+ * one-sided value distribution of post-ReLU feature maps.
+ */
+Matrix<float> reluActivationMatrix(int rows, int cols, double sparsity,
+                                   Rng &rng);
+
+/** NCHW variant of reluActivationMatrix. */
+Tensor4d reluActivationTensor(int n, int c, int h, int w,
+                              double sparsity, Rng &rng);
+
+} // namespace dstc
+
+#endif // DSTC_MODEL_SPARSITY_GEN_H

@@ -1,0 +1,160 @@
+#include "model/zoo.h"
+
+namespace dstc {
+
+namespace {
+
+ConvLayerSpec
+conv(std::string name, int in_c, int hw, int out_c, int kernel,
+     int stride, int pad, double wsp, double asp)
+{
+    ConvLayerSpec spec;
+    spec.name = std::move(name);
+    spec.shape.batch = 1;
+    spec.shape.in_c = in_c;
+    spec.shape.in_h = hw;
+    spec.shape.in_w = hw;
+    spec.shape.out_c = out_c;
+    spec.shape.kernel = kernel;
+    spec.shape.stride = stride;
+    spec.shape.pad = pad;
+    spec.weight_sparsity = wsp;
+    spec.act_sparsity = asp;
+    return spec;
+}
+
+GemmLayerSpec
+gemm(std::string name, int64_t m, int64_t n, int64_t k, double wsp,
+     double asp)
+{
+    return {std::move(name), m, n, k, wsp, asp};
+}
+
+} // namespace
+
+DnnModel
+makeVgg16()
+{
+    DnnModel model;
+    model.name = "VGG-16";
+    model.pruning = "AGP";
+    model.dataset = "ImageNet";
+    model.accuracy = "88.86% (top 5)";
+    // Representative layers (the paper also selects a subset; the
+    // remaining layers repeat these shapes). AGP prunes later layers
+    // harder; ReLU activation sparsity grows with depth.
+    model.conv_layers = {
+        conv("conv1_1", 3, 224, 64, 3, 1, 1, 0.30, 0.00),
+        conv("conv1_2", 64, 224, 64, 3, 1, 1, 0.50, 0.45),
+        conv("conv2_1", 64, 112, 128, 3, 1, 1, 0.60, 0.50),
+        conv("conv2_2", 128, 112, 128, 3, 1, 1, 0.65, 0.55),
+        conv("conv3_1", 128, 56, 256, 3, 1, 1, 0.70, 0.55),
+        conv("conv3_3", 256, 56, 256, 3, 1, 1, 0.75, 0.60),
+        conv("conv4_1", 256, 28, 512, 3, 1, 1, 0.80, 0.65),
+        conv("conv4_3", 512, 28, 512, 3, 1, 1, 0.85, 0.70),
+        conv("conv5_1", 512, 14, 512, 3, 1, 1, 0.90, 0.75),
+        conv("conv5_3", 512, 14, 512, 3, 1, 1, 0.90, 0.80),
+    };
+    return model;
+}
+
+DnnModel
+makeResnet18()
+{
+    DnnModel model;
+    model.name = "ResNet-18";
+    model.pruning = "AGP";
+    model.dataset = "ImageNet";
+    model.accuracy = "86.46% (top 5)";
+    model.conv_layers = {
+        conv("conv1", 3, 224, 64, 7, 2, 3, 0.30, 0.00),
+        conv("layer2-1", 64, 56, 64, 3, 1, 1, 0.60, 0.45),
+        conv("layer2-2", 64, 56, 64, 3, 1, 1, 0.65, 0.50),
+        conv("layer3-1", 64, 56, 128, 3, 2, 1, 0.70, 0.50),
+        conv("layer3-2", 128, 28, 128, 3, 1, 1, 0.70, 0.55),
+        conv("layer4-1", 128, 28, 256, 3, 2, 1, 0.75, 0.55),
+        conv("layer4-2", 256, 14, 256, 3, 1, 1, 0.80, 0.60),
+        conv("layer5-1", 256, 14, 512, 3, 2, 1, 0.85, 0.60),
+        conv("layer5-2", 512, 7, 512, 3, 1, 1, 0.85, 0.65),
+        conv("layer5-4", 512, 7, 512, 3, 1, 1, 0.85, 0.65),
+    };
+    return model;
+}
+
+DnnModel
+makeMaskRcnn()
+{
+    DnnModel model;
+    model.name = "Mask R-CNN";
+    model.pruning = "AGP";
+    model.dataset = "COCO";
+    model.accuracy = "35.2 (AP)";
+    // ResNet-50-FPN backbone stages on an 800x1216 input, plus the
+    // FPN lateral/output convolutions and the box head.
+    model.conv_layers = {
+        conv("res2-3x3", 64, 200, 64, 3, 1, 1, 0.50, 0.45),
+        conv("res3-3x3", 128, 100, 128, 3, 1, 1, 0.60, 0.50),
+        conv("res4-3x3", 256, 50, 256, 3, 1, 1, 0.70, 0.55),
+        conv("res5-3x3", 512, 25, 512, 3, 1, 1, 0.80, 0.60),
+        conv("fpn-p3", 256, 100, 256, 3, 1, 1, 0.70, 0.50),
+        conv("fpn-p4", 256, 50, 256, 3, 1, 1, 0.70, 0.55),
+        conv("mask-head", 256, 14, 256, 3, 1, 1, 0.65, 0.55),
+    };
+    // Box head fully-connected layers run as GEMMs (1000 RoIs).
+    model.gemm_layers = {
+        gemm("box-fc1", 1000, 1024, 12544, 0.80, 0.55),
+        gemm("box-fc2", 1000, 1024, 1024, 0.80, 0.60),
+    };
+    return model;
+}
+
+DnnModel
+makeBertBase()
+{
+    DnnModel model;
+    model.name = "BERT-base encoder";
+    model.pruning = "MP";
+    model.dataset = "SQuAD";
+    model.accuracy = "83.3 (F1)";
+    // Sequence length 384 (SQuAD). Movement pruning reaches >90%
+    // weight sparsity; activations are effectively dense (GELU,
+    // Sec. VI-A).
+    model.gemm_layers = {
+        gemm("attn-qkv", 384, 2304, 768, 0.92, 0.05),
+        gemm("attn-out", 384, 768, 768, 0.93, 0.05),
+        gemm("ffn-1", 384, 3072, 768, 0.94, 0.05),
+        gemm("ffn-2", 384, 768, 3072, 0.95, 0.10),
+    };
+    return model;
+}
+
+DnnModel
+makeRnnLM()
+{
+    DnnModel model;
+    model.name = "RNN";
+    model.pruning = "AGP";
+    model.dataset = "WikiText-2";
+    model.accuracy = "85.7 (ppl)";
+    // 2-layer LSTM encoder + 4-layer LSTM decoder, hidden 1500,
+    // gates fused into one GEMM per layer step; 64 batched tokens.
+    const int hidden = 1500;
+    model.gemm_layers = {
+        gemm("enc-l0", 64, 4 * hidden, 2 * hidden, 0.90, 0.05),
+        gemm("enc-l1", 64, 4 * hidden, 2 * hidden, 0.91, 0.10),
+        gemm("dec-l0", 64, 4 * hidden, 2 * hidden, 0.92, 0.10),
+        gemm("dec-l1", 64, 4 * hidden, 2 * hidden, 0.92, 0.10),
+        gemm("dec-l2", 64, 4 * hidden, 2 * hidden, 0.93, 0.10),
+        gemm("dec-l3", 64, 4 * hidden, 2 * hidden, 0.93, 0.10),
+    };
+    return model;
+}
+
+std::vector<DnnModel>
+allModels()
+{
+    return {makeVgg16(), makeResnet18(), makeMaskRcnn(), makeBertBase(),
+            makeRnnLM()};
+}
+
+} // namespace dstc

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The five evaluated DNN workloads (Table II): layer shapes and
+ * per-layer weight/activation sparsities.
+ *
+ * Shapes follow the published architectures (VGG-16, ResNet-18,
+ * Mask R-CNN's ResNet-50-FPN backbone, BERT-base, and the paper's
+ * 2+4-layer LSTM language model). Sparsity ratios are representative
+ * of the paper's pruning setups — AGP for the CNNs/RNN, movement
+ * pruning for BERT, natural post-ReLU activation sparsity for the
+ * CNNs and near-dense activations for BERT/RNN (Sec. VI-A) — since
+ * the figure-embedded per-layer numbers are not machine-readable
+ * from the text (see EXPERIMENTS.md).
+ */
+#ifndef DSTC_MODEL_ZOO_H
+#define DSTC_MODEL_ZOO_H
+
+#include <string>
+#include <vector>
+
+#include "im2col/conv_shape.h"
+
+namespace dstc {
+
+/** One convolution layer instance with its sparsity operating point. */
+struct ConvLayerSpec
+{
+    std::string name;
+    ConvShape shape;
+    double weight_sparsity = 0.0;
+    double act_sparsity = 0.0;
+    /**
+     * Non-zero clustering factors (>= 1): how strongly pruning / the
+     * image structure concentrates the non-zeros into regions. AGP
+     * kills whole filters and channels, and feature maps are
+     * spatially correlated, so neither pattern is uniform Bernoulli
+     * (this is the Fig. 6 effect).
+     */
+    double weight_cluster = 4.0;
+    double act_cluster = 2.0;
+};
+
+/** One GEMM layer instance (M x K activations times K x N weights). */
+struct GemmLayerSpec
+{
+    std::string name;
+    int64_t m = 0;
+    int64_t n = 0;
+    int64_t k = 0;
+    double weight_sparsity = 0.0;
+    double act_sparsity = 0.0;
+    /** See ConvLayerSpec; movement pruning kills whole heads and
+     *  neurons, so BERT/RNN weights are strongly clustered. */
+    double weight_cluster = 12.0;
+    double act_cluster = 1.0;
+};
+
+/** A full workload: either conv layers (CNNs) or GEMM layers. */
+struct DnnModel
+{
+    std::string name;
+    std::string pruning;  ///< Table II "Pruning Scheme"
+    std::string dataset;  ///< Table II "Dataset"
+    std::string accuracy; ///< Table II "Accuracy"
+    std::vector<ConvLayerSpec> conv_layers;
+    std::vector<GemmLayerSpec> gemm_layers;
+};
+
+DnnModel makeVgg16();
+DnnModel makeResnet18();
+DnnModel makeMaskRcnn();
+DnnModel makeBertBase();
+DnnModel makeRnnLM();
+
+/** All five models in the paper's order. */
+std::vector<DnnModel> allModels();
+
+} // namespace dstc
+
+#endif // DSTC_MODEL_ZOO_H

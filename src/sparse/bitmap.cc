@@ -1,0 +1,160 @@
+#include "sparse/bitmap.h"
+
+#include "common/bitutil.h"
+
+namespace dstc {
+
+int
+BitmapMatrix::lineOf(int r, int c) const
+{
+    return major_ == Major::Col ? c : r;
+}
+
+int
+BitmapMatrix::posOf(int r, int c) const
+{
+    return major_ == Major::Col ? r : c;
+}
+
+BitmapMatrix
+BitmapMatrix::encode(const Matrix<float> &dense, Major major)
+{
+    BitmapMatrix bm;
+    bm.rows_ = dense.rows();
+    bm.cols_ = dense.cols();
+    bm.major_ = major;
+    const int lines = bm.numLines();
+    const int line_len = bm.lineLength();
+    bm.words_per_line_ = ceilDiv(line_len, 64);
+    bm.bits_.assign(static_cast<size_t>(lines) * bm.words_per_line_, 0);
+    bm.line_offsets_.assign(lines + 1, 0);
+
+    for (int line = 0; line < lines; ++line) {
+        for (int pos = 0; pos < line_len; ++pos) {
+            int r = major == Major::Col ? pos : line;
+            int c = major == Major::Col ? line : pos;
+            float v = dense.at(r, c);
+            if (v != 0.0f) {
+                size_t bitpos =
+                    static_cast<size_t>(line) * bm.words_per_line_ * 64 +
+                    pos;
+                setBit(bm.bits_, bitpos);
+                bm.values_.push_back(v);
+            }
+        }
+        bm.line_offsets_[line + 1] =
+            static_cast<int>(bm.values_.size());
+    }
+    return bm;
+}
+
+Matrix<float>
+BitmapMatrix::decode() const
+{
+    Matrix<float> dense(rows_, cols_);
+    const int lines = numLines();
+    const int line_len = lineLength();
+    for (int line = 0; line < lines; ++line) {
+        int vi = line_offsets_[line];
+        for (int pos = 0; pos < line_len; ++pos) {
+            size_t bitpos =
+                static_cast<size_t>(line) * words_per_line_ * 64 + pos;
+            if (getBit(bits_, bitpos)) {
+                int r = major_ == Major::Col ? pos : line;
+                int c = major_ == Major::Col ? line : pos;
+                dense.at(r, c) = values_[vi++];
+            }
+        }
+    }
+    return dense;
+}
+
+bool
+BitmapMatrix::bit(int r, int c) const
+{
+    DSTC_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    size_t bitpos =
+        static_cast<size_t>(lineOf(r, c)) * words_per_line_ * 64 +
+        posOf(r, c);
+    return getBit(bits_, bitpos);
+}
+
+int
+BitmapMatrix::lineNnz(int line) const
+{
+    DSTC_ASSERT(line >= 0 && line < numLines());
+    return line_offsets_[line + 1] - line_offsets_[line];
+}
+
+int
+BitmapMatrix::linePopcount(int line, int lo, int hi) const
+{
+    DSTC_ASSERT(line >= 0 && line < numLines());
+    DSTC_ASSERT(lo >= 0 && hi <= lineLength() && lo <= hi);
+    size_t base = static_cast<size_t>(line) * words_per_line_ * 64;
+    return popcountRange(bits_, base + lo, base + hi);
+}
+
+std::span<const float>
+BitmapMatrix::lineValues(int line) const
+{
+    DSTC_ASSERT(line >= 0 && line < numLines());
+    return {values_.data() + line_offsets_[line],
+            static_cast<size_t>(lineNnz(line))};
+}
+
+std::vector<float>
+BitmapMatrix::lineValuesRange(int line, int lo, int hi) const
+{
+    // Address offset = POPC of the prefix [0, lo); length = POPC of
+    // [lo, hi). This mirrors S3/S4 of the sparse im2col flow.
+    int offset = linePopcount(line, 0, lo);
+    int count = linePopcount(line, lo, hi);
+    auto all = lineValues(line);
+    return {all.begin() + offset, all.begin() + offset + count};
+}
+
+std::span<const uint64_t>
+BitmapMatrix::lineBits(int line) const
+{
+    DSTC_ASSERT(line >= 0 && line < numLines());
+    return {bits_.data() + static_cast<size_t>(line) * words_per_line_,
+            static_cast<size_t>(words_per_line_)};
+}
+
+size_t
+BitmapMatrix::encodedBytes() const
+{
+    // Bitmap bits (1 per element) + FP16 values + per-line offsets
+    // (one 32-bit word per line, as the row-offset field in Fig. 11b).
+    size_t bitmap_bytes = ceilDiv(
+        static_cast<size_t>(rows_) * cols_, size_t{8});
+    return bitmap_bytes + values_.size() * 2 +
+           static_cast<size_t>(numLines()) * 4;
+}
+
+std::vector<int>
+BitmapMatrix::linePositions(int line, int lo, int hi) const
+{
+    DSTC_ASSERT(line >= 0 && line < numLines());
+    DSTC_ASSERT(lo >= 0 && hi <= lineLength() && lo <= hi);
+    std::vector<int> out;
+    size_t base = static_cast<size_t>(line) * words_per_line_ * 64;
+    forEachSetBit(bits_, base + lo, base + hi, [&](size_t bitpos) {
+        out.push_back(static_cast<int>(bitpos - base));
+    });
+    return out;
+}
+
+float
+BitmapMatrix::valueAt(int r, int c) const
+{
+    if (!bit(r, c))
+        return 0.0f;
+    int line = lineOf(r, c);
+    int pos = posOf(r, c);
+    int offset = linePopcount(line, 0, pos);
+    return lineValues(line)[offset];
+}
+
+} // namespace dstc

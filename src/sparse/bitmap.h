@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The paper's bitmap sparse encoding (Fig. 2b): a two-tuple of a
+ * bitmap (1 bit per element) and the packed non-zero values.
+ *
+ * To support the outer product, matrix A is encoded column-major (its
+ * packing "lines" are columns) and matrix B row-major (lines are
+ * rows). Non-zero values within a line are packed in increasing
+ * position order, which is exactly the condensed layout the OTC
+ * consumes (Fig. 4c).
+ */
+#ifndef DSTC_SPARSE_BITMAP_H
+#define DSTC_SPARSE_BITMAP_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/** Which dimension a bitmap's packing lines run along. */
+enum class Major
+{
+    Row, ///< lines are rows (used for matrix B)
+    Col, ///< lines are columns (used for matrix A)
+};
+
+/** Bitmap-encoded sparse matrix: bitmap + packed non-zero values. */
+class BitmapMatrix
+{
+  public:
+    BitmapMatrix() = default;
+
+    /** Encode a dense matrix. Exact zeros become bitmap zeros. */
+    static BitmapMatrix encode(const Matrix<float> &dense, Major major);
+
+    /** Reconstruct the dense matrix. */
+    Matrix<float> decode() const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    Major major() const { return major_; }
+
+    /** Number of packing lines (cols if column-major, else rows). */
+    int numLines() const { return major_ == Major::Col ? cols_ : rows_; }
+
+    /** Elements per packing line. */
+    int lineLength() const { return major_ == Major::Col ? rows_ : cols_; }
+
+    /** Total number of non-zero values. */
+    int nnz() const { return static_cast<int>(values_.size()); }
+
+    /** Fraction of zero elements in [0, 1]. */
+    double
+    sparsity() const
+    {
+        size_t total = static_cast<size_t>(rows_) * cols_;
+        return total == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(nnz()) /
+                               static_cast<double>(total);
+    }
+
+    /** Bit at (r, c): true iff the element is non-zero. */
+    bool bit(int r, int c) const;
+
+    /** Number of non-zeros in one packing line. */
+    int lineNnz(int line) const;
+
+    /**
+     * POPC over positions [lo, hi) of a packing line — the hardware
+     * primitive that drives OHMMA predication (Fig. 15).
+     */
+    int linePopcount(int line, int lo, int hi) const;
+
+    /** Packed non-zero values of one line, in position order. */
+    std::span<const float> lineValues(int line) const;
+
+    /**
+     * Values of line positions [lo, hi) as a condensed (packed)
+     * vector. The start offset inside the line's value array is the
+     * popcount of [0, lo) — the paper's address-offset trick (S3 in
+     * Fig. 11b).
+     */
+    std::vector<float> lineValuesRange(int line, int lo, int hi) const;
+
+    /** The bitmap words of one line (lineLength() bits, LSB-first). */
+    std::span<const uint64_t> lineBits(int line) const;
+
+    /** Bytes occupied by this encoding (bitmap + FP16 values). */
+    size_t encodedBytes() const;
+
+    /** Non-zero positions of line [lo, hi) (for gather/scatter). */
+    std::vector<int> linePositions(int line, int lo, int hi) const;
+
+    /** Value lookup by coordinates; zero if the bit is clear. */
+    float valueAt(int r, int c) const;
+
+  private:
+    int lineOf(int r, int c) const;
+    int posOf(int r, int c) const;
+
+    int rows_ = 0;
+    int cols_ = 0;
+    Major major_ = Major::Row;
+    int words_per_line_ = 0;
+    std::vector<uint64_t> bits_;      ///< words_per_line_ words per line
+    std::vector<float> values_;       ///< packed non-zeros, line order
+    std::vector<int> line_offsets_;   ///< per-line prefix sums into values_
+};
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_BITMAP_H

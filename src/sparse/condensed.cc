@@ -1,0 +1,40 @@
+#include "sparse/condensed.h"
+
+#include "common/bitutil.h"
+
+namespace dstc {
+
+CondensedMatrix
+CondensedMatrix::fromBitmap(const BitmapMatrix &bm, int chunk)
+{
+    DSTC_ASSERT(chunk > 0);
+    CondensedMatrix cm;
+    cm.chunk_ = chunk;
+    cm.lines_.resize(bm.numLines());
+    cm.nnz_.resize(bm.numLines());
+    for (int i = 0; i < bm.numLines(); ++i) {
+        auto vals = bm.lineValues(i);
+        cm.nnz_[i] = static_cast<int>(vals.size());
+        std::vector<float> padded(vals.begin(), vals.end());
+        padded.resize(alignUp(cm.nnz_[i], chunk), 0.0f);
+        cm.lines_[i] = std::move(padded);
+    }
+    return cm;
+}
+
+int
+CondensedMatrix::lineChunks(int i) const
+{
+    return ceilDiv(nnz_[i], chunk_);
+}
+
+int
+CondensedMatrix::totalChunks() const
+{
+    int total = 0;
+    for (int i = 0; i < numLines(); ++i)
+        total += lineChunks(i);
+    return total;
+}
+
+} // namespace dstc

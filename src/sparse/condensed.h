@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Condensed operand layout (Fig. 4c): per packing line, the non-zeros
+ * pushed to the front and padded with zeros up to the OTC chunk size.
+ * This is what the outer-product datapath actually multiplies.
+ */
+#ifndef DSTC_SPARSE_CONDENSED_H
+#define DSTC_SPARSE_CONDENSED_H
+
+#include <vector>
+
+#include "sparse/bitmap.h"
+
+namespace dstc {
+
+/**
+ * Condensed form of a bitmap matrix: packed per-line value vectors,
+ * zero-padded to a multiple of the OTC chunk length (8 for the A side,
+ * 16 for the B side of OHMMA.8161).
+ */
+class CondensedMatrix
+{
+  public:
+    CondensedMatrix() = default;
+
+    /**
+     * Condense a bitmap matrix. @p chunk is the OTC tile dimension on
+     * this operand's side; every line is padded to a multiple of it.
+     */
+    static CondensedMatrix fromBitmap(const BitmapMatrix &bm, int chunk);
+
+    int numLines() const { return static_cast<int>(lines_.size()); }
+    int chunk() const { return chunk_; }
+
+    /** Padded, condensed values of one line. */
+    const std::vector<float> &
+    line(int i) const
+    {
+        return lines_[i];
+    }
+
+    /** Non-zero count of one line (before padding). */
+    int
+    lineNnz(int i) const
+    {
+        return nnz_[i];
+    }
+
+    /** Number of OTC chunks needed for one line: ceil(nnz / chunk). */
+    int lineChunks(int i) const;
+
+    /** Total OTC chunks across all lines. */
+    int totalChunks() const;
+
+  private:
+    int chunk_ = 1;
+    std::vector<std::vector<float>> lines_;
+    std::vector<int> nnz_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_CONDENSED_H

@@ -1,0 +1,37 @@
+#include "sparse/convert.h"
+
+#include "common/bitutil.h"
+
+namespace dstc {
+
+CsrMatrix
+bitmapToCsr(const BitmapMatrix &bm)
+{
+    return CsrMatrix::encode(bm.decode());
+}
+
+BitmapMatrix
+csrToBitmap(const CsrMatrix &csr, Major major)
+{
+    return BitmapMatrix::encode(csr.decode(), major);
+}
+
+std::vector<int>
+lineNnzProfile(const BitmapMatrix &bm)
+{
+    std::vector<int> profile(bm.numLines());
+    for (int i = 0; i < bm.numLines(); ++i)
+        profile[i] = bm.lineNnz(i);
+    return profile;
+}
+
+std::vector<int>
+chunkHistogram(const BitmapMatrix &bm, int chunk)
+{
+    std::vector<int> hist(ceilDiv(bm.lineLength(), chunk) + 1, 0);
+    for (int i = 0; i < bm.numLines(); ++i)
+        ++hist[ceilDiv(bm.lineNnz(i), chunk)];
+    return hist;
+}
+
+} // namespace dstc

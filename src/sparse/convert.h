@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Conversions between sparse formats and sparsity-pattern statistics.
+ */
+#ifndef DSTC_SPARSE_CONVERT_H
+#define DSTC_SPARSE_CONVERT_H
+
+#include <vector>
+
+#include "sparse/bitmap.h"
+#include "sparse/csr.h"
+
+namespace dstc {
+
+/** Re-encode a bitmap matrix as CSR (via dense; sizes are modest). */
+CsrMatrix bitmapToCsr(const BitmapMatrix &bm);
+
+/** Re-encode a CSR matrix as a bitmap with the given packing order. */
+BitmapMatrix csrToBitmap(const CsrMatrix &csr, Major major);
+
+/** Per-line non-zero counts of a bitmap matrix. */
+std::vector<int> lineNnzProfile(const BitmapMatrix &bm);
+
+/**
+ * Histogram of per-line OTC chunk counts (ceil(nnz/chunk)), which is
+ * the quantized sparsity the warp-level skipping sees (Sec. III-B3).
+ * Entry i counts lines needing exactly i chunks.
+ */
+std::vector<int> chunkHistogram(const BitmapMatrix &bm, int chunk);
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_CONVERT_H

@@ -1,0 +1,60 @@
+#include "sparse/csr.h"
+
+namespace dstc {
+
+CsrMatrix
+CsrMatrix::encode(const Matrix<float> &dense)
+{
+    CsrMatrix csr;
+    csr.rows_ = dense.rows();
+    csr.cols_ = dense.cols();
+    csr.row_ptr_.assign(csr.rows_ + 1, 0);
+    for (int r = 0; r < csr.rows_; ++r) {
+        for (int c = 0; c < csr.cols_; ++c) {
+            float v = dense.at(r, c);
+            if (v != 0.0f) {
+                csr.col_idx_.push_back(c);
+                csr.values_.push_back(v);
+            }
+        }
+        csr.row_ptr_[r + 1] = static_cast<int>(csr.values_.size());
+    }
+    return csr;
+}
+
+Matrix<float>
+CsrMatrix::decode() const
+{
+    Matrix<float> dense(rows_, cols_);
+    for (int r = 0; r < rows_; ++r)
+        for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i)
+            dense.at(r, col_idx_[i]) = values_[i];
+    return dense;
+}
+
+float
+CsrMatrix::valueAt(int r, int c, int64_t *probes) const
+{
+    DSTC_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    // Linear scan with early exit; indices are sorted per row. Each
+    // iteration is one data-dependent read of col_idx_, which is the
+    // overhead CSR im2col pays relative to the bitmap format.
+    for (int i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+        if (probes)
+            ++*probes;
+        if (col_idx_[i] == c)
+            return values_[i];
+        if (col_idx_[i] > c)
+            return 0.0f;
+    }
+    return 0.0f;
+}
+
+size_t
+CsrMatrix::encodedBytes() const
+{
+    return row_ptr_.size() * 4 + col_idx_.size() * 4 +
+           values_.size() * 2;
+}
+
+} // namespace dstc

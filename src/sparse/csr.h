@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Compressed Sparse Row encoding — the comparison format used by the
+ * cuSparse-like baseline and the CSR im2col of Table III.
+ */
+#ifndef DSTC_SPARSE_CSR_H
+#define DSTC_SPARSE_CSR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/** CSR sparse matrix (row_ptr / col_idx / values). */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    /** Encode a dense matrix; exact zeros are dropped. */
+    static CsrMatrix encode(const Matrix<float> &dense);
+
+    /** Reconstruct the dense matrix. */
+    Matrix<float> decode() const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int nnz() const { return static_cast<int>(values_.size()); }
+
+    int
+    rowNnz(int r) const
+    {
+        return row_ptr_[r + 1] - row_ptr_[r];
+    }
+
+    /**
+     * Value at (r, c) found by scanning the row's column indices —
+     * the data-dependent lookup that makes CSR im2col expensive.
+     * @p probes, when provided, is incremented by the number of
+     * column-index memory reads performed.
+     */
+    float valueAt(int r, int c, int64_t *probes = nullptr) const;
+
+    const std::vector<int> &rowPtr() const { return row_ptr_; }
+    const std::vector<int> &colIdx() const { return col_idx_; }
+    const std::vector<float> &values() const { return values_; }
+
+    /** Bytes occupied (int32 indices/pointers + FP16 values). */
+    size_t encodedBytes() const;
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<int> row_ptr_;
+    std::vector<int> col_idx_;
+    std::vector<float> values_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_CSR_H

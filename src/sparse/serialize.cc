@@ -1,0 +1,166 @@
+#include "sparse/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace dstc {
+
+namespace {
+
+constexpr uint32_t kBitmapMagic = 0x44425431; // "DBT1"
+constexpr uint32_t kCsrMagic = 0x44435231;    // "DCR1"
+
+void
+writeU32(std::ostream &out, uint32_t value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+bool
+readU32(std::istream &in, uint32_t &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return in.good();
+}
+
+void
+writeFloats(std::ostream &out, const std::vector<float> &values)
+{
+    writeU32(out, static_cast<uint32_t>(values.size()));
+    out.write(reinterpret_cast<const char *>(values.data()),
+              static_cast<std::streamsize>(values.size() *
+                                           sizeof(float)));
+}
+
+bool
+readFloats(std::istream &in, std::vector<float> &values,
+           uint32_t sanity_cap)
+{
+    uint32_t count = 0;
+    if (!readU32(in, count) || count > sanity_cap)
+        return false;
+    values.resize(count);
+    in.read(reinterpret_cast<char *>(values.data()),
+            static_cast<std::streamsize>(count * sizeof(float)));
+    return in.good() || (count == 0 && !in.bad());
+}
+
+} // namespace
+
+void
+saveBitmap(const BitmapMatrix &bm, std::ostream &out)
+{
+    // The payload is the decoded triplet stream (row, col, value):
+    // simple, versionable, and immune to internal layout changes.
+    writeU32(out, kBitmapMagic);
+    writeU32(out, static_cast<uint32_t>(bm.rows()));
+    writeU32(out, static_cast<uint32_t>(bm.cols()));
+    writeU32(out, bm.major() == Major::Col ? 1 : 0);
+    writeU32(out, static_cast<uint32_t>(bm.nnz()));
+    Matrix<float> dense = bm.decode();
+    for (int r = 0; r < dense.rows(); ++r) {
+        for (int c = 0; c < dense.cols(); ++c) {
+            if (dense.at(r, c) == 0.0f)
+                continue;
+            writeU32(out, static_cast<uint32_t>(r));
+            writeU32(out, static_cast<uint32_t>(c));
+            float v = dense.at(r, c);
+            out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+        }
+    }
+}
+
+std::optional<BitmapMatrix>
+loadBitmap(std::istream &in)
+{
+    uint32_t magic = 0, rows = 0, cols = 0, major = 0, nnz = 0;
+    if (!readU32(in, magic) || magic != kBitmapMagic)
+        return std::nullopt;
+    if (!readU32(in, rows) || !readU32(in, cols) ||
+        !readU32(in, major) || !readU32(in, nnz))
+        return std::nullopt;
+    if (rows > (1u << 24) || cols > (1u << 24) || major > 1)
+        return std::nullopt;
+    if (static_cast<uint64_t>(nnz) >
+        static_cast<uint64_t>(rows) * cols)
+        return std::nullopt;
+
+    Matrix<float> dense(static_cast<int>(rows), static_cast<int>(cols));
+    for (uint32_t i = 0; i < nnz; ++i) {
+        uint32_t r = 0, c = 0;
+        float v = 0.0f;
+        if (!readU32(in, r) || !readU32(in, c))
+            return std::nullopt;
+        in.read(reinterpret_cast<char *>(&v), sizeof(v));
+        if (!in.good() || r >= rows || c >= cols || v == 0.0f)
+            return std::nullopt;
+        dense.at(static_cast<int>(r), static_cast<int>(c)) = v;
+    }
+    return BitmapMatrix::encode(dense,
+                                major == 1 ? Major::Col : Major::Row);
+}
+
+void
+saveCsr(const CsrMatrix &csr, std::ostream &out)
+{
+    writeU32(out, kCsrMagic);
+    writeU32(out, static_cast<uint32_t>(csr.rows()));
+    writeU32(out, static_cast<uint32_t>(csr.cols()));
+    writeU32(out, static_cast<uint32_t>(csr.rowPtr().size()));
+    for (int p : csr.rowPtr())
+        writeU32(out, static_cast<uint32_t>(p));
+    writeU32(out, static_cast<uint32_t>(csr.colIdx().size()));
+    for (int c : csr.colIdx())
+        writeU32(out, static_cast<uint32_t>(c));
+    writeFloats(out, csr.values());
+}
+
+std::optional<CsrMatrix>
+loadCsr(std::istream &in)
+{
+    uint32_t magic = 0, rows = 0, cols = 0;
+    if (!readU32(in, magic) || magic != kCsrMagic)
+        return std::nullopt;
+    if (!readU32(in, rows) || !readU32(in, cols))
+        return std::nullopt;
+    if (rows > (1u << 24) || cols > (1u << 24))
+        return std::nullopt;
+
+    uint32_t ptr_count = 0;
+    if (!readU32(in, ptr_count) || ptr_count != rows + 1)
+        return std::nullopt;
+    std::vector<uint32_t> row_ptr(ptr_count);
+    for (auto &p : row_ptr)
+        if (!readU32(in, p))
+            return std::nullopt;
+
+    uint32_t idx_count = 0;
+    if (!readU32(in, idx_count) || idx_count != row_ptr.back())
+        return std::nullopt;
+    std::vector<uint32_t> col_idx(idx_count);
+    for (auto &c : col_idx)
+        if (!readU32(in, c) || c >= cols)
+            return std::nullopt;
+
+    std::vector<float> values;
+    if (!readFloats(in, values, idx_count) ||
+        values.size() != idx_count)
+        return std::nullopt;
+
+    // Rebuild through the dense form so internal invariants (sorted
+    // columns, consistent prefix sums) are re-established rather
+    // than trusted.
+    Matrix<float> dense(static_cast<int>(rows), static_cast<int>(cols));
+    for (uint32_t r = 0; r < rows; ++r) {
+        if (row_ptr[r] > row_ptr[r + 1])
+            return std::nullopt;
+        for (uint32_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i)
+            dense.at(static_cast<int>(r),
+                     static_cast<int>(col_idx[i])) = values[i];
+    }
+    return CsrMatrix::encode(dense);
+}
+
+} // namespace dstc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary serialization of the sparse formats, so encoded operands
+ * (e.g. pruned checkpoints converted offline) can be stored and
+ * reloaded without re-encoding — the workflow a deployment of the
+ * bitmap format would use.
+ *
+ * The container is a small tagged header followed by the dense
+ * payload reconstruction data; integrity is checked on load and
+ * malformed inputs fail with an error rather than undefined
+ * behaviour.
+ */
+#ifndef DSTC_SPARSE_SERIALIZE_H
+#define DSTC_SPARSE_SERIALIZE_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "sparse/bitmap.h"
+#include "sparse/csr.h"
+
+namespace dstc {
+
+/** Write a bitmap matrix to a binary stream. */
+void saveBitmap(const BitmapMatrix &bm, std::ostream &out);
+
+/**
+ * Read a bitmap matrix from a binary stream. Returns std::nullopt on
+ * malformed input (bad magic, truncated payload, inconsistent
+ * counts).
+ */
+std::optional<BitmapMatrix> loadBitmap(std::istream &in);
+
+/** Write a CSR matrix to a binary stream. */
+void saveCsr(const CsrMatrix &csr, std::ostream &out);
+
+/** Read a CSR matrix; std::nullopt on malformed input. */
+std::optional<CsrMatrix> loadCsr(std::istream &in);
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_SERIALIZE_H

@@ -1,0 +1,127 @@
+#include "sparse/two_level.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+
+namespace dstc {
+
+TwoLevelBitmapMatrix
+TwoLevelBitmapMatrix::encode(const Matrix<float> &dense, int tile_rows,
+                             int tile_cols, Major major)
+{
+    DSTC_ASSERT(tile_rows > 0 && tile_cols > 0);
+    TwoLevelBitmapMatrix tl;
+    tl.rows_ = dense.rows();
+    tl.cols_ = dense.cols();
+    tl.tile_rows_ = tile_rows;
+    tl.tile_cols_ = tile_cols;
+    tl.n_tile_rows_ = ceilDiv(dense.rows(), tile_rows);
+    tl.n_tile_cols_ = ceilDiv(dense.cols(), tile_cols);
+    tl.major_ = major;
+
+    int n_tiles = tl.n_tile_rows_ * tl.n_tile_cols_;
+    tl.warp_bits_.assign(ceilDiv(n_tiles, 64), 0);
+    tl.tiles_.resize(n_tiles);
+
+    for (int tr = 0; tr < tl.n_tile_rows_; ++tr) {
+        for (int tc = 0; tc < tl.n_tile_cols_; ++tc) {
+            int r0 = tr * tile_rows;
+            int c0 = tc * tile_cols;
+            int r1 = std::min(r0 + tile_rows, dense.rows());
+            int c1 = std::min(c0 + tile_cols, dense.cols());
+            Matrix<float> sub(r1 - r0, c1 - c0);
+            bool any = false;
+            for (int r = r0; r < r1; ++r) {
+                for (int c = c0; c < c1; ++c) {
+                    float v = dense.at(r, c);
+                    sub.at(r - r0, c - c0) = v;
+                    any |= (v != 0.0f);
+                }
+            }
+            int ti = tl.tileIndex(tr, tc);
+            tl.tiles_[ti] = BitmapMatrix::encode(sub, major);
+            if (any)
+                setBit(tl.warp_bits_, ti);
+        }
+    }
+    return tl;
+}
+
+Matrix<float>
+TwoLevelBitmapMatrix::decode() const
+{
+    Matrix<float> dense(rows_, cols_);
+    for (int tr = 0; tr < n_tile_rows_; ++tr) {
+        for (int tc = 0; tc < n_tile_cols_; ++tc) {
+            if (!tileNonEmpty(tr, tc))
+                continue;
+            Matrix<float> sub = tiles_[tileIndex(tr, tc)].decode();
+            int r0 = tr * tile_rows_;
+            int c0 = tc * tile_cols_;
+            for (int r = 0; r < sub.rows(); ++r)
+                for (int c = 0; c < sub.cols(); ++c)
+                    dense.at(r0 + r, c0 + c) = sub.at(r, c);
+        }
+    }
+    return dense;
+}
+
+bool
+TwoLevelBitmapMatrix::tileNonEmpty(int tr, int tc) const
+{
+    DSTC_ASSERT(tr >= 0 && tr < n_tile_rows_ && tc >= 0 &&
+                tc < n_tile_cols_);
+    return getBit(warp_bits_, tileIndex(tr, tc));
+}
+
+int
+TwoLevelBitmapMatrix::tileNnz(int tr, int tc) const
+{
+    return tiles_[tileIndex(tr, tc)].nnz();
+}
+
+const BitmapMatrix &
+TwoLevelBitmapMatrix::tile(int tr, int tc) const
+{
+    DSTC_ASSERT(tr >= 0 && tr < n_tile_rows_ && tc >= 0 &&
+                tc < n_tile_cols_);
+    return tiles_[tileIndex(tr, tc)];
+}
+
+int
+TwoLevelBitmapMatrix::nonEmptyTiles() const
+{
+    int count = 0;
+    for (uint64_t w : warp_bits_)
+        count += popcount64(w);
+    return count;
+}
+
+int
+TwoLevelBitmapMatrix::nnz() const
+{
+    int total = 0;
+    for (const auto &t : tiles_)
+        total += t.nnz();
+    return total;
+}
+
+size_t
+TwoLevelBitmapMatrix::encodedBytes() const
+{
+    size_t bytes = ceilDiv(static_cast<size_t>(tiles_.size()), size_t{8});
+    for (int tr = 0; tr < n_tile_rows_; ++tr) {
+        for (int tc = 0; tc < n_tile_cols_; ++tc) {
+            if (!tileNonEmpty(tr, tc))
+                continue;
+            const auto &t = tiles_[tileIndex(tr, tc)];
+            bytes += ceilDiv(static_cast<size_t>(t.rows()) * t.cols(),
+                             size_t{8});
+            bytes += static_cast<size_t>(t.nnz()) * 2;
+        }
+    }
+    return bytes;
+}
+
+} // namespace dstc

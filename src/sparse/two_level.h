@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Two-level bitmap encoding (Fig. 9): a warp-bitmap marking which
+ * warp tiles are non-empty, plus a per-tile element bitmap and packed
+ * values. Localizing non-zeros inside a tile keeps the outer-product
+ * partial matrix inside the Tensor Core's accumulation buffer, and a
+ * '0' warp-bit lets the whole tile be skipped.
+ */
+#ifndef DSTC_SPARSE_TWO_LEVEL_H
+#define DSTC_SPARSE_TWO_LEVEL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bitmap.h"
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/** Two-level (warp-bitmap + element-bitmap) sparse matrix. */
+class TwoLevelBitmapMatrix
+{
+  public:
+    TwoLevelBitmapMatrix() = default;
+
+    /**
+     * Encode a dense matrix with @p tile_rows x @p tile_cols warp
+     * tiles. Partial edge tiles are allowed. Values within each tile
+     * are packed in @p major order (Col for the A operand, Row for B).
+     */
+    static TwoLevelBitmapMatrix encode(const Matrix<float> &dense,
+                                       int tile_rows, int tile_cols,
+                                       Major major);
+
+    /** Reconstruct the dense matrix. */
+    Matrix<float> decode() const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int tileRows() const { return tile_rows_; }
+    int tileCols() const { return tile_cols_; }
+    int numTileRows() const { return n_tile_rows_; }
+    int numTileCols() const { return n_tile_cols_; }
+
+    /** Warp-bitmap bit: true iff tile (tr, tc) holds any non-zero. */
+    bool tileNonEmpty(int tr, int tc) const;
+
+    /** Non-zero count of tile (tr, tc). */
+    int tileNnz(int tr, int tc) const;
+
+    /**
+     * Element bitmap of tile (tr, tc) as a one-level BitmapMatrix of
+     * the tile's actual (possibly clipped) dimensions. Empty tiles
+     * return an all-zero bitmap.
+     */
+    const BitmapMatrix &tile(int tr, int tc) const;
+
+    /** Count of non-empty tiles (POPC of the warp-bitmap). */
+    int nonEmptyTiles() const;
+
+    /** Total non-zeros. */
+    int nnz() const;
+
+    /**
+     * Bytes occupied: warp-bitmap + element bitmaps of non-empty
+     * tiles + FP16 values. Empty tiles store only their warp-bit,
+     * which is how very sparse matrices shrink (paper Sec. VI-D).
+     */
+    size_t encodedBytes() const;
+
+  private:
+    int tileIndex(int tr, int tc) const { return tr * n_tile_cols_ + tc; }
+
+    int rows_ = 0, cols_ = 0;
+    int tile_rows_ = 0, tile_cols_ = 0;
+    int n_tile_rows_ = 0, n_tile_cols_ = 0;
+    Major major_ = Major::Row;
+    std::vector<uint64_t> warp_bits_;
+    std::vector<BitmapMatrix> tiles_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_TWO_LEVEL_H

@@ -1,0 +1,104 @@
+#include "tensor/reference.h"
+
+#include "common/fp16.h"
+
+namespace dstc {
+
+Matrix<float>
+refGemm(const Matrix<float> &a, const Matrix<float> &b,
+        const Matrix<float> *c)
+{
+    DSTC_ASSERT(a.cols() == b.rows(), "GEMM dims: ", a.rows(), "x",
+                a.cols(), " * ", b.rows(), "x", b.cols());
+    Matrix<float> d(a.rows(), b.cols());
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int k = 0; k < a.cols(); ++k) {
+            float av = a.at(i, k);
+            if (av == 0.0f)
+                continue;
+            for (int j = 0; j < b.cols(); ++j)
+                d.at(i, j) += av * b.at(k, j);
+        }
+    }
+    if (c) {
+        DSTC_ASSERT(c->rows() == d.rows() && c->cols() == d.cols());
+        for (int i = 0; i < d.rows(); ++i)
+            for (int j = 0; j < d.cols(); ++j)
+                d.at(i, j) += c->at(i, j);
+    }
+    return d;
+}
+
+Matrix<float>
+refGemmFp16(const Matrix<float> &a, const Matrix<float> &b,
+            const Matrix<float> *c)
+{
+    DSTC_ASSERT(a.cols() == b.rows());
+    Matrix<float> d(a.rows(), b.cols());
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int k = 0; k < a.cols(); ++k) {
+            float av = roundToFp16(a.at(i, k));
+            if (av == 0.0f)
+                continue;
+            for (int j = 0; j < b.cols(); ++j)
+                d.at(i, j) += av * roundToFp16(b.at(k, j));
+        }
+    }
+    if (c) {
+        DSTC_ASSERT(c->rows() == d.rows() && c->cols() == d.cols());
+        for (int i = 0; i < d.rows(); ++i)
+            for (int j = 0; j < d.cols(); ++j)
+                d.at(i, j) += c->at(i, j);
+    }
+    return d;
+}
+
+Tensor4d
+refConv2d(const Tensor4d &input, const Matrix<float> &weights,
+          const Conv2dParams &params)
+{
+    DSTC_ASSERT(input.c() == params.in_channels);
+    DSTC_ASSERT(weights.rows() == params.out_channels);
+    DSTC_ASSERT(weights.cols() ==
+                params.in_channels * params.kernel * params.kernel);
+
+    const int out_h =
+        convOutDim(input.h(), params.kernel, params.stride, params.pad);
+    const int out_w =
+        convOutDim(input.w(), params.kernel, params.stride, params.pad);
+    DSTC_ASSERT(out_h > 0 && out_w > 0, "conv output collapsed");
+
+    Tensor4d out(input.n(), params.out_channels, out_h, out_w);
+    for (int n = 0; n < input.n(); ++n) {
+        for (int oc = 0; oc < params.out_channels; ++oc) {
+            for (int oh = 0; oh < out_h; ++oh) {
+                for (int ow = 0; ow < out_w; ++ow) {
+                    float acc = 0.0f;
+                    for (int ic = 0; ic < params.in_channels; ++ic) {
+                        for (int kh = 0; kh < params.kernel; ++kh) {
+                            for (int kw = 0; kw < params.kernel; ++kw) {
+                                int ih = oh * params.stride + kh -
+                                         params.pad;
+                                int iw = ow * params.stride + kw -
+                                         params.pad;
+                                if (ih < 0 || ih >= input.h() || iw < 0 ||
+                                    iw >= input.w())
+                                    continue;
+                                int wcol =
+                                    (ic * params.kernel + kh) *
+                                        params.kernel +
+                                    kw;
+                                acc += input.at(n, ic, ih, iw) *
+                                       weights.at(oc, wcol);
+                            }
+                        }
+                    }
+                    out.at(n, oc, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dstc

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Golden-model kernels: straightforward GEMM and direct convolution.
+ *
+ * Every accelerated path in the library (SpGEMM, SpCONV, all im2col
+ * variants, all baselines) is validated against these in the tests.
+ */
+#ifndef DSTC_TENSOR_REFERENCE_H
+#define DSTC_TENSOR_REFERENCE_H
+
+#include "tensor/matrix.h"
+#include "tensor/tensor4d.h"
+
+namespace dstc {
+
+/** Parameters of a 2-D convolution (square kernel, symmetric padding). */
+struct Conv2dParams
+{
+    int in_channels = 1;
+    int out_channels = 1;
+    int kernel = 3;
+    int stride = 1;
+    int pad = 0;
+};
+
+/** D = A x B + C in FP32. C may be empty (treated as zero). */
+Matrix<float> refGemm(const Matrix<float> &a, const Matrix<float> &b,
+                      const Matrix<float> *c = nullptr);
+
+/**
+ * D = A x B + C where A and B are quantized through FP16 before the
+ * multiply (the Tensor Core datapath) and accumulation stays FP32.
+ */
+Matrix<float> refGemmFp16(const Matrix<float> &a, const Matrix<float> &b,
+                          const Matrix<float> *c = nullptr);
+
+/**
+ * Direct (no im2col) 2-D convolution of an NCHW input with OIHW
+ * weights. @p weights is (out_channels) x (in_channels*kernel*kernel)
+ * with the inner dimension ordered (c, kh, kw).
+ */
+Tensor4d refConv2d(const Tensor4d &input, const Matrix<float> &weights,
+                   const Conv2dParams &params);
+
+/** Output spatial size of a convolution dimension. */
+inline int
+convOutDim(int in, int kernel, int stride, int pad)
+{
+    return (in + 2 * pad - kernel) / stride + 1;
+}
+
+} // namespace dstc
+
+#endif // DSTC_TENSOR_REFERENCE_H

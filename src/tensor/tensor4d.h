@@ -1,0 +1,96 @@
+/**
+ * @file
+ * NCHW feature-map tensor for the convolution paths.
+ */
+#ifndef DSTC_TENSOR_TENSOR4D_H
+#define DSTC_TENSOR_TENSOR4D_H
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace dstc {
+
+/** Dense 4-D tensor in NCHW layout (batch, channel, height, width). */
+class Tensor4d
+{
+  public:
+    Tensor4d() : n_(0), c_(0), h_(0), w_(0) {}
+
+    Tensor4d(int n, int c, int h, int w)
+        : n_(n), c_(c), h_(h), w_(w),
+          data_(static_cast<size_t>(n) * c * h * w, 0.0f)
+    {
+        DSTC_ASSERT(n >= 0 && c >= 0 && h >= 0 && w >= 0);
+    }
+
+    int n() const { return n_; }
+    int c() const { return c_; }
+    int h() const { return h_; }
+    int w() const { return w_; }
+    size_t size() const { return data_.size(); }
+
+    float &
+    at(int n, int c, int h, int w)
+    {
+        return data_[index(n, c, h, w)];
+    }
+
+    const float &
+    at(int n, int c, int h, int w) const
+    {
+        return data_[index(n, c, h, w)];
+    }
+
+    const std::vector<float> &data() const { return data_; }
+    std::vector<float> &data() { return data_; }
+
+    /** Fraction of zero elements in [0, 1]. */
+    double
+    sparsity() const
+    {
+        if (data_.empty())
+            return 0.0;
+        size_t zeros = 0;
+        for (float v : data_)
+            if (v == 0.0f)
+                ++zeros;
+        return static_cast<double>(zeros) /
+               static_cast<double>(data_.size());
+    }
+
+  private:
+    size_t
+    index(int n, int c, int h, int w) const
+    {
+        DSTC_ASSERT(n >= 0 && n < n_ && c >= 0 && c < c_ && h >= 0 &&
+                        h < h_ && w >= 0 && w < w_,
+                    "index (", n, ",", c, ",", h, ",", w, ") of (", n_, ",",
+                    c_, ",", h_, ",", w_, ")");
+        return ((static_cast<size_t>(n) * c_ + c) * h_ + h) *
+                   static_cast<size_t>(w_) +
+               w;
+    }
+
+    int n_, c_, h_, w_;
+    std::vector<float> data_;
+};
+
+/** Random NCHW tensor with a uniform Bernoulli zero pattern. */
+inline Tensor4d
+randomSparseTensor(int n, int c, int h, int w, double sparsity, Rng &rng)
+{
+    Tensor4d t(n, c, h, w);
+    for (float &v : t.data()) {
+        if (!rng.bernoulli(sparsity)) {
+            float x = rng.uniformFloat(-1.0f, 1.0f);
+            v = (x == 0.0f) ? 0.5f : x;
+        }
+    }
+    return t;
+}
+
+} // namespace dstc
+
+#endif // DSTC_TENSOR_TENSOR4D_H

@@ -1,0 +1,91 @@
+#include "timing/accum_buffer.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+AccumBufferSim::AccumBufferSim(int banks, bool operand_collector,
+                               int window)
+    : banks_(banks), operand_collector_(operand_collector),
+      window_(window)
+{
+    DSTC_ASSERT(banks > 0);
+    DSTC_ASSERT(window > 0);
+}
+
+int64_t
+AccumBufferSim::simulateSparse(const MergeTrace &trace) const
+{
+    if (!operand_collector_) {
+        // Strictly in-order: each instruction occupies the buffer
+        // until its most-loaded bank drains (Fig. 19a).
+        int64_t cycles = 0;
+        std::vector<int> load(banks_);
+        for (const auto &addrs : trace.instr_addrs) {
+            if (addrs.empty())
+                continue;
+            std::fill(load.begin(), load.end(), 0);
+            for (int addr : addrs)
+                ++load[addr % banks_];
+            cycles += *std::max_element(load.begin(), load.end());
+        }
+        return cycles;
+    }
+
+    // Operand collector: a queue of up to window_ in-flight
+    // instructions; per cycle each bank serves the oldest pending
+    // access among them (Fig. 19b).
+    std::deque<std::vector<int>> in_flight; // per-bank pending counts
+    size_t next_instr = 0;
+    int64_t cycles = 0;
+    auto bank_loads = [&](const std::vector<int> &addrs) {
+        std::vector<int> load(banks_, 0);
+        for (int addr : addrs)
+            ++load[addr % banks_];
+        return load;
+    };
+
+    while (next_instr < trace.instr_addrs.size() || !in_flight.empty()) {
+        while (in_flight.size() < static_cast<size_t>(window_) &&
+               next_instr < trace.instr_addrs.size()) {
+            const auto &addrs = trace.instr_addrs[next_instr++];
+            if (!addrs.empty())
+                in_flight.push_back(bank_loads(addrs));
+        }
+        if (in_flight.empty())
+            break;
+
+        // One cycle: each bank serves one access from the oldest
+        // instruction that still needs it.
+        ++cycles;
+        for (int b = 0; b < banks_; ++b) {
+            for (auto &pending : in_flight) {
+                if (pending[b] > 0) {
+                    --pending[b];
+                    break;
+                }
+            }
+        }
+        while (!in_flight.empty()) {
+            const auto &front = in_flight.front();
+            bool done = std::all_of(front.begin(), front.end(),
+                                    [](int x) { return x == 0; });
+            if (!done)
+                break;
+            in_flight.pop_front();
+        }
+    }
+    return cycles;
+}
+
+int64_t
+AccumBufferSim::simulateDense(int64_t instructions) const
+{
+    // Dense mode: per-port wiring, one OHMMA retires per cycle.
+    return instructions;
+}
+
+} // namespace dstc

@@ -1,0 +1,25 @@
+#include "timing/gpu_config.h"
+
+namespace dstc {
+
+GpuConfig
+GpuConfig::v100()
+{
+    // The defaults are the V100; this factory exists so call sites
+    // read as an explicit machine choice and presets can diverge.
+    return GpuConfig{};
+}
+
+GpuConfig
+GpuConfig::a100Like()
+{
+    GpuConfig cfg;
+    cfg.num_sms = 108;
+    cfg.clock_ghz = 1.41;
+    cfg.dram_bw_gbps = 1555.0;
+    cfg.l2_bytes = 40.0 * 1024 * 1024;
+    cfg.fp32_tflops = 19.5;
+    return cfg;
+}
+
+} // namespace dstc

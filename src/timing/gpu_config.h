@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Machine description for the timing model. The default preset is the
+ * Tesla V100 the paper models on Accel-Sim (Sec. VI-A), extended with
+ * the paper's accumulation-buffer parameters (Sec. V-B2).
+ */
+#ifndef DSTC_TIMING_GPU_CONFIG_H
+#define DSTC_TIMING_GPU_CONFIG_H
+
+namespace dstc {
+
+/** GPU machine parameters used across the timing models. */
+struct GpuConfig
+{
+    // -- compute ----------------------------------------------------
+    int num_sms = 80;          ///< V100 streaming multiprocessors
+    int subcores_per_sm = 4;   ///< sub-cores (warp schedulers) per SM
+    double clock_ghz = 1.53;   ///< boost clock
+    int ohmma_macs = 128;      ///< MACs per OHMMA.8161 (8x16) per cycle
+
+    /**
+     * Fraction of peak a tuned dense tensor-core GEMM achieves
+     * (CUTLASS on V100 sustains ~80% of the 125 TFLOPS peak on
+     * large square problems).
+     */
+    double dense_gemm_efficiency = 0.80;
+
+    /**
+     * Issue-slot utilization of the SpWMMA kernel: covers scheduling
+     * gaps between predicated instructions and tile-boundary bubbles.
+     */
+    double sparse_issue_efficiency = 0.85;
+
+    // -- memory -----------------------------------------------------
+    double dram_bw_gbps = 900.0; ///< HBM2 peak
+    double dram_efficiency = 0.78; ///< achievable fraction of peak
+    double l2_bytes = 6.0 * 1024 * 1024;
+    /** DRAM re-read damping for block-resident operands (L2 hits). */
+    double l2_hit_rate = 0.80;
+
+    // -- kernel overheads -------------------------------------------
+    /**
+     * Host-side launch overhead. The evaluation reports pure kernel
+     * cycles (Accel-Sim style), so the default is zero; raise it to
+     * model end-to-end host-visible latency.
+     */
+    double kernel_launch_us = 0.0;
+
+    // -- accumulation buffer (Sec. V-B2) ------------------------------
+    /**
+     * Single-ported banks backing the 128-way parallel accumulators
+     * of Sec. III-B4; sized so a fully dense OHMMA (128 outputs) can
+     * retire at issue rate when conflict-free.
+     */
+    int accum_banks = 128;
+    int accum_bytes = 4096;      ///< 32 x 32 x 4 B per warp tile
+    bool operand_collector = true;
+    int collector_window = 8;    ///< instructions overlapped by the OC
+
+    // -- CUDA-core path (for the cuSparse baseline) -------------------
+    double fp32_tflops = 15.7;
+
+    /** The Tesla V100 model used throughout the evaluation. */
+    static GpuConfig v100();
+
+    /**
+     * An A100-class machine (108 SMs, ~1.9x HBM bandwidth, 40 MB
+     * L2): the "future GPU" data point the paper's conclusion
+     * gestures at. Tensor throughput per sub-core is kept at the
+     * OTC-pair rate so the comparison isolates the memory system.
+     */
+    static GpuConfig a100Like();
+
+    /** Total OTC-pair issue units (one per sub-core). */
+    int totalSubcores() const { return num_sms * subcores_per_sm; }
+
+    /** Peak dense FP16 tensor MACs per cycle across the device. */
+    double
+    peakMacsPerCycle() const
+    {
+        return static_cast<double>(totalSubcores()) * ohmma_macs;
+    }
+
+    /** Sustained DRAM bandwidth in bytes per microsecond. */
+    double
+    dramBytesPerUs() const
+    {
+        return dram_bw_gbps * dram_efficiency * 1e3;
+    }
+};
+
+} // namespace dstc
+
+#endif // DSTC_TIMING_GPU_CONFIG_H

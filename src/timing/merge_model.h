@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Analytic cost model for the merge (gather-accumulate-scatter) step.
+ *
+ * The cycle-accurate AccumBufferSim is exact but too slow to invoke
+ * per k-step when sweeping 4096x4096 GEMMs, so the device-level
+ * SpGEMM path uses this closed-form approximation instead. The tests
+ * validate it against the exact simulator on randomized traces.
+ */
+#ifndef DSTC_TIMING_MERGE_MODEL_H
+#define DSTC_TIMING_MERGE_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace dstc {
+
+/** Closed-form accumulation-buffer merge cost. */
+class MergeCostModel
+{
+  public:
+    /**
+     * @param banks             accumulation-buffer banks
+     * @param operand_collector whether the collector overlaps
+     *                          accesses across instructions
+     */
+    MergeCostModel(int banks, bool operand_collector);
+
+    /**
+     * Expected cycles for one instruction that scatters @p accesses
+     * values (only meaningful without the collector, where each
+     * instruction drains serially at its max bank load).
+     */
+    double perInstrCycles(int accesses) const;
+
+    /**
+     * Expected merge cycles of a warp tile whose merge phase issues
+     * @p instrs instructions with @p total_accesses scattered
+     * accumulations in total.
+     *
+     * With the collector: banks drain in parallel across in-flight
+     * instructions, so throughput approaches one access per bank per
+     * cycle — cycles ~ total/banks.
+     * Without it: each instruction serializes at its own max bank
+     * load; cycles ~ sum of per-instruction max loads.
+     */
+    double tileCycles(int64_t total_accesses, int64_t instrs) const;
+
+    int banks() const { return banks_; }
+
+  private:
+    /**
+     * Monte-Carlo estimate (memoized, deterministic) of the expected
+     * maximum bank load when @p n accesses land on banks_ banks.
+     */
+    double expectedMaxLoad(int n) const;
+
+    int banks_;
+    bool operand_collector_;
+    mutable std::unordered_map<int, double> max_load_cache_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_TIMING_MERGE_MODEL_H

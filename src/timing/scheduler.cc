@@ -1,0 +1,45 @@
+#include "timing/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+int64_t
+lptMakespan(std::vector<int64_t> work, int units)
+{
+    DSTC_ASSERT(units > 0);
+    if (work.empty())
+        return 0;
+    std::sort(work.begin(), work.end(), std::greater<int64_t>());
+    std::priority_queue<int64_t, std::vector<int64_t>,
+                        std::greater<int64_t>>
+        loads;
+    for (int i = 0; i < units; ++i)
+        loads.push(0);
+    for (int64_t w : work) {
+        int64_t lightest = loads.top();
+        loads.pop();
+        loads.push(lightest + w);
+    }
+    int64_t makespan = 0;
+    while (!loads.empty()) {
+        makespan = loads.top();
+        loads.pop();
+    }
+    return makespan;
+}
+
+int64_t
+balancedLoad(const std::vector<int64_t> &work, int units)
+{
+    DSTC_ASSERT(units > 0);
+    int64_t total = 0;
+    for (int64_t w : work)
+        total += w;
+    return (total + units - 1) / units;
+}
+
+} // namespace dstc

@@ -1,0 +1,72 @@
+#include "hwmodel/area_power.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(AreaPower, TableIVNumbers)
+{
+    OverheadReport report = estimateOverhead(GpuConfig::v100());
+    ASSERT_EQ(report.components.size(), 3u);
+
+    const auto &adders = report.components[0];
+    const auto &collector = report.components[1];
+    const auto &buffer = report.components[2];
+
+    EXPECT_EQ(adders.name, "Float Point Adders");
+    EXPECT_NEAR(adders.area_mm2, 0.121, 0.01);
+    EXPECT_NEAR(adders.power_w, 2.35, 0.1);
+
+    EXPECT_EQ(collector.name, "Accumulation Operand Collector");
+    EXPECT_NEAR(collector.area_mm2, 1.51, 0.1);
+    EXPECT_NEAR(collector.power_w, 0.46, 0.05);
+
+    EXPECT_EQ(buffer.name, "Shared Accumulation Buffer");
+    EXPECT_NEAR(buffer.area_mm2, 11.215, 0.5);
+    EXPECT_NEAR(buffer.power_w, 1.08, 0.1);
+
+    // Totals: 12.846 mm^2 = 1.5% of the 815 mm^2 die; 3.89 W = 1.6%
+    // of the 250 W TDP.
+    EXPECT_NEAR(report.totalAreaMm2(), 12.846, 0.6);
+    EXPECT_NEAR(report.totalPowerW(), 3.89, 0.2);
+    EXPECT_NEAR(report.areaFraction(), 0.015, 0.002);
+    EXPECT_NEAR(report.powerFraction(), 0.016, 0.002);
+}
+
+TEST(AreaPower, ScalesWithMachineSize)
+{
+    GpuConfig half = GpuConfig::v100();
+    half.num_sms = 40;
+    OverheadReport full_report = estimateOverhead(GpuConfig::v100());
+    OverheadReport half_report = estimateOverhead(half);
+    EXPECT_NEAR(half_report.totalAreaMm2(),
+                full_report.totalAreaMm2() / 2.0,
+                full_report.totalAreaMm2() * 0.05);
+}
+
+TEST(AreaPower, BufferGrowsWithCapacity)
+{
+    GpuConfig big = GpuConfig::v100();
+    big.accum_bytes = 8192;
+    EXPECT_GT(estimateOverhead(big).components[2].area_mm2,
+              estimateOverhead(GpuConfig::v100())
+                  .components[2]
+                  .area_mm2 * 1.8);
+}
+
+TEST(AreaPower, NodeScaling)
+{
+    EXPECT_DOUBLE_EQ(nodeAreaScale(22, 22), 1.0);
+    EXPECT_NEAR(nodeAreaScale(22, 12), 0.2975, 0.001);
+    EXPECT_GT(nodeAreaScale(12, 22), 1.0);
+}
+
+TEST(AreaPower, SramAreaMonotonicInBanks)
+{
+    EXPECT_GT(sramAreaMm2(100, 256, 12), sramAreaMm2(100, 128, 12));
+    EXPECT_GT(sramAreaMm2(100, 128, 12), sramAreaMm2(100, 32, 12));
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,176 @@
+#include "sparse/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+Matrix<float>
+sample3x4()
+{
+    // 0 5 0 1
+    // 2 0 0 0
+    // 0 0 3 4
+    Matrix<float> m(3, 4);
+    m.at(0, 1) = 5;
+    m.at(0, 3) = 1;
+    m.at(1, 0) = 2;
+    m.at(2, 2) = 3;
+    m.at(2, 3) = 4;
+    return m;
+}
+
+TEST(Bitmap, EncodeDecodeRowMajor)
+{
+    Matrix<float> m = sample3x4();
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Row);
+    EXPECT_EQ(bm.rows(), 3);
+    EXPECT_EQ(bm.cols(), 4);
+    EXPECT_EQ(bm.nnz(), 5);
+    EXPECT_EQ(bm.numLines(), 3);
+    EXPECT_EQ(bm.lineLength(), 4);
+    EXPECT_EQ(bm.decode(), m);
+}
+
+TEST(Bitmap, EncodeDecodeColMajor)
+{
+    Matrix<float> m = sample3x4();
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    EXPECT_EQ(bm.numLines(), 4);
+    EXPECT_EQ(bm.lineLength(), 3);
+    EXPECT_EQ(bm.decode(), m);
+}
+
+TEST(Bitmap, BitsMatchPattern)
+{
+    Matrix<float> m = sample3x4();
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Row);
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_EQ(bm.bit(r, c), m.at(r, c) != 0.0f);
+}
+
+TEST(Bitmap, LineValuesPackedInOrder)
+{
+    BitmapMatrix bm = BitmapMatrix::encode(sample3x4(), Major::Row);
+    auto row0 = bm.lineValues(0);
+    ASSERT_EQ(row0.size(), 2u);
+    EXPECT_FLOAT_EQ(row0[0], 5);
+    EXPECT_FLOAT_EQ(row0[1], 1);
+
+    BitmapMatrix bmc = BitmapMatrix::encode(sample3x4(), Major::Col);
+    auto col3 = bmc.lineValues(3);
+    ASSERT_EQ(col3.size(), 2u);
+    EXPECT_FLOAT_EQ(col3[0], 1);
+    EXPECT_FLOAT_EQ(col3[1], 4);
+}
+
+TEST(Bitmap, LinePopcountAndRangeValues)
+{
+    BitmapMatrix bm = BitmapMatrix::encode(sample3x4(), Major::Row);
+    EXPECT_EQ(bm.lineNnz(0), 2);
+    EXPECT_EQ(bm.linePopcount(0, 0, 2), 1);
+    EXPECT_EQ(bm.linePopcount(0, 2, 4), 1);
+    auto vals = bm.lineValuesRange(0, 2, 4);
+    ASSERT_EQ(vals.size(), 1u);
+    EXPECT_FLOAT_EQ(vals[0], 1);
+}
+
+TEST(Bitmap, LinePositions)
+{
+    BitmapMatrix bm = BitmapMatrix::encode(sample3x4(), Major::Row);
+    EXPECT_EQ(bm.linePositions(0, 0, 4), (std::vector<int>{1, 3}));
+    EXPECT_EQ(bm.linePositions(0, 2, 4), (std::vector<int>{3}));
+    EXPECT_EQ(bm.linePositions(1, 1, 4), (std::vector<int>{}));
+}
+
+TEST(Bitmap, ValueAt)
+{
+    Matrix<float> m = sample3x4();
+    for (Major major : {Major::Row, Major::Col}) {
+        BitmapMatrix bm = BitmapMatrix::encode(m, major);
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 4; ++c)
+                EXPECT_FLOAT_EQ(bm.valueAt(r, c), m.at(r, c));
+    }
+}
+
+TEST(Bitmap, EncodedBytesShrinkWithSparsity)
+{
+    Rng rng(12);
+    Matrix<float> dense = randomSparseMatrix(64, 64, 0.0, rng);
+    Matrix<float> sparse = randomSparseMatrix(64, 64, 0.9, rng);
+    BitmapMatrix bd = BitmapMatrix::encode(dense, Major::Row);
+    BitmapMatrix bs = BitmapMatrix::encode(sparse, Major::Row);
+    EXPECT_GT(bd.encodedBytes(), bs.encodedBytes());
+    // Bitmap floor: bits never go away.
+    EXPECT_GE(bs.encodedBytes(), static_cast<size_t>(64 * 64 / 8));
+}
+
+TEST(Bitmap, EmptyAndFullMatrices)
+{
+    Matrix<float> zero(5, 7);
+    BitmapMatrix bz = BitmapMatrix::encode(zero, Major::Col);
+    EXPECT_EQ(bz.nnz(), 0);
+    EXPECT_EQ(bz.decode(), zero);
+    EXPECT_DOUBLE_EQ(bz.sparsity(), 1.0);
+
+    Matrix<float> full(5, 7, 2.0f);
+    BitmapMatrix bf = BitmapMatrix::encode(full, Major::Row);
+    EXPECT_EQ(bf.nnz(), 35);
+    EXPECT_DOUBLE_EQ(bf.sparsity(), 0.0);
+    EXPECT_EQ(bf.decode(), full);
+}
+
+TEST(Bitmap, WideLinesCrossWordBoundaries)
+{
+    Rng rng(13);
+    // 200-wide lines span four 64-bit words.
+    Matrix<float> m = randomSparseMatrix(3, 200, 0.5, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Row);
+    EXPECT_EQ(bm.decode(), m);
+    for (int lo = 0; lo < 200; lo += 37) {
+        int hi = std::min(200, lo + 50);
+        int expected = 0;
+        for (int c = lo; c < hi; ++c)
+            expected += m.at(1, c) != 0.0f;
+        EXPECT_EQ(bm.linePopcount(1, lo, hi), expected);
+    }
+}
+
+struct BitmapSweepParam
+{
+    int rows, cols;
+    double sparsity;
+    Major major;
+};
+
+class BitmapSweep : public ::testing::TestWithParam<BitmapSweepParam>
+{
+};
+
+TEST_P(BitmapSweep, RoundTrip)
+{
+    const auto &p = GetParam();
+    Rng rng(static_cast<uint64_t>(p.rows * 1000 + p.cols));
+    Matrix<float> m =
+        randomSparseMatrix(p.rows, p.cols, p.sparsity, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, p.major);
+    EXPECT_EQ(bm.decode(), m);
+    EXPECT_EQ(bm.nnz(), m.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BitmapSweep,
+    ::testing::Values(BitmapSweepParam{1, 1, 0.5, Major::Row},
+                      BitmapSweepParam{32, 32, 0.0, Major::Col},
+                      BitmapSweepParam{32, 32, 1.0, Major::Row},
+                      BitmapSweepParam{33, 65, 0.3, Major::Col},
+                      BitmapSweepParam{128, 17, 0.9, Major::Row},
+                      BitmapSweepParam{7, 300, 0.7, Major::Col},
+                      BitmapSweepParam{64, 64, 0.99, Major::Row}));
+
+} // namespace
+} // namespace dstc

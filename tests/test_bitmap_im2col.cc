@@ -1,0 +1,153 @@
+#include "im2col/bitmap_im2col.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "im2col/dense_im2col.h"
+
+namespace dstc {
+namespace {
+
+ConvShape
+makeShape(int batch, int c, int hw, int kernel, int stride, int pad)
+{
+    ConvShape shape;
+    shape.batch = batch;
+    shape.in_c = c;
+    shape.in_h = shape.in_w = hw;
+    shape.out_c = 4;
+    shape.kernel = kernel;
+    shape.stride = stride;
+    shape.pad = pad;
+    return shape;
+}
+
+TEST(BitmapIm2col, MatchesDenseIm2col)
+{
+    Rng rng(181);
+    ConvShape shape = makeShape(1, 3, 10, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 3, 10, 10, 0.6, rng);
+    BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
+    LoweredFeatureMap lfm = im2colFromBitmap(fmap, shape);
+    EXPECT_EQ(maxAbsDiff(lfm.decode(), im2colExplicit(input, shape)),
+              0.0);
+}
+
+TEST(BitmapIm2col, WideFeatureMapCrossesWordBoundaries)
+{
+    // in_w = 100 > 64 exercises the two-word extraction path.
+    Rng rng(182);
+    ConvShape shape = makeShape(1, 2, 100, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 2, 100, 100, 0.5, rng);
+    LoweredFeatureMap lfm =
+        im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
+    EXPECT_EQ(maxAbsDiff(lfm.decode(), im2colExplicit(input, shape)),
+              0.0);
+}
+
+TEST(BitmapIm2col, RegisterOpsAreCounted)
+{
+    Rng rng(183);
+    ConvShape shape = makeShape(1, 2, 16, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 2, 16, 16, 0.5, rng);
+    LoweredFeatureMap lfm =
+        im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
+    EXPECT_GT(lfm.register_ops, 0);
+    // Word-level cost: far fewer ops than lowered elements.
+    EXPECT_LT(lfm.register_ops,
+              static_cast<int64_t>(lfm.rows) * lfm.cols);
+}
+
+TEST(BitmapIm2col, SkipValuesModeKeepsBitmaps)
+{
+    Rng rng(184);
+    ConvShape shape = makeShape(1, 2, 12, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 2, 12, 12, 0.4, rng);
+    BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
+    LoweredFeatureMap with_values = im2colFromBitmap(fmap, shape, true);
+    LoweredFeatureMap bits_only = im2colFromBitmap(fmap, shape, false);
+    ASSERT_EQ(with_values.cols, bits_only.cols);
+    for (int j = 0; j < with_values.cols; ++j) {
+        EXPECT_EQ(with_values.columns[j].bits, bits_only.columns[j].bits);
+        EXPECT_TRUE(bits_only.columns[j].values.empty());
+    }
+    EXPECT_EQ(with_values.totalNnz(), bits_only.totalNnz());
+}
+
+TEST(BitmapIm2col, ColumnNnzMatchesLoweredMatrix)
+{
+    Rng rng(185);
+    ConvShape shape = makeShape(1, 3, 9, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 3, 9, 9, 0.7, rng);
+    LoweredFeatureMap lfm =
+        im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
+    Matrix<float> dense = im2colExplicit(input, shape);
+    for (int j = 0; j < lfm.cols; ++j) {
+        int expected = 0;
+        for (int r = 0; r < lfm.rows; ++r)
+            expected += dense.at(r, j) != 0.0f;
+        EXPECT_EQ(lfm.columnNnz(j), expected) << "col " << j;
+    }
+}
+
+TEST(BitmapIm2col, EncodedBytesTrackSparsity)
+{
+    Rng rng(186);
+    Tensor4d dense_in = randomSparseTensor(1, 4, 16, 16, 0.0, rng);
+    Tensor4d sparse_in = randomSparseTensor(1, 4, 16, 16, 0.9, rng);
+    EXPECT_GT(BitmapFeatureMap::encode(dense_in).encodedBytes(),
+              BitmapFeatureMap::encode(sparse_in).encodedBytes());
+}
+
+TEST(BitmapIm2col, AllZeroInput)
+{
+    ConvShape shape = makeShape(1, 1, 8, 3, 1, 1);
+    Tensor4d input(1, 1, 8, 8);
+    LoweredFeatureMap lfm =
+        im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
+    EXPECT_EQ(lfm.totalNnz(), 0);
+    EXPECT_EQ(lfm.decode().nnz(), 0);
+}
+
+struct BitmapIm2colParam
+{
+    int batch, c, hw, kernel, stride, pad;
+    double sparsity;
+};
+
+class BitmapIm2colSweep
+    : public ::testing::TestWithParam<BitmapIm2colParam>
+{
+};
+
+TEST_P(BitmapIm2colSweep, AlwaysMatchesDense)
+{
+    const auto &p = GetParam();
+    Rng rng(static_cast<uint64_t>(p.hw * 100 + p.kernel * 10 +
+                                  p.stride));
+    ConvShape shape =
+        makeShape(p.batch, p.c, p.hw, p.kernel, p.stride, p.pad);
+    if (shape.outH() <= 0)
+        GTEST_SKIP();
+    Tensor4d input =
+        randomSparseTensor(p.batch, p.c, p.hw, p.hw, p.sparsity, rng);
+    LoweredFeatureMap lfm =
+        im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
+    EXPECT_EQ(maxAbsDiff(lfm.decode(), im2colExplicit(input, shape)),
+              0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BitmapIm2colSweep,
+    ::testing::Values(
+        BitmapIm2colParam{1, 1, 6, 3, 1, 0, 0.5},
+        BitmapIm2colParam{1, 3, 8, 3, 1, 1, 0.0},
+        BitmapIm2colParam{1, 3, 8, 3, 1, 1, 0.95},
+        BitmapIm2colParam{2, 2, 12, 5, 1, 2, 0.6},
+        BitmapIm2colParam{1, 2, 15, 3, 2, 1, 0.5},
+        BitmapIm2colParam{1, 4, 7, 7, 2, 3, 0.3},
+        BitmapIm2colParam{2, 1, 70, 3, 1, 1, 0.7},
+        BitmapIm2colParam{1, 1, 5, 1, 1, 0, 0.4}));
+
+} // namespace
+} // namespace dstc

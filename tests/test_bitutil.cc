@@ -1,0 +1,124 @@
+#include "common/bitutil.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+TEST(BitUtil, Popcount64)
+{
+    EXPECT_EQ(popcount64(0), 0);
+    EXPECT_EQ(popcount64(1), 1);
+    EXPECT_EQ(popcount64(~uint64_t{0}), 64);
+    EXPECT_EQ(popcount64(0xf0f0f0f0f0f0f0f0ull), 32);
+}
+
+TEST(BitUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 8), 0);
+    EXPECT_EQ(ceilDiv(1, 8), 1);
+    EXPECT_EQ(ceilDiv(8, 8), 1);
+    EXPECT_EQ(ceilDiv(9, 8), 2);
+    EXPECT_EQ(ceilDiv<int64_t>(4096, 32), 128);
+}
+
+TEST(BitUtil, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 16), 0);
+    EXPECT_EQ(alignUp(1, 16), 16);
+    EXPECT_EQ(alignUp(16, 16), 16);
+    EXPECT_EQ(alignUp(17, 16), 32);
+}
+
+TEST(BitUtil, LowMask)
+{
+    EXPECT_EQ(lowMask64(0), 0u);
+    EXPECT_EQ(lowMask64(1), 1u);
+    EXPECT_EQ(lowMask64(8), 0xffu);
+    EXPECT_EQ(lowMask64(64), ~uint64_t{0});
+}
+
+TEST(BitUtil, SetGetClearBit)
+{
+    std::vector<uint64_t> bits(4, 0);
+    setBit(bits, 0);
+    setBit(bits, 63);
+    setBit(bits, 64);
+    setBit(bits, 255);
+    EXPECT_TRUE(getBit(bits, 0));
+    EXPECT_TRUE(getBit(bits, 63));
+    EXPECT_TRUE(getBit(bits, 64));
+    EXPECT_TRUE(getBit(bits, 255));
+    EXPECT_FALSE(getBit(bits, 1));
+    EXPECT_FALSE(getBit(bits, 128));
+    clearBit(bits, 64);
+    EXPECT_FALSE(getBit(bits, 64));
+}
+
+TEST(BitUtil, PopcountRangeBasics)
+{
+    std::vector<uint64_t> bits(4, 0);
+    for (size_t i = 0; i < 256; i += 2)
+        setBit(bits, i);
+    EXPECT_EQ(popcountRange(bits, 0, 256), 128);
+    EXPECT_EQ(popcountRange(bits, 0, 0), 0);
+    EXPECT_EQ(popcountRange(bits, 0, 1), 1);
+    EXPECT_EQ(popcountRange(bits, 1, 2), 0);
+    EXPECT_EQ(popcountRange(bits, 0, 64), 32);
+    EXPECT_EQ(popcountRange(bits, 63, 65), 1);
+    EXPECT_EQ(popcountRange(bits, 10, 10), 0);
+}
+
+TEST(BitUtil, PopcountRangeMatchesNaive)
+{
+    Rng rng(7);
+    std::vector<uint64_t> bits(8, 0);
+    for (size_t i = 0; i < 512; ++i)
+        if (rng.bernoulli(0.3))
+            setBit(bits, i);
+    for (int trial = 0; trial < 200; ++trial) {
+        size_t lo = rng.uniformInt(512);
+        size_t hi = lo + rng.uniformInt(512 - lo + 1);
+        int expected = 0;
+        for (size_t i = lo; i < hi; ++i)
+            expected += getBit(bits, i);
+        EXPECT_EQ(popcountRange(bits, lo, hi), expected)
+            << "lo=" << lo << " hi=" << hi;
+    }
+}
+
+TEST(BitUtil, ForEachSetBitMatchesNaive)
+{
+    Rng rng(11);
+    std::vector<uint64_t> bits(8, 0);
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < 512; ++i) {
+        if (rng.bernoulli(0.2))
+            setBit(bits, i);
+    }
+    for (int trial = 0; trial < 100; ++trial) {
+        size_t lo = rng.uniformInt(512);
+        size_t hi = lo + rng.uniformInt(512 - lo + 1);
+        expected.clear();
+        for (size_t i = lo; i < hi; ++i)
+            if (getBit(bits, i))
+                expected.push_back(i);
+        std::vector<size_t> got;
+        forEachSetBit(bits, lo, hi,
+                      [&](size_t pos) { got.push_back(pos); });
+        EXPECT_EQ(got, expected) << "lo=" << lo << " hi=" << hi;
+    }
+}
+
+TEST(BitUtil, ForEachSetBitEmptyRange)
+{
+    std::vector<uint64_t> bits(2, ~uint64_t{0});
+    int count = 0;
+    forEachSetBit(bits, 5, 5, [&](size_t) { ++count; });
+    EXPECT_EQ(count, 0);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,83 @@
+#include "sparse/condensed.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+TEST(Condensed, PacksNonZerosToFront)
+{
+    Matrix<float> m(4, 2);
+    m.at(1, 0) = 5.0f;
+    m.at(3, 0) = 7.0f;
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    CondensedMatrix cm = CondensedMatrix::fromBitmap(bm, 8);
+    EXPECT_EQ(cm.numLines(), 2);
+    EXPECT_EQ(cm.lineNnz(0), 2);
+    ASSERT_EQ(cm.line(0).size(), 8u); // padded to the chunk
+    EXPECT_FLOAT_EQ(cm.line(0)[0], 5.0f);
+    EXPECT_FLOAT_EQ(cm.line(0)[1], 7.0f);
+    EXPECT_FLOAT_EQ(cm.line(0)[2], 0.0f);
+}
+
+TEST(Condensed, EmptyLineHasNoChunks)
+{
+    Matrix<float> m(8, 3);
+    m.at(0, 1) = 1.0f;
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    CondensedMatrix cm = CondensedMatrix::fromBitmap(bm, 8);
+    EXPECT_EQ(cm.lineChunks(0), 0);
+    EXPECT_EQ(cm.lineChunks(1), 1);
+    EXPECT_EQ(cm.lineChunks(2), 0);
+    EXPECT_EQ(cm.totalChunks(), 1);
+    EXPECT_TRUE(cm.line(0).empty());
+}
+
+TEST(Condensed, ChunkArithmeticMatchesCeil)
+{
+    Rng rng(41);
+    Matrix<float> m = randomSparseMatrix(32, 16, 0.4, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    CondensedMatrix cm = CondensedMatrix::fromBitmap(bm, 8);
+    int expected_total = 0;
+    for (int j = 0; j < 16; ++j) {
+        int nnz = bm.lineNnz(j);
+        EXPECT_EQ(cm.lineChunks(j), (nnz + 7) / 8);
+        expected_total += (nnz + 7) / 8;
+        // Padding is always zero, payload in source order.
+        auto vals = bm.lineValues(j);
+        for (size_t i = 0; i < cm.line(j).size(); ++i) {
+            if (i < vals.size())
+                EXPECT_FLOAT_EQ(cm.line(j)[i], vals[i]);
+            else
+                EXPECT_FLOAT_EQ(cm.line(j)[i], 0.0f);
+        }
+    }
+    EXPECT_EQ(cm.totalChunks(), expected_total);
+}
+
+TEST(Condensed, BSideChunkOf16)
+{
+    Rng rng(42);
+    Matrix<float> m = randomSparseMatrix(8, 32, 0.5, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Row);
+    CondensedMatrix cm = CondensedMatrix::fromBitmap(bm, 16);
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(cm.line(i).size() % 16, 0u);
+        EXPECT_EQ(cm.lineChunks(i), (bm.lineNnz(i) + 15) / 16);
+    }
+}
+
+TEST(Condensed, FullyDenseLinePadsToItself)
+{
+    Matrix<float> m(8, 1, 1.0f);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    CondensedMatrix cm = CondensedMatrix::fromBitmap(bm, 8);
+    EXPECT_EQ(cm.line(0).size(), 8u);
+    EXPECT_EQ(cm.lineChunks(0), 1);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,75 @@
+#include "im2col/conv_shape.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+ConvShape
+resnetLayer()
+{
+    // The Table III layer: fmap 56x56, filter 3x3, 128 channels.
+    ConvShape shape;
+    shape.batch = 1;
+    shape.in_c = 128;
+    shape.in_h = shape.in_w = 56;
+    shape.out_c = 128;
+    shape.kernel = 3;
+    shape.stride = 1;
+    shape.pad = 1;
+    return shape;
+}
+
+TEST(ConvShape, LoweredDims)
+{
+    ConvShape shape = resnetLayer();
+    EXPECT_EQ(shape.outH(), 56);
+    EXPECT_EQ(shape.outW(), 56);
+    EXPECT_EQ(shape.loweredRows(), 56 * 56);
+    EXPECT_EQ(shape.loweredCols(), 128 * 9);
+    EXPECT_EQ(shape.inputElems(), 128 * 56 * 56);
+    EXPECT_EQ(shape.outputElems(), 128 * 56 * 56);
+}
+
+TEST(ConvShape, InflationNearKernelSquared)
+{
+    ConvShape shape = resnetLayer();
+    EXPECT_NEAR(shape.inflation(), 9.0, 0.01);
+}
+
+TEST(ConvShape, StridedShapes)
+{
+    ConvShape shape;
+    shape.in_c = 3;
+    shape.in_h = shape.in_w = 224;
+    shape.out_c = 64;
+    shape.kernel = 7;
+    shape.stride = 2;
+    shape.pad = 3;
+    EXPECT_EQ(shape.outH(), 112);
+    EXPECT_EQ(shape.loweredRows(), 112 * 112);
+    EXPECT_EQ(shape.loweredCols(), 3 * 49);
+}
+
+TEST(ConvShape, MacsMatchLoweredGemm)
+{
+    ConvShape shape = resnetLayer();
+    EXPECT_EQ(shape.macs(),
+              shape.loweredRows() * shape.loweredCols() * 128);
+}
+
+TEST(ConvShape, BatchScalesRows)
+{
+    ConvShape shape = resnetLayer();
+    shape.batch = 4;
+    EXPECT_EQ(shape.loweredRows(), 4 * 56 * 56);
+}
+
+TEST(ConvShape, StrDescribes)
+{
+    EXPECT_NE(resnetLayer().str().find("128x128x3x3"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,63 @@
+#include "sparse/convert.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+TEST(Convert, BitmapCsrRoundTrip)
+{
+    Rng rng(61);
+    Matrix<float> m = randomSparseMatrix(25, 35, 0.7, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    CsrMatrix csr = bitmapToCsr(bm);
+    EXPECT_EQ(csr.decode(), m);
+    BitmapMatrix back = csrToBitmap(csr, Major::Row);
+    EXPECT_EQ(back.decode(), m);
+    EXPECT_EQ(back.major(), Major::Row);
+}
+
+TEST(Convert, LineNnzProfile)
+{
+    Matrix<float> m(3, 4);
+    m.at(0, 0) = 1;
+    m.at(0, 1) = 2;
+    m.at(2, 3) = 3;
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Row);
+    EXPECT_EQ(lineNnzProfile(bm), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(Convert, ChunkHistogram)
+{
+    // 32-long columns; chunk 8 quantizes to 0..4 chunks, i.e. the
+    // <0,25,50,75,100%> occupancy levels of Sec. III-B3.
+    Matrix<float> m(32, 3);
+    for (int r = 0; r < 9; ++r)
+        m.at(r, 0) = 1.0f; // 9 nnz -> 2 chunks
+    m.at(0, 2) = 1.0f;     // 1 nnz -> 1 chunk
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    auto hist = chunkHistogram(bm, 8);
+    ASSERT_EQ(hist.size(), 5u);
+    EXPECT_EQ(hist[0], 1); // empty column
+    EXPECT_EQ(hist[1], 1);
+    EXPECT_EQ(hist[2], 1);
+    EXPECT_EQ(hist[3], 0);
+    EXPECT_EQ(hist[4], 0);
+}
+
+TEST(Convert, HistogramTotalsMatchLines)
+{
+    Rng rng(62);
+    Matrix<float> m = randomSparseMatrix(64, 48, 0.4, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    auto hist = chunkHistogram(bm, 8);
+    int total = 0;
+    for (int h : hist)
+        total += h;
+    EXPECT_EQ(total, bm.numLines());
+}
+
+} // namespace
+} // namespace dstc

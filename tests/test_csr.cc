@@ -1,0 +1,89 @@
+#include "sparse/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+TEST(Csr, EncodeDecode)
+{
+    Rng rng(31);
+    Matrix<float> m = randomSparseMatrix(20, 30, 0.8, rng);
+    CsrMatrix csr = CsrMatrix::encode(m);
+    EXPECT_EQ(csr.rows(), 20);
+    EXPECT_EQ(csr.cols(), 30);
+    EXPECT_EQ(csr.nnz(), m.nnz());
+    EXPECT_EQ(csr.decode(), m);
+}
+
+TEST(Csr, RowPtrIsMonotonicPrefixSum)
+{
+    Rng rng(32);
+    Matrix<float> m = randomSparseMatrix(15, 15, 0.5, rng);
+    CsrMatrix csr = CsrMatrix::encode(m);
+    ASSERT_EQ(csr.rowPtr().size(), 16u);
+    EXPECT_EQ(csr.rowPtr()[0], 0);
+    for (int r = 0; r < 15; ++r) {
+        EXPECT_LE(csr.rowPtr()[r], csr.rowPtr()[r + 1]);
+        EXPECT_EQ(csr.rowNnz(r),
+                  csr.rowPtr()[r + 1] - csr.rowPtr()[r]);
+    }
+    EXPECT_EQ(csr.rowPtr()[15], csr.nnz());
+}
+
+TEST(Csr, ColIdxSortedWithinRow)
+{
+    Rng rng(33);
+    Matrix<float> m = randomSparseMatrix(10, 40, 0.6, rng);
+    CsrMatrix csr = CsrMatrix::encode(m);
+    for (int r = 0; r < 10; ++r)
+        for (int i = csr.rowPtr()[r] + 1; i < csr.rowPtr()[r + 1]; ++i)
+            EXPECT_LT(csr.colIdx()[i - 1], csr.colIdx()[i]);
+}
+
+TEST(Csr, ValueAtMatchesDense)
+{
+    Rng rng(34);
+    Matrix<float> m = randomSparseMatrix(12, 12, 0.7, rng);
+    CsrMatrix csr = CsrMatrix::encode(m);
+    for (int r = 0; r < 12; ++r)
+        for (int c = 0; c < 12; ++c)
+            EXPECT_FLOAT_EQ(csr.valueAt(r, c), m.at(r, c));
+}
+
+TEST(Csr, ValueAtCountsProbes)
+{
+    Matrix<float> m(1, 8);
+    m.at(0, 2) = 1.0f;
+    m.at(0, 5) = 2.0f;
+    CsrMatrix csr = CsrMatrix::encode(m);
+    int64_t probes = 0;
+    csr.valueAt(0, 5, &probes);
+    EXPECT_EQ(probes, 2); // scanned col 2 then col 5
+    probes = 0;
+    csr.valueAt(0, 0, &probes);
+    EXPECT_EQ(probes, 1); // first index already past target
+}
+
+TEST(Csr, EmptyMatrix)
+{
+    Matrix<float> m(4, 4);
+    CsrMatrix csr = CsrMatrix::encode(m);
+    EXPECT_EQ(csr.nnz(), 0);
+    EXPECT_EQ(csr.decode(), m);
+    EXPECT_EQ(csr.valueAt(2, 2), 0.0f);
+}
+
+TEST(Csr, EncodedBytesTrackNnz)
+{
+    Rng rng(35);
+    Matrix<float> sparse = randomSparseMatrix(50, 50, 0.95, rng);
+    Matrix<float> dense = randomSparseMatrix(50, 50, 0.0, rng);
+    EXPECT_LT(CsrMatrix::encode(sparse).encodedBytes(),
+              CsrMatrix::encode(dense).encodedBytes());
+}
+
+} // namespace
+} // namespace dstc

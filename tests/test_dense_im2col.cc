@@ -1,0 +1,136 @@
+#include "im2col/dense_im2col.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+ConvShape
+smallShape(int batch = 1, int c = 3, int hw = 8, int oc = 4,
+           int kernel = 3, int stride = 1, int pad = 1)
+{
+    ConvShape shape;
+    shape.batch = batch;
+    shape.in_c = c;
+    shape.in_h = shape.in_w = hw;
+    shape.out_c = oc;
+    shape.kernel = kernel;
+    shape.stride = stride;
+    shape.pad = pad;
+    return shape;
+}
+
+TEST(DenseIm2col, LoweredGemmEqualsDirectConv)
+{
+    Rng rng(161);
+    ConvShape shape = smallShape();
+    Tensor4d input = randomSparseTensor(1, 3, 8, 8, 0.4, rng);
+    Matrix<float> weights = randomSparseMatrix(4, 27, 0.3, rng);
+
+    Matrix<float> lowered = im2colExplicit(input, shape);
+    Matrix<float> d =
+        refGemm(lowered, flattenWeightsTransposed(weights));
+    Tensor4d via_gemm = foldLoweredOutput(d, shape);
+    Tensor4d direct = refConv2d(input, weights, shape.params());
+
+    for (int n = 0; n < 1; ++n)
+        for (int c = 0; c < 4; ++c)
+            for (int h = 0; h < 8; ++h)
+                for (int w = 0; w < 8; ++w)
+                    EXPECT_NEAR(via_gemm.at(n, c, h, w),
+                                direct.at(n, c, h, w), 1e-4);
+}
+
+TEST(DenseIm2col, OuterFriendlyProducesSameMatrix)
+{
+    Rng rng(162);
+    for (int stride : {1, 2}) {
+        ConvShape shape = smallShape(2, 3, 9, 4, 3, stride, 1);
+        Tensor4d input = randomSparseTensor(2, 3, 9, 9, 0.5, rng);
+        Matrix<float> row_major = im2colExplicit(input, shape);
+        Matrix<float> col_major = im2colOuterFriendly(input, shape);
+        EXPECT_EQ(maxAbsDiff(row_major, col_major), 0.0)
+            << "stride=" << stride;
+    }
+}
+
+TEST(DenseIm2col, PaddingRowsAreZero)
+{
+    ConvShape shape = smallShape(1, 1, 4, 1, 3, 1, 1);
+    Tensor4d input(1, 1, 4, 4);
+    for (float &v : input.data())
+        v = 1.0f;
+    Matrix<float> lowered = im2colExplicit(input, shape);
+    // Top-left output pixel: kernel positions (0,*) and (*,0) fall in
+    // the padding and must be zero.
+    EXPECT_FLOAT_EQ(lowered.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(lowered.at(0, 1), 0.0f);
+    EXPECT_FLOAT_EQ(lowered.at(0, 3), 0.0f);
+    EXPECT_FLOAT_EQ(lowered.at(0, 4), 1.0f); // center
+}
+
+TEST(DenseIm2col, SparsityIsPreservedApproximately)
+{
+    // im2col replicates elements, so the lowered matrix's density
+    // matches the input's (padding shifts it slightly down).
+    Rng rng(163);
+    ConvShape shape = smallShape(1, 8, 16, 8, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 8, 16, 16, 0.7, rng);
+    Matrix<float> lowered = im2colExplicit(input, shape);
+    EXPECT_NEAR(lowered.sparsity(), 0.7, 0.05);
+}
+
+TEST(DenseIm2col, FoldUnfoldRoundTrip)
+{
+    Rng rng(164);
+    ConvShape shape = smallShape();
+    Matrix<float> d = randomSparseMatrix(
+        static_cast<int>(shape.loweredRows()), shape.out_c, 0.3, rng);
+    Tensor4d folded = foldLoweredOutput(d, shape);
+    int row = 0;
+    for (int oh = 0; oh < shape.outH(); ++oh)
+        for (int ow = 0; ow < shape.outW(); ++ow, ++row)
+            for (int oc = 0; oc < shape.out_c; ++oc)
+                EXPECT_FLOAT_EQ(folded.at(0, oc, oh, ow),
+                                d.at(row, oc));
+}
+
+class DenseIm2colSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(DenseIm2colSweep, GemmEqualsDirectConv)
+{
+    const auto [kernel, stride, pad] = GetParam();
+    Rng rng(static_cast<uint64_t>(kernel * 100 + stride * 10 + pad));
+    ConvShape shape = smallShape(2, 4, 11, 3, kernel, stride, pad);
+    if (shape.outH() <= 0)
+        GTEST_SKIP();
+    Tensor4d input = randomSparseTensor(2, 4, 11, 11, 0.5, rng);
+    Matrix<float> weights =
+        randomSparseMatrix(3, 4 * kernel * kernel, 0.4, rng);
+    Tensor4d via_gemm = foldLoweredOutput(
+        refGemm(im2colExplicit(input, shape),
+                flattenWeightsTransposed(weights)),
+        shape);
+    Tensor4d direct = refConv2d(input, weights, shape.params());
+    double worst = 0.0;
+    for (size_t i = 0; i < direct.size(); ++i)
+        worst = std::max(worst,
+                         static_cast<double>(std::fabs(
+                             via_gemm.data()[i] - direct.data()[i])));
+    EXPECT_LT(worst, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, DenseIm2colSweep,
+    ::testing::Values(std::tuple{1, 1, 0}, std::tuple{3, 1, 1},
+                      std::tuple{3, 2, 1}, std::tuple{5, 1, 2},
+                      std::tuple{5, 2, 0}, std::tuple{7, 2, 3}));
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,89 @@
+#include "hwmodel/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace dstc {
+namespace {
+
+class EnergyTest : public ::testing::Test
+{
+  protected:
+    GpuConfig cfg_ = GpuConfig::v100();
+    EnergyParams params_ = EnergyParams::v100_12nm();
+};
+
+TEST_F(EnergyTest, DenseEnergyScalesWithWork)
+{
+    EnergyReport small =
+        denseGemmEnergy(1024, 1024, 1024, params_, cfg_);
+    EnergyReport big = denseGemmEnergy(4096, 4096, 4096, params_, cfg_);
+    EXPECT_NEAR(big.compute_uj / small.compute_uj, 64.0, 1.0);
+    EXPECT_GT(big.totalUj(), small.totalUj());
+}
+
+TEST_F(EnergyTest, DenseEnergyMagnitudeIsSane)
+{
+    // 4096^3 at ~1.1 pJ/MAC is ~75 mJ of math; with DRAM and static
+    // draw the kernel should land in the 60-200 mJ band (V100 at
+    // 250 W running ~1.4 ms is ~350 mJ wall, and the model charges
+    // only the GEMM-related parts).
+    EnergyReport report =
+        denseGemmEnergy(4096, 4096, 4096, params_, cfg_);
+    EXPECT_GT(report.totalUj(), 60e3);
+    EXPECT_LT(report.totalUj(), 300e3);
+}
+
+TEST_F(EnergyTest, SparsitySavesEnergy)
+{
+    DstcEngine engine(cfg_);
+    Rng rng(171);
+    SparsityProfile a =
+        SparsityProfile::randomA(2048, 2048, 32, 0.2, 1.0, rng);
+    SparsityProfile b =
+        SparsityProfile::randomA(2048, 2048, 32, 0.2, 1.0, rng);
+    KernelStats sparse_stats = engine.spgemmTime(a, b);
+    EnergyReport sparse_energy =
+        estimateEnergy(sparse_stats, params_, cfg_);
+    EnergyReport dense_energy =
+        denseGemmEnergy(2048, 2048, 2048, params_, cfg_);
+    EXPECT_LT(sparse_energy.totalUj(), dense_energy.totalUj());
+}
+
+TEST_F(EnergyTest, BitmapOverheadIsCharged)
+{
+    // The dual-side kernel pays for BOHMMA/POPC/merge energy that a
+    // dense kernel does not have; on a fully dense input it must
+    // therefore cost more energy than the dense kernel.
+    DstcEngine engine(cfg_);
+    SparsityProfile a = SparsityProfile::denseA(1024, 1024, 32);
+    SparsityProfile b =
+        SparsityProfile::denseA(1024, 1024, 32); // N-side full too
+    KernelStats stats = engine.spgemmTime(a, b);
+    EnergyReport ours = estimateEnergy(stats, params_, cfg_);
+    EnergyReport dense =
+        denseGemmEnergy(1024, 1024, 1024, params_, cfg_);
+    EXPECT_GT(ours.compute_uj + ours.merge_uj, dense.compute_uj);
+}
+
+TEST_F(EnergyTest, BreakdownPartsAreNonNegative)
+{
+    DstcEngine engine(cfg_);
+    Rng rng(172);
+    SparsityProfile a =
+        SparsityProfile::randomA(512, 512, 32, 0.1, 4.0, rng);
+    SparsityProfile b =
+        SparsityProfile::randomA(512, 512, 32, 0.1, 4.0, rng);
+    EnergyReport report =
+        estimateEnergy(engine.spgemmTime(a, b), params_, cfg_);
+    EXPECT_GE(report.compute_uj, 0.0);
+    EXPECT_GE(report.merge_uj, 0.0);
+    EXPECT_GE(report.dram_uj, 0.0);
+    EXPECT_GE(report.static_uj, 0.0);
+    EXPECT_GT(report.totalUj(), 0.0);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,148 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    DstcEngine engine_;
+};
+
+TEST_F(EngineTest, SpgemmFunctional)
+{
+    Rng rng(221);
+    Matrix<float> a = randomSparseMatrix(64, 64, 0.6, rng);
+    Matrix<float> b = randomSparseMatrix(64, 64, 0.6, rng);
+    SpGemmResult r = engine_.spgemm(a, b);
+    EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(a, b)), 1e-5);
+}
+
+TEST_F(EngineTest, SpgemmTimeFromProfiles)
+{
+    Rng rng(222);
+    SparsityProfile a =
+        SparsityProfile::randomA(512, 512, 32, 0.3, 1.0, rng);
+    SparsityProfile b =
+        SparsityProfile::randomA(512, 512, 32, 0.3, 1.0, rng);
+    KernelStats stats = engine_.spgemmTime(a, b);
+    EXPECT_GT(stats.timeUs(), 0.0);
+    EXPECT_GT(stats.mix.ohmma_issued, 0);
+}
+
+TEST_F(EngineTest, DenseBaselineAnchors)
+{
+    KernelStats dense = engine_.denseGemmTime(4096, 4096, 4096);
+    // Real V100 CUTLASS FP16 TC time for 4096^3 is ~1.2-1.5 ms.
+    EXPECT_GT(dense.timeUs(), 1000.0);
+    EXPECT_LT(dense.timeUs(), 2000.0);
+}
+
+TEST_F(EngineTest, DualSideBeatsAllBaselinesAtModerateSparsity)
+{
+    // A 70%/70% dual-sparse problem: ours should beat CUTLASS, the
+    // fixed-rate sparse tensor core, and cuSparse (Fig. 21 region).
+    Rng rng(223);
+    const int n = 1024;
+    SparsityProfile pa =
+        SparsityProfile::randomA(n, n, 32, 0.3, 1.0, rng);
+    SparsityProfile pb =
+        SparsityProfile::randomA(n, n, 32, 0.3, 1.0, rng);
+    const double ours = engine_.spgemmTime(pa, pb).timeUs();
+    const double dense = engine_.denseGemmTime(n, n, n).timeUs();
+    const double zhu = engine_.zhuGemmTime(n, n, n, 0.7).timeUs();
+    const double cusparse =
+        engine_.cusparseTime(n, n, n, 0.3, 0.3).timeUs();
+    EXPECT_LT(ours, dense);
+    EXPECT_LT(ours, zhu);
+    EXPECT_LT(ours, cusparse);
+}
+
+TEST_F(EngineTest, ConvFunctionalMatchesReference)
+{
+    Rng rng(224);
+    ConvShape shape;
+    shape.in_c = 8;
+    shape.in_h = shape.in_w = 12;
+    shape.out_c = 8;
+    shape.kernel = 3;
+    shape.pad = 1;
+    Tensor4d input = randomSparseTensor(1, 8, 12, 12, 0.5, rng);
+    Matrix<float> weights = randomSparseMatrix(8, 72, 0.6, rng);
+    ConvResult r = engine_.conv(input, weights, shape,
+                                ConvMethod::DualSparseImplicit);
+    Tensor4d golden = refConv2d(input, weights, shape.params());
+    double worst = 0.0;
+    for (size_t i = 0; i < golden.size(); ++i)
+        worst = std::max(worst,
+                         static_cast<double>(std::fabs(
+                             r.output.data()[i] - golden.data()[i])));
+    EXPECT_LT(worst, 2e-2);
+}
+
+TEST_F(EngineTest, ConvTimeOrderingAcrossMethods)
+{
+    ConvShape shape;
+    shape.in_c = 64;
+    shape.in_h = shape.in_w = 28;
+    shape.out_c = 64;
+    shape.kernel = 3;
+    shape.pad = 1;
+    const double dense_exp =
+        engine_.convTime(shape, ConvMethod::DenseExplicit, 0.8, 0.6)
+            .timeUs();
+    const double dense_imp =
+        engine_.convTime(shape, ConvMethod::DenseImplicit, 0.8, 0.6)
+            .timeUs();
+    const double dual =
+        engine_
+            .convTime(shape, ConvMethod::DualSparseImplicit, 0.8, 0.6)
+            .timeUs();
+    EXPECT_LT(dense_imp, dense_exp);
+    EXPECT_LT(dual, dense_imp);
+}
+
+TEST_F(EngineTest, HardwareOverheadExposed)
+{
+    OverheadReport report = engine_.hardwareOverhead();
+    EXPECT_NEAR(report.totalAreaMm2(), 12.846, 0.6);
+}
+
+TEST_F(EngineTest, A100PresetIsFasterOnMemoryBoundPoints)
+{
+    DstcEngine a100(GpuConfig::a100Like());
+    Rng rng(226);
+    SparsityProfile a =
+        SparsityProfile::randomA(4096, 4096, 32, 0.001, 8.0, rng);
+    SparsityProfile b =
+        SparsityProfile::randomA(4096, 4096, 32, 0.01, 8.0, rng);
+    KernelStats v100_stats = engine_.spgemmTime(a, b);
+    KernelStats a100_stats = a100.spgemmTime(a, b);
+    // The high-sparsity point is memory bound on the V100; the
+    // A100-class memory system must shrink it.
+    EXPECT_EQ(v100_stats.bound, Bound::Memory);
+    EXPECT_LT(a100_stats.memory_us, v100_stats.memory_us);
+    EXPECT_LT(a100_stats.timeUs(), v100_stats.timeUs());
+}
+
+TEST_F(EngineTest, CustomConfigPropagates)
+{
+    GpuConfig tiny = GpuConfig::v100();
+    tiny.num_sms = 8;
+    DstcEngine small(tiny);
+    EXPECT_EQ(small.config().num_sms, 8);
+    // A tenth of the SMs => ~10x the dense compute time.
+    const double big_t =
+        engine_.denseGemmTime(2048, 2048, 2048).compute_us;
+    const double small_t =
+        small.denseGemmTime(2048, 2048, 2048).compute_us;
+    EXPECT_NEAR(small_t / big_t, 10.0, 0.5);
+}
+
+} // namespace
+} // namespace dstc

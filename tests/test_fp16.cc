@@ -1,0 +1,96 @@
+#include "common/fp16.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+TEST(Fp16, KnownBitPatterns)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000);
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3c00);
+    EXPECT_EQ(floatToHalfBits(-1.0f), 0xbc00);
+    EXPECT_EQ(floatToHalfBits(2.0f), 0x4000);
+    EXPECT_EQ(floatToHalfBits(0.5f), 0x3800);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7bff); // max finite half
+}
+
+TEST(Fp16, Overflow)
+{
+    EXPECT_EQ(floatToHalfBits(65536.0f), 0x7c00); // +inf
+    EXPECT_EQ(floatToHalfBits(-65536.0f), 0xfc00);
+    EXPECT_EQ(floatToHalfBits(std::numeric_limits<float>::infinity()),
+              0x7c00);
+}
+
+TEST(Fp16, NanStaysNan)
+{
+    const uint16_t bits =
+        floatToHalfBits(std::numeric_limits<float>::quiet_NaN());
+    EXPECT_TRUE(std::isnan(halfBitsToFloat(bits)));
+}
+
+TEST(Fp16, SubnormalHalves)
+{
+    // Smallest positive subnormal half: 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(floatToHalfBits(tiny), 0x0001);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x0001), tiny);
+    // Largest subnormal: (1023/1024) * 2^-14.
+    const float big_sub = std::ldexp(1023.0f / 1024.0f, -14);
+    EXPECT_EQ(floatToHalfBits(big_sub), 0x03ff);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x03ff), big_sub);
+    // Below half the smallest subnormal flushes to zero.
+    EXPECT_EQ(floatToHalfBits(std::ldexp(1.0f, -26)), 0x0000);
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 1 + 2^-11 rounds to 1.0 (ties to even mantissa).
+    EXPECT_EQ(floatToHalfBits(1.0f + std::ldexp(1.0f, -11)), 0x3c00);
+    // 1 + 3*2^-11 rounds up to 1 + 2^-10.
+    EXPECT_EQ(floatToHalfBits(1.0f + 3 * std::ldexp(1.0f, -11)),
+              0x3c02);
+}
+
+TEST(Fp16, AllHalfBitPatternsRoundTrip)
+{
+    // Every finite half converts to float and back exactly.
+    for (uint32_t bits = 0; bits < 0x10000; ++bits) {
+        const uint16_t h = static_cast<uint16_t>(bits);
+        const uint32_t exp = (h >> 10) & 0x1f;
+        if (exp == 0x1f)
+            continue; // inf/NaN handled elsewhere
+        const float f = halfBitsToFloat(h);
+        EXPECT_EQ(floatToHalfBits(f), h) << "bits=" << bits;
+    }
+}
+
+TEST(Fp16, RoundTripIsIdempotent)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const float x = rng.uniformFloat(-100.0f, 100.0f);
+        const float once = roundToFp16(x);
+        EXPECT_EQ(roundToFp16(once), once);
+        // Rounding error is bounded by half an ulp (~2^-11 relative).
+        EXPECT_NEAR(once, x, std::fabs(x) * 0x1.0p-10 + 1e-7f);
+    }
+}
+
+TEST(Fp16, ClassInterface)
+{
+    Fp16 h(3.140625f); // exactly representable
+    EXPECT_FLOAT_EQ(h.toFloat(), 3.140625f);
+    EXPECT_EQ(Fp16::fromBits(h.bits()), h);
+    EXPECT_EQ(Fp16().toFloat(), 0.0f);
+}
+
+} // namespace
+} // namespace dstc

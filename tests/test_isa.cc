@@ -1,0 +1,79 @@
+#include "isa/isa.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(Isa, IssueCyclesMatchSecV)
+{
+    // A 16x16x16 WMMA = 16 HMMA.884 in 32 cycles; a 16x16x16 OWMMA =
+    // 32 OHMMA.8161 in 32 cycles (Sec. V-A2).
+    EXPECT_EQ(16 * issueCycles(Opcode::HMMA_884), 32);
+    EXPECT_EQ(32 * issueCycles(Opcode::OHMMA_8161), 32);
+    EXPECT_EQ(issueCycles(Opcode::BOHMMA_32321), 1);
+    EXPECT_EQ(issueCycles(Opcode::POPC), 0); // scalar pipe
+}
+
+TEST(Isa, MnemonicsMatchFig14)
+{
+    EXPECT_STREQ(mnemonic(Opcode::OHMMA_8161),
+                 "HMMA.OHMMA.8161.F32.F32");
+    EXPECT_STREQ(mnemonic(Opcode::BOHMMA_32321),
+                 "HMMA.BOHMMA.32321.B32.B32");
+}
+
+TEST(Isa, DisassemblyShowsPredication)
+{
+    Instruction enabled{Opcode::OHMMA_8161, true, 4, 2, 1};
+    Instruction squashed{Opcode::OHMMA_8161, false, 4, 3, 1};
+    EXPECT_NE(enabled.disassemble().find("@p1"), std::string::npos);
+    EXPECT_NE(squashed.disassemble().find("@p0"), std::string::npos);
+    EXPECT_NE(enabled.disassemble().find("a_chunk=2"),
+              std::string::npos);
+}
+
+TEST(Isa, MixCountsPredication)
+{
+    WarpProgram prog;
+    prog.append({Opcode::POPC, true, 0, 0, 0});
+    prog.append({Opcode::BOHMMA_32321, true, 0, 0, 0});
+    prog.append({Opcode::OHMMA_8161, true, 0, 0, 0});
+    prog.append({Opcode::OHMMA_8161, false, 0, 1, 0});
+    prog.append({Opcode::OHMMA_8161, false, 0, 2, 0});
+    InstructionMix mix = prog.mix();
+    EXPECT_EQ(mix.popc, 1);
+    EXPECT_EQ(mix.bohmma, 1);
+    EXPECT_EQ(mix.ohmma_issued, 1);
+    EXPECT_EQ(mix.ohmma_skipped, 2);
+    // Squashed instructions cost no tensor cycles.
+    EXPECT_EQ(mix.tensorCycles(), 2);
+}
+
+TEST(Isa, MixAccumulates)
+{
+    InstructionMix a, b;
+    a.ohmma_issued = 3;
+    a.bohmma = 1;
+    b.ohmma_issued = 5;
+    b.ohmma_skipped = 2;
+    b.hmma = 4;
+    a += b;
+    EXPECT_EQ(a.ohmma_issued, 8);
+    EXPECT_EQ(a.ohmma_skipped, 2);
+    EXPECT_EQ(a.hmma, 4);
+    EXPECT_EQ(a.tensorCycles(), 8 + 1 + 4 * 2);
+}
+
+TEST(Isa, ProgramDisassembleLineCount)
+{
+    WarpProgram prog;
+    for (int i = 0; i < 5; ++i)
+        prog.append({Opcode::OHMMA_8161, i % 2 == 0,
+                     static_cast<int16_t>(i), 0, 0});
+    std::string text = prog.disassemble();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+} // namespace
+} // namespace dstc

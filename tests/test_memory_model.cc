@@ -1,0 +1,73 @@
+#include "timing/memory_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(MemoryModel, DramTimeScalesLinearly)
+{
+    MemoryModel mem(GpuConfig::v100());
+    EXPECT_DOUBLE_EQ(mem.dramTimeUs(0.0), 0.0);
+    const double t1 = mem.dramTimeUs(1e6);
+    const double t2 = mem.dramTimeUs(2e6);
+    EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+    // 1 MB at ~700 GB/s is ~1.4 us.
+    EXPECT_GT(t1, 1.0);
+    EXPECT_LT(t1, 2.0);
+}
+
+TEST(MemoryModel, GemmTrafficIncludesAllOperands)
+{
+    MemoryModel mem(GpuConfig::v100());
+    const double traffic =
+        mem.gemmTrafficBytes(128, 128, 1000.0, 2000.0, 3000.0);
+    // Resident stripes: inputs move once (plus the 15% residue),
+    // the output exactly once.
+    EXPECT_DOUBLE_EQ(traffic, 1000.0 * 1.15 + 2000.0 * 1.15 + 3000.0);
+}
+
+TEST(MemoryModel, OversizedStripesPayReReads)
+{
+    MemoryModel mem(GpuConfig::v100());
+    // 256 MB operands: a single stripe (256MB/32 = 8 MB) exceeds the
+    // L2 share, so the sweep re-reads it, damped by the hit rate.
+    const double resident =
+        mem.gemmTrafficBytes(4096, 4096, 1e6, 1e6, 1e6);
+    const double thrashing =
+        mem.gemmTrafficBytes(4096, 4096, 256e6, 256e6, 1e6);
+    EXPECT_DOUBLE_EQ(resident, 1e6 * 1.15 * 2 + 1e6);
+    // Per byte, the thrashing case moves more than the resident one.
+    EXPECT_GT(thrashing / 256.0, resident);
+    // But the L2 damps it far below the no-cache worst case.
+    const double worst = 256e6 * 32 * 2 + 1e6;
+    EXPECT_LT(thrashing, worst / 3.0);
+}
+
+TEST(MemoryModel, ExplicitIm2colPaysInflation)
+{
+    MemoryModel mem(GpuConfig::v100());
+    const double input = 1e6, weights = 1e5, output = 5e5;
+    const double implicit =
+        mem.convTrafficBytes(input, weights, output, 9.0, false);
+    const double explicit_traffic =
+        mem.convTrafficBytes(input, weights, output, 9.0, true);
+    // Explicit materializes the lowered matrix: write + read of
+    // inflation x input on top of everything else.
+    EXPECT_GT(explicit_traffic, implicit + 2 * 9.0 * input - input);
+    EXPECT_LT(implicit, 2.0 * input + weights + output);
+}
+
+TEST(MemoryModel, V100PeakNumbersAreSane)
+{
+    GpuConfig cfg = GpuConfig::v100();
+    // 40960 FP16 MACs per cycle (Sec. II-B / V-A1).
+    EXPECT_DOUBLE_EQ(cfg.peakMacsPerCycle(), 40960.0);
+    // 125 TFLOPS peak = 2 * MACs * clock.
+    EXPECT_NEAR(2.0 * cfg.peakMacsPerCycle() * cfg.clock_ghz * 1e9,
+                125e12, 1e12);
+    EXPECT_EQ(cfg.totalSubcores(), 320);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,101 @@
+#include "timing/merge_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "timing/accum_buffer.h"
+
+namespace dstc {
+namespace {
+
+TEST(MergeModel, ZeroWorkIsFree)
+{
+    MergeCostModel model(128, true);
+    EXPECT_DOUBLE_EQ(model.tileCycles(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(model.tileCycles(100, 0), 0.0);
+    EXPECT_DOUBLE_EQ(model.perInstrCycles(0), 0.0);
+}
+
+TEST(MergeModel, SingleAccessIsOneCycle)
+{
+    MergeCostModel model(128, false);
+    EXPECT_DOUBLE_EQ(model.perInstrCycles(1), 1.0);
+}
+
+TEST(MergeModel, CollectorApproachesBankThroughput)
+{
+    MergeCostModel model(128, true);
+    // 12800 accesses over 128 banks: 100 cycles mean load plus the
+    // max-bank tail and the finite-window margin.
+    const double cycles = model.tileCycles(12800, 100);
+    EXPECT_GE(cycles, 100.0);
+    EXPECT_LE(cycles, 160.0);
+}
+
+TEST(MergeModel, SerialCostsExceedCollector)
+{
+    MergeCostModel with_oc(128, true);
+    MergeCostModel without_oc(128, false);
+    EXPECT_LT(with_oc.tileCycles(2048, 64),
+              without_oc.tileCycles(2048, 64));
+}
+
+TEST(MergeModel, MonotonicInAccesses)
+{
+    MergeCostModel model(128, false);
+    double prev = 0.0;
+    for (int64_t accesses = 64; accesses <= 8192; accesses *= 2) {
+        const double c = model.tileCycles(accesses, 64);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+/** The analytic model must track the exact bank simulator. */
+class MergeModelValidation
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>>
+{
+};
+
+TEST_P(MergeModelValidation, TracksExactSimulator)
+{
+    const auto [instrs, accesses_per_instr, collector] = GetParam();
+    const int banks = 128;
+    Rng rng(1000 + instrs * 13 + accesses_per_instr);
+
+    MergeTrace trace;
+    int64_t total = 0;
+    for (int i = 0; i < instrs; ++i) {
+        std::vector<int> addrs;
+        // Distinct positions within a 32x32 tile, like a real
+        // partial-matrix scatter.
+        std::vector<int> pool(1024);
+        for (int p = 0; p < 1024; ++p)
+            pool[p] = p;
+        for (int j = 0; j < accesses_per_instr; ++j) {
+            int pick = j + static_cast<int>(rng.uniformInt(1024 - j));
+            std::swap(pool[j], pool[pick]);
+            addrs.push_back(pool[j]);
+        }
+        total += accesses_per_instr;
+        trace.instr_addrs.push_back(std::move(addrs));
+    }
+
+    AccumBufferSim sim(banks, collector, 8);
+    MergeCostModel model(banks, collector);
+    const double exact = static_cast<double>(sim.simulateSparse(trace));
+    const double approx = model.tileCycles(total, instrs);
+    // 35% tolerance + 4-cycle slack for pipeline ramp effects.
+    EXPECT_NEAR(approx, exact, exact * 0.35 + 4.0)
+        << "instrs=" << instrs << " n=" << accesses_per_instr
+        << " oc=" << collector;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TraceShapes, MergeModelValidation,
+    ::testing::Combine(::testing::Values(4, 16, 64),
+                       ::testing::Values(8, 32, 128),
+                       ::testing::Bool()));
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,120 @@
+#include "isa/program_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace dstc {
+namespace {
+
+TEST(ProgramBuilder, Fig15Example)
+{
+    // POPC results 20 (A column) and 12 (B row) enable exactly
+    // OHMMA 0/2/4 of the 8-instruction set.
+    EXPECT_EQ(enabledOhmmas(20, 12), 3);
+    WarpProgram prog;
+    buildSpWmmaSet(prog, 4, 20, 12);
+    std::vector<int> enabled_indices;
+    int ohmma_idx = 0;
+    for (const auto &instr : prog.instructions()) {
+        if (instr.op != Opcode::OHMMA_8161)
+            continue;
+        if (instr.predicate)
+            enabled_indices.push_back(ohmma_idx);
+        ++ohmma_idx;
+    }
+    EXPECT_EQ(ohmma_idx, 8);
+    EXPECT_EQ(enabled_indices, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(ProgramBuilder, EnabledOhmmaQuantization)
+{
+    // A side quantizes to <0,25,50,75,100%>, B side to <0,50,100%>.
+    EXPECT_EQ(enabledOhmmas(0, 32), 0);
+    EXPECT_EQ(enabledOhmmas(32, 0), 0);
+    EXPECT_EQ(enabledOhmmas(1, 1), 1);
+    EXPECT_EQ(enabledOhmmas(8, 16), 1);
+    EXPECT_EQ(enabledOhmmas(9, 16), 2);
+    EXPECT_EQ(enabledOhmmas(32, 16), 4);
+    EXPECT_EQ(enabledOhmmas(32, 17), 8);
+    EXPECT_EQ(enabledOhmmas(32, 32), 8);
+}
+
+TEST(ProgramBuilder, EmptyOperandSkipsEverything)
+{
+    WarpProgram prog;
+    buildSpWmmaSet(prog, 0, 0, 20);
+    // The k-step is compacted away outright: nothing is emitted, not
+    // even the POPCs (the per-tile occupancy AND found it empty).
+    EXPECT_EQ(prog.size(), 0u);
+    EXPECT_EQ(prog.mix().tensorCycles(), 0);
+}
+
+TEST(ProgramBuilder, DenseSetIssuesAllEight)
+{
+    WarpProgram prog;
+    buildSpWmmaSet(prog, 0, 32, 32);
+    InstructionMix mix = prog.mix();
+    EXPECT_EQ(mix.bohmma, 1);
+    EXPECT_EQ(mix.ohmma_issued, 8);
+    EXPECT_EQ(mix.ohmma_skipped, 0);
+}
+
+TEST(ProgramBuilder, FullSpWmmaStructure)
+{
+    std::vector<std::pair<int, int>> popcs(16, {32, 32});
+    WarpProgram prog = buildSpWmma(popcs);
+    InstructionMix mix = prog.mix();
+    EXPECT_EQ(mix.popc, 32);
+    EXPECT_EQ(mix.bohmma, 16);
+    EXPECT_EQ(mix.ohmma_issued, 128);
+    // Dense 32x32x16 via SpWMMA: 128 OHMMA + 16 BOHMMA cycles.
+    EXPECT_EQ(mix.tensorCycles(), 144);
+}
+
+TEST(ProgramBuilder, DenseOwmmaMatchesDenseWmmaThroughput)
+{
+    // Same warp tile, same cycles: the OTC conversion is
+    // performance-neutral on dense data (Sec. V-A).
+    WarpProgram owmma = buildDenseOwmma(16); // 32x32x16
+    WarpProgram wmma = buildDenseWmma(32, 32, 16);
+    EXPECT_EQ(owmma.mix().tensorCycles(), wmma.mix().tensorCycles());
+}
+
+TEST(ProgramBuilder, SkippedFractionTracksSparsity)
+{
+    // Half-empty operands skip at least half the OHMMAs.
+    std::vector<std::pair<int, int>> popcs(16, {8, 16});
+    WarpProgram prog = buildSpWmma(popcs);
+    InstructionMix mix = prog.mix();
+    EXPECT_EQ(mix.ohmma_issued, 16);  // 1 per set
+    EXPECT_EQ(mix.ohmma_skipped, 112);
+}
+
+class EnabledOhmmaProperty
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(EnabledOhmmaProperty, MatchesCeilFormula)
+{
+    const auto [na, nb] = GetParam();
+    const int expected =
+        (na == 0 || nb == 0) ? 0 : ceilDiv(na, 8) * ceilDiv(nb, 16);
+    EXPECT_EQ(enabledOhmmas(na, nb), expected);
+    // Consistency with the built program.
+    WarpProgram prog;
+    buildSpWmmaSet(prog, 0, na, nb);
+    EXPECT_EQ(prog.mix().ohmma_issued, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllQuadrants, EnabledOhmmaProperty,
+    ::testing::Values(std::pair{0, 0}, std::pair{0, 16}, std::pair{7, 1},
+                      std::pair{8, 15}, std::pair{15, 16},
+                      std::pair{16, 17}, std::pair{24, 31},
+                      std::pair{25, 32}, std::pair{32, 32},
+                      std::pair{1, 32}, std::pair{32, 1}));
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,128 @@
+#include "tensor/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fp16.h"
+
+namespace dstc {
+namespace {
+
+TEST(RefGemm, HandComputed2x2)
+{
+    Matrix<float> a(2, 2), b(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    Matrix<float> d = refGemm(a, b);
+    EXPECT_FLOAT_EQ(d.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(d.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(d.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(d.at(1, 1), 50);
+}
+
+TEST(RefGemm, BiasAccumulates)
+{
+    Matrix<float> a(1, 1), b(1, 1), c(1, 1);
+    a.at(0, 0) = 2;
+    b.at(0, 0) = 3;
+    c.at(0, 0) = 10;
+    EXPECT_FLOAT_EQ(refGemm(a, b, &c).at(0, 0), 16);
+}
+
+TEST(RefGemm, IdentityIsNeutral)
+{
+    Rng rng(4);
+    Matrix<float> a = randomSparseMatrix(9, 9, 0.4, rng);
+    Matrix<float> eye(9, 9);
+    for (int i = 0; i < 9; ++i)
+        eye.at(i, i) = 1.0f;
+    EXPECT_LT(maxAbsDiff(refGemm(a, eye), a), 1e-6);
+    EXPECT_LT(maxAbsDiff(refGemm(eye, a), a), 1e-6);
+}
+
+TEST(RefGemmFp16, QuantizesOperands)
+{
+    Matrix<float> a(1, 1), b(1, 1);
+    a.at(0, 0) = 1.0f + 0x1.0p-13f; // rounds to 1.0 in FP16
+    b.at(0, 0) = 1.0f;
+    EXPECT_FLOAT_EQ(refGemmFp16(a, b).at(0, 0), 1.0f);
+    EXPECT_GT(refGemm(a, b).at(0, 0), 1.0f);
+}
+
+TEST(ConvOutDim, Formulas)
+{
+    EXPECT_EQ(convOutDim(5, 3, 1, 0), 3);
+    EXPECT_EQ(convOutDim(5, 3, 1, 1), 5);
+    EXPECT_EQ(convOutDim(224, 7, 2, 3), 112);
+    EXPECT_EQ(convOutDim(56, 3, 2, 1), 28);
+}
+
+TEST(RefConv2d, HandComputed1Channel)
+{
+    // 3x3 input, 2x2 kernel of ones => each output is the window sum.
+    Tensor4d input(1, 1, 3, 3);
+    float v = 1.0f;
+    for (int h = 0; h < 3; ++h)
+        for (int w = 0; w < 3; ++w)
+            input.at(0, 0, h, w) = v++;
+    Matrix<float> weights(1, 4, 1.0f);
+    Conv2dParams params{1, 1, 2, 1, 0};
+    Tensor4d out = refConv2d(input, weights, params);
+    EXPECT_EQ(out.h(), 2);
+    EXPECT_EQ(out.w(), 2);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1 + 2 + 4 + 5);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(RefConv2d, PaddingZeros)
+{
+    Tensor4d input(1, 1, 1, 1);
+    input.at(0, 0, 0, 0) = 3.0f;
+    Matrix<float> weights(1, 9, 1.0f);
+    Conv2dParams params{1, 1, 3, 1, 1};
+    Tensor4d out = refConv2d(input, weights, params);
+    EXPECT_EQ(out.h(), 1);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 3.0f);
+}
+
+TEST(RefConv2d, MultiChannelMultiBatch)
+{
+    Rng rng(21);
+    Tensor4d input = randomSparseTensor(2, 3, 5, 5, 0.3, rng);
+    Matrix<float> weights = randomSparseMatrix(4, 3 * 3 * 3, 0.2, rng);
+    Conv2dParams params{3, 4, 3, 1, 1};
+    Tensor4d out = refConv2d(input, weights, params);
+    EXPECT_EQ(out.n(), 2);
+    EXPECT_EQ(out.c(), 4);
+    EXPECT_EQ(out.h(), 5);
+    EXPECT_EQ(out.w(), 5);
+    // Spot-check one output against a scalar recomputation.
+    float acc = 0.0f;
+    for (int ic = 0; ic < 3; ++ic)
+        for (int kh = 0; kh < 3; ++kh)
+            for (int kw = 0; kw < 3; ++kw) {
+                int ih = 2 + kh - 1, iw = 2 + kw - 1;
+                acc += input.at(1, ic, ih, iw) *
+                       weights.at(2, (ic * 3 + kh) * 3 + kw);
+            }
+    EXPECT_NEAR(out.at(1, 2, 2, 2), acc, 1e-5);
+}
+
+TEST(RefConv2d, StrideTwo)
+{
+    Rng rng(22);
+    Tensor4d input = randomSparseTensor(1, 2, 8, 8, 0.5, rng);
+    Matrix<float> weights = randomSparseMatrix(3, 2 * 3 * 3, 0.0, rng);
+    Conv2dParams params{2, 3, 3, 2, 1};
+    Tensor4d out = refConv2d(input, weights, params);
+    EXPECT_EQ(out.h(), 4);
+    EXPECT_EQ(out.w(), 4);
+}
+
+} // namespace
+} // namespace dstc

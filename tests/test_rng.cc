@@ -1,0 +1,78 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInBound)
+{
+    Rng rng(6);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(7);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(8);
+    const int n = 100000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    // Must not get stuck at zero.
+    uint64_t x = rng.next();
+    uint64_t y = rng.next();
+    EXPECT_TRUE(x != 0 || y != 0);
+    EXPECT_NE(x, y);
+}
+
+} // namespace
+} // namespace dstc

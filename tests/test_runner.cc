@@ -1,0 +1,100 @@
+#include "model/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+class RunnerTest : public ::testing::Test
+{
+  protected:
+    DstcEngine engine_;
+    ModelRunner runner_{engine_};
+};
+
+TEST_F(RunnerTest, RunsEveryLayerOfEveryModel)
+{
+    for (const auto &model : allModels()) {
+        ModelRunResult result =
+            runner_.run(model, ModelMethod::DualSparseImplicit);
+        EXPECT_EQ(result.layers.size(),
+                  model.conv_layers.size() + model.gemm_layers.size())
+            << model.name;
+        EXPECT_GT(result.totalTimeUs(), 0.0) << model.name;
+        for (const auto &layer : result.layers)
+            EXPECT_GT(layer.stats.timeUs(), 0.0)
+                << model.name << "/" << layer.name;
+    }
+}
+
+TEST_F(RunnerTest, DeterministicPerSeed)
+{
+    DnnModel model = makeResnet18();
+    ModelRunResult a =
+        runner_.run(model, ModelMethod::DualSparseImplicit, 5);
+    ModelRunResult b =
+        runner_.run(model, ModelMethod::DualSparseImplicit, 5);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.layers[i].stats.timeUs(),
+                         b.layers[i].stats.timeUs());
+}
+
+TEST_F(RunnerTest, MethodOrderingOnCnns)
+{
+    // The paper's full-model ordering: Dual < SingleImplicit <
+    // DenseImplicit in time (Fig. 22).
+    for (const auto &model : {makeVgg16(), makeResnet18()}) {
+        const double dense =
+            runner_.run(model, ModelMethod::DenseImplicit)
+                .totalTimeUs();
+        const double single =
+            runner_.run(model, ModelMethod::SingleSparseImplicit)
+                .totalTimeUs();
+        const double dual =
+            runner_.run(model, ModelMethod::DualSparseImplicit)
+                .totalTimeUs();
+        EXPECT_LT(dual, single) << model.name;
+        EXPECT_LT(single, dense) << model.name;
+    }
+}
+
+TEST_F(RunnerTest, FullModelSpeedupInPaperBand)
+{
+    // Fig. 22: Dual Sparse Implicit averages ~4.4x over Dense
+    // Implicit on the CNNs; allow a generous band around it.
+    DnnModel model = makeVgg16();
+    const double dense =
+        runner_.run(model, ModelMethod::DenseImplicit).totalTimeUs();
+    const double dual =
+        runner_.run(model, ModelMethod::DualSparseImplicit)
+            .totalTimeUs();
+    EXPECT_GT(dense / dual, 2.0);
+    EXPECT_LT(dense / dual, 10.0);
+}
+
+TEST_F(RunnerTest, GemmModelsUseThreeDistinctMethods)
+{
+    DnnModel bert = makeBertBase();
+    const double dense =
+        runner_.run(bert, ModelMethod::DenseImplicit).totalTimeUs();
+    const double single =
+        runner_.run(bert, ModelMethod::SingleSparseImplicit)
+            .totalTimeUs();
+    const double dual =
+        runner_.run(bert, ModelMethod::DualSparseImplicit)
+            .totalTimeUs();
+    EXPECT_LT(single, dense);
+    EXPECT_LT(dual, single);
+}
+
+TEST(ModelMethodNames, MatchLegend)
+{
+    EXPECT_STREQ(modelMethodName(ModelMethod::DualSparseImplicit),
+                 "Dual Sparse Implicit");
+    EXPECT_STREQ(modelMethodName(ModelMethod::DenseExplicit),
+                 "Dense Explicit");
+}
+
+} // namespace
+} // namespace dstc

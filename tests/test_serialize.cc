@@ -1,0 +1,112 @@
+#include "sparse/serialize.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+TEST(Serialize, BitmapRoundTrip)
+{
+    Rng rng(181);
+    for (Major major : {Major::Row, Major::Col}) {
+        Matrix<float> m = randomSparseMatrix(37, 53, 0.7, rng);
+        BitmapMatrix bm = BitmapMatrix::encode(m, major);
+        std::stringstream stream;
+        saveBitmap(bm, stream);
+        auto loaded = loadBitmap(stream);
+        ASSERT_TRUE(loaded.has_value());
+        EXPECT_EQ(loaded->decode(), m);
+        EXPECT_EQ(loaded->major(), major);
+    }
+}
+
+TEST(Serialize, CsrRoundTrip)
+{
+    Rng rng(182);
+    Matrix<float> m = randomSparseMatrix(64, 48, 0.85, rng);
+    CsrMatrix csr = CsrMatrix::encode(m);
+    std::stringstream stream;
+    saveCsr(csr, stream);
+    auto loaded = loadCsr(stream);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->decode(), m);
+}
+
+TEST(Serialize, EmptyMatricesRoundTrip)
+{
+    Matrix<float> zero(5, 9);
+    std::stringstream s1, s2;
+    saveBitmap(BitmapMatrix::encode(zero, Major::Col), s1);
+    saveCsr(CsrMatrix::encode(zero), s2);
+    ASSERT_TRUE(loadBitmap(s1).has_value());
+    ASSERT_TRUE(loadCsr(s2).has_value());
+    EXPECT_EQ(loadBitmap(s1), std::nullopt); // stream exhausted
+}
+
+TEST(Serialize, RejectsBadMagic)
+{
+    std::stringstream stream;
+    stream.write("NOPE", 4);
+    EXPECT_EQ(loadBitmap(stream), std::nullopt);
+    std::stringstream stream2;
+    stream2.write("NOPE", 4);
+    EXPECT_EQ(loadCsr(stream2), std::nullopt);
+}
+
+TEST(Serialize, RejectsTruncatedPayload)
+{
+    Rng rng(183);
+    Matrix<float> m = randomSparseMatrix(16, 16, 0.5, rng);
+    std::stringstream stream;
+    saveBitmap(BitmapMatrix::encode(m, Major::Row), stream);
+    std::string bytes = stream.str();
+    // Chop off the tail of the triplet payload.
+    std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+    EXPECT_EQ(loadBitmap(truncated), std::nullopt);
+}
+
+TEST(Serialize, RejectsCrossFormatLoads)
+{
+    Rng rng(184);
+    Matrix<float> m = randomSparseMatrix(8, 8, 0.5, rng);
+    std::stringstream stream;
+    saveCsr(CsrMatrix::encode(m), stream);
+    EXPECT_EQ(loadBitmap(stream), std::nullopt);
+}
+
+TEST(Serialize, RejectsOutOfRangeIndices)
+{
+    // Hand-build a bitmap container whose coordinate exceeds dims.
+    std::stringstream stream;
+    auto w32 = [&](uint32_t v) {
+        stream.write(reinterpret_cast<const char *>(&v), 4);
+    };
+    w32(0x44425431); // magic
+    w32(4);          // rows
+    w32(4);          // cols
+    w32(0);          // row-major
+    w32(1);          // nnz
+    w32(9);          // r out of range
+    w32(0);
+    float v = 1.0f;
+    stream.write(reinterpret_cast<const char *>(&v), 4);
+    EXPECT_EQ(loadBitmap(stream), std::nullopt);
+}
+
+TEST(Serialize, LargeMatrixRoundTrip)
+{
+    Rng rng(185);
+    Matrix<float> m = randomSparseMatrix(300, 200, 0.95, rng);
+    std::stringstream stream;
+    saveBitmap(BitmapMatrix::encode(m, Major::Col), stream);
+    auto loaded = loadBitmap(stream);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->decode(), m);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,86 @@
+#include "model/sparsity_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(SparsityGen, UniformHitsTarget)
+{
+    Rng rng(201);
+    Matrix<float> m = uniformSparseMatrix(256, 256, 0.8, rng);
+    EXPECT_NEAR(m.sparsity(), 0.8, 0.01);
+}
+
+TEST(SparsityGen, ClusteredPreservesGlobalSparsity)
+{
+    Rng rng(202);
+    for (double cluster : {1.0, 2.0, 8.0, 32.0}) {
+        Matrix<float> m =
+            clusteredSparseMatrix(512, 512, 0.9, 32, cluster, rng);
+        EXPECT_NEAR(m.sparsity(), 0.9, 0.015) << "cluster=" << cluster;
+    }
+}
+
+TEST(SparsityGen, ClusteredConcentratesInBlocks)
+{
+    Rng rng(203);
+    Matrix<float> m =
+        clusteredSparseMatrix(512, 512, 0.9, 32, 8.0, rng);
+    // Count empty 32x32 blocks: clustering should empty most.
+    int empty_blocks = 0, total_blocks = 0;
+    for (int br = 0; br < 512; br += 32) {
+        for (int bc = 0; bc < 512; bc += 32) {
+            ++total_blocks;
+            bool any = false;
+            for (int r = br; r < br + 32 && !any; ++r)
+                for (int c = bc; c < bc + 32 && !any; ++c)
+                    any = m.at(r, c) != 0.0f;
+            empty_blocks += !any;
+        }
+    }
+    EXPECT_GT(static_cast<double>(empty_blocks) / total_blocks, 0.5);
+
+    // A uniform matrix at the same sparsity has no empty blocks.
+    Matrix<float> u = uniformSparseMatrix(512, 512, 0.9, rng);
+    int uniform_empty = 0;
+    for (int br = 0; br < 512; br += 32)
+        for (int bc = 0; bc < 512; bc += 32) {
+            bool any = false;
+            for (int r = br; r < br + 32 && !any; ++r)
+                for (int c = bc; c < bc + 32 && !any; ++c)
+                    any = u.at(r, c) != 0.0f;
+            uniform_empty += !any;
+        }
+    EXPECT_EQ(uniform_empty, 0);
+}
+
+TEST(SparsityGen, ReluMatrixSparsityAndSign)
+{
+    Rng rng(204);
+    for (double target : {0.3, 0.5, 0.8, 0.95}) {
+        Matrix<float> m = reluActivationMatrix(200, 200, target, rng);
+        EXPECT_NEAR(m.sparsity(), target, 0.02) << target;
+        for (float v : m.data())
+            EXPECT_GE(v, 0.0f); // post-ReLU values are non-negative
+    }
+}
+
+TEST(SparsityGen, ReluTensorSparsity)
+{
+    Rng rng(205);
+    Tensor4d t = reluActivationTensor(2, 16, 28, 28, 0.6, rng);
+    EXPECT_NEAR(t.sparsity(), 0.6, 0.02);
+}
+
+TEST(SparsityGen, ReluExtremes)
+{
+    Rng rng(206);
+    Matrix<float> dense = reluActivationMatrix(50, 50, 0.0, rng);
+    EXPECT_EQ(dense.nnz(), 2500);
+    Matrix<float> empty = reluActivationMatrix(50, 50, 1.0, rng);
+    EXPECT_EQ(empty.nnz(), 0);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,203 @@
+#include "gemm/spgemm_device.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/sparsity_gen.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+class SpGemmDeviceTest : public ::testing::Test
+{
+  protected:
+    GpuConfig cfg_ = GpuConfig::v100();
+    SpGemmDevice device_{cfg_};
+};
+
+TEST_F(SpGemmDeviceTest, FunctionalMatchesReference)
+{
+    Rng rng(121);
+    Matrix<float> a = randomSparseMatrix(96, 64, 0.6, rng);
+    Matrix<float> b = randomSparseMatrix(64, 96, 0.7, rng);
+    SpGemmResult r = device_.multiply(a, b);
+    EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(a, b)), 1e-5);
+}
+
+TEST_F(SpGemmDeviceTest, NonTileAlignedShapes)
+{
+    Rng rng(122);
+    Matrix<float> a = randomSparseMatrix(45, 50, 0.5, rng);
+    Matrix<float> b = randomSparseMatrix(50, 39, 0.5, rng);
+    SpGemmResult r = device_.multiply(a, b);
+    EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(a, b)), 1e-5);
+}
+
+TEST_F(SpGemmDeviceTest, TwoLevelSkipsEmptyTiles)
+{
+    // Clustered inputs leave many warp tiles empty.
+    Rng rng(123);
+    Matrix<float> a = clusteredSparseMatrix(128, 128, 0.95, 32, 16, rng);
+    Matrix<float> b = clusteredSparseMatrix(128, 128, 0.95, 32, 16, rng);
+
+    SpGemmOptions with_skip;
+    with_skip.functional = false;
+    SpGemmOptions without_skip = with_skip;
+    without_skip.two_level = false;
+
+    KernelStats skipped = device_.multiply(a, b, with_skip).stats;
+    KernelStats unskipped = device_.multiply(a, b, without_skip).stats;
+    EXPECT_GT(skipped.warp_tiles_skipped, 0);
+    EXPECT_EQ(unskipped.warp_tiles_skipped, 0);
+    EXPECT_LE(skipped.warp_tiles, unskipped.warp_tiles);
+    // Skipping never hurts and the result is the same computation.
+    EXPECT_LE(skipped.compute_us, unskipped.compute_us + 1e-9);
+}
+
+TEST_F(SpGemmDeviceTest, TwoLevelSkipDoesNotChangeResult)
+{
+    Rng rng(124);
+    Matrix<float> a = clusteredSparseMatrix(96, 96, 0.9, 32, 8, rng);
+    Matrix<float> b = clusteredSparseMatrix(96, 96, 0.9, 32, 8, rng);
+    SpGemmOptions no_skip;
+    no_skip.two_level = false;
+    EXPECT_LT(maxAbsDiff(device_.multiply(a, b).d,
+                         device_.multiply(a, b, no_skip).d),
+              1e-9);
+}
+
+TEST_F(SpGemmDeviceTest, SparserIsFaster)
+{
+    Rng rng(125);
+    double prev = 1e30;
+    for (double sparsity : {0.0, 0.5, 0.9, 0.99}) {
+        Matrix<float> a = randomSparseMatrix(256, 256, sparsity, rng);
+        Matrix<float> b = randomSparseMatrix(256, 256, sparsity, rng);
+        SpGemmOptions opts;
+        opts.functional = false;
+        KernelStats stats = device_.multiply(a, b, opts).stats;
+        EXPECT_LT(stats.compute_us, prev);
+        prev = stats.compute_us;
+    }
+}
+
+TEST_F(SpGemmDeviceTest, ProfilePathMatchesFunctionalPath)
+{
+    Rng rng(126);
+    Matrix<float> a = randomSparseMatrix(128, 96, 0.7, rng);
+    Matrix<float> b = randomSparseMatrix(96, 128, 0.5, rng);
+
+    SpGemmOptions opts;
+    opts.functional = false;
+    KernelStats full = device_.multiply(a, b, opts).stats;
+
+    KernelStats profiled = device_.timeFromProfiles(
+        SparsityProfile::fromMatrixA(a, 32),
+        SparsityProfile::fromMatrixB(b, 32), opts);
+
+    EXPECT_EQ(full.mix.ohmma_issued, profiled.mix.ohmma_issued);
+    EXPECT_EQ(full.mix.ohmma_skipped, profiled.mix.ohmma_skipped);
+    EXPECT_EQ(full.mix.bohmma, profiled.mix.bohmma);
+    EXPECT_EQ(full.warp_tiles, profiled.warp_tiles);
+    EXPECT_EQ(full.warp_tiles_skipped, profiled.warp_tiles_skipped);
+    EXPECT_NEAR(full.compute_us, profiled.compute_us,
+                full.compute_us * 0.02 + 1e-6);
+}
+
+TEST_F(SpGemmDeviceTest, StatsBreakdownIsConsistent)
+{
+    Rng rng(127);
+    Matrix<float> a = randomSparseMatrix(64, 64, 0.5, rng);
+    Matrix<float> b = randomSparseMatrix(64, 64, 0.5, rng);
+    KernelStats stats = device_.multiply(a, b).stats;
+    EXPECT_GT(stats.compute_us, 0.0);
+    EXPECT_GT(stats.memory_us, 0.0);
+    EXPECT_GT(stats.dram_bytes, 0.0);
+    EXPECT_GE(stats.timeUs(),
+              std::max(stats.compute_us, stats.memory_us));
+    EXPECT_EQ(stats.warp_tiles + stats.warp_tiles_skipped, 2 * 2 * 2);
+}
+
+TEST_F(SpGemmDeviceTest, KIsAccumulatedAcrossChunks)
+{
+    // K spanning several 32-chunks exercises the k-loop seams.
+    Rng rng(128);
+    Matrix<float> a = randomSparseMatrix(32, 200, 0.6, rng);
+    Matrix<float> b = randomSparseMatrix(200, 32, 0.6, rng);
+    SpGemmResult r = device_.multiply(a, b);
+    EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(a, b)), 1e-5);
+}
+
+TEST_F(SpGemmDeviceTest, EncodedEntryPointMatchesDenseEntryPoint)
+{
+    // Encode-once / multiply-many path: identical results and
+    // identical statistics to the convenience overload.
+    Rng rng(130);
+    Matrix<float> a = randomSparseMatrix(80, 70, 0.6, rng);
+    Matrix<float> b = randomSparseMatrix(70, 90, 0.6, rng);
+    SpGemmOptions opts;
+    TwoLevelBitmapMatrix a_enc = TwoLevelBitmapMatrix::encode(
+        a, opts.tile_m, opts.tile_k, Major::Col);
+    TwoLevelBitmapMatrix b_enc = TwoLevelBitmapMatrix::encode(
+        b, opts.tile_k, opts.tile_n, Major::Row);
+
+    SpGemmResult via_dense = device_.multiply(a, b, opts);
+    SpGemmResult via_encoded =
+        device_.multiplyEncoded(a_enc, b_enc, opts);
+    EXPECT_EQ(maxAbsDiff(via_dense.d, via_encoded.d), 0.0);
+    EXPECT_EQ(via_dense.stats.mix.ohmma_issued,
+              via_encoded.stats.mix.ohmma_issued);
+    EXPECT_DOUBLE_EQ(via_dense.stats.timeUs(),
+                     via_encoded.stats.timeUs());
+    // And the encoded operands can be reused.
+    SpGemmResult again = device_.multiplyEncoded(a_enc, b_enc, opts);
+    EXPECT_EQ(maxAbsDiff(again.d, via_encoded.d), 0.0);
+}
+
+TEST_F(SpGemmDeviceTest, ZeroMatrixProducesZero)
+{
+    Matrix<float> a(64, 64);
+    Rng rng(129);
+    Matrix<float> b = randomSparseMatrix(64, 64, 0.3, rng);
+    SpGemmResult r = device_.multiply(a, b);
+    EXPECT_EQ(r.d.nnz(), 0);
+    EXPECT_EQ(r.stats.mix.ohmma_issued, 0);
+    EXPECT_EQ(r.stats.warp_tiles, 0);
+}
+
+struct DeviceSweepParam
+{
+    int m, k, n;
+    double sa, sb;
+};
+
+class SpGemmDeviceSweep
+    : public ::testing::TestWithParam<DeviceSweepParam>
+{
+};
+
+TEST_P(SpGemmDeviceSweep, FunctionalCorrectness)
+{
+    const auto &p = GetParam();
+    Rng rng(static_cast<uint64_t>(p.m * 31 + p.k * 17 + p.n));
+    GpuConfig cfg = GpuConfig::v100();
+    SpGemmDevice device(cfg);
+    Matrix<float> a = randomSparseMatrix(p.m, p.k, p.sa, rng);
+    Matrix<float> b = randomSparseMatrix(p.k, p.n, p.sb, rng);
+    SpGemmResult r = device.multiply(a, b);
+    EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(a, b)), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpGemmDeviceSweep,
+    ::testing::Values(DeviceSweepParam{32, 32, 32, 0.5, 0.5},
+                      DeviceSweepParam{64, 32, 96, 0.0, 0.9},
+                      DeviceSweepParam{33, 65, 31, 0.7, 0.2},
+                      DeviceSweepParam{128, 128, 64, 0.95, 0.95},
+                      DeviceSweepParam{16, 16, 16, 0.3, 0.3},
+                      DeviceSweepParam{1, 100, 1, 0.5, 0.5},
+                      DeviceSweepParam{100, 1, 100, 0.2, 0.8}));
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,197 @@
+#include "gemm/spgemm_warp.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+class SpGemmWarpTest : public ::testing::Test
+{
+  protected:
+    GpuConfig cfg_ = GpuConfig::v100();
+    SpGemmWarpEngine engine_{cfg_};
+};
+
+TEST_F(SpGemmWarpTest, FunctionalMatchesReference)
+{
+    Rng rng(111);
+    Matrix<float> a = randomSparseMatrix(32, 32, 0.6, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.6, rng);
+    BitmapMatrix a_bm = BitmapMatrix::encode(a, Major::Col);
+    BitmapMatrix b_bm = BitmapMatrix::encode(b, Major::Row);
+    Matrix<float> accum(32, 32);
+    engine_.computeTile(a_bm, b_bm, &accum);
+    EXPECT_LT(maxAbsDiff(accum, refGemmFp16(a, b)), 1e-6);
+}
+
+TEST_F(SpGemmWarpTest, AccumulatesOntoExistingValues)
+{
+    Rng rng(112);
+    Matrix<float> a = randomSparseMatrix(32, 32, 0.5, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.5, rng);
+    Matrix<float> c = randomSparseMatrix(32, 32, 0.0, rng);
+    Matrix<float> accum = c;
+    engine_.computeTile(BitmapMatrix::encode(a, Major::Col),
+                        BitmapMatrix::encode(b, Major::Row), &accum);
+    EXPECT_LT(maxAbsDiff(accum, refGemmFp16(a, b, &c)), 1e-6);
+}
+
+TEST_F(SpGemmWarpTest, InstructionCountsMatchPopcountFormula)
+{
+    Rng rng(113);
+    Matrix<float> a = randomSparseMatrix(32, 32, 0.7, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.4, rng);
+    BitmapMatrix a_bm = BitmapMatrix::encode(a, Major::Col);
+    BitmapMatrix b_bm = BitmapMatrix::encode(b, Major::Row);
+    WarpTileResult r = engine_.computeTile(a_bm, b_bm, nullptr);
+
+    int64_t expected_issued = 0, expected_bohmma = 0,
+            expected_macs = 0;
+    for (int k = 0; k < 32; ++k) {
+        const int na = a_bm.lineNnz(k);
+        const int nb = b_bm.lineNnz(k);
+        if (na == 0 || nb == 0)
+            continue;
+        ++expected_bohmma;
+        expected_issued += enabledOhmmas(na, nb);
+        expected_macs += static_cast<int64_t>(na) * nb;
+    }
+    EXPECT_EQ(r.mix.ohmma_issued, expected_issued);
+    EXPECT_EQ(r.mix.bohmma, expected_bohmma);
+    EXPECT_EQ(r.macs, expected_macs);
+    EXPECT_EQ(r.merge_accesses, expected_macs);
+    // Two POPCs per surviving k-step; empty steps are compacted.
+    EXPECT_EQ(r.mix.popc, 2 * expected_bohmma);
+    EXPECT_EQ(r.issue_cycles, expected_issued + expected_bohmma);
+    EXPECT_EQ(r.scalar_cycles, expected_bohmma + 2);
+}
+
+TEST_F(SpGemmWarpTest, TimeTileAgreesWithComputeTile)
+{
+    Rng rng(114);
+    Matrix<float> a = randomSparseMatrix(32, 32, 0.8, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.3, rng);
+    BitmapMatrix a_bm = BitmapMatrix::encode(a, Major::Col);
+    BitmapMatrix b_bm = BitmapMatrix::encode(b, Major::Row);
+    WarpTileResult full = engine_.computeTile(a_bm, b_bm, nullptr);
+
+    std::vector<std::pair<int, int>> popcs;
+    for (int k = 0; k < 32; ++k)
+        popcs.emplace_back(a_bm.lineNnz(k), b_bm.lineNnz(k));
+    WarpTileResult timed = engine_.timeTile(popcs);
+
+    EXPECT_EQ(full.mix.ohmma_issued, timed.mix.ohmma_issued);
+    EXPECT_EQ(full.mix.ohmma_skipped, timed.mix.ohmma_skipped);
+    EXPECT_EQ(full.mix.bohmma, timed.mix.bohmma);
+    EXPECT_EQ(full.issue_cycles, timed.issue_cycles);
+    EXPECT_EQ(full.scalar_cycles, timed.scalar_cycles);
+    EXPECT_EQ(full.merge_accesses, timed.merge_accesses);
+    EXPECT_EQ(full.merge_cycles, timed.merge_cycles);
+}
+
+TEST_F(SpGemmWarpTest, DenseTileIssuesEverything)
+{
+    Rng rng(115);
+    Matrix<float> a = randomSparseMatrix(32, 32, 0.0, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.0, rng);
+    WarpTileResult r =
+        engine_.computeTile(BitmapMatrix::encode(a, Major::Col),
+                            BitmapMatrix::encode(b, Major::Row),
+                            nullptr);
+    EXPECT_EQ(r.mix.ohmma_issued, 32 * 8);
+    EXPECT_EQ(r.mix.ohmma_skipped, 0);
+    EXPECT_EQ(r.macs, 32768);
+}
+
+TEST_F(SpGemmWarpTest, EmptyTileIsFree)
+{
+    Matrix<float> zero(32, 32);
+    Rng rng(116);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.2, rng);
+    WarpTileResult r =
+        engine_.computeTile(BitmapMatrix::encode(zero, Major::Col),
+                            BitmapMatrix::encode(b, Major::Row),
+                            nullptr);
+    EXPECT_EQ(r.issue_cycles, 0);
+    EXPECT_EQ(r.merge_cycles, 0);
+    EXPECT_EQ(r.macs, 0);
+    // Only the per-tile occupancy-AND floor remains. (At device
+    // level the warp-bitmap skips the tile before even this is
+    // paid.)
+    EXPECT_EQ(r.cycles(), 2);
+    EXPECT_EQ(r.scalar_cycles, 2);
+}
+
+TEST_F(SpGemmWarpTest, SparserInputsIssueFewerCycles)
+{
+    Rng rng(117);
+    int64_t prev = INT64_MAX;
+    for (double sparsity : {0.0, 0.5, 0.9, 0.99}) {
+        Matrix<float> a = randomSparseMatrix(32, 32, sparsity, rng);
+        Matrix<float> b = randomSparseMatrix(32, 32, sparsity, rng);
+        WarpTileResult r = engine_.computeTile(
+            BitmapMatrix::encode(a, Major::Col),
+            BitmapMatrix::encode(b, Major::Row), nullptr);
+        EXPECT_LE(r.issue_cycles, prev);
+        prev = r.issue_cycles;
+    }
+}
+
+TEST_F(SpGemmWarpTest, DetailedMergeCloseToModel)
+{
+    Rng rng(118);
+    Matrix<float> a = randomSparseMatrix(32, 32, 0.4, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.4, rng);
+    BitmapMatrix a_bm = BitmapMatrix::encode(a, Major::Col);
+    BitmapMatrix b_bm = BitmapMatrix::encode(b, Major::Row);
+    WarpTileResult modeled =
+        engine_.computeTile(a_bm, b_bm, nullptr, false);
+    WarpTileResult detailed =
+        engine_.computeTile(a_bm, b_bm, nullptr, true);
+    EXPECT_NEAR(static_cast<double>(modeled.merge_cycles),
+                static_cast<double>(detailed.merge_cycles),
+                static_cast<double>(detailed.merge_cycles) * 0.5 + 8.0);
+}
+
+TEST_F(SpGemmWarpTest, PartialTileDimensions)
+{
+    Rng rng(119);
+    Matrix<float> a = randomSparseMatrix(20, 12, 0.4, rng);
+    Matrix<float> b = randomSparseMatrix(12, 25, 0.4, rng);
+    Matrix<float> accum(20, 25);
+    engine_.computeTile(BitmapMatrix::encode(a, Major::Col),
+                        BitmapMatrix::encode(b, Major::Row), &accum);
+    EXPECT_LT(maxAbsDiff(accum, refGemmFp16(a, b)), 1e-6);
+}
+
+class WarpSparsitySweep
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(WarpSparsitySweep, FunctionalAcrossSparsities)
+{
+    const auto [sa, sb] = GetParam();
+    Rng rng(static_cast<uint64_t>(sa * 100 + sb * 10) + 7);
+    GpuConfig cfg = GpuConfig::v100();
+    SpGemmWarpEngine engine(cfg);
+    Matrix<float> a = randomSparseMatrix(32, 32, sa, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, sb, rng);
+    Matrix<float> accum(32, 32);
+    engine.computeTile(BitmapMatrix::encode(a, Major::Col),
+                       BitmapMatrix::encode(b, Major::Row), &accum);
+    EXPECT_LT(maxAbsDiff(accum, refGemmFp16(a, b)), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sparsities, WarpSparsitySweep,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{0.0, 0.99},
+                      std::pair{0.99, 0.0}, std::pair{0.5, 0.5},
+                      std::pair{0.9, 0.9}, std::pair{1.0, 0.5},
+                      std::pair{0.25, 0.75}));
+
+} // namespace
+} // namespace dstc

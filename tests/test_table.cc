@@ -1,0 +1,49 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"a", "1"});
+    table.addRow({"longer", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    // All data rows start at column 0 and values align.
+    EXPECT_NE(out.find("a       1"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersEmpty)
+{
+    TextTable table;
+    EXPECT_EQ(table.render(), "");
+}
+
+TEST(TextTable, RaggedRowsTolerated)
+{
+    TextTable table;
+    table.setHeader({"a", "b", "c"});
+    table.addRow({"1"});
+    table.addRow({"1", "2", "3", "4"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("4"), std::string::npos);
+}
+
+TEST(Format, Doubles)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+    EXPECT_EQ(fmtSpeedup(4.378), "4.38x");
+    EXPECT_EQ(fmtSpeedup(0.5, 1), "0.5x");
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,49 @@
+#include "tensor/tensor4d.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(Tensor4d, ConstructAndIndex)
+{
+    Tensor4d t(2, 3, 4, 5);
+    EXPECT_EQ(t.n(), 2);
+    EXPECT_EQ(t.c(), 3);
+    EXPECT_EQ(t.h(), 4);
+    EXPECT_EQ(t.w(), 5);
+    EXPECT_EQ(t.size(), 120u);
+    t.at(1, 2, 3, 4) = 7.0f;
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+    EXPECT_FLOAT_EQ(t.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Tensor4d, NchwLayoutIsContiguous)
+{
+    Tensor4d t(1, 2, 2, 2);
+    float v = 0.0f;
+    for (int c = 0; c < 2; ++c)
+        for (int h = 0; h < 2; ++h)
+            for (int w = 0; w < 2; ++w)
+                t.at(0, c, h, w) = v++;
+    for (size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t.data()[i], static_cast<float>(i));
+}
+
+TEST(Tensor4d, Sparsity)
+{
+    Tensor4d t(1, 1, 2, 2);
+    EXPECT_DOUBLE_EQ(t.sparsity(), 1.0);
+    t.at(0, 0, 0, 0) = 1.0f;
+    EXPECT_DOUBLE_EQ(t.sparsity(), 0.75);
+}
+
+TEST(Tensor4d, RandomSparseHitsTarget)
+{
+    Rng rng(9);
+    Tensor4d t = randomSparseTensor(2, 8, 32, 32, 0.6, rng);
+    EXPECT_NEAR(t.sparsity(), 0.6, 0.02);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,71 @@
+#include "isa/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dstc {
+namespace {
+
+TEST(Trace, ListsEverySet)
+{
+    Rng rng(191);
+    Matrix<float> a = randomSparseMatrix(32, 8, 0.5, rng);
+    Matrix<float> b = randomSparseMatrix(8, 32, 0.5, rng);
+    TileTrace trace =
+        traceWarpTile(BitmapMatrix::encode(a, Major::Col),
+                      BitmapMatrix::encode(b, Major::Row));
+    for (int set = 0; set < 8; ++set)
+        EXPECT_NE(trace.listing.find("// set " + std::to_string(set)),
+                  std::string::npos);
+    EXPECT_NE(trace.listing.find("// totals:"), std::string::npos);
+}
+
+TEST(Trace, Fig15ExampleAnnotations)
+{
+    // Column with 20 non-zeros, row with 12: 3/8 OHMMAs enabled.
+    Matrix<float> a(32, 1), b(1, 32);
+    for (int i = 0; i < 20; ++i)
+        a.at(i, 0) = 1.0f;
+    for (int i = 0; i < 12; ++i)
+        b.at(0, i) = 1.0f;
+    TileTrace trace =
+        traceWarpTile(BitmapMatrix::encode(a, Major::Col),
+                      BitmapMatrix::encode(b, Major::Row));
+    EXPECT_NE(trace.listing.find("POPC(Av)=20"), std::string::npos);
+    EXPECT_NE(trace.listing.find("POPC(Bv)=12"), std::string::npos);
+    EXPECT_NE(trace.listing.find("3/8 OHMMAs enabled"),
+              std::string::npos);
+    EXPECT_EQ(trace.mix.ohmma_issued, 3);
+    EXPECT_EQ(trace.mix.ohmma_skipped, 5);
+}
+
+TEST(Trace, CompactedSetsAreMarked)
+{
+    Matrix<float> a(32, 2), b(2, 32);
+    a.at(0, 0) = 1.0f; // k=0 has A data...
+    b.at(1, 0) = 1.0f; // ...but only k=1 has B data: both compacted
+    TileTrace trace =
+        traceWarpTile(BitmapMatrix::encode(a, Major::Col),
+                      BitmapMatrix::encode(b, Major::Row));
+    EXPECT_NE(trace.listing.find("compacted away"), std::string::npos);
+    EXPECT_EQ(trace.mix.ohmma_issued, 0);
+    EXPECT_EQ(trace.program.size(), 0u);
+}
+
+TEST(Trace, MixMatchesProgram)
+{
+    Rng rng(192);
+    Matrix<float> a = randomSparseMatrix(32, 16, 0.7, rng);
+    Matrix<float> b = randomSparseMatrix(16, 32, 0.3, rng);
+    TileTrace trace =
+        traceWarpTile(BitmapMatrix::encode(a, Major::Col),
+                      BitmapMatrix::encode(b, Major::Row));
+    InstructionMix recomputed = trace.program.mix();
+    EXPECT_EQ(trace.mix.ohmma_issued, recomputed.ohmma_issued);
+    EXPECT_EQ(trace.mix.bohmma, recomputed.bohmma);
+    EXPECT_EQ(trace.mix.popc, recomputed.popc);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,127 @@
+#include "sparse/two_level.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "model/sparsity_gen.h"
+
+namespace dstc {
+namespace {
+
+TEST(TwoLevel, EncodeDecodeExactTiles)
+{
+    Rng rng(51);
+    Matrix<float> m = randomSparseMatrix(64, 64, 0.6, rng);
+    TwoLevelBitmapMatrix tl =
+        TwoLevelBitmapMatrix::encode(m, 32, 32, Major::Col);
+    EXPECT_EQ(tl.numTileRows(), 2);
+    EXPECT_EQ(tl.numTileCols(), 2);
+    EXPECT_EQ(tl.decode(), m);
+    EXPECT_EQ(tl.nnz(), m.nnz());
+}
+
+TEST(TwoLevel, PartialEdgeTiles)
+{
+    Rng rng(52);
+    Matrix<float> m = randomSparseMatrix(50, 70, 0.5, rng);
+    TwoLevelBitmapMatrix tl =
+        TwoLevelBitmapMatrix::encode(m, 32, 32, Major::Row);
+    EXPECT_EQ(tl.numTileRows(), 2);
+    EXPECT_EQ(tl.numTileCols(), 3);
+    EXPECT_EQ(tl.tile(1, 2).rows(), 18);
+    EXPECT_EQ(tl.tile(1, 2).cols(), 6);
+    EXPECT_EQ(tl.decode(), m);
+}
+
+TEST(TwoLevel, WarpBitmapMarksEmptyTiles)
+{
+    Matrix<float> m(64, 64);
+    m.at(0, 0) = 1.0f;   // tile (0,0)
+    m.at(40, 50) = 2.0f; // tile (1,1)
+    TwoLevelBitmapMatrix tl =
+        TwoLevelBitmapMatrix::encode(m, 32, 32, Major::Col);
+    EXPECT_TRUE(tl.tileNonEmpty(0, 0));
+    EXPECT_FALSE(tl.tileNonEmpty(0, 1));
+    EXPECT_FALSE(tl.tileNonEmpty(1, 0));
+    EXPECT_TRUE(tl.tileNonEmpty(1, 1));
+    EXPECT_EQ(tl.nonEmptyTiles(), 2);
+    EXPECT_EQ(tl.tileNnz(0, 0), 1);
+    EXPECT_EQ(tl.tileNnz(0, 1), 0);
+}
+
+TEST(TwoLevel, TileMajorOrderPropagates)
+{
+    Matrix<float> m(4, 4);
+    m.at(0, 1) = 1.0f;
+    m.at(2, 1) = 2.0f;
+    TwoLevelBitmapMatrix tl =
+        TwoLevelBitmapMatrix::encode(m, 4, 4, Major::Col);
+    // Column-major tile: line 1 is column 1 with both values.
+    const BitmapMatrix &tile = tl.tile(0, 0);
+    EXPECT_EQ(tile.major(), Major::Col);
+    ASSERT_EQ(tile.lineValues(1).size(), 2u);
+    EXPECT_FLOAT_EQ(tile.lineValues(1)[0], 1.0f);
+    EXPECT_FLOAT_EQ(tile.lineValues(1)[1], 2.0f);
+}
+
+TEST(TwoLevel, EmptyTilesCostOnlyWarpBits)
+{
+    // Clustered matrix: most tiles empty, so the two-level encoding
+    // is far smaller than the one-level bitmap floor (Sec. VI-D).
+    Rng rng(53);
+    Matrix<float> m =
+        clusteredSparseMatrix(256, 256, 0.99, 32, 50.0, rng);
+    TwoLevelBitmapMatrix tl =
+        TwoLevelBitmapMatrix::encode(m, 32, 32, Major::Col);
+    BitmapMatrix one = BitmapMatrix::encode(m, Major::Col);
+    EXPECT_LT(tl.encodedBytes(), one.encodedBytes());
+    EXPECT_EQ(tl.decode(), m);
+}
+
+TEST(TwoLevel, AllZeroMatrix)
+{
+    Matrix<float> m(40, 40);
+    TwoLevelBitmapMatrix tl =
+        TwoLevelBitmapMatrix::encode(m, 32, 32, Major::Row);
+    EXPECT_EQ(tl.nonEmptyTiles(), 0);
+    EXPECT_EQ(tl.nnz(), 0);
+    EXPECT_EQ(tl.decode(), m);
+}
+
+struct TwoLevelParam
+{
+    int rows, cols, tile_r, tile_c;
+    double sparsity;
+};
+
+class TwoLevelSweep : public ::testing::TestWithParam<TwoLevelParam>
+{
+};
+
+TEST_P(TwoLevelSweep, RoundTripAndCounts)
+{
+    const auto &p = GetParam();
+    Rng rng(static_cast<uint64_t>(p.rows * 7 + p.cols));
+    Matrix<float> m =
+        randomSparseMatrix(p.rows, p.cols, p.sparsity, rng);
+    TwoLevelBitmapMatrix tl =
+        TwoLevelBitmapMatrix::encode(m, p.tile_r, p.tile_c, Major::Col);
+    EXPECT_EQ(tl.decode(), m);
+    EXPECT_EQ(tl.nnz(), m.nnz());
+    // Warp-bit consistency: non-empty iff the tile has values.
+    for (int tr = 0; tr < tl.numTileRows(); ++tr)
+        for (int tc = 0; tc < tl.numTileCols(); ++tc)
+            EXPECT_EQ(tl.tileNonEmpty(tr, tc), tl.tileNnz(tr, tc) > 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TwoLevelSweep,
+    ::testing::Values(TwoLevelParam{32, 32, 32, 32, 0.5},
+                      TwoLevelParam{31, 33, 32, 32, 0.5},
+                      TwoLevelParam{100, 100, 32, 32, 0.9},
+                      TwoLevelParam{64, 96, 16, 16, 0.2},
+                      TwoLevelParam{96, 64, 32, 16, 0.97},
+                      TwoLevelParam{1, 1, 32, 32, 0.0}));
+
+} // namespace
+} // namespace dstc

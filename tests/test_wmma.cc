@@ -1,0 +1,79 @@
+#include "gemm/wmma.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+TEST(Wmma, InnerMatchesReferenceFp16)
+{
+    Rng rng(91);
+    Matrix<float> a = randomSparseMatrix(16, 16, 0.3, rng);
+    Matrix<float> b = randomSparseMatrix(16, 16, 0.3, rng);
+    EXPECT_EQ(maxAbsDiff(wmmaInner(a, b), refGemmFp16(a, b)), 0.0);
+}
+
+TEST(Wmma, OuterEqualsInnerBitwise)
+{
+    // The FEDP -> FEOP swap preserves dense semantics exactly
+    // (Sec. V-A1): same products, same accumulation order.
+    Rng rng(92);
+    for (int trial = 0; trial < 20; ++trial) {
+        Matrix<float> a = randomSparseMatrix(16, 16, 0.2, rng);
+        Matrix<float> b = randomSparseMatrix(16, 16, 0.2, rng);
+        Matrix<float> c = randomSparseMatrix(16, 16, 0.5, rng);
+        Matrix<float> inner = wmmaInner(a, b, &c);
+        Matrix<float> outer = wmmaOuter(a, b, &c);
+        EXPECT_EQ(maxAbsDiff(inner, outer), 0.0) << "trial " << trial;
+    }
+}
+
+TEST(Wmma, AccumulatorAdds)
+{
+    Matrix<float> a(2, 2), b(2, 2), c(2, 2, 100.0f);
+    a.at(0, 0) = 1;
+    b.at(0, 0) = 2;
+    Matrix<float> d = wmmaOuter(a, b, &c);
+    EXPECT_FLOAT_EQ(d.at(0, 0), 102.0f);
+    EXPECT_FLOAT_EQ(d.at(1, 1), 100.0f);
+}
+
+TEST(Wmma, OperandsAreFp16Quantized)
+{
+    Matrix<float> a(1, 1), b(1, 1);
+    a.at(0, 0) = 1.0f + 0x1.0p-13f; // not representable in FP16
+    b.at(0, 0) = 1.0f;
+    EXPECT_FLOAT_EQ(wmmaInner(a, b).at(0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(wmmaOuter(a, b).at(0, 0), 1.0f);
+}
+
+class WmmaShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, double>>
+{
+};
+
+TEST_P(WmmaShapeSweep, InnerOuterAgreeOnAllShapes)
+{
+    const auto [m, n, k, sparsity] = GetParam();
+    Rng rng(static_cast<uint64_t>(m * 100 + n * 10 + k));
+    Matrix<float> a = randomSparseMatrix(m, k, sparsity, rng);
+    Matrix<float> b = randomSparseMatrix(k, n, sparsity, rng);
+    EXPECT_EQ(maxAbsDiff(wmmaInner(a, b), wmmaOuter(a, b)), 0.0);
+    EXPECT_EQ(maxAbsDiff(wmmaOuter(a, b), refGemmFp16(a, b)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WmmaShapeSweep,
+    ::testing::Values(std::tuple{1, 1, 1, 0.0},
+                      std::tuple{4, 4, 4, 0.5},
+                      std::tuple{8, 16, 1, 0.3},
+                      std::tuple{16, 16, 16, 0.0},
+                      std::tuple{16, 16, 16, 0.9},
+                      std::tuple{5, 7, 9, 0.4},
+                      std::tuple{32, 8, 24, 0.6}));
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,101 @@
+#include "model/zoo.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+TEST(Zoo, FiveModelsInPaperOrder)
+{
+    auto models = allModels();
+    ASSERT_EQ(models.size(), 5u);
+    EXPECT_EQ(models[0].name, "VGG-16");
+    EXPECT_EQ(models[1].name, "ResNet-18");
+    EXPECT_EQ(models[2].name, "Mask R-CNN");
+    EXPECT_EQ(models[3].name, "BERT-base encoder");
+    EXPECT_EQ(models[4].name, "RNN");
+}
+
+TEST(Zoo, TableIIMetadata)
+{
+    auto models = allModels();
+    EXPECT_EQ(models[0].pruning, "AGP");
+    EXPECT_EQ(models[3].pruning, "MP");
+    EXPECT_EQ(models[0].dataset, "ImageNet");
+    EXPECT_EQ(models[2].dataset, "COCO");
+    EXPECT_EQ(models[3].dataset, "SQuAD");
+    EXPECT_EQ(models[4].dataset, "WikiText-2");
+}
+
+TEST(Zoo, CnnModelsHaveConvLayers)
+{
+    for (const auto &model : {makeVgg16(), makeResnet18()}) {
+        EXPECT_FALSE(model.conv_layers.empty()) << model.name;
+        EXPECT_TRUE(model.gemm_layers.empty()) << model.name;
+    }
+    EXPECT_FALSE(makeMaskRcnn().conv_layers.empty());
+}
+
+TEST(Zoo, NlpModelsAreGemmOnly)
+{
+    for (const auto &model : {makeBertBase(), makeRnnLM()}) {
+        EXPECT_TRUE(model.conv_layers.empty()) << model.name;
+        EXPECT_FALSE(model.gemm_layers.empty()) << model.name;
+    }
+}
+
+TEST(Zoo, AllLayerShapesAreValid)
+{
+    for (const auto &model : allModels()) {
+        for (const auto &layer : model.conv_layers) {
+            EXPECT_GT(layer.shape.outH(), 0) << layer.name;
+            EXPECT_GT(layer.shape.loweredRows(), 0) << layer.name;
+            EXPECT_GE(layer.weight_sparsity, 0.0);
+            EXPECT_LT(layer.weight_sparsity, 1.0);
+            EXPECT_GE(layer.act_sparsity, 0.0);
+            EXPECT_LT(layer.act_sparsity, 1.0);
+        }
+        for (const auto &layer : model.gemm_layers) {
+            EXPECT_GT(layer.m, 0) << layer.name;
+            EXPECT_GT(layer.n, 0) << layer.name;
+            EXPECT_GT(layer.k, 0) << layer.name;
+        }
+    }
+}
+
+TEST(Zoo, NlpWeightsAreSparserThanCnnWeights)
+{
+    // BERT (movement pruning) and the RNN exceed 90% weight
+    // sparsity; their activations are near-dense (Sec. VI-A/D).
+    for (const auto &layer : makeBertBase().gemm_layers) {
+        EXPECT_GE(layer.weight_sparsity, 0.9) << layer.name;
+        EXPECT_LE(layer.act_sparsity, 0.2) << layer.name;
+    }
+    for (const auto &layer : makeRnnLM().gemm_layers)
+        EXPECT_GE(layer.weight_sparsity, 0.9) << layer.name;
+}
+
+TEST(Zoo, Vgg16ShapesMatchArchitecture)
+{
+    auto vgg = makeVgg16();
+    const auto &first = vgg.conv_layers.front();
+    EXPECT_EQ(first.shape.in_c, 3);
+    EXPECT_EQ(first.shape.in_h, 224);
+    const auto &last = vgg.conv_layers.back();
+    EXPECT_EQ(last.shape.in_c, 512);
+    EXPECT_EQ(last.shape.in_h, 14);
+}
+
+TEST(Zoo, ResnetDownsamplesWithStride)
+{
+    auto resnet = makeResnet18();
+    EXPECT_EQ(resnet.conv_layers.front().shape.stride, 2); // conv1 7x7/2
+    bool any_strided_3x3 = false;
+    for (const auto &layer : resnet.conv_layers)
+        any_strided_3x3 |= layer.shape.kernel == 3 &&
+                           layer.shape.stride == 2;
+    EXPECT_TRUE(any_strided_3x3);
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * dstc_sim — command-line front end to the simulator, for exploring
+ * operating points without writing code.
+ *
+ * Usage:
+ *   dstc_sim gemm M N K [--a-sparsity S] [--b-sparsity S]
+ *            [--cluster C] [--method dual|dense|zhu|ampere|cusparse]
+ *   dstc_sim conv --in-c C --hw H --out-c N [--kernel K] [--stride S]
+ *            [--pad P] [--wsp S] [--asp S]
+ *            [--method dual|dense-implicit|dense-explicit|single-...]
+ *   dstc_sim model vgg16|resnet18|maskrcnn|bert|rnn [--method ...]
+ *   dstc_sim overhead
+ *
+ * All commands run on the V100 machine model; pass --a100 to switch.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/engine.h"
+#include "hwmodel/energy_model.h"
+#include "model/runner.h"
+
+using namespace dstc;
+
+namespace {
+
+struct Args
+{
+    std::vector<std::string> positional;
+    std::vector<std::pair<std::string, std::string>> flags;
+
+    bool
+    hasFlag(const std::string &name) const
+    {
+        for (const auto &[k, v] : flags)
+            if (k == name)
+                return true;
+        return false;
+    }
+
+    std::string
+    flag(const std::string &name, const std::string &fallback) const
+    {
+        for (const auto &[k, v] : flags)
+            if (k == name)
+                return v;
+        return fallback;
+    }
+
+    double
+    flagD(const std::string &name, double fallback) const
+    {
+        for (const auto &[k, v] : flags)
+            if (k == name)
+                return std::atof(v.c_str());
+        return fallback;
+    }
+
+    int
+    flagI(const std::string &name, int fallback) const
+    {
+        for (const auto &[k, v] : flags)
+            if (k == name)
+                return std::atoi(v.c_str());
+        return fallback;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) == 0) {
+            std::string name = token.substr(2);
+            std::string value = "1";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                value = argv[++i];
+            args.flags.emplace_back(name, value);
+        } else {
+            args.positional.push_back(token);
+        }
+    }
+    return args;
+}
+
+void
+printStats(const KernelStats &stats, const GpuConfig &cfg)
+{
+    std::printf("kernel           : %s\n", stats.name.c_str());
+    std::printf("time             : %.2f us (%s bound)\n",
+                stats.timeUs(),
+                stats.bound == Bound::Compute ? "compute" : "memory");
+    std::printf("compute / memory : %.2f / %.2f us\n", stats.compute_us,
+                stats.memory_us);
+    std::printf("DRAM traffic     : %.2f MB\n", stats.dram_bytes / 1e6);
+    if (stats.mix.ohmma_issued + stats.mix.ohmma_skipped > 0) {
+        std::printf("OHMMA            : %lld issued, %lld skipped\n",
+                    static_cast<long long>(stats.mix.ohmma_issued),
+                    static_cast<long long>(stats.mix.ohmma_skipped));
+        std::printf("warp tiles       : %lld run, %lld skipped\n",
+                    static_cast<long long>(stats.warp_tiles),
+                    static_cast<long long>(stats.warp_tiles_skipped));
+    }
+    EnergyReport energy =
+        estimateEnergy(stats, EnergyParams::v100_12nm(), cfg);
+    std::printf("energy           : %.1f uJ\n", energy.totalUj());
+}
+
+int
+runGemm(const Args &args, const DstcEngine &engine)
+{
+    if (args.positional.size() < 4) {
+        std::fprintf(stderr, "usage: dstc_sim gemm M N K [flags]\n");
+        return 2;
+    }
+    const int64_t m = std::atoll(args.positional[1].c_str());
+    const int64_t n = std::atoll(args.positional[2].c_str());
+    const int64_t k = std::atoll(args.positional[3].c_str());
+    if (m <= 0 || n <= 0 || k <= 0) {
+        std::fprintf(stderr, "error: dimensions must be positive\n");
+        return 2;
+    }
+    const double sa = args.flagD("a-sparsity", 0.0);
+    const double sb = args.flagD("b-sparsity", 0.0);
+    const double cluster = args.flagD("cluster", 1.0);
+    const std::string method = args.flag("method", "dual");
+
+    KernelStats stats;
+    if (method == "dual") {
+        Rng rng(static_cast<uint64_t>(args.flagI("seed", 1)));
+        SparsityProfile pa = SparsityProfile::randomA(
+            m, k, 32, 1.0 - sa, sa > 0 ? cluster : 1.0, rng);
+        SparsityProfile pb = SparsityProfile::randomA(
+            n, k, 32, 1.0 - sb, sb > 0 ? cluster : 1.0, rng);
+        stats = engine.spgemmTime(pa, pb);
+    } else if (method == "dense") {
+        stats = engine.denseGemmTime(m, n, k);
+    } else if (method == "zhu") {
+        stats = engine.zhuGemmTime(m, n, k, sb);
+    } else if (method == "ampere") {
+        stats = engine.ampereGemmTime(m, n, k, sb);
+    } else if (method == "cusparse") {
+        stats = engine.cusparseTime(m, n, k, 1.0 - sa, 1.0 - sb);
+    } else {
+        std::fprintf(stderr, "error: unknown method '%s'\n",
+                     method.c_str());
+        return 2;
+    }
+    std::printf("GEMM %lld x %lld x %lld, A sparsity %.3f, B sparsity "
+                "%.3f (%s)\n",
+                static_cast<long long>(m), static_cast<long long>(n),
+                static_cast<long long>(k), sa, sb, method.c_str());
+    printStats(stats, engine.config());
+    return 0;
+}
+
+int
+runConv(const Args &args, const DstcEngine &engine)
+{
+    ConvShape shape;
+    shape.batch = args.flagI("batch", 1);
+    shape.in_c = args.flagI("in-c", 0);
+    shape.in_h = shape.in_w = args.flagI("hw", 0);
+    shape.out_c = args.flagI("out-c", 0);
+    shape.kernel = args.flagI("kernel", 3);
+    shape.stride = args.flagI("stride", 1);
+    shape.pad = args.flagI("pad", 1);
+    if (shape.in_c <= 0 || shape.in_h <= 0 || shape.out_c <= 0) {
+        std::fprintf(stderr, "usage: dstc_sim conv --in-c C --hw H "
+                             "--out-c N [flags]\n");
+        return 2;
+    }
+    if (shape.outH() <= 0) {
+        std::fprintf(stderr,
+                     "error: convolution output collapses to zero\n");
+        return 2;
+    }
+
+    const std::string method_name = args.flag("method", "dual");
+    ConvMethod method;
+    if (method_name == "dual")
+        method = ConvMethod::DualSparseImplicit;
+    else if (method_name == "dense-implicit")
+        method = ConvMethod::DenseImplicit;
+    else if (method_name == "dense-explicit")
+        method = ConvMethod::DenseExplicit;
+    else if (method_name == "single-implicit")
+        method = ConvMethod::SingleSparseImplicit;
+    else if (method_name == "single-explicit")
+        method = ConvMethod::SingleSparseExplicit;
+    else {
+        std::fprintf(stderr, "error: unknown method '%s'\n",
+                     method_name.c_str());
+        return 2;
+    }
+
+    KernelStats stats = engine.convTime(
+        shape, method, args.flagD("wsp", 0.0), args.flagD("asp", 0.0),
+        static_cast<uint64_t>(args.flagI("seed", 1)),
+        args.flagD("cluster", 4.0), args.flagD("act-cluster", 2.0));
+    std::printf("CONV %s (%s)\n", shape.str().c_str(),
+                convMethodName(method));
+    printStats(stats, engine.config());
+    return 0;
+}
+
+int
+runModel(const Args &args, const DstcEngine &engine)
+{
+    if (args.positional.size() < 2) {
+        std::fprintf(stderr, "usage: dstc_sim model <name> [flags]\n");
+        return 2;
+    }
+    const std::string &name = args.positional[1];
+    DnnModel model;
+    if (name == "vgg16")
+        model = makeVgg16();
+    else if (name == "resnet18")
+        model = makeResnet18();
+    else if (name == "maskrcnn")
+        model = makeMaskRcnn();
+    else if (name == "bert")
+        model = makeBertBase();
+    else if (name == "rnn")
+        model = makeRnnLM();
+    else {
+        std::fprintf(stderr, "error: unknown model '%s'\n",
+                     name.c_str());
+        return 2;
+    }
+
+    const std::string method_name = args.flag("method", "dual");
+    ModelMethod method = ModelMethod::DualSparseImplicit;
+    if (method_name == "dense")
+        method = ModelMethod::DenseImplicit;
+    else if (method_name == "single")
+        method = ModelMethod::SingleSparseImplicit;
+    else if (method_name != "dual") {
+        std::fprintf(stderr, "error: unknown method '%s'\n",
+                     method_name.c_str());
+        return 2;
+    }
+
+    ModelRunner runner(engine);
+    ModelRunResult result = runner.run(model, method);
+    ModelRunResult dense =
+        runner.run(model, ModelMethod::DenseImplicit);
+
+    TextTable table;
+    table.setHeader({"layer", "time (us)", "vs dense implicit"});
+    for (size_t i = 0; i < result.layers.size(); ++i) {
+        table.addRow({result.layers[i].name,
+                      fmtDouble(result.layers[i].stats.timeUs(), 2),
+                      fmtSpeedup(dense.layers[i].stats.timeUs() /
+                                 result.layers[i].stats.timeUs())});
+    }
+    table.addRow({"FULL MODEL", fmtDouble(result.totalTimeUs(), 2),
+                  fmtSpeedup(dense.totalTimeUs() /
+                             result.totalTimeUs())});
+    std::printf("%s under %s:\n", model.name.c_str(),
+                modelMethodName(method));
+    table.print();
+    return 0;
+}
+
+int
+runOverhead(const DstcEngine &engine)
+{
+    OverheadReport report = engine.hardwareOverhead();
+    TextTable table;
+    table.setHeader({"module", "area (mm^2)", "power (W)"});
+    for (const auto &component : report.components)
+        table.addRow({component.name, fmtDouble(component.area_mm2, 3),
+                      fmtDouble(component.power_w, 2)});
+    table.addRow({"total", fmtDouble(report.totalAreaMm2(), 3),
+                  fmtDouble(report.totalPowerW(), 2)});
+    table.print();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    if (args.positional.empty()) {
+        std::fprintf(stderr,
+                     "usage: dstc_sim <gemm|conv|model|overhead> "
+                     "[args] [--a100]\n");
+        return 2;
+    }
+    DstcEngine engine(args.hasFlag("a100") ? GpuConfig::a100Like()
+                                           : GpuConfig::v100());
+
+    const std::string &command = args.positional[0];
+    if (command == "gemm")
+        return runGemm(args, engine);
+    if (command == "conv")
+        return runConv(args, engine);
+    if (command == "model")
+        return runModel(args, engine);
+    if (command == "overhead")
+        return runOverhead(engine);
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+}
