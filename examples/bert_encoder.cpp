@@ -3,21 +3,22 @@
  * BERT-base encoder layer on the dual-side sparse Tensor Core: all
  * four GEMMs of one transformer block with movement-pruned weights,
  * comparing Dense / Single Sparse / Dual Sparse execution — the
- * Fig. 22 BERT workflow at full layer scale.
+ * Fig. 22 BERT workflow at full layer scale, submitted as one
+ * batched Session workload (12 kernels, one submitBatch call).
  *
  * Build & run:  ./build/examples/bert_encoder
  */
 #include <cstdio>
+#include <vector>
 
-#include "core/engine.h"
-#include "common/rng.h"
+#include "core/session.h"
 #include "model/zoo.h"
 
 int
 main()
 {
     using namespace dstc;
-    DstcEngine engine;
+    Session session;
     DnnModel bert = makeBertBase();
 
     std::printf("BERT-base encoder block, seq len 128, movement-pruned "
@@ -25,26 +26,38 @@ main()
     std::printf("%-10s %-16s %10s %14s %13s\n", "layer", "m x n x k",
                 "dense(us)", "single(x)", "dual(x)");
 
-    double dense_total = 0.0, single_total = 0.0, dual_total = 0.0;
-    Rng rng(2024);
+    // One request per (layer, method); the whole block runs as a
+    // single batch on the session's worker pool.
+    const std::vector<Method> methods = {Method::Dense,
+                                         Method::ZhuSparse,
+                                         Method::DualSparse};
+    std::vector<KernelRequest> requests;
+    uint64_t seed = 2024;
     for (const auto &layer : bert.gemm_layers) {
-        const double dense =
-            engine.denseGemmTime(layer.m, layer.n, layer.k).timeUs();
-        const double single =
-            engine
-                .zhuGemmTime(layer.m, layer.n, layer.k,
-                             layer.weight_sparsity)
-                .timeUs();
-        // Movement pruning concentrates the surviving weights into
-        // whole heads/neurons, so the weight pattern is clustered.
-        SparsityProfile acts = SparsityProfile::randomA(
-            layer.m, layer.k, 32, 1.0 - layer.act_sparsity,
-            layer.act_cluster, rng);
-        SparsityProfile wts = SparsityProfile::randomA(
-            layer.n, layer.k, 32, 1.0 - layer.weight_sparsity,
-            layer.weight_cluster, rng);
-        const double dual = engine.spgemmTime(acts, wts).timeUs();
+        for (Method method : methods) {
+            KernelRequest req = KernelRequest::gemm(
+                layer.m, layer.n, layer.k, layer.act_sparsity,
+                layer.weight_sparsity);
+            req.method = method;
+            // Movement pruning concentrates the surviving weights
+            // into whole heads/neurons, so the pattern is clustered.
+            req.a_cluster = layer.act_cluster;
+            req.b_cluster = layer.weight_cluster;
+            req.seed = seed;
+            req.tag = layer.name;
+            requests.push_back(std::move(req));
+        }
+        ++seed;
+    }
+    std::vector<KernelReport> reports =
+        session.runBatch(std::move(requests));
 
+    double dense_total = 0.0, single_total = 0.0, dual_total = 0.0;
+    size_t idx = 0;
+    for (const auto &layer : bert.gemm_layers) {
+        const double dense = reports[idx++].timeUs();
+        const double single = reports[idx++].timeUs();
+        const double dual = reports[idx++].timeUs();
         dense_total += dense;
         single_total += single;
         dual_total += dual;

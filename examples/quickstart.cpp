@@ -1,15 +1,16 @@
 /**
  * @file
- * Quickstart: encode two sparse matrices, multiply them on the
- * dual-side sparse Tensor Core model, verify against a reference,
- * and inspect the timing breakdown.
+ * Quickstart for the Session / KernelRegistry API: multiply two
+ * sparse matrices on the dual-side sparse Tensor Core model, verify
+ * against a reference, let Method::Auto pick the backend, and
+ * inspect the timing breakdown.
  *
  * Build & run:  ./build/examples/quickstart
  */
 #include <cstdio>
 
-#include "core/engine.h"
 #include "common/rng.h"
+#include "core/session.h"
 #include "tensor/reference.h"
 
 int
@@ -17,8 +18,10 @@ main()
 {
     using namespace dstc;
 
-    // 1. A V100-model engine.
-    DstcEngine engine;
+    // 1. A session over the V100 machine model. It owns the kernel
+    //    registry (the five backends), the encoding cache and the
+    //    worker pool.
+    Session session;
 
     // 2. Two sparse operands: 70%-sparse activations x 80%-sparse
     //    weights, 512x512x512.
@@ -27,16 +30,21 @@ main()
     Matrix<float> weights = randomSparseMatrix(512, 512, 0.80, rng);
 
     // 3. Run the dual-side SpGEMM (functional + timed).
-    SpGemmResult result = engine.spgemm(activations, weights);
+    KernelRequest req = KernelRequest::gemm(activations, weights);
+    req.method = Method::DualSparse;
+    KernelReport result = session.run(req);
 
     // 4. Verify the functional result against the FP16 reference.
     const double err =
-        maxAbsDiff(result.d, refGemmFp16(activations, weights));
+        maxAbsDiff(*result.d, refGemmFp16(activations, weights));
     std::printf("max |error| vs reference: %.2e  (%s)\n", err,
                 err < 1e-4 ? "OK" : "FAIL");
 
-    // 5. Compare with the dense tensor-core baseline.
-    const double dense_us = engine.denseGemmTime(512, 512, 512).timeUs();
+    // 5. Compare with the dense tensor-core baseline through the
+    //    same API.
+    KernelRequest dense_req = KernelRequest::gemm(512, 512, 512);
+    dense_req.method = Method::Dense;
+    const double dense_us = session.run(dense_req).timeUs();
     const KernelStats &stats = result.stats;
     std::printf("\n-- timing --\n");
     std::printf("dual-side SpGEMM : %8.1f us (%s bound)\n",
@@ -45,6 +53,17 @@ main()
     std::printf("dense (CUTLASS)  : %8.1f us\n", dense_us);
     std::printf("speedup          : %8.2fx\n",
                 dense_us / stats.timeUs());
+
+    // 6. Or let the registry decide: Method::Auto plans every exact
+    //    backend and picks the profiled winner.
+    KernelRequest auto_req = KernelRequest::gemm(activations, weights);
+    auto_req.method = Method::Auto;
+    KernelReport chosen = session.run(auto_req);
+    std::printf("\nMethod::Auto picked: %s (%.1f us; operand "
+                "encodings %s)\n",
+                chosen.backend.c_str(), chosen.timeUs(),
+                chosen.encode_cache_hit ? "reused from cache"
+                                        : "freshly encoded");
 
     std::printf("\n-- instruction mix --\n");
     std::printf("OHMMA issued  : %lld\n",

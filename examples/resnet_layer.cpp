@@ -3,14 +3,17 @@
  * Sparse convolution of a ResNet-style layer under all five
  * execution strategies of the paper's Fig. 22 — the SpCONV workflow:
  * ReLU activations -> bitmap feature map -> implicit sparse im2col
- * -> dual-side SpGEMM.
+ * -> dual-side SpGEMM — each strategy a KernelRequest on one
+ * Session.
  *
  * Build & run:  ./build/examples/resnet_layer
  */
 #include <cstdio>
+#include <utility>
+#include <vector>
 
-#include "core/engine.h"
 #include "common/rng.h"
+#include "core/session.h"
 #include "model/pruning.h"
 #include "model/sparsity_gen.h"
 #include "tensor/reference.h"
@@ -19,7 +22,7 @@ int
 main()
 {
     using namespace dstc;
-    DstcEngine engine;
+    Session session;
 
     // A mid-network ResNet block conv: 64ch 28x28, 3x3, AGP-pruned
     // weights at 75%, post-ReLU activations at ~55% sparsity.
@@ -41,31 +44,36 @@ main()
                 input.sparsity() * 100.0, weights.sparsity() * 100.0);
 
     Tensor4d golden = refConv2d(input, weights, shape.params());
-    double dense_implicit_us = 0.0;
-    for (ConvMethod method :
-         {ConvMethod::DenseExplicit, ConvMethod::DenseImplicit,
-          ConvMethod::SingleSparseExplicit,
-          ConvMethod::SingleSparseImplicit,
-          ConvMethod::DualSparseImplicit}) {
-        ConvResult r = engine.conv(input, weights, shape, method);
+    const std::vector<std::pair<Method, Lowering>> strategies = {
+        {Method::Dense, Lowering::Explicit},
+        {Method::Dense, Lowering::Implicit},
+        {Method::ZhuSparse, Lowering::Explicit},
+        {Method::ZhuSparse, Lowering::Implicit},
+        {Method::DualSparse, Lowering::Implicit}};
+
+    double dense_implicit_us = 0.0, dual_us = 0.0;
+    for (const auto &[method, lowering] : strategies) {
+        KernelRequest req =
+            KernelRequest::conv(input, weights, shape);
+        req.method = method;
+        req.lowering = lowering;
+        KernelReport r = session.run(req);
         double err = 0.0;
         for (size_t i = 0; i < golden.size(); ++i)
             err = std::max(err, static_cast<double>(std::fabs(
-                                    r.output.data()[i] -
+                                    r.output->data()[i] -
                                     golden.data()[i])));
-        if (method == ConvMethod::DenseImplicit)
-            dense_implicit_us = r.stats.timeUs();
+        const bool is_dual = method == Method::DualSparse;
+        if (method == Method::Dense && lowering == Lowering::Implicit)
+            dense_implicit_us = r.timeUs();
+        if (is_dual)
+            dual_us = r.timeUs();
         std::printf("%-24s %9.1f us  (err %.1e)%s\n",
-                    convMethodName(method), r.stats.timeUs(), err,
-                    dense_implicit_us > 0.0 && method ==
-                        ConvMethod::DualSparseImplicit
-                        ? "  <- dual-side sparsity"
-                        : "");
+                    r.stats.name.c_str(), r.timeUs(), err,
+                    is_dual ? "  <- dual-side sparsity" : "");
     }
 
-    ConvResult dual = engine.conv(input, weights, shape,
-                                  ConvMethod::DualSparseImplicit);
     std::printf("\nspeedup over Dense Implicit: %.2fx\n",
-                dense_implicit_us / dual.stats.timeUs());
+                dense_implicit_us / dual_us);
     return 0;
 }

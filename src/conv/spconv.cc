@@ -180,11 +180,11 @@ ConvExecutor::run(const Tensor4d &input, const Matrix<float> &weights,
     return result;
 }
 
-KernelStats
-ConvExecutor::timeOnly(const ConvShape &shape, ConvMethod method,
-                       double weight_sparsity, double act_sparsity,
-                       uint64_t seed, double weight_cluster,
-                       double act_cluster) const
+ConvOperandEncoding
+encodeConvOperands(const ConvShape &shape, ConvMethod method,
+                   double weight_sparsity, double act_sparsity,
+                   uint64_t seed, double weight_cluster,
+                   double act_cluster)
 {
     Rng rng(seed);
     const int64_t m = shape.loweredRows();
@@ -236,8 +236,30 @@ ConvExecutor::timeOnly(const ConvShape &shape, ConvMethod method,
         weight_bytes = static_cast<double>(b_profile.encodedBytes(32));
     }
 
-    return timeGemmPhase(shape, method, &a_profile, &b_profile,
-                         input_bytes, weight_bytes);
+    return ConvOperandEncoding{std::move(a_profile),
+                               std::move(b_profile), input_bytes,
+                               weight_bytes};
+}
+
+KernelStats
+ConvExecutor::timeEncoded(const ConvShape &shape, ConvMethod method,
+                          const ConvOperandEncoding &enc) const
+{
+    return timeGemmPhase(shape, method, &enc.a, &enc.b,
+                         enc.input_bytes, enc.weight_bytes);
+}
+
+KernelStats
+ConvExecutor::timeOnly(const ConvShape &shape, ConvMethod method,
+                       double weight_sparsity, double act_sparsity,
+                       uint64_t seed, double weight_cluster,
+                       double act_cluster) const
+{
+    return timeEncoded(shape, method,
+                       encodeConvOperands(shape, method,
+                                          weight_sparsity, act_sparsity,
+                                          seed, weight_cluster,
+                                          act_cluster));
 }
 
 } // namespace dstc

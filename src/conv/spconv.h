@@ -48,6 +48,32 @@ struct ConvResult
     KernelStats stats;
 };
 
+/**
+ * Encoded operands of a timing-only convolution: the activation /
+ * weight popcount profiles plus each side's DRAM footprint under the
+ * method's encoding. Building this is the encode stage of a conv
+ * ExecutionPlan; it is pure in (shape, method, sparsities, clusters,
+ * seed), which makes it cacheable across repeated layers.
+ */
+struct ConvOperandEncoding
+{
+    SparsityProfile a; ///< lowered activations (A side)
+    SparsityProfile b; ///< flattened weights (B side)
+    double input_bytes = 0.0;
+    double weight_bytes = 0.0;
+};
+
+/**
+ * Synthesize the operand encoding of (shape, method) at a sparsity
+ * operating point. Deterministic per @p seed; exactly the encoding
+ * ConvExecutor::timeOnly uses internally.
+ */
+ConvOperandEncoding
+encodeConvOperands(const ConvShape &shape, ConvMethod method,
+                   double weight_sparsity, double act_sparsity,
+                   uint64_t seed = 1, double weight_cluster = 1.0,
+                   double act_cluster = 1.0);
+
 /** Runs convolution layers on the modeled device. */
 class ConvExecutor
 {
@@ -72,6 +98,13 @@ class ConvExecutor
                          double weight_sparsity, double act_sparsity,
                          uint64_t seed = 1, double weight_cluster = 1.0,
                          double act_cluster = 1.0) const;
+
+    /**
+     * Execute the timing model over a pre-built operand encoding
+     * (see encodeConvOperands). timeOnly == encode + timeEncoded.
+     */
+    KernelStats timeEncoded(const ConvShape &shape, ConvMethod method,
+                            const ConvOperandEncoding &enc) const;
 
     const GpuConfig &config() const { return cfg_; }
 

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Content-hash-keyed cache of encoded operands.
+ *
+ * Encoding a GEMM operand into the two-level bitmap format, or
+ * synthesizing the popcount profiles of a model layer's operating
+ * point, is pure: the result is a function of the operand contents
+ * (or generation parameters) alone. The cache exploits that purity —
+ * repeated layers and repeated requests over the same operands skip
+ * re-encoding entirely, across serial and batched execution alike.
+ *
+ * Keys are 64-bit FNV-1a digests built by the call sites from the
+ * operand contents / generation parameters plus a kind tag (see
+ * CacheKey). Values are immutable and shared: concurrent lookups of
+ * the same key build once and everyone holds the same object.
+ */
+#ifndef DSTC_CORE_ENCODING_CACHE_H
+#define DSTC_CORE_ENCODING_CACHE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <typeinfo>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/** Incremental FNV-1a digest used for cache keys. */
+class CacheKey
+{
+  public:
+    /** @param kind a distinct tag per encoding family, folded into
+     *         the digest so families never collide. */
+    explicit CacheKey(const char *kind) { str(kind); }
+
+    CacheKey &
+    bytes(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+        return *this;
+    }
+
+    CacheKey &
+    str(const char *s)
+    {
+        while (*s) {
+            hash_ ^= static_cast<unsigned char>(*s++);
+            hash_ *= 0x100000001b3ull;
+        }
+        return bytes("\0", 1); // terminator: no concat ambiguity
+    }
+
+    CacheKey &u64(uint64_t v) { return bytes(&v, sizeof(v)); }
+    CacheKey &i64(int64_t v) { return bytes(&v, sizeof(v)); }
+    CacheKey &i32(int32_t v) { return bytes(&v, sizeof(v)); }
+    CacheKey &f64(double v) { return bytes(&v, sizeof(v)); }
+
+    /** Fold in a matrix's dimensions and full contents. */
+    CacheKey &
+    matrix(const Matrix<float> &m)
+    {
+        i32(m.rows());
+        i32(m.cols());
+        return bytes(m.data().data(), m.data().size() * sizeof(float));
+    }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/**
+ * Shared cache of encoded operands, keyed by content hash. Bounded:
+ * when the entry count reaches the capacity, the oldest entries are
+ * evicted FIFO (in-flight users keep theirs alive through the
+ * shared_ptr; only the cache's reference is dropped).
+ */
+class EncodingCache
+{
+  public:
+    static constexpr size_t kDefaultCapacity = 1024;
+
+    explicit EncodingCache(size_t capacity = kDefaultCapacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    struct Counters
+    {
+        int64_t hits = 0;
+        int64_t misses = 0;
+        int64_t evictions = 0;
+    };
+
+    /**
+     * Return the cached value for @p key, building it with @p build
+     * on first use. Thread-safe; concurrent first lookups of one key
+     * build once (later arrivals block until the value is ready).
+     *
+     * @param hit optional out-flag: true iff the entry pre-existed.
+     */
+    template <typename T, typename BuildFn>
+    std::shared_ptr<const T>
+    getOrBuild(uint64_t key, BuildFn &&build, bool *hit = nullptr)
+    {
+        std::shared_ptr<Entry> entry;
+        bool existed;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto &slot = entries_[key];
+            existed = slot != nullptr;
+            if (!existed) {
+                slot = std::make_shared<Entry>();
+                insertion_order_.push_back(key);
+                while (entries_.size() > capacity_) {
+                    entries_.erase(insertion_order_.front());
+                    insertion_order_.pop_front();
+                    ++counters_.evictions;
+                }
+            }
+            entry = slot;
+            ++(existed ? counters_.hits : counters_.misses);
+        }
+        if (hit)
+            *hit = existed;
+        std::call_once(entry->once, [&] {
+            entry->value = std::static_pointer_cast<const void>(
+                std::make_shared<const T>(build()));
+            entry->type = typeid(T).hash_code();
+        });
+        DSTC_ASSERT(entry->type == typeid(T).hash_code(),
+                    "EncodingCache key collision across types");
+        return std::static_pointer_cast<const T>(entry->value);
+    }
+
+    Counters
+    counters() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return counters_;
+    }
+
+    size_t
+    entries() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return entries_.size();
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.clear();
+        insertion_order_.clear();
+        counters_ = Counters{};
+    }
+
+    size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        std::once_flag once;
+        std::shared_ptr<const void> value;
+        size_t type = 0;
+    };
+
+    mutable std::mutex mu_;
+    size_t capacity_;
+    std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
+    std::deque<uint64_t> insertion_order_;
+    Counters counters_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_CORE_ENCODING_CACHE_H

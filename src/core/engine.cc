@@ -2,17 +2,55 @@
 
 namespace dstc {
 
-DstcEngine::DstcEngine(GpuConfig cfg)
-    : cfg_(cfg), spgemm_device_(cfg), dense_device_(cfg),
-      conv_executor_(cfg)
+namespace {
+
+/** Registry method + lowering of a ConvMethod strategy. */
+void
+splitConvMethod(ConvMethod method, Method *out_method,
+                Lowering *out_lowering)
 {
+    switch (method) {
+      case ConvMethod::DenseExplicit:
+        *out_method = Method::Dense;
+        *out_lowering = Lowering::Explicit;
+        return;
+      case ConvMethod::DenseImplicit:
+        *out_method = Method::Dense;
+        *out_lowering = Lowering::Implicit;
+        return;
+      case ConvMethod::SingleSparseExplicit:
+        *out_method = Method::ZhuSparse;
+        *out_lowering = Lowering::Explicit;
+        return;
+      case ConvMethod::SingleSparseImplicit:
+        *out_method = Method::ZhuSparse;
+        *out_lowering = Lowering::Implicit;
+        return;
+      case ConvMethod::DualSparseImplicit:
+        *out_method = Method::DualSparse;
+        *out_lowering = Lowering::Implicit;
+        return;
+    }
+    panic("unknown conv method");
 }
+
+} // namespace
+
+DstcEngine::DstcEngine(GpuConfig cfg) : session_(cfg) {}
 
 SpGemmResult
 DstcEngine::spgemm(const Matrix<float> &a, const Matrix<float> &b,
                    const SpGemmOptions &options) const
 {
-    return spgemm_device_.multiply(a, b, options);
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::DualSparse;
+    req.gemm_options = options;
+    KernelReport report = session_.run(req);
+    SpGemmResult result;
+    result.stats = report.stats;
+    if (report.d)
+        result.d = *report.d;
+    return result;
 }
 
 SpGemmResult
@@ -20,21 +58,46 @@ DstcEngine::spgemmEncoded(const TwoLevelBitmapMatrix &a,
                           const TwoLevelBitmapMatrix &b,
                           const SpGemmOptions &options) const
 {
-    return spgemm_device_.multiplyEncoded(a, b, options);
+    KernelRequest req;
+    req.kind = KernelRequest::Kind::Gemm;
+    req.method = Method::DualSparse;
+    req.m = a.rows();
+    req.n = b.cols();
+    req.k = a.cols();
+    req.a_encoded = &a;
+    req.b_encoded = &b;
+    req.gemm_options = options;
+    KernelReport report = session_.run(req);
+    SpGemmResult result;
+    result.stats = report.stats;
+    if (report.d)
+        result.d = *report.d;
+    return result;
 }
 
 KernelStats
-DstcEngine::spgemmTime(const SparsityProfile &a, const SparsityProfile &b,
+DstcEngine::spgemmTime(const SparsityProfile &a,
+                       const SparsityProfile &b,
                        const SpGemmOptions &options) const
 {
-    return spgemm_device_.timeFromProfiles(a, b, options);
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::DualSparse;
+    req.gemm_options = options;
+    return session_.run(req).stats;
 }
 
 ConvResult
 DstcEngine::conv(const Tensor4d &input, const Matrix<float> &weights,
                  const ConvShape &shape, ConvMethod method) const
 {
-    return conv_executor_.run(input, weights, shape, method);
+    KernelRequest req = KernelRequest::conv(input, weights, shape);
+    splitConvMethod(method, &req.method, &req.lowering);
+    KernelReport report = session_.run(req);
+    ConvResult result;
+    result.stats = report.stats;
+    if (report.output)
+        result.output = *report.output;
+    return result;
 }
 
 KernelStats
@@ -43,49 +106,72 @@ DstcEngine::convTime(const ConvShape &shape, ConvMethod method,
                      uint64_t seed, double weight_cluster,
                      double act_cluster) const
 {
-    return conv_executor_.timeOnly(shape, method, weight_sparsity,
-                                   act_sparsity, seed, weight_cluster,
-                                   act_cluster);
+    KernelRequest req =
+        KernelRequest::conv(shape, weight_sparsity, act_sparsity);
+    splitConvMethod(method, &req.method, &req.lowering);
+    req.seed = seed;
+    req.b_cluster = weight_cluster;
+    req.a_cluster = act_cluster;
+    return session_.run(req).stats;
 }
 
 KernelStats
 DstcEngine::denseGemmTime(int64_t m, int64_t n, int64_t k) const
 {
-    return cutlassGemm(cfg_, m, n, k);
+    KernelRequest req = KernelRequest::gemm(m, n, k);
+    req.method = Method::Dense;
+    return session_.run(req).stats;
 }
 
 DenseGemmResult
 DstcEngine::denseGemm(const Matrix<float> &a, const Matrix<float> &b,
                       bool outer_product) const
 {
-    return dense_device_.multiply(a, b, outer_product);
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::Dense;
+    req.outer_product = outer_product;
+    KernelReport report = session_.run(req);
+    DenseGemmResult result;
+    result.stats = report.stats;
+    if (report.d)
+        result.d = *report.d;
+    return result;
 }
 
 KernelStats
 DstcEngine::zhuGemmTime(int64_t m, int64_t n, int64_t k,
                         double weight_sparsity) const
 {
-    return zhuGemm(cfg_, m, n, k, weight_sparsity);
+    KernelRequest req = KernelRequest::gemm(m, n, k, 0.0,
+                                            weight_sparsity);
+    req.method = Method::ZhuSparse;
+    return session_.run(req).stats;
 }
 
 KernelStats
 DstcEngine::ampereGemmTime(int64_t m, int64_t n, int64_t k,
                            double weight_sparsity) const
 {
-    return ampereGemm(cfg_, m, n, k, weight_sparsity);
+    KernelRequest req = KernelRequest::gemm(m, n, k, 0.0,
+                                            weight_sparsity);
+    req.method = Method::AmpereSparse;
+    return session_.run(req).stats;
 }
 
 KernelStats
 DstcEngine::cusparseTime(int64_t m, int64_t n, int64_t k,
                          double density_a, double density_b) const
 {
-    return cusparseGemmTimeExpected(cfg_, m, n, k, density_a, density_b);
+    KernelRequest req = KernelRequest::gemm(
+        m, n, k, 1.0 - density_a, 1.0 - density_b);
+    req.method = Method::CusparseLike;
+    return session_.run(req).stats;
 }
 
 OverheadReport
 DstcEngine::hardwareOverhead() const
 {
-    return estimateOverhead(cfg_);
+    return estimateOverhead(session_.config());
 }
 
 } // namespace dstc

@@ -1,28 +1,29 @@
 /**
  * @file
- * DstcEngine — the library's public facade.
+ * DstcEngine — deprecated method-per-path facade, kept as a thin
+ * shim over a Session.
  *
- * One object holds the machine description and exposes every
- * execution path of the evaluation: the dual-side sparse Tensor Core
- * SpGEMM/SpCONV (the paper's contribution) and the dense/sparse
- * baselines it is compared against. Typical use:
+ * New code should use the Session / KernelRegistry API directly
+ * (core/session.h): it exposes the same execution paths as uniform
+ * KernelRequests, adds Method::Auto dispatch, operand-encoding reuse
+ * through the EncodingCache, and batched execution. Every method
+ * here simply builds the equivalent KernelRequest and runs it on the
+ * engine's Session; results are identical.
  *
  * @code
  *   dstc::DstcEngine engine;                       // V100 model
  *   auto r = engine.spgemm(a, b);                  // functional+timed
  *   auto t = engine.spgemmTime(profile_a, profile_b); // timing-only
- *   auto c = engine.conv(input, weights, shape,
- *                        dstc::ConvMethod::DualSparseImplicit);
+ *   // preferred:
+ *   dstc::Session &s = engine.session();
+ *   auto report = s.run(dstc::KernelRequest::gemm(a, b));
  * @endcode
  */
 #ifndef DSTC_CORE_ENGINE_H
 #define DSTC_CORE_ENGINE_H
 
-#include "baselines/ampere_sparse_tc.h"
-#include "baselines/cusparse_like.h"
-#include "baselines/cutlass_like.h"
-#include "baselines/zhu_sparse_tc.h"
 #include "conv/spconv.h"
+#include "core/session.h"
 #include "gemm/dense_gemm.h"
 #include "gemm/spgemm_device.h"
 #include "hwmodel/area_power.h"
@@ -30,11 +31,18 @@
 
 namespace dstc {
 
-/** Facade over the dual-side sparse Tensor Core model. */
+/**
+ * Facade over the dual-side sparse Tensor Core model.
+ * @deprecated Thin shim over Session; prefer core/session.h.
+ */
 class DstcEngine
 {
   public:
     explicit DstcEngine(GpuConfig cfg = GpuConfig::v100());
+
+    /** The Session the facade delegates to. */
+    Session &session() { return session_; }
+    const Session &session() const { return session_; }
 
     // -- the paper's contribution -------------------------------------
 
@@ -89,13 +97,10 @@ class DstcEngine
     /** Area/power overhead of the extension (Table IV). */
     OverheadReport hardwareOverhead() const;
 
-    const GpuConfig &config() const { return cfg_; }
+    const GpuConfig &config() const { return session_.config(); }
 
   private:
-    GpuConfig cfg_;
-    SpGemmDevice spgemm_device_;
-    DenseGemmDevice dense_device_;
-    ConvExecutor conv_executor_;
+    mutable Session session_;
 };
 
 } // namespace dstc

@@ -1,0 +1,106 @@
+#include "core/kernel_registry.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+KernelRegistry
+KernelRegistry::withDefaultBackends()
+{
+    KernelRegistry registry;
+    registry.registerBackend(makeDualSparseBackend());
+    registry.registerBackend(makeDenseBackend());
+    registry.registerBackend(makeZhuSparseBackend());
+    registry.registerBackend(makeAmpereSparseBackend());
+    registry.registerBackend(makeCusparseLikeBackend());
+    return registry;
+}
+
+void
+KernelRegistry::registerBackend(std::unique_ptr<Backend> backend)
+{
+    DSTC_ASSERT(backend);
+    DSTC_ASSERT(backend->method() != Method::Auto,
+                "Auto is a dispatch mode, not a backend");
+    auto it = std::find_if(backends_.begin(), backends_.end(),
+                           [&](const auto &b) {
+                               return b->method() == backend->method();
+                           });
+    if (it != backends_.end())
+        *it = std::move(backend);
+    else
+        backends_.push_back(std::move(backend));
+}
+
+const Backend *
+KernelRegistry::find(Method method) const
+{
+    for (const auto &backend : backends_)
+        if (backend->method() == method)
+            return backend.get();
+    return nullptr;
+}
+
+bool
+KernelRegistry::supports(const KernelRequest &request) const
+{
+    if (request.method == Method::Auto)
+        return !candidates(request).empty();
+    const Backend *backend = find(request.method);
+    return backend && backend->supports(request);
+}
+
+std::vector<const Backend *>
+KernelRegistry::candidates(const KernelRequest &request) const
+{
+    std::vector<const Backend *> result;
+    for (const auto &backend : backends_) {
+        if (!backend->supports(request) || !backend->exact(request))
+            continue;
+        result.push_back(backend.get());
+    }
+    return result;
+}
+
+std::unique_ptr<ExecutionPlan>
+KernelRegistry::plan(const KernelRequest &request,
+                     const PlanContext &ctx) const
+{
+    DSTC_ASSERT(ctx.cfg && ctx.cache);
+    // Operands come in pairs; a half-specified pair would silently
+    // fall through to the synthetic-profile path (or null-deref).
+    if (request.kind == KernelRequest::Kind::Gemm) {
+        DSTC_ASSERT(!request.a == !request.b,
+                    "give both GEMM operands or neither");
+        DSTC_ASSERT(!request.a_profile == !request.b_profile,
+                    "give both operand profiles or neither");
+        DSTC_ASSERT(!request.a_encoded == !request.b_encoded,
+                    "give both pre-encoded operands or neither");
+    } else {
+        DSTC_ASSERT(!request.input == !request.b,
+                    "functional conv needs input and weights "
+                    "together");
+    }
+    if (request.method != Method::Auto) {
+        const Backend *backend = find(request.method);
+        DSTC_ASSERT(backend, "no backend registered for method ",
+                    methodName(request.method));
+        DSTC_ASSERT(backend->supports(request), "backend ",
+                    backend->name(), " cannot execute this request");
+        return backend->plan(request, ctx);
+    }
+
+    std::unique_ptr<ExecutionPlan> best;
+    for (const Backend *backend : candidates(request)) {
+        auto candidate = backend->plan(request, ctx);
+        if (!best || candidate->estimatedTimeUs() <
+                         best->estimatedTimeUs())
+            best = std::move(candidate);
+    }
+    DSTC_ASSERT(best, "no backend supports this request");
+    return best;
+}
+
+} // namespace dstc

@@ -1,0 +1,61 @@
+#include "core/kernel_request.h"
+
+#include "common/logging.h"
+
+namespace dstc {
+
+const char *
+methodToken(Method method)
+{
+    switch (method) {
+      case Method::Auto:
+        return "auto";
+      case Method::DualSparse:
+        return "dual";
+      case Method::Dense:
+        return "dense";
+      case Method::ZhuSparse:
+        return "zhu";
+      case Method::AmpereSparse:
+        return "ampere";
+      case Method::CusparseLike:
+        return "cusparse";
+    }
+    panic("unknown method");
+}
+
+const char *
+methodName(Method method)
+{
+    switch (method) {
+      case Method::Auto:
+        return "Auto";
+      case Method::DualSparse:
+        return "Dual-Side Sparse TC";
+      case Method::Dense:
+        return "Dense TC (CUTLASS-like)";
+      case Method::ZhuSparse:
+        return "Sparse TC (vector-wise 75%)";
+      case Method::AmpereSparse:
+        return "Ampere 2:4 Sparse TC";
+      case Method::CusparseLike:
+        return "cuSPARSE-like CSR SpGEMM";
+    }
+    panic("unknown method");
+}
+
+bool
+parseMethod(const std::string &token, Method *out)
+{
+    for (Method m : {Method::Auto, Method::DualSparse, Method::Dense,
+                     Method::ZhuSparse, Method::AmpereSparse,
+                     Method::CusparseLike}) {
+        if (token == methodToken(m)) {
+            *out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace dstc

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The uniform request/report protocol of the kernel registry.
+ *
+ * Every execution path of the library — the dual-side sparse Tensor
+ * Core SpGEMM/SpCONV and the four baselines it is evaluated against —
+ * answers the same shape of question: "run this GEMM or convolution
+ * under this method at this operating point". A KernelRequest states
+ * the question, a Backend turns it into an ExecutionPlan (encoding
+ * the operands, possibly from the EncodingCache), and executing the
+ * plan yields a KernelReport.
+ *
+ * Method::Auto asks the registry to pick the fastest backend from the
+ * operands' sparsity profiles (see KernelRegistry::plan).
+ */
+#ifndef DSTC_CORE_KERNEL_REQUEST_H
+#define DSTC_CORE_KERNEL_REQUEST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gemm/spgemm_device.h"
+#include "im2col/conv_shape.h"
+#include "tensor/tensor4d.h"
+#include "timing/stats.h"
+
+namespace dstc {
+
+/** Execution method at registry granularity. */
+enum class Method
+{
+    Auto,         ///< dispatch to the profiled fastest backend
+    DualSparse,   ///< the paper's dual-side sparse Tensor Core
+    Dense,        ///< CUTLASS-like dense Tensor Core GEMM
+    ZhuSparse,    ///< Sparse TC [72], vector-wise 75% weights
+    AmpereSparse, ///< A100-style 2:4 structured weights
+    CusparseLike, ///< CSR SpGEMM on the CUDA cores
+};
+
+/** Stable CLI/parse token of a method ("auto", "dual", ...). */
+const char *methodToken(Method method);
+
+/** Human-readable method name. */
+const char *methodName(Method method);
+
+/** Parse a CLI token into a Method; false on unknown token. */
+bool parseMethod(const std::string &token, Method *out);
+
+/** Convolution lowering strategy (the Explicit/Implicit split of
+ *  Fig. 22's legend). */
+enum class Lowering
+{
+    Implicit, ///< fused im2col (bitmap-based for the sparse methods)
+    Explicit, ///< materialize the lowered matrix in DRAM first
+};
+
+/**
+ * One unit of work for the registry: a GEMM or a convolution at a
+ * sparsity operating point, under a chosen (or Auto) method.
+ *
+ * Operands come in three flavors, checked in this order by the
+ * backends:
+ *  - pre-encoded (`a_encoded`/`b_encoded`, dual-sparse GEMM only):
+ *    the encode-once / multiply-many path;
+ *  - concrete (`a`/`b` matrices, `input` tensor): functional
+ *    execution with values, timed from the data's actual sparsity;
+ *  - synthetic (none of the above): the timing-only path used by the
+ *    sweeps; profiles are synthesized from the `*_sparsity`,
+ *    `*_cluster` and `seed` fields (deterministic per seed).
+ *
+ * All operand pointers are non-owning and must outlive plan and
+ * execution (batched runs included).
+ */
+struct KernelRequest
+{
+    enum class Kind
+    {
+        Gemm,
+        Conv,
+    };
+
+    Kind kind = Kind::Gemm;
+    Method method = Method::Auto;
+
+    /** Free-form label echoed into the report (e.g. a layer name). */
+    std::string tag;
+
+    /** Seed of the synthetic operand patterns. */
+    uint64_t seed = 1;
+
+    // -- GEMM geometry (kind == Gemm) ---------------------------------
+    int64_t m = 0;
+    int64_t n = 0;
+    int64_t k = 0;
+
+    /**
+     * Operand sparsity operating point. For GEMM, `a` is the left
+     * (activation) operand and `b` the right (weight) operand; for
+     * convolution, `a_*` describes the activations and `b_*` the
+     * weights.
+     */
+    double a_sparsity = 0.0;
+    double b_sparsity = 0.0;
+    double a_cluster = 1.0;
+    double b_cluster = 1.0;
+
+    /** Dense GEMM only: use the outer-product datapath. */
+    bool outer_product = false;
+
+    /**
+     * Dual-sparse knobs (tiling, functional, merge model). tile_k
+     * (the two-level K-chunk depth) is the tunable knob; the 32x32
+     * warp tile (tile_m/tile_n) is fixed by the Tensor Core's
+     * accumulation buffer (Sec. III-B) and the machine model
+     * rejects other edges.
+     */
+    SpGemmOptions gemm_options;
+
+    // -- convolution geometry (kind == Conv) --------------------------
+    ConvShape shape;
+    Lowering lowering = Lowering::Implicit;
+
+    // -- optional concrete operands (non-owning) ----------------------
+    const Matrix<float> *a = nullptr; ///< GEMM left operand
+    const Matrix<float> *b = nullptr; ///< GEMM right operand / weights
+    const SparsityProfile *a_profile = nullptr;
+    const SparsityProfile *b_profile = nullptr;
+    const TwoLevelBitmapMatrix *a_encoded = nullptr;
+    const TwoLevelBitmapMatrix *b_encoded = nullptr;
+    const Tensor4d *input = nullptr;  ///< conv activations
+
+    // -- factories ----------------------------------------------------
+
+    /** Timing-only GEMM at a synthetic operating point. */
+    static KernelRequest
+    gemm(int64_t m, int64_t n, int64_t k, double a_sparsity = 0.0,
+         double b_sparsity = 0.0)
+    {
+        KernelRequest r;
+        r.kind = Kind::Gemm;
+        r.m = m;
+        r.n = n;
+        r.k = k;
+        r.a_sparsity = a_sparsity;
+        r.b_sparsity = b_sparsity;
+        return r;
+    }
+
+    /** Functional GEMM over concrete operands. */
+    static KernelRequest
+    gemm(const Matrix<float> &a, const Matrix<float> &b)
+    {
+        KernelRequest r;
+        r.kind = Kind::Gemm;
+        r.m = a.rows();
+        r.n = b.cols();
+        r.k = a.cols();
+        r.a = &a;
+        r.b = &b;
+        return r;
+    }
+
+    /** Timing-only GEMM from pre-extracted popcount profiles. */
+    static KernelRequest
+    gemm(const SparsityProfile &a, const SparsityProfile &b)
+    {
+        KernelRequest r;
+        r.kind = Kind::Gemm;
+        r.m = static_cast<int64_t>(a.groups()) * a.tile();
+        r.n = static_cast<int64_t>(b.groups()) * b.tile();
+        r.k = a.k();
+        r.a_profile = &a;
+        r.b_profile = &b;
+        return r;
+    }
+
+    /** Timing-only convolution at a synthetic operating point. */
+    static KernelRequest
+    conv(const ConvShape &shape, double weight_sparsity = 0.0,
+         double act_sparsity = 0.0)
+    {
+        KernelRequest r;
+        r.kind = Kind::Conv;
+        r.shape = shape;
+        r.b_sparsity = weight_sparsity;
+        r.a_sparsity = act_sparsity;
+        return r;
+    }
+
+    /** Functional convolution over concrete operands. */
+    static KernelRequest
+    conv(const Tensor4d &input, const Matrix<float> &weights,
+         const ConvShape &shape)
+    {
+        KernelRequest r;
+        r.kind = Kind::Conv;
+        r.shape = shape;
+        r.input = &input;
+        r.b = &weights;
+        return r;
+    }
+
+    /** True when the request carries concrete operand values. */
+    bool
+    functional() const
+    {
+        return (kind == Kind::Gemm &&
+                ((a && b) || (a_encoded && b_encoded))) ||
+               (kind == Kind::Conv && input && b);
+    }
+};
+
+/** Outcome of executing one KernelRequest. */
+struct KernelReport
+{
+    KernelStats stats;
+
+    /** The concrete method that ran (never Auto). */
+    Method method = Method::Auto;
+
+    /** Name of the backend that executed the plan. */
+    std::string backend;
+
+    /** The request's tag, echoed back. */
+    std::string tag;
+
+    /** At least one encoded operand was served from the cache. */
+    bool encode_cache_hit = false;
+
+    /**
+     * The plan-stage time estimate that drove Method::Auto dispatch
+     * (0 when the estimate was never computed).
+     */
+    double planned_us = 0.0;
+
+    /** Functional GEMM output (null on timing-only runs). */
+    std::shared_ptr<const Matrix<float>> d;
+
+    /** Functional convolution output (null on timing-only runs). */
+    std::shared_ptr<const Tensor4d> output;
+
+    double timeUs() const { return stats.timeUs(); }
+};
+
+} // namespace dstc
+
+#endif // DSTC_CORE_KERNEL_REQUEST_H

@@ -1,0 +1,84 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "core/thread_pool.h"
+
+namespace dstc {
+
+Session::Session() : Session(SessionOptions{}) {}
+
+Session::Session(GpuConfig config)
+    : Session(SessionOptions{config})
+{
+}
+
+Session::Session(SessionOptions options)
+    : options_(options),
+      registry_(KernelRegistry::withDefaultBackends()),
+      cache_(options.cache_capacity)
+{
+}
+
+Session::~Session() = default;
+
+std::unique_ptr<ExecutionPlan>
+Session::plan(const KernelRequest &request)
+{
+    PlanContext ctx;
+    ctx.cfg = &options_.config;
+    ctx.cache = &cache_;
+    return registry_.plan(request, ctx);
+}
+
+KernelReport
+Session::run(const KernelRequest &request)
+{
+    return plan(request)->execute();
+}
+
+ThreadPool &
+Session::pool()
+{
+    std::call_once(pool_once_, [this] {
+        int threads = options_.num_threads;
+        if (threads <= 0)
+            threads = std::max(
+                1u, std::thread::hardware_concurrency());
+        pool_ = std::make_unique<ThreadPool>(threads);
+    });
+    return *pool_;
+}
+
+std::future<KernelReport>
+Session::submit(KernelRequest request)
+{
+    auto task = std::make_shared<std::packaged_task<KernelReport()>>(
+        [this, request = std::move(request)] { return run(request); });
+    std::future<KernelReport> future = task->get_future();
+    pool().enqueue([task] { (*task)(); });
+    return future;
+}
+
+std::vector<std::future<KernelReport>>
+Session::submitBatch(std::vector<KernelRequest> requests)
+{
+    std::vector<std::future<KernelReport>> futures;
+    futures.reserve(requests.size());
+    for (KernelRequest &request : requests)
+        futures.push_back(submit(std::move(request)));
+    return futures;
+}
+
+std::vector<KernelReport>
+Session::runBatch(std::vector<KernelRequest> requests)
+{
+    auto futures = submitBatch(std::move(requests));
+    std::vector<KernelReport> reports;
+    reports.reserve(futures.size());
+    for (auto &future : futures)
+        reports.push_back(future.get());
+    return reports;
+}
+
+} // namespace dstc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Session — the library's public entry point.
+ *
+ * A Session owns the machine description, the KernelRegistry of
+ * execution backends, the EncodingCache of encoded operands and a
+ * worker pool. It answers KernelRequests through the uniform
+ * plan/execute protocol, serially or batched:
+ *
+ * @code
+ *   dstc::Session session;                        // V100 model
+ *   auto report = session.run(
+ *       dstc::KernelRequest::gemm(4096, 4096, 4096, 0.7, 0.8));
+ *
+ *   // Batched: many layers concurrently, deterministic stats.
+ *   auto futures = session.submitBatch(requests);
+ *   for (auto &f : futures) use(f.get());
+ * @endcode
+ *
+ * Results are bitwise deterministic: every request is a pure
+ * function of its own fields (plus the machine config), so batched
+ * and serial execution produce identical stats regardless of thread
+ * count or scheduling.
+ */
+#ifndef DSTC_CORE_SESSION_H
+#define DSTC_CORE_SESSION_H
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/encoding_cache.h"
+#include "core/kernel_registry.h"
+#include "timing/gpu_config.h"
+
+namespace dstc {
+
+class ThreadPool;
+
+/** Construction knobs of a Session. */
+struct SessionOptions
+{
+    GpuConfig config = GpuConfig::v100();
+
+    /** Worker threads for submitBatch; 0 = hardware concurrency. */
+    int num_threads = 0;
+
+    /** Encoded-operand cache capacity (entries, FIFO eviction). */
+    size_t cache_capacity = EncodingCache::kDefaultCapacity;
+};
+
+/** The plan/execute front end over the kernel registry. */
+class Session
+{
+  public:
+    Session();
+    explicit Session(GpuConfig config);
+    explicit Session(SessionOptions options);
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /**
+     * Plan @p request (Auto resolves to the fastest candidate).
+     * Plans borrow the session's cache and config: the Session must
+     * outlive every plan it returns.
+     */
+    std::unique_ptr<ExecutionPlan> plan(const KernelRequest &request);
+
+    /** Plan and execute @p request synchronously. */
+    KernelReport run(const KernelRequest &request);
+
+    /** Enqueue one request on the worker pool. The request is
+     *  copied; operands it points to must outlive the future. */
+    std::future<KernelReport> submit(KernelRequest request);
+
+    /**
+     * Enqueue a batch; futures are index-aligned with @p requests.
+     * Stats are identical to running the same requests serially.
+     */
+    std::vector<std::future<KernelReport>>
+    submitBatch(std::vector<KernelRequest> requests);
+
+    /** submitBatch and gather, preserving order. */
+    std::vector<KernelReport>
+    runBatch(std::vector<KernelRequest> requests);
+
+    KernelRegistry &registry() { return registry_; }
+    const KernelRegistry &registry() const { return registry_; }
+    EncodingCache &encodingCache() { return cache_; }
+    const EncodingCache &encodingCache() const { return cache_; }
+    const GpuConfig &config() const { return options_.config; }
+
+  private:
+    ThreadPool &pool();
+
+    SessionOptions options_;
+    KernelRegistry registry_;
+    EncodingCache cache_;
+    std::once_flag pool_once_;
+    std::unique_ptr<ThreadPool> pool_; // created on first submit
+};
+
+} // namespace dstc
+
+#endif // DSTC_CORE_SESSION_H

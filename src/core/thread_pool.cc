@@ -1,0 +1,55 @@
+#include "core/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace dstc {
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    DSTC_ASSERT(num_threads > 0);
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        DSTC_ASSERT(!stopping_, "enqueue on a stopping pool");
+        jobs_.push(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !jobs_.empty(); });
+            if (jobs_.empty())
+                return; // stopping and drained
+            job = std::move(jobs_.front());
+            jobs_.pop();
+        }
+        job();
+    }
+}
+
+} // namespace dstc

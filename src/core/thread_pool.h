@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-size worker pool behind Session::submitBatch. Deliberately
+ * minimal: a locked queue of type-erased jobs. Determinism of the
+ * simulation results does not depend on scheduling — every request
+ * is a pure function of its own inputs — so no ordering guarantees
+ * are needed beyond future completion.
+ */
+#ifndef DSTC_CORE_THREAD_POOL_H
+#define DSTC_CORE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dstc {
+
+/** Fixed-size thread pool executing enqueued jobs FIFO. */
+class ThreadPool
+{
+  public:
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a job; it runs on some worker thread. */
+    void enqueue(std::function<void()> job);
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> jobs_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace dstc
+
+#endif // DSTC_CORE_THREAD_POOL_H

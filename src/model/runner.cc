@@ -18,6 +18,8 @@ modelMethodName(ModelMethod method)
         return "Single Sparse Implicit";
       case ModelMethod::DualSparseImplicit:
         return "Dual Sparse Implicit";
+      case ModelMethod::Auto:
+        return "Auto";
     }
     panic("unknown model method");
 }
@@ -33,50 +35,74 @@ ModelRunResult::totalTimeUs() const
 
 namespace {
 
-ConvMethod
-toConvMethod(ModelMethod method)
+/** Registry method + lowering of a model-level strategy. */
+void
+splitModelMethod(ModelMethod method, Method *out_method,
+                 Lowering *out_lowering)
 {
+    *out_lowering = Lowering::Implicit;
     switch (method) {
       case ModelMethod::DenseExplicit:
-        return ConvMethod::DenseExplicit;
+        *out_method = Method::Dense;
+        *out_lowering = Lowering::Explicit;
+        return;
       case ModelMethod::DenseImplicit:
-        return ConvMethod::DenseImplicit;
+        *out_method = Method::Dense;
+        return;
       case ModelMethod::SingleSparseExplicit:
-        return ConvMethod::SingleSparseExplicit;
+        *out_method = Method::ZhuSparse;
+        *out_lowering = Lowering::Explicit;
+        return;
       case ModelMethod::SingleSparseImplicit:
-        return ConvMethod::SingleSparseImplicit;
+        *out_method = Method::ZhuSparse;
+        return;
       case ModelMethod::DualSparseImplicit:
-        return ConvMethod::DualSparseImplicit;
+        *out_method = Method::DualSparse;
+        return;
+      case ModelMethod::Auto:
+        *out_method = Method::Auto;
+        return;
     }
     panic("unknown model method");
 }
 
 } // namespace
 
-KernelStats
-ModelRunner::runGemmLayer(const GemmLayerSpec &layer, ModelMethod method,
-                          uint64_t seed) const
+std::vector<KernelRequest>
+ModelRunner::layerRequests(const DnnModel &model, ModelMethod method,
+                           uint64_t seed)
 {
-    switch (method) {
-      case ModelMethod::DenseExplicit:
-      case ModelMethod::DenseImplicit:
-        return engine_.denseGemmTime(layer.m, layer.n, layer.k);
-      case ModelMethod::SingleSparseExplicit:
-      case ModelMethod::SingleSparseImplicit:
-        return engine_.zhuGemmTime(layer.m, layer.n, layer.k,
-                                   layer.weight_sparsity);
-      case ModelMethod::DualSparseImplicit: {
-        Rng rng(seed);
-        SparsityProfile acts = SparsityProfile::randomA(
-            layer.m, layer.k, 32, 1.0 - layer.act_sparsity,
-            layer.act_cluster, rng);
-        SparsityProfile weights = SparsityProfile::randomA(
-            layer.n, layer.k, 32, 1.0 - layer.weight_sparsity,
-            layer.weight_cluster, rng);
-        return engine_.spgemmTime(acts, weights);
-      }
+    Method registry_method;
+    Lowering lowering;
+    splitModelMethod(method, &registry_method, &lowering);
+
+    std::vector<KernelRequest> requests;
+    requests.reserve(model.conv_layers.size() +
+                     model.gemm_layers.size());
+
+    for (const auto &layer : model.conv_layers) {
+        KernelRequest req = KernelRequest::conv(
+            layer.shape, layer.weight_sparsity, layer.act_sparsity);
+        req.method = registry_method;
+        req.lowering = lowering;
+        req.b_cluster = layer.weight_cluster;
+        req.a_cluster = layer.act_cluster;
+        req.seed = seed++;
+        req.tag = layer.name;
+        requests.push_back(std::move(req));
     }
-    panic("unknown model method");
+    for (const auto &layer : model.gemm_layers) {
+        KernelRequest req = KernelRequest::gemm(
+            layer.m, layer.n, layer.k, layer.act_sparsity,
+            layer.weight_sparsity);
+        req.method = registry_method;
+        req.a_cluster = layer.act_cluster;
+        req.b_cluster = layer.weight_cluster;
+        req.seed = seed++;
+        req.tag = layer.name;
+        requests.push_back(std::move(req));
+    }
+    return requests;
 }
 
 ModelRunResult
@@ -86,19 +112,26 @@ ModelRunner::run(const DnnModel &model, ModelMethod method,
     ModelRunResult result;
     result.model = model.name;
     result.method = method;
-
-    for (const auto &layer : model.conv_layers) {
-        KernelStats stats = engine_.convTime(
-            layer.shape, toConvMethod(method), layer.weight_sparsity,
-            layer.act_sparsity, seed, layer.weight_cluster,
-            layer.act_cluster);
-        result.layers.push_back({layer.name, stats});
-        ++seed;
-    }
-    for (const auto &layer : model.gemm_layers) {
+    for (const KernelRequest &req :
+         layerRequests(model, method, seed)) {
+        KernelReport report = session_.run(req);
         result.layers.push_back(
-            {layer.name, runGemmLayer(layer, method, seed)});
-        ++seed;
+            {report.tag, report.stats, report.backend});
+    }
+    return result;
+}
+
+ModelRunResult
+ModelRunner::runBatched(const DnnModel &model, ModelMethod method,
+                        uint64_t seed) const
+{
+    ModelRunResult result;
+    result.model = model.name;
+    result.method = method;
+    for (KernelReport &report :
+         session_.runBatch(layerRequests(model, method, seed))) {
+        result.layers.push_back({std::move(report.tag), report.stats,
+                                 std::move(report.backend)});
     }
     return result;
 }

@@ -4,6 +4,11 @@
  * chosen strategy and aggregate per-layer and full-model statistics.
  * This is the library API behind the Fig. 22 panels; the benches are
  * thin printers over it.
+ *
+ * A model run is a batch of KernelRequests — one per layer — built
+ * by layerRequests() and executed on a Session either serially
+ * (run()) or on the worker pool (runBatched()). The two paths
+ * produce bitwise-identical statistics.
  */
 #ifndef DSTC_MODEL_RUNNER_H
 #define DSTC_MODEL_RUNNER_H
@@ -11,8 +16,8 @@
 #include <string>
 #include <vector>
 
-#include "conv/spconv.h"
 #include "core/engine.h"
+#include "core/session.h"
 #include "model/zoo.h"
 
 namespace dstc {
@@ -25,6 +30,7 @@ enum class ModelMethod
     SingleSparseExplicit, ///< Sparse TC [72] (+ explicit im2col)
     SingleSparseImplicit, ///< our im2col, weight sparsity only
     DualSparseImplicit,   ///< the full dual-side design
+    Auto,                 ///< per-layer registry dispatch
 };
 
 const char *modelMethodName(ModelMethod method);
@@ -34,6 +40,10 @@ struct LayerResult
 {
     std::string name;
     KernelStats stats;
+
+    /** The backend that executed the layer (informative under
+     *  ModelMethod::Auto). */
+    std::string backend;
 };
 
 /** Aggregated outcome of a model run. */
@@ -47,25 +57,40 @@ struct ModelRunResult
     double totalTimeUs() const;
 };
 
-/** Runs model zoo workloads on the engine (timing-only). */
+/** Runs model zoo workloads on a Session (timing-only). */
 class ModelRunner
 {
   public:
-    explicit ModelRunner(const DstcEngine &engine) : engine_(engine) {}
+    explicit ModelRunner(Session &session) : session_(session) {}
+
+    /** @deprecated Construct from the engine's Session instead. */
+    explicit ModelRunner(DstcEngine &engine)
+        : session_(engine.session())
+    {
+    }
 
     /**
-     * Time every layer of @p model under @p method. Deterministic
-     * for a given @p seed; sparsity patterns follow each layer's
-     * (sparsity, cluster) operating point.
+     * The per-layer KernelRequests of @p model under @p method.
+     * Deterministic for a given @p seed; sparsity patterns follow
+     * each layer's (sparsity, cluster) operating point.
      */
+    static std::vector<KernelRequest>
+    layerRequests(const DnnModel &model, ModelMethod method,
+                  uint64_t seed = 1);
+
+    /** Time every layer of @p model under @p method, serially. */
     ModelRunResult run(const DnnModel &model, ModelMethod method,
                        uint64_t seed = 1) const;
 
-  private:
-    KernelStats runGemmLayer(const GemmLayerSpec &layer,
-                             ModelMethod method, uint64_t seed) const;
+    /**
+     * Same as run(), executed as one submitBatch() on the session's
+     * worker pool. Statistics are bitwise identical to run().
+     */
+    ModelRunResult runBatched(const DnnModel &model, ModelMethod method,
+                              uint64_t seed = 1) const;
 
-    const DstcEngine &engine_;
+  private:
+    Session &session_;
 };
 
 } // namespace dstc

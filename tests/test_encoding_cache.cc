@@ -1,0 +1,183 @@
+#include "core/encoding_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+TEST(CacheKeyTest, DistinctInputsDistinctKeys)
+{
+    EXPECT_NE(CacheKey("a").value(), CacheKey("b").value());
+    EXPECT_NE(CacheKey("k").i64(1).value(),
+              CacheKey("k").i64(2).value());
+    EXPECT_NE(CacheKey("k").f64(0.5).value(),
+              CacheKey("k").f64(0.25).value());
+    // Tag/field boundaries are terminated: "ab"+"c" != "a"+"bc".
+    EXPECT_NE(CacheKey("ab").str("c").value(),
+              CacheKey("a").str("bc").value());
+
+    Matrix<float> m1(4, 4), m2(4, 4);
+    m2.at(3, 3) = 1.0f;
+    EXPECT_NE(CacheKey("m").matrix(m1).value(),
+              CacheKey("m").matrix(m2).value());
+    EXPECT_EQ(CacheKey("m").matrix(m1).value(),
+              CacheKey("m").matrix(m1).value());
+}
+
+TEST(EncodingCacheTest, BuildsOnceThenHits)
+{
+    EncodingCache cache;
+    int builds = 0;
+    auto build = [&builds] {
+        ++builds;
+        return 42;
+    };
+
+    bool hit = true;
+    auto first = cache.getOrBuild<int>(1, build, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(*first, 42);
+    EXPECT_EQ(builds, 1);
+
+    auto second = cache.getOrBuild<int>(1, build, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.get(), second.get()); // same shared object
+
+    EXPECT_EQ(cache.counters().hits, 1);
+    EXPECT_EQ(cache.counters().misses, 1);
+    EXPECT_EQ(cache.entries(), 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    EXPECT_EQ(cache.counters().hits, 0);
+    cache.getOrBuild<int>(1, build, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(builds, 2);
+}
+
+TEST(EncodingCacheTest, CapacityBoundsEntriesFifo)
+{
+    EncodingCache cache(4);
+    EXPECT_EQ(cache.capacity(), 4u);
+    for (uint64_t k = 0; k < 10; ++k)
+        cache.getOrBuild<uint64_t>(k, [k] { return k; });
+    EXPECT_LE(cache.entries(), 4u);
+    EXPECT_EQ(cache.counters().evictions, 6);
+
+    // Oldest entries were evicted and rebuild; newest still hit.
+    bool hit = true;
+    cache.getOrBuild<uint64_t>(0, [] { return uint64_t{0}; }, &hit);
+    EXPECT_FALSE(hit);
+    cache.getOrBuild<uint64_t>(9, [] { return uint64_t{9}; }, &hit);
+    EXPECT_TRUE(hit);
+}
+
+TEST(EncodingCacheTest, ConcurrentLookupsBuildOnce)
+{
+    EncodingCache cache;
+    std::atomic<int> builds{0};
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const int>> results(8);
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&, t] {
+            results[t] = cache.getOrBuild<int>(7, [&builds] {
+                ++builds;
+                return 99;
+            });
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(builds.load(), 1);
+    for (const auto &r : results)
+        EXPECT_EQ(*r, 99);
+}
+
+TEST(EncodingCacheTest, RepeatedSyntheticRequestHitsCache)
+{
+    Session session;
+    KernelRequest req = KernelRequest::gemm(512, 512, 512, 0.7, 0.8);
+    req.method = Method::DualSparse;
+
+    KernelReport first = session.run(req);
+    EXPECT_FALSE(first.encode_cache_hit);
+    KernelReport second = session.run(req);
+    EXPECT_TRUE(second.encode_cache_hit);
+    // The cached profiles are the same objects, so the stats match
+    // exactly.
+    EXPECT_DOUBLE_EQ(first.timeUs(), second.timeUs());
+    EXPECT_EQ(first.stats.mix.ohmma_issued,
+              second.stats.mix.ohmma_issued);
+    EXPECT_GE(session.encodingCache().counters().hits, 1);
+}
+
+TEST(EncodingCacheTest, DifferentOperatingPointsMissCache)
+{
+    Session session;
+    KernelRequest req = KernelRequest::gemm(512, 512, 512, 0.7, 0.8);
+    req.method = Method::DualSparse;
+    session.run(req);
+
+    KernelRequest other = req;
+    other.seed = 2;
+    EXPECT_FALSE(session.run(other).encode_cache_hit);
+    other = req;
+    other.b_sparsity = 0.9;
+    EXPECT_FALSE(session.run(other).encode_cache_hit);
+}
+
+TEST(EncodingCacheTest, FunctionalOperandEncodingsAreReused)
+{
+    Session session;
+    Rng rng(17);
+    Matrix<float> a = randomSparseMatrix(128, 128, 0.7, rng);
+    Matrix<float> b = randomSparseMatrix(128, 128, 0.7, rng);
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::DualSparse;
+
+    KernelReport first = session.run(req);
+    KernelReport second = session.run(req);
+    EXPECT_FALSE(first.encode_cache_hit);
+    EXPECT_TRUE(second.encode_cache_hit);
+    EXPECT_DOUBLE_EQ(first.timeUs(), second.timeUs());
+    EXPECT_LT(maxAbsDiff(*second.d, refGemmFp16(a, b)), 1e-4);
+
+    // The same operand content in a *different* Matrix object also
+    // hits: keys are content hashes, not pointers.
+    Matrix<float> a_copy = a;
+    Matrix<float> b_copy = b;
+    KernelRequest copy_req = KernelRequest::gemm(a_copy, b_copy);
+    copy_req.method = Method::DualSparse;
+    EXPECT_TRUE(session.run(copy_req).encode_cache_hit);
+}
+
+TEST(EncodingCacheTest, ConvEncodingReusedAcrossRepeatedLayers)
+{
+    Session session;
+    ConvShape shape;
+    shape.in_c = 32;
+    shape.in_h = shape.in_w = 14;
+    shape.out_c = 32;
+    KernelRequest req = KernelRequest::conv(shape, 0.8, 0.6);
+    req.method = Method::DualSparse;
+
+    EXPECT_FALSE(session.run(req).encode_cache_hit);
+    EXPECT_TRUE(session.run(req).encode_cache_hit);
+
+    // Same shape under a different strategy encodes separately.
+    KernelRequest dense = req;
+    dense.method = Method::Dense;
+    EXPECT_FALSE(session.run(dense).encode_cache_hit);
+}
+
+} // namespace
+} // namespace dstc

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/zhu_sparse_tc.h"
 #include "core/engine.h"
 #include "common/rng.h"
 #include "model/pruning.h"

@@ -8,8 +8,8 @@ namespace {
 class RunnerTest : public ::testing::Test
 {
   protected:
-    DstcEngine engine_;
-    ModelRunner runner_{engine_};
+    Session session_;
+    ModelRunner runner_{session_};
 };
 
 TEST_F(RunnerTest, RunsEveryLayerOfEveryModel)
@@ -94,6 +94,41 @@ TEST(ModelMethodNames, MatchLegend)
                  "Dual Sparse Implicit");
     EXPECT_STREQ(modelMethodName(ModelMethod::DenseExplicit),
                  "Dense Explicit");
+    EXPECT_STREQ(modelMethodName(ModelMethod::Auto), "Auto");
+}
+
+TEST_F(RunnerTest, LayerRequestsCoverEveryLayer)
+{
+    DnnModel model = makeMaskRcnn();
+    std::vector<KernelRequest> requests = ModelRunner::layerRequests(
+        model, ModelMethod::DualSparseImplicit, 7);
+    EXPECT_EQ(requests.size(),
+              model.conv_layers.size() + model.gemm_layers.size());
+    for (const auto &req : requests)
+        EXPECT_EQ(req.method, Method::DualSparse) << req.tag;
+}
+
+TEST_F(RunnerTest, AutoMethodRunsAndBeatsOrMatchesDual)
+{
+    // Auto picks per layer, so the full model can only be as fast or
+    // faster than any single fixed strategy.
+    DnnModel model = makeResnet18();
+    const double dual =
+        runner_.run(model, ModelMethod::DualSparseImplicit)
+            .totalTimeUs();
+    ModelRunResult auto_run = runner_.run(model, ModelMethod::Auto);
+    EXPECT_LE(auto_run.totalTimeUs(), dual * 1.0001);
+    for (const auto &layer : auto_run.layers)
+        EXPECT_FALSE(layer.backend.empty()) << layer.name;
+}
+
+TEST_F(RunnerTest, DeprecatedEngineConstructorStillWorks)
+{
+    DstcEngine engine;
+    ModelRunner legacy(engine);
+    ModelRunResult result =
+        legacy.run(makeRnnLM(), ModelMethod::DualSparseImplicit);
+    EXPECT_GT(result.totalTimeUs(), 0.0);
 }
 
 } // namespace

@@ -1,27 +1,39 @@
 /**
  * @file
  * dstc_sim — command-line front end to the simulator, for exploring
- * operating points without writing code.
+ * operating points without writing code. All execution goes through
+ * the Session / KernelRegistry plan-execute API.
  *
  * Usage:
  *   dstc_sim gemm M N K [--a-sparsity S] [--b-sparsity S]
- *            [--cluster C] [--method dual|dense|zhu|ampere|cusparse]
+ *            [--cluster C] [--seed N]
+ *            [--method auto|dual|dense|zhu|ampere|cusparse]
  *   dstc_sim conv --in-c C --hw H --out-c N [--kernel K] [--stride S]
- *            [--pad P] [--wsp S] [--asp S]
- *            [--method dual|dense-implicit|dense-explicit|single-...]
- *   dstc_sim model vgg16|resnet18|maskrcnn|bert|rnn [--method ...]
+ *            [--pad P] [--wsp S] [--asp S] [--batch B] [--seed N]
+ *            [--cluster C] [--act-cluster C] [--explicit]
+ *            [--method auto|dual|dense|zhu]
+ *   dstc_sim model vgg16|resnet18|maskrcnn|bert|rnn
+ *            [--method auto|dual|dense|single] [--seed N] [--batched]
+ *   dstc_sim backends
  *   dstc_sim overhead
  *
  * All commands run on the V100 machine model; pass --a100 to switch.
+ * Unknown commands, flags or flag values are rejected with an error
+ * (exit code 2) instead of silently falling back to defaults.
  */
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
-#include "core/engine.h"
+#include "core/session.h"
+#include "hwmodel/area_power.h"
 #include "hwmodel/energy_model.h"
 #include "model/runner.h"
 
@@ -64,23 +76,139 @@ struct Args
     int
     flagI(const std::string &name, int fallback) const
     {
+        for (const auto &[k, v] : flags) {
+            if (k != name)
+                continue;
+            const long long parsed =
+                std::strtoll(v.c_str(), nullptr, 10);
+            if (parsed < INT_MIN || parsed > INT_MAX) {
+                std::fprintf(stderr,
+                             "error: flag '--%s' value %lld is out "
+                             "of range\n",
+                             name.c_str(), parsed);
+                std::exit(2);
+            }
+            return static_cast<int>(parsed);
+        }
+        return fallback;
+    }
+
+    uint64_t
+    flagU64(const std::string &name, uint64_t fallback) const
+    {
         for (const auto &[k, v] : flags)
             if (k == name)
-                return std::atoi(v.c_str());
+                return std::strtoull(v.c_str(), nullptr, 10);
         return fallback;
+    }
+
+    /**
+     * Reject positionals beyond @p max_positionals — stray tokens
+     * (including a negative value after a flag, which parseArgs
+     * refuses to consume) used to be silently ignored.
+     */
+    bool
+    checkPositionals(const char *command,
+                     size_t max_positionals) const
+    {
+        if (positional.size() <= max_positionals)
+            return true;
+        std::fprintf(stderr,
+                     "error: unexpected argument '%s' for command "
+                     "'%s'\n",
+                     positional[max_positionals].c_str(), command);
+        return false;
+    }
+
+    /**
+     * Reject any flag outside @p known (plus the global --a100),
+     * any @p numeric flag whose value does not parse fully as a
+     * number, and any @p integer flag whose value is not a whole
+     * decimal (so "--seed 1e3" cannot silently atoi to 1). Typos
+     * used to silently fall back to defaults (or atof to 0); now
+     * they fail.
+     */
+    bool
+    checkFlags(const char *command,
+               const std::set<std::string> &known,
+               const std::set<std::string> &numeric = {},
+               const std::set<std::string> &integer = {},
+               const std::set<std::string> &u64 = {}) const
+    {
+        bool ok = true;
+        for (const auto &[k, v] : flags) {
+            if (k != "a100" && !known.count(k)) {
+                std::string valid = "--a100";
+                for (const auto &name : known)
+                    valid += ", --" + name;
+                std::fprintf(stderr,
+                             "error: unknown flag '--%s' for command "
+                             "'%s' (valid: %s)\n",
+                             k.c_str(), command, valid.c_str());
+                ok = false;
+                continue;
+            }
+            char *end = nullptr;
+            if (u64.count(k)) {
+                errno = 0;
+                std::strtoull(v.c_str(), &end, 10);
+                if (v.empty() || v[0] == '-' ||
+                    end != v.c_str() + v.size() ||
+                    errno == ERANGE) {
+                    std::fprintf(stderr,
+                                 "error: flag '--%s' needs an "
+                                 "unsigned integer value, got "
+                                 "'%s'\n",
+                                 k.c_str(), v.c_str());
+                    ok = false;
+                }
+            } else if (integer.count(k)) {
+                errno = 0;
+                std::strtoll(v.c_str(), &end, 10);
+                if (v.empty() || end != v.c_str() + v.size() ||
+                    errno == ERANGE) {
+                    std::fprintf(stderr,
+                                 "error: flag '--%s' needs an "
+                                 "integer value in range, got "
+                                 "'%s'\n",
+                                 k.c_str(), v.c_str());
+                    ok = false;
+                }
+            } else if (numeric.count(k)) {
+                const double value = std::strtod(v.c_str(), &end);
+                if (v.empty() || end != v.c_str() + v.size() ||
+                    !std::isfinite(value)) {
+                    std::fprintf(stderr,
+                                 "error: flag '--%s' needs a "
+                                 "finite numeric value, got '%s'\n",
+                                 k.c_str(), v.c_str());
+                    ok = false;
+                }
+            }
+        }
+        return ok;
     }
 };
 
 Args
 parseArgs(int argc, char **argv)
 {
+    // Presence-only flags never consume a following token (else
+    // `--batched bogus` would silently eat the stray argument and
+    // `--a100 model ...` would eat the command).
+    static const std::set<std::string> kBooleanFlags = {
+        "a100", "batched", "explicit"};
     Args args;
     for (int i = 1; i < argc; ++i) {
         std::string token = argv[i];
         if (token.rfind("--", 0) == 0) {
             std::string name = token.substr(2);
-            std::string value = "1";
-            if (i + 1 < argc && argv[i + 1][0] != '-')
+            // Valueless flags keep an empty value: boolean flags
+            // only test presence, and value-bearing flags fail
+            // validation instead of silently defaulting.
+            std::string value;
+            if (!kBooleanFlags.count(name) && i + 1 < argc &&
+                argv[i + 1][0] != '-')
                 value = argv[++i];
             args.flags.emplace_back(name, value);
         } else {
@@ -90,9 +218,54 @@ parseArgs(int argc, char **argv)
     return args;
 }
 
-void
-printStats(const KernelStats &stats, const GpuConfig &cfg)
+/** Sparsity flags are fractions. */
+bool
+checkSparsity(const char *name, double value)
 {
+    if (value >= 0.0 && value <= 1.0)
+        return true;
+    std::fprintf(stderr, "error: --%s must be in [0, 1], got %g\n",
+                 name, value);
+    return false;
+}
+
+/** Cluster factors concentrate non-zeros; 1 = uniform Bernoulli. */
+bool
+checkCluster(const char *name, double value)
+{
+    if (value >= 1.0)
+        return true;
+    std::fprintf(stderr, "error: --%s must be >= 1, got %g\n", name,
+                 value);
+    return false;
+}
+
+/** Parse --method against the subset a command supports. */
+bool
+parseMethodFlag(const Args &args, const std::string &fallback,
+                const std::set<std::string> &allowed, Method *out)
+{
+    const std::string token = args.flag("method", fallback);
+    Method method;
+    if (!parseMethod(token, &method) || !allowed.count(token)) {
+        std::string valid;
+        for (const auto &name : allowed)
+            valid += (valid.empty() ? "" : "|") + name;
+        std::fprintf(stderr,
+                     "error: unknown method '%s' (valid: %s)\n",
+                     token.c_str(), valid.c_str());
+        return false;
+    }
+    *out = method;
+    return true;
+}
+
+void
+printReport(const KernelReport &report, const GpuConfig &cfg)
+{
+    const KernelStats &stats = report.stats;
+    std::printf("backend          : %s (%s)\n", report.backend.c_str(),
+                methodName(report.method));
     std::printf("kernel           : %s\n", stats.name.c_str());
     std::printf("time             : %.2f us (%s bound)\n",
                 stats.timeUs(),
@@ -114,56 +287,83 @@ printStats(const KernelStats &stats, const GpuConfig &cfg)
 }
 
 int
-runGemm(const Args &args, const DstcEngine &engine)
+runGemm(const Args &args, Session &session)
 {
+    if (!args.checkPositionals("gemm", 4))
+        return 2;
+    if (!args.checkFlags("gemm",
+                         {"a-sparsity", "b-sparsity", "cluster",
+                          "method", "seed"},
+                         {"a-sparsity", "b-sparsity", "cluster"},
+                         {}, {"seed"}))
+        return 2;
     if (args.positional.size() < 4) {
         std::fprintf(stderr, "usage: dstc_sim gemm M N K [flags]\n");
         return 2;
     }
-    const int64_t m = std::atoll(args.positional[1].c_str());
-    const int64_t n = std::atoll(args.positional[2].c_str());
-    const int64_t k = std::atoll(args.positional[3].c_str());
-    if (m <= 0 || n <= 0 || k <= 0) {
-        std::fprintf(stderr, "error: dimensions must be positive\n");
-        return 2;
+    int64_t dims[3];
+    for (int i = 0; i < 3; ++i) {
+        const std::string &token = args.positional[i + 1];
+        char *end = nullptr;
+        errno = 0;
+        dims[i] = std::strtoll(token.c_str(), &end, 10);
+        if (token.empty() || end != token.c_str() + token.size() ||
+            errno == ERANGE || dims[i] <= 0) {
+            std::fprintf(stderr,
+                         "error: dimension '%s' must be a positive "
+                         "integer\n",
+                         token.c_str());
+            return 2;
+        }
     }
+    const int64_t m = dims[0], n = dims[1], k = dims[2];
     const double sa = args.flagD("a-sparsity", 0.0);
     const double sb = args.flagD("b-sparsity", 0.0);
-    const double cluster = args.flagD("cluster", 1.0);
-    const std::string method = args.flag("method", "dual");
-
-    KernelStats stats;
-    if (method == "dual") {
-        Rng rng(static_cast<uint64_t>(args.flagI("seed", 1)));
-        SparsityProfile pa = SparsityProfile::randomA(
-            m, k, 32, 1.0 - sa, sa > 0 ? cluster : 1.0, rng);
-        SparsityProfile pb = SparsityProfile::randomA(
-            n, k, 32, 1.0 - sb, sb > 0 ? cluster : 1.0, rng);
-        stats = engine.spgemmTime(pa, pb);
-    } else if (method == "dense") {
-        stats = engine.denseGemmTime(m, n, k);
-    } else if (method == "zhu") {
-        stats = engine.zhuGemmTime(m, n, k, sb);
-    } else if (method == "ampere") {
-        stats = engine.ampereGemmTime(m, n, k, sb);
-    } else if (method == "cusparse") {
-        stats = engine.cusparseTime(m, n, k, 1.0 - sa, 1.0 - sb);
-    } else {
-        std::fprintf(stderr, "error: unknown method '%s'\n",
-                     method.c_str());
+    if (!checkSparsity("a-sparsity", sa) ||
+        !checkSparsity("b-sparsity", sb))
         return 2;
-    }
+    const double cluster = args.flagD("cluster", 1.0);
+    if (!checkCluster("cluster", cluster))
+        return 2;
+
+    Method method;
+    if (!parseMethodFlag(args, "dual",
+                         {"auto", "dual", "dense", "zhu", "ampere",
+                          "cusparse"},
+                         &method))
+        return 2;
+
+    KernelRequest req = KernelRequest::gemm(m, n, k, sa, sb);
+    req.method = method;
+    req.a_cluster = sa > 0 ? cluster : 1.0;
+    req.b_cluster = sb > 0 ? cluster : 1.0;
+    req.seed = args.flagU64("seed", 1);
+
+    KernelReport report = session.run(req);
     std::printf("GEMM %lld x %lld x %lld, A sparsity %.3f, B sparsity "
                 "%.3f (%s)\n",
                 static_cast<long long>(m), static_cast<long long>(n),
-                static_cast<long long>(k), sa, sb, method.c_str());
-    printStats(stats, engine.config());
+                static_cast<long long>(k), sa, sb,
+                methodToken(req.method));
+    printReport(report, session.config());
     return 0;
 }
 
 int
-runConv(const Args &args, const DstcEngine &engine)
+runConv(const Args &args, Session &session)
 {
+    if (!args.checkPositionals("conv", 1))
+        return 2;
+    if (!args.checkFlags("conv",
+                         {"batch", "in-c", "hw", "out-c", "kernel",
+                          "stride", "pad", "wsp", "asp", "method",
+                          "seed", "cluster", "act-cluster",
+                          "explicit"},
+                         {"wsp", "asp", "cluster", "act-cluster"},
+                         {"batch", "in-c", "hw", "out-c", "kernel",
+                          "stride", "pad"},
+                         {"seed"}))
+        return 2;
     ConvShape shape;
     shape.batch = args.flagI("batch", 1);
     shape.in_c = args.flagI("in-c", 0);
@@ -177,43 +377,60 @@ runConv(const Args &args, const DstcEngine &engine)
                              "--out-c N [flags]\n");
         return 2;
     }
+    if (shape.batch <= 0 || shape.kernel <= 0 || shape.stride <= 0 ||
+        shape.pad < 0) {
+        std::fprintf(stderr,
+                     "error: --batch/--kernel/--stride must be "
+                     "positive and --pad non-negative\n");
+        return 2;
+    }
     if (shape.outH() <= 0) {
         std::fprintf(stderr,
                      "error: convolution output collapses to zero\n");
         return 2;
     }
 
-    const std::string method_name = args.flag("method", "dual");
-    ConvMethod method;
-    if (method_name == "dual")
-        method = ConvMethod::DualSparseImplicit;
-    else if (method_name == "dense-implicit")
-        method = ConvMethod::DenseImplicit;
-    else if (method_name == "dense-explicit")
-        method = ConvMethod::DenseExplicit;
-    else if (method_name == "single-implicit")
-        method = ConvMethod::SingleSparseImplicit;
-    else if (method_name == "single-explicit")
-        method = ConvMethod::SingleSparseExplicit;
-    else {
-        std::fprintf(stderr, "error: unknown method '%s'\n",
-                     method_name.c_str());
+    Method method;
+    if (!parseMethodFlag(args, "dual", {"auto", "dual", "dense", "zhu"},
+                         &method))
+        return 2;
+    const bool explicit_lowering = args.hasFlag("explicit");
+    if (explicit_lowering && method == Method::DualSparse) {
+        std::fprintf(stderr, "error: the dual-side design has no "
+                             "explicit-im2col variant\n");
         return 2;
     }
 
-    KernelStats stats = engine.convTime(
-        shape, method, args.flagD("wsp", 0.0), args.flagD("asp", 0.0),
-        static_cast<uint64_t>(args.flagI("seed", 1)),
-        args.flagD("cluster", 4.0), args.flagD("act-cluster", 2.0));
+    const double wsp = args.flagD("wsp", 0.0);
+    const double asp = args.flagD("asp", 0.0);
+    if (!checkSparsity("wsp", wsp) || !checkSparsity("asp", asp))
+        return 2;
+    KernelRequest req = KernelRequest::conv(shape, wsp, asp);
+    req.method = method;
+    req.lowering = explicit_lowering ? Lowering::Explicit
+                                     : Lowering::Implicit;
+    req.seed = args.flagU64("seed", 1);
+    req.b_cluster = args.flagD("cluster", 4.0);
+    req.a_cluster = args.flagD("act-cluster", 2.0);
+    if (!checkCluster("cluster", req.b_cluster) ||
+        !checkCluster("act-cluster", req.a_cluster))
+        return 2;
+
+    KernelReport report = session.run(req);
     std::printf("CONV %s (%s)\n", shape.str().c_str(),
-                convMethodName(method));
-    printStats(stats, engine.config());
+                methodName(report.method));
+    printReport(report, session.config());
     return 0;
 }
 
 int
-runModel(const Args &args, const DstcEngine &engine)
+runModel(const Args &args, Session &session)
 {
+    if (!args.checkPositionals("model", 2))
+        return 2;
+    if (!args.checkFlags("model", {"method", "seed", "batched"}, {},
+                         {}, {"seed"}))
+        return 2;
     if (args.positional.size() < 2) {
         std::fprintf(stderr, "usage: dstc_sim model <name> [flags]\n");
         return 2;
@@ -231,49 +448,104 @@ runModel(const Args &args, const DstcEngine &engine)
     else if (name == "rnn")
         model = makeRnnLM();
     else {
-        std::fprintf(stderr, "error: unknown model '%s'\n",
+        std::fprintf(stderr,
+                     "error: unknown model '%s' (valid: vgg16, "
+                     "resnet18, maskrcnn, bert, rnn)\n",
                      name.c_str());
         return 2;
     }
 
     const std::string method_name = args.flag("method", "dual");
-    ModelMethod method = ModelMethod::DualSparseImplicit;
-    if (method_name == "dense")
+    ModelMethod method;
+    if (method_name == "dual")
+        method = ModelMethod::DualSparseImplicit;
+    else if (method_name == "dense")
         method = ModelMethod::DenseImplicit;
     else if (method_name == "single")
         method = ModelMethod::SingleSparseImplicit;
-    else if (method_name != "dual") {
-        std::fprintf(stderr, "error: unknown method '%s'\n",
+    else if (method_name == "auto")
+        method = ModelMethod::Auto;
+    else {
+        std::fprintf(stderr,
+                     "error: unknown method '%s' (valid: "
+                     "auto|dual|dense|single)\n",
                      method_name.c_str());
         return 2;
     }
 
-    ModelRunner runner(engine);
-    ModelRunResult result = runner.run(model, method);
+    const uint64_t seed =
+        args.flagU64("seed", 1);
+    ModelRunner runner(session);
+    ModelRunResult result =
+        args.hasFlag("batched")
+            ? runner.runBatched(model, method, seed)
+            : runner.run(model, method, seed);
     ModelRunResult dense =
-        runner.run(model, ModelMethod::DenseImplicit);
+        runner.run(model, ModelMethod::DenseImplicit, seed);
 
+    const bool show_backend = method == ModelMethod::Auto;
     TextTable table;
-    table.setHeader({"layer", "time (us)", "vs dense implicit"});
+    if (show_backend)
+        table.setHeader(
+            {"layer", "time (us)", "vs dense implicit", "backend"});
+    else
+        table.setHeader({"layer", "time (us)", "vs dense implicit"});
     for (size_t i = 0; i < result.layers.size(); ++i) {
-        table.addRow({result.layers[i].name,
-                      fmtDouble(result.layers[i].stats.timeUs(), 2),
-                      fmtSpeedup(dense.layers[i].stats.timeUs() /
-                                 result.layers[i].stats.timeUs())});
+        std::vector<std::string> row = {
+            result.layers[i].name,
+            fmtDouble(result.layers[i].stats.timeUs(), 2),
+            fmtSpeedup(dense.layers[i].stats.timeUs() /
+                       result.layers[i].stats.timeUs())};
+        if (show_backend)
+            row.push_back(result.layers[i].backend);
+        table.addRow(row);
     }
-    table.addRow({"FULL MODEL", fmtDouble(result.totalTimeUs(), 2),
-                  fmtSpeedup(dense.totalTimeUs() /
-                             result.totalTimeUs())});
-    std::printf("%s under %s:\n", model.name.c_str(),
-                modelMethodName(method));
+    std::vector<std::string> total_row = {
+        "FULL MODEL", fmtDouble(result.totalTimeUs(), 2),
+        fmtSpeedup(dense.totalTimeUs() / result.totalTimeUs())};
+    if (show_backend)
+        total_row.push_back("");
+    table.addRow(total_row);
+    std::printf("%s under %s%s:\n", model.name.c_str(),
+                modelMethodName(method),
+                args.hasFlag("batched") ? " (batched)" : "");
     table.print();
     return 0;
 }
 
 int
-runOverhead(const DstcEngine &engine)
+runBackends(const Args &args, Session &session)
 {
-    OverheadReport report = engine.hardwareOverhead();
+    if (!args.checkPositionals("backends", 1) ||
+        !args.checkFlags("backends", {}))
+        return 2;
+    TextTable table;
+    table.setHeader({"backend", "method", "token", "gemm", "conv",
+                     "exact gemm"});
+    KernelRequest gemm_probe = KernelRequest::gemm(64, 64, 64);
+    KernelRequest conv_probe;
+    conv_probe.kind = KernelRequest::Kind::Conv;
+    conv_probe.shape.in_c = 8;
+    conv_probe.shape.in_h = conv_probe.shape.in_w = 8;
+    conv_probe.shape.out_c = 8;
+    for (const auto &backend : session.registry().backends()) {
+        table.addRow({backend->name(), methodName(backend->method()),
+                      methodToken(backend->method()),
+                      backend->supports(gemm_probe) ? "yes" : "no",
+                      backend->supports(conv_probe) ? "yes" : "no",
+                      backend->exact(gemm_probe) ? "yes" : "no"});
+    }
+    table.print();
+    return 0;
+}
+
+int
+runOverhead(const Args &args, Session &session)
+{
+    if (!args.checkPositionals("overhead", 1) ||
+        !args.checkFlags("overhead", {}))
+        return 2;
+    OverheadReport report = estimateOverhead(session.config());
     TextTable table;
     table.setHeader({"module", "area (mm^2)", "power (W)"});
     for (const auto &component : report.components)
@@ -293,23 +565,27 @@ main(int argc, char **argv)
     Args args = parseArgs(argc, argv);
     if (args.positional.empty()) {
         std::fprintf(stderr,
-                     "usage: dstc_sim <gemm|conv|model|overhead> "
-                     "[args] [--a100]\n");
+                     "usage: dstc_sim <gemm|conv|model|backends|"
+                     "overhead> [args] [--a100]\n");
         return 2;
     }
-    DstcEngine engine(args.hasFlag("a100") ? GpuConfig::a100Like()
-                                           : GpuConfig::v100());
+    Session session(args.hasFlag("a100") ? GpuConfig::a100Like()
+                                         : GpuConfig::v100());
 
     const std::string &command = args.positional[0];
     if (command == "gemm")
-        return runGemm(args, engine);
+        return runGemm(args, session);
     if (command == "conv")
-        return runConv(args, engine);
+        return runConv(args, session);
     if (command == "model")
-        return runModel(args, engine);
+        return runModel(args, session);
+    if (command == "backends")
+        return runBackends(args, session);
     if (command == "overhead")
-        return runOverhead(engine);
-    std::fprintf(stderr, "error: unknown command '%s'\n",
+        return runOverhead(args, session);
+    std::fprintf(stderr,
+                 "error: unknown command '%s' (valid: gemm, conv, "
+                 "model, backends, overhead)\n",
                  command.c_str());
     return 2;
 }
