@@ -33,6 +33,93 @@ struct GemmProfilePair
 {
     SparsityProfile a;
     SparsityProfile b;
+
+    /** Resident footprint, for the cache's byte-aware bound. */
+    size_t
+    encodedBytes() const
+    {
+        return (static_cast<size_t>(a.groups()) * a.k() +
+                static_cast<size_t>(b.groups()) * b.k()) *
+               sizeof(uint16_t);
+    }
+};
+
+/**
+ * Non-owning view of a GEMM request's profile pair. Caller-provided
+ * profiles are referenced in place (no per-plan copy on the
+ * spgemmTime path); cache-built pairs are kept alive through the
+ * aliasing owner.
+ */
+struct GemmProfilesView
+{
+    std::shared_ptr<const SparsityProfile> a;
+    std::shared_ptr<const SparsityProfile> b;
+
+    explicit operator bool() const { return a && b; }
+
+    static GemmProfilesView
+    borrowed(const SparsityProfile *a, const SparsityProfile *b)
+    {
+        return {std::shared_ptr<const SparsityProfile>(
+                    std::shared_ptr<const void>(), a),
+                std::shared_ptr<const SparsityProfile>(
+                    std::shared_ptr<const void>(), b)};
+    }
+
+    static GemmProfilesView
+    owned(std::shared_ptr<const GemmProfilePair> pair)
+    {
+        GemmProfilesView v;
+        v.a = std::shared_ptr<const SparsityProfile>(pair, &pair->a);
+        v.b = std::shared_ptr<const SparsityProfile>(pair, &pair->b);
+        return v;
+    }
+};
+
+/**
+ * Lazily-computed content digests of a request's concrete operands.
+ * Hashing a large matrix is a full pass over its bytes, and a plan
+ * needs the same operand under several encoding families (profiles,
+ * two-level, CSR) — so each operand is digested once and the 64-bit
+ * digest is folded into every family key.
+ */
+class OperandDigests
+{
+  public:
+    uint64_t
+    a(const Matrix<float> &m)
+    {
+        return digest(&m, &a_src_, &a_);
+    }
+
+    uint64_t
+    b(const Matrix<float> &m)
+    {
+        return digest(&m, &b_src_, &b_);
+    }
+
+  private:
+    /** Each slot memoizes exactly one matrix: a later call with a
+     *  different object would silently reuse the wrong digest, so
+     *  the identity is checked, not assumed. */
+    static uint64_t
+    digest(const Matrix<float> *m, const Matrix<float> **src,
+           std::optional<uint64_t> *slot)
+    {
+        if (!*slot) {
+            *src = m;
+            *slot = CacheKey("operand-bytes").matrix(*m).value();
+        }
+        DSTC_ASSERT(*src == m,
+                    "OperandDigests slot reused for a different "
+                    "matrix");
+        return **slot;
+    }
+
+    const Matrix<float> *a_src_ = nullptr;
+    const Matrix<float> *b_src_ = nullptr;
+    std::optional<uint64_t> a_;
+    std::optional<uint64_t> b_;
 };
 
 /** Conv method of a (Method, Lowering) combination. */
@@ -78,17 +165,18 @@ convKey(const KernelRequest &req, ConvMethod cm)
 }
 
 /** Resolve (or synthesize) the popcount profiles of a GEMM request.
- *  Returns null when the request carries pre-encoded operands only
- *  (no profile view available without decoding). */
-std::shared_ptr<const GemmProfilePair>
+ *  Returns an empty view when the request carries pre-encoded
+ *  operands only (no profile view available without decoding). */
+GemmProfilesView
 resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
-                    bool *hit)
+                    OperandDigests &digests, bool *hit)
 {
     if (req.a_profile && req.b_profile) {
-        // Caller-owned encodings: wrap without caching (the caller
-        // already holds the encode-once artifact).
-        return std::make_shared<const GemmProfilePair>(
-            GemmProfilePair{*req.a_profile, *req.b_profile});
+        // Caller-owned encodings: reference them in place (the
+        // caller already holds the encode-once artifact, and request
+        // operands must outlive the plan by contract).
+        return GemmProfilesView::borrowed(req.a_profile,
+                                          req.b_profile);
     }
     // Profile line lengths must match the warp-tile edges the
     // timing model runs at (timeFromProfiles asserts this).
@@ -96,19 +184,23 @@ resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
     const int tile_n = req.gemm_options.tile_n;
     if (req.a && req.b) {
         CacheKey key("gemm-profiles-from-matrices");
-        key.matrix(*req.a).matrix(*req.b).i32(tile_m).i32(tile_n);
+        key.u64(digests.a(*req.a))
+            .u64(digests.b(*req.b))
+            .i32(tile_m)
+            .i32(tile_n);
         const Matrix<float> *a = req.a, *b = req.b;
-        return ctx.cache->getOrBuild<GemmProfilePair>(
-            key.value(),
-            [a, b, tile_m, tile_n] {
-                return GemmProfilePair{
-                    SparsityProfile::fromMatrixA(*a, tile_m),
-                    SparsityProfile::fromMatrixB(*b, tile_n)};
-            },
-            hit);
+        return GemmProfilesView::owned(
+            ctx.cache->getOrBuild<GemmProfilePair>(
+                key.value(),
+                [a, b, tile_m, tile_n] {
+                    return GemmProfilePair{
+                        SparsityProfile::fromMatrixA(*a, tile_m),
+                        SparsityProfile::fromMatrixB(*b, tile_n)};
+                },
+                hit));
     }
     if (req.a_encoded && req.b_encoded)
-        return nullptr;
+        return {};
 
     CacheKey key("gemm-profiles-synthetic");
     key.i64(req.m).i64(req.n).i64(req.k);
@@ -120,19 +212,20 @@ resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
         .i32(tile_m)
         .i32(tile_n);
     const KernelRequest r = req; // by-value for the builder
-    return ctx.cache->getOrBuild<GemmProfilePair>(
-        key.value(),
-        [r, tile_m, tile_n] {
-            Rng rng(r.seed);
-            SparsityProfile a = SparsityProfile::randomA(
-                r.m, r.k, tile_m, 1.0 - r.a_sparsity, r.a_cluster,
-                rng);
-            SparsityProfile b = SparsityProfile::randomA(
-                r.n, r.k, tile_n, 1.0 - r.b_sparsity, r.b_cluster,
-                rng);
-            return GemmProfilePair{std::move(a), std::move(b)};
-        },
-        hit);
+    return GemmProfilesView::owned(
+        ctx.cache->getOrBuild<GemmProfilePair>(
+            key.value(),
+            [r, tile_m, tile_n] {
+                Rng rng(r.seed);
+                SparsityProfile a = SparsityProfile::randomA(
+                    r.m, r.k, tile_m, 1.0 - r.a_sparsity, r.a_cluster,
+                    rng);
+                SparsityProfile b = SparsityProfile::randomA(
+                    r.n, r.k, tile_n, 1.0 - r.b_sparsity, r.b_cluster,
+                    rng);
+                return GemmProfilePair{std::move(a), std::move(b)};
+            },
+            hit));
 }
 
 /** Non-zero fraction of a profile (over its tile-padded extent). */
@@ -207,9 +300,9 @@ class DualGemmPlan : public ExecutionPlan
                 report.d = std::make_shared<const Matrix<float>>(
                     std::move(r.d));
         } else {
-            const GemmProfilePair *p = profiles();
+            const GemmProfilesView &p = profiles();
             report.stats = device.timeFromProfiles(
-                p->a, p->b, req_.gemm_options);
+                *p.a, *p.b, req_.gemm_options);
         }
         return report;
     }
@@ -222,9 +315,9 @@ class DualGemmPlan : public ExecutionPlan
         // shapes share the memoized run (never paying twice).
         if (!(req_.a && req_.b))
             return ExecutionPlan::estimate();
-        const GemmProfilePair *p = profiles();
+        const GemmProfilesView &p = profiles();
         SpGemmDevice device(cfg_);
-        return device.timeFromProfiles(p->a, p->b, req_.gemm_options)
+        return device.timeFromProfiles(*p.a, *p.b, req_.gemm_options)
             .timeUs();
     }
 
@@ -233,9 +326,9 @@ class DualGemmPlan : public ExecutionPlan
      * The popcount-profile view of the operands, resolved on first
      * use: the timing path consumes it in run(), while functional
      * plans only need it when Auto dispatch asks for an estimate.
-     * Null for pre-encoded requests (no profile view available).
+     * Empty for pre-encoded requests (no profile view available).
      */
-    const GemmProfilePair *
+    const GemmProfilesView &
     profiles()
     {
         if (!profiles_resolved_) {
@@ -244,10 +337,11 @@ class DualGemmPlan : public ExecutionPlan
             ctx.cfg = &cfg_;
             ctx.cache = cache_;
             bool hit = false;
-            profiles_ = resolveGemmProfiles(req_, ctx, &hit);
+            profiles_ =
+                resolveGemmProfiles(req_, ctx, digests_, &hit);
             cache_hit_ = cache_hit_ || hit;
         }
-        return profiles_.get();
+        return profiles_;
     }
 
     /** Cache-backed two-level encodings of concrete operands. */
@@ -259,7 +353,7 @@ class DualGemmPlan : public ExecutionPlan
         bool hit_a = false, hit_b = false;
         const SpGemmOptions &o = req_.gemm_options;
         CacheKey ka("two-level-a");
-        ka.matrix(*req_.a).i32(o.tile_m).i32(o.tile_k);
+        ka.u64(digests_.a(*req_.a)).i32(o.tile_m).i32(o.tile_k);
         const Matrix<float> *a = req_.a;
         a_enc_ = cache_->getOrBuild<TwoLevelBitmapMatrix>(
             ka.value(),
@@ -269,7 +363,7 @@ class DualGemmPlan : public ExecutionPlan
             },
             &hit_a);
         CacheKey kb("two-level-b");
-        kb.matrix(*req_.b).i32(o.tile_k).i32(o.tile_n);
+        kb.u64(digests_.b(*req_.b)).i32(o.tile_k).i32(o.tile_n);
         const Matrix<float> *b = req_.b;
         b_enc_ = cache_->getOrBuild<TwoLevelBitmapMatrix>(
             kb.value(),
@@ -284,8 +378,9 @@ class DualGemmPlan : public ExecutionPlan
     KernelRequest req_;
     GpuConfig cfg_;
     EncodingCache *cache_;
+    OperandDigests digests_;
     bool profiles_resolved_ = false;
-    std::shared_ptr<const GemmProfilePair> profiles_;
+    GemmProfilesView profiles_;
     std::shared_ptr<const TwoLevelBitmapMatrix> a_enc_;
     std::shared_ptr<const TwoLevelBitmapMatrix> b_enc_;
 };
@@ -674,13 +769,13 @@ class CusparseGemmPlan : public ExecutionPlan
             return;
         bool hit_a = false, hit_b = false;
         CacheKey ka("csr-a");
-        ka.matrix(*req_.a);
+        ka.u64(digests_.a(*req_.a));
         const Matrix<float> *a = req_.a;
         a_csr_ = cache_->getOrBuild<CsrMatrix>(
             ka.value(), [a] { return CsrMatrix::encode(*a); },
             &hit_a);
         CacheKey kb("csr-b");
-        kb.matrix(*req_.b);
+        kb.u64(digests_.b(*req_.b));
         const Matrix<float> *b = req_.b;
         b_csr_ = cache_->getOrBuild<CsrMatrix>(
             kb.value(), [b] { return CsrMatrix::encode(*b); },
@@ -691,6 +786,7 @@ class CusparseGemmPlan : public ExecutionPlan
     KernelRequest req_;
     GpuConfig cfg_;
     EncodingCache *cache_;
+    OperandDigests digests_;
     std::shared_ptr<const CsrMatrix> a_csr_;
     std::shared_ptr<const CsrMatrix> b_csr_;
 };

@@ -18,7 +18,7 @@
 #define DSTC_CORE_ENCODING_CACHE_H
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <typeinfo>
@@ -79,18 +79,43 @@ class CacheKey
 };
 
 /**
- * Shared cache of encoded operands, keyed by content hash. Bounded:
- * when the entry count reaches the capacity, the oldest entries are
- * evicted FIFO (in-flight users keep theirs alive through the
- * shared_ptr; only the cache's reference is dropped).
+ * Approximate resident bytes of a cached value, used by the cache's
+ * optional byte-aware bound. Encodings report their real footprint
+ * through encodedBytes(); anything else is charged its object size.
+ */
+template <typename T>
+size_t
+cachedValueBytes(const T &value)
+{
+    if constexpr (requires { value.encodedBytes(); })
+        return static_cast<size_t>(value.encodedBytes());
+    else
+        return sizeof(T);
+}
+
+/**
+ * Shared cache of encoded operands, keyed by content hash. Bounded
+ * two ways: an entry-count capacity, and an optional byte bound over
+ * the values' reported footprints. Eviction is LRU — every hit
+ * refreshes the entry — and in-flight users keep evicted values
+ * alive through the shared_ptr; only the cache's reference drops.
  */
 class EncodingCache
 {
   public:
     static constexpr size_t kDefaultCapacity = 1024;
 
-    explicit EncodingCache(size_t capacity = kDefaultCapacity)
-        : capacity_(capacity == 0 ? 1 : capacity)
+    /**
+     * @param capacity       maximum entry count (>= 1)
+     * @param capacity_bytes maximum total value bytes; 0 = unbounded.
+     *        A single value larger than the bound is still cached
+     *        (evicting everything else) — the bound sheds history,
+     *        it never refuses work.
+     */
+    explicit EncodingCache(size_t capacity = kDefaultCapacity,
+                           size_t capacity_bytes = 0)
+        : capacity_(capacity == 0 ? 1 : capacity),
+          capacity_bytes_(capacity_bytes)
     {
     }
 
@@ -120,25 +145,48 @@ class EncodingCache
             existed = slot != nullptr;
             if (!existed) {
                 slot = std::make_shared<Entry>();
-                insertion_order_.push_back(key);
-                while (entries_.size() > capacity_) {
-                    entries_.erase(insertion_order_.front());
-                    insertion_order_.pop_front();
-                    ++counters_.evictions;
-                }
+                lru_order_.push_back(key);
+                slot->lru_it = std::prev(lru_order_.end());
+                while (entries_.size() > capacity_)
+                    evictOldestLocked();
+            } else {
+                // Refresh recency: move to the back of the LRU list.
+                lru_order_.splice(lru_order_.end(), lru_order_,
+                                  slot->lru_it);
             }
             entry = slot;
             ++(existed ? counters_.hits : counters_.misses);
         }
         if (hit)
             *hit = existed;
+        bool built = false;
         std::call_once(entry->once, [&] {
             entry->value = std::static_pointer_cast<const void>(
                 std::make_shared<const T>(build()));
             entry->type = typeid(T).hash_code();
+            entry->bytes = cachedValueBytes(
+                *std::static_pointer_cast<const T>(entry->value));
+            built = true;
         });
         DSTC_ASSERT(entry->type == typeid(T).hash_code(),
                     "EncodingCache key collision across types");
+        if (built) {
+            // The value's size is only known after the build (which
+            // runs outside the lock); charge it now and apply the
+            // byte bound. The entry may already have been evicted by
+            // a concurrent insert — then there is nothing to charge.
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = entries_.find(key);
+            if (it != entries_.end() && it->second == entry) {
+                entry->charged = true;
+                total_bytes_ += entry->bytes;
+                if (capacity_bytes_ > 0)
+                    while (total_bytes_ > capacity_bytes_ &&
+                           entries_.size() > 1 &&
+                           lru_order_.front() != key)
+                        evictOldestLocked();
+            }
+        }
         return std::static_pointer_cast<const T>(entry->value);
     }
 
@@ -156,16 +204,26 @@ class EncodingCache
         return entries_.size();
     }
 
+    /** Total reported bytes of the resident (charged) values. */
+    size_t
+    totalBytes() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return total_bytes_;
+    }
+
     void
     clear()
     {
         std::lock_guard<std::mutex> lock(mu_);
         entries_.clear();
-        insertion_order_.clear();
+        lru_order_.clear();
+        total_bytes_ = 0;
         counters_ = Counters{};
     }
 
     size_t capacity() const { return capacity_; }
+    size_t capacityBytes() const { return capacity_bytes_; }
 
   private:
     struct Entry
@@ -173,12 +231,32 @@ class EncodingCache
         std::once_flag once;
         std::shared_ptr<const void> value;
         size_t type = 0;
+        size_t bytes = 0;
+        bool charged = false; ///< bytes counted in total_bytes_
+        std::list<uint64_t>::iterator lru_it;
     };
+
+    /** Drop the least-recently-used entry. Caller holds mu_. */
+    void
+    evictOldestLocked()
+    {
+        const uint64_t victim = lru_order_.front();
+        auto it = entries_.find(victim);
+        if (it != entries_.end()) {
+            if (it->second->charged)
+                total_bytes_ -= it->second->bytes;
+            entries_.erase(it);
+        }
+        lru_order_.pop_front();
+        ++counters_.evictions;
+    }
 
     mutable std::mutex mu_;
     size_t capacity_;
+    size_t capacity_bytes_;
+    size_t total_bytes_ = 0;
     std::unordered_map<uint64_t, std::shared_ptr<Entry>> entries_;
-    std::deque<uint64_t> insertion_order_;
+    std::list<uint64_t> lru_order_;
     Counters counters_;
 };
 

@@ -16,7 +16,7 @@ Session::Session(GpuConfig config)
 Session::Session(SessionOptions options)
     : options_(options),
       registry_(KernelRegistry::withDefaultBackends()),
-      cache_(options.cache_capacity)
+      cache_(options.cache_capacity, options.cache_capacity_bytes)
 {
 }
 

@@ -46,8 +46,16 @@ struct SessionOptions
     /** Worker threads for submitBatch; 0 = hardware concurrency. */
     int num_threads = 0;
 
-    /** Encoded-operand cache capacity (entries, FIFO eviction). */
+    /** Encoded-operand cache capacity (entries, LRU eviction). */
     size_t cache_capacity = EncodingCache::kDefaultCapacity;
+
+    /**
+     * Optional byte-aware cache bound over the encoded values'
+     * reported footprints; 0 = entry-count bound only. For
+     * long-running serving, set this to the memory budget the
+     * encodings may occupy.
+     */
+    size_t cache_capacity_bytes = 0;
 };
 
 /** The plan/execute front end over the kernel registry. */

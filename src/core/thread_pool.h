@@ -1,15 +1,22 @@
 /**
  * @file
- * Fixed-size worker pool behind Session::submitBatch. Deliberately
- * minimal: a locked queue of type-erased jobs. Determinism of the
- * simulation results does not depend on scheduling — every request
- * is a pure function of its own inputs — so no ordering guarantees
- * are needed beyond future completion.
+ * Fixed-size worker pool behind Session::submitBatch and the
+ * device-level SpGEMM tile loop. Deliberately minimal: a locked
+ * queue of type-erased jobs. Determinism of the simulation results
+ * does not depend on scheduling — every request is a pure function
+ * of its own inputs — so no ordering guarantees are needed beyond
+ * future completion.
+ *
+ * parallelFor layers a work-stealing index loop on top: the calling
+ * thread always participates, so a parallelFor issued from inside a
+ * pool job (e.g. a batched Session request whose kernel parallelizes
+ * its own tile loop) makes progress even when every worker is busy.
  */
 #ifndef DSTC_CORE_THREAD_POOL_H
 #define DSTC_CORE_THREAD_POOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -42,6 +49,29 @@ class ThreadPool
     std::condition_variable cv_;
     bool stopping_ = false;
 };
+
+/**
+ * The lazily-created process-wide pool (hardware_concurrency
+ * workers) shared by the compute kernels. Kernel-internal
+ * parallelism routes here rather than spawning per-kernel pools, so
+ * a batch of concurrent requests cannot oversubscribe the machine.
+ */
+ThreadPool &sharedThreadPool();
+
+/**
+ * Run @p fn(i) for every i in [0, n), distributing indices over up
+ * to @p max_workers threads (the caller plus helpers drawn from
+ * @p pool). The caller participates and the call returns only after
+ * every index completed. Safe to invoke concurrently from multiple
+ * threads, and from inside a job of the same pool.
+ *
+ * @p pool may be null and @p max_workers <= 1 forces a plain serial
+ * loop. Note the iteration order is arbitrary under parallelism:
+ * callers needing deterministic aggregation should write per-index
+ * results and reduce in index order afterwards.
+ */
+void parallelFor(ThreadPool *pool, int64_t n, int max_workers,
+                 const std::function<void(int64_t)> &fn);
 
 } // namespace dstc
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitutil.h"
+#include "core/thread_pool.h"
 #include "timing/scheduler.h"
 
 namespace dstc {
@@ -16,6 +17,38 @@ namespace {
  * from looking free when they still had to be scheduled.
  */
 constexpr int64_t kTileOverheadCycles = 4;
+
+/**
+ * Everything one (ti, tj) output tile contributes to the kernel
+ * stats. Workers fill one outcome per tile concurrently; the caller
+ * reduces them serially in tile order, so the aggregated stats (and
+ * every floating-point sum) are bitwise identical to the serial
+ * loop regardless of worker count.
+ */
+struct TileOutcome
+{
+    InstructionMix mix;
+    int64_t merge_cycles = 0;
+    int64_t warp_tiles = 0;
+    int64_t warp_tiles_skipped = 0;
+    std::vector<int64_t> work; ///< per surviving k-chunk, in tk order
+    double p_cell_zero = 1.0;
+    int rows = 0, cols = 0; ///< actual (clipped) tile dimensions
+};
+
+/** Resolve the tile-loop worker pool from the options knob. */
+ThreadPool *
+tilePool(int num_workers, int *max_workers)
+{
+    if (num_workers == 1) {
+        *max_workers = 1;
+        return nullptr;
+    }
+    ThreadPool &pool = sharedThreadPool();
+    *max_workers =
+        num_workers > 0 ? num_workers : pool.numThreads();
+    return &pool;
+}
 
 } // namespace
 
@@ -64,78 +97,95 @@ SpGemmDevice::multiplyEncoded(const TwoLevelBitmapMatrix &a_enc,
     result.stats.name = "dstc_spgemm";
     if (options.functional)
         result.d = Matrix<float>(m, n);
+    float *d_base =
+        options.functional ? result.d.data().data() : nullptr;
 
-    // Each (output tile, K chunk) is an independent work item: the
-    // kernel splits K across thread blocks for small outputs (the
-    // partial accumulators merge through the same gather-scatter
-    // path), so the scheduler sees chunk-level parallelism.
-    std::vector<int64_t> work;
-    work.reserve(static_cast<size_t>(tiles_m) * tiles_n);
-    double output_nnz_estimate = 0.0;
+    // Each (ti, tj) output tile is independent: its accumulator is a
+    // disjoint region of D and its stats contribution is a pure
+    // function of the operand tiles. The loop is partitioned over
+    // the worker pool; outcomes reduce serially in tile order below.
+    const int64_t total_tiles =
+        static_cast<int64_t>(tiles_m) * tiles_n;
+    std::vector<TileOutcome> outcomes(
+        static_cast<size_t>(total_tiles));
 
-    std::vector<std::pair<int, int>> popcs;
-    for (int ti = 0; ti < tiles_m; ++ti) {
-        for (int tj = 0; tj < tiles_n; ++tj) {
-            const int rows = std::min(options.tile_m,
-                                      m - ti * options.tile_m);
-            const int cols = std::min(options.tile_n,
-                                      n - tj * options.tile_n);
-            Matrix<float> accum;
-            if (options.functional)
-                accum = Matrix<float>(rows, cols);
-            double p_cell_zero = 1.0;
+    auto run_tile = [&](int64_t t) {
+        const int ti = static_cast<int>(t / tiles_n);
+        const int tj = static_cast<int>(t % tiles_n);
+        TileOutcome &out = outcomes[static_cast<size_t>(t)];
+        out.rows = std::min(options.tile_m, m - ti * options.tile_m);
+        out.cols = std::min(options.tile_n, n - tj * options.tile_n);
+        // The warp tile accumulates straight into its region of D —
+        // no per-tile staging matrix, no copy-out.
+        float *accum =
+            d_base
+                ? d_base +
+                      static_cast<size_t>(ti) * options.tile_m * n +
+                      static_cast<size_t>(tj) * options.tile_n
+                : nullptr;
+        thread_local WarpScratch scratch;
+        thread_local std::vector<std::pair<int, int>> popcs;
 
-            for (int tk = 0; tk < tiles_k; ++tk) {
-                const bool a_empty = !a_enc.tileNonEmpty(ti, tk);
-                const bool b_empty = !b_enc.tileNonEmpty(tk, tj);
-                if (options.two_level && (a_empty || b_empty)) {
-                    // Warp-bit is 0 for one input: skip the chunk
-                    // without issuing anything (Sec. III-C).
-                    ++result.stats.warp_tiles_skipped;
-                    continue;
-                }
-                ++result.stats.warp_tiles;
-                const BitmapMatrix &a_tile = a_enc.tile(ti, tk);
-                const BitmapMatrix &b_tile = b_enc.tile(tk, tj);
-
-                WarpTileResult wr;
-                if (options.functional) {
-                    wr = warp_engine_.computeTile(
-                        a_tile, b_tile, &accum, options.detailed_merge);
-                } else {
-                    const int kk = a_tile.cols();
-                    popcs.clear();
-                    for (int s = 0; s < kk; ++s)
-                        popcs.emplace_back(a_tile.lineNnz(s),
-                                           b_tile.lineNnz(s));
-                    wr = warp_engine_.timeTile(popcs);
-                }
-                result.stats.mix += wr.mix;
-                result.stats.merge_cycles += wr.merge_cycles;
-                work.push_back(wr.cycles() + kTileOverheadCycles);
-
-                // Track the expected output density for the sparse
-                // write-back estimate.
-                const int kk = a_tile.cols();
-                for (int s = 0; s < kk; ++s) {
-                    double pa = static_cast<double>(a_tile.lineNnz(s)) /
-                                rows;
-                    double pb = static_cast<double>(b_tile.lineNnz(s)) /
-                                cols;
-                    p_cell_zero *= 1.0 - pa * pb;
-                }
+        for (int tk = 0; tk < tiles_k; ++tk) {
+            const bool a_empty = !a_enc.tileNonEmpty(ti, tk);
+            const bool b_empty = !b_enc.tileNonEmpty(tk, tj);
+            if (options.two_level && (a_empty || b_empty)) {
+                // Warp-bit is 0 for one input: skip the chunk
+                // without issuing anything (Sec. III-C).
+                ++out.warp_tiles_skipped;
+                continue;
             }
-            output_nnz_estimate +=
-                (1.0 - p_cell_zero) * rows * cols;
+            ++out.warp_tiles;
+            const BitmapMatrix &a_tile = a_enc.tile(ti, tk);
+            const BitmapMatrix &b_tile = b_enc.tile(tk, tj);
 
+            WarpTileResult wr;
             if (options.functional) {
-                for (int r = 0; r < rows; ++r)
-                    for (int c = 0; c < cols; ++c)
-                        result.d.at(ti * options.tile_m + r,
-                                    tj * options.tile_n + c) =
-                            accum.at(r, c);
+                wr = warp_engine_.computeTile(a_tile, b_tile, accum,
+                                              n,
+                                              options.detailed_merge,
+                                              scratch);
+            } else {
+                const int kk = a_tile.cols();
+                popcs.clear();
+                for (int s = 0; s < kk; ++s)
+                    popcs.emplace_back(a_tile.lineNnz(s),
+                                       b_tile.lineNnz(s));
+                wr = warp_engine_.timeTile(popcs);
+            }
+            out.mix += wr.mix;
+            out.merge_cycles += wr.merge_cycles;
+            out.work.push_back(wr.cycles() + kTileOverheadCycles);
+
+            // Track the expected output density for the sparse
+            // write-back estimate.
+            const int kk = a_tile.cols();
+            for (int s = 0; s < kk; ++s) {
+                double pa = static_cast<double>(a_tile.lineNnz(s)) /
+                            out.rows;
+                double pb = static_cast<double>(b_tile.lineNnz(s)) /
+                            out.cols;
+                out.p_cell_zero *= 1.0 - pa * pb;
             }
         }
+    };
+    int max_workers = 1;
+    ThreadPool *pool = tilePool(options.num_workers, &max_workers);
+    parallelFor(pool, total_tiles, max_workers, run_tile);
+
+    // Deterministic reduction: tile order, independent of which
+    // worker computed what.
+    std::vector<int64_t> work;
+    work.reserve(static_cast<size_t>(total_tiles));
+    double output_nnz_estimate = 0.0;
+    for (const TileOutcome &out : outcomes) {
+        result.stats.mix += out.mix;
+        result.stats.merge_cycles += out.merge_cycles;
+        result.stats.warp_tiles += out.warp_tiles;
+        result.stats.warp_tiles_skipped += out.warp_tiles_skipped;
+        work.insert(work.end(), out.work.begin(), out.work.end());
+        output_nnz_estimate +=
+            (1.0 - out.p_cell_zero) * out.rows * out.cols;
     }
 
     // Compute time: LPT makespan of output-tile work over sub-cores,
@@ -199,60 +249,75 @@ SpGemmDevice::timeFromProfiles(const SparsityProfile &a,
     const auto a_tile_nnz = tile_nnz(a);
     const auto b_tile_nnz = tile_nnz(b);
 
-    std::vector<int64_t> work;
-    work.reserve(static_cast<size_t>(tiles_m) * tiles_n);
-    double output_nnz_estimate = 0.0;
     const double tile_cells =
         static_cast<double>(options.tile_m) * options.tile_n;
 
-    for (int ti = 0; ti < tiles_m; ++ti) {
-        for (int tj = 0; tj < tiles_n; ++tj) {
-            double p_cell_zero = 1.0;
-            for (int tk = 0; tk < tiles_k; ++tk) {
-                const bool a_empty =
-                    a_tile_nnz[static_cast<size_t>(ti) * tiles_k + tk] ==
-                    0;
-                const bool b_empty =
-                    b_tile_nnz[static_cast<size_t>(tj) * tiles_k + tk] ==
-                    0;
-                if (options.two_level && (a_empty || b_empty)) {
-                    ++stats.warp_tiles_skipped;
+    const int64_t total_tiles =
+        static_cast<int64_t>(tiles_m) * tiles_n;
+    std::vector<TileOutcome> outcomes(
+        static_cast<size_t>(total_tiles));
+
+    auto run_tile = [&](int64_t t) {
+        const int ti = static_cast<int>(t / tiles_n);
+        const int tj = static_cast<int>(t % tiles_n);
+        TileOutcome &out = outcomes[static_cast<size_t>(t)];
+        for (int tk = 0; tk < tiles_k; ++tk) {
+            const bool a_empty =
+                a_tile_nnz[static_cast<size_t>(ti) * tiles_k + tk] ==
+                0;
+            const bool b_empty =
+                b_tile_nnz[static_cast<size_t>(tj) * tiles_k + tk] ==
+                0;
+            if (options.two_level && (a_empty || b_empty)) {
+                ++out.warp_tiles_skipped;
+                continue;
+            }
+            ++out.warp_tiles;
+            const int64_t k_lo =
+                static_cast<int64_t>(tk) * options.tile_k;
+            const int64_t k_hi = std::min(k, k_lo + options.tile_k);
+            int64_t issued = 0, accesses = 0, bohmma = 0;
+            for (int64_t kk = k_lo; kk < k_hi; ++kk) {
+                const int na = a.count(ti, kk);
+                const int nb = b.count(tj, kk);
+                if (na == 0 || nb == 0)
                     continue;
-                }
-                ++stats.warp_tiles;
-                const int64_t k_lo =
-                    static_cast<int64_t>(tk) * options.tile_k;
-                const int64_t k_hi =
-                    std::min(k, k_lo + options.tile_k);
-                int64_t issued = 0, accesses = 0, bohmma = 0;
-                for (int64_t kk = k_lo; kk < k_hi; ++kk) {
-                    const int na = a.count(ti, kk);
-                    const int nb = b.count(tj, kk);
-                    if (na == 0 || nb == 0)
-                        continue;
-                    stats.mix.popc += 2;
-                    ++bohmma;
-                    const int enabled = enabledOhmmas(na, nb, shape);
-                    issued += enabled;
-                    stats.mix.ohmma_skipped +=
-                        shape.ohmmasPerSet() - enabled;
-                    accesses += static_cast<int64_t>(na) * nb;
-                    p_cell_zero *= 1.0 - static_cast<double>(na) * nb /
+                out.mix.popc += 2;
+                ++bohmma;
+                const int enabled = enabledOhmmas(na, nb, shape);
+                issued += enabled;
+                out.mix.ohmma_skipped +=
+                    shape.ohmmasPerSet() - enabled;
+                accesses += static_cast<int64_t>(na) * nb;
+                out.p_cell_zero *= 1.0 - static_cast<double>(na) * nb /
                                              tile_cells;
-                }
-                stats.mix.bohmma += bohmma;
-                stats.mix.ohmma_issued += issued;
-                const int64_t issue_cycles = issued + bohmma;
-                const int64_t scalar_cycles = bohmma + 2;
-                const int64_t merge_cycles = static_cast<int64_t>(
-                    merge_model.tileCycles(accesses, issued));
-                stats.merge_cycles += merge_cycles;
-                work.push_back(std::max({issue_cycles, merge_cycles,
+            }
+            out.mix.bohmma += bohmma;
+            out.mix.ohmma_issued += issued;
+            const int64_t issue_cycles = issued + bohmma;
+            const int64_t scalar_cycles = bohmma + 2;
+            const int64_t merge_cycles = static_cast<int64_t>(
+                merge_model.tileCycles(accesses, issued));
+            out.merge_cycles += merge_cycles;
+            out.work.push_back(std::max({issue_cycles, merge_cycles,
                                          scalar_cycles}) +
                                kTileOverheadCycles);
-            }
-            output_nnz_estimate += (1.0 - p_cell_zero) * tile_cells;
         }
+    };
+    int max_workers = 1;
+    ThreadPool *pool = tilePool(options.num_workers, &max_workers);
+    parallelFor(pool, total_tiles, max_workers, run_tile);
+
+    std::vector<int64_t> work;
+    work.reserve(static_cast<size_t>(total_tiles));
+    double output_nnz_estimate = 0.0;
+    for (const TileOutcome &out : outcomes) {
+        stats.mix += out.mix;
+        stats.merge_cycles += out.merge_cycles;
+        stats.warp_tiles += out.warp_tiles;
+        stats.warp_tiles_skipped += out.warp_tiles_skipped;
+        work.insert(work.end(), out.work.begin(), out.work.end());
+        output_nnz_estimate += (1.0 - out.p_cell_zero) * tile_cells;
     }
 
     int64_t makespan = lptMakespan(work, cfg_.totalSubcores());

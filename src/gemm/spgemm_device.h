@@ -34,6 +34,15 @@ struct SpGemmOptions
     bool detailed_merge = false;
 
     /**
+     * Worker threads of the (ti, tj) output-tile loop: 0 uses the
+     * process-shared pool (all hardware threads), 1 runs serially in
+     * the caller, N caps the parallelism at N threads. Results and
+     * stats are bitwise identical for every setting — per-tile
+     * outcomes are reduced in tile order.
+     */
+    int num_workers = 0;
+
+    /**
      * Write D back bitmap-encoded when that is smaller than dense.
      * Off by default: the GEMM contract of the evaluation returns a
      * dense D (the next layer's GEMM re-encodes its own operands),

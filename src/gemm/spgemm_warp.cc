@@ -6,6 +6,24 @@
 
 namespace dstc {
 
+namespace {
+
+void
+checkTilePair(const BitmapMatrix &a_tile, const BitmapMatrix &b_tile,
+              const SpWmmaShape &shape)
+{
+    DSTC_ASSERT(a_tile.major() == Major::Col,
+                "A tile must be column-major encoded");
+    DSTC_ASSERT(b_tile.major() == Major::Row,
+                "B tile must be row-major encoded");
+    DSTC_ASSERT(a_tile.cols() == b_tile.rows(), "k mismatch: ",
+                a_tile.cols(), " vs ", b_tile.rows());
+    DSTC_ASSERT(a_tile.rows() <= shape.m && b_tile.cols() <= shape.n,
+                "warp tile exceeds SpWMMA shape");
+}
+
+} // namespace
+
 SpGemmWarpEngine::SpGemmWarpEngine(const GpuConfig &cfg)
     : cfg_(cfg),
       merge_model_(cfg.accum_banks, cfg.operand_collector)
@@ -14,21 +32,140 @@ SpGemmWarpEngine::SpGemmWarpEngine(const GpuConfig &cfg)
 
 WarpTileResult
 SpGemmWarpEngine::computeTile(const BitmapMatrix &a_tile,
+                              const BitmapMatrix &b_tile, float *accum,
+                              int ld, bool detailed_merge,
+                              WarpScratch &scratch) const
+{
+    checkTilePair(a_tile, b_tile, shape_);
+    const int m = a_tile.rows();
+    const int n = b_tile.cols();
+    const int k = a_tile.cols();
+
+    WarpTileResult result;
+    // The positions only matter when values are merged or the exact
+    // bank simulator consumes the address stream; timing-only calls
+    // run on popcounts alone.
+    const bool need_positions = accum != nullptr || detailed_merge;
+    if (need_positions)
+        scratch.reserveTile(m, n);
+    if (detailed_merge)
+        scratch.trace.instr_addrs.clear();
+
+    for (int step = 0; step < k; ++step) {
+        // The hardware POPCs the A-column / B-row bitmaps (Fig. 15).
+        const int popc_a = a_tile.lineNnz(step);
+        const int popc_b = b_tile.lineNnz(step);
+        if (popc_a == 0 || popc_b == 0)
+            continue; // k-step compacted away (Sec. III-B3)
+
+        // The instruction mix of one SpWMMA set, computed
+        // arithmetically: two POPCs, one BOHMMA, and the Fig. 15
+        // predication of the 8 OHMMAs.
+        result.mix.popc += 2;
+        ++result.mix.bohmma;
+        const int enabled = enabledOhmmas(popc_a, popc_b, shape_);
+        result.mix.ohmma_issued += enabled;
+        result.mix.ohmma_skipped += shape_.ohmmasPerSet() - enabled;
+        const int64_t products = static_cast<int64_t>(popc_a) * popc_b;
+        result.macs += products;
+        result.merge_accesses += products;
+        if (!need_positions)
+            continue;
+
+        // Word-parallel bitmap scan: condensed positions via ctz over
+        // the 64-bit line words, into the reusable arena.
+        a_tile.linePositionsInto(step, 0, m, scratch.pos_a.data());
+        b_tile.linePositionsInto(step, 0, n, scratch.pos_b.data());
+
+        if (accum) {
+            // FP16-rounded operands come pre-quantized from the
+            // encoding. Each (row, col) pair is touched once per
+            // k-step, so the per-cell FP32 accumulation order is the
+            // k order — the chunked reference path sums identically.
+            const auto val_a = a_tile.lineValuesFp16(step);
+            const auto val_b = b_tile.lineValuesFp16(step);
+            for (int ia = 0; ia < popc_a; ++ia) {
+                const float av = val_a[ia];
+                float *row =
+                    accum +
+                    static_cast<size_t>(scratch.pos_a[ia]) * ld;
+                for (int ib = 0; ib < popc_b; ++ib)
+                    row[scratch.pos_b[ib]] += av * val_b[ib];
+            }
+        }
+
+        if (detailed_merge) {
+            // The bank simulator consumes one address list per OHMMA
+            // chunk pair, in issue order (tile-local addresses).
+            for (int ac = 0; ac < ceilDiv(popc_a, shape_.a_chunk);
+                 ++ac) {
+                const int a_lo = ac * shape_.a_chunk;
+                const int a_hi =
+                    std::min(popc_a, a_lo + shape_.a_chunk);
+                for (int bc = 0; bc < ceilDiv(popc_b, shape_.b_chunk);
+                     ++bc) {
+                    const int b_lo = bc * shape_.b_chunk;
+                    const int b_hi =
+                        std::min(popc_b, b_lo + shape_.b_chunk);
+                    std::vector<int> addrs;
+                    addrs.reserve(
+                        static_cast<size_t>(a_hi - a_lo) *
+                        (b_hi - b_lo));
+                    for (int ia = a_lo; ia < a_hi; ++ia)
+                        for (int ib = b_lo; ib < b_hi; ++ib)
+                            addrs.push_back(scratch.pos_a[ia] * n +
+                                            scratch.pos_b[ib]);
+                    scratch.trace.instr_addrs.push_back(
+                        std::move(addrs));
+                }
+            }
+        }
+    }
+
+    result.issue_cycles = result.mix.tensorCycles();
+    // Scalar pipe: one slot per surviving (non-compacted) k-step for
+    // the POPC/predicate work, plus the per-tile occupancy-bitmap
+    // AND that drives the k-compaction.
+    result.scalar_cycles = result.mix.bohmma + 2;
+    if (detailed_merge) {
+        AccumBufferSim sim(cfg_.accum_banks, cfg_.operand_collector,
+                           cfg_.collector_window);
+        result.merge_cycles = sim.simulateSparse(scratch.trace);
+    } else {
+        result.merge_cycles = static_cast<int64_t>(
+            merge_model_.tileCycles(result.merge_accesses,
+                                    result.mix.ohmma_issued));
+    }
+    return result;
+}
+
+WarpTileResult
+SpGemmWarpEngine::computeTile(const BitmapMatrix &a_tile,
                               const BitmapMatrix &b_tile,
                               Matrix<float> *accum,
                               bool detailed_merge) const
 {
-    DSTC_ASSERT(a_tile.major() == Major::Col,
-                "A tile must be column-major encoded");
-    DSTC_ASSERT(b_tile.major() == Major::Row,
-                "B tile must be row-major encoded");
-    DSTC_ASSERT(a_tile.cols() == b_tile.rows(),
-                "k mismatch: ", a_tile.cols(), " vs ", b_tile.rows());
+    if (accum) {
+        DSTC_ASSERT(accum->rows() == a_tile.rows() &&
+                    accum->cols() == b_tile.cols());
+    }
+    thread_local WarpScratch scratch;
+    float *base = accum ? accum->data().data() : nullptr;
+    const int ld = accum ? accum->cols() : 0;
+    return computeTile(a_tile, b_tile, base, ld, detailed_merge,
+                       scratch);
+}
+
+WarpTileResult
+SpGemmWarpEngine::computeTileScalar(const BitmapMatrix &a_tile,
+                                    const BitmapMatrix &b_tile,
+                                    Matrix<float> *accum,
+                                    bool detailed_merge) const
+{
+    checkTilePair(a_tile, b_tile, shape_);
     const int m = a_tile.rows();
     const int n = b_tile.cols();
     const int k = a_tile.cols();
-    DSTC_ASSERT(m <= shape_.m && n <= shape_.n,
-                "warp tile exceeds SpWMMA shape");
     if (accum) {
         DSTC_ASSERT(accum->rows() == m && accum->cols() == n);
     }

@@ -4,6 +4,14 @@
  * tile's outer-product multiply on the OTC model, both functionally
  * (producing the exact partial-sum values) and in time (building the
  * predicated SpWMMA instruction stream and charging the merge step).
+ *
+ * The hot path is word-parallel: bitmap lines are scanned 64 bits at
+ * a time (ctz iteration) into a caller-owned scratch arena, so a
+ * k-step costs no heap allocation, and the accumulator is a flat
+ * row-major span the device model points directly into the output
+ * matrix. The original per-element path survives as
+ * computeTileScalar — the reference the equivalence tests and the
+ * before/after bench compare against.
  */
 #ifndef DSTC_GEMM_SPGEMM_WARP_H
 #define DSTC_GEMM_SPGEMM_WARP_H
@@ -59,6 +67,28 @@ struct WarpTileResult
     }
 };
 
+/**
+ * Reusable per-worker scratch arena of the word-parallel tile path:
+ * the condensed positions of the current k-step, plus the merge
+ * trace of the detailed-merge simulator. One arena serves any number
+ * of computeTile calls without reallocating; each concurrent worker
+ * owns its own.
+ */
+struct WarpScratch
+{
+    std::vector<int> pos_a;    ///< A-line non-zero positions
+    std::vector<int> pos_b;    ///< B-line non-zero positions
+    MergeTrace trace;          ///< detailed-merge address stream
+
+    /** Size the buffers for tiles up to @p m x @p n. */
+    void
+    reserveTile(int m, int n)
+    {
+        pos_a.resize(static_cast<size_t>(m));
+        pos_b.resize(static_cast<size_t>(n));
+    }
+};
+
 /** Executes warp tiles on the modeled outer-product Tensor Core. */
 class SpGemmWarpEngine
 {
@@ -66,20 +96,43 @@ class SpGemmWarpEngine
     explicit SpGemmWarpEngine(const GpuConfig &cfg);
 
     /**
-     * Functional + timed execution of one warp tile.
+     * Functional + timed execution of one warp tile, word-parallel.
      *
      * @param a_tile column-major bitmap of the (m x k) A tile
      * @param b_tile row-major bitmap of the (k x n) B tile
-     * @param accum  if non-null, the (m x n) FP32 accumulator the
-     *               partial sums merge into (gather-accumulate-
-     *               scatter, Fig. 7)
+     * @param accum  if non-null, the base of the row-major FP32
+     *               accumulator region the partial sums merge into
+     *               (gather-accumulate-scatter, Fig. 7); element
+     *               (r, c) of the tile lands at accum[r * ld + c]
+     * @param ld     accumulator leading dimension (row stride)
      * @param detailed_merge use the cycle-accurate bank simulator
      *               instead of the analytic merge model
+     * @param scratch caller-owned scratch arena, reused across calls
+     */
+    WarpTileResult computeTile(const BitmapMatrix &a_tile,
+                               const BitmapMatrix &b_tile, float *accum,
+                               int ld, bool detailed_merge,
+                               WarpScratch &scratch) const;
+
+    /**
+     * Convenience overload over a whole Matrix accumulator (tests,
+     * single-tile benches); uses a per-thread scratch arena.
      */
     WarpTileResult computeTile(const BitmapMatrix &a_tile,
                                const BitmapMatrix &b_tile,
                                Matrix<float> *accum,
                                bool detailed_merge = false) const;
+
+    /**
+     * The pre-word-parallel per-element path, kept verbatim as the
+     * reference model: the equivalence tests assert the word path
+     * reproduces its results, stats and cycles bit-for-bit, and the
+     * micro bench reports speedup against it.
+     */
+    WarpTileResult computeTileScalar(const BitmapMatrix &a_tile,
+                                     const BitmapMatrix &b_tile,
+                                     Matrix<float> *accum,
+                                     bool detailed_merge = false) const;
 
     /**
      * Timing-only execution from POPC results: @p popcs holds one

@@ -1,6 +1,10 @@
 #include "sparse/bitmap.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/bitutil.h"
+#include "common/fp16.h"
 
 namespace dstc {
 
@@ -40,6 +44,7 @@ BitmapMatrix::encode(const Matrix<float> &dense, Major major)
                     pos;
                 setBit(bm.bits_, bitpos);
                 bm.values_.push_back(v);
+                bm.values_fp16_.push_back(roundToFp16(v));
             }
         }
         bm.line_offsets_[line + 1] =
@@ -103,6 +108,14 @@ BitmapMatrix::lineValues(int line) const
             static_cast<size_t>(lineNnz(line))};
 }
 
+std::span<const float>
+BitmapMatrix::lineValuesFp16(int line) const
+{
+    DSTC_ASSERT(line >= 0 && line < numLines());
+    return {values_fp16_.data() + line_offsets_[line],
+            static_cast<size_t>(lineNnz(line))};
+}
+
 std::vector<float>
 BitmapMatrix::lineValuesRange(int line, int lo, int hi) const
 {
@@ -144,6 +157,72 @@ BitmapMatrix::linePositions(int line, int lo, int hi) const
         out.push_back(static_cast<int>(bitpos - base));
     });
     return out;
+}
+
+int
+BitmapMatrix::linePositionsInto(int line, int lo, int hi, int *out) const
+{
+    DSTC_ASSERT(line >= 0 && line < numLines());
+    DSTC_ASSERT(lo >= 0 && hi <= lineLength() && lo <= hi);
+    if (hi <= lo)
+        return 0;
+    const uint64_t *words =
+        bits_.data() + static_cast<size_t>(line) * words_per_line_;
+    const int w_lo = lo >> 6;
+    const int w_hi = (hi - 1) >> 6;
+    int count = 0;
+    for (int w = w_lo; w <= w_hi; ++w) {
+        uint64_t word = words[w];
+        if (w == w_lo)
+            word &= ~lowMask64(lo & 63);
+        const int hi_in_word = hi - (w << 6);
+        if (hi_in_word < 64)
+            word &= lowMask64(hi_in_word);
+        const int base = w << 6;
+        while (word) {
+            out[count++] = base + std::countr_zero(word);
+            word &= word - 1;
+        }
+    }
+    return count;
+}
+
+int
+BitmapMatrix::lineValuesRangeInto(int line, int lo, int hi,
+                                  float *out) const
+{
+    const int offset = linePopcount(line, 0, lo);
+    const int count = linePopcount(line, lo, hi);
+    const float *src = values_.data() + line_offsets_[line] + offset;
+    std::copy(src, src + count, out);
+    return count;
+}
+
+int
+andPopcount(std::span<const uint64_t> a, std::span<const uint64_t> b)
+{
+    const size_t words = std::min(a.size(), b.size());
+    int count = 0;
+    for (size_t w = 0; w < words; ++w)
+        count += popcount64(a[w] & b[w]);
+    return count;
+}
+
+int
+andPositionsInto(std::span<const uint64_t> a,
+                 std::span<const uint64_t> b, int *out)
+{
+    const size_t words = std::min(a.size(), b.size());
+    int count = 0;
+    for (size_t w = 0; w < words; ++w) {
+        uint64_t word = a[w] & b[w];
+        const int base = static_cast<int>(w) << 6;
+        while (word) {
+            out[count++] = base + std::countr_zero(word);
+            word &= word - 1;
+        }
+    }
+    return count;
 }
 
 float

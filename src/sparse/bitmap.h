@@ -79,6 +79,15 @@ class BitmapMatrix
     std::span<const float> lineValues(int line) const;
 
     /**
+     * The same values pre-rounded through FP16 — the quantization
+     * the Tensor Core datapath applies to its multiply operands.
+     * Computed once at encode time so the hot multiply loop never
+     * re-rounds (an A tile's lines are re-read once per output tile
+     * column).
+     */
+    std::span<const float> lineValuesFp16(int line) const;
+
+    /**
      * Values of line positions [lo, hi) as a condensed (packed)
      * vector. The start offset inside the line's value array is the
      * popcount of [0, lo) — the paper's address-offset trick (S3 in
@@ -95,6 +104,27 @@ class BitmapMatrix
     /** Non-zero positions of line [lo, hi) (for gather/scatter). */
     std::vector<int> linePositions(int line, int lo, int hi) const;
 
+    /**
+     * Non-allocating variant of linePositions: writes the positions
+     * of line range [lo, hi) into caller-owned @p out (which must
+     * hold at least linePopcount(line, lo, hi) ints) and returns the
+     * count. Iterates 64-bit bitmap words via ctz — the software
+     * mirror of the hardware's word-parallel bitmap scan.
+     */
+    int linePositionsInto(int line, int lo, int hi, int *out) const;
+
+    /**
+     * Non-allocating variant of lineValuesRange: writes the condensed
+     * values of line positions [lo, hi) into caller-owned @p out and
+     * returns the count. The start offset inside the line's value
+     * array is the popcount of [0, lo) — the paper's address-offset
+     * trick (S3 in Fig. 11b).
+     */
+    int lineValuesRangeInto(int line, int lo, int hi, float *out) const;
+
+    /** Bitmap words per packing line. */
+    int wordsPerLine() const { return words_per_line_; }
+
     /** Value lookup by coordinates; zero if the bit is clear. */
     float valueAt(int r, int c) const;
 
@@ -108,8 +138,26 @@ class BitmapMatrix
     int words_per_line_ = 0;
     std::vector<uint64_t> bits_;      ///< words_per_line_ words per line
     std::vector<float> values_;       ///< packed non-zeros, line order
+    std::vector<float> values_fp16_;  ///< values_ rounded through FP16
     std::vector<int> line_offsets_;   ///< per-line prefix sums into values_
 };
+
+/**
+ * POPC of the AND of two bitmap-word spans — the hardware's
+ * occupancy-bitmap intersection (the S2 step of Fig. 11b, and the
+ * per-tile AND that drives k-compaction in Sec. III-B3). Spans may
+ * differ in length; missing words are treated as zero.
+ */
+int andPopcount(std::span<const uint64_t> a, std::span<const uint64_t> b);
+
+/**
+ * Positions of the common set bits of two bitmap-word spans,
+ * iterated word-at-a-time via ctz over the ANDed words. Writes into
+ * caller-owned @p out (sized at least andPopcount(a, b)); returns
+ * the count.
+ */
+int andPositionsInto(std::span<const uint64_t> a,
+                     std::span<const uint64_t> b, int *out);
 
 } // namespace dstc
 

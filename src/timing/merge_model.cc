@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
@@ -9,10 +10,60 @@
 
 namespace dstc {
 
+namespace {
+
+/** Bucket small n so memoization stays bounded during big sweeps. */
+int
+maxLoadBucket(int n)
+{
+    return n > 128 ? ((n + 31) / 32) * 32 : n;
+}
+
+/** The bucket following @p b in the prefix-max chain: unit steps up
+ *  to 128, then the 32-aligned buckets maxLoadBucket produces. */
+int
+nextBucket(int b)
+{
+    return b < 128 ? b + 1 : (b == 128 ? 160 : b + 32);
+}
+
+/**
+ * Deterministic Monte Carlo: bucket balls into banks bins and
+ * average the max load. 96 trials keeps estimator noise ~1%.
+ */
+double
+rawMaxLoad(int bucket, int banks)
+{
+    constexpr int kTrials = 96;
+    Rng rng(0xd5f0c0de ^ static_cast<uint64_t>(bucket));
+    std::vector<int> load(banks);
+    double sum = 0.0;
+    for (int t = 0; t < kTrials; ++t) {
+        std::fill(load.begin(), load.end(), 0);
+        for (int i = 0; i < bucket; ++i)
+            ++load[rng.uniformInt(static_cast<uint64_t>(banks))];
+        sum += *std::max_element(load.begin(), load.end());
+    }
+    return sum / kTrials;
+}
+
+} // namespace
+
 MergeCostModel::MergeCostModel(int banks, bool operand_collector)
     : banks_(banks), operand_collector_(operand_collector)
 {
     DSTC_ASSERT(banks > 0);
+    // One memo per bank count, shared across every model instance in
+    // the process: SpGemmDevice is constructed per plan-run, and
+    // re-estimating the bucket chain each run would dominate small
+    // kernels.
+    static std::mutex registry_mu;
+    static std::map<int, std::shared_ptr<MaxLoadMemo>> registry;
+    std::lock_guard<std::mutex> lock(registry_mu);
+    auto &slot = registry[banks];
+    if (!slot)
+        slot = std::make_shared<MaxLoadMemo>();
+    memo_ = slot;
 }
 
 double
@@ -32,35 +83,54 @@ MergeCostModel::expectedMaxLoad(int n) const
                          std::log(static_cast<double>(banks_)));
     }
 
-    // Bucket small n so memoization stays bounded during big sweeps.
-    int bucket = n;
-    if (n > 128)
-        bucket = ((n + 31) / 32) * 32;
-    auto it = max_load_cache_.find(bucket);
-    if (it != max_load_cache_.end())
+    const int bucket = maxLoadBucket(n);
+
+    // Lock-free warm path: the value is a pure function of (banks,
+    // bucket), so a per-thread memo answers repeat queries without
+    // touching the shared lock — the analytic merge cost sits inside
+    // the parallel tile loop, where a global mutex would serialize
+    // the workers.
+    thread_local std::unordered_map<uint64_t, double> warm;
+    const uint64_t warm_key =
+        (static_cast<uint64_t>(banks_) << 32) |
+        static_cast<uint32_t>(bucket);
+    if (auto it = warm.find(warm_key); it != warm.end())
         return it->second;
 
-    // Deterministic Monte Carlo: bucket balls into banks_ bins and
-    // average the max load. 96 trials keeps estimator noise ~1%.
-    constexpr int kTrials = 96;
-    Rng rng(0xd5f0c0de ^ static_cast<uint64_t>(bucket));
-    std::vector<int> load(banks_);
-    double sum = 0.0;
-    for (int t = 0; t < kTrials; ++t) {
-        std::fill(load.begin(), load.end(), 0);
-        for (int i = 0; i < bucket; ++i)
-            ++load[rng.uniformInt(static_cast<uint64_t>(banks_))];
-        sum += *std::max_element(load.begin(), load.end());
+    double prefix;
+    {
+        std::lock_guard<std::mutex> lock(memo_->mu);
+        auto it = memo_->prefix_max.find(bucket);
+        if (it != memo_->prefix_max.end()) {
+            prefix = it->second;
+        } else {
+            // Monotonicity in n (estimator noise must never invert
+            // the cost ordering) via a prefix-max over the whole
+            // bucket chain, which makes the value a pure function of
+            // the bucket — identical no matter which queries came
+            // before, so parallel tile loops stay bitwise
+            // deterministic.
+            prefix = 1.0; // value of the (uncached) bucket 1
+            auto below = memo_->prefix_max.lower_bound(bucket);
+            int from = 2;
+            if (below != memo_->prefix_max.begin()) {
+                --below;
+                prefix = below->second;
+                from = below->first;
+            }
+            for (int b = from; b <= bucket; b = nextBucket(b)) {
+                auto cached = memo_->prefix_max.find(b);
+                if (cached != memo_->prefix_max.end()) {
+                    prefix = cached->second;
+                    continue;
+                }
+                prefix = std::max(prefix, rawMaxLoad(b, banks_));
+                memo_->prefix_max.emplace(b, prefix);
+            }
+        }
     }
-    double result = sum / kTrials;
-
-    // Enforce monotonicity in n against cached smaller buckets so
-    // estimator noise can never invert the cost ordering.
-    for (const auto &[cached_n, cached_v] : max_load_cache_)
-        if (cached_n < bucket)
-            result = std::max(result, cached_v);
-    max_load_cache_.emplace(bucket, result);
-    return result;
+    warm.emplace(warm_key, prefix);
+    return prefix;
 }
 
 double

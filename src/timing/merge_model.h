@@ -11,7 +11,9 @@
 #define DSTC_TIMING_MERGE_MODEL_H
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
+#include <memory>
+#include <mutex>
 
 namespace dstc {
 
@@ -52,12 +54,25 @@ class MergeCostModel
     /**
      * Monte-Carlo estimate (memoized, deterministic) of the expected
      * maximum bank load when @p n accesses land on banks_ banks.
+     *
+     * The value is a pure function of n (a prefix-max over the
+     * per-bucket Monte-Carlo estimates, which enforces monotonicity
+     * without depending on query order), so concurrent warp tiles —
+     * and 1-vs-N-worker runs — always read identical costs. The
+     * memo is shared process-wide per bank count and mutex-guarded.
      */
     double expectedMaxLoad(int n) const;
 
+    /** Memoized prefix-max Monte-Carlo estimates, one per banks. */
+    struct MaxLoadMemo
+    {
+        std::mutex mu;
+        std::map<int, double> prefix_max; ///< bucket -> max load
+    };
+
     int banks_;
     bool operand_collector_;
-    mutable std::unordered_map<int, double> max_load_cache_;
+    std::shared_ptr<MaxLoadMemo> memo_; ///< shared per bank count
 };
 
 } // namespace dstc

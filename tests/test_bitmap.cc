@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/fp16.h"
 #include "common/rng.h"
 
 namespace dstc {
@@ -171,6 +176,86 @@ INSTANTIATE_TEST_SUITE_P(
                       BitmapSweepParam{128, 17, 0.9, Major::Row},
                       BitmapSweepParam{7, 300, 0.7, Major::Col},
                       BitmapSweepParam{64, 64, 0.99, Major::Row}));
+
+TEST(Bitmap, ScratchVariantsMatchAllocatingOnes)
+{
+    Rng rng(42);
+    // 300-wide lines span several 64-bit words, with ragged edges.
+    Matrix<float> m = randomSparseMatrix(7, 300, 0.6, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Row);
+    std::vector<int> pos(bm.lineLength());
+    std::vector<float> vals(bm.lineLength());
+    for (int line = 0; line < bm.numLines(); ++line) {
+        for (auto [lo, hi] : {std::pair{0, 300}, std::pair{5, 190},
+                              std::pair{64, 128}, std::pair{63, 65},
+                              std::pair{17, 17}}) {
+            const auto expect_pos = bm.linePositions(line, lo, hi);
+            const int n =
+                bm.linePositionsInto(line, lo, hi, pos.data());
+            ASSERT_EQ(n, static_cast<int>(expect_pos.size()));
+            EXPECT_TRUE(std::equal(expect_pos.begin(),
+                                   expect_pos.end(), pos.begin()));
+
+            const auto expect_vals = bm.lineValuesRange(line, lo, hi);
+            const int nv =
+                bm.lineValuesRangeInto(line, lo, hi, vals.data());
+            ASSERT_EQ(nv, static_cast<int>(expect_vals.size()));
+            EXPECT_TRUE(std::equal(expect_vals.begin(),
+                                   expect_vals.end(), vals.begin()));
+        }
+    }
+}
+
+TEST(Bitmap, Fp16ValuesArePreRounded)
+{
+    Rng rng(43);
+    Matrix<float> m = randomSparseMatrix(16, 16, 0.5, rng);
+    BitmapMatrix bm = BitmapMatrix::encode(m, Major::Col);
+    for (int line = 0; line < bm.numLines(); ++line) {
+        const auto raw = bm.lineValues(line);
+        const auto rounded = bm.lineValuesFp16(line);
+        ASSERT_EQ(raw.size(), rounded.size());
+        for (size_t i = 0; i < raw.size(); ++i)
+            EXPECT_EQ(rounded[i], roundToFp16(raw[i]));
+    }
+}
+
+TEST(Bitmap, AndPrimitivesMatchNaiveIntersection)
+{
+    Rng rng(44);
+    Matrix<float> ma = randomSparseMatrix(4, 200, 0.7, rng);
+    Matrix<float> mb = randomSparseMatrix(4, 200, 0.4, rng);
+    BitmapMatrix a = BitmapMatrix::encode(ma, Major::Row);
+    BitmapMatrix b = BitmapMatrix::encode(mb, Major::Row);
+    std::vector<int> pos(200);
+    for (int line = 0; line < 4; ++line) {
+        std::vector<int> expect;
+        for (int c = 0; c < 200; ++c)
+            if (ma.at(line, c) != 0.0f && mb.at(line, c) != 0.0f)
+                expect.push_back(c);
+        EXPECT_EQ(andPopcount(a.lineBits(line), b.lineBits(line)),
+                  static_cast<int>(expect.size()));
+        const int n = andPositionsInto(a.lineBits(line),
+                                       b.lineBits(line), pos.data());
+        ASSERT_EQ(n, static_cast<int>(expect.size()));
+        EXPECT_TRUE(
+            std::equal(expect.begin(), expect.end(), pos.begin()));
+    }
+}
+
+TEST(Bitmap, AndPrimitivesToleratiesMismatchedSpans)
+{
+    // Missing words are treated as zero: intersecting a 2-word line
+    // with a 1-word line only sees the shared prefix.
+    std::vector<uint64_t> longer = {~uint64_t{0}, ~uint64_t{0}};
+    std::vector<uint64_t> shorter = {uint64_t{0b1011}};
+    EXPECT_EQ(andPopcount(longer, shorter), 3);
+    std::vector<int> pos(4);
+    EXPECT_EQ(andPositionsInto(longer, shorter, pos.data()), 3);
+    EXPECT_EQ(pos[0], 0);
+    EXPECT_EQ(pos[1], 1);
+    EXPECT_EQ(pos[2], 3);
+}
 
 } // namespace
 } // namespace dstc

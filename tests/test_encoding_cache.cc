@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "core/session.h"
+#include "sparse/csr.h"
 #include "tensor/reference.h"
 
 namespace dstc {
@@ -64,7 +65,7 @@ TEST(EncodingCacheTest, BuildsOnceThenHits)
     EXPECT_EQ(builds, 2);
 }
 
-TEST(EncodingCacheTest, CapacityBoundsEntriesFifo)
+TEST(EncodingCacheTest, CapacityBoundsEntriesLru)
 {
     EncodingCache cache(4);
     EXPECT_EQ(cache.capacity(), 4u);
@@ -73,12 +74,94 @@ TEST(EncodingCacheTest, CapacityBoundsEntriesFifo)
     EXPECT_LE(cache.entries(), 4u);
     EXPECT_EQ(cache.counters().evictions, 6);
 
-    // Oldest entries were evicted and rebuild; newest still hit.
+    // Least-recently-used entries were evicted and rebuild; newest
+    // still hit.
     bool hit = true;
     cache.getOrBuild<uint64_t>(0, [] { return uint64_t{0}; }, &hit);
     EXPECT_FALSE(hit);
     cache.getOrBuild<uint64_t>(9, [] { return uint64_t{9}; }, &hit);
     EXPECT_TRUE(hit);
+}
+
+TEST(EncodingCacheTest, HitsRefreshLruRecency)
+{
+    EncodingCache cache(3);
+    for (uint64_t k = 1; k <= 3; ++k)
+        cache.getOrBuild<uint64_t>(k, [k] { return k; });
+
+    // Touch the oldest entry, then insert two new keys: the
+    // refreshed entry survives while the untouched ones evict.
+    cache.getOrBuild<uint64_t>(1, [] { return uint64_t{1}; });
+    cache.getOrBuild<uint64_t>(4, [] { return uint64_t{4}; });
+    cache.getOrBuild<uint64_t>(5, [] { return uint64_t{5}; });
+
+    bool hit = false;
+    cache.getOrBuild<uint64_t>(1, [] { return uint64_t{1}; }, &hit);
+    EXPECT_TRUE(hit) << "refreshed entry was evicted";
+    cache.getOrBuild<uint64_t>(2, [] { return uint64_t{2}; }, &hit);
+    EXPECT_FALSE(hit) << "stale entry should have been evicted";
+}
+
+TEST(EncodingCacheTest, ByteBoundEvictsUntilUnderBudget)
+{
+    // Values report their footprint via encodedBytes(); CSR matrices
+    // do. Bound the cache to ~2.5 of them.
+    Rng rng(23);
+    Matrix<float> dense = randomSparseMatrix(64, 64, 0.5, rng);
+    const size_t one = CsrMatrix::encode(dense).encodedBytes();
+    EncodingCache cache(1024, one * 5 / 2);
+
+    for (uint64_t k = 0; k < 4; ++k)
+        cache.getOrBuild<CsrMatrix>(
+            k, [&] { return CsrMatrix::encode(dense); });
+    EXPECT_LE(cache.totalBytes(), one * 5 / 2);
+    EXPECT_EQ(cache.entries(), 2u);
+    EXPECT_EQ(cache.counters().evictions, 2);
+
+    // The newest entries are the survivors.
+    bool hit = false;
+    cache.getOrBuild<CsrMatrix>(
+        3, [&] { return CsrMatrix::encode(dense); }, &hit);
+    EXPECT_TRUE(hit);
+    cache.getOrBuild<CsrMatrix>(
+        0, [&] { return CsrMatrix::encode(dense); }, &hit);
+    EXPECT_FALSE(hit);
+}
+
+TEST(EncodingCacheTest, OversizedSingleValueIsStillCached)
+{
+    // A value bigger than the whole byte budget caches anyway (the
+    // bound sheds history, it never refuses work).
+    Rng rng(24);
+    Matrix<float> dense = randomSparseMatrix(64, 64, 0.2, rng);
+    EncodingCache cache(1024, 16);
+    bool hit = true;
+    cache.getOrBuild<CsrMatrix>(
+        7, [&] { return CsrMatrix::encode(dense); }, &hit);
+    EXPECT_FALSE(hit);
+    cache.getOrBuild<CsrMatrix>(
+        7, [&] { return CsrMatrix::encode(dense); }, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(EncodingCacheTest, SessionHonorsByteBound)
+{
+    SessionOptions options;
+    options.cache_capacity_bytes = 1; // evict everything evictable
+    Session session(options);
+    EXPECT_EQ(session.encodingCache().capacityBytes(), 1u);
+
+    Rng rng(25);
+    Matrix<float> a = randomSparseMatrix(64, 64, 0.7, rng);
+    Matrix<float> b = randomSparseMatrix(64, 64, 0.7, rng);
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::DualSparse;
+    session.run(req);
+    // With a 1-byte budget at most the newest (uncharged/last) entry
+    // survives per insertion round.
+    EXPECT_LE(session.encodingCache().entries(), 2u);
+    EXPECT_GT(session.encodingCache().counters().evictions, 0);
 }
 
 TEST(EncodingCacheTest, ConcurrentLookupsBuildOnce)

@@ -199,5 +199,119 @@ INSTANTIATE_TEST_SUITE_P(
                       DeviceSweepParam{1, 100, 1, 0.5, 0.5},
                       DeviceSweepParam{100, 1, 100, 0.2, 0.8}));
 
+/** Two KernelStats must agree bit-for-bit. */
+void
+expectIdenticalStats(const KernelStats &a, const KernelStats &b)
+{
+    EXPECT_EQ(a.mix.ohmma_issued, b.mix.ohmma_issued);
+    EXPECT_EQ(a.mix.ohmma_skipped, b.mix.ohmma_skipped);
+    EXPECT_EQ(a.mix.bohmma, b.mix.bohmma);
+    EXPECT_EQ(a.mix.popc, b.mix.popc);
+    EXPECT_EQ(a.warp_tiles, b.warp_tiles);
+    EXPECT_EQ(a.warp_tiles_skipped, b.warp_tiles_skipped);
+    EXPECT_EQ(a.merge_cycles, b.merge_cycles);
+    EXPECT_DOUBLE_EQ(a.compute_us, b.compute_us);
+    EXPECT_DOUBLE_EQ(a.memory_us, b.memory_us);
+    EXPECT_DOUBLE_EQ(a.dram_bytes, b.dram_bytes);
+    EXPECT_DOUBLE_EQ(a.timeUs(), b.timeUs());
+}
+
+/**
+ * The parallel tile loop must be bitwise deterministic: one worker
+ * and many workers produce the identical D matrix and identical
+ * stats (per-tile outcomes reduce in tile order, and the merge cost
+ * model is a pure function of its inputs).
+ */
+TEST_F(SpGemmDeviceTest, ParallelTileLoopIsDeterministic)
+{
+    Rng rng(131);
+    Matrix<float> a = randomSparseMatrix(150, 100, 0.8, rng);
+    Matrix<float> b = randomSparseMatrix(100, 170, 0.6, rng);
+
+    SpGemmOptions serial;
+    serial.num_workers = 1;
+    SpGemmResult base = device_.multiply(a, b, serial);
+
+    for (int workers : {0, 2, 5}) {
+        SpGemmOptions opts;
+        opts.num_workers = workers;
+        SpGemmResult r = device_.multiply(a, b, opts);
+        EXPECT_EQ(r.d.data(), base.d.data())
+            << "workers=" << workers;
+        expectIdenticalStats(r.stats, base.stats);
+    }
+}
+
+TEST_F(SpGemmDeviceTest, ParallelDeterminismWithDetailedMerge)
+{
+    Rng rng(132);
+    Matrix<float> a = randomSparseMatrix(96, 64, 0.7, rng);
+    Matrix<float> b = randomSparseMatrix(64, 96, 0.7, rng);
+    SpGemmOptions serial;
+    serial.num_workers = 1;
+    serial.detailed_merge = true;
+    SpGemmOptions pooled = serial;
+    pooled.num_workers = 0;
+    SpGemmResult s = device_.multiply(a, b, serial);
+    SpGemmResult p = device_.multiply(a, b, pooled);
+    EXPECT_EQ(s.d.data(), p.d.data());
+    expectIdenticalStats(s.stats, p.stats);
+}
+
+TEST_F(SpGemmDeviceTest, ProfileTimingPathIsDeterministicAcrossWorkers)
+{
+    Rng rng(133);
+    SparsityProfile a = SparsityProfile::randomA(256, 192, 32, 0.2,
+                                                 2.0, rng);
+    SparsityProfile b = SparsityProfile::randomA(224, 192, 32, 0.3,
+                                                 1.0, rng);
+    SpGemmOptions serial;
+    serial.num_workers = 1;
+    SpGemmOptions pooled;
+    pooled.num_workers = 0;
+    expectIdenticalStats(device_.timeFromProfiles(a, b, serial),
+                         device_.timeFromProfiles(a, b, pooled));
+}
+
+TEST_F(SpGemmDeviceTest, WordPipelineMatchesScalarReferencePipeline)
+{
+    // Device-level equivalence: the word-parallel pipeline writing
+    // straight into D reproduces the seed flow (scalar warp path +
+    // staging accumulator + copy-out) bit-for-bit.
+    Rng rng(134);
+    Matrix<float> a = randomSparseMatrix(90, 70, 0.75, rng);
+    Matrix<float> b = randomSparseMatrix(70, 85, 0.5, rng);
+    SpGemmOptions opts;
+    TwoLevelBitmapMatrix a_enc = TwoLevelBitmapMatrix::encode(
+        a, opts.tile_m, opts.tile_k, Major::Col);
+    TwoLevelBitmapMatrix b_enc = TwoLevelBitmapMatrix::encode(
+        b, opts.tile_k, opts.tile_n, Major::Row);
+
+    // The seed pipeline, reproduced with computeTileScalar.
+    SpGemmWarpEngine engine(cfg_);
+    Matrix<float> d_ref(90, 85);
+    for (int ti = 0; ti < a_enc.numTileRows(); ++ti) {
+        for (int tj = 0; tj < b_enc.numTileCols(); ++tj) {
+            const int rows = std::min(32, 90 - ti * 32);
+            const int cols = std::min(32, 85 - tj * 32);
+            Matrix<float> accum(rows, cols);
+            for (int tk = 0; tk < a_enc.numTileCols(); ++tk) {
+                if (!a_enc.tileNonEmpty(ti, tk) ||
+                    !b_enc.tileNonEmpty(tk, tj))
+                    continue;
+                engine.computeTileScalar(a_enc.tile(ti, tk),
+                                         b_enc.tile(tk, tj), &accum);
+            }
+            for (int r = 0; r < rows; ++r)
+                for (int c = 0; c < cols; ++c)
+                    d_ref.at(ti * 32 + r, tj * 32 + c) =
+                        accum.at(r, c);
+        }
+    }
+
+    SpGemmResult r = device_.multiplyEncoded(a_enc, b_enc, opts);
+    EXPECT_EQ(r.d.data(), d_ref.data());
+}
+
 } // namespace
 } // namespace dstc

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "common/rng.h"
 #include "tensor/reference.h"
 
@@ -192,6 +194,141 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{0.99, 0.0}, std::pair{0.5, 0.5},
                       std::pair{0.9, 0.9}, std::pair{1.0, 0.5},
                       std::pair{0.25, 0.75}));
+
+/** Every field of two WarpTileResults must agree exactly. */
+void
+expectIdenticalResults(const WarpTileResult &word,
+                       const WarpTileResult &scalar)
+{
+    EXPECT_EQ(word.mix.hmma, scalar.mix.hmma);
+    EXPECT_EQ(word.mix.ohmma_issued, scalar.mix.ohmma_issued);
+    EXPECT_EQ(word.mix.ohmma_skipped, scalar.mix.ohmma_skipped);
+    EXPECT_EQ(word.mix.bohmma, scalar.mix.bohmma);
+    EXPECT_EQ(word.mix.popc, scalar.mix.popc);
+    EXPECT_EQ(word.issue_cycles, scalar.issue_cycles);
+    EXPECT_EQ(word.merge_accesses, scalar.merge_accesses);
+    EXPECT_EQ(word.merge_cycles, scalar.merge_cycles);
+    EXPECT_EQ(word.scalar_cycles, scalar.scalar_cycles);
+    EXPECT_EQ(word.macs, scalar.macs);
+    EXPECT_EQ(word.cycles(), scalar.cycles());
+}
+
+struct EquivalenceParam
+{
+    int m, k, n;
+    double sa, sb;
+    bool detailed;
+};
+
+class WordScalarEquivalence
+    : public ::testing::TestWithParam<EquivalenceParam>
+{
+};
+
+/**
+ * The word-parallel path must reproduce the seed per-element path
+ * bit-for-bit: identical accumulator contents (the FP32 sums, not
+ * just close), identical instruction mix, and identical cycle
+ * accounting under both merge models.
+ */
+TEST_P(WordScalarEquivalence, BitwiseIdenticalToScalarReference)
+{
+    const auto &p = GetParam();
+    Rng rng(static_cast<uint64_t>(p.m * 977 + p.k * 31 + p.n) +
+            static_cast<uint64_t>(p.sa * 100));
+    GpuConfig cfg = GpuConfig::v100();
+    SpGemmWarpEngine engine(cfg);
+    Matrix<float> a = randomSparseMatrix(p.m, p.k, p.sa, rng);
+    Matrix<float> b = randomSparseMatrix(p.k, p.n, p.sb, rng);
+    BitmapMatrix a_bm = BitmapMatrix::encode(a, Major::Col);
+    BitmapMatrix b_bm = BitmapMatrix::encode(b, Major::Row);
+
+    Matrix<float> accum_word(p.m, p.n);
+    Matrix<float> accum_scalar(p.m, p.n);
+    WarpTileResult word =
+        engine.computeTile(a_bm, b_bm, &accum_word, p.detailed);
+    WarpTileResult scalar = engine.computeTileScalar(
+        a_bm, b_bm, &accum_scalar, p.detailed);
+
+    expectIdenticalResults(word, scalar);
+    EXPECT_EQ(accum_word.data(), accum_scalar.data()); // bitwise
+
+    // Timing-only calls (null accumulator) agree too.
+    expectIdenticalResults(
+        engine.computeTile(a_bm, b_bm, nullptr, p.detailed),
+        engine.computeTileScalar(a_bm, b_bm, nullptr, p.detailed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SparsitiesAndEdges, WordScalarEquivalence,
+    ::testing::Values(
+        EquivalenceParam{32, 32, 32, 0.0, 0.0, false},
+        EquivalenceParam{32, 32, 32, 0.5, 0.5, false},
+        EquivalenceParam{32, 32, 32, 0.9, 0.9, false},
+        EquivalenceParam{32, 32, 32, 0.95, 0.7, true},
+        EquivalenceParam{32, 32, 32, 0.9, 0.9, true},
+        EquivalenceParam{20, 12, 25, 0.4, 0.4, false}, // odd edges
+        EquivalenceParam{20, 12, 25, 0.4, 0.4, true},
+        EquivalenceParam{1, 7, 31, 0.6, 0.2, false},
+        EquivalenceParam{31, 1, 1, 0.3, 0.8, true},
+        EquivalenceParam{32, 32, 32, 1.0, 0.5, false}));
+
+TEST_F(SpGemmWarpTest, ScratchArenaIsReusableAcrossTiles)
+{
+    // One arena serves many tiles of different shapes; results match
+    // the per-call convenience overload exactly.
+    Rng rng(210);
+    WarpScratch scratch;
+    for (auto [m, k, n] :
+         {std::tuple{32, 32, 32}, std::tuple{8, 20, 30},
+          std::tuple{32, 5, 17}}) {
+        Matrix<float> a = randomSparseMatrix(m, k, 0.5, rng);
+        Matrix<float> b = randomSparseMatrix(k, n, 0.5, rng);
+        BitmapMatrix a_bm = BitmapMatrix::encode(a, Major::Col);
+        BitmapMatrix b_bm = BitmapMatrix::encode(b, Major::Row);
+        Matrix<float> via_arena(m, n);
+        Matrix<float> via_overload(m, n);
+        WarpTileResult r1 =
+            engine_.computeTile(a_bm, b_bm, via_arena.data().data(),
+                                n, false, scratch);
+        WarpTileResult r2 =
+            engine_.computeTile(a_bm, b_bm, &via_overload);
+        expectIdenticalResults(r1, r2);
+        EXPECT_EQ(via_arena.data(), via_overload.data());
+    }
+}
+
+TEST_F(SpGemmWarpTest, StridedAccumulatorWritesOnlyItsRegion)
+{
+    // A 32x32 tile accumulating into the middle of a larger matrix
+    // through the leading dimension: surroundings stay untouched.
+    Rng rng(211);
+    Matrix<float> a = randomSparseMatrix(32, 32, 0.6, rng);
+    Matrix<float> b = randomSparseMatrix(32, 32, 0.6, rng);
+    BitmapMatrix a_bm = BitmapMatrix::encode(a, Major::Col);
+    BitmapMatrix b_bm = BitmapMatrix::encode(b, Major::Row);
+
+    const int ld = 96;
+    Matrix<float> big(64, ld, 7.0f);
+    for (int r = 16; r < 48; ++r)
+        for (int c = 40; c < 72; ++c)
+            big.at(r, c) = 0.0f;
+    WarpScratch scratch;
+    engine_.computeTile(a_bm, b_bm,
+                        big.data().data() + 16 * ld + 40, ld, false,
+                        scratch);
+
+    Matrix<float> expect(32, 32);
+    engine_.computeTile(a_bm, b_bm, &expect);
+    for (int r = 0; r < 64; ++r)
+        for (int c = 0; c < ld; ++c) {
+            const bool inside =
+                r >= 16 && r < 48 && c >= 40 && c < 72;
+            EXPECT_EQ(big.at(r, c),
+                      inside ? expect.at(r - 16, c - 40) : 7.0f)
+                << "r=" << r << " c=" << c;
+        }
+}
 
 } // namespace
 } // namespace dstc

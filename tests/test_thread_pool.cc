@@ -1,0 +1,95 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dstc {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    parallelFor(&pool, 1000, 4, [&](int64_t i) {
+        hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSerialFallbacks)
+{
+    // Null pool and max_workers=1 both run the plain serial loop.
+    std::vector<int> order;
+    parallelFor(nullptr, 5, 8,
+                [&](int64_t i) { order.push_back(static_cast<int>(i)); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+
+    ThreadPool pool(4);
+    order.clear();
+    parallelFor(&pool, 5, 1,
+                [&](int64_t i) { order.push_back(static_cast<int>(i)); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ParallelForZeroAndOneItems)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    parallelFor(&pool, 0, 4, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(&pool, 1, 4, [&](int64_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForNestsInsidePoolJobs)
+{
+    // A parallelFor issued from inside a job of the same pool must
+    // complete even when every worker is busy: the calling thread
+    // participates in its own loop.
+    ThreadPool pool(2);
+    std::atomic<int64_t> total{0};
+    std::vector<std::atomic<int>> done(4);
+    for (int j = 0; j < 4; ++j) {
+        pool.enqueue([&, j] {
+            parallelFor(&pool, 100, 2,
+                        [&](int64_t i) { total.fetch_add(i); });
+            done[static_cast<size_t>(j)].store(1);
+        });
+    }
+    // Outer parallelFor on the same (busy) pool also finishes.
+    parallelFor(&pool, 100, 2, [&](int64_t i) { total.fetch_add(i); });
+    for (auto &d : done)
+        while (!d.load())
+            std::this_thread::yield();
+    EXPECT_EQ(total.load(), 5 * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, ConcurrentParallelForsFromManyThreads)
+{
+    ThreadPool pool(3);
+    std::atomic<int64_t> total{0};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 4; ++t)
+        callers.emplace_back([&] {
+            parallelFor(&pool, 500, 3,
+                        [&](int64_t i) { total.fetch_add(i + 1); });
+        });
+    for (auto &c : callers)
+        c.join();
+    EXPECT_EQ(total.load(), 4 * (500 * 501 / 2));
+}
+
+TEST(ThreadPool, SharedPoolIsSingletonAndSized)
+{
+    ThreadPool &a = sharedThreadPool();
+    ThreadPool &b = sharedThreadPool();
+    EXPECT_EQ(&a, &b);
+    EXPECT_GE(a.numThreads(), 1);
+}
+
+} // namespace
+} // namespace dstc
