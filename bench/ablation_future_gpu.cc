@@ -11,7 +11,8 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/engine.h"
+#include "core/session.h"
+#include "session_util.h"
 
 using namespace dstc;
 
@@ -20,10 +21,10 @@ namespace {
 void
 runMachine(const char *name, const GpuConfig &cfg)
 {
-    DstcEngine engine(cfg);
+    Session session(cfg);
     Rng rng(55);
     const int64_t n = 4096;
-    const double dense_us = engine.denseGemmTime(n, n, n).timeUs();
+    const double dense_us = bench::denseGemmTime(session, n, n, n).timeUs();
     std::printf("-- %s: dense %lld^3 = %.0f us --\n", name,
                 static_cast<long long>(n), dense_us);
     TextTable table;
@@ -42,7 +43,7 @@ runMachine(const char *name, const GpuConfig &cfg)
             rng);
         SparsityProfile pb = SparsityProfile::randomA(
             n, n, 32, 1.0 - p.sb / 100.0, p.cluster, rng);
-        KernelStats stats = engine.spgemmTime(pa, pb);
+        KernelStats stats = bench::spgemmTime(session, pa, pb);
         table.addRow({fmtDouble(p.sa, 1), fmtDouble(p.sb, 1),
                       fmtDouble(stats.timeUs(), 0),
                       fmtSpeedup(dense_us / stats.timeUs()),

@@ -11,17 +11,18 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/engine.h"
+#include "core/session.h"
+#include "session_util.h"
 
 using namespace dstc;
 
 int
 main()
 {
-    DstcEngine engine;
+    Session session;
     Rng rng(24);
     const int64_t n = 4096;
-    const double dense_us = engine.denseGemmTime(n, n, n).timeUs();
+    const double dense_us = bench::denseGemmTime(session, n, n, n).timeUs();
 
     std::printf("== Ablation: structured formats vs dual-side bitmap "
                 "(%lld^3, dense activations) ==\n\n",
@@ -32,9 +33,9 @@ main()
                      "ours (clustered x8)"});
     for (double sparsity : {0.5, 0.625, 0.75, 0.875, 0.9375, 0.99}) {
         const double ampere =
-            engine.ampereGemmTime(n, n, n, sparsity).timeUs();
+            bench::ampereGemmTime(session, n, n, n, sparsity).timeUs();
         const double zhu =
-            engine.zhuGemmTime(n, n, n, sparsity).timeUs();
+            bench::zhuGemmTime(session, n, n, n, sparsity).timeUs();
 
         SparsityProfile acts = SparsityProfile::denseA(n, n, 32);
         SparsityProfile uniform = SparsityProfile::randomA(
@@ -42,9 +43,9 @@ main()
         SparsityProfile clustered = SparsityProfile::randomA(
             n, n, 32, 1.0 - sparsity, 8.0, rng);
         const double ours_uniform =
-            engine.spgemmTime(acts, uniform).timeUs();
+            bench::spgemmTime(session, acts, uniform).timeUs();
         const double ours_clustered =
-            engine.spgemmTime(acts, clustered).timeUs();
+            bench::spgemmTime(session, acts, clustered).timeUs();
 
         table.addRow({fmtDouble(sparsity, 4),
                       fmtSpeedup(dense_us / ampere),

@@ -11,7 +11,8 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/engine.h"
+#include "core/session.h"
+#include "session_util.h"
 #include "timing/accum_buffer.h"
 #include "timing/merge_model.h"
 
@@ -25,7 +26,7 @@ main()
 
     std::printf("== Ablation A: two-level tile K-depth ==\n\n");
     {
-        DstcEngine engine;
+        Session session;
         TextTable table;
         table.setHeader({"tile_k", "tiles skipped", "compute (us)",
                          "encoded A bytes"});
@@ -37,7 +38,7 @@ main()
             SpGemmOptions opts;
             opts.functional = false;
             opts.tile_k = tile_k;
-            KernelStats stats = engine.spgemmTime(pa, pb, opts);
+            KernelStats stats = bench::spgemmTime(session, pa, pb, opts);
             table.addRow({std::to_string(tile_k),
                           std::to_string(stats.warp_tiles_skipped),
                           fmtDouble(stats.compute_us, 1),

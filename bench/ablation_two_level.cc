@@ -9,7 +9,8 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/engine.h"
+#include "core/session.h"
+#include "session_util.h"
 #include "model/sparsity_gen.h"
 #include "sparse/two_level.h"
 
@@ -18,7 +19,7 @@ using namespace dstc;
 int
 main()
 {
-    DstcEngine engine;
+    Session session;
     Rng rng(77);
     const int n = 1024;
 
@@ -41,9 +42,9 @@ main()
             no_skip.two_level = false;
 
             KernelStats with_stats =
-                engine.spgemm(a, b, skip).stats;
+                bench::spgemmStats(session, a, b, skip);
             KernelStats without_stats =
-                engine.spgemm(a, b, no_skip).stats;
+                bench::spgemmStats(session, a, b, no_skip);
 
             const double total_tiles = static_cast<double>(
                 with_stats.warp_tiles + with_stats.warp_tiles_skipped);

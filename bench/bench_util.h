@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Timing scaffolding shared by the micro benches (micro_spgemm,
+ * micro_spconv): wall clock, best-of-N measurement, argument parsing
+ * for the common --quick/--reps/--out flags, and the warm-up that
+ * keeps one-time process state out of the first timed region.
+ */
+#ifndef DSTC_BENCH_BENCH_UTIL_H
+#define DSTC_BENCH_BENCH_UTIL_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/thread_pool.h"
+#include "timing/gpu_config.h"
+#include "timing/merge_model.h"
+
+namespace dstc {
+namespace bench {
+
+inline double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Best-of-@p reps wall time of @p fn, in milliseconds. */
+template <typename Fn>
+double
+timeMs(int reps, Fn &&fn)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        const double t0 = nowMs();
+        fn();
+        best = std::min(best, nowMs() - t0);
+    }
+    return best;
+}
+
+/** The common micro-bench command line. */
+struct BenchArgs
+{
+    bool quick = false;
+    int reps = 3;
+    const char *out = nullptr;
+};
+
+/**
+ * Parse --quick / --reps N / --out PATH. An explicit --reps wins
+ * over the quick default; --reps must be a positive integer (a
+ * zero-rep "measurement" would report never-executed runs as green).
+ * Returns false (after printing usage) on any invalid argument.
+ */
+inline bool
+parseBenchArgs(int argc, char **argv, const char *name,
+               BenchArgs *args)
+{
+    if (args->out == nullptr) {
+        std::fprintf(stderr,
+                     "error: %s: BenchArgs.out has no default output "
+                     "path\n",
+                     name);
+        return false;
+    }
+    int reps = 0; // 0 = not given
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick")) {
+            args->quick = true;
+        } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+            char *end = nullptr;
+            reps = static_cast<int>(std::strtol(argv[++i], &end, 10));
+            if (*argv[i] == '\0' || *end != '\0' || reps < 1) {
+                std::fprintf(stderr,
+                             "error: --reps needs a positive "
+                             "integer, got '%s'\n",
+                             argv[i]);
+                return false;
+            }
+        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+            args->out = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--reps N] [--out "
+                         "PATH]\n",
+                         name);
+            return false;
+        }
+    }
+    // Best-of-3 even in quick mode: still seconds-scale, and the CI
+    // gate compares ratios that a single-shot spike would skew.
+    if (reps > 0)
+        args->reps = reps;
+    else
+        args->reps = 3;
+    return true;
+}
+
+/**
+ * Pull one-time process state out of the first timed region: the
+ * shared pool's thread spawn and the merge model's process-shared
+ * Monte-Carlo memo must not be charged to whichever measurement
+ * happens to trigger them first.
+ */
+inline void
+warmProcessState(const GpuConfig &cfg)
+{
+    sharedThreadPool();
+    MergeCostModel(cfg.accum_banks, cfg.operand_collector)
+        .tileCycles(8 * cfg.accum_banks, 8);
+}
+
+} // namespace bench
+} // namespace dstc
+
+#endif // DSTC_BENCH_BENCH_UTIL_H

@@ -9,7 +9,8 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/engine.h"
+#include "core/session.h"
+#include "session_util.h"
 #include "hwmodel/energy_model.h"
 
 using namespace dstc;
@@ -17,13 +18,13 @@ using namespace dstc;
 int
 main()
 {
-    DstcEngine engine;
+    Session session;
     EnergyParams params = EnergyParams::v100_12nm();
     Rng rng(33);
     const int64_t n = 2048;
 
     const EnergyReport dense =
-        denseGemmEnergy(n, n, n, params, engine.config());
+        denseGemmEnergy(n, n, n, params, session.config());
 
     std::printf("== Energy per %lld^3 GEMM kernel (model constants: "
                 "%.1f pJ/MAC, %.1f pJ/B DRAM) ==\n\n",
@@ -43,9 +44,9 @@ main()
             n, n, 32, 1.0 - sparsity, 2.0, rng);
         SparsityProfile b = SparsityProfile::randomA(
             n, n, 32, 1.0 - sparsity, 2.0, rng);
-        KernelStats stats = engine.spgemmTime(a, b);
+        KernelStats stats = bench::spgemmTime(session, a, b);
         EnergyReport report =
-            estimateEnergy(stats, params, engine.config());
+            estimateEnergy(stats, params, session.config());
         table.addRow({fmtDouble(sparsity, 2),
                       fmtDouble(report.compute_uj, 0),
                       fmtDouble(report.merge_uj, 0),

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Micro-benchmark of the functional dual-sparse convolution
+ * pipeline. Each point runs the same layer three ways — the retained
+ * pre-word-parallel reference (ConvExecutor::runScalar: per-pixel
+ * decode of the lowered map, dense profile extraction, element-wise
+ * re-encode), the word-parallel single-thread path (run with
+ * num_workers=1: bitmap lowering re-tiled straight into the
+ * two-level operand), and the pooled parallel pipeline — across
+ * sparsity operating points, layer shapes and lowering modes
+ * (stride-1 word extraction vs strided bit gather, single- vs
+ * dual-sparse implicit).
+ *
+ * Results are written as JSON (default BENCH_spconv.json; see the
+ * bench_json CMake target) so every PR leaves a perf trajectory and
+ * tools/check_bench.py can gate regressions in CI. `--quick` runs a
+ * seconds-scale subset. Any bitwise divergence between the three
+ * paths is fatal — the bench doubles as an equivalence check.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "conv/spconv.h"
+#include "core/thread_pool.h"
+#include "model/sparsity_gen.h"
+#include "tensor/tensor4d.h"
+
+using namespace dstc;
+using bench::timeMs;
+
+namespace {
+
+struct Point
+{
+    std::string shape_name;
+    ConvShape shape;
+    ConvMethod method = ConvMethod::DualSparseImplicit;
+    double wsp = 0.0, asp = 0.0;
+    bool clustered = false; ///< pruned-style blocked weight pattern
+    double scalar_ms = 0.0;
+    double word_ms = 0.0;
+    double parallel_ms = 0.0;
+    bool bitwise_equal = false;
+};
+
+/** Output values and stats must agree bit for bit. */
+bool
+identical(const ConvResult &a, const ConvResult &b)
+{
+    return a.output.size() == b.output.size() &&
+           std::memcmp(a.output.data().data(), b.output.data().data(),
+                       a.output.size() * sizeof(float)) == 0 &&
+           std::memcmp(&a.stats.compute_us, &b.stats.compute_us,
+                       sizeof(double)) == 0 &&
+           std::memcmp(&a.stats.memory_us, &b.stats.memory_us,
+                       sizeof(double)) == 0 &&
+           a.stats.mix.ohmma_issued == b.stats.mix.ohmma_issued &&
+           a.stats.warp_tiles == b.stats.warp_tiles;
+}
+
+Point
+runPoint(const char *name, const ConvShape &shape, ConvMethod method,
+         double wsp, double asp, int reps, bool clustered = false)
+{
+    Point p;
+    p.shape_name = name;
+    p.shape = shape;
+    p.method = method;
+    p.wsp = wsp;
+    p.asp = asp;
+    p.clustered = clustered;
+
+    Rng rng(0x5bc0 ^ (static_cast<uint64_t>(wsp * 100) << 8) ^
+            static_cast<uint64_t>(asp * 100));
+    Tensor4d input = randomSparseTensor(shape.batch, shape.in_c,
+                                        shape.in_h, shape.in_w, asp,
+                                        rng);
+    // Clustered points model pruned weights (blocked non-zeros, the
+    // Sec. VI-D pattern that lets the warp-bitmap skip whole tiles).
+    Matrix<float> weights =
+        clustered ? clusteredSparseMatrix(
+                        shape.out_c,
+                        static_cast<int>(shape.loweredCols()), wsp,
+                        32, 4.0, rng)
+                  : randomSparseMatrix(
+                        shape.out_c,
+                        static_cast<int>(shape.loweredCols()), wsp,
+                        rng);
+
+    GpuConfig cfg = GpuConfig::v100();
+    ConvExecutor executor(cfg);
+    ConvOptions serial;
+    serial.num_workers = 1;
+    ConvOptions pooled; // num_workers = 0: shared pool
+
+    ConvResult r_scalar, r_word, r_par;
+    p.scalar_ms = timeMs(reps, [&] {
+        r_scalar =
+            executor.runScalar(input, weights, shape, method, serial);
+    });
+    p.word_ms = timeMs(reps, [&] {
+        r_word = executor.run(input, weights, shape, method, serial);
+    });
+    p.parallel_ms = timeMs(reps, [&] {
+        r_par = executor.run(input, weights, shape, method, pooled);
+    });
+
+    p.bitwise_equal =
+        identical(r_word, r_scalar) && identical(r_par, r_scalar);
+    return p;
+}
+
+void
+writeJson(const char *path, const std::vector<Point> &points,
+          int reps, bool quick)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_spconv\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"threads\": %d, \"reps\": %d, "
+                 "\"quick\": %s},\n",
+                 sharedThreadPool().numThreads(), reps,
+                 quick ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        std::fprintf(
+            f,
+            "    {\"shape\": \"%s\", \"batch\": %d, \"in_c\": %d, "
+            "\"hw\": %d, \"out_c\": %d, \"kernel\": %d, "
+            "\"stride\": %d,\n"
+            "     \"method\": \"%s\", \"wsp\": %.2f, \"asp\": %.2f, "
+            "\"clustered\": %s,\n"
+            "     \"scalar_ms\": %.3f, \"word_ms\": %.3f, "
+            "\"parallel_ms\": %.3f,\n"
+            "     \"speedup_word_vs_scalar\": %.2f, "
+            "\"parallel_scaling\": %.2f, \"bitwise_equal\": %s}%s\n",
+            p.shape_name.c_str(), p.shape.batch, p.shape.in_c,
+            p.shape.in_h, p.shape.out_c, p.shape.kernel,
+            p.shape.stride, convMethodName(p.method), p.wsp, p.asp,
+            p.clustered ? "true" : "false",
+            p.scalar_ms, p.word_ms, p.parallel_ms,
+            p.scalar_ms / p.word_ms, p.word_ms / p.parallel_ms,
+            p.bitwise_equal ? "true" : "false",
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+ConvShape
+makeShape(int c, int hw, int oc, int stride = 1, int batch = 1)
+{
+    ConvShape s;
+    s.batch = batch;
+    s.in_c = c;
+    s.in_h = s.in_w = hw;
+    s.out_c = oc;
+    s.kernel = 3;
+    s.stride = stride;
+    s.pad = 1;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args;
+    args.out = "BENCH_spconv.json";
+    if (!bench::parseBenchArgs(argc, argv, "micro_spconv", &args))
+        return 2;
+    const bool quick = args.quick;
+    const int reps = args.reps;
+    const char *out = args.out;
+
+    bench::warmProcessState(GpuConfig::v100());
+
+    std::vector<Point> points;
+    std::printf("%14s %22s %5s %5s | %9s %9s %9s | %7s %7s\n",
+                "shape", "method", "wsp", "asp", "scalar ms",
+                "word ms", "par ms", "speedup", "scaling");
+    auto emit = [&](const char *name, const ConvShape &s,
+                    ConvMethod method, double wsp, double asp,
+                    bool clustered = false) {
+        Point p =
+            runPoint(name, s, method, wsp, asp, reps, clustered);
+        points.push_back(p);
+        std::printf(
+            "%14s %22s %5.2f %5.2f | %9.3f %9.3f %9.3f | %6.2fx "
+            "%6.2fx%s\n",
+            name, convMethodName(method), wsp, asp, p.scalar_ms,
+            p.word_ms, p.parallel_ms, p.scalar_ms / p.word_ms,
+            p.word_ms / p.parallel_ms,
+            p.bitwise_equal ? "" : "  [MISMATCH]");
+        if (!p.bitwise_equal) {
+            std::fprintf(stderr,
+                         "FATAL: word/parallel conv result differs "
+                         "from the scalar reference\n");
+            std::exit(1);
+        }
+    };
+
+    const ConvShape small = makeShape(32, 14, 32);
+    const ConvShape mid = makeShape(32, 28, 32);
+    const ConvShape wide = makeShape(64, 28, 64);
+    const ConvShape strided = makeShape(32, 28, 32, 2);
+
+    if (quick) {
+        // CI smoke: one small shape at the mid and headline points.
+        for (double sp : {0.8, 0.9})
+            emit("conv3x3-14", small, ConvMethod::DualSparseImplicit,
+                 sp, sp);
+        emit("conv3x3-14-cl", small, ConvMethod::DualSparseImplicit,
+             0.9, 0.9, true);
+        emit("conv3x3-s2", makeShape(16, 14, 16, 2),
+             ConvMethod::DualSparseImplicit, 0.9, 0.9);
+    } else {
+        // Sparsity axis on the mid shape (dual-side: wsp = asp).
+        for (double sp : {0.5, 0.7, 0.8, 0.9, 0.95})
+            emit("conv3x3-28", mid, ConvMethod::DualSparseImplicit,
+                 sp, sp);
+        // Shape axis at the paper's headline 90% operating point.
+        emit("conv3x3-14", small, ConvMethod::DualSparseImplicit,
+             0.9, 0.9);
+        // Pruned-style clustered weights: the warp-bitmap skips
+        // whole tiles, which the scalar reference's dense
+        // decode/re-encode cannot exploit.
+        emit("conv3x3-28-cl", mid, ConvMethod::DualSparseImplicit,
+             0.9, 0.9, true);
+        emit("conv3x3-28-cl", mid, ConvMethod::DualSparseImplicit,
+             0.95, 0.95, true);
+        emit("conv3x3-wide", wide, ConvMethod::DualSparseImplicit,
+             0.9, 0.9);
+        emit("conv3x3-b4", makeShape(16, 14, 16, 1, 4),
+             ConvMethod::DualSparseImplicit, 0.9, 0.9);
+        // Lowering modes: the strided bit-gather path and the
+        // single-sparse (dense-activation) implicit pipeline.
+        emit("conv3x3-s2", strided, ConvMethod::DualSparseImplicit,
+             0.9, 0.9);
+        emit("conv3x3-28", mid, ConvMethod::SingleSparseImplicit,
+             0.9, 0.5);
+    }
+
+    writeJson(out, points, reps, quick);
+    std::printf("\nwrote %s\n", out);
+    return 0;
+}

@@ -13,12 +13,12 @@
  * compare against. `--quick` runs a seconds-scale subset for CI.
  */
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "core/thread_pool.h"
 #include "gemm/spgemm_device.h"
@@ -26,30 +26,10 @@
 #include "tensor/matrix.h"
 
 using namespace dstc;
+using bench::nowMs;
+using bench::timeMs;
 
 namespace {
-
-double
-nowMs()
-{
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
-
-/** Best-of-@p reps wall time of @p fn, in milliseconds. */
-template <typename Fn>
-double
-timeMs(int reps, Fn &&fn)
-{
-    double best = 1e30;
-    for (int r = 0; r < reps; ++r) {
-        const double t0 = nowMs();
-        fn();
-        best = std::min(best, nowMs() - t0);
-    }
-    return best;
-}
 
 /**
  * The seed pipeline, reproduced verbatim at bench level: per-tile
@@ -128,12 +108,6 @@ runPoint(int size, double sparsity, int tile_k, int reps)
     SpGemmDevice device(cfg);
     SpGemmOptions opts;
     opts.tile_k = tile_k;
-
-    // Pre-fill the merge model's process-shared Monte-Carlo memo so
-    // its one-time cost is not charged to whichever stage happens to
-    // query a fresh bucket first.
-    MergeCostModel(cfg.accum_banks, cfg.operand_collector)
-        .tileCycles(8 * cfg.accum_banks, 8);
 
     p.encode_ms = timeMs(reps, [&] {
         TwoLevelBitmapMatrix::encode(a, opts.tile_m, opts.tile_k,
@@ -222,25 +196,15 @@ writeJson(const char *path, const std::vector<Point> &points,
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    int reps = 3;
-    const char *out = "BENCH_spgemm.json";
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quick")) {
-            quick = true;
-        } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
-            reps = std::atoi(argv[++i]);
-        } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
-            out = argv[++i];
-        } else {
-            std::fprintf(stderr,
-                         "usage: micro_spgemm [--quick] [--reps N] "
-                         "[--out PATH]\n");
-            return 2;
-        }
-    }
-    if (quick)
-        reps = 1;
+    bench::BenchArgs args;
+    args.out = "BENCH_spgemm.json";
+    if (!bench::parseBenchArgs(argc, argv, "micro_spgemm", &args))
+        return 2;
+    const bool quick = args.quick;
+    const int reps = args.reps;
+    const char *out = args.out;
+
+    bench::warmProcessState(GpuConfig::v100());
 
     std::vector<int> sizes = quick ? std::vector<int>{128}
                                    : std::vector<int>{256, 512};

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Session-request one-liners shared by the ablation / efficiency
+ * benches: each helper builds the KernelRequest a bench point needs
+ * and runs it through the plan-execute API. These replace the
+ * deprecated DstcEngine facade calls the benches used to make —
+ * every execution path here is a Backend registration.
+ */
+#ifndef DSTC_BENCH_SESSION_UTIL_H
+#define DSTC_BENCH_SESSION_UTIL_H
+
+#include "core/session.h"
+
+namespace dstc {
+namespace bench {
+
+/** Dual-side SpGEMM time from popcount profiles. */
+inline KernelStats
+spgemmTime(Session &session, const SparsityProfile &a,
+           const SparsityProfile &b, const SpGemmOptions &options = {})
+{
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::DualSparse;
+    req.gemm_options = options;
+    return session.run(req).stats;
+}
+
+/** Dual-side SpGEMM stats over concrete operands (timing options —
+ *  pass functional=false for stats-only sweeps). */
+inline KernelStats
+spgemmStats(Session &session, const Matrix<float> &a,
+            const Matrix<float> &b, const SpGemmOptions &options)
+{
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::DualSparse;
+    req.gemm_options = options;
+    return session.run(req).stats;
+}
+
+/** Dense CUTLASS-like GEMM time. */
+inline KernelStats
+denseGemmTime(Session &session, int64_t m, int64_t n, int64_t k)
+{
+    KernelRequest req = KernelRequest::gemm(m, n, k);
+    req.method = Method::Dense;
+    return session.run(req).stats;
+}
+
+/** Vector-wise sparse TC [72] GEMM time. */
+inline KernelStats
+zhuGemmTime(Session &session, int64_t m, int64_t n, int64_t k,
+            double weight_sparsity)
+{
+    KernelRequest req =
+        KernelRequest::gemm(m, n, k, 0.0, weight_sparsity);
+    req.method = Method::ZhuSparse;
+    return session.run(req).stats;
+}
+
+/** Ampere 2:4 sparse TC GEMM time. */
+inline KernelStats
+ampereGemmTime(Session &session, int64_t m, int64_t n, int64_t k,
+               double weight_sparsity)
+{
+    KernelRequest req =
+        KernelRequest::gemm(m, n, k, 0.0, weight_sparsity);
+    req.method = Method::AmpereSparse;
+    return session.run(req).stats;
+}
+
+} // namespace bench
+} // namespace dstc
+
+#endif // DSTC_BENCH_SESSION_UTIL_H

@@ -41,6 +41,21 @@ enum class ConvMethod
 /** Printable name matching the paper's legend. */
 const char *convMethodName(ConvMethod method);
 
+/** Knobs of the functional convolution execution. */
+struct ConvOptions
+{
+    /**
+     * Worker threads of the word-parallel pipeline (the lowered-
+     * column loop, the A-operand tiling and the SpGEMM output-tile
+     * loop), mirroring SpGemmOptions::num_workers: 0 uses the
+     * process-shared pool (all hardware threads), 1 runs serially in
+     * the caller, N caps the parallelism at N threads. Results and
+     * stats are bitwise identical for every setting — per-tile
+     * outcomes are reduced in tile order.
+     */
+    int num_workers = 0;
+};
+
 /** Output of a convolution run. */
 struct ConvResult
 {
@@ -83,9 +98,31 @@ class ConvExecutor
     /**
      * Execute a convolution functionally and return its simulated
      * time. @p weights is (out_c) x (in_c * kernel * kernel).
+     *
+     * The implicit-sparse methods run the word-parallel pipeline:
+     * the bitmap lowering is re-tiled straight into the two-level
+     * SpGEMM operand (no dense lowered matrix, no per-pixel decode)
+     * and the output-tile loop partitions over
+     * ConvOptions::num_workers. Output values and stats are
+     * bit-for-bit identical to runScalar for every worker count.
      */
     ConvResult run(const Tensor4d &input, const Matrix<float> &weights,
-                   const ConvShape &shape, ConvMethod method) const;
+                   const ConvShape &shape, ConvMethod method,
+                   const ConvOptions &options = {}) const;
+
+    /**
+     * The pre-word-parallel path, kept verbatim as the reference
+     * model: the lowered feature map is decoded to a dense matrix,
+     * profiled and re-encoded element-by-element before the GEMM.
+     * The equivalence tests assert run() reproduces its outputs and
+     * stats bit-for-bit; bench/micro_spconv reports speedup against
+     * it. (Its GEMM honors options.num_workers so comparisons
+     * isolate the pipeline change from raw thread count.)
+     */
+    ConvResult runScalar(const Tensor4d &input,
+                         const Matrix<float> &weights,
+                         const ConvShape &shape, ConvMethod method,
+                         const ConvOptions &options = {}) const;
 
     /**
      * Timing-only path for the model sweeps: synthesizes an input at

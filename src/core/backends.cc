@@ -19,6 +19,7 @@
 #include "baselines/cutlass_like.h"
 #include "baselines/zhu_sparse_tc.h"
 #include "conv/spconv.h"
+#include "core/method_map.h"
 #include "gemm/dense_gemm.h"
 #include "gemm/spgemm_device.h"
 
@@ -121,27 +122,6 @@ class OperandDigests
     std::optional<uint64_t> a_;
     std::optional<uint64_t> b_;
 };
-
-/** Conv method of a (Method, Lowering) combination. */
-ConvMethod
-toConvMethod(Method method, Lowering lowering)
-{
-    switch (method) {
-      case Method::DualSparse:
-        return ConvMethod::DualSparseImplicit;
-      case Method::Dense:
-        return lowering == Lowering::Explicit
-                   ? ConvMethod::DenseExplicit
-                   : ConvMethod::DenseImplicit;
-      case Method::ZhuSparse:
-        return lowering == Lowering::Explicit
-                   ? ConvMethod::SingleSparseExplicit
-                   : ConvMethod::SingleSparseImplicit;
-      default:
-        panic("method has no convolution strategy: ",
-              methodName(method));
-    }
-}
 
 CacheKey
 convKey(const KernelRequest &req, ConvMethod cm)
@@ -420,7 +400,8 @@ class ConvPlan : public ExecutionPlan
         KernelReport report;
         if (req_.functional()) {
             ConvResult r = executor.run(*req_.input, *req_.b,
-                                        req_.shape, conv_method_);
+                                        req_.shape, conv_method_,
+                                        req_.conv_options);
             report.stats = r.stats;
             report.output = std::make_shared<const Tensor4d>(
                 std::move(r.output));

@@ -1,40 +1,8 @@
 #include "core/engine.h"
 
+#include "core/method_map.h"
+
 namespace dstc {
-
-namespace {
-
-/** Registry method + lowering of a ConvMethod strategy. */
-void
-splitConvMethod(ConvMethod method, Method *out_method,
-                Lowering *out_lowering)
-{
-    switch (method) {
-      case ConvMethod::DenseExplicit:
-        *out_method = Method::Dense;
-        *out_lowering = Lowering::Explicit;
-        return;
-      case ConvMethod::DenseImplicit:
-        *out_method = Method::Dense;
-        *out_lowering = Lowering::Implicit;
-        return;
-      case ConvMethod::SingleSparseExplicit:
-        *out_method = Method::ZhuSparse;
-        *out_lowering = Lowering::Explicit;
-        return;
-      case ConvMethod::SingleSparseImplicit:
-        *out_method = Method::ZhuSparse;
-        *out_lowering = Lowering::Implicit;
-        return;
-      case ConvMethod::DualSparseImplicit:
-        *out_method = Method::DualSparse;
-        *out_lowering = Lowering::Implicit;
-        return;
-    }
-    panic("unknown conv method");
-}
-
-} // namespace
 
 DstcEngine::DstcEngine(GpuConfig cfg) : session_(cfg) {}
 

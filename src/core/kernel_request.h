@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "conv/spconv.h"
 #include "gemm/spgemm_device.h"
 #include "im2col/conv_shape.h"
 #include "tensor/tensor4d.h"
@@ -120,6 +121,11 @@ struct KernelRequest
     // -- convolution geometry (kind == Conv) --------------------------
     ConvShape shape;
     Lowering lowering = Lowering::Implicit;
+
+    /** Functional-conv knobs (worker partitioning of the
+     *  word-parallel pipeline); results are identical for every
+     *  setting. */
+    ConvOptions conv_options;
 
     // -- optional concrete operands (non-owning) ----------------------
     const Matrix<float> *a = nullptr; ///< GEMM left operand

@@ -64,6 +64,18 @@ sharedThreadPool()
     return pool;
 }
 
+ThreadPool *
+resolveTilePool(int num_workers, int *max_workers)
+{
+    if (num_workers == 1) {
+        *max_workers = 1;
+        return nullptr;
+    }
+    ThreadPool &pool = sharedThreadPool();
+    *max_workers = num_workers > 0 ? num_workers : pool.numThreads();
+    return &pool;
+}
+
 void
 parallelFor(ThreadPool *pool, int64_t n, int max_workers,
             const std::function<void(int64_t)> &fn)

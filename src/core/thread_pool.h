@@ -73,6 +73,15 @@ ThreadPool &sharedThreadPool();
 void parallelFor(ThreadPool *pool, int64_t n, int max_workers,
                  const std::function<void(int64_t)> &fn);
 
+/**
+ * Resolve the shared num_workers knob of the kernel-internal loops
+ * (SpGemmOptions::num_workers, ConvOptions::num_workers, ...): 1
+ * runs serially in the caller (null pool), 0 uses every thread of
+ * the process-shared pool, N caps the parallelism at N. Returns the
+ * pool to pass to parallelFor and writes the worker cap.
+ */
+ThreadPool *resolveTilePool(int num_workers, int *max_workers);
+
 } // namespace dstc
 
 #endif // DSTC_CORE_THREAD_POOL_H

@@ -36,20 +36,6 @@ struct TileOutcome
     int rows = 0, cols = 0; ///< actual (clipped) tile dimensions
 };
 
-/** Resolve the tile-loop worker pool from the options knob. */
-ThreadPool *
-tilePool(int num_workers, int *max_workers)
-{
-    if (num_workers == 1) {
-        *max_workers = 1;
-        return nullptr;
-    }
-    ThreadPool &pool = sharedThreadPool();
-    *max_workers =
-        num_workers > 0 ? num_workers : pool.numThreads();
-    return &pool;
-}
-
 } // namespace
 
 SpGemmDevice::SpGemmDevice(const GpuConfig &cfg)
@@ -113,6 +99,7 @@ SpGemmDevice::multiplyEncoded(const TwoLevelBitmapMatrix &a_enc,
         const int ti = static_cast<int>(t / tiles_n);
         const int tj = static_cast<int>(t % tiles_n);
         TileOutcome &out = outcomes[static_cast<size_t>(t)];
+        out.work.reserve(static_cast<size_t>(tiles_k));
         out.rows = std::min(options.tile_m, m - ti * options.tile_m);
         out.cols = std::min(options.tile_n, n - tj * options.tile_n);
         // The warp tile accumulates straight into its region of D —
@@ -158,19 +145,24 @@ SpGemmDevice::multiplyEncoded(const TwoLevelBitmapMatrix &a_enc,
             out.work.push_back(wr.cycles() + kTileOverheadCycles);
 
             // Track the expected output density for the sparse
-            // write-back estimate.
-            const int kk = a_tile.cols();
-            for (int s = 0; s < kk; ++s) {
-                double pa = static_cast<double>(a_tile.lineNnz(s)) /
-                            out.rows;
-                double pb = static_cast<double>(b_tile.lineNnz(s)) /
-                            out.cols;
-                out.p_cell_zero *= 1.0 - pa * pb;
+            // write-back estimate — only needed when the write-back
+            // may actually be bitmap-encoded.
+            if (options.sparse_output) {
+                const int kk = a_tile.cols();
+                for (int s = 0; s < kk; ++s) {
+                    double pa =
+                        static_cast<double>(a_tile.lineNnz(s)) /
+                        out.rows;
+                    double pb =
+                        static_cast<double>(b_tile.lineNnz(s)) /
+                        out.cols;
+                    out.p_cell_zero *= 1.0 - pa * pb;
+                }
             }
         }
     };
     int max_workers = 1;
-    ThreadPool *pool = tilePool(options.num_workers, &max_workers);
+    ThreadPool *pool = resolveTilePool(options.num_workers, &max_workers);
     parallelFor(pool, total_tiles, max_workers, run_tile);
 
     // Deterministic reduction: tile order, independent of which
@@ -261,6 +253,7 @@ SpGemmDevice::timeFromProfiles(const SparsityProfile &a,
         const int ti = static_cast<int>(t / tiles_n);
         const int tj = static_cast<int>(t % tiles_n);
         TileOutcome &out = outcomes[static_cast<size_t>(t)];
+        out.work.reserve(static_cast<size_t>(tiles_k));
         for (int tk = 0; tk < tiles_k; ++tk) {
             const bool a_empty =
                 a_tile_nnz[static_cast<size_t>(ti) * tiles_k + tk] ==
@@ -305,7 +298,7 @@ SpGemmDevice::timeFromProfiles(const SparsityProfile &a,
         }
     };
     int max_workers = 1;
-    ThreadPool *pool = tilePool(options.num_workers, &max_workers);
+    ThreadPool *pool = resolveTilePool(options.num_workers, &max_workers);
     parallelFor(pool, total_tiles, max_workers, run_tile);
 
     std::vector<int64_t> work;

@@ -72,25 +72,40 @@ SpGemmWarpEngine::computeTile(const BitmapMatrix &a_tile,
         if (!need_positions)
             continue;
 
-        // Word-parallel bitmap scan: condensed positions via ctz over
-        // the 64-bit line words, into the reusable arena.
-        a_tile.linePositionsInto(step, 0, m, scratch.pos_a.data());
+        // Word-parallel bitmap scan: the B positions land in the
+        // reusable arena (they are re-read once per A non-zero); the
+        // A side is consumed in ctz order straight off its line
+        // words, fused with the scatter loop below. The detailed
+        // bank simulator additionally needs the A positions as an
+        // array for its chunked address stream.
         b_tile.linePositionsInto(step, 0, n, scratch.pos_b.data());
+        if (detailed_merge)
+            a_tile.linePositionsInto(step, 0, m,
+                                     scratch.pos_a.data());
 
         if (accum) {
             // FP16-rounded operands come pre-quantized from the
             // encoding. Each (row, col) pair is touched once per
             // k-step, so the per-cell FP32 accumulation order is the
-            // k order — the chunked reference path sums identically.
+            // k order — the chunked reference path sums identically
+            // (ctz iteration visits positions in increasing order,
+            // exactly like the positions array).
             const auto val_a = a_tile.lineValuesFp16(step);
             const auto val_b = b_tile.lineValuesFp16(step);
-            for (int ia = 0; ia < popc_a; ++ia) {
-                const float av = val_a[ia];
-                float *row =
-                    accum +
-                    static_cast<size_t>(scratch.pos_a[ia]) * ld;
-                for (int ib = 0; ib < popc_b; ++ib)
-                    row[scratch.pos_b[ib]] += av * val_b[ib];
+            const auto a_words = a_tile.lineBits(step);
+            int ia = 0;
+            for (size_t w = 0; w < a_words.size(); ++w) {
+                uint64_t word = a_words[w];
+                const int base = static_cast<int>(w) << 6;
+                while (word) {
+                    const int pos = base + std::countr_zero(word);
+                    word &= word - 1;
+                    const float av = val_a[ia++];
+                    float *row =
+                        accum + static_cast<size_t>(pos) * ld;
+                    for (int ib = 0; ib < popc_b; ++ib)
+                        row[scratch.pos_b[ib]] += av * val_b[ib];
+                }
             }
         }
 

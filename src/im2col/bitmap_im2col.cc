@@ -1,7 +1,10 @@
 #include "im2col/bitmap_im2col.h"
 
+#include <algorithm>
+
 #include "common/bitutil.h"
 #include "common/logging.h"
+#include "core/thread_pool.h"
 
 namespace dstc {
 
@@ -11,14 +14,17 @@ BitmapFeatureMap::encode(const Tensor4d &input)
     BitmapFeatureMap fmap;
     fmap.channels_ = input.c();
     fmap.planes_.reserve(static_cast<size_t>(input.n()) * input.c());
+    // NCHW planes are contiguous h x w blocks: encode each straight
+    // from the tensor storage, 64 elements per bitmap word.
+    const size_t plane_elems =
+        static_cast<size_t>(input.h()) * input.w();
+    const float *data = input.data().data();
     for (int n = 0; n < input.n(); ++n) {
         for (int c = 0; c < input.c(); ++c) {
-            Matrix<float> plane(input.h(), input.w());
-            for (int h = 0; h < input.h(); ++h)
-                for (int w = 0; w < input.w(); ++w)
-                    plane.at(h, w) = input.at(n, c, h, w);
-            fmap.planes_.push_back(
-                BitmapMatrix::encode(plane, Major::Row));
+            const size_t offset =
+                (static_cast<size_t>(n) * input.c() + c) * plane_elems;
+            fmap.planes_.push_back(BitmapMatrix::encodePlane(
+                data + offset, input.h(), input.w()));
         }
     }
     return fmap;
@@ -68,6 +74,143 @@ LoweredFeatureMap::totalNnz() const
     return total;
 }
 
+TwoLevelBitmapMatrix
+LoweredFeatureMap::toTwoLevel(int tile_m, int tile_k,
+                              int num_workers) const
+{
+    DSTC_ASSERT(tile_m > 0 && tile_k > 0);
+    const int tiles_m = ceilDiv(rows, tile_m);
+    const int tiles_k = ceilDiv(cols, tile_k);
+    std::vector<BitmapMatrix> tiles(static_cast<size_t>(tiles_m) *
+                                    tiles_k);
+
+    // Each k-group of tile_k lowered columns fills a disjoint column
+    // of tiles, so groups partition over workers with no reduction
+    // needed — every tile is written exactly once. Two passes: the
+    // word-extract pass records every tile-line chunk and its
+    // popcount, then the fill pass copies each tile's parts into
+    // exactly-sized arrays (no growth checks in either loop).
+    auto run_group = [&](int64_t tkl) {
+        const int tk = static_cast<int>(tkl);
+        const int j0 = tk * tile_k;
+        const int j1 = std::min(cols, j0 + tile_k);
+        const int g_cols = j1 - j0;
+
+        // Pass 1: extract the (column, tile-row) chunks. The 32-row
+        // warp tile is the production case: two tile slices per
+        // 64-bit column word, split without per-slice shift arithmetic;
+        // other tile heights fall back to generic word extraction.
+        const int wpl = ceilDiv(tile_m, 64); // words per tile line
+        std::vector<uint64_t> chunks(
+            static_cast<size_t>(g_cols) * tiles_m * wpl, 0);
+        std::vector<int> counts(static_cast<size_t>(g_cols) * tiles_m,
+                                0);
+        std::vector<int> src_offsets(
+            static_cast<size_t>(g_cols) * tiles_m, 0);
+        std::vector<int64_t> tile_nnz(static_cast<size_t>(tiles_m),
+                                      0);
+        for (int j = j0; j < j1; ++j) {
+            const LoweredColumn &col = columns[j];
+            const size_t base = static_cast<size_t>(j - j0) * tiles_m;
+            int prefix = 0;
+            if (tile_m == 32) {
+                // One column word holds two consecutive 32-row
+                // slices; the tail tile keeps whatever bits remain
+                // (the column bitmap is zero past `rows`).
+                for (int ti = 0; ti < tiles_m; ++ti) {
+                    const uint64_t word =
+                        col.bits[static_cast<size_t>(ti) >> 1];
+                    const uint64_t chunk = (ti & 1)
+                                               ? word >> 32
+                                               : word & 0xffffffffu;
+                    chunks[base + ti] = chunk;
+                    const int cnt = popcount64(chunk);
+                    counts[base + ti] = cnt;
+                    src_offsets[base + ti] = prefix;
+                    tile_nnz[static_cast<size_t>(ti)] += cnt;
+                    prefix += cnt;
+                }
+            } else {
+                auto word_at = [&](size_t w) -> uint64_t {
+                    return w < col.bits.size() ? col.bits[w] : 0;
+                };
+                for (int ti = 0; ti < tiles_m; ++ti) {
+                    const int r0 = ti * tile_m;
+                    const int t_rows = std::min(tile_m, rows - r0);
+                    int cnt = 0;
+                    for (int t = 0; t < t_rows; t += 64) {
+                        const int src = r0 + t;
+                        const int off = src & 63;
+                        uint64_t chunk = word_at(src >> 6) >> off;
+                        if (off != 0)
+                            chunk |= word_at((src >> 6) + 1)
+                                     << (64 - off);
+                        chunk &= lowMask64(std::min(64, t_rows - t));
+                        chunks[(base + ti) * wpl + (t >> 6)] = chunk;
+                        cnt += popcount64(chunk);
+                    }
+                    counts[base + ti] = cnt;
+                    src_offsets[base + ti] = prefix;
+                    tile_nnz[static_cast<size_t>(ti)] += cnt;
+                    prefix += cnt;
+                }
+            }
+            DSTC_ASSERT(prefix == static_cast<int>(col.values.size()),
+                        "toTwoLevel requires a value-gathered "
+                        "lowering (column ", j, ")");
+        }
+
+        // Pass 2: assemble each tile from exactly-sized parts. The
+        // condensed values of a (column, tile-row) slice are the
+        // next `cnt` entries of the column's packed arrays (the
+        // prefix-popcount address-offset trick, per tile boundary).
+        for (int ti = 0; ti < tiles_m; ++ti) {
+            const int t_rows = std::min(tile_m, rows - ti * tile_m);
+            const int t_wpl = ceilDiv(t_rows, 64);
+            std::vector<uint64_t> bits(
+                static_cast<size_t>(g_cols) * t_wpl);
+            std::vector<int> offsets(static_cast<size_t>(g_cols) + 1);
+            const size_t nnz =
+                static_cast<size_t>(tile_nnz[static_cast<size_t>(ti)]);
+            std::vector<float> values(nnz);
+            std::vector<float> fp16(nnz);
+            size_t vi = 0;
+            for (int j = j0; j < j1; ++j) {
+                const LoweredColumn &col = columns[j];
+                const size_t slot =
+                    static_cast<size_t>(j - j0) * tiles_m + ti;
+                for (int w = 0; w < t_wpl; ++w)
+                    bits[static_cast<size_t>(j - j0) * t_wpl + w] =
+                        chunks[slot * wpl + w];
+                const int cnt = counts[slot];
+                const int src = src_offsets[slot];
+                std::copy(col.values.begin() + src,
+                          col.values.begin() + src + cnt,
+                          values.begin() + vi);
+                std::copy(col.values_fp16.begin() + src,
+                          col.values_fp16.begin() + src + cnt,
+                          fp16.begin() + vi);
+                vi += static_cast<size_t>(cnt);
+                offsets[static_cast<size_t>(j - j0) + 1] =
+                    static_cast<int>(vi);
+            }
+            tiles[static_cast<size_t>(ti) * tiles_k + tk] =
+                BitmapMatrix::fromPacked(
+                    t_rows, g_cols, Major::Col, std::move(bits),
+                    std::move(values), std::move(fp16),
+                    std::move(offsets));
+        }
+    };
+
+    int max_workers = 1;
+    ThreadPool *pool = resolveTilePool(num_workers, &max_workers);
+    parallelFor(pool, tiles_k, max_workers, run_group);
+
+    return TwoLevelBitmapMatrix::fromTiles(rows, cols, tile_m, tile_k,
+                                           Major::Col,
+                                           std::move(tiles));
+}
+
 namespace {
 
 /** Appends bit runs into a packed column bitmap. */
@@ -75,6 +218,13 @@ class BitWriter
 {
   public:
     explicit BitWriter(std::vector<uint64_t> &bits) : bits_(bits) {}
+
+    /** Pre-size the backing store for @p total bits: every append
+     *  then writes in place (no reallocation in the row loop). */
+    BitWriter(std::vector<uint64_t> &bits, size_t total) : bits_(bits)
+    {
+        bits_.assign((total >> 6) + 2, 0);
+    }
 
     /** Append the low @p count bits of @p chunk (count <= 64). */
     void
@@ -113,20 +263,24 @@ class BitWriter
 };
 
 /**
- * Extract bits [start, start + count) of a row bitmap into packed
- * words; positions outside [0, row_len) read as zero (padding).
- * Counts the word operations performed into @p ops.
+ * Extract bits [start, start + count) of a row bitmap and append
+ * them to @p writer; positions outside [0, row_len) read as zero
+ * (padding). Counts the word operations performed into @p ops and
+ * returns the popcount of the extracted window — the S4 value count
+ * falls out of the gathered words for free. No staging buffer: each
+ * word goes straight to the column bitmap.
  */
-std::vector<uint64_t>
-extractRowBits(std::span<const uint64_t> row, int row_len, int start,
-               int count, int64_t &ops)
+int
+extractRowBitsInto(std::span<const uint64_t> row, int row_len,
+                   int start, int count, BitWriter &writer,
+                   int64_t &ops)
 {
-    std::vector<uint64_t> out(ceilDiv(count, 64), 0);
     auto word_at = [&](int w) -> uint64_t {
         if (w < 0 || w >= static_cast<int>(row.size()))
             return 0;
         return row[w];
     };
+    int hits = 0;
     for (int t = 0; t < count; t += 64) {
         const int want = std::min(64, count - t);
         const int src = start + t;
@@ -145,105 +299,144 @@ extractRowBits(std::span<const uint64_t> row, int row_len, int start,
             chunk &= valid <= 0 ? 0 : lowMask64(valid);
             ++ops;
         }
-        out[t >> 6] = chunk & lowMask64(want);
+        chunk &= lowMask64(want);
+        hits += popcount64(chunk);
+        writer.append(chunk, want);
     }
-    return out;
+    return hits;
+}
+
+/** Lower one (c, kh, kw) column of the feature map. */
+void
+lowerColumn(const BitmapFeatureMap &fmap, const ConvShape &shape,
+            bool gather_values, int c, int kh, int kw,
+            LoweredColumn &out, int64_t &ops)
+{
+    const int out_h = shape.outH();
+    const int out_w = shape.outW();
+    BitWriter writer(out.bits,
+                     static_cast<size_t>(shape.loweredRows()));
+    if (gather_values) {
+        // Size the condensed arrays for the expected hit count (the
+        // plane density over the column's windows) so the row loop
+        // appends without reallocating.
+        const size_t expect =
+            static_cast<size_t>(shape.loweredRows() / 4 + 16);
+        out.values.reserve(expect);
+        out.values_fp16.reserve(expect);
+    }
+    for (int n = 0; n < shape.batch; ++n) {
+        const BitmapMatrix &plane = fmap.plane(n, c);
+        for (int oh = 0; oh < out_h; ++oh) {
+            const int ih = oh * shape.stride + kh - shape.pad;
+            if (ih < 0 || ih >= shape.in_h) {
+                writer.skip(out_w);
+                continue;
+            }
+            const int start = kw - shape.pad;
+            if (shape.stride == 1) {
+                // Fast path: the window is a contiguous slice of the
+                // row bitmap; its popcount (the S4 value count) falls
+                // out of the extraction.
+                const int cnt =
+                    extractRowBitsInto(plane.lineBits(ih), shape.in_w,
+                                       start, out_w, writer, ops);
+                // Address offset by popcount of the prefix (S3), then
+                // take the masked values in order (S4) — sliced
+                // straight from the plane's packed arrays into the
+                // column tail, FP32 and the encode-time FP16 mirror
+                // together.
+                const int lo = std::max(0, start);
+                const int hi = std::min(shape.in_w, start + out_w);
+                if (gather_values && hi > lo) {
+                    ops += 2; // 2x POPC
+                    if (cnt > 0) {
+                        const int offset =
+                            plane.linePopcount(ih, 0, lo);
+                        const auto vals = plane.lineValues(ih);
+                        const auto vals16 = plane.lineValuesFp16(ih);
+                        out.values.insert(
+                            out.values.end(), vals.begin() + offset,
+                            vals.begin() + offset + cnt);
+                        out.values_fp16.insert(
+                            out.values_fp16.end(),
+                            vals16.begin() + offset,
+                            vals16.begin() + offset + cnt);
+                    }
+                }
+            } else {
+                // Strided windows gather bit-by-bit but still via
+                // bitmap tests + one popcount per hit.
+                uint64_t chunk = 0;
+                int filled = 0;
+                for (int ow = 0; ow < out_w; ++ow) {
+                    const int iw = ow * shape.stride + start;
+                    bool set = iw >= 0 && iw < shape.in_w &&
+                               plane.bit(ih, iw);
+                    ++ops;
+                    if (set) {
+                        chunk |= uint64_t{1} << filled;
+                        if (gather_values) {
+                            const int off =
+                                plane.linePopcount(ih, 0, iw);
+                            out.values.push_back(
+                                plane.lineValues(ih)[off]);
+                            out.values_fp16.push_back(
+                                plane.lineValuesFp16(ih)[off]);
+                        }
+                        ++ops;
+                    }
+                    if (++filled == 64) {
+                        writer.append(chunk, 64);
+                        chunk = 0;
+                        filled = 0;
+                    }
+                }
+                if (filled > 0)
+                    writer.append(chunk, filled);
+            }
+        }
+    }
 }
 
 } // namespace
 
 LoweredFeatureMap
 im2colFromBitmap(const BitmapFeatureMap &fmap, const ConvShape &shape,
-                 bool gather_values)
+                 bool gather_values, int num_workers)
 {
     LoweredFeatureMap lowered;
     lowered.rows = static_cast<int>(shape.loweredRows());
     lowered.cols = static_cast<int>(shape.loweredCols());
     lowered.columns.resize(lowered.cols);
-    const int out_h = shape.outH();
-    const int out_w = shape.outW();
 
-    int col = 0;
-    for (int c = 0; c < shape.in_c; ++c) {
-        for (int kh = 0; kh < shape.kernel; ++kh) {
-            for (int kw = 0; kw < shape.kernel; ++kw, ++col) {
-                LoweredColumn &out = lowered.columns[col];
-                BitWriter writer(out.bits);
-                for (int n = 0; n < shape.batch; ++n) {
-                    const BitmapMatrix &plane = fmap.plane(n, c);
-                    for (int oh = 0; oh < out_h; ++oh) {
-                        const int ih =
-                            oh * shape.stride + kh - shape.pad;
-                        if (ih < 0 || ih >= shape.in_h) {
-                            writer.skip(out_w);
-                            continue;
-                        }
-                        const int start = kw - shape.pad;
-                        if (shape.stride == 1) {
-                            // Fast path: the window is a contiguous
-                            // slice of the row bitmap.
-                            auto bits = extractRowBits(
-                                plane.lineBits(ih), shape.in_w, start,
-                                out_w, lowered.register_ops);
-                            for (int t = 0; t < out_w; t += 64)
-                                writer.append(bits[t >> 6],
-                                              std::min(64, out_w - t));
-                            // Address offset by popcount of the
-                            // prefix (S3), then take the masked
-                            // values in order (S4).
-                            const int lo = std::max(0, start);
-                            const int hi = std::min(shape.in_w,
-                                                    start + out_w);
-                            if (gather_values && hi > lo) {
-                                auto vals = plane.lineValuesRange(
-                                    ih, lo, hi);
-                                lowered.register_ops += 2; // 2x POPC
-                                out.values.insert(out.values.end(),
-                                                  vals.begin(),
-                                                  vals.end());
-                            }
-                        } else {
-                            // Strided windows gather bit-by-bit but
-                            // still via bitmap tests + one popcount
-                            // per hit.
-                            uint64_t chunk = 0;
-                            int filled = 0;
-                            for (int ow = 0; ow < out_w; ++ow) {
-                                const int iw =
-                                    ow * shape.stride + start;
-                                bool set = iw >= 0 &&
-                                           iw < shape.in_w &&
-                                           plane.bit(ih, iw);
-                                ++lowered.register_ops;
-                                if (set) {
-                                    chunk |= uint64_t{1} << filled;
-                                    if (gather_values) {
-                                        const int off =
-                                            plane.linePopcount(ih, 0,
-                                                               iw);
-                                        out.values.push_back(
-                                            plane.lineValues(ih)[off]);
-                                    }
-                                    ++lowered.register_ops;
-                                }
-                                if (++filled == 64) {
-                                    writer.append(chunk, 64);
-                                    chunk = 0;
-                                    filled = 0;
-                                }
-                            }
-                            if (filled > 0)
-                                writer.append(chunk, filled);
-                        }
-                    }
-                }
-                // Normalize the bitmap length to cover all M rows.
-                out.bits.resize(ceilDiv(static_cast<size_t>(lowered.rows),
-                                        size_t{64}),
-                                0);
-            }
-        }
-    }
+    // Lowered columns are independent: each is produced from the
+    // read-only planes into its own slot, so the column loop
+    // partitions over workers; the per-column op counters reduce in
+    // column order below, keeping the cost metric (like the values)
+    // identical for any worker count.
+    std::vector<int64_t> column_ops(
+        static_cast<size_t>(lowered.cols), 0);
+    const int kk = shape.kernel * shape.kernel;
+    auto run_column = [&](int64_t col) {
+        const int c = static_cast<int>(col) / kk;
+        const int kh = (static_cast<int>(col) % kk) / shape.kernel;
+        const int kw = static_cast<int>(col) % shape.kernel;
+        lowerColumn(fmap, shape, gather_values, c, kh, kw,
+                    lowered.columns[static_cast<size_t>(col)],
+                    column_ops[static_cast<size_t>(col)]);
+        // Normalize the bitmap length to cover all M rows.
+        lowered.columns[static_cast<size_t>(col)].bits.resize(
+            ceilDiv(static_cast<size_t>(lowered.rows), size_t{64}),
+            0);
+    };
+
+    int max_workers = 1;
+    ThreadPool *pool = resolveTilePool(num_workers, &max_workers);
+    parallelFor(pool, lowered.cols, max_workers, run_column);
+
+    for (int64_t ops : column_ops)
+        lowered.register_ops += ops;
     return lowered;
 }
 

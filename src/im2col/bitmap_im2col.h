@@ -11,6 +11,14 @@
  * per-element data-dependent lookups are needed, which is why it
  * beats CSR im2col by an order of magnitude at moderate sparsity
  * (Table III).
+ *
+ * The whole pipeline is word-parallel end to end: plane encoding
+ * packs 64 elements per bitmap word, value gathers slice the planes'
+ * condensed arrays (with the FP16-rounded mirror copied alongside,
+ * so the multiply path never re-rounds), independent lowered columns
+ * are partitioned over the shared worker pool, and toTwoLevel()
+ * re-tiles the lowered columns into the SpGEMM operand format by
+ * word extraction — the dense lowered matrix is never materialized.
  */
 #ifndef DSTC_IM2COL_BITMAP_IM2COL_H
 #define DSTC_IM2COL_BITMAP_IM2COL_H
@@ -20,6 +28,7 @@
 
 #include "im2col/conv_shape.h"
 #include "sparse/bitmap.h"
+#include "sparse/two_level.h"
 #include "tensor/matrix.h"
 #include "tensor/tensor4d.h"
 
@@ -53,6 +62,10 @@ struct LoweredColumn
 {
     std::vector<uint64_t> bits; ///< column bitmap, M bits LSB-first
     std::vector<float> values;  ///< condensed non-zero values
+    /** The values pre-rounded through FP16, copied from the plane
+     *  encodings — the operands the Tensor Core datapath multiplies
+     *  (encode-time rounding; the hot loop never re-rounds). */
+    std::vector<float> values_fp16;
 };
 
 /** The lowered feature map as the outer-product SpGEMM's A operand. */
@@ -73,6 +86,23 @@ class LoweredFeatureMap
     int columnNnz(int j) const;
 
     int64_t totalNnz() const;
+
+    /**
+     * Re-tile the lowered columns into the two-level bitmap operand
+     * the device-level SpGEMM consumes (tile_m x tile_k warp tiles,
+     * column-major lines), purely by word extraction on the column
+     * bitmaps and condensed-value slicing — bit-for-bit identical to
+     * TwoLevelBitmapMatrix::encode(decode(), ...) without ever
+     * materializing the dense lowered matrix. Requires the map to
+     * have been lowered with gather_values.
+     *
+     * @param num_workers partitions the independent tile-column
+     *        groups like SpGemmOptions::num_workers (0 = shared
+     *        pool, 1 = serial); the result is identical for any
+     *        setting.
+     */
+    TwoLevelBitmapMatrix toTwoLevel(int tile_m, int tile_k,
+                                    int num_workers = 1) const;
 };
 
 /**
@@ -82,10 +112,17 @@ class LoweredFeatureMap
  * @param gather_values when false, only the lowered bitmaps are
  *        built (sufficient for the timing sweeps; decode() is then
  *        unavailable).
+ * @param num_workers partitions the independent lowered columns over
+ *        the shared worker pool (same contract as
+ *        SpGemmOptions::num_workers: 0 = all hardware threads, 1 =
+ *        serial in the caller). Columns are written to disjoint
+ *        slots and the op counters reduced in column order, so the
+ *        result is identical for any worker count.
  */
 LoweredFeatureMap im2colFromBitmap(const BitmapFeatureMap &fmap,
                                    const ConvShape &shape,
-                                   bool gather_values = true);
+                                   bool gather_values = true,
+                                   int num_workers = 1);
 
 } // namespace dstc
 

@@ -115,13 +115,22 @@ foldLoweredOutput(const Matrix<float> &d, const ConvShape &shape)
                 d.cols() == shape.out_c);
     const int out_h = shape.outH();
     const int out_w = shape.outW();
-    Tensor4d out(shape.batch, shape.out_c, out_h, out_w);
-    int row = 0;
-    for (int n = 0; n < shape.batch; ++n)
-        for (int oh = 0; oh < out_h; ++oh)
-            for (int ow = 0; ow < out_w; ++ow, ++row)
-                for (int oc = 0; oc < shape.out_c; ++oc)
-                    out.at(n, oc, oh, ow) = d.at(row, oc);
+    const int out_c = shape.out_c;
+    Tensor4d out(shape.batch, out_c, out_h, out_w);
+    // Per batch image this is a (pixel, channel) -> (channel, pixel)
+    // transpose; walk both sides with raw pointers.
+    const int pixels = out_h * out_w;
+    const float *src = d.data().data();
+    float *dst = out.data().data();
+    for (int n = 0; n < shape.batch; ++n) {
+        const float *src_n =
+            src + static_cast<size_t>(n) * pixels * out_c;
+        float *dst_n = dst + static_cast<size_t>(n) * out_c * pixels;
+        for (int p = 0; p < pixels; ++p)
+            for (int oc = 0; oc < out_c; ++oc)
+                dst_n[static_cast<size_t>(oc) * pixels + p] =
+                    src_n[static_cast<size_t>(p) * out_c + oc];
+    }
     return out;
 }
 

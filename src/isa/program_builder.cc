@@ -5,16 +5,6 @@
 
 namespace dstc {
 
-int
-enabledOhmmas(int popc_a, int popc_b, const SpWmmaShape &shape)
-{
-    DSTC_ASSERT(popc_a >= 0 && popc_a <= shape.m);
-    DSTC_ASSERT(popc_b >= 0 && popc_b <= shape.n);
-    if (popc_a == 0 || popc_b == 0)
-        return 0;
-    return ceilDiv(popc_a, shape.a_chunk) * ceilDiv(popc_b, shape.b_chunk);
-}
-
 void
 buildSpWmmaSet(WarpProgram &prog, int set, int popc_a, int popc_b,
                const SpWmmaShape &shape)

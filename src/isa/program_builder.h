@@ -9,6 +9,8 @@
 
 #include <vector>
 
+#include "common/bitutil.h"
+#include "common/logging.h"
 #include "isa/isa.h"
 
 namespace dstc {
@@ -53,8 +55,18 @@ WarpProgram buildDenseOwmma(int sets, const SpWmmaShape &shape = {});
  */
 WarpProgram buildDenseWmma(int m, int n, int k);
 
-/** Number of enabled OHMMAs for one set: the Fig. 15 arithmetic. */
-int enabledOhmmas(int popc_a, int popc_b, const SpWmmaShape &shape = {});
+/** Number of enabled OHMMAs for one set: the Fig. 15 arithmetic.
+ *  Inline — the device tile loops evaluate it once per k-step. */
+inline int
+enabledOhmmas(int popc_a, int popc_b, const SpWmmaShape &shape = {})
+{
+    DSTC_ASSERT(popc_a >= 0 && popc_a <= shape.m);
+    DSTC_ASSERT(popc_b >= 0 && popc_b <= shape.n);
+    if (popc_a == 0 || popc_b == 0)
+        return 0;
+    return ceilDiv(popc_a, shape.a_chunk) *
+           ceilDiv(popc_b, shape.b_chunk);
+}
 
 } // namespace dstc
 

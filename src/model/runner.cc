@@ -1,27 +1,42 @@
 #include "model/runner.h"
 
 #include "common/logging.h"
+#include "core/method_map.h"
 
 namespace dstc {
+
+namespace {
+
+// ModelMethod is ConvMethod plus Auto, declared in the same order so
+// the shared strategy table serves both vocabularies. These pin the
+// mirroring — reorder either enum and the build tells you.
+static_assert(static_cast<int>(ModelMethod::DenseExplicit) ==
+              static_cast<int>(ConvMethod::DenseExplicit));
+static_assert(static_cast<int>(ModelMethod::DenseImplicit) ==
+              static_cast<int>(ConvMethod::DenseImplicit));
+static_assert(static_cast<int>(ModelMethod::SingleSparseExplicit) ==
+              static_cast<int>(ConvMethod::SingleSparseExplicit));
+static_assert(static_cast<int>(ModelMethod::SingleSparseImplicit) ==
+              static_cast<int>(ConvMethod::SingleSparseImplicit));
+static_assert(static_cast<int>(ModelMethod::DualSparseImplicit) ==
+              static_cast<int>(ConvMethod::DualSparseImplicit));
+
+/** The conv strategy a non-Auto model method names. */
+ConvMethod
+modelConvMethod(ModelMethod method)
+{
+    DSTC_ASSERT(method != ModelMethod::Auto);
+    return static_cast<ConvMethod>(method);
+}
+
+} // namespace
 
 const char *
 modelMethodName(ModelMethod method)
 {
-    switch (method) {
-      case ModelMethod::DenseExplicit:
-        return "Dense Explicit";
-      case ModelMethod::DenseImplicit:
-        return "Dense Implicit";
-      case ModelMethod::SingleSparseExplicit:
-        return "Single Sparse Explicit";
-      case ModelMethod::SingleSparseImplicit:
-        return "Single Sparse Implicit";
-      case ModelMethod::DualSparseImplicit:
-        return "Dual Sparse Implicit";
-      case ModelMethod::Auto:
-        return "Auto";
-    }
-    panic("unknown model method");
+    return method == ModelMethod::Auto
+               ? "Auto"
+               : convMethodName(modelConvMethod(method));
 }
 
 double
@@ -40,30 +55,13 @@ void
 splitModelMethod(ModelMethod method, Method *out_method,
                  Lowering *out_lowering)
 {
-    *out_lowering = Lowering::Implicit;
-    switch (method) {
-      case ModelMethod::DenseExplicit:
-        *out_method = Method::Dense;
-        *out_lowering = Lowering::Explicit;
-        return;
-      case ModelMethod::DenseImplicit:
-        *out_method = Method::Dense;
-        return;
-      case ModelMethod::SingleSparseExplicit:
-        *out_method = Method::ZhuSparse;
-        *out_lowering = Lowering::Explicit;
-        return;
-      case ModelMethod::SingleSparseImplicit:
-        *out_method = Method::ZhuSparse;
-        return;
-      case ModelMethod::DualSparseImplicit:
-        *out_method = Method::DualSparse;
-        return;
-      case ModelMethod::Auto:
+    if (method == ModelMethod::Auto) {
         *out_method = Method::Auto;
+        *out_lowering = Lowering::Implicit;
         return;
     }
-    panic("unknown model method");
+    splitConvMethod(modelConvMethod(method), out_method,
+                    out_lowering);
 }
 
 } // namespace

@@ -53,6 +53,76 @@ BitmapMatrix::encode(const Matrix<float> &dense, Major major)
     return bm;
 }
 
+BitmapMatrix
+BitmapMatrix::encodePlane(const float *data, int rows, int cols)
+{
+    BitmapMatrix bm;
+    bm.rows_ = rows;
+    bm.cols_ = cols;
+    bm.major_ = Major::Row;
+    bm.words_per_line_ = ceilDiv(cols, 64);
+    bm.bits_.assign(static_cast<size_t>(rows) * bm.words_per_line_, 0);
+    bm.line_offsets_.assign(rows + 1, 0);
+    // Amortize the value growth (a quarter-dense guess; feature maps
+    // past ReLU are sparser than that).
+    bm.values_.reserve(static_cast<size_t>(rows) * cols / 4);
+    bm.values_fp16_.reserve(static_cast<size_t>(rows) * cols / 4);
+
+    for (int r = 0; r < rows; ++r) {
+        const float *row = data + static_cast<size_t>(r) * cols;
+        uint64_t *words =
+            bm.bits_.data() +
+            static_cast<size_t>(r) * bm.words_per_line_;
+        for (int c0 = 0; c0 < cols; c0 += 64) {
+            const int span = std::min(64, cols - c0);
+            // Branchless word build (one compare-and-or per element),
+            // then a ctz walk over the set bits to pack the values.
+            uint64_t word = 0;
+            for (int b = 0; b < span; ++b)
+                word |= static_cast<uint64_t>(row[c0 + b] != 0.0f)
+                        << b;
+            words[c0 >> 6] = word;
+            while (word) {
+                const int b = std::countr_zero(word);
+                word &= word - 1;
+                const float v = row[c0 + b];
+                bm.values_.push_back(v);
+                bm.values_fp16_.push_back(roundToFp16(v));
+            }
+        }
+        bm.line_offsets_[r + 1] = static_cast<int>(bm.values_.size());
+    }
+    return bm;
+}
+
+BitmapMatrix
+BitmapMatrix::fromPacked(int rows, int cols, Major major,
+                         std::vector<uint64_t> bits,
+                         std::vector<float> values,
+                         std::vector<float> values_fp16,
+                         std::vector<int> line_offsets)
+{
+    BitmapMatrix bm;
+    bm.rows_ = rows;
+    bm.cols_ = cols;
+    bm.major_ = major;
+    const int lines = bm.numLines();
+    bm.words_per_line_ = ceilDiv(bm.lineLength(), 64);
+    DSTC_ASSERT(bits.size() ==
+                static_cast<size_t>(lines) * bm.words_per_line_);
+    DSTC_ASSERT(line_offsets.size() ==
+                    static_cast<size_t>(lines) + 1 &&
+                line_offsets.front() == 0);
+    DSTC_ASSERT(values.size() ==
+                    static_cast<size_t>(line_offsets.back()) &&
+                values_fp16.size() == values.size());
+    bm.bits_ = std::move(bits);
+    bm.values_ = std::move(values);
+    bm.values_fp16_ = std::move(values_fp16);
+    bm.line_offsets_ = std::move(line_offsets);
+    return bm;
+}
+
 Matrix<float>
 BitmapMatrix::decode() const
 {
@@ -84,38 +154,6 @@ BitmapMatrix::bit(int r, int c) const
     return getBit(bits_, bitpos);
 }
 
-int
-BitmapMatrix::lineNnz(int line) const
-{
-    DSTC_ASSERT(line >= 0 && line < numLines());
-    return line_offsets_[line + 1] - line_offsets_[line];
-}
-
-int
-BitmapMatrix::linePopcount(int line, int lo, int hi) const
-{
-    DSTC_ASSERT(line >= 0 && line < numLines());
-    DSTC_ASSERT(lo >= 0 && hi <= lineLength() && lo <= hi);
-    size_t base = static_cast<size_t>(line) * words_per_line_ * 64;
-    return popcountRange(bits_, base + lo, base + hi);
-}
-
-std::span<const float>
-BitmapMatrix::lineValues(int line) const
-{
-    DSTC_ASSERT(line >= 0 && line < numLines());
-    return {values_.data() + line_offsets_[line],
-            static_cast<size_t>(lineNnz(line))};
-}
-
-std::span<const float>
-BitmapMatrix::lineValuesFp16(int line) const
-{
-    DSTC_ASSERT(line >= 0 && line < numLines());
-    return {values_fp16_.data() + line_offsets_[line],
-            static_cast<size_t>(lineNnz(line))};
-}
-
 std::vector<float>
 BitmapMatrix::lineValuesRange(int line, int lo, int hi) const
 {
@@ -125,14 +163,6 @@ BitmapMatrix::lineValuesRange(int line, int lo, int hi) const
     int count = linePopcount(line, lo, hi);
     auto all = lineValues(line);
     return {all.begin() + offset, all.begin() + offset + count};
-}
-
-std::span<const uint64_t>
-BitmapMatrix::lineBits(int line) const
-{
-    DSTC_ASSERT(line >= 0 && line < numLines());
-    return {bits_.data() + static_cast<size_t>(line) * words_per_line_,
-            static_cast<size_t>(words_per_line_)};
 }
 
 size_t

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "common/bitutil.h"
 #include "tensor/matrix.h"
 
 namespace dstc {
@@ -35,6 +36,32 @@ class BitmapMatrix
 
     /** Encode a dense matrix. Exact zeros become bitmap zeros. */
     static BitmapMatrix encode(const Matrix<float> &dense, Major major);
+
+    /**
+     * Encode a row-major contiguous plane (rows x cols floats) as a
+     * Major::Row bitmap — the feature-map plane encoder. Equivalent
+     * to encode(Matrix, Major::Row) without staging the Matrix; bits
+     * are built 64 elements per output word.
+     */
+    static BitmapMatrix encodePlane(const float *data, int rows,
+                                    int cols);
+
+    /**
+     * Assemble a bitmap matrix from already-packed parts: per-line
+     * bitmap words (wordsPerLine() words per line), values packed in
+     * line order, their FP16-rounded mirror, and the per-line prefix
+     * offsets (numLines() + 1 entries). This is the word-parallel
+     * construction path — callers that already hold bitmap words
+     * (e.g. the implicit-im2col tiler) never touch a dense
+     * intermediate. The parts must be mutually consistent: offsets
+     * deltas equal each line's popcount, values/fp16 sized to the
+     * total nnz.
+     */
+    static BitmapMatrix fromPacked(int rows, int cols, Major major,
+                                   std::vector<uint64_t> bits,
+                                   std::vector<float> values,
+                                   std::vector<float> values_fp16,
+                                   std::vector<int> line_offsets);
 
     /** Reconstruct the dense matrix. */
     Matrix<float> decode() const;
@@ -66,17 +93,37 @@ class BitmapMatrix
     /** Bit at (r, c): true iff the element is non-zero. */
     bool bit(int r, int c) const;
 
-    /** Number of non-zeros in one packing line. */
-    int lineNnz(int line) const;
+    /** Number of non-zeros in one packing line. Inline: the multiply
+     *  loop reads it twice per k-step. */
+    int
+    lineNnz(int line) const
+    {
+        DSTC_ASSERT(line >= 0 && line < numLines());
+        return line_offsets_[line + 1] - line_offsets_[line];
+    }
 
     /**
      * POPC over positions [lo, hi) of a packing line — the hardware
-     * primitive that drives OHMMA predication (Fig. 15).
+     * primitive that drives OHMMA predication (Fig. 15). Inline: the
+     * im2col window gather issues two per lowered row.
      */
-    int linePopcount(int line, int lo, int hi) const;
+    int
+    linePopcount(int line, int lo, int hi) const
+    {
+        DSTC_ASSERT(line >= 0 && line < numLines());
+        DSTC_ASSERT(lo >= 0 && hi <= lineLength() && lo <= hi);
+        size_t base = static_cast<size_t>(line) * words_per_line_ * 64;
+        return popcountRange(bits_, base + lo, base + hi);
+    }
 
     /** Packed non-zero values of one line, in position order. */
-    std::span<const float> lineValues(int line) const;
+    std::span<const float>
+    lineValues(int line) const
+    {
+        DSTC_ASSERT(line >= 0 && line < numLines());
+        return {values_.data() + line_offsets_[line],
+                static_cast<size_t>(lineNnz(line))};
+    }
 
     /**
      * The same values pre-rounded through FP16 — the quantization
@@ -85,7 +132,13 @@ class BitmapMatrix
      * re-rounds (an A tile's lines are re-read once per output tile
      * column).
      */
-    std::span<const float> lineValuesFp16(int line) const;
+    std::span<const float>
+    lineValuesFp16(int line) const
+    {
+        DSTC_ASSERT(line >= 0 && line < numLines());
+        return {values_fp16_.data() + line_offsets_[line],
+                static_cast<size_t>(lineNnz(line))};
+    }
 
     /**
      * Values of line positions [lo, hi) as a condensed (packed)
@@ -96,7 +149,14 @@ class BitmapMatrix
     std::vector<float> lineValuesRange(int line, int lo, int hi) const;
 
     /** The bitmap words of one line (lineLength() bits, LSB-first). */
-    std::span<const uint64_t> lineBits(int line) const;
+    std::span<const uint64_t>
+    lineBits(int line) const
+    {
+        DSTC_ASSERT(line >= 0 && line < numLines());
+        return {bits_.data() +
+                    static_cast<size_t>(line) * words_per_line_,
+                static_cast<size_t>(words_per_line_)};
+    }
 
     /** Bytes occupied by this encoding (bitmap + FP16 values). */
     size_t encodedBytes() const;

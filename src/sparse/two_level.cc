@@ -48,6 +48,35 @@ TwoLevelBitmapMatrix::encode(const Matrix<float> &dense, int tile_rows,
     return tl;
 }
 
+TwoLevelBitmapMatrix
+TwoLevelBitmapMatrix::fromTiles(int rows, int cols, int tile_rows,
+                                int tile_cols, Major major,
+                                std::vector<BitmapMatrix> tiles)
+{
+    DSTC_ASSERT(tile_rows > 0 && tile_cols > 0);
+    TwoLevelBitmapMatrix tl;
+    tl.rows_ = rows;
+    tl.cols_ = cols;
+    tl.tile_rows_ = tile_rows;
+    tl.tile_cols_ = tile_cols;
+    tl.n_tile_rows_ = ceilDiv(rows, tile_rows);
+    tl.n_tile_cols_ = ceilDiv(cols, tile_cols);
+    tl.major_ = major;
+
+    const int n_tiles = tl.n_tile_rows_ * tl.n_tile_cols_;
+    DSTC_ASSERT(static_cast<int>(tiles.size()) == n_tiles,
+                "fromTiles: got ", tiles.size(), " tiles, expected ",
+                n_tiles);
+    tl.warp_bits_.assign(ceilDiv(n_tiles, 64), 0);
+    tl.tiles_ = std::move(tiles);
+    for (int ti = 0; ti < n_tiles; ++ti) {
+        DSTC_ASSERT(tl.tiles_[ti].major() == major);
+        if (tl.tiles_[ti].nnz() > 0)
+            setBit(tl.warp_bits_, ti);
+    }
+    return tl;
+}
+
 Matrix<float>
 TwoLevelBitmapMatrix::decode() const
 {

@@ -32,6 +32,19 @@ class TwoLevelBitmapMatrix
                                        int tile_rows, int tile_cols,
                                        Major major);
 
+    /**
+     * Assemble a two-level matrix from already-encoded warp tiles,
+     * in (tile-row major) tileIndex order — one entry per tile,
+     * clipped edge tiles included. The warp-bitmap is derived from
+     * each tile's nnz. This is the word-parallel construction path:
+     * producers that already hold per-tile bitmaps (the implicit
+     * im2col) skip the dense staging of encode() entirely.
+     */
+    static TwoLevelBitmapMatrix fromTiles(int rows, int cols,
+                                          int tile_rows, int tile_cols,
+                                          Major major,
+                                          std::vector<BitmapMatrix> tiles);
+
     /** Reconstruct the dense matrix. */
     Matrix<float> decode() const;
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fp16.h"
 #include "common/rng.h"
 #include "im2col/dense_im2col.h"
 
@@ -107,6 +108,133 @@ TEST(BitmapIm2col, AllZeroInput)
         im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
     EXPECT_EQ(lfm.totalNnz(), 0);
     EXPECT_EQ(lfm.decode().nnz(), 0);
+}
+
+TEST(BitmapIm2col, ValuesCarryEncodeTimeFp16Mirror)
+{
+    Rng rng(187);
+    ConvShape shape = makeShape(1, 2, 10, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 2, 10, 10, 0.5, rng);
+    LoweredFeatureMap lfm =
+        im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
+    for (int j = 0; j < lfm.cols; ++j) {
+        const LoweredColumn &col = lfm.columns[j];
+        ASSERT_EQ(col.values_fp16.size(), col.values.size());
+        for (size_t i = 0; i < col.values.size(); ++i)
+            EXPECT_EQ(col.values_fp16[i],
+                      roundToFp16(col.values[i]));
+    }
+}
+
+TEST(BitmapIm2col, ParallelLoweringIsBitwiseIdentical)
+{
+    Rng rng(188);
+    ConvShape shape = makeShape(2, 3, 20, 3, 2, 1);
+    Tensor4d input = randomSparseTensor(2, 3, 20, 20, 0.6, rng);
+    BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
+    LoweredFeatureMap serial = im2colFromBitmap(fmap, shape, true, 1);
+    for (int workers : {0, 3, 8}) {
+        LoweredFeatureMap par =
+            im2colFromBitmap(fmap, shape, true, workers);
+        ASSERT_EQ(par.cols, serial.cols);
+        EXPECT_EQ(par.register_ops, serial.register_ops)
+            << "workers=" << workers;
+        for (int j = 0; j < serial.cols; ++j) {
+            EXPECT_EQ(par.columns[j].bits, serial.columns[j].bits);
+            EXPECT_EQ(par.columns[j].values,
+                      serial.columns[j].values);
+            EXPECT_EQ(par.columns[j].values_fp16,
+                      serial.columns[j].values_fp16);
+        }
+    }
+}
+
+/** Structural equality of two two-level encodings, tile by tile. */
+void
+expectTwoLevelIdentical(const TwoLevelBitmapMatrix &a,
+                        const TwoLevelBitmapMatrix &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    ASSERT_EQ(a.numTileRows(), b.numTileRows());
+    ASSERT_EQ(a.numTileCols(), b.numTileCols());
+    EXPECT_EQ(a.encodedBytes(), b.encodedBytes());
+    for (int tr = 0; tr < a.numTileRows(); ++tr) {
+        for (int tc = 0; tc < a.numTileCols(); ++tc) {
+            EXPECT_EQ(a.tileNonEmpty(tr, tc), b.tileNonEmpty(tr, tc));
+            const BitmapMatrix &ta = a.tile(tr, tc);
+            const BitmapMatrix &tb = b.tile(tr, tc);
+            ASSERT_EQ(ta.rows(), tb.rows()) << tr << "," << tc;
+            ASSERT_EQ(ta.cols(), tb.cols()) << tr << "," << tc;
+            ASSERT_EQ(ta.nnz(), tb.nnz()) << tr << "," << tc;
+            for (int line = 0; line < ta.numLines(); ++line) {
+                ASSERT_EQ(ta.lineNnz(line), tb.lineNnz(line));
+                const auto va = ta.lineValues(line);
+                const auto vb = tb.lineValues(line);
+                const auto fa = ta.lineValuesFp16(line);
+                const auto fb = tb.lineValuesFp16(line);
+                for (int i = 0; i < ta.lineNnz(line); ++i) {
+                    EXPECT_EQ(va[i], vb[i]);
+                    EXPECT_EQ(fa[i], fb[i]);
+                }
+                const auto wa = ta.lineBits(line);
+                const auto wb = tb.lineBits(line);
+                ASSERT_EQ(wa.size(), wb.size());
+                for (size_t w = 0; w < wa.size(); ++w)
+                    EXPECT_EQ(wa[w], wb[w]);
+            }
+        }
+    }
+}
+
+TEST(BitmapIm2col, ToTwoLevelMatchesDenseEncode)
+{
+    Rng rng(189);
+    // 40x40 planes give M = 1600 lowered rows (> 64-bit words per
+    // column) and K = 27 (a clipped k-edge tile at tile_k 32).
+    ConvShape shape = makeShape(1, 3, 40, 3, 1, 1);
+    Tensor4d input = randomSparseTensor(1, 3, 40, 40, 0.7, rng);
+    LoweredFeatureMap lfm =
+        im2colFromBitmap(BitmapFeatureMap::encode(input), shape);
+    TwoLevelBitmapMatrix direct = lfm.toTwoLevel(32, 32);
+    TwoLevelBitmapMatrix via_dense = TwoLevelBitmapMatrix::encode(
+        lfm.decode(), 32, 32, Major::Col);
+    expectTwoLevelIdentical(direct, via_dense);
+    EXPECT_EQ(maxAbsDiff(direct.decode(), lfm.decode()), 0.0);
+
+    // Worker partitioning of the tiler changes nothing.
+    expectTwoLevelIdentical(lfm.toTwoLevel(32, 32, 4), via_dense);
+    // Non-square tiling (deeper K chunks) round-trips too.
+    expectTwoLevelIdentical(
+        lfm.toTwoLevel(32, 16),
+        TwoLevelBitmapMatrix::encode(lfm.decode(), 32, 16,
+                                     Major::Col));
+}
+
+TEST(BitmapIm2col, EncodePlaneMatchesMatrixEncode)
+{
+    Rng rng(190);
+    Tensor4d input = randomSparseTensor(1, 1, 9, 70, 0.5, rng);
+    BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
+    Matrix<float> plane(9, 70);
+    for (int h = 0; h < 9; ++h)
+        for (int w = 0; w < 70; ++w)
+            plane.at(h, w) = input.at(0, 0, h, w);
+    BitmapMatrix expected = BitmapMatrix::encode(plane, Major::Row);
+    const BitmapMatrix &got = fmap.plane(0, 0);
+    ASSERT_EQ(got.nnz(), expected.nnz());
+    EXPECT_EQ(maxAbsDiff(got.decode(), expected.decode()), 0.0);
+    for (int line = 0; line < expected.numLines(); ++line) {
+        const auto wa = got.lineBits(line);
+        const auto wb = expected.lineBits(line);
+        ASSERT_EQ(wa.size(), wb.size());
+        for (size_t w = 0; w < wa.size(); ++w)
+            EXPECT_EQ(wa[w], wb[w]);
+        const auto fa = got.lineValuesFp16(line);
+        const auto fb = expected.lineValuesFp16(line);
+        for (size_t i = 0; i < fa.size(); ++i)
+            EXPECT_EQ(fa[i], fb[i]);
+    }
 }
 
 struct BitmapIm2colParam

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The CLI validation layer (dstc_sim's flag vocabulary): malformed,
+ * out-of-range and unknown flags must be *returned* as errors, never
+ * exit the process from an accessor, and the typed accessors must be
+ * total functions after validation.
+ */
+#include "common/cli_flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dstc {
+namespace {
+
+CliArgs
+parse(std::vector<std::string> tokens,
+      const std::set<std::string> &boolean_flags = {"a100", "batched",
+                                                    "explicit"})
+{
+    std::vector<char *> argv = {const_cast<char *>("dstc_sim")};
+    for (auto &t : tokens)
+        argv.push_back(t.data());
+    return parseCliArgs(static_cast<int>(argv.size()), argv.data(),
+                        boolean_flags);
+}
+
+TEST(CliFlags, ParsesPositionalsAndFlags)
+{
+    CliArgs args = parse({"gemm", "64", "64", "64", "--a-sparsity",
+                          "0.7", "--batched"});
+    ASSERT_EQ(args.positional.size(), 4u);
+    EXPECT_EQ(args.positional[0], "gemm");
+    EXPECT_TRUE(args.hasFlag("batched"));
+    EXPECT_DOUBLE_EQ(args.flagD("a-sparsity", 0.0), 0.7);
+    EXPECT_DOUBLE_EQ(args.flagD("b-sparsity", 0.25), 0.25);
+}
+
+TEST(CliFlags, BooleanFlagsDoNotConsumeTokens)
+{
+    CliArgs args = parse({"--a100", "model", "resnet18"});
+    ASSERT_EQ(args.positional.size(), 2u);
+    EXPECT_EQ(args.positional[0], "model");
+    EXPECT_TRUE(args.hasFlag("a100"));
+    EXPECT_EQ(args.flag("a100", "x"), "");
+}
+
+TEST(CliFlags, UnknownFlagFailsValidation)
+{
+    CliArgs args = parse({"conv", "--in-c", "8", "--typo", "3"});
+    EXPECT_FALSE(args.validateFlags("conv", {"in-c"}, {}, {"in-c"}));
+    EXPECT_TRUE(args.validateFlags("conv", {"in-c", "typo"}, {},
+                                   {"in-c", "typo"}));
+}
+
+TEST(CliFlags, IntegerOutOfIntRangeIsRejectedNotExited)
+{
+    // The old flagI accessor would std::exit(2) on this; now the
+    // validation layer reports it and the accessor stays total.
+    CliArgs args = parse({"conv", "--hw", "99999999999"});
+    EXPECT_FALSE(args.validateFlags("conv", {"hw"}, {}, {"hw"}));
+    EXPECT_EQ(args.flagI("hw", -1), -1);
+}
+
+TEST(CliFlags, IntegerMustBeWholeDecimal)
+{
+    EXPECT_FALSE(parse({"x", "--seed", "1e3"})
+                     .validateFlags("x", {"seed"}, {}, {}, {"seed"}));
+    EXPECT_FALSE(parse({"x", "--hw", "12.5"})
+                     .validateFlags("x", {"hw"}, {}, {"hw"}));
+    EXPECT_FALSE(parse({"x", "--hw", "abc"})
+                     .validateFlags("x", {"hw"}, {}, {"hw"}));
+    EXPECT_TRUE(parse({"x", "--hw", "28"})
+                    .validateFlags("x", {"hw"}, {}, {"hw"}));
+}
+
+TEST(CliFlags, UnsignedRejectsNegativeAndOverflow)
+{
+    EXPECT_FALSE(parse({"x", "--seed", "-3"})
+                     .validateFlags("x", {"seed"}, {}, {}, {"seed"}));
+    EXPECT_FALSE(
+        parse({"x", "--seed", "99999999999999999999999"})
+            .validateFlags("x", {"seed"}, {}, {}, {"seed"}));
+    CliArgs ok = parse({"x", "--seed", "12345678901"});
+    EXPECT_TRUE(ok.validateFlags("x", {"seed"}, {}, {}, {"seed"}));
+    EXPECT_EQ(ok.flagU64("seed", 0), 12345678901ull);
+}
+
+TEST(CliFlags, NumericMustBeFinite)
+{
+    EXPECT_FALSE(parse({"x", "--wsp", "nan"})
+                     .validateFlags("x", {"wsp"}, {"wsp"}));
+    EXPECT_FALSE(parse({"x", "--wsp", "0.7x"})
+                     .validateFlags("x", {"wsp"}, {"wsp"}));
+    EXPECT_FALSE(parse({"x", "--wsp"})
+                     .validateFlags("x", {"wsp"}, {"wsp"}));
+    EXPECT_TRUE(parse({"x", "--wsp", "0.75"})
+                    .validateFlags("x", {"wsp"}, {"wsp"}));
+}
+
+TEST(CliFlags, ValuelessValueFlagFailsInsteadOfDefaulting)
+{
+    // "--hw --out-c 4": --hw refuses to consume the next flag token
+    // and must fail validation, not silently read as the default.
+    CliArgs args = parse({"conv", "--hw", "--out-c", "4"});
+    EXPECT_FALSE(args.validateFlags("conv", {"hw", "out-c"}, {},
+                                    {"hw", "out-c"}));
+}
+
+TEST(CliFlags, StrayPositionalsAreRejected)
+{
+    CliArgs args = parse({"backends", "stray"});
+    EXPECT_TRUE(args.checkPositionals("backends", 2));
+    EXPECT_FALSE(args.checkPositionals("backends", 1));
+}
+
+TEST(CliFlags, AccessorsAfterValidationAreExact)
+{
+    CliArgs args = parse({"conv", "--in-c", "64", "--hw", "28",
+                          "--wsp", "0.9", "--seed", "7"});
+    ASSERT_TRUE(args.validateFlags("conv",
+                                   {"in-c", "hw", "wsp", "seed"},
+                                   {"wsp"}, {"in-c", "hw"},
+                                   {"seed"}));
+    EXPECT_EQ(args.flagI("in-c", 0), 64);
+    EXPECT_EQ(args.flagI("hw", 0), 28);
+    EXPECT_DOUBLE_EQ(args.flagD("wsp", 0.0), 0.9);
+    EXPECT_EQ(args.flagU64("seed", 1), 7u);
+    EXPECT_EQ(args.flagI("absent", 42), 42);
+}
+
+TEST(CliFlags, RangeHelpersReturnInsteadOfExiting)
+{
+    EXPECT_TRUE(checkSparsityFlag("wsp", 0.0));
+    EXPECT_TRUE(checkSparsityFlag("wsp", 1.0));
+    EXPECT_FALSE(checkSparsityFlag("wsp", -0.1));
+    EXPECT_FALSE(checkSparsityFlag("wsp", 1.5));
+    EXPECT_TRUE(checkClusterFlag("cluster", 1.0));
+    EXPECT_FALSE(checkClusterFlag("cluster", 0.5));
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Re-runs the micro benches in --quick mode and compares them against
+the checked-in perf trajectories (BENCH_spgemm.json, BENCH_spconv.json):
+
+ 1. Functional gate (hard): every point, measured and reference, must
+    report bitwise_equal — the word-parallel pipelines must reproduce
+    their scalar references exactly. The benches also self-check this
+    and exit non-zero on divergence.
+ 2. Speedup gate: for each measured point, the word-vs-scalar speedup
+    must stay above an absolute floor (the word path may never be
+    slower than the scalar reference) and above `--tolerance` times
+    the worst matching reference speedup. Points are matched on their
+    operating keys (sparsity / method / stride / clustered), not on
+    shape or machine, so the gate survives CI hardware variance while
+    still catching real pipeline regressions.
+ 3. Sanity gate: all stage timings must be positive and the pooled
+    path must not be catastrophically slower than the single-thread
+    word path (`--parallel-slack`).
+
+Exit code 0 = green, 1 = regression, 2 = usage/setup error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Operating-point keys per bench: reference points are matched to
+# measured points on these fields only (never on size/shape/machine).
+BENCHES = {
+    "micro_spgemm": {
+        "binary": os.path.join("bench", "micro_spgemm"),
+        "reference": "BENCH_spgemm.json",
+        "keys": ("sparsity", "tile_k"),
+    },
+    "micro_spconv": {
+        "binary": os.path.join("bench", "micro_spconv"),
+        "reference": "BENCH_spconv.json",
+        "keys": ("method", "wsp", "asp", "stride", "clustered"),
+    },
+}
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}")
+    return False
+
+
+def point_key(point, keys):
+    return tuple(point.get(k) for k in keys)
+
+
+def point_label(point):
+    fields = ("shape", "m", "method", "sparsity", "wsp", "asp",
+              "stride", "clustered", "tile_k")
+    parts = [f"{k}={point[k]}" for k in fields if k in point]
+    return "{" + ", ".join(parts) + "}"
+
+
+def check_points(name, points, *, require_positive):
+    ok = True
+    for p in points:
+        if not p.get("bitwise_equal", False):
+            ok = fail(f"{name}: {point_label(p)} is not bitwise "
+                      f"equal to the scalar reference")
+        if require_positive:
+            for field, value in p.items():
+                if field.endswith("_ms") and not value > 0.0:
+                    ok = fail(f"{name}: {point_label(p)} has "
+                              f"non-positive timing {field}={value}")
+    return ok
+
+
+def run_quick(binary, timeout_s):
+    with tempfile.NamedTemporaryFile(suffix=".json",
+                                     delete=False) as tmp:
+        out_path = tmp.name
+    try:
+        proc = subprocess.run([binary, "--quick", "--out", out_path],
+                              capture_output=True, text=True,
+                              timeout=timeout_s)
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            return None
+        with open(out_path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(out_path)
+
+
+def check_bench(name, spec, args):
+    ref_path = os.path.join(args.repo_root, spec["reference"])
+    binary = os.path.join(args.build_dir, spec["binary"])
+    if not os.path.exists(ref_path):
+        print(f"check_bench: missing reference {ref_path}")
+        return False
+    if not os.path.exists(binary):
+        print(f"check_bench: missing binary {binary} (build first)")
+        return False
+
+    with open(ref_path) as f:
+        reference = json.load(f)
+    ref_points = reference.get("points", [])
+    ok = check_points(f"{name} (reference)", ref_points,
+                      require_positive=True)
+
+    print(f"check_bench: running {binary} --quick ...")
+    measured = run_quick(binary, args.timeout)
+    if measured is None:
+        return fail(f"{name}: quick run failed")
+    measured_config = measured.get("config", {})
+    meas_points = measured.get("points", [])
+    if not meas_points:
+        return fail(f"{name}: quick run produced no points")
+    ok = check_points(f"{name} (measured)", meas_points,
+                      require_positive=True) and ok
+
+    keys = spec["keys"]
+    for p in meas_points:
+        speedup = p.get("speedup_word_vs_scalar", 0.0)
+        label = point_label(p)
+
+        if speedup < args.min_speedup:
+            ok = fail(f"{name}: {label} word path speedup {speedup:.2f}x "
+                      f"fell below the absolute floor "
+                      f"{args.min_speedup:.2f}x")
+
+        matches = [r.get("speedup_word_vs_scalar", 0.0)
+                   for r in ref_points
+                   if point_key(r, keys) == point_key(p, keys)]
+        if not matches:
+            print(f"check_bench: note: {name} {label} has no "
+                  f"reference point with the same operating key; "
+                  f"absolute floor only")
+            continue
+        threshold = args.tolerance * min(matches)
+        if speedup < threshold:
+            ok = fail(
+                f"{name}: {label} speedup {speedup:.2f}x regressed "
+                f"below {threshold:.2f}x (= {args.tolerance:.2f} x "
+                f"reference {min(matches):.2f}x)")
+
+        # Single-rep timings are one raw sample each; a late pool
+        # wake-up can triple a sub-millisecond pooled point, so the
+        # slack check only applies to best-of-N measurements.
+        reps = measured_config.get("reps", 1)
+        par = p.get("parallel_ms", 0.0)
+        word = p.get("word_ms", 0.0)
+        if reps >= 2 and par > 0 and word > 0 and \
+                par > args.parallel_slack * word:
+            ok = fail(f"{name}: {label} pooled path ({par:.3f} ms) "
+                      f"is worse than {args.parallel_slack:.1f}x the "
+                      f"single-thread word path ({word:.3f} ms)")
+
+    if ok:
+        print(f"check_bench: {name}: "
+              f"{len(meas_points)} quick points green")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (bench binaries)")
+    parser.add_argument("--repo-root", default=".",
+                        help="directory of the BENCH_*.json references")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="measured speedup must be >= tolerance * "
+                             "worst matching reference speedup")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="absolute speedup floor: the word path "
+                             "may never be slower than scalar")
+    parser.add_argument("--parallel-slack", type=float, default=2.0,
+                        help="pooled path may be at most this factor "
+                             "slower than single-thread (1-core CI)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-bench quick-run timeout in seconds")
+    args = parser.parse_args()
+
+    ok = True
+    for name, spec in BENCHES.items():
+        ok = check_bench(name, spec, args) and ok
+    if not ok:
+        sys.exit(1)
+    print("check_bench: all benches green")
+
+
+if __name__ == "__main__":
+    main()

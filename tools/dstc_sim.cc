@@ -21,8 +21,6 @@
  * Unknown commands, flags or flag values are rejected with an error
  * (exit code 2) instead of silently falling back to defaults.
  */
-#include <cerrno>
-#include <climits>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cli_flags.h"
 #include "common/table.h"
 #include "core/session.h"
 #include "hwmodel/area_power.h"
@@ -41,208 +40,12 @@ using namespace dstc;
 
 namespace {
 
-struct Args
-{
-    std::vector<std::string> positional;
-    std::vector<std::pair<std::string, std::string>> flags;
-
-    bool
-    hasFlag(const std::string &name) const
-    {
-        for (const auto &[k, v] : flags)
-            if (k == name)
-                return true;
-        return false;
-    }
-
-    std::string
-    flag(const std::string &name, const std::string &fallback) const
-    {
-        for (const auto &[k, v] : flags)
-            if (k == name)
-                return v;
-        return fallback;
-    }
-
-    double
-    flagD(const std::string &name, double fallback) const
-    {
-        for (const auto &[k, v] : flags)
-            if (k == name)
-                return std::atof(v.c_str());
-        return fallback;
-    }
-
-    int
-    flagI(const std::string &name, int fallback) const
-    {
-        for (const auto &[k, v] : flags) {
-            if (k != name)
-                continue;
-            const long long parsed =
-                std::strtoll(v.c_str(), nullptr, 10);
-            if (parsed < INT_MIN || parsed > INT_MAX) {
-                std::fprintf(stderr,
-                             "error: flag '--%s' value %lld is out "
-                             "of range\n",
-                             name.c_str(), parsed);
-                std::exit(2);
-            }
-            return static_cast<int>(parsed);
-        }
-        return fallback;
-    }
-
-    uint64_t
-    flagU64(const std::string &name, uint64_t fallback) const
-    {
-        for (const auto &[k, v] : flags)
-            if (k == name)
-                return std::strtoull(v.c_str(), nullptr, 10);
-        return fallback;
-    }
-
-    /**
-     * Reject positionals beyond @p max_positionals — stray tokens
-     * (including a negative value after a flag, which parseArgs
-     * refuses to consume) used to be silently ignored.
-     */
-    bool
-    checkPositionals(const char *command,
-                     size_t max_positionals) const
-    {
-        if (positional.size() <= max_positionals)
-            return true;
-        std::fprintf(stderr,
-                     "error: unexpected argument '%s' for command "
-                     "'%s'\n",
-                     positional[max_positionals].c_str(), command);
-        return false;
-    }
-
-    /**
-     * Reject any flag outside @p known (plus the global --a100),
-     * any @p numeric flag whose value does not parse fully as a
-     * number, and any @p integer flag whose value is not a whole
-     * decimal (so "--seed 1e3" cannot silently atoi to 1). Typos
-     * used to silently fall back to defaults (or atof to 0); now
-     * they fail.
-     */
-    bool
-    checkFlags(const char *command,
-               const std::set<std::string> &known,
-               const std::set<std::string> &numeric = {},
-               const std::set<std::string> &integer = {},
-               const std::set<std::string> &u64 = {}) const
-    {
-        bool ok = true;
-        for (const auto &[k, v] : flags) {
-            if (k != "a100" && !known.count(k)) {
-                std::string valid = "--a100";
-                for (const auto &name : known)
-                    valid += ", --" + name;
-                std::fprintf(stderr,
-                             "error: unknown flag '--%s' for command "
-                             "'%s' (valid: %s)\n",
-                             k.c_str(), command, valid.c_str());
-                ok = false;
-                continue;
-            }
-            char *end = nullptr;
-            if (u64.count(k)) {
-                errno = 0;
-                std::strtoull(v.c_str(), &end, 10);
-                if (v.empty() || v[0] == '-' ||
-                    end != v.c_str() + v.size() ||
-                    errno == ERANGE) {
-                    std::fprintf(stderr,
-                                 "error: flag '--%s' needs an "
-                                 "unsigned integer value, got "
-                                 "'%s'\n",
-                                 k.c_str(), v.c_str());
-                    ok = false;
-                }
-            } else if (integer.count(k)) {
-                errno = 0;
-                std::strtoll(v.c_str(), &end, 10);
-                if (v.empty() || end != v.c_str() + v.size() ||
-                    errno == ERANGE) {
-                    std::fprintf(stderr,
-                                 "error: flag '--%s' needs an "
-                                 "integer value in range, got "
-                                 "'%s'\n",
-                                 k.c_str(), v.c_str());
-                    ok = false;
-                }
-            } else if (numeric.count(k)) {
-                const double value = std::strtod(v.c_str(), &end);
-                if (v.empty() || end != v.c_str() + v.size() ||
-                    !std::isfinite(value)) {
-                    std::fprintf(stderr,
-                                 "error: flag '--%s' needs a "
-                                 "finite numeric value, got '%s'\n",
-                                 k.c_str(), v.c_str());
-                    ok = false;
-                }
-            }
-        }
-        return ok;
-    }
-};
-
-Args
-parseArgs(int argc, char **argv)
-{
-    // Presence-only flags never consume a following token (else
-    // `--batched bogus` would silently eat the stray argument and
-    // `--a100 model ...` would eat the command).
-    static const std::set<std::string> kBooleanFlags = {
-        "a100", "batched", "explicit"};
-    Args args;
-    for (int i = 1; i < argc; ++i) {
-        std::string token = argv[i];
-        if (token.rfind("--", 0) == 0) {
-            std::string name = token.substr(2);
-            // Valueless flags keep an empty value: boolean flags
-            // only test presence, and value-bearing flags fail
-            // validation instead of silently defaulting.
-            std::string value;
-            if (!kBooleanFlags.count(name) && i + 1 < argc &&
-                argv[i + 1][0] != '-')
-                value = argv[++i];
-            args.flags.emplace_back(name, value);
-        } else {
-            args.positional.push_back(token);
-        }
-    }
-    return args;
-}
-
-/** Sparsity flags are fractions. */
-bool
-checkSparsity(const char *name, double value)
-{
-    if (value >= 0.0 && value <= 1.0)
-        return true;
-    std::fprintf(stderr, "error: --%s must be in [0, 1], got %g\n",
-                 name, value);
-    return false;
-}
-
-/** Cluster factors concentrate non-zeros; 1 = uniform Bernoulli. */
-bool
-checkCluster(const char *name, double value)
-{
-    if (value >= 1.0)
-        return true;
-    std::fprintf(stderr, "error: --%s must be >= 1, got %g\n", name,
-                 value);
-    return false;
-}
+/** Flags valid for every command (the machine-model switch). */
+const std::set<std::string> kGlobalFlags = {"a100"};
 
 /** Parse --method against the subset a command supports. */
 bool
-parseMethodFlag(const Args &args, const std::string &fallback,
+parseMethodFlag(const CliArgs &args, const std::string &fallback,
                 const std::set<std::string> &allowed, Method *out)
 {
     const std::string token = args.flag("method", fallback);
@@ -287,15 +90,15 @@ printReport(const KernelReport &report, const GpuConfig &cfg)
 }
 
 int
-runGemm(const Args &args, Session &session)
+runGemm(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("gemm", 4))
         return 2;
-    if (!args.checkFlags("gemm",
+    if (!args.validateFlags("gemm",
                          {"a-sparsity", "b-sparsity", "cluster",
                           "method", "seed"},
                          {"a-sparsity", "b-sparsity", "cluster"},
-                         {}, {"seed"}))
+                         {}, {"seed"}, kGlobalFlags))
         return 2;
     if (args.positional.size() < 4) {
         std::fprintf(stderr, "usage: dstc_sim gemm M N K [flags]\n");
@@ -319,11 +122,11 @@ runGemm(const Args &args, Session &session)
     const int64_t m = dims[0], n = dims[1], k = dims[2];
     const double sa = args.flagD("a-sparsity", 0.0);
     const double sb = args.flagD("b-sparsity", 0.0);
-    if (!checkSparsity("a-sparsity", sa) ||
-        !checkSparsity("b-sparsity", sb))
+    if (!checkSparsityFlag("a-sparsity", sa) ||
+        !checkSparsityFlag("b-sparsity", sb))
         return 2;
     const double cluster = args.flagD("cluster", 1.0);
-    if (!checkCluster("cluster", cluster))
+    if (!checkClusterFlag("cluster", cluster))
         return 2;
 
     Method method;
@@ -350,11 +153,11 @@ runGemm(const Args &args, Session &session)
 }
 
 int
-runConv(const Args &args, Session &session)
+runConv(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("conv", 1))
         return 2;
-    if (!args.checkFlags("conv",
+    if (!args.validateFlags("conv",
                          {"batch", "in-c", "hw", "out-c", "kernel",
                           "stride", "pad", "wsp", "asp", "method",
                           "seed", "cluster", "act-cluster",
@@ -362,7 +165,7 @@ runConv(const Args &args, Session &session)
                          {"wsp", "asp", "cluster", "act-cluster"},
                          {"batch", "in-c", "hw", "out-c", "kernel",
                           "stride", "pad"},
-                         {"seed"}))
+                         {"seed"}, kGlobalFlags))
         return 2;
     ConvShape shape;
     shape.batch = args.flagI("batch", 1);
@@ -403,7 +206,7 @@ runConv(const Args &args, Session &session)
 
     const double wsp = args.flagD("wsp", 0.0);
     const double asp = args.flagD("asp", 0.0);
-    if (!checkSparsity("wsp", wsp) || !checkSparsity("asp", asp))
+    if (!checkSparsityFlag("wsp", wsp) || !checkSparsityFlag("asp", asp))
         return 2;
     KernelRequest req = KernelRequest::conv(shape, wsp, asp);
     req.method = method;
@@ -412,8 +215,8 @@ runConv(const Args &args, Session &session)
     req.seed = args.flagU64("seed", 1);
     req.b_cluster = args.flagD("cluster", 4.0);
     req.a_cluster = args.flagD("act-cluster", 2.0);
-    if (!checkCluster("cluster", req.b_cluster) ||
-        !checkCluster("act-cluster", req.a_cluster))
+    if (!checkClusterFlag("cluster", req.b_cluster) ||
+        !checkClusterFlag("act-cluster", req.a_cluster))
         return 2;
 
     KernelReport report = session.run(req);
@@ -424,12 +227,12 @@ runConv(const Args &args, Session &session)
 }
 
 int
-runModel(const Args &args, Session &session)
+runModel(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("model", 2))
         return 2;
-    if (!args.checkFlags("model", {"method", "seed", "batched"}, {},
-                         {}, {"seed"}))
+    if (!args.validateFlags("model", {"method", "seed", "batched"}, {},
+                         {}, {"seed"}, kGlobalFlags))
         return 2;
     if (args.positional.size() < 2) {
         std::fprintf(stderr, "usage: dstc_sim model <name> [flags]\n");
@@ -514,10 +317,11 @@ runModel(const Args &args, Session &session)
 }
 
 int
-runBackends(const Args &args, Session &session)
+runBackends(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("backends", 1) ||
-        !args.checkFlags("backends", {}))
+        !args.validateFlags("backends", {}, {}, {}, {},
+                            kGlobalFlags))
         return 2;
     TextTable table;
     table.setHeader({"backend", "method", "token", "gemm", "conv",
@@ -540,10 +344,11 @@ runBackends(const Args &args, Session &session)
 }
 
 int
-runOverhead(const Args &args, Session &session)
+runOverhead(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("overhead", 1) ||
-        !args.checkFlags("overhead", {}))
+        !args.validateFlags("overhead", {}, {}, {}, {},
+                            kGlobalFlags))
         return 2;
     OverheadReport report = estimateOverhead(session.config());
     TextTable table;
@@ -562,7 +367,11 @@ runOverhead(const Args &args, Session &session)
 int
 main(int argc, char **argv)
 {
-    Args args = parseArgs(argc, argv);
+    // Presence-only flags never consume a following token (else
+    // `--batched bogus` would silently eat the stray argument and
+    // `--a100 model ...` would eat the command).
+    CliArgs args =
+        parseCliArgs(argc, argv, {"a100", "batched", "explicit"});
     if (args.positional.empty()) {
         std::fprintf(stderr,
                      "usage: dstc_sim <gemm|conv|model|backends|"
