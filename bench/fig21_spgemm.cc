@@ -14,7 +14,7 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/engine.h"
+#include "session_util.h"
 
 using namespace dstc;
 
@@ -27,10 +27,11 @@ constexpr int64_t kN = 4096;
 int
 main()
 {
-    DstcEngine engine;
+    Session session;
     const double dense_us =
-        engine.denseGemmTime(kN, kN, kN).timeUs();
-    const double zhu_us = engine.zhuGemmTime(kN, kN, kN, 0.75).timeUs();
+        bench::denseGemmTime(session, kN, kN, kN).timeUs();
+    const double zhu_us =
+        bench::zhuGemmTime(session, kN, kN, kN, 0.75).timeUs();
 
     std::printf("== Fig. 21: SpGEMM on %lldx%lldx%lld ==\n\n",
                 static_cast<long long>(kN), static_cast<long long>(kN),
@@ -47,7 +48,7 @@ main()
         {"A sparsity (%)", "time (us)", "speedup vs CUTLASS"});
     for (double sa : {90.0, 95.0, 99.0, 99.9}) {
         const double t =
-            engine.cusparseTime(kN, kN, kN, 1.0 - sa / 100.0, 0.01)
+            bench::cusparseTime(session, kN, kN, kN, 1.0 - sa / 100.0, 0.01)
                 .timeUs();
         cusparse.addRow({fmtDouble(sa, 1), fmtDouble(t, 0),
                          fmtSpeedup(dense_us / t)});
@@ -66,7 +67,7 @@ main()
                 kN, kN, 32, 1.0 - sa / 100.0, 1.0, rng);
             SparsityProfile pb = SparsityProfile::randomA(
                 kN, kN, 32, 1.0 - sb / 100.0, 1.0, rng);
-            KernelStats stats = engine.spgemmTime(pa, pb);
+            KernelStats stats = bench::spgemmTime(session, pa, pb);
             ours.addRow({fmtDouble(sa, 1), fmtDouble(sb, 1),
                          fmtDouble(stats.timeUs(), 0),
                          fmtSpeedup(dense_us / stats.timeUs()),
@@ -93,7 +94,7 @@ main()
                 rng);
             SparsityProfile pb = SparsityProfile::randomA(
                 kN, kN, 32, 1.0 - sb / 100.0, 8.0, rng);
-            KernelStats stats = engine.spgemmTime(pa, pb);
+            KernelStats stats = bench::spgemmTime(session, pa, pb);
             clustered.addRow(
                 {fmtDouble(sa, 1), fmtDouble(sb, 1),
                  fmtDouble(stats.timeUs(), 0),

@@ -11,20 +11,20 @@
 
 #include "common/rng.h"
 #include "common/table.h"
-#include "core/engine.h"
 #include "model/sparsity_gen.h"
+#include "session_util.h"
 
 using namespace dstc;
 
 namespace {
 
 double
-spgemmComputeUs(const DstcEngine &engine, const Matrix<float> &a,
+spgemmComputeUs(Session &session, const Matrix<float> &a,
                 const Matrix<float> &b)
 {
     SpGemmOptions opts;
     opts.functional = false;
-    return engine.spgemm(a, b, opts).stats.compute_us;
+    return bench::spgemmStats(session, a, b, opts).compute_us;
 }
 
 } // namespace
@@ -32,7 +32,7 @@ spgemmComputeUs(const DstcEngine &engine, const Matrix<float> &a,
 int
 main()
 {
-    DstcEngine engine;
+    Session session;
     Rng rng(6);
     const int n = 1024;
 
@@ -42,7 +42,7 @@ main()
     // Dense baseline at the same shape (compute side).
     Matrix<float> dense_a = randomSparseMatrix(n, n, 0.0, rng);
     Matrix<float> dense_b = randomSparseMatrix(n, n, 0.0, rng);
-    const double dense_us = spgemmComputeUs(engine, dense_a, dense_b);
+    const double dense_us = spgemmComputeUs(session, dense_a, dense_b);
 
     TextTable table;
     table.setHeader({"B distribution (37.5% sparsity)",
@@ -50,14 +50,14 @@ main()
     Matrix<float> a = randomSparseMatrix(n, n, 0.0, rng);
 
     Matrix<float> b_uniform = uniformSparseMatrix(n, n, 0.375, rng);
-    const double uniform_us = spgemmComputeUs(engine, a, b_uniform);
+    const double uniform_us = spgemmComputeUs(session, a, b_uniform);
     table.addRow({"uniform", fmtDouble(uniform_us, 1),
                   fmtSpeedup(dense_us / uniform_us)});
 
     for (double cluster : {1.5, 2.0, 2.66}) {
         Matrix<float> b_clustered =
             clusteredSparseMatrix(n, n, 0.375, 32, cluster, rng);
-        const double t = spgemmComputeUs(engine, a, b_clustered);
+        const double t = spgemmComputeUs(session, a, b_clustered);
         char label[64];
         std::snprintf(label, sizeof(label), "clustered (x%.2f local)",
                       cluster);

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Micro-benchmark of the word-parallel operand-encode layer — the
+ * stage the paper argues must be cheap enough to run online on both
+ * GEMM sides. Three kinds of point:
+ *
+ *  - "twolevel": dense -> two-level encode of a GEMM operand pair
+ *    (A column-major + B row-major, exactly what a functional
+ *    dual-sparse request encodes), three ways: the element-wise
+ *    scalar reference (TwoLevelBitmapMatrix::encode), the
+ *    word-parallel single-thread encoder, and the pooled parallel
+ *    encoder (encode_workers = 0). Reports dense GB/s through the
+ *    word encoder.
+ *  - "request": end-to-end dense-GEMM request latency through a
+ *    Session — cold (word encode + compute) vs the old pipeline's
+ *    cost (scalar encode + the same cached-compute request).
+ *  - "lowering": the strided conv im2col gather, word-parallel
+ *    deinterleave vs the retained per-bit probe reference, at
+ *    stride 2 and 3.
+ *
+ * Results are written as JSON (default BENCH_encode.json; see the
+ * bench_json CMake target) so every PR leaves a perf trajectory and
+ * tools/check_bench.py can gate regressions in CI. `--quick` runs a
+ * seconds-scale subset. Any bitwise divergence between the scalar
+ * and word paths is fatal — the bench doubles as an equivalence
+ * check.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/session.h"
+#include "im2col/bitmap_im2col.h"
+#include "model/sparsity_gen.h"
+#include "sparse/word_encode.h"
+#include "tensor/tensor4d.h"
+
+using namespace dstc;
+using bench::timeMs;
+
+namespace {
+
+struct Point
+{
+    std::string kind; ///< "twolevel" | "request" | "lowering"
+    int m = 0, k = 0;
+    double sparsity = 0.0;
+    int stride = 0; ///< lowering points only
+    double scalar_ms = 0.0;
+    double word_ms = 0.0;
+    double parallel_ms = 0.0;
+    double gbps = 0.0; ///< dense bytes through the word path
+    bool bitwise_equal = false;
+};
+
+/** Bit-for-bit comparison of two one-level bitmaps. */
+bool
+identicalBitmap(const BitmapMatrix &a, const BitmapMatrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols() ||
+        a.major() != b.major() || a.nnz() != b.nnz())
+        return false;
+    for (int line = 0; line < a.numLines(); ++line) {
+        const auto wa = a.lineBits(line);
+        const auto wb = b.lineBits(line);
+        const auto va = a.lineValues(line);
+        const auto vb = b.lineValues(line);
+        const auto fa = a.lineValuesFp16(line);
+        const auto fb = b.lineValuesFp16(line);
+        if (wa.size() != wb.size() || va.size() != vb.size())
+            return false;
+        if (std::memcmp(wa.data(), wb.data(),
+                        wa.size() * sizeof(uint64_t)) != 0 ||
+            std::memcmp(va.data(), vb.data(),
+                        va.size() * sizeof(float)) != 0 ||
+            std::memcmp(fa.data(), fb.data(),
+                        fa.size() * sizeof(float)) != 0)
+            return false;
+    }
+    return true;
+}
+
+/** Bit-for-bit comparison of two two-level encodings. */
+bool
+identicalTwoLevel(const TwoLevelBitmapMatrix &a,
+                  const TwoLevelBitmapMatrix &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols() ||
+        a.numTileRows() != b.numTileRows() ||
+        a.numTileCols() != b.numTileCols() || a.nnz() != b.nnz() ||
+        a.nonEmptyTiles() != b.nonEmptyTiles())
+        return false;
+    for (int tr = 0; tr < a.numTileRows(); ++tr)
+        for (int tc = 0; tc < a.numTileCols(); ++tc)
+            if (a.tileNonEmpty(tr, tc) != b.tileNonEmpty(tr, tc) ||
+                !identicalBitmap(a.tile(tr, tc), b.tile(tr, tc)))
+                return false;
+    return true;
+}
+
+Point
+runTwoLevelPoint(int size, double sparsity, int reps)
+{
+    Point p;
+    p.kind = "twolevel";
+    p.m = p.k = size;
+    p.sparsity = sparsity;
+
+    Rng rng(0xe4c0de ^ (static_cast<uint64_t>(sparsity * 100) << 8) ^
+            static_cast<uint64_t>(size));
+    Matrix<float> a = randomSparseMatrix(size, size, sparsity, rng);
+    Matrix<float> b = randomSparseMatrix(size, size, sparsity, rng);
+    SpGemmOptions opts; // tile_m/k/n = 32
+
+    p.scalar_ms = timeMs(reps, [&] {
+        TwoLevelBitmapMatrix::encode(a, opts.tile_m, opts.tile_k,
+                                     Major::Col);
+        TwoLevelBitmapMatrix::encode(b, opts.tile_k, opts.tile_n,
+                                     Major::Row);
+    });
+    p.word_ms = timeMs(reps, [&] {
+        wordEncodeTwoLevel(a, opts.tile_m, opts.tile_k, Major::Col,
+                           1);
+        wordEncodeTwoLevel(b, opts.tile_k, opts.tile_n, Major::Row,
+                           1);
+    });
+    p.parallel_ms = timeMs(reps, [&] {
+        wordEncodeTwoLevel(a, opts.tile_m, opts.tile_k, Major::Col,
+                           0);
+        wordEncodeTwoLevel(b, opts.tile_k, opts.tile_n, Major::Row,
+                           0);
+    });
+    p.gbps = 2.0 * static_cast<double>(size) * size *
+             sizeof(float) / (p.word_ms * 1e6);
+    p.bitwise_equal =
+        identicalTwoLevel(
+            wordEncodeTwoLevel(a, opts.tile_m, opts.tile_k,
+                               Major::Col, 1),
+            TwoLevelBitmapMatrix::encode(a, opts.tile_m, opts.tile_k,
+                                         Major::Col)) &&
+        identicalTwoLevel(
+            wordEncodeTwoLevel(b, opts.tile_k, opts.tile_n,
+                               Major::Row, 0),
+            TwoLevelBitmapMatrix::encode(b, opts.tile_k, opts.tile_n,
+                                         Major::Row));
+    return p;
+}
+
+Point
+runRequestPoint(int size, double sparsity, int reps)
+{
+    Point p;
+    p.kind = "request";
+    p.m = p.k = size;
+    p.sparsity = sparsity;
+
+    Rng rng(0x9e90 ^ static_cast<uint64_t>(size));
+    Matrix<float> a = randomSparseMatrix(size, size, sparsity, rng);
+    Matrix<float> b = randomSparseMatrix(size, size, sparsity, rng);
+
+    Session session;
+    SessionOptions pooled_opts;
+    pooled_opts.encode_workers = 0; // shared pool
+    Session pooled(pooled_opts);
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = Method::DualSparse;
+
+    // Cold run = word encode + compute (the request latency a fresh
+    // operand pays); warm run = the cached-compute part alone.
+    std::shared_ptr<const Matrix<float>> d_cold;
+    p.word_ms = timeMs(reps, [&] {
+        session.encodingCache().clear();
+        d_cold = session.run(req).d;
+    });
+    p.parallel_ms = timeMs(reps, [&] {
+        pooled.encodingCache().clear();
+        pooled.run(req);
+    });
+    const double warm_ms =
+        timeMs(reps, [&] { session.run(req); });
+    SpGemmOptions opts;
+    const double scalar_encode_ms = timeMs(reps, [&] {
+        TwoLevelBitmapMatrix::encode(a, opts.tile_m, opts.tile_k,
+                                     Major::Col);
+        TwoLevelBitmapMatrix::encode(b, opts.tile_k, opts.tile_n,
+                                     Major::Row);
+    });
+    // What the same request cost before the word rebuild: the
+    // element-wise encode plus the identical dispatch + compute.
+    p.scalar_ms = scalar_encode_ms + warm_ms;
+
+    // The functional output must match a multiply over the scalar
+    // encodings exactly.
+    SpGemmDevice device(session.config());
+    TwoLevelBitmapMatrix a_enc = TwoLevelBitmapMatrix::encode(
+        a, opts.tile_m, opts.tile_k, Major::Col);
+    TwoLevelBitmapMatrix b_enc = TwoLevelBitmapMatrix::encode(
+        b, opts.tile_k, opts.tile_n, Major::Row);
+    Matrix<float> d_ref =
+        device.multiplyEncoded(a_enc, b_enc, opts).d;
+    p.bitwise_equal =
+        d_cold && d_cold->rows() == d_ref.rows() &&
+        std::memcmp(d_cold->data().data(), d_ref.data().data(),
+                    d_ref.data().size() * sizeof(float)) == 0;
+    return p;
+}
+
+Point
+runLoweringPoint(int hw, int stride, double sparsity, int reps)
+{
+    Point p;
+    p.kind = "lowering";
+    p.m = hw;
+    p.stride = stride;
+    p.sparsity = sparsity;
+
+    Rng rng(0x10e1 ^ (static_cast<uint64_t>(stride) << 12) ^
+            static_cast<uint64_t>(sparsity * 100));
+    ConvShape shape;
+    shape.batch = 1;
+    shape.in_c = 32;
+    shape.in_h = shape.in_w = hw;
+    shape.out_c = 32;
+    shape.kernel = 3;
+    shape.stride = stride;
+    shape.pad = 1;
+    Tensor4d input =
+        randomSparseTensor(1, 32, hw, hw, sparsity, rng);
+    BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
+
+    LoweredFeatureMap word, scalar;
+    p.scalar_ms = timeMs(reps, [&] {
+        scalar = im2colFromBitmap(fmap, shape, true, 1, false);
+    });
+    p.word_ms = timeMs(reps, [&] {
+        word = im2colFromBitmap(fmap, shape, true, 1, true);
+    });
+    p.parallel_ms = timeMs(reps, [&] {
+        im2colFromBitmap(fmap, shape, true, 0, true);
+    });
+    p.gbps = static_cast<double>(shape.loweredRows()) *
+             shape.loweredCols() * sizeof(float) /
+             (p.word_ms * 1e6);
+
+    p.bitwise_equal = word.cols == scalar.cols;
+    for (int j = 0; p.bitwise_equal && j < word.cols; ++j)
+        p.bitwise_equal =
+            word.columns[j].bits == scalar.columns[j].bits &&
+            word.columns[j].values == scalar.columns[j].values &&
+            word.columns[j].values_fp16 ==
+                scalar.columns[j].values_fp16;
+    return p;
+}
+
+void
+writeJson(const char *path, const std::vector<Point> &points,
+          int reps, bool quick)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"micro_encode\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"threads\": %d, \"reps\": %d, "
+                 "\"quick\": %s},\n",
+                 sharedThreadPool().numThreads(), reps,
+                 quick ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        std::fprintf(
+            f,
+            "    {\"kind\": \"%s\", \"m\": %d, \"k\": %d, "
+            "\"sparsity\": %.2f, \"stride\": %d,\n"
+            "     \"scalar_ms\": %.3f, \"word_ms\": %.3f, "
+            "\"parallel_ms\": %.3f, \"gbps\": %.2f,\n"
+            "     \"speedup_word_vs_scalar\": %.2f, "
+            "\"parallel_scaling\": %.2f, \"bitwise_equal\": %s}%s\n",
+            p.kind.c_str(), p.m, p.k, p.sparsity, p.stride,
+            p.scalar_ms, p.word_ms, p.parallel_ms, p.gbps,
+            p.scalar_ms / p.word_ms, p.word_ms / p.parallel_ms,
+            p.bitwise_equal ? "true" : "false",
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args;
+    args.out = "BENCH_encode.json";
+    if (!bench::parseBenchArgs(argc, argv, "micro_encode", &args))
+        return 2;
+    const bool quick = args.quick;
+    const int reps = args.reps;
+
+    bench::warmProcessState(GpuConfig::v100());
+
+    std::vector<Point> points;
+    std::printf("%9s %5s %5s %7s | %9s %9s %9s | %7s %7s\n", "kind",
+                "size", "sp", "stride", "scalar ms", "word ms",
+                "par ms", "speedup", "GB/s");
+    auto emit = [&](Point p) {
+        std::printf(
+            "%9s %5d %5.2f %7d | %9.3f %9.3f %9.3f | %6.2fx %7.2f%s\n",
+            p.kind.c_str(), p.m, p.sparsity, p.stride, p.scalar_ms,
+            p.word_ms, p.parallel_ms, p.scalar_ms / p.word_ms,
+            p.gbps, p.bitwise_equal ? "" : "  [MISMATCH]");
+        if (!p.bitwise_equal) {
+            std::fprintf(stderr,
+                         "FATAL: word-parallel encode diverges from "
+                         "the scalar reference\n");
+            std::exit(1);
+        }
+        points.push_back(std::move(p));
+    };
+
+    if (quick) {
+        // CI smoke: the headline operating points at a small size.
+        emit(runTwoLevelPoint(512, 0.9, reps));
+        emit(runRequestPoint(256, 0.9, reps));
+        emit(runLoweringPoint(28, 2, 0.9, reps));
+    } else {
+        // Sparsity axis of the operand-pair encode (the paper's
+        // online-encode premise lives or dies here).
+        for (double sp : {0.5, 0.7, 0.9, 0.95})
+            emit(runTwoLevelPoint(1024, sp, reps));
+        // End-to-end dense-request latency, cold encode included.
+        emit(runRequestPoint(256, 0.9, reps));
+        emit(runRequestPoint(512, 0.9, reps));
+        // Strided lowering: the deinterleave vs the per-bit probes.
+        for (int stride : {2, 3})
+            for (double sp : {0.5, 0.9})
+                emit(runLoweringPoint(28, stride, sp, reps));
+    }
+
+    writeJson(args.out, points, reps, quick);
+    std::printf("\nwrote %s\n", args.out);
+    return 0;
+}

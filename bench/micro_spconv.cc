@@ -244,10 +244,15 @@ main(int argc, char **argv)
              0.9, 0.9);
         emit("conv3x3-b4", makeShape(16, 14, 16, 1, 4),
              ConvMethod::DualSparseImplicit, 0.9, 0.9);
-        // Lowering modes: the strided bit-gather path and the
+        // Lowering modes: the strided word-parallel deinterleave
+        // (sparsity axis + a stride-3 phase-cycling point) and the
         // single-sparse (dense-activation) implicit pipeline.
         emit("conv3x3-s2", strided, ConvMethod::DualSparseImplicit,
              0.9, 0.9);
+        emit("conv3x3-s2", strided, ConvMethod::DualSparseImplicit,
+             0.8, 0.8);
+        emit("conv3x3-s3", makeShape(32, 28, 32, 3),
+             ConvMethod::DualSparseImplicit, 0.9, 0.9);
         emit("conv3x3-28", mid, ConvMethod::SingleSparseImplicit,
              0.9, 0.5);
     }

@@ -68,6 +68,17 @@ ampereGemmTime(Session &session, int64_t m, int64_t n, int64_t k,
     return session.run(req).stats;
 }
 
+/** cuSPARSE-like CSR SpGEMM expected time at given densities. */
+inline KernelStats
+cusparseTime(Session &session, int64_t m, int64_t n, int64_t k,
+             double density_a, double density_b)
+{
+    KernelRequest req = KernelRequest::gemm(
+        m, n, k, 1.0 - density_a, 1.0 - density_b);
+    req.method = Method::CusparseLike;
+    return session.run(req).stats;
+}
+
 } // namespace bench
 } // namespace dstc
 

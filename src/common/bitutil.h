@@ -11,6 +11,10 @@
 #include <cstdint>
 #include <vector>
 
+#if defined(__BMI2__)
+#include <immintrin.h>
+#endif
+
 namespace dstc {
 
 /** Number of set bits in a 64-bit word (the hardware POPC primitive). */
@@ -41,6 +45,148 @@ inline uint64_t
 lowMask64(int n)
 {
     return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/**
+ * Parallel bit extract with a fixed mask (the BMI2 PEXT primitive):
+ * apply() compacts the bits of a word at the mask's set positions
+ * LSB-first. This is the word-parallel deinterleave behind the
+ * strided im2col gather — every stride-s window bit of a 64-bit
+ * source word drops into place in one operation. Hardware PEXT when
+ * available; the portable path precomputes the parallel-suffix move
+ * masks (Hacker's Delight 7-4) at construction, so a compressor
+ * built once per (phase, stride) costs six shift-or rounds per
+ * word, independent of the mask's population.
+ */
+class Pext64
+{
+  public:
+    Pext64() = default;
+
+    explicit Pext64(uint64_t mask) : mask_(mask)
+    {
+#if !defined(__BMI2__)
+        uint64_t m = mask;
+        uint64_t mk = ~m << 1; // bits to the left of each 0 in m
+        for (int i = 0; i < 6; ++i) {
+            uint64_t mp = mk ^ (mk << 1); // parallel suffix of mk
+            mp ^= mp << 2;
+            mp ^= mp << 4;
+            mp ^= mp << 8;
+            mp ^= mp << 16;
+            mp ^= mp << 32;
+            const uint64_t mv = mp & m; // bits to move this round
+            mv_[i] = mv;
+            m = (m ^ mv) | (mv >> (1 << i));
+            mk &= ~mp;
+        }
+#endif
+    }
+
+    uint64_t
+    apply(uint64_t value) const
+    {
+#if defined(__BMI2__)
+        return _pext_u64(value, mask_);
+#else
+        uint64_t x = value & mask_;
+        for (int i = 0; i < 6; ++i) {
+            const uint64_t t = x & mv_[i];
+            x = (x ^ t) | (t >> (1 << i));
+        }
+        return x;
+#endif
+    }
+
+    uint64_t mask() const { return mask_; }
+
+  private:
+    uint64_t mask_ = 0;
+#if !defined(__BMI2__)
+    uint64_t mv_[6] = {};
+#endif
+};
+
+/** One-shot parallel bit extract; prefer a reused Pext64 when the
+ *  mask is applied to many words. */
+inline uint64_t
+pext64(uint64_t value, uint64_t mask)
+{
+    return Pext64(mask).apply(value);
+}
+
+/**
+ * Bitmap word of 64 contiguous floats: bit b set iff p[b] != 0
+ * (±0 and only ±0 have an all-zero significand+exponent, so the
+ * test runs on the integer view). Byte-packed in eight groups of
+ * eight so the compiler vectorizes the compares — this is the inner
+ * primitive of every word-parallel encoder.
+ */
+inline uint64_t
+packNonzeroBits64(const float *p)
+{
+    uint32_t iv[64];
+    static_assert(sizeof(iv) == 64 * sizeof(float));
+    __builtin_memcpy(iv, p, sizeof(iv));
+    uint64_t word = 0;
+    for (int g = 0; g < 8; ++g) {
+        uint64_t byte = 0;
+        for (int b = 0; b < 8; ++b)
+            byte |= static_cast<uint64_t>(
+                        (iv[g * 8 + b] & 0x7fffffffu) != 0)
+                    << b;
+        word |= byte << (g * 8);
+    }
+    return word;
+}
+
+/** packNonzeroBits64 for a partial word of @p span < 64 floats. */
+inline uint64_t
+packNonzeroBits(const float *p, int span)
+{
+    if (span == 64)
+        return packNonzeroBits64(p);
+    uint64_t word = 0;
+    for (int b = 0; b < span; ++b)
+        word |= static_cast<uint64_t>(p[b] != 0.0f) << b;
+    return word;
+}
+
+/**
+ * Mask with bits set at positions phase, phase + stride,
+ * phase + 2*stride, ... below 64 — the per-word selection pattern of
+ * a stride-s gather (phase in [0, 64), stride >= 1).
+ */
+inline uint64_t
+strideMask64(int phase, int stride)
+{
+    if (stride == 1)
+        return ~uint64_t{0} << phase;
+    uint64_t mask = 0;
+    for (int b = phase; b < 64; b += stride)
+        mask |= uint64_t{1} << b;
+    return mask;
+}
+
+/**
+ * In-place transpose of a 64x64 bit matrix held as 64 words, LSB
+ * first: bit c of word r moves to bit r of word c. The block step of
+ * the word-parallel column-major bitmap encode (a row-major scan
+ * yields row words; the transpose turns them into column words
+ * without per-bit probes). Hacker's Delight 7-3, mask-and-swap in
+ * log2(64) rounds.
+ */
+inline void
+transpose64x64(uint64_t a[64])
+{
+    uint64_t m = 0x00000000ffffffffull;
+    for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+        for (int k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+            const uint64_t t = (a[k] ^ (a[k | j] << j)) & (m << j);
+            a[k] ^= t;
+            a[k | j] ^= t >> j;
+        }
+    }
 }
 
 /** Read bit @p pos from a packed bit vector. */

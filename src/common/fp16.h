@@ -10,15 +10,96 @@
 #ifndef DSTC_COMMON_FP16_H
 #define DSTC_COMMON_FP16_H
 
+#include <bit>
 #include <cstdint>
 
 namespace dstc {
 
-/** Convert a float to its binary16 bit pattern (round-to-nearest-even). */
-uint16_t floatToHalfBits(float value);
+/**
+ * Convert a float to its binary16 bit pattern
+ * (round-to-nearest-even). Inline: the word-parallel encoders round
+ * every non-zero at encode time, so this sits on the encode hot
+ * path.
+ */
+inline uint16_t
+floatToHalfBits(float value)
+{
+    uint32_t f = std::bit_cast<uint32_t>(value);
+    uint32_t sign = (f >> 16) & 0x8000u;
+    int32_t exp = static_cast<int32_t>((f >> 23) & 0xff) - 127 + 15;
+    uint32_t mant = f & 0x007fffffu;
+
+    if (((f >> 23) & 0xff) == 0xff) {
+        // Inf or NaN. Preserve a NaN payload bit so NaN stays NaN.
+        return static_cast<uint16_t>(sign | 0x7c00u |
+                                     (mant ? 0x200u : 0));
+    }
+
+    if (exp >= 0x1f) {
+        // Overflow to infinity.
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+
+    if (exp <= 0) {
+        // Subnormal half (or zero). The implicit leading 1 becomes
+        // explicit, then the mantissa is shifted right with rounding.
+        if (exp < -10)
+            return static_cast<uint16_t>(sign);
+        mant |= 0x00800000u;
+        int shift = 14 - exp; // total right shift from 23-bit mantissa
+        uint32_t half_mant = mant >> shift;
+        uint32_t remainder = mant & ((1u << shift) - 1);
+        uint32_t halfway = 1u << (shift - 1);
+        // Branchless round-up (may carry into the exponent; correct).
+        half_mant += (remainder > halfway) |
+                     ((remainder == halfway) & (half_mant & 1u));
+        return static_cast<uint16_t>(sign | half_mant);
+    }
+
+    // Normal half with round-to-nearest-even on the dropped 13 bits.
+    // The round-up increment is branchless: the tie/round decision
+    // flips per value, and a data-dependent branch here mispredicts
+    // half the time on the encode hot path.
+    uint32_t half_mant = mant >> 13;
+    uint32_t remainder = mant & 0x1fffu;
+    uint16_t result = static_cast<uint16_t>(
+        sign | (static_cast<uint32_t>(exp) << 10) | half_mant);
+    result += (remainder > 0x1000u) |
+              ((remainder == 0x1000u) & (result & 1u));
+    // carry propagates into the exponent correctly
+    return result;
+}
 
 /** Convert a binary16 bit pattern to float (exact). */
-float halfBitsToFloat(uint16_t bits);
+inline float
+halfBitsToFloat(uint16_t bits)
+{
+    uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+    uint32_t exp = (bits >> 10) & 0x1f;
+    uint32_t mant = bits & 0x3ffu;
+
+    uint32_t f;
+    if (exp == 0) {
+        if (mant == 0) {
+            f = sign; // signed zero
+        } else {
+            // Subnormal: normalize by shifting the mantissa up.
+            int e = -1;
+            do {
+                ++e;
+                mant <<= 1;
+            } while ((mant & 0x400u) == 0);
+            mant &= 0x3ffu;
+            f = sign | (static_cast<uint32_t>(127 - 15 - e) << 23) |
+                (mant << 13);
+        }
+    } else if (exp == 0x1f) {
+        f = sign | 0x7f800000u | (mant << 13); // Inf / NaN
+    } else {
+        f = sign | ((exp - 15 + 127) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(f);
+}
 
 /**
  * A 16-bit floating point value with float conversion operators.

@@ -7,6 +7,7 @@
 #include "gemm/dense_gemm.h"
 #include "gemm/spgemm_device.h"
 #include "im2col/dense_im2col.h"
+#include "sparse/word_encode.h"
 #include "tensor/reference.h"
 #include "timing/memory_model.h"
 
@@ -137,8 +138,9 @@ ConvExecutor::run(const Tensor4d &input, const Matrix<float> &weights,
 
     TwoLevelBitmapMatrix a_enc = lfm.toTwoLevel(
         gemm_opts.tile_m, gemm_opts.tile_k, options.num_workers);
-    TwoLevelBitmapMatrix b_enc = TwoLevelBitmapMatrix::encode(
-        wt, gemm_opts.tile_k, gemm_opts.tile_n, Major::Row);
+    TwoLevelBitmapMatrix b_enc =
+        wordEncodeTwoLevel(wt, gemm_opts.tile_k, gemm_opts.tile_n,
+                           Major::Row, options.num_workers);
     SpGemmDevice spgemm(cfg_);
     Matrix<float> d =
         spgemm.multiplyEncoded(a_enc, b_enc, gemm_opts).d;
@@ -151,7 +153,8 @@ ConvExecutor::run(const Tensor4d &input, const Matrix<float> &weights,
             ? SparsityProfile::fromLowered(lfm, 32)
             : SparsityProfile::denseA(shape.loweredRows(),
                                       shape.loweredCols(), 32);
-    SparsityProfile b_profile = SparsityProfile::fromMatrixB(wt, 32);
+    SparsityProfile b_profile =
+        SparsityProfile::fromMatrixBWord(wt, 32);
     const double weight_bytes =
         static_cast<double>(b_profile.encodedBytes(32));
 
@@ -180,7 +183,11 @@ ConvExecutor::runScalar(const Tensor4d &input,
     double input_bytes = 0.0;
     if (isImplicitSparse(method)) {
         BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
-        LoweredFeatureMap lfm = im2colFromBitmap(fmap, shape);
+        // The reference lowering keeps the per-bit strided gather
+        // (word_strided = false): run()'s word-parallel deinterleave
+        // is pinned against this path bit for bit.
+        LoweredFeatureMap lfm =
+            im2colFromBitmap(fmap, shape, true, 1, false);
         lowered = lfm.decode();
         input_bytes = static_cast<double>(fmap.encodedBytes());
     } else {

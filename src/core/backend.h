@@ -31,6 +31,12 @@ struct PlanContext
 {
     const GpuConfig *cfg = nullptr;
     EncodingCache *cache = nullptr;
+
+    /** Worker partitioning of the word-parallel operand encoders
+     *  (SessionOptions::encode_workers; the usual num_workers
+     *  contract: 0 = shared pool, 1 = serial). Encodings are bitwise
+     *  identical for every setting. */
+    int encode_workers = 1;
 };
 
 /**

@@ -22,6 +22,7 @@
 #include "core/method_map.h"
 #include "gemm/dense_gemm.h"
 #include "gemm/spgemm_device.h"
+#include "sparse/word_encode.h"
 
 namespace dstc {
 
@@ -173,9 +174,12 @@ resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
             ctx.cache->getOrBuild<GemmProfilePair>(
                 key.value(),
                 [a, b, tile_m, tile_n] {
+                    // Word-parallel extraction (bitwise identical to
+                    // the element-wise fromMatrixA/B references).
                     return GemmProfilePair{
-                        SparsityProfile::fromMatrixA(*a, tile_m),
-                        SparsityProfile::fromMatrixB(*b, tile_n)};
+                        SparsityProfile::fromMatrixAWord(*a, tile_m),
+                        SparsityProfile::fromMatrixBWord(*b,
+                                                         tile_n)};
                 },
                 hit));
     }
@@ -208,21 +212,25 @@ resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
             hit));
 }
 
-/** Non-zero fraction of a profile (over its tile-padded extent). */
+/** Non-zero fraction of a profile over its true extent — the same
+ *  geometry KernelRequest::gemm(profile, profile) reports as m/n, so
+ *  density * m * k recovers the exact nnz for ragged shapes too. */
 double
 profileDensity(const SparsityProfile &p)
 {
-    const double elems = static_cast<double>(p.groups()) * p.tile() *
+    const double elems = static_cast<double>(p.extent()) *
                          static_cast<double>(p.k());
     return elems > 0 ? p.totalNnz() / elems : 0.0;
 }
 
-/** Effective B-side (weight) sparsity of a GEMM request. */
+/** Effective B-side (weight) sparsity of a GEMM request. Concrete
+ *  operands are probed by the branchless word count (zhu / ampere
+ *  plans call this in both estimate and run). */
 double
 weightSparsity(const KernelRequest &req)
 {
     if (req.b)
-        return req.b->sparsity();
+        return wordSparsity(*req.b);
     if (req.b_profile)
         return 1.0 - profileDensity(*req.b_profile);
     return req.b_sparsity;
@@ -232,10 +240,10 @@ weightSparsity(const KernelRequest &req)
 void
 operandDensities(const KernelRequest &req, double *da, double *db)
 {
-    *da = req.a          ? 1.0 - req.a->sparsity()
+    *da = req.a          ? 1.0 - wordSparsity(*req.a)
           : req.a_profile ? profileDensity(*req.a_profile)
                           : 1.0 - req.a_sparsity;
-    *db = req.b          ? 1.0 - req.b->sparsity()
+    *db = req.b          ? 1.0 - wordSparsity(*req.b)
           : req.b_profile ? profileDensity(*req.b_profile)
                           : 1.0 - req.b_sparsity;
 }
@@ -250,7 +258,8 @@ class DualGemmPlan : public ExecutionPlan
     DualGemmPlan(const char *name, const KernelRequest &req,
                  const PlanContext &ctx)
         : ExecutionPlan(name, Method::DualSparse, req.tag), req_(req),
-          cfg_(*ctx.cfg), cache_(ctx.cache)
+          cfg_(*ctx.cfg), cache_(ctx.cache),
+          encode_workers_(ctx.encode_workers)
     {
     }
 
@@ -324,7 +333,14 @@ class DualGemmPlan : public ExecutionPlan
         return profiles_;
     }
 
-    /** Cache-backed two-level encodings of concrete operands. */
+    /**
+     * Cache-backed two-level encodings of concrete operands, built
+     * by the word-parallel encoder (64 elements per bitmap word,
+     * tiles split by word extraction, optionally partitioned over
+     * encode_workers). Bitwise identical to the element-wise
+     * TwoLevelBitmapMatrix::encode for every worker count, so the
+     * cache key carries only the operand digest and tiling.
+     */
     void
     resolveTwoLevel()
     {
@@ -332,14 +348,15 @@ class DualGemmPlan : public ExecutionPlan
             return;
         bool hit_a = false, hit_b = false;
         const SpGemmOptions &o = req_.gemm_options;
+        const int workers = encode_workers_;
         CacheKey ka("two-level-a");
         ka.u64(digests_.a(*req_.a)).i32(o.tile_m).i32(o.tile_k);
         const Matrix<float> *a = req_.a;
         a_enc_ = cache_->getOrBuild<TwoLevelBitmapMatrix>(
             ka.value(),
-            [a, &o] {
-                return TwoLevelBitmapMatrix::encode(
-                    *a, o.tile_m, o.tile_k, Major::Col);
+            [a, &o, workers] {
+                return wordEncodeTwoLevel(*a, o.tile_m, o.tile_k,
+                                          Major::Col, workers);
             },
             &hit_a);
         CacheKey kb("two-level-b");
@@ -347,9 +364,9 @@ class DualGemmPlan : public ExecutionPlan
         const Matrix<float> *b = req_.b;
         b_enc_ = cache_->getOrBuild<TwoLevelBitmapMatrix>(
             kb.value(),
-            [b, &o] {
-                return TwoLevelBitmapMatrix::encode(
-                    *b, o.tile_k, o.tile_n, Major::Row);
+            [b, &o, workers] {
+                return wordEncodeTwoLevel(*b, o.tile_k, o.tile_n,
+                                          Major::Row, workers);
             },
             &hit_b);
         cache_hit_ = cache_hit_ || hit_a || hit_b;
@@ -358,6 +375,7 @@ class DualGemmPlan : public ExecutionPlan
     KernelRequest req_;
     GpuConfig cfg_;
     EncodingCache *cache_;
+    int encode_workers_ = 1;
     OperandDigests digests_;
     bool profiles_resolved_ = false;
     GemmProfilesView profiles_;

@@ -167,14 +167,17 @@ struct KernelRequest
         return r;
     }
 
-    /** Timing-only GEMM from pre-extracted popcount profiles. */
+    /** Timing-only GEMM from pre-extracted popcount profiles. The
+     *  profiles record their true extents, so m/n are the real GEMM
+     *  shape, not the tile-padded ceil/32*32 — Auto's dense and
+     *  cusparse estimates see the same geometry the caller has. */
     static KernelRequest
     gemm(const SparsityProfile &a, const SparsityProfile &b)
     {
         KernelRequest r;
         r.kind = Kind::Gemm;
-        r.m = static_cast<int64_t>(a.groups()) * a.tile();
-        r.n = static_cast<int64_t>(b.groups()) * b.tile();
+        r.m = a.extent();
+        r.n = b.extent();
         r.k = a.k();
         r.a_profile = &a;
         r.b_profile = &b;

@@ -28,6 +28,7 @@ Session::plan(const KernelRequest &request)
     PlanContext ctx;
     ctx.cfg = &options_.config;
     ctx.cache = &cache_;
+    ctx.encode_workers = options_.encode_workers;
     return registry_.plan(request, ctx);
 }
 

@@ -46,6 +46,17 @@ struct SessionOptions
     /** Worker threads for submitBatch; 0 = hardware concurrency. */
     int num_threads = 0;
 
+    /**
+     * Worker partitioning of the word-parallel operand encoders (the
+     * dense -> two-level tile split of functional GEMM requests):
+     * 0 = the process-shared pool, 1 = serial in the requesting
+     * thread, N caps the parallelism at N. Encodings are bitwise
+     * identical for every setting. Default serial: requests batched
+     * through submitBatch already saturate the pool, and a lone
+     * caller opts in explicitly.
+     */
+    int encode_workers = 1;
+
     /** Encoded-operand cache capacity (entries, LRU eviction). */
     size_t cache_capacity = EncodingCache::kDefaultCapacity;
 

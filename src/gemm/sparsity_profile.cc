@@ -5,14 +5,22 @@
 
 #include "common/bitutil.h"
 #include "common/logging.h"
+#include "sparse/word_encode.h"
 
 namespace dstc {
 
-SparsityProfile::SparsityProfile(int groups, int64_t k, int tile)
+SparsityProfile::SparsityProfile(int groups, int64_t k, int tile,
+                                 int64_t extent)
     : groups_(groups), k_(k), tile_(tile),
+      extent_(extent > 0 ? extent
+                         : static_cast<int64_t>(groups) * tile),
       counts_(static_cast<size_t>(groups) * k, 0)
 {
     DSTC_ASSERT(groups > 0 && k > 0 && tile > 0);
+    DSTC_ASSERT(extent_ <= static_cast<int64_t>(groups) * tile &&
+                extent_ > static_cast<int64_t>(groups - 1) * tile,
+                "extent ", extent_, " inconsistent with ", groups,
+                " groups of ", tile);
 }
 
 int64_t
@@ -57,7 +65,7 @@ SparsityProfile
 SparsityProfile::fromMatrixA(const Matrix<float> &a, int tile)
 {
     const int groups = ceilDiv(a.rows(), tile);
-    SparsityProfile profile(groups, a.cols(), tile);
+    SparsityProfile profile(groups, a.cols(), tile, a.rows());
     for (int g = 0; g < groups; ++g) {
         const int r0 = g * tile;
         const int r1 = std::min(a.rows(), r0 + tile);
@@ -75,7 +83,7 @@ SparsityProfile
 SparsityProfile::fromMatrixB(const Matrix<float> &b, int tile)
 {
     const int groups = ceilDiv(b.cols(), tile);
-    SparsityProfile profile(groups, b.rows(), tile);
+    SparsityProfile profile(groups, b.rows(), tile, b.cols());
     for (int g = 0; g < groups; ++g) {
         const int c0 = g * tile;
         const int c1 = std::min(b.cols(), c0 + tile);
@@ -90,10 +98,54 @@ SparsityProfile::fromMatrixB(const Matrix<float> &b, int tile)
 }
 
 SparsityProfile
+SparsityProfile::fromMatrixAWord(const Matrix<float> &a, int tile)
+{
+    // Lines are columns: column words come out of the block
+    // transpose, then each (group, k) count is one masked POPC.
+    const int groups = ceilDiv(a.rows(), tile);
+    SparsityProfile profile(groups, a.cols(), tile, a.rows());
+    int wpl = 0;
+    const std::vector<uint64_t> bits =
+        wordEncodeBits(a, Major::Col, &wpl);
+    for (int kk = 0; kk < a.cols(); ++kk) {
+        const size_t base = static_cast<size_t>(kk) * wpl * 64;
+        for (int g = 0; g < groups; ++g) {
+            const int r0 = g * tile;
+            const int r1 = std::min(a.rows(), r0 + tile);
+            profile.setCount(
+                g, kk, popcountRange(bits, base + r0, base + r1));
+        }
+    }
+    return profile;
+}
+
+SparsityProfile
+SparsityProfile::fromMatrixBWord(const Matrix<float> &b, int tile)
+{
+    // Lines are rows: row words are one branchless pass over the
+    // row-major storage, counts one masked POPC per (group, k).
+    const int groups = ceilDiv(b.cols(), tile);
+    SparsityProfile profile(groups, b.rows(), tile, b.cols());
+    int wpl = 0;
+    const std::vector<uint64_t> bits =
+        wordEncodeBits(b, Major::Row, &wpl);
+    for (int kk = 0; kk < b.rows(); ++kk) {
+        const size_t base = static_cast<size_t>(kk) * wpl * 64;
+        for (int g = 0; g < groups; ++g) {
+            const int c0 = g * tile;
+            const int c1 = std::min(b.cols(), c0 + tile);
+            profile.setCount(
+                g, kk, popcountRange(bits, base + c0, base + c1));
+        }
+    }
+    return profile;
+}
+
+SparsityProfile
 SparsityProfile::fromLowered(const LoweredFeatureMap &lfm, int tile)
 {
     const int groups = ceilDiv(lfm.rows, tile);
-    SparsityProfile profile(groups, lfm.cols, tile);
+    SparsityProfile profile(groups, lfm.cols, tile, lfm.rows);
     for (int j = 0; j < lfm.cols; ++j) {
         const auto &bits = lfm.columns[j].bits;
         for (int g = 0; g < groups; ++g) {
@@ -111,7 +163,7 @@ SparsityProfile::denseA(int64_t rows, int64_t k, int tile)
 {
     const int groups =
         static_cast<int>(ceilDiv(rows, static_cast<int64_t>(tile)));
-    SparsityProfile profile(groups, k, tile);
+    SparsityProfile profile(groups, k, tile, rows);
     for (int g = 0; g < groups; ++g) {
         const int span = static_cast<int>(
             std::min<int64_t>(tile, rows - static_cast<int64_t>(g) * tile));
@@ -129,7 +181,7 @@ SparsityProfile::randomA(int64_t rows, int64_t k, int tile,
     DSTC_ASSERT(cluster >= 1.0);
     const int groups =
         static_cast<int>(ceilDiv(rows, static_cast<int64_t>(tile)));
-    SparsityProfile profile(groups, k, tile);
+    SparsityProfile profile(groups, k, tile, rows);
 
     // Clustered pattern: a region (one warp tile: tile rows x tile
     // k-steps) is active with probability density/local; active

@@ -30,8 +30,12 @@ class SparsityProfile
      *                  the A side, ceil(N/tile) for B)
      * @param k         shared K dimension (elements)
      * @param tile      elements per line (warp-tile edge, 32)
+     * @param extent    true extent of the grouped dimension (rows
+     *                  for an A-side profile, cols for B). 0 means
+     *                  "tile-aligned": groups * tile.
      */
-    SparsityProfile(int groups, int64_t k, int tile);
+    SparsityProfile(int groups, int64_t k, int tile,
+                    int64_t extent = 0);
 
     /** Popcount of line (group g, k-step kk). */
     int
@@ -51,6 +55,15 @@ class SparsityProfile
     int64_t k() const { return k_; }
     int tile() const { return tile_; }
 
+    /**
+     * True extent of the grouped dimension (M for an A-side profile,
+     * N for B) as recorded at construction — not the tile-padded
+     * groups() * tile(). Lets KernelRequest::gemm(profile, profile)
+     * carry the real GEMM shape to the dense/cusparse estimates
+     * instead of a ceil/32*32 inflation.
+     */
+    int64_t extent() const { return extent_; }
+
     /** Non-zeros in the (g, tk) two-level tile (tile_k k-steps). */
     int64_t tileNnz(int g, int tk, int tile_k) const;
 
@@ -65,11 +78,26 @@ class SparsityProfile
 
     // -- constructors from real operands ------------------------------
 
-    /** Profile of the A operand (lines are 32-row column slices). */
+    /** Profile of the A operand (lines are 32-row column slices).
+     *  Element-wise; retained as the word path's test reference. */
     static SparsityProfile fromMatrixA(const Matrix<float> &a, int tile);
 
-    /** Profile of the B operand (lines are 32-col row slices). */
+    /** Profile of the B operand (lines are 32-col row slices).
+     *  Element-wise; retained as the word path's test reference. */
     static SparsityProfile fromMatrixB(const Matrix<float> &b, int tile);
+
+    /**
+     * Word-parallel fromMatrixA: bitmap words built 64 elements at a
+     * time (column words via 64x64 block transpose), counts read off
+     * by POPC. Identical output; this is what the plan paths use.
+     */
+    static SparsityProfile fromMatrixAWord(const Matrix<float> &a,
+                                           int tile);
+
+    /** Word-parallel fromMatrixB (row words + POPC). Identical
+     *  output to fromMatrixB. */
+    static SparsityProfile fromMatrixBWord(const Matrix<float> &b,
+                                           int tile);
 
     /** Profile of a lowered feature map as the A operand. */
     static SparsityProfile fromLowered(const LoweredFeatureMap &lfm,
@@ -95,6 +123,7 @@ class SparsityProfile
     int groups_;
     int64_t k_;
     int tile_;
+    int64_t extent_;
     std::vector<uint16_t> counts_;
 };
 

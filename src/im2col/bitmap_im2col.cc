@@ -306,11 +306,114 @@ extractRowBitsInto(std::span<const uint64_t> row, int row_len,
     return hits;
 }
 
+/**
+ * One source word of a strided window gather: which row word to
+ * read, the stride mask selecting the window positions it holds
+ * (clipped at the window ends), and the compressor that compacts
+ * those bits LSB-first. The same geometry repeats for every
+ * feature-map row of a lowered column, so the plan — including the
+ * parallel-suffix masks a portable PEXT needs — is built once per
+ * column and reused batch * out_h times.
+ */
+struct StridedWordStep
+{
+    int w = 0;      ///< source word index (may be out of range)
+    Pext64 extract; ///< clipped stride mask + compressor
+    int n_out = 0;  ///< window bits this word contributes
+};
+
+/** Lay out the per-word steps of a stride-s gather of window
+ *  positions iw = start + ow*stride, ow in [0, out_w). */
+std::vector<StridedWordStep>
+planStridedGather(int start, int stride, int out_w)
+{
+    auto floor64 = [](int x) {
+        return x >= 0 ? x >> 6 : -((-x + 63) >> 6);
+    };
+    const int last = start + (out_w - 1) * stride;
+    const int res = ((start % stride) + stride) % stride;
+    std::vector<StridedWordStep> plan;
+    plan.reserve(static_cast<size_t>(floor64(last) -
+                                     floor64(start) + 1));
+    for (int w = floor64(start); w <= floor64(last); ++w) {
+        const int64_t wbase = static_cast<int64_t>(w) << 6;
+        // First in-word position congruent to the window residue.
+        const int phase = static_cast<int>(
+            ((res - wbase) % stride + stride) % stride);
+        uint64_t mask = strideMask64(phase, stride);
+        if (wbase < start)
+            mask &= ~lowMask64(static_cast<int>(start - wbase));
+        if (wbase + 63 > last)
+            mask &= lowMask64(static_cast<int>(last - wbase) + 1);
+        plan.push_back(
+            {w, Pext64(mask), popcount64(mask)});
+    }
+    return plan;
+}
+
+/**
+ * Word-parallel stride-s gather of one feature-map row: each plan
+ * step selects the window bits its source word holds via the stride
+ * mask and compacts them into consecutive output bits with PEXT —
+ * the deinterleave the per-bit probe loop used to do one position
+ * at a time. Values ride along by rank: a running popcount of the
+ * full row words gives each hit's index into the line's condensed
+ * arrays with one POPC per hit, instead of a prefix scan from
+ * position zero. Out-of-range source words read as zero, which
+ * realizes the padding for free. Bit-for-bit identical to the
+ * per-bit gather.
+ */
+void
+gatherStridedRowWord(const BitmapMatrix &plane, int ih, int row_len,
+                     const std::vector<StridedWordStep> &plan,
+                     bool gather_values, BitWriter &writer,
+                     LoweredColumn &out, int64_t &ops)
+{
+    const auto row = plane.lineBits(ih);
+    auto word_at = [&](int w) -> uint64_t {
+        return w >= 0 && w < static_cast<int>(row.size()) ? row[w]
+                                                          : 0;
+    };
+    const auto vals = plane.lineValues(ih);
+    const auto vals16 = plane.lineValuesFp16(ih);
+    // Rank of the row prefix [0, 64w) for the current word w:
+    // initialized once at the first word holding a hit, advanced by
+    // one full-word POPC per word after that (bits past row_len are
+    // zero by construction, so whole words are safe to count).
+    int prefix = -1;
+    for (const StridedWordStep &step : plan) {
+        const uint64_t word = word_at(step.w);
+        const uint64_t hits = word & step.extract.mask();
+        writer.append(step.extract.apply(hits), step.n_out);
+        ops += 3; // AND, PEXT, append
+        if (gather_values && step.w >= 0) {
+            if (hits != 0) {
+                if (prefix < 0)
+                    prefix = plane.linePopcount(
+                        ih, 0,
+                        std::min(row_len, step.w * 64));
+                uint64_t h = hits;
+                while (h) {
+                    const int b = std::countr_zero(h);
+                    h &= h - 1;
+                    const int idx =
+                        prefix + popcount64(word & lowMask64(b));
+                    out.values.push_back(vals[idx]);
+                    out.values_fp16.push_back(vals16[idx]);
+                    ops += 2; // rank POPC + condensed load
+                }
+            }
+            if (prefix >= 0)
+                prefix += popcount64(word);
+        }
+    }
+}
+
 /** Lower one (c, kh, kw) column of the feature map. */
 void
 lowerColumn(const BitmapFeatureMap &fmap, const ConvShape &shape,
-            bool gather_values, int c, int kh, int kw,
-            LoweredColumn &out, int64_t &ops)
+            bool gather_values, bool word_strided, int c, int kh,
+            int kw, LoweredColumn &out, int64_t &ops)
 {
     const int out_h = shape.outH();
     const int out_w = shape.outW();
@@ -325,6 +428,12 @@ lowerColumn(const BitmapFeatureMap &fmap, const ConvShape &shape,
         out.values.reserve(expect);
         out.values_fp16.reserve(expect);
     }
+    // The strided gather geometry is identical for every feature-map
+    // row of this column: plan it (masks + PEXT compressors) once.
+    std::vector<StridedWordStep> strided_plan;
+    if (shape.stride > 1 && word_strided)
+        strided_plan = planStridedGather(kw - shape.pad, shape.stride,
+                                         out_w);
     for (int n = 0; n < shape.batch; ++n) {
         const BitmapMatrix &plane = fmap.plane(n, c);
         for (int oh = 0; oh < out_h; ++oh) {
@@ -364,9 +473,14 @@ lowerColumn(const BitmapFeatureMap &fmap, const ConvShape &shape,
                             vals16.begin() + offset + cnt);
                     }
                 }
+            } else if (word_strided) {
+                gatherStridedRowWord(plane, ih, shape.in_w,
+                                     strided_plan, gather_values,
+                                     writer, out, ops);
             } else {
-                // Strided windows gather bit-by-bit but still via
-                // bitmap tests + one popcount per hit.
+                // The retained per-bit gather: bitmap tests + one
+                // prefix popcount per hit. This is the scalar
+                // reference runScalar pins against.
                 uint64_t chunk = 0;
                 int filled = 0;
                 for (int ow = 0; ow < out_w; ++ow) {
@@ -403,7 +517,8 @@ lowerColumn(const BitmapFeatureMap &fmap, const ConvShape &shape,
 
 LoweredFeatureMap
 im2colFromBitmap(const BitmapFeatureMap &fmap, const ConvShape &shape,
-                 bool gather_values, int num_workers)
+                 bool gather_values, int num_workers,
+                 bool word_strided)
 {
     LoweredFeatureMap lowered;
     lowered.rows = static_cast<int>(shape.loweredRows());
@@ -422,8 +537,8 @@ im2colFromBitmap(const BitmapFeatureMap &fmap, const ConvShape &shape,
         const int c = static_cast<int>(col) / kk;
         const int kh = (static_cast<int>(col) % kk) / shape.kernel;
         const int kw = static_cast<int>(col) % shape.kernel;
-        lowerColumn(fmap, shape, gather_values, c, kh, kw,
-                    lowered.columns[static_cast<size_t>(col)],
+        lowerColumn(fmap, shape, gather_values, word_strided, c, kh,
+                    kw, lowered.columns[static_cast<size_t>(col)],
                     column_ops[static_cast<size_t>(col)]);
         // Normalize the bitmap length to cover all M rows.
         lowered.columns[static_cast<size_t>(col)].bits.resize(

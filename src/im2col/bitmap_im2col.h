@@ -118,11 +118,19 @@ class LoweredFeatureMap
  *        serial in the caller). Columns are written to disjoint
  *        slots and the op counters reduced in column order, so the
  *        result is identical for any worker count.
+ * @param word_strided stride>1 windows use the word-parallel
+ *        deinterleave (per-word stride masks + PEXT compaction,
+ *        values sliced by a running-rank popcount). false retains
+ *        the per-bit probe gather — the scalar reference the
+ *        equivalence tests and ConvExecutor::runScalar pin against.
+ *        Column bitmaps and values are bit-for-bit identical either
+ *        way (only register_ops, the op-count metric, differs).
  */
 LoweredFeatureMap im2colFromBitmap(const BitmapFeatureMap &fmap,
                                    const ConvShape &shape,
                                    bool gather_values = true,
-                                   int num_workers = 1);
+                                   int num_workers = 1,
+                                   bool word_strided = true);
 
 } // namespace dstc
 

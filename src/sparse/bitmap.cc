@@ -66,33 +66,45 @@ BitmapMatrix::encodePlane(const float *data, int rows, int cols)
     // Amortize the value growth (a quarter-dense guess; feature maps
     // past ReLU are sparser than that).
     bm.values_.reserve(static_cast<size_t>(rows) * cols / 4);
-    bm.values_fp16_.reserve(static_cast<size_t>(rows) * cols / 4);
 
+    packRowsAndGatherValues(data, rows, cols, bm.words_per_line_,
+                            bm.bits_.data(), bm.values_,
+                            bm.line_offsets_.data());
+    // The FP16 mirror rounds in its own contiguous pass, where the
+    // independent iterations pipeline instead of serializing behind
+    // each ctz step.
+    bm.values_fp16_.resize(bm.values_.size());
+    for (size_t i = 0; i < bm.values_.size(); ++i)
+        bm.values_fp16_[i] = roundToFp16(bm.values_[i]);
+    return bm;
+}
+
+void
+packRowsAndGatherValues(const float *data, int rows, int cols,
+                        int words_per_line, uint64_t *bits,
+                        std::vector<float> &values, int *row_offsets)
+{
+    // Word build (packNonzeroBits byte-packs the compares so they
+    // vectorize) fused with the ctz value walk per row: the row is
+    // still cache-resident when its set bits are gathered, so the
+    // block streams through exactly once.
     for (int r = 0; r < rows; ++r) {
         const float *row = data + static_cast<size_t>(r) * cols;
         uint64_t *words =
-            bm.bits_.data() +
-            static_cast<size_t>(r) * bm.words_per_line_;
+            bits + static_cast<size_t>(r) * words_per_line;
         for (int c0 = 0; c0 < cols; c0 += 64) {
-            const int span = std::min(64, cols - c0);
-            // Branchless word build (one compare-and-or per element),
-            // then a ctz walk over the set bits to pack the values.
-            uint64_t word = 0;
-            for (int b = 0; b < span; ++b)
-                word |= static_cast<uint64_t>(row[c0 + b] != 0.0f)
-                        << b;
+            uint64_t word =
+                packNonzeroBits(row + c0, std::min(64, cols - c0));
             words[c0 >> 6] = word;
             while (word) {
                 const int b = std::countr_zero(word);
                 word &= word - 1;
-                const float v = row[c0 + b];
-                bm.values_.push_back(v);
-                bm.values_fp16_.push_back(roundToFp16(v));
+                values.push_back(row[c0 + b]);
             }
         }
-        bm.line_offsets_[r + 1] = static_cast<int>(bm.values_.size());
+        if (row_offsets)
+            row_offsets[r + 1] = static_cast<int>(values.size());
     }
-    return bm;
 }
 
 BitmapMatrix

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Word-parallel dense-operand encoders: the online encode stage the
+ * paper assumes is cheap enough to run on both GEMM sides (Sec. VI).
+ *
+ * Every function here is bitwise identical to its element-wise
+ * counterpart (BitmapMatrix::encode / TwoLevelBitmapMatrix::encode /
+ * SparsityProfile::fromMatrix*), which stay as the test references.
+ * The difference is purely mechanical: bits are built 64 elements
+ * per word with branchless compares, column-major bitmaps come out
+ * of 64x64 block transposes instead of per-element probes, values
+ * are packed by ctz walks over the words (FP16-rounded once, at
+ * encode time), and warp tiles are split off the full-matrix bitmap
+ * by pure word extraction + condensed-value slicing — the same
+ * machinery the implicit im2col uses (encodePlane / fromPacked).
+ */
+#ifndef DSTC_SPARSE_WORD_ENCODE_H
+#define DSTC_SPARSE_WORD_ENCODE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/bitmap.h"
+#include "sparse/two_level.h"
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/**
+ * Word-parallel BitmapMatrix::encode: bitmap words built 64
+ * elements at a time, values packed via ctz walks. Bitwise identical
+ * to encode(dense, major) in bits, values, the FP16 mirror and the
+ * line offsets.
+ */
+BitmapMatrix wordEncodeBitmap(const Matrix<float> &dense, Major major);
+
+/**
+ * The bitmap words of @p dense alone (no values), in the line-major
+ * layout of BitmapMatrix: wordsPerLine() words per packing line,
+ * LSB-first. The cheap front half of wordEncodeBitmap, for callers
+ * that only need popcounts (profile extraction).
+ */
+std::vector<uint64_t> wordEncodeBits(const Matrix<float> &dense,
+                                     Major major,
+                                     int *words_per_line);
+
+/**
+ * Word-parallel TwoLevelBitmapMatrix::encode: the full matrix is
+ * bitmap-encoded once (64 elements/word), then split into
+ * tile_rows x tile_cols warp tiles by word extraction on the line
+ * bitmaps and contiguous slices of the packed value arrays (the
+ * prefix-popcount address-offset trick, per tile boundary). No dense
+ * staging, no per-element probes, no re-rounding — the FP16 mirror
+ * is sliced alongside the FP32 values.
+ *
+ * @param num_workers partitions the independent tile line groups
+ *        over the shared pool (SpGemmOptions::num_workers contract:
+ *        0 = all hardware threads, 1 = serial in the caller). Tiles
+ *        are disjoint, so the result is bitwise identical to the
+ *        element-wise encode for every worker count.
+ */
+TwoLevelBitmapMatrix wordEncodeTwoLevel(const Matrix<float> &dense,
+                                        int tile_rows, int tile_cols,
+                                        Major major,
+                                        int num_workers = 1);
+
+/**
+ * Non-zero count of @p n floats by branchless 64-bit mask build +
+ * POPC (no per-element branch to mispredict). Identical to counting
+ * `v != 0.0f` element-wise.
+ */
+int64_t wordNnz(const float *data, size_t n);
+
+/** Matrix::sparsity() via wordNnz — the word-parallel density probe
+ *  the plan paths use on concrete operands. */
+double wordSparsity(const Matrix<float> &m);
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_WORD_ENCODE_H

@@ -46,6 +46,47 @@ TEST(BitmapIm2col, WideFeatureMapCrossesWordBoundaries)
               0.0);
 }
 
+TEST(BitmapIm2col, StridedWordGatherMatchesScalarGather)
+{
+    // The word-parallel strided deinterleave against the retained
+    // per-bit gather, at the lowering level: column bitmaps, values
+    // and the FP16 mirror must agree exactly, and both must equal
+    // the dense explicit lowering. hw = 70 crosses the word
+    // boundary; stride 3 exercises a non-power-of-two phase advance.
+    Rng rng(188);
+    for (int stride : {2, 3}) {
+        for (int pad : {0, 1, 2}) {
+            ConvShape shape = makeShape(2, 3, 70, 5, stride, pad);
+            Tensor4d input =
+                randomSparseTensor(2, 3, 70, 70, 0.6, rng);
+            BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
+            LoweredFeatureMap word =
+                im2colFromBitmap(fmap, shape, true, 1, true);
+            LoweredFeatureMap scalar =
+                im2colFromBitmap(fmap, shape, true, 1, false);
+            ASSERT_EQ(word.cols, scalar.cols);
+            for (int j = 0; j < word.cols; ++j) {
+                EXPECT_EQ(word.columns[j].bits,
+                          scalar.columns[j].bits)
+                    << "stride " << stride << " pad " << pad
+                    << " col " << j;
+                EXPECT_EQ(word.columns[j].values,
+                          scalar.columns[j].values)
+                    << "stride " << stride << " pad " << pad
+                    << " col " << j;
+                EXPECT_EQ(word.columns[j].values_fp16,
+                          scalar.columns[j].values_fp16)
+                    << "stride " << stride << " pad " << pad
+                    << " col " << j;
+            }
+            EXPECT_EQ(maxAbsDiff(word.decode(),
+                                 im2colExplicit(input, shape)),
+                      0.0)
+                << "stride " << stride << " pad " << pad;
+        }
+    }
+}
+
 TEST(BitmapIm2col, RegisterOpsAreCounted)
 {
     Rng rng(183);

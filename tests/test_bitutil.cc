@@ -120,5 +120,100 @@ TEST(BitUtil, ForEachSetBitEmptyRange)
     EXPECT_EQ(count, 0);
 }
 
+TEST(BitUtil, StrideMask)
+{
+    EXPECT_EQ(strideMask64(0, 1), ~uint64_t{0});
+    EXPECT_EQ(strideMask64(3, 1), ~uint64_t{0} << 3);
+    EXPECT_EQ(strideMask64(0, 2), 0x5555555555555555ull);
+    EXPECT_EQ(strideMask64(1, 2), 0xaaaaaaaaaaaaaaaaull);
+    EXPECT_EQ(strideMask64(1, 3), 0x2492492492492492ull);
+    EXPECT_EQ(strideMask64(63, 7), uint64_t{1} << 63);
+    // Every set bit is congruent to the phase mod the stride.
+    for (int stride = 1; stride <= 8; ++stride)
+        for (int phase = 0; phase < stride; ++phase) {
+            uint64_t mask = strideMask64(phase, stride);
+            for (int b = 0; b < 64; ++b)
+                EXPECT_EQ((mask >> b) & 1,
+                          static_cast<uint64_t>(b >= phase &&
+                                                (b - phase) %
+                                                        stride ==
+                                                    0))
+                    << "stride=" << stride << " phase=" << phase
+                    << " bit=" << b;
+        }
+}
+
+/** Per-bit reference of the PEXT compaction. */
+static uint64_t
+pextReference(uint64_t value, uint64_t mask)
+{
+    uint64_t out = 0;
+    int k = 0;
+    for (int b = 0; b < 64; ++b)
+        if ((mask >> b) & 1)
+            out |= ((value >> b) & 1) << k++;
+    return out;
+}
+
+TEST(BitUtil, Pext64MatchesPerBitReference)
+{
+    Rng rng(91);
+    EXPECT_EQ(pext64(0b10110100ull, 0b11110000ull), 0b1011ull);
+    EXPECT_EQ(pext64(~uint64_t{0}, 0), 0u);
+    EXPECT_EQ(pext64(~uint64_t{0}, ~uint64_t{0}), ~uint64_t{0});
+    for (int trial = 0; trial < 200; ++trial) {
+        const uint64_t value = rng.next();
+        // Mix random masks with the stride masks the gather uses.
+        const uint64_t mask =
+            (trial & 1)
+                ? rng.next()
+                : strideMask64(trial % 5, 1 + trial % 7);
+        EXPECT_EQ(pext64(value, mask), pextReference(value, mask))
+            << "value=" << value << " mask=" << mask;
+        Pext64 fixed(mask);
+        EXPECT_EQ(fixed.apply(value), pextReference(value, mask));
+        EXPECT_EQ(fixed.mask(), mask);
+    }
+}
+
+TEST(BitUtil, Transpose64x64)
+{
+    Rng rng(92);
+    uint64_t a[64], ref[64];
+    for (int i = 0; i < 64; ++i)
+        a[i] = ref[i] = rng.next();
+    transpose64x64(a);
+    for (int r = 0; r < 64; ++r)
+        for (int c = 0; c < 64; ++c)
+            EXPECT_EQ((a[c] >> r) & 1, (ref[r] >> c) & 1)
+                << "r=" << r << " c=" << c;
+    // Transposing twice is the identity.
+    transpose64x64(a);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a[i], ref[i]);
+}
+
+TEST(BitUtil, PackNonzeroBits)
+{
+    Rng rng(93);
+    float vals[64];
+    for (int trial = 0; trial < 20; ++trial) {
+        for (float &v : vals)
+            v = rng.bernoulli(0.5)
+                    ? 0.0f
+                    : rng.uniformFloat(-2.0f, 2.0f);
+        // -0.0 must read as zero, like the element-wise compare.
+        vals[trial % 64] = -0.0f;
+        for (int span : {64, 63, 33, 1}) {
+            uint64_t expect = 0;
+            for (int b = 0; b < span; ++b)
+                expect |= static_cast<uint64_t>(vals[b] != 0.0f)
+                          << b;
+            EXPECT_EQ(packNonzeroBits(vals, span), expect)
+                << "span=" << span;
+        }
+    }
+}
+
 } // namespace
 } // namespace dstc

@@ -151,6 +151,47 @@ TEST_F(ConvEquivalenceTest, StridedPaddedBatchedShapesMatch)
     }
 }
 
+TEST_F(ConvEquivalenceTest, StrideByPadGridMatchesScalar)
+{
+    // The word-parallel strided deinterleave (stride mask + PEXT +
+    // rank-by-running-popcount) against the per-bit probe gather the
+    // scalar reference retains: every stride x pad combination must
+    // agree bit for bit, outputs and stats alike, for every worker
+    // count. in_w = 29 puts window ends astride the 64-bit word
+    // boundary once the kernel offsets shift them.
+    Rng rng(416);
+    for (int stride : {2, 3}) {
+        for (int pad : {0, 1}) {
+            ConvShape s = shape(4, 29, 6, 3, stride, pad);
+            Tensor4d input =
+                reluActivationTensor(1, 4, 29, 29, 0.7, rng);
+            Matrix<float> weights =
+                randomSparseMatrix(6, 36, 0.8, rng);
+            for (ConvMethod method :
+                 {ConvMethod::SingleSparseImplicit,
+                  ConvMethod::DualSparseImplicit}) {
+                for (int workers : {1, 4}) {
+                    ConvOptions opts;
+                    opts.num_workers = workers;
+                    ConvResult fast = executor_.run(input, weights,
+                                                    s, method, opts);
+                    ConvResult ref = executor_.runScalar(
+                        input, weights, s, method, opts);
+                    const std::string label =
+                        std::string(convMethodName(method)) +
+                        " stride=" + std::to_string(stride) +
+                        " pad=" + std::to_string(pad) +
+                        " workers=" + std::to_string(workers);
+                    expectOutputIdentical(fast.output, ref.output,
+                                          label.c_str());
+                    expectStatsIdentical(fast.stats, ref.stats,
+                                         label.c_str());
+                }
+            }
+        }
+    }
+}
+
 TEST_F(ConvEquivalenceTest, WorkerCountDoesNotChangeResults)
 {
     Rng rng(413);

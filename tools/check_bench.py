@@ -42,6 +42,11 @@ BENCHES = {
         "reference": "BENCH_spconv.json",
         "keys": ("method", "wsp", "asp", "stride", "clustered"),
     },
+    "micro_encode": {
+        "binary": os.path.join("bench", "micro_encode"),
+        "reference": "BENCH_encode.json",
+        "keys": ("kind", "sparsity", "stride"),
+    },
 }
 
 
@@ -55,8 +60,8 @@ def point_key(point, keys):
 
 
 def point_label(point):
-    fields = ("shape", "m", "method", "sparsity", "wsp", "asp",
-              "stride", "clustered", "tile_k")
+    fields = ("kind", "shape", "m", "method", "sparsity", "wsp",
+              "asp", "stride", "clustered", "tile_k")
     parts = [f"{k}={point[k]}" for k in fields if k in point]
     return "{" + ", ".join(parts) + "}"
 
