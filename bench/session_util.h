@@ -2,9 +2,8 @@
  * @file
  * Session-request one-liners shared by the ablation / efficiency
  * benches: each helper builds the KernelRequest a bench point needs
- * and runs it through the plan-execute API. These replace the
- * deprecated DstcEngine facade calls the benches used to make —
- * every execution path here is a Backend registration.
+ * and runs it through the plan-execute API — every execution path
+ * here is a Backend registration.
  */
 #ifndef DSTC_BENCH_SESSION_UTIL_H
 #define DSTC_BENCH_SESSION_UTIL_H

@@ -299,9 +299,12 @@ class DualGemmPlan : public ExecutionPlan
     double
     estimate() override
     {
-        // Functional requests estimate from the profile view so Auto
-        // dispatch never runs a losing candidate's kernel; all other
-        // shapes share the memoized run (never paying twice).
+        // Functional requests estimate from a profile view so Auto
+        // dispatch (and cluster cost-model placement) never runs a
+        // candidate's kernel just to rank it; the timing-only shapes
+        // share the memoized run (never paying twice).
+        if (req_.a_encoded && req_.b_encoded)
+            return estimateEncoded();
         if (!(req_.a && req_.b))
             return ExecutionPlan::estimate();
         const GemmProfilesView &p = profiles();
@@ -311,6 +314,31 @@ class DualGemmPlan : public ExecutionPlan
     }
 
   private:
+    /**
+     * Estimate a pre-encoded request from profiles read off the
+     * encodings (packing-offset reads, no value pass) — running the
+     * real kernel here would make cost-ranking as expensive as
+     * executing every candidate. The derived counts are exact, so
+     * like every dual-sparse estimate this one equals the executed
+     * stats. Tilings that disagree with the options fall back to the
+     * memoized run (timeFromProfiles asserts the warp-tile edges).
+     */
+    double
+    estimateEncoded()
+    {
+        const SpGemmOptions &o = req_.gemm_options;
+        const TwoLevelBitmapMatrix &a = *req_.a_encoded;
+        const TwoLevelBitmapMatrix &b = *req_.b_encoded;
+        if (a.tileRows() != o.tile_m || a.tileCols() != o.tile_k ||
+            b.tileRows() != o.tile_k || b.tileCols() != o.tile_n)
+            return ExecutionPlan::estimate();
+        SpGemmDevice device(cfg_);
+        return device
+            .timeFromProfiles(SparsityProfile::fromEncodedA(a),
+                              SparsityProfile::fromEncodedB(b), o)
+            .timeUs();
+    }
+
     /**
      * The popcount-profile view of the operands, resolved on first
      * use: the timing path consumes it in run(), while functional

@@ -1,0 +1,305 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "core/thread_pool.h"
+
+namespace dstc {
+
+const char *
+placementPolicyToken(PlacementPolicy policy)
+{
+    switch (policy) {
+    case PlacementPolicy::CostModel:
+        return "cost";
+    case PlacementPolicy::RoundRobin:
+        return "rr";
+    case PlacementPolicy::StaticShard:
+        return "shard";
+    }
+    return "?";
+}
+
+bool
+parsePlacementPolicy(const std::string &token, PlacementPolicy *out)
+{
+    if (token == "cost")
+        *out = PlacementPolicy::CostModel;
+    else if (token == "rr")
+        *out = PlacementPolicy::RoundRobin;
+    else if (token == "shard")
+        *out = PlacementPolicy::StaticShard;
+    else
+        return false;
+    return true;
+}
+
+// ===================================================================
+// ClusterScheduler
+// ===================================================================
+
+ClusterScheduler::ClusterScheduler(PlacementPolicy policy,
+                                   size_t num_devices)
+    : policy_(policy), loads_(num_devices)
+{
+    DSTC_ASSERT(num_devices >= 1, "a cluster needs a device");
+}
+
+size_t
+ClusterScheduler::place(const std::vector<double> &estimates,
+                        uint64_t shard_key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t pick = 0;
+    switch (policy_) {
+    case PlacementPolicy::RoundRobin:
+        pick = static_cast<size_t>(next_round_robin_++ %
+                                   loads_.size());
+        break;
+    case PlacementPolicy::StaticShard:
+        pick = static_cast<size_t>(shard_key % loads_.size());
+        break;
+    case PlacementPolicy::CostModel: {
+        DSTC_ASSERT(estimates.size() == loads_.size(),
+                    "CostModel placement needs one estimate per "
+                    "device");
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t d = 0; d < loads_.size(); ++d) {
+            const double finish =
+                loads_[d].estimated_busy_us + estimates[d];
+            if (finish < best) { // strict: ties go to the lower index
+                best = finish;
+                pick = d;
+            }
+        }
+        loads_[pick].estimated_busy_us += estimates[pick];
+        break;
+    }
+    }
+    ++loads_[pick].placed;
+    return pick;
+}
+
+void
+ClusterScheduler::completed(size_t device)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++loads_[device].completed;
+}
+
+DeviceLoad
+ClusterScheduler::load(size_t device) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return loads_[device];
+}
+
+// ===================================================================
+// Request digests
+// ===================================================================
+
+namespace {
+
+/** Everything that determines a request's simulated outcome except
+ *  the operand contents. */
+CacheKey
+structuralKey(const KernelRequest &r)
+{
+    CacheKey key("cluster-request");
+    key.i32(static_cast<int32_t>(r.kind));
+    key.i32(static_cast<int32_t>(r.method));
+    key.i32(static_cast<int32_t>(r.lowering));
+    key.u64(r.seed);
+    key.i64(r.m).i64(r.n).i64(r.k);
+    key.f64(r.a_sparsity).f64(r.b_sparsity);
+    key.f64(r.a_cluster).f64(r.b_cluster);
+    key.i32(r.outer_product ? 1 : 0);
+    const SpGemmOptions &g = r.gemm_options;
+    key.i32(g.tile_m).i32(g.tile_n).i32(g.tile_k);
+    key.i32(g.two_level ? 1 : 0)
+        .i32(g.functional ? 1 : 0)
+        .i32(g.detailed_merge ? 1 : 0)
+        .i32(g.sparse_output ? 1 : 0);
+    const ConvShape &s = r.shape;
+    key.i32(s.batch)
+        .i32(s.in_c)
+        .i32(s.in_h)
+        .i32(s.in_w)
+        .i32(s.out_c)
+        .i32(s.kernel)
+        .i32(s.stride)
+        .i32(s.pad);
+    // Operand flavor: a synthetic point and a functional request of
+    // the same geometry are different work.
+    key.i32((r.a ? 1 : 0) | (r.b ? 2 : 0) | (r.input ? 4 : 0) |
+            (r.a_profile ? 8 : 0) | (r.a_encoded ? 16 : 0) |
+            (r.b_profile ? 32 : 0) | (r.b_encoded ? 64 : 0));
+    return key;
+}
+
+} // namespace
+
+uint64_t
+requestShardKey(const KernelRequest &request)
+{
+    return structuralKey(request).value();
+}
+
+std::optional<uint64_t>
+requestContentDigest(const KernelRequest &request)
+{
+    // Caller-owned pointer encodings are opaque here: hashing the
+    // pointer would alias recycled addresses, so those requests are
+    // never estimate-cached.
+    if (request.a_profile || request.b_profile ||
+        request.a_encoded || request.b_encoded)
+        return std::nullopt;
+    CacheKey key = structuralKey(request);
+    if (request.a)
+        key.matrix(*request.a);
+    if (request.b)
+        key.matrix(*request.b);
+    if (request.input) {
+        const Tensor4d &t = *request.input;
+        key.i32(t.n()).i32(t.c()).i32(t.h()).i32(t.w());
+        key.bytes(t.data().data(),
+                  t.data().size() * sizeof(float));
+    }
+    return key.value();
+}
+
+// ===================================================================
+// Cluster
+// ===================================================================
+
+Cluster::Cluster() : Cluster(ClusterOptions{}) {}
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_capacity_bytes),
+      scheduler_(options_.policy,
+                 options_.devices.empty() ? 1
+                                          : options_.devices.size())
+{
+    if (options_.devices.empty())
+        options_.devices.push_back(GpuConfig::v100());
+    int threads = options_.num_threads;
+    if (threads <= 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    // The pool exists before the Sessions: they hold its pointer.
+    pool_ = std::make_unique<ThreadPool>(threads);
+    sessions_.reserve(options_.devices.size());
+    for (const GpuConfig &cfg : options_.devices) {
+        SessionOptions so;
+        so.config = cfg;
+        so.encode_workers = options_.encode_workers;
+        so.shared_pool = pool_.get();
+        so.shared_cache = &cache_;
+        sessions_.push_back(std::make_unique<Session>(so));
+    }
+}
+
+Cluster::~Cluster() = default;
+
+ThreadPool &
+Cluster::pool()
+{
+    return *pool_;
+}
+
+double
+Cluster::estimateOn(size_t i, const KernelRequest &request)
+{
+    return estimateOn(i, request, requestContentDigest(request));
+}
+
+double
+Cluster::estimateOn(size_t i, const KernelRequest &request,
+                    const std::optional<uint64_t> &digest)
+{
+    DSTC_ASSERT(i < sessions_.size());
+    if (!digest)
+        return sessions_[i]->plan(request)->estimatedTimeUs();
+    CacheKey key("cluster-estimate");
+    key.u64(*digest).gpuConfig(options_.devices[i]);
+    Session *session = sessions_[i].get();
+    return *cache_.getOrBuild<double>(key.value(), [session,
+                                                    &request] {
+        return session->plan(request)->estimatedTimeUs();
+    });
+}
+
+size_t
+Cluster::place(const KernelRequest &request)
+{
+    std::vector<double> estimates;
+    if (options_.policy == PlacementPolicy::CostModel) {
+        // One content digest per request, not per device: hashing
+        // large operands sits on the serial submission path.
+        const std::optional<uint64_t> digest =
+            requestContentDigest(request);
+        estimates.reserve(sessions_.size());
+        for (size_t d = 0; d < sessions_.size(); ++d)
+            estimates.push_back(estimateOn(d, request, digest));
+    }
+    const uint64_t shard_key =
+        options_.policy == PlacementPolicy::StaticShard
+            ? requestShardKey(request)
+            : 0;
+    return scheduler_.place(estimates, shard_key);
+}
+
+KernelReport
+Cluster::run(const KernelRequest &request)
+{
+    const size_t d = place(request);
+    KernelReport report = sessions_[d]->run(request);
+    report.device = static_cast<int>(d);
+    scheduler_.completed(d);
+    return report;
+}
+
+std::future<KernelReport>
+Cluster::submit(KernelRequest request)
+{
+    const size_t d = place(request);
+    auto task = std::make_shared<std::packaged_task<KernelReport()>>(
+        [this, d, request = std::move(request)] {
+            KernelReport report = sessions_[d]->run(request);
+            report.device = static_cast<int>(d);
+            scheduler_.completed(d);
+            return report;
+        });
+    std::future<KernelReport> future = task->get_future();
+    pool().enqueue([task] { (*task)(); });
+    return future;
+}
+
+std::vector<std::future<KernelReport>>
+Cluster::submitBatch(std::vector<KernelRequest> requests)
+{
+    // Placement happens in the caller, in index order; execution may
+    // already overlap it on the pool, but the scheduler never reads
+    // execution state, so the schedule stays a pure function of the
+    // submission sequence.
+    std::vector<std::future<KernelReport>> futures;
+    futures.reserve(requests.size());
+    for (KernelRequest &request : requests)
+        futures.push_back(submit(std::move(request)));
+    return futures;
+}
+
+std::vector<KernelReport>
+Cluster::runBatch(std::vector<KernelRequest> requests)
+{
+    auto futures = submitBatch(std::move(requests));
+    std::vector<KernelReport> reports;
+    reports.reserve(futures.size());
+    for (auto &future : futures)
+        reports.push_back(future.get());
+    return reports;
+}
+
+} // namespace dstc

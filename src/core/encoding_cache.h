@@ -26,6 +26,7 @@
 
 #include "common/logging.h"
 #include "tensor/matrix.h"
+#include "timing/gpu_config.h"
 
 namespace dstc {
 
@@ -70,6 +71,32 @@ class CacheKey
         i32(m.rows());
         i32(m.cols());
         return bytes(m.data().data(), m.data().size() * sizeof(float));
+    }
+
+    /**
+     * Fold in every machine parameter of a GpuConfig — the
+     * config-dependent bits of cache families whose values embed
+     * machine-derived results (e.g. the cluster scheduler's
+     * plan-stage time estimates). Operand *encodings* are pure in
+     * the operand contents and must NOT fold this in: leaving the
+     * config out of their keys is what lets Sessions over different
+     * devices share one cache and encode each operand once.
+     */
+    CacheKey &
+    gpuConfig(const GpuConfig &cfg)
+    {
+        i32(cfg.num_sms).i32(cfg.subcores_per_sm);
+        f64(cfg.clock_ghz);
+        i32(cfg.ohmma_macs);
+        f64(cfg.dense_gemm_efficiency);
+        f64(cfg.sparse_issue_efficiency);
+        f64(cfg.dram_bw_gbps).f64(cfg.dram_efficiency);
+        f64(cfg.l2_bytes).f64(cfg.l2_hit_rate);
+        f64(cfg.kernel_launch_us);
+        i32(cfg.accum_banks).i32(cfg.accum_bytes);
+        i32(cfg.operand_collector ? 1 : 0);
+        i32(cfg.collector_window);
+        return f64(cfg.fp32_tflops);
     }
 
     uint64_t value() const { return hash_; }

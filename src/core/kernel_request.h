@@ -238,6 +238,15 @@ struct KernelReport
     bool encode_cache_hit = false;
 
     /**
+     * Index of the Cluster device that executed the request (-1 when
+     * the request ran on a plain single-device Session). The stats
+     * are a pure function of the request plus that device's
+     * GpuConfig, so a report is reproducible by re-running the
+     * request on a fresh Session with the same config.
+     */
+    int device = -1;
+
+    /**
      * The plan-stage time estimate that drove Method::Auto dispatch
      * (0 when the estimate was never computed).
      */

@@ -27,7 +27,7 @@ Session::plan(const KernelRequest &request)
 {
     PlanContext ctx;
     ctx.cfg = &options_.config;
-    ctx.cache = &cache_;
+    ctx.cache = &encodingCache();
     ctx.encode_workers = options_.encode_workers;
     return registry_.plan(request, ctx);
 }
@@ -35,12 +35,18 @@ Session::plan(const KernelRequest &request)
 KernelReport
 Session::run(const KernelRequest &request)
 {
-    return plan(request)->execute();
+    KernelReport report = plan(request)->execute();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (report.encode_cache_hit)
+        encode_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return report;
 }
 
 ThreadPool &
 Session::pool()
 {
+    if (options_.shared_pool)
+        return *options_.shared_pool;
     std::call_once(pool_once_, [this] {
         int threads = options_.num_threads;
         if (threads <= 0)

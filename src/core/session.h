@@ -25,6 +25,8 @@
 #ifndef DSTC_CORE_SESSION_H
 #define DSTC_CORE_SESSION_H
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -67,6 +69,26 @@ struct SessionOptions
      * encodings may occupy.
      */
     size_t cache_capacity_bytes = 0;
+
+    /**
+     * Non-owning shared worker pool. When set, submit/submitBatch
+     * enqueue here instead of a session-private pool (num_threads is
+     * ignored) — a Cluster hands every per-device Session the same
+     * pool so N devices cannot oversubscribe the host. The pool must
+     * outlive the Session.
+     */
+    ThreadPool *shared_pool = nullptr;
+
+    /**
+     * Non-owning shared encoding cache. When set, plans resolve
+     * operands here instead of the session-private cache
+     * (cache_capacity/_bytes are ignored) — Sessions over different
+     * GpuConfigs can share one cache because operand encodings are
+     * pure in the operand contents; config-dependent families fold
+     * the machine bits into their keys (CacheKey::gpuConfig). Must
+     * outlive the Session.
+     */
+    EncodingCache *shared_cache = nullptr;
 };
 
 /** The plan/execute front end over the kernel registry. */
@@ -106,10 +128,39 @@ class Session
     std::vector<KernelReport>
     runBatch(std::vector<KernelRequest> requests);
 
+    /** Requests this Session ran, and how many of them were served
+     *  at least one encoded operand from the cache. With a shared
+     *  cache these are the per-device contribution to the global
+     *  cache counters (the per-device hit rate). */
+    struct RequestCounters
+    {
+        int64_t requests = 0;
+        int64_t encode_cache_hits = 0;
+    };
+
+    RequestCounters
+    requestCounters() const
+    {
+        return {requests_.load(), encode_cache_hits_.load()};
+    }
+
     KernelRegistry &registry() { return registry_; }
     const KernelRegistry &registry() const { return registry_; }
-    EncodingCache &encodingCache() { return cache_; }
-    const EncodingCache &encodingCache() const { return cache_; }
+
+    /** The cache plans resolve through: the shared cache when the
+     *  session was built in shared-cache mode, else its own. */
+    EncodingCache &
+    encodingCache()
+    {
+        return options_.shared_cache ? *options_.shared_cache : cache_;
+    }
+
+    const EncodingCache &
+    encodingCache() const
+    {
+        return options_.shared_cache ? *options_.shared_cache : cache_;
+    }
+
     const GpuConfig &config() const { return options_.config; }
 
   private:
@@ -120,6 +171,8 @@ class Session
     EncodingCache cache_;
     std::once_flag pool_once_;
     std::unique_ptr<ThreadPool> pool_; // created on first submit
+    std::atomic<int64_t> requests_{0};
+    std::atomic<int64_t> encode_cache_hits_{0};
 };
 
 } // namespace dstc

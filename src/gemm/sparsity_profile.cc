@@ -5,6 +5,7 @@
 
 #include "common/bitutil.h"
 #include "common/logging.h"
+#include "sparse/two_level.h"
 #include "sparse/word_encode.h"
 
 namespace dstc {
@@ -153,6 +154,44 @@ SparsityProfile::fromLowered(const LoweredFeatureMap &lfm, int tile)
             const size_t hi = std::min(
                 static_cast<size_t>(lfm.rows), lo + tile);
             profile.setCount(g, j, popcountRange(bits, lo, hi));
+        }
+    }
+    return profile;
+}
+
+SparsityProfile
+SparsityProfile::fromEncodedA(const TwoLevelBitmapMatrix &a)
+{
+    // A tiles are packed Major::Col: each tile line is one k-step's
+    // column slice, so lineNnz reads the profile count directly.
+    SparsityProfile profile(a.numTileRows(), a.cols(), a.tileRows(),
+                            a.rows());
+    for (int g = 0; g < a.numTileRows(); ++g) {
+        for (int tk = 0; tk < a.numTileCols(); ++tk) {
+            const BitmapMatrix &t = a.tile(g, tk);
+            const int64_t k0 =
+                static_cast<int64_t>(tk) * a.tileCols();
+            for (int line = 0; line < t.numLines(); ++line)
+                profile.setCount(g, k0 + line, t.lineNnz(line));
+        }
+    }
+    return profile;
+}
+
+SparsityProfile
+SparsityProfile::fromEncodedB(const TwoLevelBitmapMatrix &b)
+{
+    // B tiles are packed Major::Row: each tile line is one k-step's
+    // row slice across the group's columns.
+    SparsityProfile profile(b.numTileCols(), b.rows(), b.tileCols(),
+                            b.cols());
+    for (int g = 0; g < b.numTileCols(); ++g) {
+        for (int tk = 0; tk < b.numTileRows(); ++tk) {
+            const BitmapMatrix &t = b.tile(tk, g);
+            const int64_t k0 =
+                static_cast<int64_t>(tk) * b.tileRows();
+            for (int line = 0; line < t.numLines(); ++line)
+                profile.setCount(g, k0 + line, t.lineNnz(line));
         }
     }
     return profile;

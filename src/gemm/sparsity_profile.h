@@ -21,6 +21,8 @@
 
 namespace dstc {
 
+class TwoLevelBitmapMatrix;
+
 /** Popcount profile of one GEMM operand at warp-tile granularity. */
 class SparsityProfile
 {
@@ -102,6 +104,19 @@ class SparsityProfile
     /** Profile of a lowered feature map as the A operand. */
     static SparsityProfile fromLowered(const LoweredFeatureMap &lfm,
                                        int tile);
+
+    /**
+     * Profile read off an already-encoded two-level A operand: the
+     * per-line counts come straight from the tiles' packing offsets
+     * (O(1) per line, no value pass and no decode). Identical to
+     * fromMatrixA of the matrix the encoding came from. This is how
+     * plans estimate pre-encoded requests without running the
+     * kernel.
+     */
+    static SparsityProfile fromEncodedA(const TwoLevelBitmapMatrix &a);
+
+    /** Two-level B-side counterpart (per tile-column groups). */
+    static SparsityProfile fromEncodedB(const TwoLevelBitmapMatrix &b);
 
     // -- synthetic generators -----------------------------------------
 

@@ -134,4 +134,20 @@ ModelRunner::runBatched(const DnnModel &model, ModelMethod method,
     return result;
 }
 
+ModelRunResult
+ModelRunner::runSharded(Cluster &cluster, const DnnModel &model,
+                        ModelMethod method, uint64_t seed)
+{
+    ModelRunResult result;
+    result.model = model.name;
+    result.method = method;
+    for (KernelReport &report :
+         cluster.runBatch(layerRequests(model, method, seed))) {
+        result.layers.push_back({std::move(report.tag), report.stats,
+                                 std::move(report.backend),
+                                 report.device});
+    }
+    return result;
+}
+
 } // namespace dstc

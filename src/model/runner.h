@@ -7,8 +7,9 @@
  *
  * A model run is a batch of KernelRequests — one per layer — built
  * by layerRequests() and executed on a Session either serially
- * (run()) or on the worker pool (runBatched()). The two paths
- * produce bitwise-identical statistics.
+ * (run()), on the worker pool (runBatched()), or data-parallel
+ * across the devices of a Cluster (runSharded()). All paths produce
+ * bitwise-identical statistics for the device each layer ran on.
  */
 #ifndef DSTC_MODEL_RUNNER_H
 #define DSTC_MODEL_RUNNER_H
@@ -16,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "core/engine.h"
+#include "core/cluster.h"
 #include "core/session.h"
 #include "model/zoo.h"
 
@@ -44,6 +45,10 @@ struct LayerResult
     /** The backend that executed the layer (informative under
      *  ModelMethod::Auto). */
     std::string backend;
+
+    /** Cluster device the layer was placed on (-1 for single-device
+     *  Session runs). */
+    int device = -1;
 };
 
 /** Aggregated outcome of a model run. */
@@ -62,12 +67,6 @@ class ModelRunner
 {
   public:
     explicit ModelRunner(Session &session) : session_(session) {}
-
-    /** @deprecated Construct from the engine's Session instead. */
-    explicit ModelRunner(DstcEngine &engine)
-        : session_(engine.session())
-    {
-    }
 
     /**
      * The per-layer KernelRequests of @p model under @p method.
@@ -88,6 +87,19 @@ class ModelRunner
      */
     ModelRunResult runBatched(const DnnModel &model, ModelMethod method,
                               uint64_t seed = 1) const;
+
+    /**
+     * Data-parallel layer execution over a Cluster: the layer batch
+     * is placed across the cluster's devices by its scheduler and
+     * executed concurrently. Each LayerResult records its placed
+     * device, and its stats are bitwise identical to running that
+     * layer serially on a single Session with that device's config
+     * (on a homogeneous cluster, identical to run()).
+     */
+    static ModelRunResult runSharded(Cluster &cluster,
+                                     const DnnModel &model,
+                                     ModelMethod method,
+                                     uint64_t seed = 1);
 
   private:
     Session &session_;

@@ -22,4 +22,16 @@ GpuConfig::a100Like()
     return cfg;
 }
 
+GpuConfig
+GpuConfig::futureGpu()
+{
+    GpuConfig cfg;
+    cfg.num_sms = 132;
+    cfg.clock_ghz = 1.76;
+    cfg.dram_bw_gbps = 3350.0;
+    cfg.l2_bytes = 50.0 * 1024 * 1024;
+    cfg.fp32_tflops = 60.0;
+    return cfg;
+}
+
 } // namespace dstc

@@ -71,6 +71,15 @@ struct GpuConfig
      */
     static GpuConfig a100Like();
 
+    /**
+     * A next-generation preset beyond the A100 class (H100-like SM
+     * count and HBM3-class bandwidth, larger L2), for heterogeneous
+     * cluster experiments: mixing it with v100() gives the scheduler
+     * a real speed gradient to exploit. Same OTC-pair arithmetic per
+     * sub-core, like a100Like().
+     */
+    static GpuConfig futureGpu();
+
     /** Total OTC-pair issue units (one per sub-core). */
     int totalSubcores() const { return num_sms * subcores_per_sm; }
 

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Method::Auto estimate-vs-actual tests. Auto ranks candidate
+ * backends by plan-stage estimates; for functional dual-sparse
+ * requests the estimate is profile-based (statistical intersection
+ * counts) while execution walks the real bitmap intersections — so
+ * there is a genuine gap to quantify. These tests pin its magnitude
+ * across the sparsity grid and assert it never misranks the
+ * candidates at the current backend crossovers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/session.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+/** The functional request of one (a_sparsity, b_sparsity) point. */
+KernelRequest
+pointRequest(const Matrix<float> &a, const Matrix<float> &b,
+             Method method)
+{
+    KernelRequest req = KernelRequest::gemm(a, b);
+    req.method = method;
+    req.gemm_options.functional = false; // stats are what we compare
+    return req;
+}
+
+TEST(AutoEstimateTest, EstimateIsRecordedInTheReport)
+{
+    // Auto dispatch computes the winning plan's estimate before
+    // executing; the report must carry it (planned_us) so serving
+    // layers can audit scheduler decisions after the fact.
+    Session session;
+    KernelRequest req = KernelRequest::gemm(512, 512, 512, 0.7, 0.9);
+    req.method = Method::Auto;
+    KernelReport report = session.run(req);
+    EXPECT_GT(report.planned_us, 0.0);
+    EXPECT_NE(report.method, Method::Auto);
+
+    // For the analytic timing paths the estimate *is* the run.
+    EXPECT_DOUBLE_EQ(report.planned_us, report.timeUs());
+}
+
+TEST(AutoEstimateTest, FunctionalDualSparseGapAcrossSparsityGrid)
+{
+    // Quantify the profile-estimate vs bitmap-actual gap of the
+    // functional dual-sparse path over the sparsity grid. The
+    // outer-product datapath computes every (a-nonzero x b-nonzero)
+    // pair of a k-line, so the instruction mix is a pure function of
+    // the per-line popcounts — which the extracted profiles carry
+    // exactly. The default dense write-back therefore has *zero*
+    // gap: the plan-stage estimate is exact, and Auto's ranking of
+    // functional dual-sparse requests is as trustworthy as its
+    // analytic ones.
+    Session session;
+    Rng rng(501);
+    for (double sa : {0.0, 0.5, 0.8, 0.95}) {
+        for (double sb : {0.5, 0.8, 0.9, 0.99}) {
+            Matrix<float> a = randomSparseMatrix(256, 256, sa, rng);
+            Matrix<float> b = randomSparseMatrix(256, 256, sb, rng);
+            KernelRequest req =
+                pointRequest(a, b, Method::DualSparse);
+            auto plan = session.plan(req);
+            const double estimate = plan->estimatedTimeUs();
+            KernelReport report = plan->execute();
+            const double actual = report.timeUs();
+            ASSERT_GT(actual, 0.0);
+            const double gap =
+                std::fabs(estimate - actual) / actual;
+            EXPECT_LT(gap, 1e-9)
+                << "a_sp=" << sa << " b_sp=" << sb << " estimate="
+                << estimate << " actual=" << actual;
+            // The recorded planned_us is the ranking estimate.
+            EXPECT_DOUBLE_EQ(report.planned_us, estimate);
+        }
+    }
+}
+
+TEST(AutoEstimateTest, SparseOutputEstimateStaysExactToo)
+{
+    // sparse_output engages the one statistical term — the
+    // output-nnz model sizing the bitmap-encoded write-back — but
+    // execution and estimation deliberately share that model (both
+    // derive p_cell_zero from the same per-line popcounts), so even
+    // here the plan-stage estimate must reproduce the actual stats.
+    // If either side ever switches to real product density, this
+    // pins the moment the gap opens.
+    Session session;
+    Rng rng(503);
+    for (double sp : {0.9, 0.95, 0.99}) {
+        Matrix<float> a = randomSparseMatrix(256, 256, sp, rng);
+        Matrix<float> b = randomSparseMatrix(256, 256, sp, rng);
+        KernelRequest req = pointRequest(a, b, Method::DualSparse);
+        req.gemm_options.sparse_output = true;
+        auto plan = session.plan(req);
+        const double estimate = plan->estimatedTimeUs();
+        const double actual = plan->execute().timeUs();
+        ASSERT_GT(actual, 0.0);
+        EXPECT_LT(std::fabs(estimate - actual) / actual, 1e-9)
+            << "sparsity=" << sp << " estimate=" << estimate
+            << " actual=" << actual;
+    }
+}
+
+TEST(AutoEstimateTest, PreEncodedEstimateIsExactWithoutRunning)
+{
+    // Pre-encoded requests estimate from profiles read off the
+    // encodings (SparsityProfile::fromEncodedA/B) — the derived
+    // counts are exact, so the estimate equals the executed stats,
+    // and cost-ranking (Auto, cluster placement) never has to run
+    // the kernel to price one.
+    Session session;
+    Rng rng(504);
+    Matrix<float> a = randomSparseMatrix(128, 128, 0.8, rng);
+    Matrix<float> b = randomSparseMatrix(128, 128, 0.9, rng);
+    SpGemmOptions opts;
+    opts.functional = false;
+    TwoLevelBitmapMatrix a_enc = TwoLevelBitmapMatrix::encode(
+        a, opts.tile_m, opts.tile_k, Major::Col);
+    TwoLevelBitmapMatrix b_enc = TwoLevelBitmapMatrix::encode(
+        b, opts.tile_k, opts.tile_n, Major::Row);
+    KernelRequest req;
+    req.kind = KernelRequest::Kind::Gemm;
+    req.method = Method::DualSparse;
+    req.m = a_enc.rows();
+    req.n = b_enc.cols();
+    req.k = a_enc.cols();
+    req.a_encoded = &a_enc;
+    req.b_encoded = &b_enc;
+    req.gemm_options = opts;
+    auto plan = session.plan(req);
+    const double estimate = plan->estimatedTimeUs();
+    const double actual = plan->execute().timeUs();
+    ASSERT_GT(actual, 0.0);
+    EXPECT_LT(std::fabs(estimate - actual) / actual, 1e-9)
+        << "estimate=" << estimate << " actual=" << actual;
+}
+
+TEST(AutoEstimateTest, NoMisrankingAtBackendCrossovers)
+{
+    // Walk the grid through the dense/dual/cusparse crossover
+    // region; at every point the backend Auto picks by estimate must
+    // be (near-)optimal by *actual* executed time: its actual time
+    // within 5% of the best candidate's actual time. This is the
+    // contract that keeps the estimate gap harmless — Auto may only
+    // be wrong where being wrong costs nothing.
+    Session session;
+    Rng rng(502);
+    const std::vector<Method> exact_candidates = {
+        Method::DualSparse, Method::Dense, Method::CusparseLike};
+    for (double sa : {0.0, 0.5, 0.9, 0.99}) {
+        for (double sb : {0.0, 0.7, 0.9, 0.99}) {
+            Matrix<float> a = randomSparseMatrix(192, 192, sa, rng);
+            Matrix<float> b = randomSparseMatrix(192, 192, sb, rng);
+
+            KernelReport auto_report =
+                session.run(pointRequest(a, b, Method::Auto));
+
+            double best_actual = 0.0;
+            double chosen_actual = 0.0;
+            for (Method method : exact_candidates) {
+                const double actual =
+                    session.run(pointRequest(a, b, method)).timeUs();
+                if (best_actual == 0.0 || actual < best_actual)
+                    best_actual = actual;
+                if (method == auto_report.method)
+                    chosen_actual = actual;
+            }
+            ASSERT_GT(chosen_actual, 0.0)
+                << "Auto picked a non-candidate backend";
+            EXPECT_LE(chosen_actual, best_actual * 1.05)
+                << "a_sp=" << sa << " b_sp=" << sb << " picked "
+                << methodName(auto_report.method) << " ("
+                << chosen_actual << " us) but best actual is "
+                << best_actual << " us";
+        }
+    }
+}
+
+} // namespace
+} // namespace dstc

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Cluster determinism and placement tests: the sharded multi-device
+ * front end must keep the PR 2-4 contract — every report bitwise
+ * identical to serial single-Session execution on the placed
+ * device's config — for every device count, policy and worker
+ * count, while the cost-model scheduler actually exploits
+ * heterogeneous device speed.
+ */
+#include "core/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/reference.h"
+
+namespace dstc {
+namespace {
+
+void
+expectStatsBitwiseEqual(const KernelStats &a, const KernelStats &b,
+                        const std::string &context)
+{
+    EXPECT_DOUBLE_EQ(a.compute_us, b.compute_us) << context;
+    EXPECT_DOUBLE_EQ(a.memory_us, b.memory_us) << context;
+    EXPECT_DOUBLE_EQ(a.dram_bytes, b.dram_bytes) << context;
+    EXPECT_DOUBLE_EQ(a.launch_us, b.launch_us) << context;
+    EXPECT_EQ(a.bound, b.bound) << context;
+    EXPECT_EQ(a.mix.hmma, b.mix.hmma) << context;
+    EXPECT_EQ(a.mix.ohmma_issued, b.mix.ohmma_issued) << context;
+    EXPECT_EQ(a.mix.ohmma_skipped, b.mix.ohmma_skipped) << context;
+    EXPECT_EQ(a.mix.bohmma, b.mix.bohmma) << context;
+    EXPECT_EQ(a.mix.popc, b.mix.popc) << context;
+    EXPECT_EQ(a.warp_tiles, b.warp_tiles) << context;
+    EXPECT_EQ(a.warp_tiles_skipped, b.warp_tiles_skipped) << context;
+    EXPECT_EQ(a.merge_cycles, b.merge_cycles) << context;
+}
+
+/** A mixed bag of GEMM and conv requests across methods (the same
+ *  shape of workload test_session.cc batches). */
+std::vector<KernelRequest>
+mixedRequests()
+{
+    std::vector<KernelRequest> requests;
+    uint64_t seed = 1;
+    for (Method method : {Method::DualSparse, Method::Dense,
+                          Method::ZhuSparse, Method::AmpereSparse,
+                          Method::CusparseLike, Method::Auto}) {
+        KernelRequest req =
+            KernelRequest::gemm(256, 256, 256, 0.6, 0.8);
+        req.method = method;
+        req.seed = seed++;
+        requests.push_back(req);
+    }
+    ConvShape shape;
+    shape.in_c = 32;
+    shape.in_h = shape.in_w = 14;
+    shape.out_c = 64;
+    for (Method method :
+         {Method::DualSparse, Method::Dense, Method::ZhuSparse}) {
+        KernelRequest req = KernelRequest::conv(shape, 0.7, 0.5);
+        req.method = method;
+        req.seed = seed++;
+        requests.push_back(req);
+    }
+    return requests;
+}
+
+constexpr PlacementPolicy kAllPolicies[] = {
+    PlacementPolicy::CostModel, PlacementPolicy::RoundRobin,
+    PlacementPolicy::StaticShard};
+
+TEST(ClusterTest, EveryPolicyDeviceCountAndWorkerCountIsBitwise)
+{
+    // The acceptance grid: device counts {1, 2, 4} x all three
+    // policies x worker counts {1, 4}, every report bitwise
+    // identical to serial single-Session execution.
+    Session serial_session;
+    std::vector<KernelReport> serial;
+    for (const KernelRequest &req : mixedRequests())
+        serial.push_back(serial_session.run(req));
+
+    for (size_t devices : {1u, 2u, 4u}) {
+        for (PlacementPolicy policy : kAllPolicies) {
+            for (int workers : {1, 4}) {
+                ClusterOptions opts;
+                opts.devices.assign(devices, GpuConfig::v100());
+                opts.policy = policy;
+                opts.num_threads = workers;
+                Cluster cluster(opts);
+                std::vector<KernelReport> reports =
+                    cluster.runBatch(mixedRequests());
+                ASSERT_EQ(reports.size(), serial.size());
+                for (size_t i = 0; i < reports.size(); ++i) {
+                    const std::string context =
+                        std::to_string(devices) + " devices, " +
+                        placementPolicyToken(policy) + ", " +
+                        std::to_string(workers) + " workers, req " +
+                        std::to_string(i);
+                    expectStatsBitwiseEqual(reports[i].stats,
+                                            serial[i].stats, context);
+                    EXPECT_EQ(reports[i].method, serial[i].method)
+                        << context;
+                    EXPECT_EQ(reports[i].backend, serial[i].backend)
+                        << context;
+                    EXPECT_GE(reports[i].device, 0) << context;
+                    EXPECT_LT(reports[i].device,
+                              static_cast<int>(devices))
+                        << context;
+                }
+            }
+        }
+    }
+}
+
+TEST(ClusterTest, HeterogeneousReportsMatchPlacedDeviceSerially)
+{
+    // On a mixed-config cluster every report must be reproducible by
+    // a fresh single Session with the placed device's GpuConfig.
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::a100Like(),
+                    GpuConfig::futureGpu()};
+    for (PlacementPolicy policy : kAllPolicies) {
+        opts.policy = policy;
+        Cluster cluster(opts);
+        std::vector<KernelRequest> requests = mixedRequests();
+        std::vector<KernelReport> reports =
+            cluster.runBatch(mixedRequests());
+        ASSERT_EQ(reports.size(), requests.size());
+        for (size_t i = 0; i < reports.size(); ++i) {
+            ASSERT_GE(reports[i].device, 0);
+            ASSERT_LT(reports[i].device, 3);
+            Session reference(
+                cluster.deviceConfig(reports[i].device));
+            KernelReport serial = reference.run(requests[i]);
+            expectStatsBitwiseEqual(
+                reports[i].stats, serial.stats,
+                std::string(placementPolicyToken(policy)) +
+                    ", req " + std::to_string(i));
+            EXPECT_EQ(reports[i].backend, serial.backend);
+        }
+    }
+}
+
+TEST(ClusterTest, PlacementIsDeterministic)
+{
+    // Placement is a pure function of the submission sequence: the
+    // worker count, repeated runs and a fresh cluster all see the
+    // same schedule.
+    for (PlacementPolicy policy : kAllPolicies) {
+        std::vector<std::vector<int>> schedules;
+        for (int workers : {1, 4, 1}) {
+            ClusterOptions opts;
+            opts.devices = {GpuConfig::v100(), GpuConfig::futureGpu(),
+                            GpuConfig::a100Like()};
+            opts.policy = policy;
+            opts.num_threads = workers;
+            Cluster cluster(opts);
+            std::vector<int> schedule;
+            for (const KernelReport &report :
+                 cluster.runBatch(mixedRequests()))
+                schedule.push_back(report.device);
+            schedules.push_back(std::move(schedule));
+        }
+        EXPECT_EQ(schedules[0], schedules[1])
+            << placementPolicyToken(policy);
+        EXPECT_EQ(schedules[0], schedules[2])
+            << placementPolicyToken(policy);
+    }
+}
+
+TEST(ClusterTest, CostModelShiftsLoadToTheFasterDevice)
+{
+    // 12 identical timing requests on {V100, future-GPU}: the ETF
+    // queue must hand the faster device the larger share, and beat
+    // round-robin's simulated makespan.
+    std::vector<KernelRequest> requests;
+    for (int i = 0; i < 12; ++i)
+        requests.push_back(
+            KernelRequest::gemm(1024, 1024, 1024, 0.7, 0.9));
+
+    auto makespan = [](const std::vector<KernelReport> &reports) {
+        double device_us[2] = {0.0, 0.0};
+        for (const KernelReport &r : reports)
+            device_us[r.device] += r.stats.timeUs();
+        return std::max(device_us[0], device_us[1]);
+    };
+
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::futureGpu()};
+    opts.policy = PlacementPolicy::CostModel;
+    Cluster cost(opts);
+    std::vector<KernelReport> cost_reports = cost.runBatch(requests);
+    EXPECT_GT(cost.load(1).placed, cost.load(0).placed);
+    EXPECT_GT(cost.load(1).estimated_busy_us, 0.0);
+
+    opts.policy = PlacementPolicy::RoundRobin;
+    Cluster rr(opts);
+    std::vector<KernelReport> rr_reports = rr.runBatch(requests);
+    EXPECT_EQ(rr.load(0).placed, rr.load(1).placed);
+    EXPECT_LT(makespan(cost_reports), makespan(rr_reports));
+}
+
+TEST(ClusterTest, StaticShardIsStableAcrossClustersAndOrder)
+{
+    // The shard key is structural: the same request lands on the
+    // same device in any cluster of the same size, regardless of
+    // submission order or what else is in the batch.
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::v100(),
+                    GpuConfig::v100()};
+    opts.policy = PlacementPolicy::StaticShard;
+    Cluster first(opts);
+    Cluster second(opts);
+
+    std::vector<KernelRequest> forward = mixedRequests();
+    std::vector<KernelRequest> reversed(forward.rbegin(),
+                                        forward.rend());
+    std::vector<KernelReport> a = first.runBatch(forward);
+    std::vector<KernelReport> b = second.runBatch(reversed);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].device, b[a.size() - 1 - i].device)
+            << "request " << i;
+}
+
+TEST(ClusterTest, SchedulerAccountingIsConsistent)
+{
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::a100Like()};
+    Cluster cluster(opts);
+    const size_t n = mixedRequests().size();
+    cluster.runBatch(mixedRequests());
+    int64_t placed = 0, completed = 0;
+    for (size_t d = 0; d < cluster.numDevices(); ++d) {
+        DeviceLoad load = cluster.load(d);
+        placed += load.placed;
+        completed += load.completed;
+        EXPECT_GE(load.completed, 0);
+        EXPECT_EQ(load.placed, load.completed) << "device " << d;
+    }
+    EXPECT_EQ(placed, static_cast<int64_t>(n));
+    EXPECT_EQ(completed, static_cast<int64_t>(n));
+}
+
+TEST(ClusterTest, EstimatesAreConfigKeyedInTheSharedCache)
+{
+    // The cluster-estimate cache family folds the device's machine
+    // parameters into its key (CacheKey::gpuConfig): the same
+    // request estimated on two configs must yield two distinct
+    // cached values — a key collision would silently hand device 1
+    // device 0's estimate and corrupt placement.
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::futureGpu()};
+    Cluster cluster(opts);
+    KernelRequest req = KernelRequest::gemm(512, 512, 512, 0.8, 0.9);
+    req.method = Method::DualSparse;
+    const double v100_us = cluster.estimateOn(0, req);
+    const double future_us = cluster.estimateOn(1, req);
+    EXPECT_GT(v100_us, 0.0);
+    EXPECT_GT(future_us, 0.0);
+    EXPECT_NE(v100_us, future_us);
+    EXPECT_LT(future_us, v100_us); // the faster machine estimates less
+    // Cached: re-asking must reproduce the per-config values.
+    EXPECT_DOUBLE_EQ(cluster.estimateOn(0, req), v100_us);
+    EXPECT_DOUBLE_EQ(cluster.estimateOn(1, req), future_us);
+
+    // Identical configs fold to identical keys: a homogeneous pair
+    // estimates once and shares the entry.
+    ClusterOptions same;
+    same.devices = {GpuConfig::v100(), GpuConfig::v100()};
+    Cluster homogeneous(same);
+    const double first = homogeneous.estimateOn(0, req);
+    const auto before = homogeneous.encodingCache().counters();
+    EXPECT_DOUBLE_EQ(homogeneous.estimateOn(1, req), first);
+    const auto after = homogeneous.encodingCache().counters();
+    EXPECT_EQ(before.misses, after.misses);
+    EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(ClusterTest, SharedCacheDeduplicatesEncodingsAcrossDevices)
+{
+    // One functional operand pair submitted across a heterogeneous
+    // cluster: the two-level encodings are pure in the operand
+    // contents, so whichever device encodes first, the others hit.
+    Rng rng(401);
+    Matrix<float> a = randomSparseMatrix(96, 96, 0.7, rng);
+    Matrix<float> b = randomSparseMatrix(96, 96, 0.7, rng);
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::futureGpu()};
+    opts.policy = PlacementPolicy::RoundRobin; // one per device
+    Cluster cluster(opts);
+    std::vector<KernelRequest> requests;
+    for (int i = 0; i < 2; ++i) {
+        KernelRequest req = KernelRequest::gemm(a, b);
+        req.method = Method::DualSparse;
+        requests.push_back(req);
+    }
+    std::vector<KernelReport> reports =
+        cluster.runBatch(std::move(requests));
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_NE(reports[0].device, reports[1].device);
+    // Both computed the same product (values are machine-independent).
+    ASSERT_NE(reports[0].d, nullptr);
+    ASSERT_NE(reports[1].d, nullptr);
+    EXPECT_LT(maxAbsDiff(*reports[0].d, refGemmFp16(a, b)), 1e-5);
+    EXPECT_EQ(reports[0].d->data(), reports[1].d->data());
+    // And at least one request was served encodings from the cache.
+    EXPECT_TRUE(reports[0].encode_cache_hit ||
+                reports[1].encode_cache_hit);
+}
+
+TEST(ClusterTest, DestructionDrainsOutstandingSubmits)
+{
+    // Destroying a Cluster with un-consumed futures must drain the
+    // queued work while the sessions and scheduler are still alive
+    // (the pool is declared last for exactly this), and the futures
+    // must stay valid afterwards.
+    std::vector<std::future<KernelReport>> orphans;
+    {
+        ClusterOptions opts;
+        opts.devices = {GpuConfig::v100(), GpuConfig::v100()};
+        opts.num_threads = 2;
+        Cluster cluster(opts);
+        for (uint64_t seed = 1; seed <= 4; ++seed) {
+            KernelRequest req =
+                KernelRequest::gemm(256, 256, 256, 0.6, 0.8);
+            req.method = Method::DualSparse;
+            req.seed = seed;
+            orphans.push_back(cluster.submit(req));
+        }
+    } // ~Cluster with work possibly still queued
+    for (auto &future : orphans)
+        EXPECT_GT(future.get().timeUs(), 0.0);
+}
+
+TEST(ClusterTest, SubmitBatchFuturesAreIndexAligned)
+{
+    // Functional requests with distinct operands: each future must
+    // return its own product (the test_session.cc guarantee, lifted
+    // to the cluster).
+    Rng rng(402);
+    std::vector<Matrix<float>> as, bs;
+    for (int i = 0; i < 4; ++i) {
+        as.push_back(randomSparseMatrix(48, 48, 0.5, rng));
+        bs.push_back(randomSparseMatrix(48, 48, 0.5, rng));
+    }
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::a100Like()};
+    Cluster cluster(opts);
+    std::vector<KernelRequest> requests;
+    for (int i = 0; i < 4; ++i) {
+        KernelRequest req = KernelRequest::gemm(as[i], bs[i]);
+        req.method = Method::DualSparse;
+        requests.push_back(req);
+    }
+    std::vector<KernelReport> reports =
+        cluster.runBatch(std::move(requests));
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_NE(reports[i].d, nullptr);
+        EXPECT_LT(maxAbsDiff(*reports[i].d, refGemmFp16(as[i], bs[i])),
+                  1e-5)
+            << i;
+    }
+}
+
+} // namespace
+} // namespace dstc

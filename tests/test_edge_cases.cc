@@ -8,9 +8,9 @@
 #include <gtest/gtest.h>
 
 #include "common/fp16.h"
-#include "core/engine.h"
 #include "common/rng.h"
 #include "im2col/dense_im2col.h"
+#include "session_test_util.h"
 #include "tensor/reference.h"
 
 namespace dstc {
@@ -21,7 +21,7 @@ TEST(EdgeCases, RectangularFeatureMapConv)
     // in_h != in_w exercises the row/column bookkeeping of every
     // im2col variant through the executor.
     Rng rng(301);
-    DstcEngine engine;
+    Session session;
     ConvShape shape;
     shape.in_c = 3;
     shape.in_h = 7;
@@ -36,11 +36,12 @@ TEST(EdgeCases, RectangularFeatureMapConv)
     Tensor4d golden = refConv2d(input, weights, shape.params());
     for (ConvMethod method : {ConvMethod::DenseExplicit,
                               ConvMethod::DualSparseImplicit}) {
-        ConvResult r = engine.conv(input, weights, shape, method);
+        KernelReport r =
+            testutil::conv(session, input, weights, shape, method);
         double worst = 0.0;
         for (size_t i = 0; i < golden.size(); ++i)
             worst = std::max(worst, static_cast<double>(std::fabs(
-                                        r.output.data()[i] -
+                                        r.output->data()[i] -
                                         golden.data()[i])));
         EXPECT_LT(worst, 2e-2) << convMethodName(method);
     }
@@ -49,14 +50,14 @@ TEST(EdgeCases, RectangularFeatureMapConv)
 TEST(EdgeCases, WideThinAndTallSkinnyGemm)
 {
     Rng rng(302);
-    DstcEngine engine;
+    Session session;
     for (auto [m, k, n] : {std::tuple{1, 257, 95},
                            std::tuple{95, 3, 200},
                            std::tuple{200, 129, 1}}) {
         Matrix<float> a = randomSparseMatrix(m, k, 0.5, rng);
         Matrix<float> b = randomSparseMatrix(k, n, 0.5, rng);
-        SpGemmResult r = engine.spgemm(a, b);
-        EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(a, b)), 1e-5)
+        KernelReport r = testutil::spgemm(session, a, b);
+        EXPECT_LT(maxAbsDiff(*r.d, refGemmFp16(a, b)), 1e-5)
             << m << "x" << k << "x" << n;
     }
 }
@@ -67,15 +68,15 @@ TEST(EdgeCases, NonDefaultTileKMatchesDefault)
     // instruction totals are tiling-invariant (the k loop covers the
     // same non-zeros regardless of chunking).
     Rng rng(303);
-    DstcEngine engine;
+    Session session;
     Matrix<float> a = randomSparseMatrix(96, 160, 0.7, rng);
     Matrix<float> b = randomSparseMatrix(160, 96, 0.7, rng);
     SpGemmOptions defaults;
     SpGemmOptions chunked;
     chunked.tile_k = 64;
-    SpGemmResult r1 = engine.spgemm(a, b, defaults);
-    SpGemmResult r2 = engine.spgemm(a, b, chunked);
-    EXPECT_LT(maxAbsDiff(r1.d, r2.d), 1e-9);
+    KernelReport r1 = testutil::spgemm(session, a, b, defaults);
+    KernelReport r2 = testutil::spgemm(session, a, b, chunked);
+    EXPECT_LT(maxAbsDiff(*r1.d, *r2.d), 1e-9);
     EXPECT_EQ(r1.stats.mix.ohmma_issued, r2.stats.mix.ohmma_issued);
     EXPECT_EQ(r1.stats.mix.bohmma, r2.stats.mix.bohmma);
 }
@@ -83,15 +84,16 @@ TEST(EdgeCases, NonDefaultTileKMatchesDefault)
 TEST(EdgeCases, SparseOutputOptionOnlyAffectsMemory)
 {
     Rng rng(304);
-    DstcEngine engine;
+    Session session;
     Matrix<float> a = randomSparseMatrix(128, 128, 0.95, rng);
     Matrix<float> b = randomSparseMatrix(128, 128, 0.95, rng);
     SpGemmOptions dense_out;
     dense_out.functional = false;
     SpGemmOptions sparse_out = dense_out;
     sparse_out.sparse_output = true;
-    KernelStats d = engine.spgemm(a, b, dense_out).stats;
-    KernelStats s = engine.spgemm(a, b, sparse_out).stats;
+    KernelStats d = testutil::spgemm(session, a, b, dense_out).stats;
+    KernelStats s =
+        testutil::spgemm(session, a, b, sparse_out).stats;
     EXPECT_DOUBLE_EQ(d.compute_us, s.compute_us);
     EXPECT_LE(s.dram_bytes, d.dram_bytes);
 }
@@ -100,7 +102,7 @@ TEST(EdgeCases, Fp16ExtremeValuesThroughSpGemm)
 {
     // Values at the edge of FP16 range survive the encode /
     // condense / multiply pipeline like the reference.
-    DstcEngine engine;
+    Session session;
     Matrix<float> a(32, 32), b(32, 32);
     a.at(0, 0) = 65504.0f;   // max finite half
     a.at(1, 1) = -65504.0f;
@@ -108,11 +110,11 @@ TEST(EdgeCases, Fp16ExtremeValuesThroughSpGemm)
     b.at(0, 0) = 0.5f;
     b.at(1, 1) = 2.0f;       // -65504 * 2 overflows to -inf in FP32? no
     b.at(2, 2) = 1.0f;
-    SpGemmResult r = engine.spgemm(a, b);
+    KernelReport r = testutil::spgemm(session, a, b);
     Matrix<float> golden = refGemmFp16(a, b);
-    EXPECT_EQ(r.d.at(0, 0), golden.at(0, 0));
-    EXPECT_EQ(r.d.at(1, 1), golden.at(1, 1));
-    EXPECT_EQ(r.d.at(2, 2), golden.at(2, 2));
+    EXPECT_EQ(r.d->at(0, 0), golden.at(0, 0));
+    EXPECT_EQ(r.d->at(1, 1), golden.at(1, 1));
+    EXPECT_EQ(r.d->at(2, 2), golden.at(2, 2));
 }
 
 TEST(EdgeCases, KernelLargerThanPaddedInput)
@@ -120,7 +122,7 @@ TEST(EdgeCases, KernelLargerThanPaddedInput)
     // 5x5 kernel over a 4x4 input with pad 2: windows consist mostly
     // of padding.
     Rng rng(305);
-    DstcEngine engine;
+    Session session;
     ConvShape shape;
     shape.in_c = 2;
     shape.in_h = shape.in_w = 4;
@@ -130,20 +132,20 @@ TEST(EdgeCases, KernelLargerThanPaddedInput)
     Tensor4d input = randomSparseTensor(1, 2, 4, 4, 0.3, rng);
     Matrix<float> weights = randomSparseMatrix(3, 50, 0.2, rng);
     Tensor4d golden = refConv2d(input, weights, shape.params());
-    ConvResult r = engine.conv(input, weights, shape,
-                               ConvMethod::DualSparseImplicit);
+    KernelReport r = testutil::conv(session, input, weights, shape,
+                                    ConvMethod::DualSparseImplicit);
     double worst = 0.0;
     for (size_t i = 0; i < golden.size(); ++i)
         worst = std::max(worst,
                          static_cast<double>(std::fabs(
-                             r.output.data()[i] - golden.data()[i])));
+                             r.output->data()[i] - golden.data()[i])));
     EXPECT_LT(worst, 2e-2);
 }
 
 TEST(EdgeCases, BatchGreaterThanOne)
 {
     Rng rng(306);
-    DstcEngine engine;
+    Session session;
     ConvShape shape;
     shape.batch = 3;
     shape.in_c = 4;
@@ -154,13 +156,13 @@ TEST(EdgeCases, BatchGreaterThanOne)
     Tensor4d input = randomSparseTensor(3, 4, 9, 9, 0.5, rng);
     Matrix<float> weights = randomSparseMatrix(6, 36, 0.6, rng);
     Tensor4d golden = refConv2d(input, weights, shape.params());
-    ConvResult r = engine.conv(input, weights, shape,
-                               ConvMethod::DualSparseImplicit);
+    KernelReport r = testutil::conv(session, input, weights, shape,
+                                    ConvMethod::DualSparseImplicit);
     double worst = 0.0;
     for (size_t i = 0; i < golden.size(); ++i)
         worst = std::max(worst,
                          static_cast<double>(std::fabs(
-                             r.output.data()[i] - golden.data()[i])));
+                             r.output->data()[i] - golden.data()[i])));
     EXPECT_LT(worst, 2e-2);
 }
 
@@ -169,7 +171,7 @@ TEST(EdgeCases, OneByOneConvIsPureGemm)
     // kernel=1, pad=0: the lowered matrix is the flattened input,
     // and all methods reduce to plain (Sp)GEMM.
     Rng rng(307);
-    DstcEngine engine;
+    Session session;
     ConvShape shape;
     shape.in_c = 8;
     shape.in_h = shape.in_w = 6;
@@ -180,13 +182,13 @@ TEST(EdgeCases, OneByOneConvIsPureGemm)
     Matrix<float> weights = randomSparseMatrix(4, 8, 0.4, rng);
     EXPECT_NEAR(shape.inflation(), 1.0, 1e-9);
     Tensor4d golden = refConv2d(input, weights, shape.params());
-    ConvResult r = engine.conv(input, weights, shape,
-                               ConvMethod::DualSparseImplicit);
+    KernelReport r = testutil::conv(session, input, weights, shape,
+                                    ConvMethod::DualSparseImplicit);
     double worst = 0.0;
     for (size_t i = 0; i < golden.size(); ++i)
         worst = std::max(worst,
                          static_cast<double>(std::fabs(
-                             r.output.data()[i] - golden.data()[i])));
+                             r.output->data()[i] - golden.data()[i])));
     EXPECT_LT(worst, 2e-2);
 }
 

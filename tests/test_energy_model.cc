@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
-#include "core/engine.h"
+#include "session_test_util.h"
 
 namespace dstc {
 namespace {
@@ -38,13 +38,13 @@ TEST_F(EnergyTest, DenseEnergyMagnitudeIsSane)
 
 TEST_F(EnergyTest, SparsitySavesEnergy)
 {
-    DstcEngine engine(cfg_);
+    Session session(cfg_);
     Rng rng(171);
     SparsityProfile a =
         SparsityProfile::randomA(2048, 2048, 32, 0.2, 1.0, rng);
     SparsityProfile b =
         SparsityProfile::randomA(2048, 2048, 32, 0.2, 1.0, rng);
-    KernelStats sparse_stats = engine.spgemmTime(a, b);
+    KernelStats sparse_stats = testutil::spgemmTime(session, a, b);
     EnergyReport sparse_energy =
         estimateEnergy(sparse_stats, params_, cfg_);
     EnergyReport dense_energy =
@@ -57,11 +57,11 @@ TEST_F(EnergyTest, BitmapOverheadIsCharged)
     // The dual-side kernel pays for BOHMMA/POPC/merge energy that a
     // dense kernel does not have; on a fully dense input it must
     // therefore cost more energy than the dense kernel.
-    DstcEngine engine(cfg_);
+    Session session(cfg_);
     SparsityProfile a = SparsityProfile::denseA(1024, 1024, 32);
     SparsityProfile b =
         SparsityProfile::denseA(1024, 1024, 32); // N-side full too
-    KernelStats stats = engine.spgemmTime(a, b);
+    KernelStats stats = testutil::spgemmTime(session, a, b);
     EnergyReport ours = estimateEnergy(stats, params_, cfg_);
     EnergyReport dense =
         denseGemmEnergy(1024, 1024, 1024, params_, cfg_);
@@ -70,14 +70,14 @@ TEST_F(EnergyTest, BitmapOverheadIsCharged)
 
 TEST_F(EnergyTest, BreakdownPartsAreNonNegative)
 {
-    DstcEngine engine(cfg_);
+    Session session(cfg_);
     Rng rng(172);
     SparsityProfile a =
         SparsityProfile::randomA(512, 512, 32, 0.1, 4.0, rng);
     SparsityProfile b =
         SparsityProfile::randomA(512, 512, 32, 0.1, 4.0, rng);
     EnergyReport report =
-        estimateEnergy(engine.spgemmTime(a, b), params_, cfg_);
+        estimateEnergy(testutil::spgemmTime(session, a, b), params_, cfg_);
     EXPECT_GE(report.compute_uj, 0.0);
     EXPECT_GE(report.merge_uj, 0.0);
     EXPECT_GE(report.dram_uj, 0.0);

@@ -9,11 +9,11 @@
 #include <gtest/gtest.h>
 
 #include "baselines/zhu_sparse_tc.h"
-#include "core/engine.h"
 #include "common/rng.h"
 #include "model/pruning.h"
 #include "model/sparsity_gen.h"
 #include "model/zoo.h"
+#include "session_test_util.h"
 #include "sparse/serialize.h"
 #include "tensor/reference.h"
 
@@ -25,24 +25,25 @@ TEST(Integration, PrunedGemmEndToEnd)
     // AGP-prune a weight matrix, generate ReLU activations, run the
     // full dual-side SpGEMM, and check against the reference.
     Rng rng(231);
-    DstcEngine engine;
+    Session session;
     Matrix<float> weights = randomSparseMatrix(96, 96, 0.0, rng);
     Matrix<float> pruned = agpPrune(weights, 0.85, 8);
     Matrix<float> acts = reluActivationMatrix(96, 96, 0.55, rng);
 
-    SpGemmResult r = engine.spgemm(acts, pruned);
-    EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(acts, pruned)), 1e-5);
+    KernelReport r = testutil::spgemm(session, acts, pruned);
+    EXPECT_LT(maxAbsDiff(*r.d, refGemmFp16(acts, pruned)), 1e-5);
     EXPECT_GT(r.stats.mix.ohmma_skipped, 0);
 
     // And it is faster than the dense run of the same shape.
     SpGemmOptions timing;
     timing.functional = false;
     const double sparse_t =
-        engine.spgemm(acts, pruned, timing).stats.compute_us;
+        testutil::spgemm(session, acts, pruned, timing).stats.compute_us;
     Matrix<float> dense_a = randomSparseMatrix(96, 96, 0.0, rng);
     Matrix<float> dense_b = randomSparseMatrix(96, 96, 0.0, rng);
     const double dense_t =
-        engine.spgemm(dense_a, dense_b, timing).stats.compute_us;
+        testutil::spgemm(session, dense_a, dense_b, timing)
+            .stats.compute_us;
     EXPECT_LT(sparse_t, dense_t);
 }
 
@@ -53,7 +54,7 @@ TEST(Integration, ConvLayerFromModelZoo)
     // (toy 16-channel shapes are launch-grain noise, not the paper's
     // operating regime).
     Rng rng(232);
-    DstcEngine engine;
+    Session session;
     const ConvLayerSpec real_layer = makeResnet18().conv_layers[1];
     ConvShape shape = real_layer.shape;
     shape.in_h = shape.in_w = 14; // shrink for functional checking
@@ -67,28 +68,31 @@ TEST(Integration, ConvLayerFromModelZoo)
 
     for (ConvMethod method :
          {ConvMethod::DenseImplicit, ConvMethod::DualSparseImplicit}) {
-        ConvResult r = engine.conv(input, weights, shape, method);
+        KernelReport r =
+            testutil::conv(session, input, weights, shape, method);
         double worst = 0.0;
         for (size_t i = 0; i < golden.size(); ++i)
             worst = std::max(worst, static_cast<double>(std::fabs(
-                                        r.output.data()[i] -
+                                        r.output->data()[i] -
                                         golden.data()[i])));
         EXPECT_LT(worst, 2e-2) << convMethodName(method);
     }
 
     const double dense_time =
-        engine
-            .convTime(real_layer.shape, ConvMethod::DenseImplicit,
-                      real_layer.weight_sparsity,
-                      real_layer.act_sparsity, 3,
-                      real_layer.weight_cluster, real_layer.act_cluster)
+        testutil::convTime(session, real_layer.shape,
+                           ConvMethod::DenseImplicit,
+                           real_layer.weight_sparsity,
+                           real_layer.act_sparsity, 3,
+                           real_layer.weight_cluster,
+                           real_layer.act_cluster)
             .timeUs();
     const double dual_time =
-        engine
-            .convTime(real_layer.shape, ConvMethod::DualSparseImplicit,
-                      real_layer.weight_sparsity,
-                      real_layer.act_sparsity, 3,
-                      real_layer.weight_cluster, real_layer.act_cluster)
+        testutil::convTime(session, real_layer.shape,
+                           ConvMethod::DualSparseImplicit,
+                           real_layer.weight_sparsity,
+                           real_layer.act_sparsity, 3,
+                           real_layer.weight_cluster,
+                           real_layer.act_cluster)
             .timeUs();
     EXPECT_LT(dual_time, dense_time);
 }
@@ -99,13 +103,14 @@ TEST(Integration, Fig21PointMatchesHeadline)
     // CUTLASS. The paper reports a clear multi-x win; our model
     // should land in the same regime (see EXPERIMENTS.md).
     Rng rng(233);
-    DstcEngine engine;
+    Session session;
     SparsityProfile a =
         SparsityProfile::denseA(2048, 2048, 32);
     SparsityProfile b =
         SparsityProfile::randomA(2048, 2048, 32, 0.01, 1.0, rng);
-    const double ours = engine.spgemmTime(a, b).timeUs();
-    const double dense = engine.denseGemmTime(2048, 2048, 2048).timeUs();
+    const double ours = testutil::spgemmTime(session, a, b).timeUs();
+    const double dense =
+        testutil::denseGemmTime(session, 2048, 2048, 2048).timeUs();
     EXPECT_GT(dense / ours, 3.0);
     EXPECT_LT(dense / ours, 25.0);
 }
@@ -115,7 +120,7 @@ TEST(Integration, ZhuBaselineFunctionalPipeline)
     // Vector-prune weights into Zhu's format and validate the single
     // sparse explicit conv path computes that model's convolution.
     Rng rng(234);
-    DstcEngine engine;
+    Session session;
     ConvShape shape;
     shape.in_c = 8;
     shape.in_h = shape.in_w = 10;
@@ -125,14 +130,14 @@ TEST(Integration, ZhuBaselineFunctionalPipeline)
     Tensor4d input = reluActivationTensor(1, 8, 10, 10, 0.4, rng);
     Matrix<float> weights = vectorWisePrune(
         randomSparseMatrix(8, 72, 0.0, rng), 16, kZhuPruneRatio);
-    ConvResult r = engine.conv(input, weights, shape,
-                               ConvMethod::SingleSparseExplicit);
+    KernelReport r = testutil::conv(session, input, weights, shape,
+                                    ConvMethod::SingleSparseExplicit);
     Tensor4d golden = refConv2d(input, weights, shape.params());
     double worst = 0.0;
     for (size_t i = 0; i < golden.size(); ++i)
         worst = std::max(worst,
                          static_cast<double>(std::fabs(
-                             r.output.data()[i] - golden.data()[i])));
+                             r.output->data()[i] - golden.data()[i])));
     EXPECT_LT(worst, 2e-2);
 }
 
@@ -144,7 +149,7 @@ TEST(Integration, TwoLevelBitmapHelpsClusteredHighSparsity)
     // tiles' occupancy-check work would otherwise show up in the
     // makespan.
     Rng rng(235);
-    DstcEngine engine;
+    Session session;
     Matrix<float> a =
         clusteredSparseMatrix(2048, 2048, 0.97, 32, 24.0, rng);
     Matrix<float> b =
@@ -154,9 +159,9 @@ TEST(Integration, TwoLevelBitmapHelpsClusteredHighSparsity)
     SpGemmOptions no_skip = with_skip;
     no_skip.two_level = false;
     const double skip_t =
-        engine.spgemm(a, b, with_skip).stats.compute_us;
+        testutil::spgemm(session, a, b, with_skip).stats.compute_us;
     const double noskip_t =
-        engine.spgemm(a, b, no_skip).stats.compute_us;
+        testutil::spgemm(session, a, b, no_skip).stats.compute_us;
     EXPECT_LT(skip_t, noskip_t);
 }
 
@@ -166,7 +171,7 @@ TEST(Integration, DeploymentFlowSerializeEncodeMultiply)
     // checkpoint, reload it elsewhere, re-encode two-level, and run
     // the encoded-operand SpGEMM across several "inference" batches.
     Rng rng(237);
-    DstcEngine engine;
+    Session session;
     Matrix<float> weights =
         agpPrune(randomSparseMatrix(64, 96, 0.0, rng), 0.8, 6);
 
@@ -184,8 +189,9 @@ TEST(Integration, DeploymentFlowSerializeEncodeMultiply)
         Matrix<float> acts = reluActivationMatrix(96, 64, 0.5, rng);
         TwoLevelBitmapMatrix a_enc = TwoLevelBitmapMatrix::encode(
             acts, opts.tile_m, opts.tile_k, Major::Col);
-        SpGemmResult r = engine.spgemmEncoded(a_enc, b_enc, opts);
-        EXPECT_LT(maxAbsDiff(r.d, refGemmFp16(acts, weights)), 1e-5)
+        KernelReport r =
+            testutil::spgemmEncoded(session, a_enc, b_enc, opts);
+        EXPECT_LT(maxAbsDiff(*r.d, refGemmFp16(acts, weights)), 1e-5)
             << "batch " << batch;
     }
 }
@@ -195,7 +201,7 @@ TEST(Integration, BertLayerGemmOrdering)
     // A BERT FFN layer shape: single-sparse is capped; ours exploits
     // the >90% weight sparsity (Fig. 22 BERT panel).
     Rng rng(236);
-    DstcEngine engine;
+    Session session;
     const auto layer = makeBertBase().gemm_layers[2]; // ffn-1
     SparsityProfile a = SparsityProfile::randomA(
         layer.m, layer.k, 32, 1.0 - layer.act_sparsity,
@@ -203,12 +209,13 @@ TEST(Integration, BertLayerGemmOrdering)
     SparsityProfile b = SparsityProfile::randomA(
         layer.n, layer.k, 32, 1.0 - layer.weight_sparsity,
         layer.weight_cluster, rng);
-    const double ours = engine.spgemmTime(a, b).timeUs();
+    const double ours = testutil::spgemmTime(session, a, b).timeUs();
     const double dense =
-        engine.denseGemmTime(layer.m, layer.n, layer.k).timeUs();
+        testutil::denseGemmTime(session, layer.m, layer.n, layer.k)
+            .timeUs();
     const double zhu =
-        engine.zhuGemmTime(layer.m, layer.n, layer.k,
-                           layer.weight_sparsity)
+        testutil::zhuGemmTime(session, layer.m, layer.n, layer.k,
+                              layer.weight_sparsity)
             .timeUs();
     EXPECT_LT(ours, zhu);
     EXPECT_LT(zhu, dense);

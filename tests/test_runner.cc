@@ -122,13 +122,26 @@ TEST_F(RunnerTest, AutoMethodRunsAndBeatsOrMatchesDual)
         EXPECT_FALSE(layer.backend.empty()) << layer.name;
 }
 
-TEST_F(RunnerTest, DeprecatedEngineConstructorStillWorks)
+TEST_F(RunnerTest, ShardedModelMatchesSerialRunner)
 {
-    DstcEngine engine;
-    ModelRunner legacy(engine);
-    ModelRunResult result =
-        legacy.run(makeRnnLM(), ModelMethod::DualSparseImplicit);
-    EXPECT_GT(result.totalTimeUs(), 0.0);
+    // runSharded over a homogeneous cluster must reproduce the
+    // serial single-Session run layer for layer.
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::v100()};
+    Cluster cluster(opts);
+    ModelRunResult serial =
+        runner_.run(makeRnnLM(), ModelMethod::DualSparseImplicit, 9);
+    ModelRunResult sharded = ModelRunner::runSharded(
+        cluster, makeRnnLM(), ModelMethod::DualSparseImplicit, 9);
+    ASSERT_EQ(serial.layers.size(), sharded.layers.size());
+    for (size_t i = 0; i < serial.layers.size(); ++i) {
+        EXPECT_EQ(serial.layers[i].name, sharded.layers[i].name);
+        EXPECT_DOUBLE_EQ(serial.layers[i].stats.timeUs(),
+                         sharded.layers[i].stats.timeUs());
+        EXPECT_GE(sharded.layers[i].device, 0);
+        EXPECT_LT(sharded.layers[i].device, 2);
+    }
+    EXPECT_DOUBLE_EQ(serial.totalTimeUs(), sharded.totalTimeUs());
 }
 
 } // namespace

@@ -4,9 +4,12 @@
 
 #include <vector>
 
+#include "baselines/cutlass_like.h"
 #include "common/rng.h"
-#include "core/engine.h"
+#include "gemm/spgemm_device.h"
+#include "hwmodel/area_power.h"
 #include "model/runner.h"
+#include "session_test_util.h"
 #include "tensor/reference.h"
 
 namespace dstc {
@@ -60,10 +63,11 @@ mixedRequests()
     return requests;
 }
 
-TEST(SessionTest, RunMatchesEngineShim)
+TEST(SessionTest, RunMatchesDeviceModels)
 {
+    // The plan-execute front end is plumbing, not math: a Session
+    // run must reproduce the underlying device models bitwise.
     Session session;
-    DstcEngine engine;
     Rng rng(301);
     SparsityProfile pa =
         SparsityProfile::randomA(512, 512, 32, 0.3, 1.0, rng);
@@ -72,14 +76,17 @@ TEST(SessionTest, RunMatchesEngineShim)
 
     KernelRequest req = KernelRequest::gemm(pa, pb);
     req.method = Method::DualSparse;
+    SpGemmDevice device(session.config());
     expectStatsBitwiseEqual(session.run(req).stats,
-                            engine.spgemmTime(pa, pb), "spgemmTime");
+                            device.timeFromProfiles(pa, pb, {}),
+                            "timeFromProfiles");
 
     KernelRequest dense = KernelRequest::gemm(2048, 1024, 512);
     dense.method = Method::Dense;
     expectStatsBitwiseEqual(session.run(dense).stats,
-                            engine.denseGemmTime(2048, 1024, 512),
-                            "denseGemmTime");
+                            cutlassGemm(session.config(), 2048, 1024,
+                                        512),
+                            "cutlassGemm");
 }
 
 TEST(SessionTest, SubmitReturnsFuture)
@@ -266,6 +273,111 @@ TEST(SessionTest, PlanExposesEstimateBeforeExecution)
     KernelReport report = plan->execute();
     EXPECT_DOUBLE_EQ(report.timeUs(), estimate);
     EXPECT_DOUBLE_EQ(report.planned_us, estimate);
+}
+
+// -- the paper's anchors, Session-native (formerly test_engine.cc) --
+
+TEST(SessionAnchors, DenseBaselineAnchors)
+{
+    Session session;
+    KernelStats dense =
+        testutil::denseGemmTime(session, 4096, 4096, 4096);
+    // Real V100 CUTLASS FP16 TC time for 4096^3 is ~1.2-1.5 ms.
+    EXPECT_GT(dense.timeUs(), 1000.0);
+    EXPECT_LT(dense.timeUs(), 2000.0);
+}
+
+TEST(SessionAnchors, DualSideBeatsAllBaselinesAtModerateSparsity)
+{
+    // A 70%/70% dual-sparse problem: ours should beat CUTLASS, the
+    // fixed-rate sparse tensor core, and cuSparse (Fig. 21 region).
+    Session session;
+    Rng rng(223);
+    const int n = 1024;
+    SparsityProfile pa =
+        SparsityProfile::randomA(n, n, 32, 0.3, 1.0, rng);
+    SparsityProfile pb =
+        SparsityProfile::randomA(n, n, 32, 0.3, 1.0, rng);
+    const double ours = testutil::spgemmTime(session, pa, pb).timeUs();
+    const double dense =
+        testutil::denseGemmTime(session, n, n, n).timeUs();
+    const double zhu =
+        testutil::zhuGemmTime(session, n, n, n, 0.7).timeUs();
+    const double cusparse =
+        testutil::cusparseTime(session, n, n, n, 0.3, 0.3).timeUs();
+    EXPECT_LT(ours, dense);
+    EXPECT_LT(ours, zhu);
+    EXPECT_LT(ours, cusparse);
+}
+
+TEST(SessionAnchors, ConvTimeOrderingAcrossMethods)
+{
+    Session session;
+    ConvShape shape;
+    shape.in_c = 64;
+    shape.in_h = shape.in_w = 28;
+    shape.out_c = 64;
+    shape.kernel = 3;
+    shape.pad = 1;
+    const double dense_exp =
+        testutil::convTime(session, shape, ConvMethod::DenseExplicit,
+                           0.8, 0.6)
+            .timeUs();
+    const double dense_imp =
+        testutil::convTime(session, shape, ConvMethod::DenseImplicit,
+                           0.8, 0.6)
+            .timeUs();
+    const double dual =
+        testutil::convTime(session, shape,
+                           ConvMethod::DualSparseImplicit, 0.8, 0.6)
+            .timeUs();
+    EXPECT_LT(dense_imp, dense_exp);
+    EXPECT_LT(dual, dense_imp);
+}
+
+TEST(SessionAnchors, HardwareOverheadExposed)
+{
+    Session session;
+    OverheadReport report = estimateOverhead(session.config());
+    EXPECT_NEAR(report.totalAreaMm2(), 12.846, 0.6);
+}
+
+TEST(SessionAnchors, A100PresetIsFasterOnMemoryBoundPoints)
+{
+    Session v100;
+    Session a100(GpuConfig::a100Like());
+    Rng rng(226);
+    SparsityProfile a =
+        SparsityProfile::randomA(4096, 4096, 32, 0.001, 8.0, rng);
+    SparsityProfile b =
+        SparsityProfile::randomA(4096, 4096, 32, 0.01, 8.0, rng);
+    KernelStats v100_stats = testutil::spgemmTime(v100, a, b);
+    KernelStats a100_stats = testutil::spgemmTime(a100, a, b);
+    // The high-sparsity point is memory bound on the V100; the
+    // A100-class memory system must shrink it.
+    EXPECT_EQ(v100_stats.bound, Bound::Memory);
+    EXPECT_LT(a100_stats.memory_us, v100_stats.memory_us);
+    EXPECT_LT(a100_stats.timeUs(), v100_stats.timeUs());
+}
+
+TEST(SessionAnchors, FutureGpuPresetIsFasterStill)
+{
+    // The future-GPU preset must extend the same gradient the
+    // A100-class preset starts — that speed spread is what the
+    // cluster scheduler's heterogeneous placement exploits.
+    Session v100;
+    Session future(GpuConfig::futureGpu());
+    Rng rng(227);
+    SparsityProfile a =
+        SparsityProfile::randomA(4096, 4096, 32, 0.001, 8.0, rng);
+    SparsityProfile b =
+        SparsityProfile::randomA(4096, 4096, 32, 0.01, 8.0, rng);
+    EXPECT_LT(testutil::spgemmTime(future, a, b).timeUs(),
+              testutil::spgemmTime(v100, a, b).timeUs());
+    EXPECT_LT(testutil::denseGemmTime(future, 2048, 2048, 2048)
+                  .timeUs(),
+              testutil::denseGemmTime(v100, 2048, 2048, 2048)
+                  .timeUs());
 }
 
 } // namespace

@@ -130,5 +130,41 @@ TEST(SparsityProfile, FromLoweredMatchesDecodedMatrix)
                 << "g=" << g << " k=" << kk;
 }
 
+TEST(SparsityProfileTest, FromEncodedMatchesFromMatrix)
+{
+    // The profiles read off a two-level encoding (packing-offset
+    // counts, no decode) must equal the element-wise extraction from
+    // the matrix the encoding came from — including ragged edges.
+    Rng rng(93);
+    for (auto [m, k, n] : {std::tuple{96, 128, 64},
+                           std::tuple{95, 67, 33},
+                           std::tuple{32, 32, 32}}) {
+        Matrix<float> a = randomSparseMatrix(m, k, 0.7, rng);
+        Matrix<float> b = randomSparseMatrix(k, n, 0.85, rng);
+        TwoLevelBitmapMatrix a_enc =
+            TwoLevelBitmapMatrix::encode(a, 32, 32, Major::Col);
+        TwoLevelBitmapMatrix b_enc =
+            TwoLevelBitmapMatrix::encode(b, 32, 32, Major::Row);
+        SparsityProfile ea = SparsityProfile::fromEncodedA(a_enc);
+        SparsityProfile ma = SparsityProfile::fromMatrixA(a, 32);
+        SparsityProfile eb = SparsityProfile::fromEncodedB(b_enc);
+        SparsityProfile mb = SparsityProfile::fromMatrixB(b, 32);
+        ASSERT_EQ(ea.groups(), ma.groups());
+        ASSERT_EQ(ea.k(), ma.k());
+        ASSERT_EQ(ea.extent(), ma.extent());
+        ASSERT_EQ(eb.groups(), mb.groups());
+        ASSERT_EQ(eb.k(), mb.k());
+        ASSERT_EQ(eb.extent(), mb.extent());
+        for (int g = 0; g < ea.groups(); ++g)
+            for (int64_t kk = 0; kk < ea.k(); ++kk)
+                EXPECT_EQ(ea.count(g, kk), ma.count(g, kk))
+                    << "A g=" << g << " k=" << kk;
+        for (int g = 0; g < eb.groups(); ++g)
+            for (int64_t kk = 0; kk < eb.k(); ++kk)
+                EXPECT_EQ(eb.count(g, kk), mb.count(g, kk))
+                    << "B g=" << g << " k=" << kk;
+    }
+}
+
 } // namespace
 } // namespace dstc

@@ -2,12 +2,14 @@
 """CI bench-regression gate.
 
 Re-runs the micro benches in --quick mode and compares them against
-the checked-in perf trajectories (BENCH_spgemm.json, BENCH_spconv.json):
+the checked-in perf trajectories (BENCH_spgemm.json, BENCH_spconv.json,
+BENCH_encode.json, BENCH_cluster.json):
 
  1. Functional gate (hard): every point, measured and reference, must
     report bitwise_equal — the word-parallel pipelines must reproduce
-    their scalar references exactly. The benches also self-check this
-    and exit non-zero on divergence.
+    their scalar references exactly, and cluster reports must
+    reproduce serial single-Session execution. The benches also
+    self-check this and exit non-zero on divergence.
  2. Speedup gate: for each measured point, the word-vs-scalar speedup
     must stay above an absolute floor (the word path may never be
     slower than the scalar reference) and above `--tolerance` times
@@ -18,6 +20,12 @@ the checked-in perf trajectories (BENCH_spgemm.json, BENCH_spconv.json):
  3. Sanity gate: all stage timings must be positive and the pooled
     path must not be catastrophically slower than the single-thread
     word path (`--parallel-slack`).
+ 4. Placement-quality gate (micro_cluster): on every heterogeneous
+    device mix, cost-model placement must beat round-robin simulated
+    makespan (ratio >= 1), and the ratio must stay above
+    `--tolerance` times the checked-in reference ratio. Simulated
+    makespans are deterministic, so this gate is immune to CI
+    hardware variance.
 
 Exit code 0 = green, 1 = regression, 2 = usage/setup error.
 """
@@ -47,6 +55,12 @@ BENCHES = {
         "reference": "BENCH_encode.json",
         "keys": ("kind", "sparsity", "stride"),
     },
+    "micro_cluster": {
+        "binary": os.path.join("bench", "micro_cluster"),
+        "reference": "BENCH_cluster.json",
+        "keys": ("devices", "policy"),
+        "mode": "cluster",
+    },
 }
 
 
@@ -61,7 +75,8 @@ def point_key(point, keys):
 
 def point_label(point):
     fields = ("kind", "shape", "m", "method", "sparsity", "wsp",
-              "asp", "stride", "clustered", "tile_k")
+              "asp", "stride", "clustered", "tile_k", "devices",
+              "policy")
     parts = [f"{k}={point[k]}" for k in fields if k in point]
     return "{" + ", ".join(parts) + "}"
 
@@ -98,6 +113,56 @@ def run_quick(binary, timeout_s):
         os.unlink(out_path)
 
 
+def makespan_ratio(points, devices):
+    """rr-vs-cost simulated makespan ratio of one device set (the
+    placement-quality figure; > 1 means the cost model wins)."""
+    cost = rr = None
+    for p in points:
+        if p.get("devices") != devices:
+            continue
+        if p.get("policy") == "cost":
+            cost = p.get("makespan_us", 0.0)
+        elif p.get("policy") == "rr":
+            rr = p.get("makespan_us", 0.0)
+    if not cost or not rr:
+        return None
+    return rr / cost
+
+
+def check_cluster(name, ref_points, meas_points, args):
+    """Placement-quality gate: deterministic simulated makespans, so
+    the measured ratios should track the reference exactly; the
+    tolerance only absorbs intentional timing-model changes."""
+    ok = True
+    hetero = sorted({p["devices"] for p in meas_points
+                     if "+" in p.get("devices", "")})
+    if not hetero:
+        return fail(f"{name}: no heterogeneous device mix measured")
+    for devices in hetero:
+        ratio = makespan_ratio(meas_points, devices)
+        if ratio is None:
+            ok = fail(f"{name}: {devices} lacks cost/rr points for "
+                      f"the placement-quality gate")
+            continue
+        mix_ok = True
+        if ratio < 1.0:
+            mix_ok = fail(f"{name}: {devices} cost-model placement "
+                          f"({ratio:.2f}x) lost to round-robin")
+        ref_ratio = makespan_ratio(ref_points, devices)
+        if ref_ratio is not None and \
+                ratio < args.tolerance * ref_ratio:
+            mix_ok = fail(f"{name}: {devices} placement quality "
+                          f"{ratio:.2f}x regressed below "
+                          f"{args.tolerance * ref_ratio:.2f}x "
+                          f"(= {args.tolerance:.2f} x reference "
+                          f"{ref_ratio:.2f}x)")
+        if mix_ok:
+            print(f"check_bench: {name}: {devices} placement "
+                  f"quality {ratio:.2f}x (cost vs rr)")
+        ok = mix_ok and ok
+    return ok
+
+
 def check_bench(name, spec, args):
     ref_path = os.path.join(args.repo_root, spec["reference"])
     binary = os.path.join(args.build_dir, spec["binary"])
@@ -124,6 +189,13 @@ def check_bench(name, spec, args):
         return fail(f"{name}: quick run produced no points")
     ok = check_points(f"{name} (measured)", meas_points,
                       require_positive=True) and ok
+
+    if spec.get("mode") == "cluster":
+        ok = check_cluster(name, ref_points, meas_points, args) and ok
+        if ok:
+            print(f"check_bench: {name}: "
+                  f"{len(meas_points)} quick points green")
+        return ok
 
     keys = spec["keys"]
     for p in meas_points:

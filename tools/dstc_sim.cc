@@ -14,12 +14,17 @@
  *            [--method auto|dual|dense|zhu]
  *   dstc_sim model vgg16|resnet18|maskrcnn|bert|rnn
  *            [--method auto|dual|dense|single] [--seed N] [--batched]
+ *   dstc_sim cluster vgg16|resnet18|maskrcnn|bert|rnn
+ *            [--devices v100,a100,future] [--policy cost|rr|shard]
+ *            [--method auto|dual|dense|single] [--replicate N]
+ *            [--seed N]
  *   dstc_sim backends
  *   dstc_sim overhead
  *
- * All commands run on the V100 machine model; pass --a100 to switch.
- * Unknown commands, flags or flag values are rejected with an error
- * (exit code 2) instead of silently falling back to defaults.
+ * All commands run on the V100 machine model; pass --a100 to switch
+ * (the cluster command instead takes its comma-separated --devices
+ * list). Unknown commands, flags or flag values are rejected with an
+ * error (exit code 2) instead of silently falling back to defaults.
  */
 #include <cmath>
 #include <cstdio>
@@ -31,6 +36,7 @@
 
 #include "common/cli_flags.h"
 #include "common/table.h"
+#include "core/cluster.h"
 #include "core/session.h"
 #include "hwmodel/area_power.h"
 #include "hwmodel/energy_model.h"
@@ -226,6 +232,52 @@ runConv(const CliArgs &args, Session &session)
     return 0;
 }
 
+/** Parse a model-zoo name; prints the valid set on failure. */
+bool
+parseModelArg(const std::string &name, DnnModel *out)
+{
+    if (name == "vgg16")
+        *out = makeVgg16();
+    else if (name == "resnet18")
+        *out = makeResnet18();
+    else if (name == "maskrcnn")
+        *out = makeMaskRcnn();
+    else if (name == "bert")
+        *out = makeBertBase();
+    else if (name == "rnn")
+        *out = makeRnnLM();
+    else {
+        std::fprintf(stderr,
+                     "error: unknown model '%s' (valid: vgg16, "
+                     "resnet18, maskrcnn, bert, rnn)\n",
+                     name.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Parse the model-granularity --method flag. */
+bool
+parseModelMethodArg(const std::string &token, ModelMethod *out)
+{
+    if (token == "dual")
+        *out = ModelMethod::DualSparseImplicit;
+    else if (token == "dense")
+        *out = ModelMethod::DenseImplicit;
+    else if (token == "single")
+        *out = ModelMethod::SingleSparseImplicit;
+    else if (token == "auto")
+        *out = ModelMethod::Auto;
+    else {
+        std::fprintf(stderr,
+                     "error: unknown method '%s' (valid: "
+                     "auto|dual|dense|single)\n",
+                     token.c_str());
+        return false;
+    }
+    return true;
+}
+
 int
 runModel(const CliArgs &args, Session &session)
 {
@@ -238,43 +290,13 @@ runModel(const CliArgs &args, Session &session)
         std::fprintf(stderr, "usage: dstc_sim model <name> [flags]\n");
         return 2;
     }
-    const std::string &name = args.positional[1];
     DnnModel model;
-    if (name == "vgg16")
-        model = makeVgg16();
-    else if (name == "resnet18")
-        model = makeResnet18();
-    else if (name == "maskrcnn")
-        model = makeMaskRcnn();
-    else if (name == "bert")
-        model = makeBertBase();
-    else if (name == "rnn")
-        model = makeRnnLM();
-    else {
-        std::fprintf(stderr,
-                     "error: unknown model '%s' (valid: vgg16, "
-                     "resnet18, maskrcnn, bert, rnn)\n",
-                     name.c_str());
+    if (!parseModelArg(args.positional[1], &model))
         return 2;
-    }
 
-    const std::string method_name = args.flag("method", "dual");
     ModelMethod method;
-    if (method_name == "dual")
-        method = ModelMethod::DualSparseImplicit;
-    else if (method_name == "dense")
-        method = ModelMethod::DenseImplicit;
-    else if (method_name == "single")
-        method = ModelMethod::SingleSparseImplicit;
-    else if (method_name == "auto")
-        method = ModelMethod::Auto;
-    else {
-        std::fprintf(stderr,
-                     "error: unknown method '%s' (valid: "
-                     "auto|dual|dense|single)\n",
-                     method_name.c_str());
+    if (!parseModelMethodArg(args.flag("method", "dual"), &method))
         return 2;
-    }
 
     const uint64_t seed =
         args.flagU64("seed", 1);
@@ -313,6 +335,145 @@ runModel(const CliArgs &args, Session &session)
                 modelMethodName(method),
                 args.hasFlag("batched") ? " (batched)" : "");
     table.print();
+    return 0;
+}
+
+/** Parse the comma-separated --devices list into GpuConfigs. */
+bool
+parseDevicesArg(const std::string &list,
+                std::vector<GpuConfig> *configs,
+                std::vector<std::string> *names)
+{
+    configs->clear();
+    names->clear();
+    size_t start = 0;
+    while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string token = list.substr(start, comma - start);
+        if (token == "v100")
+            configs->push_back(GpuConfig::v100());
+        else if (token == "a100")
+            configs->push_back(GpuConfig::a100Like());
+        else if (token == "future")
+            configs->push_back(GpuConfig::futureGpu());
+        else {
+            std::fprintf(stderr,
+                         "error: unknown device '%s' (valid: v100, "
+                         "a100, future)\n",
+                         token.c_str());
+            return false;
+        }
+        names->push_back(token);
+        start = comma + 1;
+    }
+    return true;
+}
+
+int
+runCluster(const CliArgs &args)
+{
+    if (!args.checkPositionals("cluster", 2))
+        return 2;
+    // No kGlobalFlags here: the cluster command takes its machine
+    // list via --devices, so a stray --a100 must be rejected, not
+    // silently ignored.
+    if (!args.validateFlags("cluster",
+                            {"devices", "policy", "method", "seed",
+                             "replicate"},
+                            {}, {"replicate"}, {"seed"}, {}))
+        return 2;
+    if (args.positional.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: dstc_sim cluster <model> [--devices "
+                     "v100,a100,future] [--policy cost|rr|shard] "
+                     "[flags]\n");
+        return 2;
+    }
+    DnnModel model;
+    if (!parseModelArg(args.positional[1], &model))
+        return 2;
+    ModelMethod method;
+    if (!parseModelMethodArg(args.flag("method", "dual"), &method))
+        return 2;
+
+    ClusterOptions opts;
+    std::vector<std::string> device_names;
+    if (!parseDevicesArg(args.flag("devices", "v100,v100"),
+                         &opts.devices, &device_names))
+        return 2;
+    if (!parsePlacementPolicy(args.flag("policy", "cost"),
+                              &opts.policy)) {
+        std::fprintf(stderr, "error: unknown policy '%s' (valid: "
+                             "cost|rr|shard)\n",
+                     args.flag("policy", "cost").c_str());
+        return 2;
+    }
+    const int replicate = args.flagI("replicate", 1);
+    if (replicate < 1) {
+        std::fprintf(stderr,
+                     "error: --replicate must be positive\n");
+        return 2;
+    }
+    const uint64_t seed = args.flagU64("seed", 1);
+
+    Cluster cluster(opts);
+    // The serving shape: the same model batch arriving over and over
+    // (same seed per replica, so encodings and estimates dedup in
+    // the shared cache).
+    std::vector<KernelRequest> requests;
+    const std::vector<KernelRequest> layer_batch =
+        ModelRunner::layerRequests(model, method, seed);
+    for (int rep = 0; rep < replicate; ++rep)
+        requests.insert(requests.end(), layer_batch.begin(),
+                        layer_batch.end());
+    std::vector<KernelReport> reports =
+        cluster.runBatch(std::move(requests));
+
+    std::printf("%s x %d under %s on %zu devices, policy %s:\n",
+                model.name.c_str(), replicate,
+                modelMethodName(method), cluster.numDevices(),
+                placementPolicyToken(opts.policy));
+
+    const size_t layers = layer_batch.size();
+    TextTable per_layer;
+    per_layer.setHeader({"layer", "time (us)", "device", "backend"});
+    for (size_t i = 0; i < layers; ++i)
+        per_layer.addRow({reports[i].tag,
+                          fmtDouble(reports[i].stats.timeUs(), 2),
+                          std::to_string(reports[i].device),
+                          reports[i].backend});
+    per_layer.print();
+
+    std::vector<double> device_us(cluster.numDevices(), 0.0);
+    double total_us = 0.0;
+    for (const KernelReport &report : reports) {
+        device_us[report.device] += report.stats.timeUs();
+        total_us += report.stats.timeUs();
+    }
+    std::printf("\nper-device load:\n");
+    TextTable per_device;
+    per_device.setHeader({"device", "config", "placed",
+                          "est busy (us)", "sim time (us)"});
+    double makespan_us = 0.0;
+    for (size_t d = 0; d < cluster.numDevices(); ++d) {
+        DeviceLoad load = cluster.load(d);
+        per_device.addRow(
+            {std::to_string(d), device_names[d],
+             std::to_string(load.placed),
+             fmtDouble(load.estimated_busy_us, 1),
+             fmtDouble(device_us[d], 1)});
+        makespan_us = std::max(makespan_us, device_us[d]);
+    }
+    per_device.print();
+    std::printf("\nrequests          : %zu\n", reports.size());
+    std::printf("sum of times      : %.1f us\n", total_us);
+    std::printf("makespan (sim)    : %.1f us\n", makespan_us);
+    std::printf("cluster speedup   : %.2fx vs serial same-placement\n",
+                total_us / makespan_us);
+    std::printf("throughput (sim)  : %.1f req/ms\n",
+                reports.size() / (makespan_us / 1e3));
     return 0;
 }
 
@@ -374,14 +535,16 @@ main(int argc, char **argv)
         parseCliArgs(argc, argv, {"a100", "batched", "explicit"});
     if (args.positional.empty()) {
         std::fprintf(stderr,
-                     "usage: dstc_sim <gemm|conv|model|backends|"
-                     "overhead> [args] [--a100]\n");
+                     "usage: dstc_sim <gemm|conv|model|cluster|"
+                     "backends|overhead> [args] [--a100]\n");
         return 2;
     }
-    Session session(args.hasFlag("a100") ? GpuConfig::a100Like()
-                                         : GpuConfig::v100());
 
     const std::string &command = args.positional[0];
+    if (command == "cluster")
+        return runCluster(args); // multi-device: --devices, not --a100
+    Session session(args.hasFlag("a100") ? GpuConfig::a100Like()
+                                         : GpuConfig::v100());
     if (command == "gemm")
         return runGemm(args, session);
     if (command == "conv")
@@ -394,7 +557,7 @@ main(int argc, char **argv)
         return runOverhead(args, session);
     std::fprintf(stderr,
                  "error: unknown command '%s' (valid: gemm, conv, "
-                 "model, backends, overhead)\n",
+                 "model, cluster, backends, overhead)\n",
                  command.c_str());
     return 2;
 }
