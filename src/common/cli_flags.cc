@@ -194,4 +194,29 @@ checkClusterFlag(const char *name, double value)
     return false;
 }
 
+bool
+checkChoiceFlag(const char *name, const std::string &value,
+                const std::vector<std::string> &choices)
+{
+    for (const std::string &choice : choices)
+        if (value == choice)
+            return true;
+    std::string valid;
+    for (const std::string &choice : choices)
+        valid += (valid.empty() ? "" : ", ") + choice;
+    std::fprintf(stderr, "error: --%s must be one of {%s}, got '%s'\n",
+                 name, valid.c_str(), value.c_str());
+    return false;
+}
+
+bool
+checkPositiveFlag(const char *name, double value)
+{
+    if (value > 0.0)
+        return true;
+    std::fprintf(stderr, "error: --%s must be > 0, got %g\n", name,
+                 value);
+    return false;
+}
+
 } // namespace dstc

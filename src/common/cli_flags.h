@@ -91,6 +91,17 @@ bool checkSparsityFlag(const char *name, double value);
 /** Cluster factors concentrate non-zeros; must be >= 1. */
 bool checkClusterFlag(const char *name, double value);
 
+/**
+ * Enumerated string flag: @p value must be one of @p choices.
+ * Prints the valid vocabulary to stderr and returns false otherwise
+ * — never exits, per the validate-then-read contract.
+ */
+bool checkChoiceFlag(const char *name, const std::string &value,
+                     const std::vector<std::string> &choices);
+
+/** Strictly positive numeric flag (rates, durations, depths). */
+bool checkPositiveFlag(const char *name, double value);
+
 } // namespace dstc
 
 #endif // DSTC_COMMON_CLI_FLAGS_H

@@ -106,6 +106,7 @@ class ClusterScheduler
 {
   public:
     ClusterScheduler(PlacementPolicy policy, size_t num_devices);
+    virtual ~ClusterScheduler() = default;
 
     /**
      * Pick a device for one request. @p estimates holds the per-
@@ -124,7 +125,9 @@ class ClusterScheduler
     PlacementPolicy policy() const { return policy_; }
     size_t numDevices() const { return loads_.size(); }
 
-  private:
+  protected:
+    // Subclasses (the serving layer's DeadlineScheduler) extend the
+    // placement vocabulary but reuse the per-device accounting.
     mutable std::mutex mu_;
     PlacementPolicy policy_;
     std::vector<DeviceLoad> loads_;

@@ -209,9 +209,21 @@ class EncodingCache
                 total_bytes_ += entry->bytes;
                 if (capacity_bytes_ > 0)
                     while (total_bytes_ > capacity_bytes_ &&
-                           entries_.size() > 1 &&
-                           lru_order_.front() != key)
+                           entries_.size() > 1) {
+                        if (lru_order_.front() == key) {
+                            // Never evict the just-built entry: it
+                            // can sit at the LRU front when every
+                            // other entry was touched after its
+                            // insert. Rotate it to the back (it is
+                            // the most recent use anyway) and keep
+                            // shedding the next-oldest.
+                            lru_order_.splice(lru_order_.end(),
+                                              lru_order_,
+                                              lru_order_.begin());
+                            continue;
+                        }
                         evictOldestLocked();
+                    }
             }
         }
         return std::static_pointer_cast<const T>(entry->value);

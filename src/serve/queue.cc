@@ -1,0 +1,217 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+const char *
+admissionPolicyToken(AdmissionPolicy policy)
+{
+    switch (policy) {
+    case AdmissionPolicy::Reject:
+        return "reject";
+    case AdmissionPolicy::ShedOldest:
+        return "shed";
+    }
+    return "?";
+}
+
+bool
+parseAdmissionPolicy(const std::string &token, AdmissionPolicy *out)
+{
+    if (token == "reject")
+        *out = AdmissionPolicy::Reject;
+    else if (token == "shed")
+        *out = AdmissionPolicy::ShedOldest;
+    else
+        return false;
+    return true;
+}
+
+ServingQueue::ServingQueue(size_t num_devices, size_t depth_bound,
+                           AdmissionPolicy policy)
+    : depth_bound_(depth_bound == 0 ? 1 : depth_bound),
+      policy_(policy), queues_(num_devices)
+{
+    DSTC_ASSERT(num_devices >= 1, "a queue needs a device");
+}
+
+ServingQueue::Admit
+ServingQueue::admit(QueuedRequest request,
+                    std::vector<QueuedRequest> *shed)
+{
+    DSTC_ASSERT(request.device < queues_.size());
+    if (total_ >= depth_bound_) {
+        if (policy_ == AdmissionPolicy::Reject)
+            return Admit::Rejected;
+        // Shed the oldest queued request anywhere (lowest id: ids
+        // are the submission order, so "oldest" is well defined and
+        // deterministic).
+        size_t victim_dev = queues_.size();
+        size_t victim_idx = 0;
+        int64_t victim_id = 0;
+        for (size_t d = 0; d < queues_.size(); ++d) {
+            for (size_t i = 0; i < queues_[d].size(); ++i) {
+                const QueuedRequest &q = queues_[d][i];
+                if (victim_dev == queues_.size() ||
+                    q.id < victim_id) {
+                    victim_dev = d;
+                    victim_idx = i;
+                    victim_id = q.id;
+                }
+            }
+        }
+        DSTC_ASSERT(victim_dev < queues_.size(),
+                    "full queue with no entries");
+        if (shed)
+            shed->push_back(queues_[victim_dev][victim_idx]);
+        queues_[victim_dev].erase(queues_[victim_dev].begin() +
+                                  static_cast<long>(victim_idx));
+        --total_;
+    }
+    queues_[request.device].push_back(request);
+    ++total_;
+    return Admit::Admitted;
+}
+
+bool
+ServingQueue::empty(size_t device) const
+{
+    return queues_[device].empty();
+}
+
+size_t
+ServingQueue::depth(size_t device) const
+{
+    return queues_[device].size();
+}
+
+double
+ServingQueue::backlogUs(size_t device) const
+{
+    double sum = 0.0;
+    for (const QueuedRequest &q : queues_[device])
+        sum += q.estimate_us;
+    return sum;
+}
+
+double
+ServingQueue::backlogBeforeUs(size_t device,
+                              double deadline_us) const
+{
+    double sum = 0.0;
+    for (const QueuedRequest &q : queues_[device])
+        if (q.deadline_us <= deadline_us)
+            sum += q.estimate_us;
+    return sum;
+}
+
+namespace {
+
+/** Index of the next request to dequeue, or SIZE_MAX when empty. */
+size_t
+nextIndex(const std::vector<QueuedRequest> &queue, bool edf)
+{
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < queue.size(); ++i) {
+        if (best == SIZE_MAX) {
+            best = i;
+            continue;
+        }
+        const QueuedRequest &q = queue[i];
+        const QueuedRequest &b = queue[best];
+        const bool wins =
+            edf ? (q.deadline_us < b.deadline_us ||
+                   (q.deadline_us == b.deadline_us && q.id < b.id))
+                : q.id < b.id;
+        if (wins)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace
+
+std::optional<QueuedRequest>
+ServingQueue::pop(size_t device, bool edf)
+{
+    std::vector<QueuedRequest> &queue = queues_[device];
+    const size_t idx = nextIndex(queue, edf);
+    if (idx == SIZE_MAX)
+        return std::nullopt;
+    QueuedRequest request = queue[idx];
+    queue.erase(queue.begin() + static_cast<long>(idx));
+    --total_;
+    return request;
+}
+
+std::vector<QueuedRequest>
+ServingQueue::popBatchMates(size_t device, uint64_t key,
+                            size_t max_extra, bool edf)
+{
+    std::vector<QueuedRequest> mates;
+    while (mates.size() < max_extra) {
+        std::vector<QueuedRequest> &queue = queues_[device];
+        size_t best = SIZE_MAX;
+        for (size_t i = 0; i < queue.size(); ++i) {
+            if (queue[i].batch_key != key)
+                continue;
+            if (best == SIZE_MAX) {
+                best = i;
+                continue;
+            }
+            const QueuedRequest &q = queue[i];
+            const QueuedRequest &b = queue[best];
+            const bool wins =
+                edf ? (q.deadline_us < b.deadline_us ||
+                       (q.deadline_us == b.deadline_us &&
+                        q.id < b.id))
+                    : q.id < b.id;
+            if (wins)
+                best = i;
+        }
+        if (best == SIZE_MAX)
+            break;
+        mates.push_back(queue[best]);
+        queue.erase(queue.begin() + static_cast<long>(best));
+        --total_;
+    }
+    return mates;
+}
+
+std::optional<QueuedRequest>
+ServingQueue::steal(size_t thief, size_t *donor_out)
+{
+    size_t donor = queues_.size();
+    for (size_t d = 0; d < queues_.size(); ++d) {
+        if (d == thief || queues_[d].empty())
+            continue;
+        if (donor == queues_.size() ||
+            queues_[d].size() > queues_[donor].size())
+            donor = d;
+    }
+    if (donor == queues_.size())
+        return std::nullopt;
+    if (donor_out)
+        *donor_out = donor;
+    // The donor's least urgent entry: latest deadline, ties to the
+    // highest id (the most recently admitted).
+    std::vector<QueuedRequest> &queue = queues_[donor];
+    size_t best = 0;
+    for (size_t i = 1; i < queue.size(); ++i) {
+        const QueuedRequest &q = queue[i];
+        const QueuedRequest &b = queue[best];
+        if (q.deadline_us > b.deadline_us ||
+            (q.deadline_us == b.deadline_us && q.id > b.id))
+            best = i;
+    }
+    QueuedRequest request = queue[best];
+    queue.erase(queue.begin() + static_cast<long>(best));
+    --total_;
+    request.device = thief;
+    return request;
+}
+
+} // namespace dstc

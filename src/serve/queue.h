@@ -1,0 +1,142 @@
+/**
+ * @file
+ * ServingQueue — bounded admission front between the open-loop
+ * arrival stream and the Cluster's devices.
+ *
+ * Requests are placed onto a per-device queue at admission time (the
+ * DeadlineScheduler picks the device); the queue enforces one global
+ * depth bound across all devices — the backpressure surface. On
+ * overload the admission policy decides who pays:
+ *
+ *  - Reject: the arriving request is refused (classic load shedding
+ *    at the front door; the client sees an immediate error).
+ *  - ShedOldest: the oldest queued request anywhere is dropped to
+ *    make room (prefer fresh work: the oldest entry has burned the
+ *    most of its deadline and is the likeliest goodput loss anyway).
+ *
+ * Dequeue order is per-policy: EDF (earliest deadline first) for the
+ * deadline scheduler, FIFO otherwise. All tie-breaks are on the
+ * submission id, so every operation is a pure function of the
+ * admitted sequence — the serving determinism contract.
+ */
+#ifndef DSTC_SERVE_QUEUE_H
+#define DSTC_SERVE_QUEUE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/arrival.h"
+
+namespace dstc {
+
+/** What happens to an arriving request when the queue is full. */
+enum class AdmissionPolicy
+{
+    Reject,    ///< refuse the newcomer
+    ShedOldest ///< drop the oldest queued request, admit the newcomer
+};
+
+/** Stable CLI/parse token of a policy ("reject", "shed"). */
+const char *admissionPolicyToken(AdmissionPolicy policy);
+
+/** Parse a CLI token into a policy; false on unknown token. */
+bool parseAdmissionPolicy(const std::string &token,
+                          AdmissionPolicy *out);
+
+/** One admitted request waiting on a device queue. */
+struct QueuedRequest
+{
+    int64_t id = 0;         ///< submission-sequence position
+    size_t pool_index = 0;  ///< workload-pool request to execute
+    uint64_t batch_key = 0; ///< encoding-compatibility digest
+    double arrival_us = 0.0;
+    double deadline_us = 0.0;
+    double estimate_us = 0.0; ///< plan-stage estimate on the device
+    DeadlineClass deadline_class = DeadlineClass::Standard;
+    size_t device = 0; ///< placed device (updated when stolen)
+};
+
+/** Bounded per-device queues with admission control. */
+class ServingQueue
+{
+  public:
+    /**
+     * @param num_devices one queue per device
+     * @param depth_bound global bound across all queues (>= 1)
+     * @param policy      overload behavior
+     */
+    ServingQueue(size_t num_devices, size_t depth_bound,
+                 AdmissionPolicy policy);
+
+    enum class Admit
+    {
+        Admitted,
+        Rejected,
+    };
+
+    /**
+     * Enqueue @p request on its placed device. On overload, either
+     * rejects it or sheds the oldest queued request (appended to
+     * @p shed, which the caller accounts as a deadline loss).
+     */
+    Admit admit(QueuedRequest request,
+                std::vector<QueuedRequest> *shed);
+
+    bool empty(size_t device) const;
+    size_t depth(size_t device) const;
+    size_t totalDepth() const { return total_; }
+    size_t depthBound() const { return depth_bound_; }
+
+    /** Sum of queued plan-stage estimates on @p device. */
+    double backlogUs(size_t device) const;
+
+    /**
+     * Sum of queued estimates on @p device that an EDF dequeue would
+     * run *before* a request with deadline @p deadline_us — the wait
+     * a new arrival of that deadline actually experiences there.
+     * (Ties on the deadline count as ahead: equal-deadline entries
+     * dequeue by lower id, and the newcomer's id is always higher.)
+     */
+    double backlogBeforeUs(size_t device, double deadline_us) const;
+
+    /**
+     * Dequeue the next request of @p device: earliest deadline when
+     * @p edf (ties to the lowest id), else lowest id (FIFO).
+     */
+    std::optional<QueuedRequest> pop(size_t device, bool edf);
+
+    /**
+     * Extract up to @p max_extra further requests with the same
+     * batch_key as @p key from @p device's queue, in dequeue order —
+     * the continuous micro-batch that amortizes dispatch overhead
+     * and hits the shared EncodingCache.
+     */
+    std::vector<QueuedRequest> popBatchMates(size_t device,
+                                             uint64_t key,
+                                             size_t max_extra,
+                                             bool edf);
+
+    /**
+     * Work-stealing: remove one request for idle device @p thief
+     * from the deepest other queue (ties to the lowest device
+     * index). The donor gives up its *least urgent* entry (latest
+     * deadline, ties to the highest id) — the one it was going to
+     * serve last anyway. Returns nullopt when every queue is empty.
+     * The returned request's `device` is rewritten to @p thief; the
+     * donor index is reported through @p donor when non-null.
+     */
+    std::optional<QueuedRequest> steal(size_t thief,
+                                       size_t *donor = nullptr);
+
+  private:
+    size_t depth_bound_;
+    AdmissionPolicy policy_;
+    size_t total_ = 0;
+    std::vector<std::vector<QueuedRequest>> queues_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_SERVE_QUEUE_H

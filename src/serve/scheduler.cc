@@ -1,0 +1,115 @@
+#include "serve/scheduler.h"
+
+#include <limits>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+const char *
+servePolicyToken(ServePolicy policy)
+{
+    switch (policy) {
+    case ServePolicy::Deadline:
+        return "deadline";
+    case ServePolicy::CostModel:
+        return "cost";
+    case ServePolicy::RoundRobin:
+        return "rr";
+    }
+    return "?";
+}
+
+bool
+parseServePolicy(const std::string &token, ServePolicy *out)
+{
+    if (token == "deadline")
+        *out = ServePolicy::Deadline;
+    else if (token == "cost")
+        *out = ServePolicy::CostModel;
+    else if (token == "rr")
+        *out = ServePolicy::RoundRobin;
+    else
+        return false;
+    return true;
+}
+
+namespace {
+
+/** The base accounting reuses the Cluster policy vocabulary. */
+PlacementPolicy
+basePolicy(ServePolicy policy)
+{
+    return policy == ServePolicy::RoundRobin
+               ? PlacementPolicy::RoundRobin
+               : PlacementPolicy::CostModel;
+}
+
+} // namespace
+
+DeadlineScheduler::DeadlineScheduler(ServePolicy policy,
+                                     size_t num_devices)
+    : ClusterScheduler(basePolicy(policy), num_devices),
+      serve_policy_(policy)
+{
+}
+
+size_t
+DeadlineScheduler::placeArrival(
+    const std::vector<double> &estimates,
+    const std::vector<double> &ready_at_us,
+    const std::vector<double> &backlog_us, double deadline_us)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t n = loads_.size();
+    DSTC_ASSERT(ready_at_us.size() == n && backlog_us.size() == n);
+    size_t pick = 0;
+    if (serve_policy_ == ServePolicy::RoundRobin) {
+        pick = static_cast<size_t>(next_round_robin_++ % n);
+    } else {
+        DSTC_ASSERT(estimates.size() == n,
+                    "cost/deadline placement needs one estimate per "
+                    "device");
+        // Earliest estimated finish; under Deadline the caller's
+        // backlog_us only counts earlier-deadline entries, so a
+        // feasible device (finish <= deadline) always ranks ahead of
+        // an infeasible one and urgent requests see through lax
+        // backlog. Ties go to the lower index.
+        bool best_miss = true;
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t d = 0; d < n; ++d) {
+            const double finish =
+                ready_at_us[d] + backlog_us[d] + estimates[d];
+            const bool miss = serve_policy_ == ServePolicy::Deadline
+                                  ? finish > deadline_us
+                                  : false;
+            if ((best_miss && !miss) ||
+                (miss == best_miss && finish < best)) {
+                best_miss = miss;
+                best = finish;
+                pick = d;
+            }
+        }
+        loads_[pick].estimated_busy_us += estimates[pick];
+    }
+    ++loads_[pick].placed;
+    return pick;
+}
+
+void
+DeadlineScheduler::recordSteal(size_t donor)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    DSTC_ASSERT(donor < loads_.size());
+    ++steals_;
+}
+
+int64_t
+DeadlineScheduler::steals() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return steals_;
+}
+
+} // namespace dstc

@@ -1,0 +1,368 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dstc {
+
+ServingEngine::ServingEngine(ServingOptions options,
+                             std::vector<KernelRequest> pool)
+    : options_(std::move(options)), pool_(std::move(pool))
+{
+    DSTC_ASSERT(!pool_.empty(),
+                "the serving engine needs a workload pool");
+    if (options_.devices.empty())
+        options_.devices.push_back(GpuConfig::v100());
+    if (options_.microbatch == 0)
+        options_.microbatch = 1;
+    options_.arrivals.pool_size = pool_.size();
+
+    ClusterOptions copts;
+    copts.devices = options_.devices;
+    // The cluster's own scheduler is unused (the serving layer
+    // places through its DeadlineScheduler); any policy works.
+    copts.policy = PlacementPolicy::RoundRobin;
+    copts.num_threads = options_.num_threads;
+    copts.encode_workers = options_.encode_workers;
+    cluster_ = std::make_unique<Cluster>(std::move(copts));
+}
+
+double
+ServingEngine::deadlineFor(DeadlineClass dclass, double arrival_us,
+                           double ref_estimate_us) const
+{
+    double mult = options_.slo_standard_mult;
+    if (dclass == DeadlineClass::Interactive)
+        mult = options_.slo_interactive_mult;
+    else if (dclass == DeadlineClass::Batch)
+        mult = options_.slo_batch_mult;
+    return arrival_us + mult * ref_estimate_us +
+           options_.slo_base_slack_us;
+}
+
+namespace {
+
+/** Per-pool-entry serving constants: the per-device plan-stage
+ *  estimates and the encoding-compatibility digest. */
+struct PoolEntryInfo
+{
+    std::vector<double> estimate_us; ///< one per device
+    uint64_t batch_key = 0;
+};
+
+std::vector<PoolEntryInfo>
+buildPoolInfo(Cluster &cluster, const std::vector<KernelRequest> &pool)
+{
+    std::vector<PoolEntryInfo> info(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+        info[i].estimate_us.reserve(cluster.numDevices());
+        for (size_t d = 0; d < cluster.numDevices(); ++d)
+            info[i].estimate_us.push_back(
+                cluster.estimateOn(d, pool[i]));
+        // Encoding compatibility = same operand contents (or, for
+        // synthetic timing requests, the same structural operating
+        // point) — exactly what makes two requests share entries in
+        // the EncodingCache.
+        info[i].batch_key = requestContentDigest(pool[i])
+                                .value_or(requestShardKey(pool[i]));
+    }
+    return info;
+}
+
+} // namespace
+
+double
+ServingEngine::estimatedCapacityRpms()
+{
+    const std::vector<PoolEntryInfo> info =
+        buildPoolInfo(*cluster_, pool_);
+    double capacity = 0.0;
+    for (size_t d = 0; d < cluster_->numDevices(); ++d) {
+        double sum_us = 0.0;
+        // One dispatch overhead per request — the no-batching worst
+        // case, so "1.0x capacity" is a true saturation point even
+        // for policies that never form micro-batches. (For this
+        // pool's ~2us kernels the overhead is roughly half the
+        // effective service time, not a rounding error.)
+        for (const PoolEntryInfo &entry : info)
+            sum_us +=
+                entry.estimate_us[d] + options_.dispatch_overhead_us;
+        if (sum_us > 0.0)
+            capacity +=
+                1e3 * static_cast<double>(pool_.size()) / sum_us;
+    }
+    return capacity;
+}
+
+ServingResult
+ServingEngine::run()
+{
+    const size_t n = cluster_->numDevices();
+    const std::vector<PoolEntryInfo> info =
+        buildPoolInfo(*cluster_, pool_);
+    const std::vector<Arrival> arrivals =
+        ArrivalGenerator(options_.arrivals).generate();
+
+    DeadlineScheduler scheduler(options_.policy, n);
+    ServingQueue queue(n, options_.queue_depth, options_.admission);
+    const bool edf = scheduler.edfOrder();
+
+    std::vector<double> free_at(n, 0.0);
+    std::vector<bool> busy(n, false);
+
+    ServingResult result;
+    std::vector<int64_t> rejected_per_class(kNumDeadlineClasses, 0);
+    std::vector<int64_t> shed_per_class(kNumDeadlineClasses, 0);
+    std::vector<int64_t> dropped_per_class(kNumDeadlineClasses, 0);
+    int64_t microbatches = 0, microbatched = 0;
+
+    // Dispatch work to an idle device: pop (or steal) a head
+    // request, extend it with encoding-compatible batch mates, and
+    // execute the batch back to back on the device's Session. The
+    // virtual clock charges the dispatch overhead once per batch —
+    // the micro-batching amortization — while every report stays the
+    // bitwise single-request result.
+    auto dispatch = [&](size_t d, double now) {
+        if (busy[d])
+            return;
+        bool stolen = false;
+        std::optional<QueuedRequest> head;
+        while (true) {
+            stolen = false;
+            head = queue.pop(d, edf);
+            if (!head && scheduler.workStealing()) {
+                size_t donor = 0;
+                head = queue.steal(d, &donor);
+                if (head) {
+                    stolen = true;
+                    scheduler.recordSteal(donor);
+                }
+            }
+            if (!head)
+                return;
+            if (!scheduler.dropInfeasible())
+                break;
+            // EDF overload guard: executing a request that cannot
+            // meet its deadline even if started right now converts
+            // one miss into a procession of misses (everything
+            // behind it slips too). Drop it unexecuted and let the
+            // device serve a still-feasible request instead.
+            const double est =
+                info[head->pool_index].estimate_us[d];
+            if (now + options_.dispatch_overhead_us + est <=
+                head->deadline_us)
+                break;
+            ++dropped_per_class[static_cast<int>(
+                head->deadline_class)];
+        }
+        std::vector<QueuedRequest> batch;
+        batch.push_back(*head);
+        if (options_.microbatch > 1) {
+            std::vector<QueuedRequest> mates = queue.popBatchMates(
+                d, head->batch_key, options_.microbatch - 1, edf);
+            batch.insert(batch.end(), mates.begin(), mates.end());
+        }
+        if (batch.size() >= 2) {
+            ++microbatches;
+            microbatched += static_cast<int64_t>(batch.size());
+        }
+        double t = now + options_.dispatch_overhead_us;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            const QueuedRequest &member = batch[i];
+            ServeOutcome outcome;
+            outcome.id = member.id;
+            outcome.pool_index = member.pool_index;
+            outcome.device = d;
+            outcome.deadline_class = member.deadline_class;
+            outcome.arrival_us = member.arrival_us;
+            outcome.deadline_us = member.deadline_us;
+            outcome.stolen = stolen && i == 0;
+            outcome.batched_follower = i > 0;
+            outcome.start_us = t;
+            outcome.report =
+                cluster_->device(d).run(pool_[member.pool_index]);
+            outcome.report.device = static_cast<int>(d);
+            t += outcome.report.timeUs();
+            outcome.finish_us = t;
+            outcome.met_deadline = t <= member.deadline_us;
+            result.outcomes.push_back(std::move(outcome));
+            scheduler.completed(d);
+        }
+        free_at[d] = t;
+        busy[d] = true;
+    };
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    size_t next_arrival = 0;
+    while (true) {
+        const double arr_t = next_arrival < arrivals.size()
+                                 ? arrivals[next_arrival].time_us
+                                 : kInf;
+        double free_t = kInf;
+        for (size_t d = 0; d < n; ++d)
+            if (busy[d])
+                free_t = std::min(free_t, free_at[d]);
+        if (arr_t == kInf && free_t == kInf)
+            break;
+
+        if (free_t <= arr_t) {
+            // Device-completion event(s): free every device whose
+            // batch ends now (ascending index), then refill them.
+            const double now = free_t;
+            for (size_t d = 0; d < n; ++d)
+                if (busy[d] && free_at[d] == now)
+                    busy[d] = false;
+            for (size_t d = 0; d < n; ++d)
+                dispatch(d, now);
+            continue;
+        }
+
+        // Arrival event: admission control, placement, enqueue.
+        const Arrival &arrival = arrivals[next_arrival++];
+        const double now = arrival.time_us;
+        const PoolEntryInfo &entry = info[arrival.pool_index];
+        const double deadline = deadlineFor(
+            arrival.deadline_class, now, entry.estimate_us[0]);
+
+        if (queue.totalDepth() >= queue.depthBound() &&
+            options_.admission == AdmissionPolicy::Reject) {
+            ++rejected_per_class[static_cast<int>(
+                arrival.deadline_class)];
+            continue;
+        }
+
+        std::vector<double> ready(n), backlog(n);
+        for (size_t d = 0; d < n; ++d) {
+            ready[d] = busy[d] ? free_at[d] : now;
+            backlog[d] = edf ? queue.backlogBeforeUs(d, deadline)
+                             : queue.backlogUs(d);
+        }
+        const size_t dev = scheduler.placeArrival(
+            options_.policy == ServePolicy::RoundRobin
+                ? std::vector<double>{}
+                : entry.estimate_us,
+            ready, backlog, deadline);
+
+        QueuedRequest qr;
+        qr.id = arrival.id;
+        qr.pool_index = arrival.pool_index;
+        qr.batch_key = entry.batch_key;
+        qr.arrival_us = now;
+        qr.deadline_us = deadline;
+        qr.estimate_us = entry.estimate_us[dev];
+        qr.deadline_class = arrival.deadline_class;
+        qr.device = dev;
+        std::vector<QueuedRequest> shed;
+        const ServingQueue::Admit admitted = queue.admit(qr, &shed);
+        DSTC_ASSERT(admitted == ServingQueue::Admit::Admitted,
+                    "reject-on-overload is handled before placement");
+        for (const QueuedRequest &victim : shed)
+            ++shed_per_class[static_cast<int>(
+                victim.deadline_class)];
+
+        // The newcomer (or a rebalanced queue) may feed an idle
+        // device immediately.
+        for (size_t d = 0; d < n; ++d)
+            dispatch(d, now);
+    }
+
+    std::sort(result.outcomes.begin(), result.outcomes.end(),
+              [](const ServeOutcome &a, const ServeOutcome &b) {
+                  return a.id < b.id;
+              });
+
+    // -- assemble the scorecard --------------------------------------
+    ServingStats &stats = result.stats;
+    stats.offered = static_cast<int64_t>(arrivals.size());
+    stats.per_class.assign(kNumDeadlineClasses, ClassStats{});
+    for (const Arrival &arrival : arrivals)
+        ++stats.per_class[static_cast<int>(arrival.deadline_class)]
+              .offered;
+
+    std::vector<double> latencies;
+    std::vector<std::vector<double>> class_latencies(
+        kNumDeadlineClasses);
+    latencies.reserve(result.outcomes.size());
+    int64_t met = 0;
+    double makespan = 0.0;
+    for (const ServeOutcome &outcome : result.outcomes) {
+        const double latency = outcome.finish_us - outcome.arrival_us;
+        latencies.push_back(latency);
+        ClassStats &cls = stats.per_class[static_cast<int>(
+            outcome.deadline_class)];
+        class_latencies[static_cast<int>(outcome.deadline_class)]
+            .push_back(latency);
+        ++cls.completed;
+        if (outcome.met_deadline)
+            ++met;
+        else
+            ++cls.deadline_misses;
+        makespan = std::max(makespan, outcome.finish_us);
+    }
+    for (int c = 0; c < kNumDeadlineClasses; ++c) {
+        stats.per_class[c].rejected = rejected_per_class[c];
+        stats.per_class[c].shed = shed_per_class[c];
+        stats.per_class[c].dropped = dropped_per_class[c];
+        stats.per_class[c].latency =
+            summarizeLatencies(std::move(class_latencies[c]));
+        stats.rejected += rejected_per_class[c];
+        stats.shed += shed_per_class[c];
+        stats.dropped += dropped_per_class[c];
+        stats.deadline_misses += stats.per_class[c].deadline_misses;
+    }
+    stats.completed = static_cast<int64_t>(result.outcomes.size());
+    stats.admitted = stats.offered - stats.rejected;
+    stats.steals = scheduler.steals();
+    stats.microbatches = microbatches;
+    stats.microbatched = microbatched;
+    stats.makespan_us = makespan;
+    if (makespan > 0.0) {
+        stats.throughput_rpms =
+            static_cast<double>(stats.completed) / (makespan / 1e3);
+        stats.goodput_rpms =
+            static_cast<double>(met) / (makespan / 1e3);
+    }
+    if (stats.completed > 0)
+        stats.deadline_miss_rate =
+            static_cast<double>(stats.deadline_misses) /
+            static_cast<double>(stats.completed);
+    if (stats.offered > 0)
+        stats.slo_attainment = static_cast<double>(met) /
+                               static_cast<double>(stats.offered);
+    stats.latency = summarizeLatencies(std::move(latencies));
+    stats.placed_per_device.resize(n);
+    stats.completed_per_device.resize(n);
+    for (size_t d = 0; d < n; ++d) {
+        const DeviceLoad load = scheduler.load(d);
+        stats.placed_per_device[d] = load.placed;
+        stats.completed_per_device[d] = load.completed;
+    }
+    return result;
+}
+
+bool
+ServingEngine::replayMatchesSerial(const ServingResult &result)
+{
+    // Fresh single-device Sessions — no shared cache, no cluster —
+    // replaying the placed sequence in submission order must
+    // reproduce every report bit for bit.
+    std::vector<std::unique_ptr<Session>> reference;
+    reference.reserve(options_.devices.size());
+    for (const GpuConfig &cfg : options_.devices)
+        reference.push_back(std::make_unique<Session>(cfg));
+    for (const ServeOutcome &outcome : result.outcomes) {
+        if (outcome.device >= reference.size())
+            return false;
+        const KernelReport serial =
+            reference[outcome.device]->run(pool_[outcome.pool_index]);
+        if (!statsBitwiseEqual(outcome.report.stats, serial.stats) ||
+            outcome.report.backend != serial.backend ||
+            outcome.report.method != serial.method)
+            return false;
+    }
+    return true;
+}
+
+} // namespace dstc

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * ServingEngine — the online serving subsystem over a Cluster.
+ *
+ * The engine runs a deterministic discrete-event simulation of an
+ * open-loop serving timeline on a virtual microsecond clock:
+ *
+ *   ArrivalGenerator ──> ServingQueue ──> DeadlineScheduler ──> Cluster
+ *      (seeded traffic)   (admission,       (placement, EDF,      (per-device
+ *                          backpressure)     work stealing)        Sessions)
+ *
+ * Each arrival is admitted (or rejected/shed under backpressure),
+ * placed on a device queue, and — when its device frees up —
+ * dispatched as part of a continuous micro-batch of
+ * encoding-compatible requests (same operand digests and shapes,
+ * which share entries in the cross-device EncodingCache and
+ * amortize the per-dispatch overhead). Service times are the
+ * simulated kernel times of the placed device's Session, so the
+ * whole timeline — queue waits, completions, tail latencies,
+ * deadline misses — is a pure function of (options, seed):
+ *
+ *  - two runs with the same seed produce identical ServingStats;
+ *  - every KernelReport is bitwise identical to replaying the placed
+ *    request serially on a fresh single Session with that device's
+ *    GpuConfig (the PR 5 cluster contract, kept under open-loop
+ *    traffic, EDF reordering, micro-batching and work stealing).
+ *
+ * Deadlines are workload-relative: each request's deadline is its
+ * arrival time plus its class multiplier times the request's
+ * plan-stage estimate on the *reference device* (device 0), plus a
+ * fixed base slack — so the same traffic is held to the same SLO no
+ * matter which policy or device mix serves it.
+ */
+#ifndef DSTC_SERVE_SERVING_H
+#define DSTC_SERVE_SERVING_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.h"
+#include "serve/arrival.h"
+#include "serve/queue.h"
+#include "serve/scheduler.h"
+#include "serve/stats.h"
+
+namespace dstc {
+
+/** Construction knobs of a ServingEngine. */
+struct ServingOptions
+{
+    /** One Session per entry; empty = a single V100. Device 0 is the
+     *  SLO reference device. */
+    std::vector<GpuConfig> devices;
+
+    ServePolicy policy = ServePolicy::Deadline;
+    AdmissionPolicy admission = AdmissionPolicy::Reject;
+
+    /** Global queue-depth bound across all device queues (the
+     *  backpressure surface). */
+    size_t queue_depth = 256;
+
+    /** Maximum requests per dispatch micro-batch (1 = batching
+     *  off). Batch mates share one dispatch overhead and hit the
+     *  shared EncodingCache back to back. */
+    size_t microbatch = 4;
+
+    /** Scheduling/launch overhead charged once per dispatch batch,
+     *  in simulated us. */
+    double dispatch_overhead_us = 2.0;
+
+    /** Traffic shape (pattern, rate, duration, seed, class mix).
+     *  pool_size is overwritten with the workload pool's size. */
+    ArrivalOptions arrivals;
+
+    /** SLO model: deadline = arrival + mult(class) * reference
+     *  estimate + base slack. */
+    double slo_base_slack_us = 25.0;
+    double slo_interactive_mult = 4.0;
+    double slo_standard_mult = 12.0;
+    double slo_batch_mult = 60.0;
+
+    /** Shared worker-pool width of the underlying Cluster (serving
+     *  stats are identical for every setting). */
+    int num_threads = 1;
+
+    /** Per-device SessionOptions::encode_workers. */
+    int encode_workers = 1;
+};
+
+/** Per-request outcome of a serving run. */
+struct ServeOutcome
+{
+    int64_t id = 0;
+    size_t pool_index = 0;
+    size_t device = 0;
+    DeadlineClass deadline_class = DeadlineClass::Standard;
+    double arrival_us = 0.0;
+    double start_us = 0.0;  ///< dispatch time on the virtual clock
+    double finish_us = 0.0; ///< completion time on the virtual clock
+    double deadline_us = 0.0;
+    bool met_deadline = false;
+    bool stolen = false;          ///< re-placed by work stealing
+    bool batched_follower = false; ///< rode a micro-batch (not head)
+    KernelReport report;
+};
+
+/** Everything a serving run produced. */
+struct ServingResult
+{
+    ServingStats stats;
+    /** Completed requests in submission-id order. */
+    std::vector<ServeOutcome> outcomes;
+};
+
+/** The open-loop serving front end. */
+class ServingEngine
+{
+  public:
+    /**
+     * @param options the serving configuration
+     * @param pool    workload pool arrivals draw from (each arrival
+     *                executes one pool entry; must be non-empty and
+     *                must outlive the engine if entries carry
+     *                operand pointers)
+     */
+    ServingEngine(ServingOptions options,
+                  std::vector<KernelRequest> pool);
+
+    /** Run the full serving timeline (arrivals then drain). */
+    ServingResult run();
+
+    /** The engine's Cluster (device Sessions, shared cache). */
+    Cluster &cluster() { return *cluster_; }
+    const Cluster &cluster() const { return *cluster_; }
+
+    const ServingOptions &options() const { return options_; }
+    const std::vector<KernelRequest> &pool() const { return pool_; }
+
+    /** The absolute deadline the engine assigns an arrival of
+     *  @p dclass at @p arrival_us whose reference-device estimate is
+     *  @p ref_estimate_us. */
+    double deadlineFor(DeadlineClass dclass, double arrival_us,
+                       double ref_estimate_us) const;
+
+    /**
+     * Aggregate serving capacity of the configured devices, in
+     * requests per simulated millisecond, assuming a uniform draw
+     * over the pool: sum over devices of pool_size / (sum of the
+     * pool's per-device estimates plus one dispatch overhead per
+     * request — the no-batching worst case). The natural yardstick
+     * for choosing an offered rate ("0.8 x capacity",
+     * "2.5 x capacity"); micro-batching policies gain headroom
+     * beyond it by amortizing the overhead.
+     */
+    double estimatedCapacityRpms();
+
+    /**
+     * The serving determinism contract's second half: re-run every
+     * completed request of @p result serially on a fresh
+     * single-device Session with the placed device's config and
+     * compare reports bitwise. Returns false on any divergence.
+     */
+    bool replayMatchesSerial(const ServingResult &result);
+
+  private:
+    ServingOptions options_;
+    std::vector<KernelRequest> pool_;
+    std::unique_ptr<Cluster> cluster_;
+};
+
+} // namespace dstc
+
+#endif // DSTC_SERVE_SERVING_H

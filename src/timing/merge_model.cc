@@ -47,6 +47,29 @@ rawMaxLoad(int bucket, int banks)
     return sum / kTrials;
 }
 
+/**
+ * Process-wide memo registry, one slot per bank count, bounded at
+ * kMemoRegistryBound entries with FIFO eviction. Eviction only drops
+ * the registry's reference: live models keep their memo through the
+ * shared_ptr, and the values are pure functions of (banks, bucket),
+ * so a re-created memo recomputes identical numbers — the bound
+ * trades recomputation for a hard memory ceiling when callers sweep
+ * many bank counts.
+ */
+struct MemoRegistry
+{
+    std::mutex mu;
+    std::map<int, std::shared_ptr<MergeCostModel::MaxLoadMemo>> slots;
+    std::vector<int> fifo; ///< insertion order, oldest first
+};
+
+MemoRegistry &
+memoRegistry()
+{
+    static MemoRegistry registry;
+    return registry;
+}
+
 } // namespace
 
 MergeCostModel::MergeCostModel(int banks, bool operand_collector)
@@ -57,13 +80,28 @@ MergeCostModel::MergeCostModel(int banks, bool operand_collector)
     // the process: SpGemmDevice is constructed per plan-run, and
     // re-estimating the bucket chain each run would dominate small
     // kernels.
-    static std::mutex registry_mu;
-    static std::map<int, std::shared_ptr<MaxLoadMemo>> registry;
-    std::lock_guard<std::mutex> lock(registry_mu);
-    auto &slot = registry[banks];
-    if (!slot)
-        slot = std::make_shared<MaxLoadMemo>();
-    memo_ = slot;
+    MemoRegistry &registry = memoRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.slots.find(banks);
+    if (it != registry.slots.end()) {
+        memo_ = it->second;
+        return;
+    }
+    while (registry.slots.size() >= kMemoRegistryBound) {
+        registry.slots.erase(registry.fifo.front());
+        registry.fifo.erase(registry.fifo.begin());
+    }
+    memo_ = std::make_shared<MaxLoadMemo>();
+    registry.slots.emplace(banks, memo_);
+    registry.fifo.push_back(banks);
+}
+
+size_t
+MergeCostModel::memoRegistryEntries()
+{
+    MemoRegistry &registry = memoRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    return registry.slots.size();
 }
 
 double

@@ -10,6 +10,7 @@
 #ifndef DSTC_TIMING_MERGE_MODEL_H
 #define DSTC_TIMING_MERGE_MODEL_H
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -50,6 +51,25 @@ class MergeCostModel
 
     int banks() const { return banks_; }
 
+    /** Memoized prefix-max Monte-Carlo estimates, one per banks. */
+    struct MaxLoadMemo
+    {
+        std::mutex mu;
+        std::map<int, double> prefix_max; ///< bucket -> max load
+    };
+
+    /**
+     * The process-shared memo registry holds at most this many bank
+     * counts; beyond it the oldest slot is evicted (FIFO). Models
+     * alive at eviction keep their memo through the shared_ptr, and
+     * the values are pure functions of (banks, bucket), so a
+     * re-created memo recomputes identical numbers.
+     */
+    static constexpr size_t kMemoRegistryBound = 8;
+
+    /** Bank counts currently in the shared registry (test hook). */
+    static size_t memoRegistryEntries();
+
   private:
     /**
      * Monte-Carlo estimate (memoized, deterministic) of the expected
@@ -62,13 +82,6 @@ class MergeCostModel
      * memo is shared process-wide per bank count and mutex-guarded.
      */
     double expectedMaxLoad(int n) const;
-
-    /** Memoized prefix-max Monte-Carlo estimates, one per banks. */
-    struct MaxLoadMemo
-    {
-        std::mutex mu;
-        std::map<int, double> prefix_max; ///< bucket -> max load
-    };
 
     int banks_;
     bool operand_collector_;

@@ -138,5 +138,57 @@ TEST(CliFlags, RangeHelpersReturnInsteadOfExiting)
     EXPECT_FALSE(checkClusterFlag("cluster", 0.5));
 }
 
+TEST(CliFlags, ChoiceHelperValidatesVocabulary)
+{
+    const std::vector<std::string> policies = {"deadline", "cost",
+                                               "rr"};
+    EXPECT_TRUE(checkChoiceFlag("policy", "deadline", policies));
+    EXPECT_TRUE(checkChoiceFlag("policy", "rr", policies));
+    EXPECT_FALSE(checkChoiceFlag("policy", "shard", policies));
+    EXPECT_FALSE(checkChoiceFlag("policy", "", policies));
+    EXPECT_FALSE(checkChoiceFlag("policy", "Deadline", policies));
+}
+
+TEST(CliFlags, PositiveHelperRejectsZeroAndNegative)
+{
+    EXPECT_TRUE(checkPositiveFlag("rate", 400.0));
+    EXPECT_TRUE(checkPositiveFlag("rate", 1e-6));
+    EXPECT_FALSE(checkPositiveFlag("rate", 0.0));
+    EXPECT_FALSE(checkPositiveFlag("rate", -3.0));
+}
+
+TEST(CliFlags, ServeVocabularyValidates)
+{
+    // The serve command's flag vocabulary, exactly as dstc_sim
+    // declares it: good invocations validate, malformed values are
+    // returned as errors.
+    const std::set<std::string> known = {
+        "devices", "policy",     "admission", "pattern", "rate",
+        "duration", "depth", "microbatch", "method",    "seed"};
+    CliArgs good = parse({"serve", "mix", "--rate", "800",
+                          "--duration", "1.5", "--depth", "64",
+                          "--policy", "deadline"});
+    EXPECT_TRUE(good.validateFlags("serve", known,
+                                   {"rate", "duration"},
+                                   {"depth", "microbatch"}, {"seed"}));
+    EXPECT_TRUE(good.checkPositionals("serve", 2));
+
+    CliArgs bad_rate = parse({"serve", "mix", "--rate", "fast"});
+    EXPECT_FALSE(bad_rate.validateFlags("serve", known,
+                                        {"rate", "duration"},
+                                        {"depth", "microbatch"},
+                                        {"seed"}));
+    CliArgs bad_depth = parse({"serve", "mix", "--depth", "1e3"});
+    EXPECT_FALSE(bad_depth.validateFlags("serve", known,
+                                         {"rate", "duration"},
+                                         {"depth", "microbatch"},
+                                         {"seed"}));
+    CliArgs unknown = parse({"serve", "mix", "--qos", "gold"});
+    EXPECT_FALSE(unknown.validateFlags("serve", known,
+                                       {"rate", "duration"},
+                                       {"depth", "microbatch"},
+                                       {"seed"}));
+}
+
 } // namespace
 } // namespace dstc

@@ -337,6 +337,19 @@ TEST(ClusterTest, DestructionDrainsOutstandingSubmits)
         EXPECT_GT(future.get().timeUs(), 0.0);
 }
 
+TEST(ClusterTest, EmptyBatchIsANoOp)
+{
+    ClusterOptions opts;
+    opts.devices = {GpuConfig::v100(), GpuConfig::v100()};
+    Cluster cluster(opts);
+    EXPECT_TRUE(cluster.submitBatch({}).empty());
+    EXPECT_TRUE(cluster.runBatch({}).empty());
+    for (size_t d = 0; d < cluster.numDevices(); ++d) {
+        EXPECT_EQ(cluster.load(d).placed, 0);
+        EXPECT_EQ(cluster.load(d).completed, 0);
+    }
+}
+
 TEST(ClusterTest, SubmitBatchFuturesAreIndexAligned)
 {
     // Functional requests with distinct operands: each future must

@@ -51,6 +51,30 @@ TEST(MergeModel, MonotonicInAccesses)
     }
 }
 
+TEST(MergeModel, MemoRegistryStaysBounded)
+{
+    // Sweep far more bank counts than the registry bound: the
+    // process-shared memo registry must evict (FIFO) instead of
+    // growing without limit.
+    for (int banks = 1; banks <= 64; ++banks)
+        MergeCostModel model(banks, false);
+    EXPECT_LE(MergeCostModel::memoRegistryEntries(),
+              MergeCostModel::kMemoRegistryBound);
+
+    // A model alive across evictions keeps its own memo and stays
+    // usable; values are pure in (banks, accesses), so a re-created
+    // model for an evicted bank count reproduces them exactly.
+    MergeCostModel survivor(3, false);
+    const double before = survivor.perInstrCycles(20);
+    for (int banks = 100; banks <= 140; ++banks)
+        MergeCostModel model(banks, false);
+    EXPECT_DOUBLE_EQ(survivor.perInstrCycles(20), before);
+    EXPECT_DOUBLE_EQ(MergeCostModel(3, false).perInstrCycles(20),
+                     before);
+    EXPECT_LE(MergeCostModel::memoRegistryEntries(),
+              MergeCostModel::kMemoRegistryBound);
+}
+
 /** The analytic model must track the exact bank simulator. */
 class MergeModelValidation
     : public ::testing::TestWithParam<std::tuple<int, int, bool>>

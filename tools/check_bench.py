@@ -26,6 +26,11 @@ BENCH_encode.json, BENCH_cluster.json):
     `--tolerance` times the checked-in reference ratio. Simulated
     makespans are deterministic, so this gate is immune to CI
     hardware variance.
+ 5. Serving gate (micro_serve): on every heterogeneous device mix
+    and load level, deadline-aware placement must beat round-robin
+    on simulated p99 tail latency and goodput (ratio >= 1), with the
+    same reference-ratio tolerance; every point must also replay
+    bitwise against serial single-Session execution.
 
 Exit code 0 = green, 1 = regression, 2 = usage/setup error.
 """
@@ -61,6 +66,12 @@ BENCHES = {
         "keys": ("devices", "policy"),
         "mode": "cluster",
     },
+    "micro_serve": {
+        "binary": os.path.join("bench", "micro_serve"),
+        "reference": "BENCH_serve.json",
+        "keys": ("devices", "policy", "load"),
+        "mode": "serve",
+    },
 }
 
 
@@ -76,7 +87,7 @@ def point_key(point, keys):
 def point_label(point):
     fields = ("kind", "shape", "m", "method", "sparsity", "wsp",
               "asp", "stride", "clustered", "tile_k", "devices",
-              "policy")
+              "policy", "load")
     parts = [f"{k}={point[k]}" for k in fields if k in point]
     return "{" + ", ".join(parts) + "}"
 
@@ -163,6 +174,76 @@ def check_cluster(name, ref_points, meas_points, args):
     return ok
 
 
+def serve_ratio(points, devices, load, field, better="lower"):
+    """deadline-vs-rr ratio of one serving metric on one (device set,
+    load) pair, oriented so > 1 means the deadline policy wins."""
+    deadline = rr = None
+    for p in points:
+        if p.get("devices") != devices or p.get("load") != load:
+            continue
+        if p.get("policy") == "deadline":
+            deadline = p.get(field, 0.0)
+        elif p.get("policy") == "rr":
+            rr = p.get(field, 0.0)
+    if not deadline or not rr:
+        return None
+    return rr / deadline if better == "lower" else deadline / rr
+
+# Serving gate metrics: (json field, which direction the deadline
+# policy must win, human label).
+SERVE_METRICS = (
+    ("p99_us", "lower", "p99 tail latency"),
+    ("goodput_rpms", "higher", "goodput"),
+)
+
+
+def check_serve(name, ref_points, meas_points, args):
+    """Tail-latency/goodput gate: on every heterogeneous device mix
+    and load level, deadline-aware placement must beat round-robin on
+    p99 and goodput (ratio >= 1), and each ratio must stay above
+    `--tolerance` times the checked-in reference ratio. Serving
+    metrics are simulated and deterministic, so the tolerance only
+    absorbs intentional timing- or policy-model changes."""
+    ok = True
+    hetero = sorted({p["devices"] for p in meas_points
+                     if "+" in p.get("devices", "")})
+    if not hetero:
+        return fail(f"{name}: no heterogeneous device mix measured")
+    loads = sorted({p.get("load") for p in meas_points})
+    for devices in hetero:
+        for load in loads:
+            for field, better, label in SERVE_METRICS:
+                ratio = serve_ratio(meas_points, devices, load,
+                                    field, better)
+                if ratio is None:
+                    ok = fail(f"{name}: {devices}@{load} lacks "
+                              f"deadline/rr points for the {label} "
+                              f"gate")
+                    continue
+                point_ok = True
+                if ratio < 1.0:
+                    point_ok = fail(
+                        f"{name}: {devices}@{load} deadline policy "
+                        f"({ratio:.2f}x) lost to round-robin on "
+                        f"{label}")
+                ref = serve_ratio(ref_points, devices, load, field,
+                                  better)
+                if ref is not None and \
+                        ratio < args.tolerance * ref:
+                    point_ok = fail(
+                        f"{name}: {devices}@{load} {label} advantage "
+                        f"{ratio:.2f}x regressed below "
+                        f"{args.tolerance * ref:.2f}x (= "
+                        f"{args.tolerance:.2f} x reference "
+                        f"{ref:.2f}x)")
+                if point_ok:
+                    print(f"check_bench: {name}: {devices}@{load} "
+                          f"{label} advantage {ratio:.2f}x "
+                          f"(deadline vs rr)")
+                ok = point_ok and ok
+    return ok
+
+
 def check_bench(name, spec, args):
     ref_path = os.path.join(args.repo_root, spec["reference"])
     binary = os.path.join(args.build_dir, spec["binary"])
@@ -192,6 +273,13 @@ def check_bench(name, spec, args):
 
     if spec.get("mode") == "cluster":
         ok = check_cluster(name, ref_points, meas_points, args) and ok
+        if ok:
+            print(f"check_bench: {name}: "
+                  f"{len(meas_points)} quick points green")
+        return ok
+
+    if spec.get("mode") == "serve":
+        ok = check_serve(name, ref_points, meas_points, args) and ok
         if ok:
             print(f"check_bench: {name}: "
                   f"{len(meas_points)} quick points green")

@@ -18,6 +18,12 @@
  *            [--devices v100,a100,future] [--policy cost|rr|shard]
  *            [--method auto|dual|dense|single] [--replicate N]
  *            [--seed N]
+ *   dstc_sim serve vgg16|resnet18|maskrcnn|bert|rnn|mix
+ *            [--devices v100,a100,future]
+ *            [--policy deadline|cost|rr] [--admission reject|shed]
+ *            [--pattern poisson|bursty] [--rate RPMS]
+ *            [--duration MS] [--depth N] [--microbatch N]
+ *            [--method auto|dual|dense|single] [--seed N]
  *   dstc_sim backends
  *   dstc_sim overhead
  *
@@ -41,6 +47,7 @@
 #include "hwmodel/area_power.h"
 #include "hwmodel/energy_model.h"
 #include "model/runner.h"
+#include "serve/serving.h"
 
 using namespace dstc;
 
@@ -478,6 +485,148 @@ runCluster(const CliArgs &args)
 }
 
 int
+runServe(const CliArgs &args)
+{
+    if (!args.checkPositionals("serve", 2))
+        return 2;
+    // Like cluster: the device list comes from --devices, so the
+    // global --a100 switch is rejected rather than ignored.
+    if (!args.validateFlags("serve",
+                            {"devices", "policy", "admission",
+                             "pattern", "rate", "duration", "depth",
+                             "microbatch", "method", "seed"},
+                            {"rate", "duration"},
+                            {"depth", "microbatch"}, {"seed"}, {}))
+        return 2;
+    if (args.positional.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: dstc_sim serve <model|mix> [--devices "
+                     "v100,a100,future] [--policy deadline|cost|rr] "
+                     "[--admission reject|shed] [flags]\n");
+        return 2;
+    }
+
+    ModelMethod method;
+    if (!parseModelMethodArg(args.flag("method", "dual"), &method))
+        return 2;
+    const uint64_t seed = args.flagU64("seed", 1);
+
+    // The workload pool: one model's layer batch, or the
+    // heterogeneous resnet18+bert mix.
+    std::vector<KernelRequest> pool;
+    const std::string &pool_name = args.positional[1];
+    if (pool_name == "mix") {
+        for (const DnnModel &model : {makeResnet18(), makeBertBase()}) {
+            const std::vector<KernelRequest> batch =
+                ModelRunner::layerRequests(model, method, seed);
+            pool.insert(pool.end(), batch.begin(), batch.end());
+        }
+    } else {
+        DnnModel model;
+        if (!parseModelArg(pool_name, &model))
+            return 2;
+        pool = ModelRunner::layerRequests(model, method, seed);
+    }
+
+    ServingOptions opts;
+    std::vector<std::string> device_names;
+    if (!parseDevicesArg(args.flag("devices", "v100,v100"),
+                         &opts.devices, &device_names))
+        return 2;
+
+    const std::string policy = args.flag("policy", "deadline");
+    const std::string admission = args.flag("admission", "reject");
+    const std::string pattern = args.flag("pattern", "poisson");
+    if (!checkChoiceFlag("policy", policy, {"deadline", "cost", "rr"}) ||
+        !checkChoiceFlag("admission", admission, {"reject", "shed"}) ||
+        !checkChoiceFlag("pattern", pattern, {"poisson", "bursty"}))
+        return 2;
+    parseServePolicy(policy, &opts.policy);
+    parseAdmissionPolicy(admission, &opts.admission);
+    parseTrafficPattern(pattern, &opts.arrivals.pattern);
+
+    opts.arrivals.rate_rpms = args.flagD("rate", 400.0);
+    opts.arrivals.duration_ms = args.flagD("duration", 2.0);
+    opts.arrivals.seed = seed;
+    const int depth = args.flagI("depth", 256);
+    const int microbatch = args.flagI("microbatch", 4);
+    if (!checkPositiveFlag("rate", opts.arrivals.rate_rpms) ||
+        !checkPositiveFlag("duration", opts.arrivals.duration_ms) ||
+        !checkPositiveFlag("depth", depth) ||
+        !checkPositiveFlag("microbatch", microbatch))
+        return 2;
+    opts.queue_depth = static_cast<size_t>(depth);
+    opts.microbatch = static_cast<size_t>(microbatch);
+
+    ServingEngine engine(opts, std::move(pool));
+    const double capacity = engine.estimatedCapacityRpms();
+    ServingResult result = engine.run();
+    const ServingStats &stats = result.stats;
+
+    std::printf("serve %s on %zu devices, policy %s, admission %s, "
+                "%s @ %.0f req/ms for %.1f ms (seed %llu)\n",
+                pool_name.c_str(), engine.cluster().numDevices(),
+                policy.c_str(), admission.c_str(), pattern.c_str(),
+                opts.arrivals.rate_rpms, opts.arrivals.duration_ms,
+                static_cast<unsigned long long>(seed));
+    std::printf("estimated capacity: %.0f req/ms (offered load "
+                "%.2fx)\n\n",
+                capacity, opts.arrivals.rate_rpms / capacity);
+
+    TextTable per_class;
+    per_class.setHeader({"class", "offered", "done", "missed",
+                         "rejected", "shed", "p50 (us)", "p99 (us)"});
+    for (int c = 0; c < kNumDeadlineClasses; ++c) {
+        const ClassStats &cls = stats.per_class[c];
+        per_class.addRow(
+            {deadlineClassName(static_cast<DeadlineClass>(c)),
+             std::to_string(cls.offered),
+             std::to_string(cls.completed),
+             std::to_string(cls.deadline_misses),
+             std::to_string(cls.rejected), std::to_string(cls.shed),
+             fmtDouble(cls.latency.p50_us, 2),
+             fmtDouble(cls.latency.p99_us, 2)});
+    }
+    per_class.print();
+
+    std::printf("\nper-device placement:\n");
+    TextTable per_device;
+    per_device.setHeader({"device", "config", "placed", "completed"});
+    for (size_t d = 0; d < engine.cluster().numDevices(); ++d)
+        per_device.addRow({std::to_string(d), device_names[d],
+                           std::to_string(stats.placed_per_device[d]),
+                           std::to_string(
+                               stats.completed_per_device[d])});
+    per_device.print();
+
+    std::printf("\noffered / admitted : %lld / %lld\n",
+                static_cast<long long>(stats.offered),
+                static_cast<long long>(stats.admitted));
+    std::printf("completed          : %lld (%lld rejected, %lld "
+                "shed, %lld dropped)\n",
+                static_cast<long long>(stats.completed),
+                static_cast<long long>(stats.rejected),
+                static_cast<long long>(stats.shed),
+                static_cast<long long>(stats.dropped));
+    std::printf("latency p50/p95/p99: %.2f / %.2f / %.2f us\n",
+                stats.latency.p50_us, stats.latency.p95_us,
+                stats.latency.p99_us);
+    std::printf("deadline miss rate : %.3f\n",
+                stats.deadline_miss_rate);
+    std::printf("SLO attainment     : %.3f\n", stats.slo_attainment);
+    std::printf("throughput         : %.1f req/ms\n",
+                stats.throughput_rpms);
+    std::printf("goodput            : %.1f req/ms\n",
+                stats.goodput_rpms);
+    std::printf("steals / batches   : %lld / %lld (%lld requests "
+                "batched)\n",
+                static_cast<long long>(stats.steals),
+                static_cast<long long>(stats.microbatches),
+                static_cast<long long>(stats.microbatched));
+    return 0;
+}
+
+int
 runBackends(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("backends", 1) ||
@@ -535,7 +684,7 @@ main(int argc, char **argv)
         parseCliArgs(argc, argv, {"a100", "batched", "explicit"});
     if (args.positional.empty()) {
         std::fprintf(stderr,
-                     "usage: dstc_sim <gemm|conv|model|cluster|"
+                     "usage: dstc_sim <gemm|conv|model|cluster|serve|"
                      "backends|overhead> [args] [--a100]\n");
         return 2;
     }
@@ -543,6 +692,8 @@ main(int argc, char **argv)
     const std::string &command = args.positional[0];
     if (command == "cluster")
         return runCluster(args); // multi-device: --devices, not --a100
+    if (command == "serve")
+        return runServe(args); // multi-device: --devices, not --a100
     Session session(args.hasFlag("a100") ? GpuConfig::a100Like()
                                          : GpuConfig::v100());
     if (command == "gemm")
@@ -557,7 +708,7 @@ main(int argc, char **argv)
         return runOverhead(args, session);
     std::fprintf(stderr,
                  "error: unknown command '%s' (valid: gemm, conv, "
-                 "model, cluster, backends, overhead)\n",
+                 "model, cluster, serve, backends, overhead)\n",
                  command.c_str());
     return 2;
 }
