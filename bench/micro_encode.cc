@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -267,9 +268,17 @@ writeJson(const char *path, const std::vector<Point> &points,
     }
     std::fprintf(f, "{\n  \"bench\": \"micro_encode\",\n");
     std::fprintf(f,
-                 "  \"config\": {\"threads\": %d, \"reps\": %d, "
-                 "\"quick\": %s},\n",
-                 sharedThreadPool().numThreads(), reps,
+                 "  \"config\": {\"threads\": %d, "
+                 "\"hardware_concurrency\": %u, \"reps\": %d, "
+                 "\"quick\": %s,\n"
+                 "    \"host_note\": \"wall-clock figures and "
+                 "parallel_scaling ~ 1.0 reflect the bench "
+                 "container's hardware_concurrency (1 = a single "
+                 "hardware thread, where the pool cannot scale); "
+                 "simulated *_us fields are machine-independent\"},"
+                 "\n",
+                 sharedThreadPool().numThreads(),
+                 std::thread::hardware_concurrency(), reps,
                  quick ? "true" : "false");
     std::fprintf(f, "  \"points\": [\n");
     for (size_t i = 0; i < points.size(); ++i) {

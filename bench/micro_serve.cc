@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -136,13 +137,16 @@ writeJson(const char *path, const std::vector<Point> &points,
     std::fprintf(f, "{\n  \"bench\": \"micro_serve\",\n");
     std::fprintf(
         f,
-        "  \"config\": {\"threads\": %d, \"reps\": %d, "
+        "  \"config\": {\"threads\": %d, "
+        "\"hardware_concurrency\": %u, \"reps\": %d, "
         "\"quick\": %s,\n"
         "    \"host_note\": \"serving metrics are simulated and "
-        "deterministic; wall_ms and any parallel-scaling figures "
-        "come from a limited-core CI container and are informative "
-        "only\"},\n",
-        sharedThreadPool().numThreads(), reps,
+        "deterministic; wall_ms and parallel_scaling ~ 1.0 reflect "
+        "the bench container's hardware_concurrency (1 = a single "
+        "hardware thread, where the pool cannot scale) and are "
+        "informative only\"},\n",
+        sharedThreadPool().numThreads(),
+        std::thread::hardware_concurrency(), reps,
         quick ? "true" : "false");
     std::fprintf(f, "  \"points\": [\n");
     for (size_t i = 0; i < points.size(); ++i) {

@@ -26,6 +26,8 @@
 
 namespace dstc {
 
+class KernelRegistry;
+
 /** Everything a backend needs besides the request itself. */
 struct PlanContext
 {
@@ -37,6 +39,15 @@ struct PlanContext
      *  contract: 0 = shared pool, 1 = serial). Encodings are bitwise
      *  identical for every setting. */
     int encode_workers = 1;
+
+    /**
+     * The registry that issued this plan (set by
+     * KernelRegistry::plan). Composer backends — Method::Hybrid —
+     * route per-class sub-requests back through it; primitive
+     * backends ignore it. Null when a backend is planned directly,
+     * which primitive backends must tolerate.
+     */
+    const KernelRegistry *registry = nullptr;
 };
 
 /**
@@ -158,6 +169,9 @@ std::unique_ptr<Backend> makeDenseBackend();
 std::unique_ptr<Backend> makeZhuSparseBackend();
 std::unique_ptr<Backend> makeAmpereSparseBackend();
 std::unique_ptr<Backend> makeCusparseLikeBackend();
+
+// The density-partitioned composer over them (src/core/hybrid.h).
+std::unique_ptr<Backend> makeHybridBackend();
 
 } // namespace dstc
 

@@ -1,9 +1,11 @@
 /**
  * @file
- * The five registered backends: dual-side sparse Tensor Core, dense
+ * The five primitive backends: dual-side sparse Tensor Core, dense
  * CUTLASS-like, Zhu vector-wise sparse TC, Ampere 2:4 sparse TC and
  * the cuSPARSE-like CSR SpGEMM — each answering the uniform
  * KernelRequest -> plan() -> execute() -> KernelReport protocol.
+ * The density-partitioned hybrid composer that routes tile classes
+ * across them lives in hybrid.cc.
  *
  * plan() resolves operand encodings through the EncodingCache:
  * two-level bitmap construction for functional dual-sparse GEMM,
@@ -19,6 +21,7 @@
 #include "baselines/cutlass_like.h"
 #include "baselines/zhu_sparse_tc.h"
 #include "conv/spconv.h"
+#include "core/gemm_operands.h"
 #include "core/method_map.h"
 #include "gemm/dense_gemm.h"
 #include "gemm/spgemm_device.h"
@@ -27,102 +30,6 @@
 namespace dstc {
 
 namespace {
-
-/** The profile pair of one synthetic GEMM operating point. Both
- *  sides share one generator stream (A drawn before B), so the pair
- *  is cached as a unit. */
-struct GemmProfilePair
-{
-    SparsityProfile a;
-    SparsityProfile b;
-
-    /** Resident footprint, for the cache's byte-aware bound. */
-    size_t
-    encodedBytes() const
-    {
-        return (static_cast<size_t>(a.groups()) * a.k() +
-                static_cast<size_t>(b.groups()) * b.k()) *
-               sizeof(uint16_t);
-    }
-};
-
-/**
- * Non-owning view of a GEMM request's profile pair. Caller-provided
- * profiles are referenced in place (no per-plan copy on the
- * spgemmTime path); cache-built pairs are kept alive through the
- * aliasing owner.
- */
-struct GemmProfilesView
-{
-    std::shared_ptr<const SparsityProfile> a;
-    std::shared_ptr<const SparsityProfile> b;
-
-    explicit operator bool() const { return a && b; }
-
-    static GemmProfilesView
-    borrowed(const SparsityProfile *a, const SparsityProfile *b)
-    {
-        return {std::shared_ptr<const SparsityProfile>(
-                    std::shared_ptr<const void>(), a),
-                std::shared_ptr<const SparsityProfile>(
-                    std::shared_ptr<const void>(), b)};
-    }
-
-    static GemmProfilesView
-    owned(std::shared_ptr<const GemmProfilePair> pair)
-    {
-        GemmProfilesView v;
-        v.a = std::shared_ptr<const SparsityProfile>(pair, &pair->a);
-        v.b = std::shared_ptr<const SparsityProfile>(pair, &pair->b);
-        return v;
-    }
-};
-
-/**
- * Lazily-computed content digests of a request's concrete operands.
- * Hashing a large matrix is a full pass over its bytes, and a plan
- * needs the same operand under several encoding families (profiles,
- * two-level, CSR) — so each operand is digested once and the 64-bit
- * digest is folded into every family key.
- */
-class OperandDigests
-{
-  public:
-    uint64_t
-    a(const Matrix<float> &m)
-    {
-        return digest(&m, &a_src_, &a_);
-    }
-
-    uint64_t
-    b(const Matrix<float> &m)
-    {
-        return digest(&m, &b_src_, &b_);
-    }
-
-  private:
-    /** Each slot memoizes exactly one matrix: a later call with a
-     *  different object would silently reuse the wrong digest, so
-     *  the identity is checked, not assumed. */
-    static uint64_t
-    digest(const Matrix<float> *m, const Matrix<float> **src,
-           std::optional<uint64_t> *slot)
-    {
-        if (!*slot) {
-            *src = m;
-            *slot = CacheKey("operand-bytes").matrix(*m).value();
-        }
-        DSTC_ASSERT(*src == m,
-                    "OperandDigests slot reused for a different "
-                    "matrix");
-        return **slot;
-    }
-
-    const Matrix<float> *a_src_ = nullptr;
-    const Matrix<float> *b_src_ = nullptr;
-    std::optional<uint64_t> a_;
-    std::optional<uint64_t> b_;
-};
 
 CacheKey
 convKey(const KernelRequest &req, ConvMethod cm)
@@ -143,109 +50,6 @@ convKey(const KernelRequest &req, ConvMethod cm)
         .f64(req.a_cluster)
         .u64(req.seed);
     return key;
-}
-
-/** Resolve (or synthesize) the popcount profiles of a GEMM request.
- *  Returns an empty view when the request carries pre-encoded
- *  operands only (no profile view available without decoding). */
-GemmProfilesView
-resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
-                    OperandDigests &digests, bool *hit)
-{
-    if (req.a_profile && req.b_profile) {
-        // Caller-owned encodings: reference them in place (the
-        // caller already holds the encode-once artifact, and request
-        // operands must outlive the plan by contract).
-        return GemmProfilesView::borrowed(req.a_profile,
-                                          req.b_profile);
-    }
-    // Profile line lengths must match the warp-tile edges the
-    // timing model runs at (timeFromProfiles asserts this).
-    const int tile_m = req.gemm_options.tile_m;
-    const int tile_n = req.gemm_options.tile_n;
-    if (req.a && req.b) {
-        CacheKey key("gemm-profiles-from-matrices");
-        key.u64(digests.a(*req.a))
-            .u64(digests.b(*req.b))
-            .i32(tile_m)
-            .i32(tile_n);
-        const Matrix<float> *a = req.a, *b = req.b;
-        return GemmProfilesView::owned(
-            ctx.cache->getOrBuild<GemmProfilePair>(
-                key.value(),
-                [a, b, tile_m, tile_n] {
-                    // Word-parallel extraction (bitwise identical to
-                    // the element-wise fromMatrixA/B references).
-                    return GemmProfilePair{
-                        SparsityProfile::fromMatrixAWord(*a, tile_m),
-                        SparsityProfile::fromMatrixBWord(*b,
-                                                         tile_n)};
-                },
-                hit));
-    }
-    if (req.a_encoded && req.b_encoded)
-        return {};
-
-    CacheKey key("gemm-profiles-synthetic");
-    key.i64(req.m).i64(req.n).i64(req.k);
-    key.f64(req.a_sparsity)
-        .f64(req.b_sparsity)
-        .f64(req.a_cluster)
-        .f64(req.b_cluster)
-        .u64(req.seed)
-        .i32(tile_m)
-        .i32(tile_n);
-    const KernelRequest r = req; // by-value for the builder
-    return GemmProfilesView::owned(
-        ctx.cache->getOrBuild<GemmProfilePair>(
-            key.value(),
-            [r, tile_m, tile_n] {
-                Rng rng(r.seed);
-                SparsityProfile a = SparsityProfile::randomA(
-                    r.m, r.k, tile_m, 1.0 - r.a_sparsity, r.a_cluster,
-                    rng);
-                SparsityProfile b = SparsityProfile::randomA(
-                    r.n, r.k, tile_n, 1.0 - r.b_sparsity, r.b_cluster,
-                    rng);
-                return GemmProfilePair{std::move(a), std::move(b)};
-            },
-            hit));
-}
-
-/** Non-zero fraction of a profile over its true extent — the same
- *  geometry KernelRequest::gemm(profile, profile) reports as m/n, so
- *  density * m * k recovers the exact nnz for ragged shapes too. */
-double
-profileDensity(const SparsityProfile &p)
-{
-    const double elems = static_cast<double>(p.extent()) *
-                         static_cast<double>(p.k());
-    return elems > 0 ? p.totalNnz() / elems : 0.0;
-}
-
-/** Effective B-side (weight) sparsity of a GEMM request. Concrete
- *  operands are probed by the branchless word count (zhu / ampere
- *  plans call this in both estimate and run). */
-double
-weightSparsity(const KernelRequest &req)
-{
-    if (req.b)
-        return wordSparsity(*req.b);
-    if (req.b_profile)
-        return 1.0 - profileDensity(*req.b_profile);
-    return req.b_sparsity;
-}
-
-/** Operand densities of a GEMM request (cuSPARSE baseline). */
-void
-operandDensities(const KernelRequest &req, double *da, double *db)
-{
-    *da = req.a          ? 1.0 - wordSparsity(*req.a)
-          : req.a_profile ? profileDensity(*req.a_profile)
-                          : 1.0 - req.a_sparsity;
-    *db = req.b          ? 1.0 - wordSparsity(*req.b)
-          : req.b_profile ? profileDensity(*req.b_profile)
-                          : 1.0 - req.b_sparsity;
 }
 
 // ===================================================================
@@ -362,12 +166,11 @@ class DualGemmPlan : public ExecutionPlan
     }
 
     /**
-     * Cache-backed two-level encodings of concrete operands, built
-     * by the word-parallel encoder (64 elements per bitmap word,
-     * tiles split by word extraction, optionally partitioned over
-     * encode_workers). Bitwise identical to the element-wise
-     * TwoLevelBitmapMatrix::encode for every worker count, so the
-     * cache key carries only the operand digest and tiling.
+     * Cache-backed two-level encodings of concrete operands, via the
+     * shared resolvers of gemm_operands.h (word-parallel encoder,
+     * bitwise identical to the element-wise encode for every worker
+     * count; one cache key per operand digest and tiling, shared
+     * with the hybrid composer's class slices).
      */
     void
     resolveTwoLevel()
@@ -375,28 +178,12 @@ class DualGemmPlan : public ExecutionPlan
         if (a_enc_)
             return;
         bool hit_a = false, hit_b = false;
-        const SpGemmOptions &o = req_.gemm_options;
-        const int workers = encode_workers_;
-        CacheKey ka("two-level-a");
-        ka.u64(digests_.a(*req_.a)).i32(o.tile_m).i32(o.tile_k);
-        const Matrix<float> *a = req_.a;
-        a_enc_ = cache_->getOrBuild<TwoLevelBitmapMatrix>(
-            ka.value(),
-            [a, &o, workers] {
-                return wordEncodeTwoLevel(*a, o.tile_m, o.tile_k,
-                                          Major::Col, workers);
-            },
-            &hit_a);
-        CacheKey kb("two-level-b");
-        kb.u64(digests_.b(*req_.b)).i32(o.tile_k).i32(o.tile_n);
-        const Matrix<float> *b = req_.b;
-        b_enc_ = cache_->getOrBuild<TwoLevelBitmapMatrix>(
-            kb.value(),
-            [b, &o, workers] {
-                return wordEncodeTwoLevel(*b, o.tile_k, o.tile_n,
-                                          Major::Row, workers);
-            },
-            &hit_b);
+        PlanContext ctx;
+        ctx.cfg = &cfg_;
+        ctx.cache = cache_;
+        ctx.encode_workers = encode_workers_;
+        a_enc_ = resolveTwoLevelA(req_, ctx, digests_, &hit_a);
+        b_enc_ = resolveTwoLevelB(req_, ctx, digests_, &hit_b);
         cache_hit_ = cache_hit_ || hit_a || hit_b;
     }
 

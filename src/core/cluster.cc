@@ -122,6 +122,9 @@ structuralKey(const KernelRequest &r)
         .i32(g.functional ? 1 : 0)
         .i32(g.detailed_merge ? 1 : 0)
         .i32(g.sparse_output ? 1 : 0);
+    // A pinned hybrid cut changes the partition (and so the stats)
+    // even at identical geometry.
+    key.f64(r.hybrid_options.threshold);
     const ConvShape &s = r.shape;
     key.i32(s.batch)
         .i32(s.in_c)

@@ -1,0 +1,136 @@
+#include "core/gemm_operands.h"
+
+#include "sparse/word_encode.h"
+
+namespace dstc {
+
+GemmProfilesView
+resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
+                    OperandDigests &digests, bool *hit)
+{
+    if (req.a_profile && req.b_profile) {
+        // Caller-owned encodings: reference them in place (the
+        // caller already holds the encode-once artifact, and request
+        // operands must outlive the plan by contract).
+        return GemmProfilesView::borrowed(req.a_profile,
+                                          req.b_profile);
+    }
+    // Profile line lengths must match the warp-tile edges the
+    // timing model runs at (timeFromProfiles asserts this).
+    const int tile_m = req.gemm_options.tile_m;
+    const int tile_n = req.gemm_options.tile_n;
+    if (req.a && req.b) {
+        CacheKey key("gemm-profiles-from-matrices");
+        key.u64(digests.a(*req.a))
+            .u64(digests.b(*req.b))
+            .i32(tile_m)
+            .i32(tile_n);
+        const Matrix<float> *a = req.a, *b = req.b;
+        return GemmProfilesView::owned(
+            ctx.cache->getOrBuild<GemmProfilePair>(
+                key.value(),
+                [a, b, tile_m, tile_n] {
+                    // Word-parallel extraction (bitwise identical to
+                    // the element-wise fromMatrixA/B references).
+                    return GemmProfilePair{
+                        SparsityProfile::fromMatrixAWord(*a, tile_m),
+                        SparsityProfile::fromMatrixBWord(*b,
+                                                         tile_n)};
+                },
+                hit));
+    }
+    if (req.a_encoded && req.b_encoded)
+        return {};
+
+    CacheKey key("gemm-profiles-synthetic");
+    key.i64(req.m).i64(req.n).i64(req.k);
+    key.f64(req.a_sparsity)
+        .f64(req.b_sparsity)
+        .f64(req.a_cluster)
+        .f64(req.b_cluster)
+        .u64(req.seed)
+        .i32(tile_m)
+        .i32(tile_n);
+    const KernelRequest r = req; // by-value for the builder
+    return GemmProfilesView::owned(
+        ctx.cache->getOrBuild<GemmProfilePair>(
+            key.value(),
+            [r, tile_m, tile_n] {
+                Rng rng(r.seed);
+                SparsityProfile a = SparsityProfile::randomA(
+                    r.m, r.k, tile_m, 1.0 - r.a_sparsity, r.a_cluster,
+                    rng);
+                SparsityProfile b = SparsityProfile::randomA(
+                    r.n, r.k, tile_n, 1.0 - r.b_sparsity, r.b_cluster,
+                    rng);
+                return GemmProfilePair{std::move(a), std::move(b)};
+            },
+            hit));
+}
+
+std::shared_ptr<const TwoLevelBitmapMatrix>
+resolveTwoLevelA(const KernelRequest &req, const PlanContext &ctx,
+                 OperandDigests &digests, bool *hit)
+{
+    const SpGemmOptions &o = req.gemm_options;
+    CacheKey key("two-level-a");
+    key.u64(digests.a(*req.a)).i32(o.tile_m).i32(o.tile_k);
+    const Matrix<float> *a = req.a;
+    const int workers = ctx.encode_workers;
+    return ctx.cache->getOrBuild<TwoLevelBitmapMatrix>(
+        key.value(),
+        [a, &o, workers] {
+            return wordEncodeTwoLevel(*a, o.tile_m, o.tile_k,
+                                      Major::Col, workers);
+        },
+        hit);
+}
+
+std::shared_ptr<const TwoLevelBitmapMatrix>
+resolveTwoLevelB(const KernelRequest &req, const PlanContext &ctx,
+                 OperandDigests &digests, bool *hit)
+{
+    const SpGemmOptions &o = req.gemm_options;
+    CacheKey key("two-level-b");
+    key.u64(digests.b(*req.b)).i32(o.tile_k).i32(o.tile_n);
+    const Matrix<float> *b = req.b;
+    const int workers = ctx.encode_workers;
+    return ctx.cache->getOrBuild<TwoLevelBitmapMatrix>(
+        key.value(),
+        [b, &o, workers] {
+            return wordEncodeTwoLevel(*b, o.tile_k, o.tile_n,
+                                      Major::Row, workers);
+        },
+        hit);
+}
+
+double
+profileDensity(const SparsityProfile &p)
+{
+    const double elems = static_cast<double>(p.extent()) *
+                         static_cast<double>(p.k());
+    return elems > 0 ? p.totalNnz() / elems : 0.0;
+}
+
+double
+weightSparsity(const KernelRequest &req)
+{
+    if (req.b)
+        return wordSparsity(*req.b);
+    if (req.b_profile)
+        return 1.0 - profileDensity(*req.b_profile);
+    return req.b_sparsity;
+}
+
+void
+operandDensities(const KernelRequest &req, double *da, double *db)
+{
+    *da = req.a          ? 1.0 - wordSparsity(*req.a)
+          : req.a_profile ? profileDensity(*req.a_profile)
+                          : 1.0 - req.a_sparsity;
+    *db = req.b          ? 1.0 - wordSparsity(*req.b)
+          : req.b_profile ? profileDensity(*req.b_profile)
+                          : 1.0 - req.b_sparsity;
+}
+
+} // namespace dstc

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared operand-resolution helpers of the GEMM plan layer: the
+ * cached popcount-profile pair of a request (borrowed, built from
+ * matrices, or synthesized per seed), lazily-memoized operand
+ * digests, and the density probes the analytic baselines estimate
+ * from. Both the primitive backends (backends.cc) and the hybrid
+ * composer (hybrid.cc) resolve operands through these — one
+ * implementation, one set of cache keys, so a hybrid plan and a
+ * dual-sparse plan of the same operands share their cache entries.
+ */
+#ifndef DSTC_CORE_GEMM_OPERANDS_H
+#define DSTC_CORE_GEMM_OPERANDS_H
+
+#include <memory>
+#include <optional>
+
+#include "core/backend.h"
+#include "gemm/sparsity_profile.h"
+
+namespace dstc {
+
+/** The profile pair of one synthetic GEMM operating point. Both
+ *  sides share one generator stream (A drawn before B), so the pair
+ *  is cached as a unit. */
+struct GemmProfilePair
+{
+    SparsityProfile a;
+    SparsityProfile b;
+
+    /** Resident footprint, for the cache's byte-aware bound. */
+    size_t
+    encodedBytes() const
+    {
+        return (static_cast<size_t>(a.groups()) * a.k() +
+                static_cast<size_t>(b.groups()) * b.k()) *
+               sizeof(uint16_t);
+    }
+};
+
+/**
+ * Non-owning view of a GEMM request's profile pair. Caller-provided
+ * profiles are referenced in place (no per-plan copy on the
+ * spgemmTime path); cache-built pairs are kept alive through the
+ * aliasing owner.
+ */
+struct GemmProfilesView
+{
+    std::shared_ptr<const SparsityProfile> a;
+    std::shared_ptr<const SparsityProfile> b;
+
+    explicit operator bool() const { return a && b; }
+
+    static GemmProfilesView
+    borrowed(const SparsityProfile *a, const SparsityProfile *b)
+    {
+        return {std::shared_ptr<const SparsityProfile>(
+                    std::shared_ptr<const void>(), a),
+                std::shared_ptr<const SparsityProfile>(
+                    std::shared_ptr<const void>(), b)};
+    }
+
+    static GemmProfilesView
+    owned(std::shared_ptr<const GemmProfilePair> pair)
+    {
+        GemmProfilesView v;
+        v.a = std::shared_ptr<const SparsityProfile>(pair, &pair->a);
+        v.b = std::shared_ptr<const SparsityProfile>(pair, &pair->b);
+        return v;
+    }
+};
+
+/**
+ * Lazily-computed content digests of a request's concrete operands.
+ * Hashing a large matrix is a full pass over its bytes, and a plan
+ * needs the same operand under several encoding families (profiles,
+ * two-level, CSR) — so each operand is digested once and the 64-bit
+ * digest is folded into every family key.
+ */
+class OperandDigests
+{
+  public:
+    uint64_t
+    a(const Matrix<float> &m)
+    {
+        return digest(&m, &a_src_, &a_);
+    }
+
+    uint64_t
+    b(const Matrix<float> &m)
+    {
+        return digest(&m, &b_src_, &b_);
+    }
+
+  private:
+    /** Each slot memoizes exactly one matrix: a later call with a
+     *  different object would silently reuse the wrong digest, so
+     *  the identity is checked, not assumed. */
+    static uint64_t
+    digest(const Matrix<float> *m, const Matrix<float> **src,
+           std::optional<uint64_t> *slot)
+    {
+        if (!*slot) {
+            *src = m;
+            *slot = CacheKey("operand-bytes").matrix(*m).value();
+        }
+        DSTC_ASSERT(*src == m,
+                    "OperandDigests slot reused for a different "
+                    "matrix");
+        return **slot;
+    }
+
+    const Matrix<float> *a_src_ = nullptr;
+    const Matrix<float> *b_src_ = nullptr;
+    std::optional<uint64_t> a_;
+    std::optional<uint64_t> b_;
+};
+
+/** Resolve (or synthesize) the popcount profiles of a GEMM request.
+ *  Returns an empty view when the request carries pre-encoded
+ *  operands only (no profile view available without decoding). */
+GemmProfilesView
+resolveGemmProfiles(const KernelRequest &req, const PlanContext &ctx,
+                    OperandDigests &digests, bool *hit);
+
+/**
+ * Cache-backed two-level encoding of a request's concrete A operand
+ * (requires req.a), built by the word-parallel encoder at the
+ * request's tiling (bitwise identical to the element-wise encode for
+ * every ctx.encode_workers setting, so the key carries only the
+ * operand digest and tiling). Keyed here, in one place, so a hybrid
+ * class slice and a dual-sparse plan of the same operand share one
+ * cache entry.
+ */
+std::shared_ptr<const TwoLevelBitmapMatrix>
+resolveTwoLevelA(const KernelRequest &req, const PlanContext &ctx,
+                 OperandDigests &digests, bool *hit);
+
+/** B-operand counterpart of resolveTwoLevelA (requires req.b). */
+std::shared_ptr<const TwoLevelBitmapMatrix>
+resolveTwoLevelB(const KernelRequest &req, const PlanContext &ctx,
+                 OperandDigests &digests, bool *hit);
+
+/** Non-zero fraction of a profile over its true extent — the same
+ *  geometry KernelRequest::gemm(profile, profile) reports as m/n, so
+ *  density * m * k recovers the exact nnz for ragged shapes too. */
+double profileDensity(const SparsityProfile &p);
+
+/** Effective B-side (weight) sparsity of a GEMM request. Concrete
+ *  operands are probed by the branchless word count (zhu / ampere
+ *  plans call this in both estimate and run). */
+double weightSparsity(const KernelRequest &req);
+
+/** Operand densities of a GEMM request (cuSPARSE baseline). */
+void operandDensities(const KernelRequest &req, double *da,
+                      double *db);
+
+} // namespace dstc
+
+#endif // DSTC_CORE_GEMM_OPERANDS_H

@@ -1,0 +1,653 @@
+/**
+ * @file
+ * The Method::Hybrid composer backend (see hybrid.h for the design).
+ *
+ * Split planning and class execution both route through the ordinary
+ * primitive backends — the composer never re-implements a kernel, it
+ * only slices operand views (SparsityProfile::selectGroups,
+ * TwoLevelBitmapMatrix::selectTileRows, a row gather for the dense
+ * matrix classes) and merges the per-class reports. Because every
+ * backend computes an output row stripe from that stripe's A rows
+ * plus the full B operand, a class's rows are bitwise identical to
+ * the same backend's full-request rows — slicing never changes
+ * values, only which backend touches which stripe.
+ */
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/gemm_operands.h"
+#include "core/kernel_registry.h"
+
+namespace dstc {
+
+namespace {
+
+/** Max cost-model thresholds tried per request (beyond no-split).
+ *  Ladders longer than this are subsampled deterministically. */
+constexpr int kMaxThresholds = 8;
+
+/**
+ * Preference margin for not splitting: a split must beat the best
+ * single backend's estimate by at least this factor. Splitting costs
+ * an extra kernel launch per class, and the margin also absorbs the
+ * small expected-vs-actual gap of the cusparse estimate, so the
+ * composer never splits on cost-model noise.
+ */
+constexpr double kSplitMargin = 0.98;
+
+/** Fallback backend instances for plans issued without a registry
+ *  (PlanContext::registry is null when a backend is planned
+ *  directly). Stateless and shared. */
+const Backend *
+fallbackBackend(Method method)
+{
+    static const std::unique_ptr<Backend> dual =
+        makeDualSparseBackend();
+    static const std::unique_ptr<Backend> dense = makeDenseBackend();
+    static const std::unique_ptr<Backend> ampere =
+        makeAmpereSparseBackend();
+    static const std::unique_ptr<Backend> cusparse =
+        makeCusparseLikeBackend();
+    switch (method) {
+    case Method::DualSparse:
+        return dual.get();
+    case Method::Dense:
+        return dense.get();
+    case Method::AmpereSparse:
+        return ampere.get();
+    case Method::CusparseLike:
+        return cusparse.get();
+    default:
+        panic("hybrid routes no class to ", methodName(method));
+    }
+}
+
+const Backend *
+resolveBackend(const PlanContext &ctx, Method method)
+{
+    if (ctx.registry)
+        if (const Backend *b = ctx.registry->find(method))
+            return b;
+    return fallbackBackend(method);
+}
+
+/**
+ * The density view the partition runs on: an A-side profile (group
+ * granularity = the partition granularity) and the full B profile
+ * for the class estimates. `usable` is false only for pre-encoded
+ * operands whose tiling disagrees with the request's gemm_options —
+ * there is no profile view the timing model accepts, so the request
+ * is delegated wholesale to the dual-sparse backend.
+ */
+struct OperandView
+{
+    std::shared_ptr<const SparsityProfile> a;
+    std::shared_ptr<const SparsityProfile> b;
+    bool usable = false;
+    bool cache_hit = false;
+
+    /** Borrowed/owned view of a concrete/synthetic/profile request
+     *  (kept so the profile-flavor class slices stay alive). */
+    GemmProfilesView profiles;
+};
+
+OperandView
+resolveOperandView(const KernelRequest &req, const PlanContext &ctx,
+                   OperandDigests &digests)
+{
+    OperandView view;
+    if (req.a_encoded && req.b_encoded) {
+        const SpGemmOptions &o = req.gemm_options;
+        const TwoLevelBitmapMatrix &a = *req.a_encoded;
+        const TwoLevelBitmapMatrix &b = *req.b_encoded;
+        if (a.tileRows() != o.tile_m || a.tileCols() != o.tile_k ||
+            b.tileRows() != o.tile_k || b.tileCols() != o.tile_n)
+            return view;
+        // Profiles read off the encodings' packing offsets: exact
+        // per-group counts, no decode, no value pass.
+        view.a = std::make_shared<SparsityProfile>(
+            SparsityProfile::fromEncodedA(a));
+        view.b = std::make_shared<SparsityProfile>(
+            SparsityProfile::fromEncodedB(b));
+        view.usable = true;
+        return view;
+    }
+    bool hit = false;
+    view.profiles = resolveGemmProfiles(req, ctx, digests, &hit);
+    view.cache_hit = hit;
+    DSTC_ASSERT(static_cast<bool>(view.profiles),
+                "hybrid: no profile view for the request");
+    view.a = view.profiles.a;
+    view.b = view.profiles.b;
+    view.usable = true;
+    return view;
+}
+
+/**
+ * The primitive methods a class of @p req may route to. Zhu is never
+ * a candidate (its vector-wise 75% prune is lossy for every GEMM);
+ * ampere joins only when the concrete B operand already satisfies
+ * the 2:4 pattern, making its forced prune the identity. Pre-encoded
+ * operands are consumable by the dual-sparse kernel alone.
+ */
+std::vector<Method>
+candidateMethods(const KernelRequest &req)
+{
+    if (req.a_encoded && req.b_encoded)
+        return {Method::DualSparse};
+    std::vector<Method> methods = {Method::DualSparse, Method::Dense,
+                                   Method::CusparseLike};
+    if (req.a && req.b && conformant2of4(*req.b))
+        methods.push_back(Method::AmpereSparse);
+    return methods;
+}
+
+/** Plan-stage stats of one class under one method, through the
+ *  backend's own cost model on a profile-flavor sub-request (exact
+ *  densities, no values computed). Full stats, not a scalar: the
+ *  split objective must merge class components the same way
+ *  execution does. */
+KernelStats
+classEstimate(const KernelRequest &req, const PlanContext &ctx,
+              const SparsityProfile &a_slice,
+              const SparsityProfile &b_full, Method method)
+{
+    KernelRequest sub = KernelRequest::gemm(a_slice, b_full);
+    sub.method = method;
+    sub.seed = req.seed;
+    sub.tag = req.tag;
+    sub.outer_product = req.outer_product;
+    sub.gemm_options = req.gemm_options;
+    sub.gemm_options.functional = false;
+    return resolveBackend(ctx, method)->plan(sub, ctx)->execute().stats;
+}
+
+/** The executed hybrid's merged cost of a set of classes: component
+ *  sums under the KernelStats rule (max of summed compute and memory
+ *  plus every class's launch), NOT the sum of per-class times — a
+ *  compute-bound class overlaps a memory-bound one, and the planner
+ *  must price splits exactly as run() will report them. */
+double
+mergedTimeUs(const std::vector<const KernelStats *> &classes)
+{
+    KernelStats acc = *classes.front();
+    for (size_t i = 1; i < classes.size(); ++i)
+        acc += *classes[i];
+    return acc.timeUs();
+}
+
+/** The wholesale-dual split of a request whose pre-encoded tiling
+ *  has no profile view (estimate left 0: computing it would run the
+ *  kernel once more than execution needs). */
+HybridSplit
+wholesaleDualSplit(int groups)
+{
+    HybridSplit split;
+    HybridClass cls;
+    cls.method = Method::DualSparse;
+    cls.groups.resize(groups);
+    std::iota(cls.groups.begin(), cls.groups.end(), 0);
+    split.classes.push_back(std::move(cls));
+    return split;
+}
+
+HybridSplit
+planSplit(const KernelRequest &req, const PlanContext &ctx,
+          const OperandView &view)
+{
+    if (!view.usable)
+        return wholesaleDualSplit(req.a_encoded->numTileRows());
+
+    const SparsityProfile &pa = *view.a;
+    const SparsityProfile &pb = *view.b;
+    const int groups = pa.groups();
+    std::vector<double> density(groups);
+    for (int g = 0; g < groups; ++g)
+        density[g] = pa.groupDensity(g);
+
+    const std::vector<Method> methods = candidateMethods(req);
+
+    // Per-class routing, memoized across thresholds (the low classes
+    // of an ascending ladder nest, so many thresholds share classes).
+    // The method choice is greedy per class (min standalone time);
+    // the split-level objective below then prices the chosen pair
+    // under the exact execution merge rule.
+    std::map<std::vector<int>, std::pair<Method, KernelStats>> memo;
+    auto routeClass =
+        [&](const std::vector<int> &cls_groups)
+        -> const std::pair<Method, KernelStats> & {
+        auto it = memo.find(cls_groups);
+        if (it != memo.end())
+            return it->second;
+        const SparsityProfile slice = pa.selectGroups(cls_groups);
+        Method best_m = methods.front();
+        KernelStats best_s;
+        double best_e = std::numeric_limits<double>::infinity();
+        for (Method m : methods) {
+            KernelStats s = classEstimate(req, ctx, slice, pb, m);
+            if (s.timeUs() < best_e) {
+                best_e = s.timeUs();
+                best_m = m;
+                best_s = std::move(s);
+            }
+        }
+        return memo
+            .emplace(cls_groups,
+                     std::make_pair(best_m, std::move(best_s)))
+            .first->second;
+    };
+
+    std::vector<int> all(groups);
+    std::iota(all.begin(), all.end(), 0);
+    const auto no_split = routeClass(all);
+
+    // Threshold ladder: every distinct observed density above the
+    // minimum yields a distinct (low, high) partition; ladders longer
+    // than kMaxThresholds are subsampled at evenly spaced ranks. A
+    // pinned HybridOptions::threshold replaces the ladder (and wins
+    // over no-split whenever both its classes are non-empty — that is
+    // what pinning is for).
+    const bool pinned = req.hybrid_options.threshold >= 0.0;
+    std::vector<double> ladder;
+    if (pinned) {
+        ladder.push_back(req.hybrid_options.threshold);
+    } else {
+        std::vector<double> uniq = density;
+        std::sort(uniq.begin(), uniq.end());
+        uniq.erase(std::unique(uniq.begin(), uniq.end()),
+                   uniq.end());
+        for (size_t i = 1; i < uniq.size(); ++i)
+            ladder.push_back(uniq[i]);
+        if (static_cast<int>(ladder.size()) > kMaxThresholds) {
+            std::vector<double> picked;
+            for (int i = 0; i < kMaxThresholds; ++i)
+                picked.push_back(
+                    ladder[i * (ladder.size() - 1) /
+                           (kMaxThresholds - 1)]);
+            ladder = std::move(picked);
+        }
+    }
+
+    double best_total = std::numeric_limits<double>::infinity();
+    double best_t = -1.0;
+    std::vector<int> best_low, best_high;
+    std::pair<Method, KernelStats> best_low_r, best_high_r;
+    for (double t : ladder) {
+        std::vector<int> low, high;
+        for (int g = 0; g < groups; ++g)
+            (density[g] < t ? low : high).push_back(g);
+        if (low.empty() || high.empty())
+            continue; // same partition as no-split
+        const auto &rl = routeClass(low);
+        const auto &rh = routeClass(high);
+        const double total = mergedTimeUs({&rl.second, &rh.second});
+        if (total < best_total) {
+            best_total = total;
+            best_t = t;
+            best_low = std::move(low);
+            best_high = std::move(high);
+            best_low_r = rl;
+            best_high_r = rh;
+        }
+    }
+
+    const bool use_split =
+        !best_low.empty() &&
+        (pinned ||
+         best_total < no_split.second.timeUs() * kSplitMargin);
+
+    HybridSplit split;
+    if (!use_split) {
+        HybridClass cls;
+        cls.method = no_split.first;
+        cls.groups = std::move(all);
+        cls.estimated_us = no_split.second.timeUs();
+        split.total_estimated_us = cls.estimated_us;
+        split.classes.push_back(std::move(cls));
+        return split;
+    }
+    split.threshold = best_t;
+    split.total_estimated_us = best_total;
+    HybridClass low;
+    low.method = best_low_r.first;
+    low.groups = std::move(best_low);
+    low.estimated_us = best_low_r.second.timeUs();
+    HybridClass high;
+    high.method = best_high_r.first;
+    high.groups = std::move(best_high);
+    high.estimated_us = best_high_r.second.timeUs();
+    split.classes.push_back(std::move(low));
+    split.classes.push_back(std::move(high));
+    return split;
+}
+
+/** "hybrid[dense:3+dual:13]"-style merged stats name. */
+std::string
+hybridName(const HybridSplit &split)
+{
+    std::string name = "hybrid[";
+    for (size_t i = 0; i < split.classes.size(); ++i) {
+        if (i)
+            name += '+';
+        name += methodToken(split.classes[i].method);
+        name += ':';
+        name += std::to_string(split.classes[i].groups.size());
+    }
+    name += ']';
+    return name;
+}
+
+/** Row gather of the A-side groups of one class (dense/ampere/
+ *  cusparse classes consume a concrete A slice). */
+Matrix<float>
+gatherGroupRows(const Matrix<float> &a,
+                const std::vector<int> &groups, int tile)
+{
+    int rows = 0;
+    for (int g : groups)
+        rows += std::min(tile, a.rows() - g * tile);
+    Matrix<float> out(rows, a.cols());
+    int dst = 0;
+    for (int g : groups) {
+        const int r0 = g * tile;
+        const int r1 = std::min(a.rows(), r0 + tile);
+        for (int r = r0; r < r1; ++r, ++dst)
+            for (int c = 0; c < a.cols(); ++c)
+                out.at(dst, c) = a.at(r, c);
+    }
+    return out;
+}
+
+class HybridPlan : public ExecutionPlan
+{
+  public:
+    HybridPlan(const char *name, const KernelRequest &req,
+               const PlanContext &ctx)
+        : ExecutionPlan(name, Method::Hybrid, req.tag), req_(req),
+          cfg_(*ctx.cfg), cache_(ctx.cache),
+          encode_workers_(ctx.encode_workers),
+          registry_(ctx.registry)
+    {
+    }
+
+  protected:
+    double
+    estimate() override
+    {
+        return split().total_estimated_us;
+    }
+
+    KernelReport
+    run() override
+    {
+        const HybridSplit &s = split();
+        const int tile = partitionTile();
+        const bool want_d =
+            req_.functional() && req_.gemm_options.functional;
+        const PlanContext ctx = planCtx();
+
+        KernelReport merged;
+        Matrix<float> d;
+        if (want_d && s.split())
+            d = Matrix<float>(static_cast<int>(req_.m),
+                              static_cast<int>(req_.n));
+
+        // Classes execute sequentially in deterministic (low, high)
+        // order; each class's kernel partitions its own tile loop
+        // over the shared pool per SpGemmOptions::num_workers, so
+        // the merged report is bitwise identical for every worker
+        // count and submission path.
+        matrix_slices_.reserve(s.classes.size());
+        encoded_slices_.reserve(s.classes.size());
+        profile_slices_.reserve(s.classes.size());
+        bool first = true;
+        for (const HybridClass &cls : s.classes) {
+            const KernelRequest sub = classRequest(cls);
+            KernelReport r = resolveBackend(ctx, cls.method)
+                                 ->plan(sub, ctx)
+                                 ->execute();
+            merged.encode_cache_hit |= r.encode_cache_hit;
+            if (first) {
+                merged.stats = r.stats;
+                first = false;
+            } else {
+                merged.stats += r.stats;
+            }
+            if (want_d) {
+                if (!s.split()) {
+                    merged.d = r.d; // wholesale: share, don't copy
+                } else if (r.d) {
+                    // Scatter the class rows back to their global
+                    // stripes (group g's rows live at g * tile).
+                    int src = 0;
+                    for (int g : cls.groups) {
+                        const int r0 = g * tile;
+                        const int r1 =
+                            std::min(static_cast<int>(req_.m),
+                                     r0 + tile);
+                        for (int row = r0; row < r1; ++row, ++src)
+                            for (int c = 0; c < r.d->cols(); ++c)
+                                d.at(row, c) = r.d->at(src, c);
+                    }
+                }
+            }
+        }
+        merged.stats.name = hybridName(s);
+        merged.stats.bound =
+            merged.stats.compute_us > merged.stats.memory_us
+                ? Bound::Compute
+                : Bound::Memory;
+        if (want_d && s.split())
+            merged.d = std::make_shared<const Matrix<float>>(
+                std::move(d));
+        return merged;
+    }
+
+  private:
+    const HybridSplit &
+    split()
+    {
+        if (!split_resolved_) {
+            split_resolved_ = true;
+            const PlanContext ctx = planCtx();
+            view_ = resolveOperandView(req_, ctx, digests_);
+            cache_hit_ = cache_hit_ || view_.cache_hit;
+            split_ = planSplit(req_, ctx, view_);
+        }
+        return split_;
+    }
+
+    PlanContext
+    planCtx() const
+    {
+        PlanContext ctx;
+        ctx.cfg = &cfg_;
+        ctx.cache = cache_;
+        ctx.encode_workers = encode_workers_;
+        ctx.registry = registry_;
+        return ctx;
+    }
+
+    /** Tile-row group edge of the partition (the A-side warp-tile
+     *  rows: gemm_options.tile_m, or the pre-encoded operand's own
+     *  tiling when that is the request flavor). */
+    int
+    partitionTile() const
+    {
+        return req_.a_encoded ? req_.a_encoded->tileRows()
+                              : req_.gemm_options.tile_m;
+    }
+
+    /** The sub-request one class executes. Slices are stored on the
+     *  plan so the non-owning request pointers stay valid through
+     *  the sub-plan's execution. */
+    KernelRequest
+    classRequest(const HybridClass &cls)
+    {
+        if (static_cast<int>(cls.groups.size()) ==
+            (view_.usable ? view_.a->groups() : partitionGroups())) {
+            // Single class covering every group: hand the original
+            // request to the routed backend unchanged, so the
+            // degenerate (uniform-density) case is bitwise the pure
+            // single-backend run — stats, output and cache behavior.
+            KernelRequest sub = req_;
+            sub.method = cls.method;
+            sub.hybrid_options = HybridOptions();
+            return sub;
+        }
+        KernelRequest sub;
+        if (cls.method == Method::DualSparse &&
+            (req_.a_encoded || (req_.a && req_.b))) {
+            const TwoLevelBitmapMatrix *full_a = req_.a_encoded;
+            const TwoLevelBitmapMatrix *full_b = req_.b_encoded;
+            if (!full_a) {
+                resolveConcreteTwoLevel();
+                full_a = a_enc_.get();
+                full_b = b_enc_.get();
+            }
+            encoded_slices_.push_back(
+                full_a->selectTileRows(cls.groups));
+            const TwoLevelBitmapMatrix &slice =
+                encoded_slices_.back();
+            sub.kind = KernelRequest::Kind::Gemm;
+            sub.m = slice.rows();
+            sub.n = req_.n;
+            sub.k = req_.k;
+            sub.a_encoded = &slice;
+            sub.b_encoded = full_b;
+        } else if (req_.a && req_.b) {
+            matrix_slices_.push_back(gatherGroupRows(
+                *req_.a, cls.groups, partitionTile()));
+            sub = KernelRequest::gemm(matrix_slices_.back(),
+                                      *req_.b);
+        } else {
+            profile_slices_.push_back(
+                view_.a->selectGroups(cls.groups));
+            sub = KernelRequest::gemm(profile_slices_.back(),
+                                      *view_.b);
+        }
+        sub.method = cls.method;
+        sub.tag = req_.tag;
+        sub.seed = req_.seed;
+        sub.outer_product = req_.outer_product;
+        sub.gemm_options = req_.gemm_options;
+        return sub;
+    }
+
+    /** Group count when there is no profile view (pre-encoded tiling
+     *  mismatch: the encoding's own tile rows). */
+    int
+    partitionGroups() const
+    {
+        return req_.a_encoded->numTileRows();
+    }
+
+    /** Full two-level encodings of concrete operands, via the shared
+     *  resolvers — the same cache entries a plain dual-sparse plan
+     *  of this request builds or reuses. */
+    void
+    resolveConcreteTwoLevel()
+    {
+        if (a_enc_)
+            return;
+        bool hit_a = false, hit_b = false;
+        const PlanContext ctx = planCtx();
+        a_enc_ = resolveTwoLevelA(req_, ctx, digests_, &hit_a);
+        b_enc_ = resolveTwoLevelB(req_, ctx, digests_, &hit_b);
+        cache_hit_ = cache_hit_ || hit_a || hit_b;
+    }
+
+    KernelRequest req_;
+    GpuConfig cfg_;
+    EncodingCache *cache_;
+    int encode_workers_ = 1;
+    const KernelRegistry *registry_ = nullptr;
+    OperandDigests digests_;
+    bool split_resolved_ = false;
+    HybridSplit split_;
+    OperandView view_;
+    std::vector<Matrix<float>> matrix_slices_;
+    std::vector<TwoLevelBitmapMatrix> encoded_slices_;
+    std::vector<SparsityProfile> profile_slices_;
+    std::shared_ptr<const TwoLevelBitmapMatrix> a_enc_;
+    std::shared_ptr<const TwoLevelBitmapMatrix> b_enc_;
+};
+
+class HybridBackend : public Backend
+{
+  public:
+    Method method() const override { return Method::Hybrid; }
+    const char *name() const override { return "hybrid-partition"; }
+
+    bool
+    supports(const KernelRequest &req) const override
+    {
+        // GEMM only (the conv paths pick their lowering, not a
+        // per-tile backend); pre-encoded operands must come as a
+        // pair, like the dual-sparse backend they route to.
+        return req.kind == KernelRequest::Kind::Gemm &&
+               !req.a_encoded == !req.b_encoded;
+    }
+
+    // exact() stays true: every class routes to a backend that is
+    // exact for that class (ampere is admitted only when its 2:4
+    // prune is the identity on the request's B operand).
+
+    std::unique_ptr<ExecutionPlan>
+    plan(const KernelRequest &req,
+         const PlanContext &ctx) const override
+    {
+        return std::make_unique<HybridPlan>(name(), req, ctx);
+    }
+};
+
+} // namespace
+
+bool
+conformant2of4(const Matrix<float> &b)
+{
+    // Conformant iff every complete four-column quad of every row
+    // holds at most two non-zeros: prune2of4 zeroes the two
+    // smallest-magnitude elements of each complete quad, which is
+    // the identity exactly then (the trailing partial quad is never
+    // pruned).
+    for (int r = 0; r < b.rows(); ++r) {
+        for (int v0 = 0; v0 + 4 <= b.cols(); v0 += 4) {
+            int nnz = 0;
+            for (int i = 0; i < 4; ++i)
+                nnz += b.at(r, v0 + i) != 0.0f;
+            if (nnz > 2)
+                return false;
+        }
+    }
+    return true;
+}
+
+HybridSplit
+planHybridSplit(const KernelRequest &req, const PlanContext &ctx,
+                bool *cache_hit)
+{
+    DSTC_ASSERT(req.kind == KernelRequest::Kind::Gemm,
+                "hybrid partitions GEMM requests only");
+    OperandDigests digests;
+    const OperandView view = resolveOperandView(req, ctx, digests);
+    if (cache_hit)
+        *cache_hit = view.cache_hit;
+    return planSplit(req, ctx, view);
+}
+
+std::unique_ptr<Backend>
+makeHybridBackend()
+{
+    return std::make_unique<HybridBackend>();
+}
+
+} // namespace dstc

@@ -15,6 +15,7 @@ KernelRegistry::withDefaultBackends()
     registry.registerBackend(makeZhuSparseBackend());
     registry.registerBackend(makeAmpereSparseBackend());
     registry.registerBackend(makeCusparseLikeBackend());
+    registry.registerBackend(makeHybridBackend());
     return registry;
 }
 
@@ -57,6 +58,13 @@ KernelRegistry::candidates(const KernelRequest &request) const
 {
     std::vector<const Backend *> result;
     for (const auto &backend : backends_) {
+        // The hybrid composer is a routing layer over the primitive
+        // backends, not an alternative kernel: letting Auto rank it
+        // would make Auto's choice recursive (hybrid's no-split
+        // candidate is Auto's own answer). Callers opt into hybrid
+        // explicitly via Method::Hybrid.
+        if (backend->method() == Method::Hybrid)
+            continue;
         if (!backend->supports(request) || !backend->exact(request))
             continue;
         result.push_back(backend.get());
@@ -69,6 +77,10 @@ KernelRegistry::plan(const KernelRequest &request,
                      const PlanContext &ctx) const
 {
     DSTC_ASSERT(ctx.cfg && ctx.cache);
+    // Composer backends route per-class sub-requests back through
+    // the registry that planned them.
+    PlanContext routed = ctx;
+    routed.registry = this;
     // Operands come in pairs; a half-specified pair would silently
     // fall through to the synthetic-profile path (or null-deref).
     if (request.kind == KernelRequest::Kind::Gemm) {
@@ -89,12 +101,12 @@ KernelRegistry::plan(const KernelRequest &request,
                     methodName(request.method));
         DSTC_ASSERT(backend->supports(request), "backend ",
                     backend->name(), " cannot execute this request");
-        return backend->plan(request, ctx);
+        return backend->plan(request, routed);
     }
 
     std::unique_ptr<ExecutionPlan> best;
     for (const Backend *backend : candidates(request)) {
-        auto candidate = backend->plan(request, ctx);
+        auto candidate = backend->plan(request, routed);
         if (!best || candidate->estimatedTimeUs() <
                          best->estimatedTimeUs())
             best = std::move(candidate);

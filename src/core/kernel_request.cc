@@ -20,6 +20,8 @@ methodToken(Method method)
         return "ampere";
       case Method::CusparseLike:
         return "cusparse";
+      case Method::Hybrid:
+        return "hybrid";
     }
     panic("unknown method");
 }
@@ -40,6 +42,8 @@ methodName(Method method)
         return "Ampere 2:4 Sparse TC";
       case Method::CusparseLike:
         return "cuSPARSE-like CSR SpGEMM";
+      case Method::Hybrid:
+        return "Hybrid (density-partitioned)";
     }
     panic("unknown method");
 }
@@ -49,7 +53,7 @@ parseMethod(const std::string &token, Method *out)
 {
     for (Method m : {Method::Auto, Method::DualSparse, Method::Dense,
                      Method::ZhuSparse, Method::AmpereSparse,
-                     Method::CusparseLike}) {
+                     Method::CusparseLike, Method::Hybrid}) {
         if (token == methodToken(m)) {
             *out = m;
             return true;

@@ -37,6 +37,7 @@ enum class Method
     ZhuSparse,    ///< Sparse TC [72], vector-wise 75% weights
     AmpereSparse, ///< A100-style 2:4 structured weights
     CusparseLike, ///< CSR SpGEMM on the CUDA cores
+    Hybrid,       ///< density-partitioned tile routing across backends
 };
 
 /** Stable CLI/parse token of a method ("auto", "dual", ...). */
@@ -47,6 +48,26 @@ const char *methodName(Method method);
 
 /** Parse a CLI token into a Method; false on unknown token. */
 bool parseMethod(const std::string &token, Method *out);
+
+/**
+ * Knobs of Method::Hybrid (GEMM only): partition the A-side tile-row
+ * groups of one request by exact per-group density and route each
+ * class to its cost-model-fastest backend (dense-ish groups to the
+ * dense/WMMA datapath, sparse groups to the dual-sparse outer
+ * product, and — when B is exactly 2:4-conformant, so the prune is
+ * the identity — the ampere backend). See src/core/hybrid.h.
+ */
+struct HybridOptions
+{
+    /**
+     * Manual density cut for tests: groups with density >= threshold
+     * form the high-density class, the rest the low-density class
+     * (per-class backend choice stays with the cost model). Negative
+     * (the default) lets the cost model pick the min-total split from
+     * a ladder of observed group densities, no-split included.
+     */
+    double threshold = -1.0;
+};
 
 /** Convolution lowering strategy (the Explicit/Implicit split of
  *  Fig. 22's legend). */
@@ -117,6 +138,9 @@ struct KernelRequest
      * rejects other edges.
      */
     SpGemmOptions gemm_options;
+
+    /** Method::Hybrid knobs (ignored by every other method). */
+    HybridOptions hybrid_options;
 
     // -- convolution geometry (kind == Conv) --------------------------
     ConvShape shape;

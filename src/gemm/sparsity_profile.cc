@@ -44,6 +44,63 @@ SparsityProfile::totalNnz() const
     return total;
 }
 
+int64_t
+SparsityProfile::groupNnz(int g) const
+{
+    DSTC_ASSERT(g >= 0 && g < groups_);
+    int64_t total = 0;
+    for (int64_t kk = 0; kk < k_; ++kk)
+        total += count(g, kk);
+    return total;
+}
+
+double
+SparsityProfile::groupDensity(int g) const
+{
+    const double elems =
+        static_cast<double>(groupSpan(g)) * static_cast<double>(k_);
+    return elems > 0 ? groupNnz(g) / elems : 0.0;
+}
+
+std::vector<int>
+SparsityProfile::densityHistogram(int bins) const
+{
+    DSTC_ASSERT(bins > 0);
+    std::vector<int> histogram(bins, 0);
+    for (int g = 0; g < groups_; ++g) {
+        int b = static_cast<int>(groupDensity(g) * bins);
+        histogram[std::min(b, bins - 1)] += 1;
+    }
+    return histogram;
+}
+
+SparsityProfile
+SparsityProfile::selectGroups(const std::vector<int> &groups) const
+{
+    DSTC_ASSERT(!groups.empty(), "selectGroups needs >= 1 group");
+    for (size_t i = 0; i < groups.size(); ++i) {
+        DSTC_ASSERT(groups[i] >= 0 && groups[i] < groups_);
+        DSTC_ASSERT(i == 0 || groups[i - 1] < groups[i],
+                    "selectGroups wants ascending group indices");
+        // Only the last group of a profile may be clipped, so a
+        // clipped group must also come last in the selection (the
+        // constructor's extent invariant).
+        DSTC_ASSERT(i + 1 == groups.size() ||
+                        groupSpan(groups[i]) == tile_,
+                    "clipped group ", groups[i],
+                    " selected before the end");
+    }
+    const int selected = static_cast<int>(groups.size());
+    const int64_t extent =
+        static_cast<int64_t>(selected - 1) * tile_ +
+        groupSpan(groups.back());
+    SparsityProfile slice(selected, k_, tile_, extent);
+    for (int i = 0; i < selected; ++i)
+        for (int64_t kk = 0; kk < k_; ++kk)
+            slice.setCount(i, kk, count(groups[i], kk));
+    return slice;
+}
+
 size_t
 SparsityProfile::encodedBytes(int tile_k) const
 {

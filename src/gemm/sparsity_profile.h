@@ -72,6 +72,44 @@ class SparsityProfile
     /** Total non-zeros. */
     int64_t totalNnz() const;
 
+    /** Lines actually present in group @p g: tile() except for the
+     *  clipped last group of a ragged extent. */
+    int
+    groupSpan(int g) const
+    {
+        const int64_t lo = static_cast<int64_t>(g) * tile_;
+        return static_cast<int>(
+            extent_ - lo < tile_ ? extent_ - lo : tile_);
+    }
+
+    /** Non-zeros of one tile line group (all k). */
+    int64_t groupNnz(int g) const;
+
+    /**
+     * Exact non-zero fraction of group @p g over its true span — the
+     * per-tile-row density Method::Hybrid partitions on. Pure
+     * popcount arithmetic: no operand decode, no extra pass.
+     */
+    double groupDensity(int g) const;
+
+    /**
+     * Per-tile density histogram: bucket b counts the groups with
+     * density in [b/bins, (b+1)/bins) (density 1.0 lands in the last
+     * bucket). The request-level view of how non-uniform an operand
+     * is — a one-bucket histogram means splitting cannot help.
+     */
+    std::vector<int> densityHistogram(int bins) const;
+
+    /**
+     * Slice: the profile restricted to @p groups (ascending group
+     * indices). Because only the last group of a profile may be
+     * clipped, a clipped group is only selectable in the last
+     * position; the slice records the true extent of the selected
+     * spans. This is how Method::Hybrid builds per-class operand
+     * views without touching values.
+     */
+    SparsityProfile selectGroups(const std::vector<int> &groups) const;
+
     /**
      * Two-level encoded footprint in bytes: warp bitmap + element
      * bitmaps and FP16 values of non-empty tiles.

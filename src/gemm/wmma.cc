@@ -15,13 +15,24 @@ wmmaInner(const Matrix<float> &a, const Matrix<float> &b,
         DSTC_ASSERT(c->rows() == d.rows() && c->cols() == d.cols());
         d = *c;
     }
-    // FEDP: for each output element, a running dot product over k.
+    // FEDP: per output element a running dot product over ascending
+    // k. Quantize both fragments once up front (rounding is a pure
+    // per-element function) and walk i-k-j so the inner loop streams
+    // a row of B; each output element still receives exactly the same
+    // products in the same k order, so results are bit-identical to
+    // the per-element formulation.
+    Matrix<float> ah(a.rows(), a.cols()), bh(b.rows(), b.cols());
+    for (int i = 0; i < a.rows(); ++i)
+        for (int k = 0; k < a.cols(); ++k)
+            ah.at(i, k) = roundToFp16(a.at(i, k));
+    for (int k = 0; k < b.rows(); ++k)
+        for (int j = 0; j < b.cols(); ++j)
+            bh.at(k, j) = roundToFp16(b.at(k, j));
     for (int i = 0; i < a.rows(); ++i) {
-        for (int j = 0; j < b.cols(); ++j) {
-            float acc = d.at(i, j);
-            for (int k = 0; k < a.cols(); ++k)
-                acc += roundToFp16(a.at(i, k)) * roundToFp16(b.at(k, j));
-            d.at(i, j) = acc;
+        for (int k = 0; k < a.cols(); ++k) {
+            const float av = ah.at(i, k);
+            for (int j = 0; j < b.cols(); ++j)
+                d.at(i, j) += av * bh.at(k, j);
         }
     }
     return d;
@@ -38,14 +49,19 @@ wmmaOuter(const Matrix<float> &a, const Matrix<float> &b,
         d = *c;
     }
     // FEOP: a rank-1 update per k; per output element the adds still
-    // land in increasing-k order, matching wmmaInner bitwise.
+    // land in increasing-k order, matching wmmaInner bitwise. B rows
+    // are quantized once per k instead of once per (i, k).
+    Matrix<float> bh(b.rows(), b.cols());
+    for (int k = 0; k < b.rows(); ++k)
+        for (int j = 0; j < b.cols(); ++j)
+            bh.at(k, j) = roundToFp16(b.at(k, j));
     for (int k = 0; k < a.cols(); ++k) {
         for (int i = 0; i < a.rows(); ++i) {
             float av = roundToFp16(a.at(i, k));
             if (av == 0.0f)
                 continue;
             for (int j = 0; j < b.cols(); ++j)
-                d.at(i, j) += av * roundToFp16(b.at(k, j));
+                d.at(i, j) += av * bh.at(k, j);
         }
     }
     return d;

@@ -77,6 +77,36 @@ TwoLevelBitmapMatrix::fromTiles(int rows, int cols, int tile_rows,
     return tl;
 }
 
+TwoLevelBitmapMatrix
+TwoLevelBitmapMatrix::selectTileRows(
+    const std::vector<int> &tile_rows) const
+{
+    DSTC_ASSERT(!tile_rows.empty(),
+                "selectTileRows needs >= 1 tile row");
+    for (size_t i = 0; i < tile_rows.size(); ++i) {
+        DSTC_ASSERT(tile_rows[i] >= 0 &&
+                    tile_rows[i] < n_tile_rows_);
+        DSTC_ASSERT(i == 0 || tile_rows[i - 1] < tile_rows[i],
+                    "selectTileRows wants ascending tile rows");
+    }
+    // Every selected tile row except the last must be full: only the
+    // matrix's last tile row can be clipped, and ascending order
+    // pins it to the final slot.
+    const int last_span =
+        std::min(tile_rows_, rows_ - tile_rows.back() * tile_rows_);
+    const int sliced_rows =
+        static_cast<int>(tile_rows.size() - 1) * tile_rows_ +
+        last_span;
+    std::vector<BitmapMatrix> tiles;
+    tiles.reserve(tile_rows.size() *
+                  static_cast<size_t>(n_tile_cols_));
+    for (int tr : tile_rows)
+        for (int tc = 0; tc < n_tile_cols_; ++tc)
+            tiles.push_back(tiles_[tileIndex(tr, tc)]);
+    return fromTiles(sliced_rows, cols_, tile_rows_, tile_cols_,
+                     major_, std::move(tiles));
+}
+
 Matrix<float>
 TwoLevelBitmapMatrix::decode() const
 {

@@ -48,6 +48,19 @@ class TwoLevelBitmapMatrix
     /** Reconstruct the dense matrix. */
     Matrix<float> decode() const;
 
+    /**
+     * Slice: the encoding restricted to @p tile_rows (ascending tile
+     * row indices), all tile columns kept. Tiles are shared-copied
+     * into a fromTiles assembly — no re-encode, no value pass. For an
+     * A operand (tile rows span M) this is exactly the operand view
+     * of an M-partitioned class: because tiles are self-contained,
+     * slice(encode(A)) is bitwise identical to encode(slice(A)).
+     * Only the matrix's (possibly clipped) last tile row may appear
+     * in a non-final position — it never can under ascending order.
+     */
+    TwoLevelBitmapMatrix
+    selectTileRows(const std::vector<int> &tile_rows) const;
+
     int rows() const { return rows_; }
     int cols() const { return cols_; }
     int tileRows() const { return tile_rows_; }

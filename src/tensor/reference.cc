@@ -34,6 +34,14 @@ refGemmFp16(const Matrix<float> &a, const Matrix<float> &b,
             const Matrix<float> *c)
 {
     DSTC_ASSERT(a.cols() == b.rows());
+    // Quantize B once up front: rounding is a pure per-element
+    // function, so hoisting it out of the row loop leaves every
+    // product and the accumulation order bit-identical while cutting
+    // a.rows() redundant conversions per B element.
+    Matrix<float> bh(b.rows(), b.cols());
+    for (int k = 0; k < b.rows(); ++k)
+        for (int j = 0; j < b.cols(); ++j)
+            bh.at(k, j) = roundToFp16(b.at(k, j));
     Matrix<float> d(a.rows(), b.cols());
     for (int i = 0; i < a.rows(); ++i) {
         for (int k = 0; k < a.cols(); ++k) {
@@ -41,7 +49,7 @@ refGemmFp16(const Matrix<float> &a, const Matrix<float> &b,
             if (av == 0.0f)
                 continue;
             for (int j = 0; j < b.cols(); ++j)
-                d.at(i, j) += av * roundToFp16(b.at(k, j));
+                d.at(i, j) += av * bh.at(k, j);
         }
     }
     if (c) {

@@ -48,13 +48,23 @@ mixedRequests()
     uint64_t seed = 1;
     for (Method method : {Method::DualSparse, Method::Dense,
                           Method::ZhuSparse, Method::AmpereSparse,
-                          Method::CusparseLike, Method::Auto}) {
+                          Method::CusparseLike, Method::Auto,
+                          Method::Hybrid}) {
         KernelRequest req =
             KernelRequest::gemm(256, 256, 256, 0.6, 0.8);
         req.method = method;
         req.seed = seed++;
         requests.push_back(req);
     }
+    // A hybrid request whose groups really differ in density
+    // (clustered pattern), so the composer's split path rides
+    // through every placement/worker/replay pin below.
+    KernelRequest hybrid =
+        KernelRequest::gemm(512, 256, 256, 0.55, 0.5);
+    hybrid.method = Method::Hybrid;
+    hybrid.a_cluster = 8.0;
+    hybrid.seed = seed++;
+    requests.push_back(hybrid);
     ConvShape shape;
     shape.in_c = 32;
     shape.in_h = shape.in_w = 14;

@@ -28,10 +28,10 @@ class KernelRegistryTest : public ::testing::Test
     Session session_;
 };
 
-TEST_F(KernelRegistryTest, DefaultRegistryEnumeratesFiveBackends)
+TEST_F(KernelRegistryTest, DefaultRegistryEnumeratesSixBackends)
 {
     const KernelRegistry &registry = session_.registry();
-    ASSERT_EQ(registry.backends().size(), 5u);
+    ASSERT_EQ(registry.backends().size(), 6u);
 
     std::set<Method> methods;
     std::set<std::string> names;
@@ -40,12 +40,13 @@ TEST_F(KernelRegistryTest, DefaultRegistryEnumeratesFiveBackends)
         names.insert(backend->name());
     }
     const std::set<Method> expected_methods = {
-        Method::DualSparse, Method::Dense, Method::ZhuSparse,
-        Method::AmpereSparse, Method::CusparseLike};
+        Method::DualSparse,   Method::Dense,
+        Method::ZhuSparse,    Method::AmpereSparse,
+        Method::CusparseLike, Method::Hybrid};
     EXPECT_EQ(methods, expected_methods);
     const std::set<std::string> expected_names = {
-        "dual-sparse", "dense-cutlass", "zhu-vectorwise",
-        "ampere-2to4", "cusparse-like"};
+        "dual-sparse",  "dense-cutlass", "zhu-vectorwise",
+        "ampere-2to4",  "cusparse-like", "hybrid-partition"};
     EXPECT_EQ(names, expected_names);
 }
 
@@ -114,8 +115,12 @@ TEST_F(KernelRegistryTest, PreEncodedOperandsOnlyRouteToDualSparse)
     req.a_encoded = &enc;
     req.b_encoded = &enc_b;
     for (const auto &backend : session_.registry().backends()) {
-        EXPECT_EQ(backend->supports(req),
-                  backend->method() == Method::DualSparse)
+        // The hybrid composer also accepts the pair — it routes every
+        // class of such a request to the dual-sparse kernel.
+        const bool consumes =
+            backend->method() == Method::DualSparse ||
+            backend->method() == Method::Hybrid;
+        EXPECT_EQ(backend->supports(req), consumes)
             << backend->name();
     }
 }
@@ -222,7 +227,7 @@ TEST_F(KernelRegistryTest, RegisteringSameMethodReplaces)
     KernelRegistry registry = KernelRegistry::withDefaultBackends();
     const Backend *before = registry.find(Method::Dense);
     registry.registerBackend(makeDenseBackend());
-    EXPECT_EQ(registry.backends().size(), 5u);
+    EXPECT_EQ(registry.backends().size(), 6u);
     EXPECT_NE(registry.find(Method::Dense), before);
 }
 

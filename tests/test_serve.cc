@@ -31,6 +31,16 @@ testPool()
         req.seed = 10 + static_cast<uint64_t>(i);
         pool.push_back(req);
     }
+    // A density-partitioned hybrid request in the mix: the replay
+    // and worker-invariance pins below must hold when a request's
+    // backend is itself a composer (clustered synthetic pattern, so
+    // its groups actually differ in density).
+    KernelRequest hybrid =
+        KernelRequest::gemm(256, 128, 128, 0.6, 0.5);
+    hybrid.method = Method::Hybrid;
+    hybrid.a_cluster = 8.0;
+    hybrid.seed = 21;
+    pool.push_back(hybrid);
     ConvShape shape;
     shape.in_c = 32;
     shape.in_h = shape.in_w = 14;

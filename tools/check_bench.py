@@ -31,6 +31,20 @@ BENCH_encode.json, BENCH_cluster.json):
     on simulated p99 tail latency and goodput (ratio >= 1), with the
     same reference-ratio tolerance; every point must also replay
     bitwise against serial single-Session execution.
+ 6. Hybrid-dispatch gate (micro_hybrid): on every point, reference
+    and measured, the density-partitioned hybrid must match or beat
+    the best single backend on simulated kernel time
+    (`--hybrid-floor`); the reference sweep and the measured quick
+    run must both show a material win (`--hybrid-win`) at a
+    mixed-density point; and measured ratios must track their
+    key-matched reference within `--hybrid-tolerance` (the ratios
+    are simulated and deterministic, so the tolerance only absorbs
+    intentional cost-model changes — a quick point that silently
+    stops splitting fails this, not just the floor).
+
+The sanity gate's pooled-vs-word slack comparison is skipped when the
+measured run reports `hardware_concurrency == 1`: on a single
+hardware thread the pool cannot scale and its wall-clock is noise.
 
 Exit code 0 = green, 1 = regression, 2 = usage/setup error.
 """
@@ -72,6 +86,12 @@ BENCHES = {
         "keys": ("devices", "policy", "load"),
         "mode": "serve",
     },
+    "micro_hybrid": {
+        "binary": os.path.join("bench", "micro_hybrid"),
+        "reference": "BENCH_hybrid.json",
+        "keys": ("mix", "b_sparsity", "b_kind"),
+        "mode": "hybrid",
+    },
 }
 
 
@@ -87,7 +107,7 @@ def point_key(point, keys):
 def point_label(point):
     fields = ("kind", "shape", "m", "method", "sparsity", "wsp",
               "asp", "stride", "clustered", "tile_k", "devices",
-              "policy", "load")
+              "policy", "load", "mix", "b_sparsity", "b_kind")
     parts = [f"{k}={point[k]}" for k in fields if k in point]
     return "{" + ", ".join(parts) + "}"
 
@@ -244,6 +264,54 @@ def check_serve(name, ref_points, meas_points, args):
     return ok
 
 
+def check_hybrid(name, ref_points, meas_points, args):
+    """Hybrid-dispatch gate: the intra-request split must never lose
+    to the best single backend, must win materially at a
+    mixed-density point, and measured ratios must track their
+    key-matched reference. ratio_vs_best compares simulated kernel
+    times, which are deterministic, so `--hybrid-tolerance` only
+    absorbs intentional cost-model changes."""
+    ok = True
+    for side, pts in (("reference", ref_points),
+                      ("measured", meas_points)):
+        for p in pts:
+            ratio = p.get("ratio_vs_best", 0.0)
+            if ratio < args.hybrid_floor:
+                ok = fail(f"{name} ({side}): {point_label(p)} hybrid "
+                          f"({ratio:.4f}x) lost to the best single "
+                          f"backend (floor {args.hybrid_floor:.4f}x)")
+        mixed = [p.get("ratio_vs_best", 0.0) for p in pts
+                 if 0.0 < p.get("mix", 0.0) < 1.0]
+        best = max(mixed, default=0.0)
+        if best < args.hybrid_win:
+            ok = fail(f"{name} ({side}): best mixed-density win "
+                      f"{best:.2f}x fell below the material-win "
+                      f"threshold {args.hybrid_win:.2f}x — the "
+                      f"partition no longer pays off anywhere")
+        else:
+            print(f"check_bench: {name} ({side}): best mixed-density "
+                  f"win {best:.2f}x over the best single backend")
+
+    keys = ("mix", "b_sparsity", "b_kind")
+    for p in meas_points:
+        ratio = p.get("ratio_vs_best", 0.0)
+        matches = [r.get("ratio_vs_best", 0.0) for r in ref_points
+                   if point_key(r, keys) == point_key(p, keys)]
+        if not matches:
+            print(f"check_bench: note: {name} {point_label(p)} has "
+                  f"no reference point with the same operating key; "
+                  f"floor only")
+            continue
+        threshold = args.hybrid_tolerance * min(matches)
+        if ratio < threshold:
+            ok = fail(f"{name}: {point_label(p)} hybrid advantage "
+                      f"{ratio:.4f}x regressed below "
+                      f"{threshold:.4f}x (= "
+                      f"{args.hybrid_tolerance:.2f} x reference "
+                      f"{min(matches):.4f}x)")
+    return ok
+
+
 def check_bench(name, spec, args):
     ref_path = os.path.join(args.repo_root, spec["reference"])
     binary = os.path.join(args.build_dir, spec["binary"])
@@ -285,6 +353,13 @@ def check_bench(name, spec, args):
                   f"{len(meas_points)} quick points green")
         return ok
 
+    if spec.get("mode") == "hybrid":
+        ok = check_hybrid(name, ref_points, meas_points, args) and ok
+        if ok:
+            print(f"check_bench: {name}: "
+                  f"{len(meas_points)} quick points green")
+        return ok
+
     keys = spec["keys"]
     for p in meas_points:
         speedup = p.get("speedup_word_vs_scalar", 0.0)
@@ -312,11 +387,15 @@ def check_bench(name, spec, args):
 
         # Single-rep timings are one raw sample each; a late pool
         # wake-up can triple a sub-millisecond pooled point, so the
-        # slack check only applies to best-of-N measurements.
+        # slack check only applies to best-of-N measurements. On a
+        # single hardware thread the pool cannot scale at all (every
+        # worker timeshares one core), so the comparison is skipped
+        # there outright.
         reps = measured_config.get("reps", 1)
+        cores = measured_config.get("hardware_concurrency", 0)
         par = p.get("parallel_ms", 0.0)
         word = p.get("word_ms", 0.0)
-        if reps >= 2 and par > 0 and word > 0 and \
+        if reps >= 2 and cores != 1 and par > 0 and word > 0 and \
                 par > args.parallel_slack * word:
             ok = fail(f"{name}: {label} pooled path ({par:.3f} ms) "
                       f"is worse than {args.parallel_slack:.1f}x the "
@@ -343,6 +422,19 @@ def main():
     parser.add_argument("--parallel-slack", type=float, default=2.0,
                         help="pooled path may be at most this factor "
                              "slower than single-thread (1-core CI)")
+    parser.add_argument("--hybrid-floor", type=float, default=0.999,
+                        help="hybrid dispatch may never lose to the "
+                             "best single backend (simulated time)")
+    parser.add_argument("--hybrid-win", type=float, default=1.15,
+                        help="required hybrid advantage at the best "
+                             "mixed-density point, reference and "
+                             "measured")
+    parser.add_argument("--hybrid-tolerance", type=float,
+                        default=0.95,
+                        help="measured hybrid ratios must stay "
+                             "within this factor of their "
+                             "key-matched reference (deterministic "
+                             "simulated ratios)")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="per-bench quick-run timeout in seconds")
     args = parser.parse_args()

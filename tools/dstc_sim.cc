@@ -6,8 +6,8 @@
  *
  * Usage:
  *   dstc_sim gemm M N K [--a-sparsity S] [--b-sparsity S]
- *            [--cluster C] [--seed N]
- *            [--method auto|dual|dense|zhu|ampere|cusparse]
+ *            [--cluster C] [--seed N] [--hybrid-threshold T]
+ *            [--method auto|dual|dense|zhu|ampere|cusparse|hybrid]
  *   dstc_sim conv --in-c C --hw H --out-c N [--kernel K] [--stride S]
  *            [--pad P] [--wsp S] [--asp S] [--batch B] [--seed N]
  *            [--cluster C] [--act-cluster C] [--explicit]
@@ -24,7 +24,8 @@
  *            [--pattern poisson|bursty] [--rate RPMS]
  *            [--duration MS] [--depth N] [--microbatch N]
  *            [--method auto|dual|dense|single] [--seed N]
- *   dstc_sim backends
+ *   dstc_sim backends [M N K] [--a-sparsity S] [--b-sparsity S]
+ *            [--cluster C] [--seed N] [--hybrid-threshold T]
  *   dstc_sim overhead
  *
  * All commands run on the V100 machine model; pass --a100 to switch
@@ -43,6 +44,7 @@
 #include "common/cli_flags.h"
 #include "common/table.h"
 #include "core/cluster.h"
+#include "core/hybrid.h"
 #include "core/session.h"
 #include "hwmodel/area_power.h"
 #include "hwmodel/energy_model.h"
@@ -109,8 +111,9 @@ runGemm(const CliArgs &args, Session &session)
         return 2;
     if (!args.validateFlags("gemm",
                          {"a-sparsity", "b-sparsity", "cluster",
-                          "method", "seed"},
-                         {"a-sparsity", "b-sparsity", "cluster"},
+                          "method", "seed", "hybrid-threshold"},
+                         {"a-sparsity", "b-sparsity", "cluster",
+                          "hybrid-threshold"},
                          {}, {"seed"}, kGlobalFlags))
         return 2;
     if (args.positional.size() < 4) {
@@ -145,7 +148,7 @@ runGemm(const CliArgs &args, Session &session)
     Method method;
     if (!parseMethodFlag(args, "dual",
                          {"auto", "dual", "dense", "zhu", "ampere",
-                          "cusparse"},
+                          "cusparse", "hybrid"},
                          &method))
         return 2;
 
@@ -154,6 +157,8 @@ runGemm(const CliArgs &args, Session &session)
     req.a_cluster = sa > 0 ? cluster : 1.0;
     req.b_cluster = sb > 0 ? cluster : 1.0;
     req.seed = args.flagU64("seed", 1);
+    req.hybrid_options.threshold =
+        args.flagD("hybrid-threshold", -1.0);
 
     KernelReport report = session.run(req);
     std::printf("GEMM %lld x %lld x %lld, A sparsity %.3f, B sparsity "
@@ -629,27 +634,113 @@ runServe(const CliArgs &args)
 int
 runBackends(const CliArgs &args, Session &session)
 {
-    if (!args.checkPositionals("backends", 1) ||
-        !args.validateFlags("backends", {}, {}, {}, {},
-                            kGlobalFlags))
+    // With no shape the command describes the static registry; with
+    // `backends M N K [--a-sparsity ...]` it reports each backend's
+    // applicability and cost-model estimate for that request, plus
+    // the hybrid composer's partition preview.
+    if (!args.checkPositionals("backends", 4) ||
+        !args.validateFlags("backends",
+                            {"a-sparsity", "b-sparsity", "cluster",
+                             "seed", "hybrid-threshold"},
+                            {"a-sparsity", "b-sparsity", "cluster",
+                             "hybrid-threshold"},
+                            {}, {"seed"}, kGlobalFlags))
         return 2;
-    TextTable table;
-    table.setHeader({"backend", "method", "token", "gemm", "conv",
-                     "exact gemm"});
+    if (args.positional.size() != 1 && args.positional.size() != 4) {
+        std::fprintf(stderr,
+                     "usage: dstc_sim backends [M N K] [flags]\n");
+        return 2;
+    }
+    const bool probe_request = args.positional.size() == 4;
+
     KernelRequest gemm_probe = KernelRequest::gemm(64, 64, 64);
+    if (probe_request) {
+        int64_t dims[3];
+        for (int i = 0; i < 3; ++i) {
+            const std::string &token = args.positional[i + 1];
+            char *end = nullptr;
+            errno = 0;
+            dims[i] = std::strtoll(token.c_str(), &end, 10);
+            if (token.empty() ||
+                end != token.c_str() + token.size() ||
+                errno == ERANGE || dims[i] <= 0) {
+                std::fprintf(stderr,
+                             "error: dimension '%s' must be a "
+                             "positive integer\n",
+                             token.c_str());
+                return 2;
+            }
+        }
+        const double sa = args.flagD("a-sparsity", 0.0);
+        const double sb = args.flagD("b-sparsity", 0.0);
+        if (!checkSparsityFlag("a-sparsity", sa) ||
+            !checkSparsityFlag("b-sparsity", sb))
+            return 2;
+        const double cluster = args.flagD("cluster", 1.0);
+        if (!checkClusterFlag("cluster", cluster))
+            return 2;
+        gemm_probe = KernelRequest::gemm(dims[0], dims[1], dims[2],
+                                         sa, sb);
+        gemm_probe.a_cluster = sa > 0 ? cluster : 1.0;
+        gemm_probe.b_cluster = sb > 0 ? cluster : 1.0;
+        gemm_probe.seed = args.flagU64("seed", 1);
+        gemm_probe.hybrid_options.threshold =
+            args.flagD("hybrid-threshold", -1.0);
+        std::printf("request: GEMM %lld x %lld x %lld, A sparsity "
+                    "%.3f, B sparsity %.3f\n",
+                    static_cast<long long>(dims[0]),
+                    static_cast<long long>(dims[1]),
+                    static_cast<long long>(dims[2]), sa, sb);
+    }
+
     KernelRequest conv_probe;
     conv_probe.kind = KernelRequest::Kind::Conv;
     conv_probe.shape.in_c = 8;
     conv_probe.shape.in_h = conv_probe.shape.in_w = 8;
     conv_probe.shape.out_c = 8;
+
+    TextTable table;
+    table.setHeader({"backend", "method", "token", "gemm", "conv",
+                     "exact gemm", "est (us)"});
     for (const auto &backend : session.registry().backends()) {
+        const bool supports = backend->supports(gemm_probe);
+        std::string estimate = "-";
+        if (supports) {
+            KernelRequest routed = gemm_probe;
+            routed.method = backend->method();
+            estimate = fmtDouble(
+                session.plan(routed)->estimatedTimeUs(), 2);
+        }
         table.addRow({backend->name(), methodName(backend->method()),
                       methodToken(backend->method()),
-                      backend->supports(gemm_probe) ? "yes" : "no",
+                      supports ? "yes" : "no",
                       backend->supports(conv_probe) ? "yes" : "no",
-                      backend->exact(gemm_probe) ? "yes" : "no"});
+                      backend->exact(gemm_probe) ? "yes" : "no",
+                      estimate});
     }
     table.print();
+
+    if (probe_request) {
+        KernelRequest hybrid_probe = gemm_probe;
+        hybrid_probe.method = Method::Hybrid;
+        PlanContext ctx;
+        ctx.cfg = &session.config();
+        ctx.cache = &session.encodingCache();
+        ctx.registry = &session.registry();
+        const HybridSplit split = planHybridSplit(hybrid_probe, ctx);
+        std::printf("\nhybrid partition (threshold %s):\n",
+                    split.threshold < 0.0
+                        ? "none"
+                        : fmtDouble(split.threshold, 3).c_str());
+        for (const HybridClass &cls : split.classes)
+            std::printf("  %-8s : %zu tile row group%s, est %.2f "
+                        "us\n",
+                        methodToken(cls.method), cls.groups.size(),
+                        cls.groups.size() == 1 ? "" : "s",
+                        cls.estimated_us);
+        std::printf("  total est : %.2f us\n",
+                    split.total_estimated_us);
+    }
     return 0;
 }
 
