@@ -103,6 +103,66 @@ identicalTwoLevel(const TwoLevelBitmapMatrix &a,
     return true;
 }
 
+/**
+ * One datatype point of the encode precision axis: wall time of the
+ * word-parallel encode filling that datatype's value lane, the
+ * dtype-aware encoded footprint of the operand pair, and the bitwise
+ * pin of the word encoder against the element-wise scalar encode
+ * under the same QuantSpec (serial and pooled).
+ */
+struct PrecisionPoint
+{
+    int m = 0, k = 0;
+    double sparsity = 0.0;
+    DataType dtype = DataType::Fp16;
+    double word_ms = 0.0;
+    double encoded_mb = 0.0;
+    bool bitwise_equal = false;
+};
+
+PrecisionPoint
+runEncodePrecisionPoint(int size, double sparsity, DataType dtype,
+                        int reps)
+{
+    PrecisionPoint p;
+    p.m = p.k = size;
+    p.sparsity = sparsity;
+    p.dtype = dtype;
+
+    Rng rng(0xe4c0de ^ (static_cast<uint64_t>(sparsity * 100) << 8) ^
+            static_cast<uint64_t>(size));
+    Matrix<float> a = randomSparseMatrix(size, size, sparsity, rng);
+    Matrix<float> b = randomSparseMatrix(size, size, sparsity, rng);
+    SpGemmOptions opts; // tile_m/k/n = 32
+
+    const QuantSpec spec_a = QuantSpec::forValues(
+        dtype, a.data().data(), a.data().size());
+    const QuantSpec spec_b = QuantSpec::forValues(
+        dtype, b.data().data(), b.data().size());
+
+    p.word_ms = timeMs(reps, [&] {
+        wordEncodeTwoLevel(a, opts.tile_m, opts.tile_k, Major::Col, 1,
+                           spec_a);
+        wordEncodeTwoLevel(b, opts.tile_k, opts.tile_n, Major::Row, 1,
+                           spec_b);
+    });
+
+    TwoLevelBitmapMatrix a_word = wordEncodeTwoLevel(
+        a, opts.tile_m, opts.tile_k, Major::Col, 1, spec_a);
+    TwoLevelBitmapMatrix b_pooled = wordEncodeTwoLevel(
+        b, opts.tile_k, opts.tile_n, Major::Row, 0, spec_b);
+    TwoLevelBitmapMatrix a_scalar = TwoLevelBitmapMatrix::encode(
+        a, opts.tile_m, opts.tile_k, Major::Col, spec_a);
+    TwoLevelBitmapMatrix b_scalar = TwoLevelBitmapMatrix::encode(
+        b, opts.tile_k, opts.tile_n, Major::Row, spec_b);
+    p.encoded_mb = (a_scalar.encodedBytes() +
+                    b_scalar.encodedBytes()) /
+                   1e6;
+    p.bitwise_equal = identicalTwoLevel(a_word, a_scalar) &&
+                      identicalTwoLevel(b_pooled, b_scalar);
+    return p;
+}
+
 Point
 runTwoLevelPoint(int size, double sparsity, int reps)
 {
@@ -165,10 +225,10 @@ runRequestPoint(int size, double sparsity, int reps)
 
     Session session;
     SessionOptions pooled_opts;
-    pooled_opts.encode_workers = 0; // shared pool
+    pooled_opts.resources.encode_workers = 0; // shared pool
     Session pooled(pooled_opts);
-    KernelRequest req = KernelRequest::gemm(a, b);
-    req.method = Method::DualSparse;
+    KernelRequest req =
+        KernelRequest::gemm(a, b).withMethod(Method::DualSparse);
 
     // Cold run = word encode + compute (the request latency a fresh
     // operand pays); warm run = the cached-compute part alone.
@@ -259,7 +319,8 @@ runLoweringPoint(int hw, int stride, double sparsity, int reps)
 
 void
 writeJson(const char *path, const std::vector<Point> &points,
-          int reps, bool quick)
+          const std::vector<PrecisionPoint> &precision, int reps,
+          bool quick)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -296,6 +357,19 @@ writeJson(const char *path, const std::vector<Point> &points,
             p.scalar_ms / p.word_ms, p.word_ms / p.parallel_ms,
             p.bitwise_equal ? "true" : "false",
             i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"precision_points\": [\n");
+    for (size_t i = 0; i < precision.size(); ++i) {
+        const PrecisionPoint &p = precision[i];
+        std::fprintf(
+            f,
+            "    {\"m\": %d, \"k\": %d, \"sparsity\": %.2f, "
+            "\"dtype\": \"%s\",\n"
+            "     \"word_ms\": %.3f, \"encoded_mb\": %.3f, "
+            "\"bitwise_equal\": %s}%s\n",
+            p.m, p.k, p.sparsity, dataTypeToken(p.dtype), p.word_ms,
+            p.encoded_mb, p.bitwise_equal ? "true" : "false",
+            i + 1 < precision.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -353,7 +427,34 @@ main(int argc, char **argv)
                 emit(runLoweringPoint(28, stride, sp, reps));
     }
 
-    writeJson(args.out, points, reps, quick);
+    // Precision axis: each datatype's value-lane encode, pinned
+    // against the scalar encode under the same QuantSpec; the
+    // footprint column shows the narrow lanes shrinking the operand
+    // pair.
+    std::vector<PrecisionPoint> precision;
+    std::printf("\n%6s %5s %5s | %9s %10s | %6s\n", "dtype", "size",
+                "sp", "word ms", "encoded MB", "equal");
+    const int psize = quick ? 256 : 512;
+    for (DataType dtype : {DataType::Fp16, DataType::Bf16,
+                           DataType::Int8, DataType::Int4}) {
+        PrecisionPoint p =
+            runEncodePrecisionPoint(psize, 0.9, dtype, reps);
+        precision.push_back(p);
+        std::printf("%6s %5d %5.2f | %9.3f %10.3f | %6s%s\n",
+                    dataTypeToken(p.dtype), p.m, p.sparsity,
+                    p.word_ms, p.encoded_mb,
+                    p.bitwise_equal ? "yes" : "NO",
+                    p.bitwise_equal ? "" : "  [MISMATCH]");
+        if (!p.bitwise_equal) {
+            std::fprintf(stderr,
+                         "FATAL: %s word encode diverges from the "
+                         "scalar encode\n",
+                         dataTypeToken(p.dtype));
+            std::exit(1);
+        }
+    }
+
+    writeJson(args.out, points, precision, reps, quick);
     std::printf("\nwrote %s\n", args.out);
     return 0;
 }

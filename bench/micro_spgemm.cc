@@ -20,11 +20,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/datatype.h"
 #include "common/rng.h"
 #include "core/thread_pool.h"
 #include "gemm/spgemm_device.h"
 #include "sparse/two_level.h"
 #include "tensor/matrix.h"
+#include "tensor/reference.h"
 
 using namespace dstc;
 using bench::nowMs;
@@ -93,6 +95,79 @@ struct Point
     bool bitwise_equal = false;
 };
 
+/**
+ * One (sparsity, datatype) operating point of the precision axis:
+ * the simulated kernel time of the functional dual-sparse multiply
+ * under that datatype (deterministic, machine-independent — what
+ * check_bench.py gates the int8-vs-fp16 advantage on), plus the
+ * in-domain bitwise checks: serial == pooled for every datatype, and
+ * the integer datatypes == the refGemmQuant golden model.
+ */
+struct PrecisionPoint
+{
+    int m, n, k;
+    double sparsity;
+    DataType dtype;
+    double modeled_us = 0.0;
+    double encoded_mb = 0.0; ///< dtype-aware operand footprint
+    double word_ms = 0.0;    ///< wall clock of the serial multiply
+    bool memory_bound = false;
+    bool bitwise_equal = false;
+};
+
+PrecisionPoint
+runPrecisionPoint(int size, double sparsity, DataType dtype, int reps)
+{
+    PrecisionPoint p;
+    p.m = p.n = p.k = size;
+    p.sparsity = sparsity;
+    p.dtype = dtype;
+
+    // Same seeding as runPoint: the precision axis reuses the
+    // operand distribution of the speedup axis.
+    Rng rng(0xbe9c << 8 | static_cast<uint64_t>(sparsity * 100));
+    Matrix<float> a = randomSparseMatrix(size, size, sparsity, rng);
+    Matrix<float> b = randomSparseMatrix(size, size, sparsity, rng);
+
+    SpGemmDevice device(GpuConfig::v100());
+    SpGemmOptions serial;
+    serial.dtype = dtype;
+    serial.num_workers = 1;
+
+    SpGemmResult r;
+    p.word_ms = timeMs(reps, [&] { r = device.multiply(a, b, serial); });
+    p.modeled_us = r.stats.timeUs();
+    p.memory_bound = r.stats.bound == Bound::Memory;
+    p.encoded_mb =
+        (TwoLevelBitmapMatrix::encode(
+             a, serial.tile_m, serial.tile_k, Major::Col,
+             QuantSpec::forValues(dtype, a.data().data(),
+                                  a.data().size()))
+             .encodedBytes() +
+         TwoLevelBitmapMatrix::encode(
+             b, serial.tile_k, serial.tile_n, Major::Row,
+             QuantSpec::forValues(dtype, b.data().data(),
+                                  b.data().size()))
+             .encodedBytes()) /
+        1e6;
+
+    SpGemmOptions pooled = serial;
+    pooled.num_workers = 0;
+    p.bitwise_equal = device.multiply(a, b, pooled).d.data() ==
+                      r.d.data();
+    if (dataTypeIsInteger(dtype)) {
+        const Matrix<float> golden = refGemmQuant(
+            a, b,
+            QuantSpec::forValues(dtype, a.data().data(),
+                                 a.data().size()),
+            QuantSpec::forValues(dtype, b.data().data(),
+                                 b.data().size()));
+        p.bitwise_equal =
+            p.bitwise_equal && r.d.data() == golden.data();
+    }
+    return p;
+}
+
 Point
 runPoint(int size, double sparsity, int tile_k, int reps)
 {
@@ -154,7 +229,8 @@ runPoint(int size, double sparsity, int tile_k, int reps)
 
 void
 writeJson(const char *path, const std::vector<Point> &points,
-          int reps, bool quick)
+          const std::vector<PrecisionPoint> &precision, int reps,
+          bool quick)
 {
     std::FILE *f = std::fopen(path, "w");
     if (!f) {
@@ -195,6 +271,22 @@ writeJson(const char *path, const std::vector<Point> &points,
             p.word_ms / p.parallel_ms,
             p.bitwise_equal ? "true" : "false",
             i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"precision_points\": [\n");
+    for (size_t i = 0; i < precision.size(); ++i) {
+        const PrecisionPoint &p = precision[i];
+        std::fprintf(
+            f,
+            "    {\"m\": %d, \"n\": %d, \"k\": %d, "
+            "\"sparsity\": %.2f, \"dtype\": \"%s\",\n"
+            "     \"modeled_us\": %.3f, \"encoded_mb\": %.3f, "
+            "\"word_ms\": %.3f, \"memory_bound\": %s, "
+            "\"bitwise_equal\": %s}%s\n",
+            p.m, p.n, p.k, p.sparsity, dataTypeToken(p.dtype),
+            p.modeled_us, p.encoded_mb, p.word_ms,
+            p.memory_bound ? "true" : "false",
+            p.bitwise_equal ? "true" : "false",
+            i + 1 < precision.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -255,7 +347,42 @@ main(int argc, char **argv)
         for (int tile_k : {16, 64})
             emit(512, 0.9, tile_k);
 
-    writeJson(out, points, reps, quick);
+    // Precision axis: simulated time and operand footprint of each
+    // datatype at the headline operating point (the int8-vs-fp16
+    // advantage check_bench.py gates lives here).
+    std::vector<PrecisionPoint> precision;
+    std::printf("\n%5s %8s %6s | %11s %11s %9s | %6s %6s\n", "size",
+                "sparsity", "dtype", "modeled us", "encoded MB",
+                "word ms", "bound", "equal");
+    const int psize = quick ? 128 : 512;
+    const std::vector<double> psparsities =
+        quick ? std::vector<double>{0.9}
+              : std::vector<double>{0.5, 0.9};
+    for (double sp : psparsities) {
+        for (DataType dtype :
+             {DataType::Fp16, DataType::Bf16, DataType::Int8,
+              DataType::Int4}) {
+            PrecisionPoint p =
+                runPrecisionPoint(psize, sp, dtype, reps);
+            precision.push_back(p);
+            std::printf("%5d %8.2f %6s | %11.3f %11.3f %9.3f | %6s "
+                        "%6s%s\n",
+                        p.m, p.sparsity, dataTypeToken(p.dtype),
+                        p.modeled_us, p.encoded_mb, p.word_ms,
+                        p.memory_bound ? "mem" : "comp",
+                        p.bitwise_equal ? "yes" : "NO",
+                        p.bitwise_equal ? "" : "  [MISMATCH]");
+            if (!p.bitwise_equal) {
+                std::fprintf(stderr,
+                             "FATAL: %s path broke its in-domain "
+                             "bitwise guarantee\n",
+                             dataTypeToken(p.dtype));
+                std::exit(1);
+            }
+        }
+    }
+
+    writeJson(out, points, precision, reps, quick);
     std::printf("\nwrote %s\n", out);
     return 0;
 }

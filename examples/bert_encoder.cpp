@@ -35,16 +35,17 @@ main()
     uint64_t seed = 2024;
     for (const auto &layer : bert.gemm_layers) {
         for (Method method : methods) {
-            KernelRequest req = KernelRequest::gemm(
-                layer.m, layer.n, layer.k, layer.act_sparsity,
-                layer.weight_sparsity);
-            req.method = method;
             // Movement pruning concentrates the surviving weights
             // into whole heads/neurons, so the pattern is clustered.
-            req.a_cluster = layer.act_cluster;
-            req.b_cluster = layer.weight_cluster;
-            req.seed = seed;
-            req.tag = layer.name;
+            KernelRequest req =
+                KernelRequest::gemm(layer.m, layer.n, layer.k,
+                                    layer.act_sparsity,
+                                    layer.weight_sparsity)
+                    .withMethod(method)
+                    .withClusters(layer.act_cluster,
+                                  layer.weight_cluster)
+                    .withSeed(seed)
+                    .withTag(layer.name);
             requests.push_back(std::move(req));
         }
         ++seed;

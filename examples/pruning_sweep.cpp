@@ -29,8 +29,8 @@ main()
     Matrix<float> dense_weights = randomSparseMatrix(n, n, 0.0, rng);
     Matrix<float> activations = reluActivationMatrix(n, n, 0.5, rng);
 
-    KernelRequest dense_req = KernelRequest::gemm(n, n, n);
-    dense_req.method = Method::Dense;
+    KernelRequest dense_req =
+        KernelRequest::gemm(n, n, n).withMethod(Method::Dense);
     const double dense_us = session.run(dense_req).timeUs();
 
     std::printf("AGP schedule to 95%% sparsity over 10 steps, "
@@ -42,9 +42,9 @@ main()
     for (int step = 0; step <= 10; ++step) {
         const double target = agpSparsity(0.0, 0.95, step, 10);
         Matrix<float> pruned = magnitudePrune(dense_weights, target);
-        KernelRequest req = KernelRequest::gemm(activations, pruned);
-        req.method = Method::DualSparse;
-        req.gemm_options.functional = false;
+        KernelRequest req = KernelRequest::gemm(activations, pruned)
+                                .withMethod(Method::DualSparse)
+                                .withFunctional(false);
         KernelReport report = session.run(req);
         std::printf("%6d %9.1f%% %12.1f %9.2fx %7s\n", step,
                     pruned.sparsity() * 100.0, report.timeUs(),

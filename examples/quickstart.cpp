@@ -30,8 +30,8 @@ main()
     Matrix<float> weights = randomSparseMatrix(512, 512, 0.80, rng);
 
     // 3. Run the dual-side SpGEMM (functional + timed).
-    KernelRequest req = KernelRequest::gemm(activations, weights);
-    req.method = Method::DualSparse;
+    KernelRequest req = KernelRequest::gemm(activations, weights)
+                            .withMethod(Method::DualSparse);
     KernelReport result = session.run(req);
 
     // 4. Verify the functional result against the FP16 reference.
@@ -42,8 +42,8 @@ main()
 
     // 5. Compare with the dense tensor-core baseline through the
     //    same API.
-    KernelRequest dense_req = KernelRequest::gemm(512, 512, 512);
-    dense_req.method = Method::Dense;
+    KernelRequest dense_req =
+        KernelRequest::gemm(512, 512, 512).withMethod(Method::Dense);
     const double dense_us = session.run(dense_req).timeUs();
     const KernelStats &stats = result.stats;
     std::printf("\n-- timing --\n");
@@ -56,8 +56,8 @@ main()
 
     // 6. Or let the registry decide: Method::Auto plans every exact
     //    backend and picks the profiled winner.
-    KernelRequest auto_req = KernelRequest::gemm(activations, weights);
-    auto_req.method = Method::Auto;
+    KernelRequest auto_req = KernelRequest::gemm(activations, weights)
+                                 .withMethod(Method::Auto);
     KernelReport chosen = session.run(auto_req);
     std::printf("\nMethod::Auto picked: %s (%.1f us; operand "
                 "encodings %s)\n",

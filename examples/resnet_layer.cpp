@@ -53,10 +53,9 @@ main()
 
     double dense_implicit_us = 0.0, dual_us = 0.0;
     for (const auto &[method, lowering] : strategies) {
-        KernelRequest req =
-            KernelRequest::conv(input, weights, shape);
-        req.method = method;
-        req.lowering = lowering;
+        KernelRequest req = KernelRequest::conv(input, weights, shape)
+                                .withMethod(method)
+                                .withLowering(lowering);
         KernelReport r = session.run(req);
         double err = 0.0;
         for (size_t i = 0; i < golden.size(); ++i)

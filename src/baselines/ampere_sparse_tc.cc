@@ -9,22 +9,26 @@ namespace dstc {
 
 KernelStats
 ampereGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k,
-           double weight_sparsity)
+           double weight_sparsity, DataType dtype)
 {
     (void)weight_sparsity; // fixed-rate format, like the vector-wise
                            // design: extra sparsity is not exploitable
     DenseGemmDevice device(cfg);
-    KernelStats stats = device.timeOnly(m, n, k);
+    KernelStats stats = device.timeOnly(m, n, k, dtype);
     stats.name = "ampere_sparse_tc";
     stats.compute_us /= kAmpereEffectiveSpeedup;
 
-    // Weights move condensed at 50% plus 2 bits of lane metadata per
-    // kept value; activations and output stay dense.
+    // Weights move condensed at 50% of the lane width plus 2 bits of
+    // lane metadata per kept value; activations and output stay
+    // dense at their datatype widths.
     MemoryModel mem(cfg);
-    const double bytes_a = static_cast<double>(m) * k * 2.0;
+    const double in_bytes = dataTypeValueBytes(dtype);
+    const double bytes_a = static_cast<double>(m) * k * in_bytes;
     const double bytes_b = static_cast<double>(k) * n *
-                           (1.0 - kAmperePruneRatio) * 2.25;
-    const double bytes_d = static_cast<double>(m) * n * 2.0;
+                           (1.0 - kAmperePruneRatio) *
+                           (in_bytes + 0.25);
+    const double bytes_d =
+        static_cast<double>(m) * n * dataTypeOutputBytes(dtype);
     stats.dram_bytes =
         mem.gemmTrafficBytes(m, n, bytes_a, bytes_b, bytes_d);
     stats.memory_us = mem.dramTimeUs(stats.dram_bytes);
@@ -34,9 +38,10 @@ ampereGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k,
 }
 
 Matrix<float>
-ampereGemmFunctional(const Matrix<float> &a, const Matrix<float> &b)
+ampereGemmFunctional(const Matrix<float> &a, const Matrix<float> &b,
+                     const QuantSpec &spec_a, const QuantSpec &spec_b)
 {
-    return refGemmFp16(a, prune2of4(b));
+    return refGemmQuant(a, prune2of4(b), spec_a, spec_b);
 }
 
 } // namespace dstc

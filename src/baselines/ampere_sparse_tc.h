@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "common/datatype.h"
 #include "tensor/matrix.h"
 #include "timing/gpu_config.h"
 #include "timing/stats.h"
@@ -35,18 +36,24 @@ constexpr double kAmpereEffectiveSpeedup = 1.75;
 
 /**
  * Timing of a 2:4 sparse GEMM: dense tensor-core time compressed by
- * the fixed effective speedup; the weight operand moves at 50% plus
- * 2-bit-per-value lane metadata.
+ * the fixed effective speedup; the weight operand moves condensed at
+ * 50% of the datatype's lane width plus 2-bit-per-value lane
+ * metadata (the A100 format keeps the 2-bit indices at every
+ * precision).
  */
 KernelStats ampereGemm(const GpuConfig &cfg, int64_t m, int64_t n,
-                       int64_t k, double weight_sparsity);
+                       int64_t k, double weight_sparsity,
+                       DataType dtype = DataType::Fp16);
 
 /**
  * Functional counterpart: 2:4-prune B (keep the two largest of every
- * four) and multiply densely through the FP16 datapath.
+ * four) and multiply densely at the specs' datatype (FP16 default).
+ * Pruning selects on raw magnitudes, before quantization.
  */
 Matrix<float> ampereGemmFunctional(const Matrix<float> &a,
-                                   const Matrix<float> &b);
+                                   const Matrix<float> &b,
+                                   const QuantSpec &spec_a = {},
+                                   const QuantSpec &spec_b = {});
 
 } // namespace dstc
 

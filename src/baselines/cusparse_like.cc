@@ -8,22 +8,30 @@
 namespace dstc {
 
 CsrMatrix
-csrGemm(const CsrMatrix &a, const CsrMatrix &b)
+csrGemm(const CsrMatrix &a, const CsrMatrix &b,
+        const QuantSpec &spec_a, const QuantSpec &spec_b)
 {
     DSTC_ASSERT(a.cols() == b.rows());
     // Gustavson: expand each A row through the matching B rows into a
     // dense accumulator, then compress. This is the algorithmic shape
-    // of the library's numeric phase.
+    // of the library's numeric phase. Values quantize through the
+    // specs as they are consumed (the CSR encodings stay raw).
     Matrix<float> d(a.rows(), b.cols());
     for (int i = 0; i < a.rows(); ++i) {
         for (int ai = a.rowPtr()[i]; ai < a.rowPtr()[i + 1]; ++ai) {
             const int kk = a.colIdx()[ai];
-            const float av = a.values()[ai];
+            const float av = spec_a.apply(a.values()[ai]);
             for (int bi = b.rowPtr()[kk]; bi < b.rowPtr()[kk + 1];
                  ++bi) {
-                d.at(i, b.colIdx()[bi]) += av * b.values()[bi];
+                d.at(i, b.colIdx()[bi]) +=
+                    av * spec_b.apply(b.values()[bi]);
             }
         }
+    }
+    const float out_scale = QuantSpec::outputScale(spec_a, spec_b);
+    if (out_scale != 1.0f) {
+        for (float &v : d.data())
+            v *= out_scale;
     }
     return CsrMatrix::encode(d);
 }

@@ -16,14 +16,25 @@
 #ifndef DSTC_BASELINES_CUSPARSE_LIKE_H
 #define DSTC_BASELINES_CUSPARSE_LIKE_H
 
+#include "common/datatype.h"
 #include "sparse/csr.h"
 #include "timing/gpu_config.h"
 #include "timing/stats.h"
 
 namespace dstc {
 
-/** Functional Gustavson SpGEMM: D = A x B on CSR operands. */
-CsrMatrix csrGemm(const CsrMatrix &a, const CsrMatrix &b);
+/**
+ * Functional Gustavson SpGEMM: D = A x B on CSR operands. The CSR
+ * encodings carry raw FP32 values (dtype-invariant, so cached CSR
+ * operands are shareable across datatypes); the specs quantize each
+ * value as it is consumed, and integer specs apply the deferred
+ * sa * sb output scale after the numeric phase. The defaults are
+ * FP32 — the library's CUDA-core datapath never narrows its
+ * operands, unlike the tensor-core engines whose default is FP16.
+ */
+CsrMatrix csrGemm(const CsrMatrix &a, const CsrMatrix &b,
+                  const QuantSpec &spec_a = {DataType::Fp32, 1.0f},
+                  const QuantSpec &spec_b = {DataType::Fp32, 1.0f});
 
 /**
  * Timing model of the library SpGEMM.

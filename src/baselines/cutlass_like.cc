@@ -5,10 +5,11 @@
 namespace dstc {
 
 KernelStats
-cutlassGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k)
+cutlassGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k,
+            DataType dtype)
 {
     DenseGemmDevice device(cfg);
-    KernelStats stats = device.timeOnly(m, n, k);
+    KernelStats stats = device.timeOnly(m, n, k, dtype);
     stats.name = "cutlass";
     return stats;
 }

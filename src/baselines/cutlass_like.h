@@ -10,14 +10,16 @@
 
 #include <cstdint>
 
+#include "common/datatype.h"
 #include "timing/gpu_config.h"
 #include "timing/stats.h"
 
 namespace dstc {
 
-/** Kernel time of a CUTLASS-like dense m x n x k FP16 GEMM. */
+/** Kernel time of a CUTLASS-like dense m x n x k GEMM at the given
+ *  datatype (FP16 default; int8/int4 run at the IMMA rates). */
 KernelStats cutlassGemm(const GpuConfig &cfg, int64_t m, int64_t n,
-                        int64_t k);
+                        int64_t k, DataType dtype = DataType::Fp16);
 
 } // namespace dstc
 

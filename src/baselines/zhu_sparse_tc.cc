@@ -8,22 +8,25 @@ namespace dstc {
 
 KernelStats
 zhuGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k,
-        double weight_sparsity)
+        double weight_sparsity, DataType dtype)
 {
     (void)weight_sparsity; // fixed-ratio design: actual sparsity is
                            // clamped to the 75% format either way
     DenseGemmDevice device(cfg);
-    KernelStats stats = device.timeOnly(m, n, k);
+    KernelStats stats = device.timeOnly(m, n, k, dtype);
     stats.name = "zhu_sparse_tc";
     stats.compute_us /= kZhuEffectiveSpeedup;
 
-    // Weight operand moves condensed: 25% of the values plus 4-bit
-    // per-value lane indices; activations and output stay dense.
+    // Weight operand moves condensed: 25% of the values at the lane
+    // width plus 4-bit per-value lane indices; activations and
+    // output stay dense at their datatype widths.
     MemoryModel mem(cfg);
-    const double bytes_a = static_cast<double>(m) * k * 2.0;
-    const double bytes_b =
-        static_cast<double>(k) * n * (1.0 - kZhuPruneRatio) * 2.5;
-    const double bytes_d = static_cast<double>(m) * n * 2.0;
+    const double in_bytes = dataTypeValueBytes(dtype);
+    const double bytes_a = static_cast<double>(m) * k * in_bytes;
+    const double bytes_b = static_cast<double>(k) * n *
+                           (1.0 - kZhuPruneRatio) * (in_bytes + 0.5);
+    const double bytes_d =
+        static_cast<double>(m) * n * dataTypeOutputBytes(dtype);
     stats.dram_bytes =
         mem.gemmTrafficBytes(m, n, bytes_a, bytes_b, bytes_d);
     stats.memory_us = mem.dramTimeUs(stats.dram_bytes);
@@ -34,10 +37,11 @@ zhuGemm(const GpuConfig &cfg, int64_t m, int64_t n, int64_t k,
 
 Matrix<float>
 zhuGemmFunctional(const Matrix<float> &a, const Matrix<float> &b,
-                  int vec_len)
+                  int vec_len, const QuantSpec &spec_a,
+                  const QuantSpec &spec_b)
 {
     Matrix<float> pruned = vectorWisePrune(b, vec_len, kZhuPruneRatio);
-    return refGemmFp16(a, pruned);
+    return refGemmQuant(a, pruned, spec_a, spec_b);
 }
 
 } // namespace dstc

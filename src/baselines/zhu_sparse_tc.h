@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "common/datatype.h"
 #include "tensor/matrix.h"
 #include "timing/gpu_config.h"
 #include "timing/stats.h"
@@ -38,15 +39,19 @@ constexpr double kZhuEffectiveSpeedup = 1.86;
  *        the pruning scheme (so the speedup stays fixed).
  */
 KernelStats zhuGemm(const GpuConfig &cfg, int64_t m, int64_t n,
-                    int64_t k, double weight_sparsity);
+                    int64_t k, double weight_sparsity,
+                    DataType dtype = DataType::Fp16);
 
 /**
  * Functional counterpart: vector-wise prune B to the fixed ratio and
- * multiply densely. Provided so the baseline's accuracy cost is
- * inspectable; the pruner itself lives in model/pruning.h.
+ * multiply densely at the specs' datatype (FP16 default; pruning
+ * selects on raw magnitudes). Provided so the baseline's accuracy
+ * cost is inspectable; the pruner itself lives in model/pruning.h.
  */
 Matrix<float> zhuGemmFunctional(const Matrix<float> &a,
-                                const Matrix<float> &b, int vec_len = 16);
+                                const Matrix<float> &b, int vec_len = 16,
+                                const QuantSpec &spec_a = {},
+                                const QuantSpec &spec_b = {});
 
 } // namespace dstc
 

@@ -116,9 +116,9 @@ ConvExecutor::run(const Tensor4d &input, const Matrix<float> &weights,
                 "weights must be out_c x (in_c*k*k)");
 
     // The explicit / dense-implicit baselines are untouched by the
-    // word-parallel rebuild — the scalar path IS their path.
+    // word-parallel rebuild — the lowered scalar path IS their path.
     if (!isImplicitSparse(method))
-        return runScalar(input, weights, shape, method, options);
+        return runLowered(input, weights, shape, method, options);
 
     const Matrix<float> wt = flattenWeightsTransposed(weights);
 
@@ -166,60 +166,37 @@ ConvExecutor::run(const Tensor4d &input, const Matrix<float> &weights,
 }
 
 ConvResult
-ConvExecutor::runScalar(const Tensor4d &input,
-                        const Matrix<float> &weights,
-                        const ConvShape &shape, ConvMethod method,
-                        const ConvOptions &options) const
+ConvExecutor::runLowered(const Tensor4d &input,
+                         const Matrix<float> &weights,
+                         const ConvShape &shape, ConvMethod method,
+                         const ConvOptions &options) const
 {
+    DSTC_ASSERT(!isImplicitSparse(method),
+                "runLowered serves the explicit / dense-implicit "
+                "baselines");
     DSTC_ASSERT(weights.rows() == shape.out_c &&
                 weights.cols() == shape.loweredCols(),
                 "weights must be out_c x (in_c*k*k)");
+    (void)options; // the baselines have no parallel tile loop
 
     const Matrix<float> wt = flattenWeightsTransposed(weights);
 
-    // Functional lowering: the bitmap path exercises the implicit
-    // sparse im2col machinery; the explicit path the dense one.
-    Matrix<float> lowered;
-    double input_bytes = 0.0;
-    if (isImplicitSparse(method)) {
-        BitmapFeatureMap fmap = BitmapFeatureMap::encode(input);
-        // The reference lowering keeps the per-bit strided gather
-        // (word_strided = false): run()'s word-parallel deinterleave
-        // is pinned against this path bit for bit.
-        LoweredFeatureMap lfm =
-            im2colFromBitmap(fmap, shape, true, 1, false);
-        lowered = lfm.decode();
-        input_bytes = static_cast<double>(fmap.encodedBytes());
-    } else {
-        lowered = im2colExplicit(input, shape);
-        input_bytes = static_cast<double>(shape.inputElems()) * 2.0;
-        if (method == ConvMethod::DenseImplicit) {
-            // Validate the outer-friendly generation order against
-            // the row-major one on the real data.
-            DSTC_ASSERT(maxAbsDiff(lowered, im2colOuterFriendly(
-                                                input, shape)) == 0.0,
-                        "outer-friendly im2col diverged");
-        }
+    Matrix<float> lowered = im2colExplicit(input, shape);
+    double input_bytes =
+        static_cast<double>(shape.inputElems()) * 2.0;
+    if (method == ConvMethod::DenseImplicit) {
+        // Validate the outer-friendly generation order against the
+        // row-major one on the real data.
+        DSTC_ASSERT(maxAbsDiff(lowered, im2colOuterFriendly(
+                                            input, shape)) == 0.0,
+                    "outer-friendly im2col diverged");
     }
 
-    // Functional GEMM. All methods compute the same product.
-    Matrix<float> d;
-    if (isImplicitSparse(method)) {
-        SpGemmDevice spgemm(cfg_);
-        SpGemmOptions opts;
-        opts.functional = true;
-        opts.num_workers = options.num_workers;
-        d = spgemm.multiply(lowered, wt, opts).d;
-    } else {
-        d = refGemmFp16(lowered, wt);
-    }
+    Matrix<float> d = refGemmFp16(lowered, wt);
 
     // Timing from the actual data's sparsity.
-    SparsityProfile a_profile =
-        method == ConvMethod::DualSparseImplicit
-            ? SparsityProfile::fromMatrixA(lowered, 32)
-            : SparsityProfile::denseA(shape.loweredRows(),
-                                      shape.loweredCols(), 32);
+    SparsityProfile a_profile = SparsityProfile::denseA(
+        shape.loweredRows(), shape.loweredCols(), 32);
     SparsityProfile b_profile = SparsityProfile::fromMatrixB(wt, 32);
 
     double weight_bytes;
@@ -235,7 +212,7 @@ ConvExecutor::runScalar(const Tensor4d &input,
       default:
         weight_bytes = static_cast<double>(b_profile.encodedBytes(32));
     }
-    if (!isImplicitSparse(method) && !isExplicit(method)) {
+    if (!isExplicit(method)) {
         // Dense implicit reads the raw FP16 layout, not a bitmap.
         input_bytes = static_cast<double>(shape.inputElems()) * 2.0;
     }

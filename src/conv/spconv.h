@@ -118,6 +118,11 @@ class ConvExecutor
      * stats bit-for-bit; bench/micro_spconv reports speedup against
      * it. (Its GEMM honors options.num_workers so comparisons
      * isolate the pipeline change from raw thread count.)
+     *
+     * Defined in the test-only `dstc_reference` library (see
+     * reference/scalar_spconv.cc): the shipped library only carries
+     * the word-parallel pipeline plus the lowered baseline path the
+     * explicit / dense-implicit strategies execute.
      */
     ConvResult runScalar(const Tensor4d &input,
                          const Matrix<float> &weights,
@@ -157,6 +162,17 @@ class ConvExecutor
                               const SparsityProfile *b_profile,
                               double input_bytes,
                               double weight_bytes) const;
+
+    /**
+     * The lowered baseline path the explicit / dense-implicit
+     * strategies execute (dense im2col + FP16 reference GEMM). Also
+     * the non-implicit-sparse half of runScalar, so the production
+     * delegation and the reference pin share one definition.
+     */
+    ConvResult runLowered(const Tensor4d &input,
+                          const Matrix<float> &weights,
+                          const ConvShape &shape, ConvMethod method,
+                          const ConvOptions &options) const;
 
     GpuConfig cfg_;
 };

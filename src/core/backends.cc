@@ -31,6 +31,23 @@ namespace dstc {
 
 namespace {
 
+/** Per-matrix QuantSpec of one operand at the request datatype
+ *  (integer scales are matrix-global: serial fabs-max). */
+QuantSpec
+specFor(DataType dtype, const Matrix<float> &m)
+{
+    return QuantSpec::forValues(dtype, m.data().data(),
+                                m.data().size());
+}
+
+/** The conv pipeline executes FP16 only; quantized datatypes are a
+ *  GEMM-path feature for now. */
+bool
+convDataTypeOk(const KernelRequest &req)
+{
+    return req.dataType() == DataType::Fp16;
+}
+
 CacheKey
 convKey(const KernelRequest &req, ConvMethod cm)
 {
@@ -130,12 +147,16 @@ class DualGemmPlan : public ExecutionPlan
     double
     estimateEncoded()
     {
-        const SpGemmOptions &o = req_.gemm_options;
+        SpGemmOptions o = req_.gemm_options;
         const TwoLevelBitmapMatrix &a = *req_.a_encoded;
         const TwoLevelBitmapMatrix &b = *req_.b_encoded;
         if (a.tileRows() != o.tile_m || a.tileCols() != o.tile_k ||
             b.tileRows() != o.tile_k || b.tileCols() != o.tile_n)
             return ExecutionPlan::estimate();
+        // Pre-encoded operands carry the authoritative datatype (the
+        // run path reads it off their specs); keep the estimate's
+        // compute/traffic scaling consistent with execution.
+        o.dtype = a.spec().dtype;
         SpGemmDevice device(cfg_);
         return device
             .timeFromProfiles(SparsityProfile::fromEncodedA(a),
@@ -283,8 +304,10 @@ class DualSparseBackend : public Backend
         if (req.kind == KernelRequest::Kind::Gemm)
             return !req.a_encoded == !req.b_encoded;
         // The dual-side design is inherently implicit (the bitmap
-        // im2col is part of the datapath, Sec. IV).
-        return req.lowering == Lowering::Implicit;
+        // im2col is part of the datapath, Sec. IV), and the conv
+        // pipeline is FP16-only.
+        return req.lowering == Lowering::Implicit &&
+               convDataTypeOk(req);
     }
 
     std::unique_ptr<ExecutionPlan>
@@ -317,15 +340,18 @@ class DenseGemmPlan : public ExecutionPlan
     run() override
     {
         KernelReport report;
+        const DataType dtype = req_.dataType();
         if (req_.a && req_.b && req_.gemm_options.functional) {
             DenseGemmDevice device(cfg_);
-            DenseGemmResult r = device.multiply(*req_.a, *req_.b,
-                                                req_.outer_product);
+            DenseGemmResult r = device.multiply(
+                *req_.a, *req_.b, req_.outer_product,
+                specFor(dtype, *req_.a), specFor(dtype, *req_.b));
             report.stats = r.stats;
             report.d =
                 std::make_shared<const Matrix<float>>(std::move(r.d));
         } else {
-            report.stats = cutlassGemm(cfg_, req_.m, req_.n, req_.k);
+            report.stats =
+                cutlassGemm(cfg_, req_.m, req_.n, req_.k, dtype);
         }
         return report;
     }
@@ -337,7 +363,8 @@ class DenseGemmPlan : public ExecutionPlan
         // a losing candidate's kernel; timing plans share the
         // memoized run.
         if (req_.a && req_.b)
-            return cutlassGemm(cfg_, req_.m, req_.n, req_.k)
+            return cutlassGemm(cfg_, req_.m, req_.n, req_.k,
+                               req_.dataType())
                 .timeUs();
         return ExecutionPlan::estimate();
     }
@@ -356,11 +383,12 @@ class DenseBackend : public Backend
     bool
     supports(const KernelRequest &req) const override
     {
-        // Dense GEMM and both conv lowerings; pre-encoded two-level
-        // operands are only consumable by the dual-sparse kernel.
+        // Dense GEMM and both conv lowerings (FP16-only conv);
+        // pre-encoded two-level operands are only consumable by the
+        // dual-sparse kernel.
         if (req.kind == KernelRequest::Kind::Gemm)
             return !req.a_encoded;
-        return true;
+        return convDataTypeOk(req);
     }
 
     std::unique_ptr<ExecutionPlan>
@@ -393,11 +421,14 @@ class ZhuGemmPlan : public ExecutionPlan
     run() override
     {
         KernelReport report;
+        const DataType dtype = req_.dataType();
         report.stats = zhuGemm(cfg_, req_.m, req_.n, req_.k,
-                               weightSparsity(req_));
+                               weightSparsity(req_), dtype);
         if (req_.a && req_.b && req_.gemm_options.functional)
             report.d = std::make_shared<const Matrix<float>>(
-                zhuGemmFunctional(*req_.a, *req_.b));
+                zhuGemmFunctional(*req_.a, *req_.b, 16,
+                                  specFor(dtype, *req_.a),
+                                  specFor(dtype, *req_.b)));
         return report;
     }
 
@@ -406,7 +437,7 @@ class ZhuGemmPlan : public ExecutionPlan
     {
         if (req_.a && req_.b)
             return zhuGemm(cfg_, req_.m, req_.n, req_.k,
-                           weightSparsity(req_))
+                           weightSparsity(req_), req_.dataType())
                 .timeUs();
         return ExecutionPlan::estimate();
     }
@@ -437,7 +468,8 @@ class ZhuSparseBackend : public Backend
     {
         if (req.kind == KernelRequest::Kind::Gemm)
             return !req.a_encoded; // no two-level consumption path
-        return true; // both Single Sparse conv lowerings
+        // Both Single Sparse conv lowerings, FP16 only.
+        return convDataTypeOk(req);
     }
 
     std::unique_ptr<ExecutionPlan>
@@ -470,11 +502,14 @@ class AmpereGemmPlan : public ExecutionPlan
     run() override
     {
         KernelReport report;
+        const DataType dtype = req_.dataType();
         report.stats = ampereGemm(cfg_, req_.m, req_.n, req_.k,
-                                  weightSparsity(req_));
+                                  weightSparsity(req_), dtype);
         if (req_.a && req_.b && req_.gemm_options.functional)
             report.d = std::make_shared<const Matrix<float>>(
-                ampereGemmFunctional(*req_.a, *req_.b));
+                ampereGemmFunctional(*req_.a, *req_.b,
+                                     specFor(dtype, *req_.a),
+                                     specFor(dtype, *req_.b)));
         return report;
     }
 
@@ -483,7 +518,7 @@ class AmpereGemmPlan : public ExecutionPlan
     {
         if (req_.a && req_.b)
             return ampereGemm(cfg_, req_.m, req_.n, req_.k,
-                              weightSparsity(req_))
+                              weightSparsity(req_), req_.dataType())
                 .timeUs();
         return ExecutionPlan::estimate();
     }
@@ -544,12 +579,20 @@ class CusparseGemmPlan : public ExecutionPlan
         KernelReport report;
         if (req_.a && req_.b) {
             // CSR encode is deferred to execution so a losing Auto
-            // candidate never pays for it.
+            // candidate never pays for it. The CSR encodings stay
+            // raw FP32 (dtype-invariant, shareable across request
+            // datatypes); quantization happens per value inside the
+            // multiply. The latency-limited timing model is
+            // insensitive to the lane width.
             resolveCsr();
+            const DataType dtype = req_.dataType();
             report.stats = cusparseGemmTime(cfg_, *a_csr_, *b_csr_);
             if (req_.gemm_options.functional)
                 report.d = std::make_shared<const Matrix<float>>(
-                    csrGemm(*a_csr_, *b_csr_).decode());
+                    csrGemm(*a_csr_, *b_csr_,
+                            specFor(dtype, *req_.a),
+                            specFor(dtype, *req_.b))
+                        .decode());
         } else {
             double da, db;
             operandDensities(req_, &da, &db);

@@ -198,6 +198,7 @@ Cluster::Cluster(ClusterOptions options)
         SessionOptions so;
         so.config = cfg;
         so.encode_workers = options_.encode_workers;
+        so.resources = options_.resources;
         so.shared_pool = pool_.get();
         so.shared_cache = &cache_;
         sessions_.push_back(std::make_unique<Session>(so));

@@ -77,8 +77,12 @@ struct ClusterOptions
      *  Reports are bitwise identical for every setting. */
     int num_threads = 0;
 
-    /** Per-device SessionOptions::encode_workers. */
+    /** Deprecated alias of resources.encode_workers (kept for old
+     *  call sites; resources wins when set). */
     int encode_workers = 1;
+
+    /** Per-device execution resources (SessionOptions semantics). */
+    ExecutionResources resources;
 
     /** Shared-cache bounds (SessionOptions semantics). */
     size_t cache_capacity = EncodingCache::kDefaultCapacity;

@@ -73,15 +73,25 @@ resolveTwoLevelA(const KernelRequest &req, const PlanContext &ctx,
                  OperandDigests &digests, bool *hit)
 {
     const SpGemmOptions &o = req.gemm_options;
+    // The encoding's value lane is quantized at the request datatype,
+    // so the key folds the dtype: two requests sharing a content
+    // digest but differing in datatype must never collide.
     CacheKey key("two-level-a");
-    key.u64(digests.a(*req.a)).i32(o.tile_m).i32(o.tile_k);
+    key.u64(digests.a(*req.a))
+        .i32(o.tile_m)
+        .i32(o.tile_k)
+        .i32(static_cast<int32_t>(o.dtype));
     const Matrix<float> *a = req.a;
     const int workers = ctx.encode_workers;
     return ctx.cache->getOrBuild<TwoLevelBitmapMatrix>(
         key.value(),
         [a, &o, workers] {
+            // Integer scales are matrix-global (serial fabs-max, so
+            // the spec is independent of the worker partitioning).
+            const QuantSpec spec = QuantSpec::forValues(
+                o.dtype, a->data().data(), a->data().size());
             return wordEncodeTwoLevel(*a, o.tile_m, o.tile_k,
-                                      Major::Col, workers);
+                                      Major::Col, workers, spec);
         },
         hit);
 }
@@ -92,14 +102,19 @@ resolveTwoLevelB(const KernelRequest &req, const PlanContext &ctx,
 {
     const SpGemmOptions &o = req.gemm_options;
     CacheKey key("two-level-b");
-    key.u64(digests.b(*req.b)).i32(o.tile_k).i32(o.tile_n);
+    key.u64(digests.b(*req.b))
+        .i32(o.tile_k)
+        .i32(o.tile_n)
+        .i32(static_cast<int32_t>(o.dtype));
     const Matrix<float> *b = req.b;
     const int workers = ctx.encode_workers;
     return ctx.cache->getOrBuild<TwoLevelBitmapMatrix>(
         key.value(),
         [b, &o, workers] {
+            const QuantSpec spec = QuantSpec::forValues(
+                o.dtype, b->data().data(), b->data().size());
             return wordEncodeTwoLevel(*b, o.tile_k, o.tile_n,
-                                      Major::Row, workers);
+                                      Major::Row, workers, spec);
         },
         hit);
 }

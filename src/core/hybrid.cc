@@ -593,8 +593,12 @@ class HybridBackend : public Backend
         // GEMM only (the conv paths pick their lowering, not a
         // per-tile backend); pre-encoded operands must come as a
         // pair, like the dual-sparse backend they route to.
+        // Integer datatypes are excluded: each density class would
+        // quantize its operand slice with a per-class scale, so the
+        // stitched output would not match any single-backend result.
         return req.kind == KernelRequest::Kind::Gemm &&
-               !req.a_encoded == !req.b_encoded;
+               !req.a_encoded == !req.b_encoded &&
+               !dataTypeIsInteger(req.gemm_options.dtype);
     }
 
     // exact() stays true: every class routes to a backend that is

@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "common/datatype.h"
 #include "conv/spconv.h"
 #include "gemm/spgemm_device.h"
 #include "im2col/conv_shape.h"
@@ -75,6 +77,34 @@ enum class Lowering
 {
     Implicit, ///< fused im2col (bitmap-based for the sparse methods)
     Explicit, ///< materialize the lowered matrix in DRAM first
+};
+
+/**
+ * Worker-thread budget of a request or session: the one consolidated
+ * axis over the historical per-struct knobs. -1 inherits the next
+ * level down, so the resolution order per request is
+ *
+ *   KernelRequest::resources
+ *     -> the legacy per-request fields (SpGemmOptions::num_workers /
+ *        ConvOptions::num_workers when set off their defaults)
+ *     -> SessionOptions::resources
+ *     -> the legacy SessionOptions::encode_workers
+ *     -> defaults (compute 0 = shared pool, encode 1 = serial).
+ *
+ * The legacy fields keep working as deprecated aliases; every worker
+ * partitioning in the library is bitwise deterministic, so any
+ * setting changes wall-clock only, never results.
+ */
+struct ExecutionResources
+{
+    /** Workers of the kernel-internal tile loops (SpGEMM output
+     *  tiles, conv lowered columns): 0 = shared pool, 1 = serial,
+     *  N = cap, -1 = inherit. */
+    int compute_workers = -1;
+
+    /** Workers of the word-parallel operand encoders: same contract,
+     *  -1 = inherit. */
+    int encode_workers = -1;
 };
 
 /**
@@ -141,6 +171,9 @@ struct KernelRequest
 
     /** Method::Hybrid knobs (ignored by every other method). */
     HybridOptions hybrid_options;
+
+    /** Per-request worker override (see ExecutionResources). */
+    ExecutionResources resources;
 
     // -- convolution geometry (kind == Conv) --------------------------
     ConvShape shape;
@@ -241,6 +274,116 @@ struct KernelRequest
         return (kind == Kind::Gemm &&
                 ((a && b) || (a_encoded && b_encoded))) ||
                (kind == Kind::Conv && input && b);
+    }
+
+    /**
+     * The request's operand/output datatype (the DataType axis).
+     * Stored on gemm_options so the device layer and the encoding
+     * cache keys read one field; withDataType is the request-level
+     * way to set it. Conv requests execute FP16 only.
+     */
+    DataType dataType() const { return gemm_options.dtype; }
+
+    // -- named builders -----------------------------------------------
+    //
+    // Chainable setters over the factories above:
+    //
+    //   auto req = KernelRequest::gemm(a, b)
+    //                  .withDataType(DataType::Int8)
+    //                  .withMethod(Method::DualSparse)
+    //                  .withTag("layer3");
+    //
+    // Each returns *this, so a chain stays a single expression.
+
+    KernelRequest &
+    withMethod(Method value)
+    {
+        method = value;
+        return *this;
+    }
+
+    KernelRequest &
+    withTag(std::string value)
+    {
+        tag = std::move(value);
+        return *this;
+    }
+
+    KernelRequest &
+    withSeed(uint64_t value)
+    {
+        seed = value;
+        return *this;
+    }
+
+    KernelRequest &
+    withDataType(DataType value)
+    {
+        gemm_options.dtype = value;
+        return *this;
+    }
+
+    /** Synthetic operating point: (A, B) sparsities. */
+    KernelRequest &
+    withSparsities(double a_value, double b_value)
+    {
+        a_sparsity = a_value;
+        b_sparsity = b_value;
+        return *this;
+    }
+
+    /** Synthetic operating point: (A, B) cluster factors. */
+    KernelRequest &
+    withClusters(double a_value, double b_value)
+    {
+        a_cluster = a_value;
+        b_cluster = b_value;
+        return *this;
+    }
+
+    /** Two-level K-chunk depth (the tunable dual-sparse tiling). */
+    KernelRequest &
+    withTileK(int value)
+    {
+        gemm_options.tile_k = value;
+        return *this;
+    }
+
+    /** Compute values (true) or only time (false). */
+    KernelRequest &
+    withFunctional(bool value)
+    {
+        gemm_options.functional = value;
+        return *this;
+    }
+
+    KernelRequest &
+    withOuterProduct(bool value)
+    {
+        outer_product = value;
+        return *this;
+    }
+
+    KernelRequest &
+    withLowering(Lowering value)
+    {
+        lowering = value;
+        return *this;
+    }
+
+    /** Pin the Method::Hybrid density cut. */
+    KernelRequest &
+    withHybridThreshold(double value)
+    {
+        hybrid_options.threshold = value;
+        return *this;
+    }
+
+    KernelRequest &
+    withResources(ExecutionResources value)
+    {
+        resources = value;
+        return *this;
     }
 };
 

@@ -49,15 +49,25 @@ struct SessionOptions
     int num_threads = 0;
 
     /**
-     * Worker partitioning of the word-parallel operand encoders (the
-     * dense -> two-level tile split of functional GEMM requests):
-     * 0 = the process-shared pool, 1 = serial in the requesting
-     * thread, N caps the parallelism at N. Encodings are bitwise
-     * identical for every setting. Default serial: requests batched
-     * through submitBatch already saturate the pool, and a lone
-     * caller opts in explicitly.
+     * Deprecated alias of resources.encode_workers: worker
+     * partitioning of the word-parallel operand encoders (0 = the
+     * process-shared pool, 1 = serial in the requesting thread, N
+     * caps the parallelism at N; encodings are bitwise identical for
+     * every setting). Consulted only when neither the request's nor
+     * the session's ExecutionResources sets the encode axis. Default
+     * serial: requests batched through submitBatch already saturate
+     * the pool, and a lone caller opts in explicitly.
      */
     int encode_workers = 1;
+
+    /**
+     * Session-level worker budget (see ExecutionResources in
+     * kernel_request.h): the consolidated axis over encode_workers
+     * here and the per-request SpGemmOptions::num_workers /
+     * ConvOptions::num_workers. A request's own resources field
+     * overrides these; -1 axes fall through to the legacy fields.
+     */
+    ExecutionResources resources;
 
     /** Encoded-operand cache capacity (entries, LRU eviction). */
     size_t cache_capacity = EncodingCache::kDefaultCapacity;

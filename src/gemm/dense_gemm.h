@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "common/datatype.h"
 #include "tensor/matrix.h"
 #include "timing/gpu_config.h"
 #include "timing/memory_model.h"
@@ -32,17 +33,26 @@ class DenseGemmDevice
     /**
      * Functional tiled execution (16x16x16 WMMA tiles) plus timing.
      * @p outer_product selects the OWMMA order; results are bitwise
-     * identical either way (see gemm/wmma.h).
+     * identical either way (see gemm/wmma.h). Operands quantize
+     * through the specs (FP16 by default); both must share a
+     * datatype. Integer specs accumulate codes and apply the
+     * deferred sa * sb output scale once after the K loop — dense
+     * and dual-sparse integer results are bitwise equal.
      */
     DenseGemmResult multiply(const Matrix<float> &a,
                              const Matrix<float> &b,
-                             bool outer_product = false) const;
+                             bool outer_product = false,
+                             const QuantSpec &spec_a = {},
+                             const QuantSpec &spec_b = {}) const;
 
     /**
      * Timing-only estimate for an m x n x k dense GEMM at the
-     * configured dense efficiency (FP16 operands, FP16 output).
+     * configured dense efficiency (operands and output stored at the
+     * datatype's lane width; int8/int4 double/quadruple the MAC
+     * rate).
      */
-    KernelStats timeOnly(int64_t m, int64_t n, int64_t k) const;
+    KernelStats timeOnly(int64_t m, int64_t n, int64_t k,
+                         DataType dtype = DataType::Fp16) const;
 
   private:
     GpuConfig cfg_;

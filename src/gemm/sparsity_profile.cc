@@ -102,7 +102,7 @@ SparsityProfile::selectGroups(const std::vector<int> &groups) const
 }
 
 size_t
-SparsityProfile::encodedBytes(int tile_k) const
+SparsityProfile::encodedBytes(int tile_k, DataType dtype) const
 {
     const int64_t tiles_k = ceilDiv(k_, static_cast<int64_t>(tile_k));
     size_t bytes =
@@ -113,7 +113,8 @@ SparsityProfile::encodedBytes(int tile_k) const
             if (nnz == 0)
                 continue;
             bytes += static_cast<size_t>(tile_) * tile_k / 8; // bitmap
-            bytes += static_cast<size_t>(nnz) * 2;            // FP16
+            bytes += dataTypePackedBytes(dtype,
+                                         static_cast<size_t>(nnz));
         }
     }
     return bytes;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/datatype.h"
 #include "common/rng.h"
 #include "im2col/bitmap_im2col.h"
 #include "tensor/matrix.h"
@@ -112,9 +113,11 @@ class SparsityProfile
 
     /**
      * Two-level encoded footprint in bytes: warp bitmap + element
-     * bitmaps and FP16 values of non-empty tiles.
+     * bitmaps and values (at @p dtype lane width, FP16 by default)
+     * of non-empty tiles.
      */
-    size_t encodedBytes(int tile_k) const;
+    size_t encodedBytes(int tile_k,
+                        DataType dtype = DataType::Fp16) const;
 
     // -- constructors from real operands ------------------------------
 

@@ -51,11 +51,16 @@ SpGemmDevice::multiply(const Matrix<float> &a, const Matrix<float> &b,
                 a.cols(), " * ", b.rows(), "x", b.cols());
 
     // Two-level encodings: A tiled (tile_m x tile_k) column-major,
-    // B tiled (tile_k x tile_n) row-major (Fig. 8b / Fig. 9).
+    // B tiled (tile_k x tile_n) row-major (Fig. 8b / Fig. 9). The
+    // per-matrix QuantSpec fills each side's quantized value lane.
+    const QuantSpec spec_a = QuantSpec::forValues(
+        options.dtype, a.data().data(), a.data().size());
+    const QuantSpec spec_b = QuantSpec::forValues(
+        options.dtype, b.data().data(), b.data().size());
     TwoLevelBitmapMatrix a_enc = TwoLevelBitmapMatrix::encode(
-        a, options.tile_m, options.tile_k, Major::Col);
+        a, options.tile_m, options.tile_k, Major::Col, spec_a);
     TwoLevelBitmapMatrix b_enc = TwoLevelBitmapMatrix::encode(
-        b, options.tile_k, options.tile_n, Major::Row);
+        b, options.tile_k, options.tile_n, Major::Row, spec_b);
     return multiplyEncoded(a_enc, b_enc, options);
 }
 
@@ -73,6 +78,17 @@ SpGemmDevice::multiplyEncoded(const TwoLevelBitmapMatrix &a_enc,
                     b_enc.tileCols() == options.tile_n,
                 "operand tiling must match the SpGEMM options");
     const int m = a_enc.rows(), n = b_enc.cols();
+
+    // The encodings carry the authoritative datatype: their quantized
+    // value lanes were filled at encode time, so options.dtype is
+    // only advisory here.
+    const QuantSpec &spec_a = a_enc.spec();
+    const QuantSpec &spec_b = b_enc.spec();
+    DSTC_ASSERT(spec_a.dtype == spec_b.dtype,
+                "operand datatypes must match: ",
+                dataTypeToken(spec_a.dtype), " vs ",
+                dataTypeToken(spec_b.dtype));
+    const DataType dtype = spec_a.dtype;
 
     const int tiles_m = a_enc.numTileRows();
     const int tiles_k = a_enc.numTileCols();
@@ -180,21 +196,39 @@ SpGemmDevice::multiplyEncoded(const TwoLevelBitmapMatrix &a_enc,
             (1.0 - out.p_cell_zero) * out.rows * out.cols;
     }
 
+    // Integer datatypes accumulate integer codes (exact in FP32 below
+    // 2^24); the physical scale sa * sb is applied once per output
+    // element here, after all accumulation, so the scaling cost and
+    // the determinism guarantee are both independent of tile/worker
+    // partitioning.
+    const float out_scale = QuantSpec::outputScale(spec_a, spec_b);
+    if (options.functional && out_scale != 1.0f) {
+        float *dd = result.d.data().data();
+        const size_t cells = static_cast<size_t>(m) * n;
+        for (size_t i = 0; i < cells; ++i)
+            dd[i] *= out_scale;
+    }
+
     // Compute time: LPT makespan of output-tile work over sub-cores,
-    // derated by the kernel's achievable issue efficiency.
+    // derated by the kernel's achievable issue efficiency. The int8 /
+    // int4 pipes retire 2x / 4x the MACs per OHMMA slot.
     int64_t makespan = lptMakespan(work, cfg_.totalSubcores());
     result.stats.compute_us =
         static_cast<double>(makespan) /
-        (cfg_.clock_ghz * 1e3 * cfg_.sparse_issue_efficiency);
+        (cfg_.clock_ghz * 1e3 * cfg_.sparse_issue_efficiency *
+         dataTypeComputeScale(dtype));
 
-    // Memory time: the sparse encodings are the operands' footprint;
+    // Memory time: the sparse encodings are the operands' footprint
+    // (their packed value lanes already reflect the datatype width);
     // D is written bitmap-encoded when smaller (gather-scatter
-    // write-back, Fig. 7) and dense FP16 otherwise.
+    // write-back, Fig. 7) and dense at the output lane width
+    // otherwise.
     double bytes_a = static_cast<double>(a_enc.encodedBytes());
     double bytes_b = static_cast<double>(b_enc.encodedBytes());
-    double d_dense = static_cast<double>(m) * n * 2.0;
-    double d_sparse =
-        static_cast<double>(m) * n / 8.0 + output_nnz_estimate * 2.0;
+    double d_dense =
+        static_cast<double>(m) * n * dataTypeOutputBytes(dtype);
+    double d_sparse = static_cast<double>(m) * n / 8.0 +
+                      output_nnz_estimate * dataTypeOutputBytes(dtype);
     double bytes_d = options.sparse_output
                          ? std::min(d_dense, d_sparse)
                          : d_dense;
@@ -316,17 +350,19 @@ SpGemmDevice::timeFromProfiles(const SparsityProfile &a,
     int64_t makespan = lptMakespan(work, cfg_.totalSubcores());
     stats.compute_us =
         static_cast<double>(makespan) /
-        (cfg_.clock_ghz * 1e3 * cfg_.sparse_issue_efficiency);
+        (cfg_.clock_ghz * 1e3 * cfg_.sparse_issue_efficiency *
+         dataTypeComputeScale(options.dtype));
 
     const int64_t m = static_cast<int64_t>(tiles_m) * options.tile_m;
     const int64_t n = static_cast<int64_t>(tiles_n) * options.tile_n;
     const double bytes_a =
-        static_cast<double>(a.encodedBytes(options.tile_k));
+        static_cast<double>(a.encodedBytes(options.tile_k, options.dtype));
     const double bytes_b =
-        static_cast<double>(b.encodedBytes(options.tile_k));
-    const double d_dense = static_cast<double>(m) * n * 2.0;
+        static_cast<double>(b.encodedBytes(options.tile_k, options.dtype));
+    const double out_bytes = dataTypeOutputBytes(options.dtype);
+    const double d_dense = static_cast<double>(m) * n * out_bytes;
     const double d_sparse = static_cast<double>(m) * n / 8.0 +
-                            output_nnz_estimate * 2.0;
+                            output_nnz_estimate * out_bytes;
     const double bytes_d = options.sparse_output
                                ? std::min(d_dense, d_sparse)
                                : d_dense;

@@ -27,6 +27,16 @@ struct SpGemmOptions
     /** Use the warp-bitmap to skip empty tiles (two-level format). */
     bool two_level = true;
 
+    /**
+     * Operand datatype of the modeled datapath. The functional paths
+     * take the authoritative QuantSpec off the encodings (multiply()
+     * builds it from this field; multiplyEncoded trusts the operands
+     * it is given); the profile-only timing path uses this field
+     * directly — narrower lanes shrink the encoded operand traffic
+     * and the int8/int4 pipes double/quadruple the MAC rate.
+     */
+    DataType dtype = DataType::Fp16;
+
     /** Compute values (tests/examples) or only time (big sweeps). */
     bool functional = true;
 

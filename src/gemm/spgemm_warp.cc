@@ -172,86 +172,6 @@ SpGemmWarpEngine::computeTile(const BitmapMatrix &a_tile,
 }
 
 WarpTileResult
-SpGemmWarpEngine::computeTileScalar(const BitmapMatrix &a_tile,
-                                    const BitmapMatrix &b_tile,
-                                    Matrix<float> *accum,
-                                    bool detailed_merge) const
-{
-    checkTilePair(a_tile, b_tile, shape_);
-    const int m = a_tile.rows();
-    const int n = b_tile.cols();
-    const int k = a_tile.cols();
-    if (accum) {
-        DSTC_ASSERT(accum->rows() == m && accum->cols() == n);
-    }
-
-    WarpProgram prog;
-    MergeTrace trace;
-    WarpTileResult result;
-
-    for (int step = 0; step < k; ++step) {
-        // The hardware POPCs the A-column / B-row bitmaps (Fig. 15).
-        const int popc_a = a_tile.lineNnz(step);
-        const int popc_b = b_tile.lineNnz(step);
-        buildSpWmmaSet(prog, step, popc_a, popc_b, shape_);
-        if (popc_a == 0 || popc_b == 0)
-            continue;
-
-        const auto pos_a = a_tile.linePositions(step, 0, m);
-        const auto pos_b = b_tile.linePositions(step, 0, n);
-        const auto val_a = a_tile.lineValues(step);
-        const auto val_b = b_tile.lineValues(step);
-
-        // multiply-value on the condensed operands: each OHMMA covers
-        // an (8 x 16) chunk pair; non-padding products scatter into
-        // the tile at the positions the multiply-bitmap recovers.
-        for (int ac = 0; ac < ceilDiv(popc_a, shape_.a_chunk); ++ac) {
-            for (int bc = 0; bc < ceilDiv(popc_b, shape_.b_chunk);
-                 ++bc) {
-                std::vector<int> addrs;
-                const int a_lo = ac * shape_.a_chunk;
-                const int a_hi =
-                    std::min(popc_a, a_lo + shape_.a_chunk);
-                const int b_lo = bc * shape_.b_chunk;
-                const int b_hi =
-                    std::min(popc_b, b_lo + shape_.b_chunk);
-                for (int ia = a_lo; ia < a_hi; ++ia) {
-                    const float av = roundToFp16(val_a[ia]);
-                    for (int ib = b_lo; ib < b_hi; ++ib) {
-                        if (accum) {
-                            accum->at(pos_a[ia], pos_b[ib]) +=
-                                av * roundToFp16(val_b[ib]);
-                        }
-                        addrs.push_back(pos_a[ia] * n + pos_b[ib]);
-                        ++result.macs;
-                    }
-                }
-                result.merge_accesses +=
-                    static_cast<int64_t>(addrs.size());
-                trace.instr_addrs.push_back(std::move(addrs));
-            }
-        }
-    }
-
-    result.mix = prog.mix();
-    result.issue_cycles = result.mix.tensorCycles();
-    // Scalar pipe: one slot per surviving (non-compacted) k-step for
-    // the POPC/predicate work, plus the per-tile occupancy-bitmap
-    // AND that drives the k-compaction.
-    result.scalar_cycles = result.mix.bohmma + 2;
-    if (detailed_merge) {
-        AccumBufferSim sim(cfg_.accum_banks, cfg_.operand_collector,
-                           cfg_.collector_window);
-        result.merge_cycles = sim.simulateSparse(trace);
-    } else {
-        result.merge_cycles = static_cast<int64_t>(
-            merge_model_.tileCycles(result.merge_accesses,
-                                    result.mix.ohmma_issued));
-    }
-    return result;
-}
-
-WarpTileResult
 SpGemmWarpEngine::timeTile(
     const std::vector<std::pair<int, int>> &popcs) const
 {

@@ -127,12 +127,24 @@ class SpGemmWarpEngine
      * The pre-word-parallel per-element path, kept verbatim as the
      * reference model: the equivalence tests assert the word path
      * reproduces its results, stats and cycles bit-for-bit, and the
-     * micro bench reports speedup against it.
+     * micro bench reports speedup against it. Unlike the word path —
+     * which multiplies the pre-quantized lane the encoder filled —
+     * this reference re-quantizes each raw operand value through
+     * @p spec_a / @p spec_b per element, so the pin also verifies
+     * that encode-time quantization equals compute-time
+     * quantization. Specs default to the FP16 datapath.
+     *
+     * Defined in the test-only `dstc_reference` library (see
+     * reference/scalar_spgemm.cc), which tests and benches link on
+     * top of `dstc`; the shipped library carries the word-parallel
+     * kernel alone.
      */
     WarpTileResult computeTileScalar(const BitmapMatrix &a_tile,
                                      const BitmapMatrix &b_tile,
                                      Matrix<float> *accum,
-                                     bool detailed_merge = false) const;
+                                     bool detailed_merge = false,
+                                     const QuantSpec &spec_a = {},
+                                     const QuantSpec &spec_b = {}) const;
 
     /**
      * Timing-only execution from POPC results: @p popcs holds one

@@ -7,7 +7,8 @@ namespace dstc {
 
 Matrix<float>
 wmmaInner(const Matrix<float> &a, const Matrix<float> &b,
-          const Matrix<float> *c)
+          const Matrix<float> *c, const QuantSpec &spec_a,
+          const QuantSpec &spec_b)
 {
     DSTC_ASSERT(a.cols() == b.rows());
     Matrix<float> d(a.rows(), b.cols());
@@ -16,18 +17,18 @@ wmmaInner(const Matrix<float> &a, const Matrix<float> &b,
         d = *c;
     }
     // FEDP: per output element a running dot product over ascending
-    // k. Quantize both fragments once up front (rounding is a pure
-    // per-element function) and walk i-k-j so the inner loop streams
-    // a row of B; each output element still receives exactly the same
-    // products in the same k order, so results are bit-identical to
-    // the per-element formulation.
+    // k. Quantize both fragments once up front (quantization is a
+    // pure per-element function) and walk i-k-j so the inner loop
+    // streams a row of B; each output element still receives exactly
+    // the same products in the same k order, so results are
+    // bit-identical to the per-element formulation.
     Matrix<float> ah(a.rows(), a.cols()), bh(b.rows(), b.cols());
     for (int i = 0; i < a.rows(); ++i)
         for (int k = 0; k < a.cols(); ++k)
-            ah.at(i, k) = roundToFp16(a.at(i, k));
+            ah.at(i, k) = spec_a.apply(a.at(i, k));
     for (int k = 0; k < b.rows(); ++k)
         for (int j = 0; j < b.cols(); ++j)
-            bh.at(k, j) = roundToFp16(b.at(k, j));
+            bh.at(k, j) = spec_b.apply(b.at(k, j));
     for (int i = 0; i < a.rows(); ++i) {
         for (int k = 0; k < a.cols(); ++k) {
             const float av = ah.at(i, k);
@@ -40,7 +41,8 @@ wmmaInner(const Matrix<float> &a, const Matrix<float> &b,
 
 Matrix<float>
 wmmaOuter(const Matrix<float> &a, const Matrix<float> &b,
-          const Matrix<float> *c)
+          const Matrix<float> *c, const QuantSpec &spec_a,
+          const QuantSpec &spec_b)
 {
     DSTC_ASSERT(a.cols() == b.rows());
     Matrix<float> d(a.rows(), b.cols());
@@ -54,10 +56,10 @@ wmmaOuter(const Matrix<float> &a, const Matrix<float> &b,
     Matrix<float> bh(b.rows(), b.cols());
     for (int k = 0; k < b.rows(); ++k)
         for (int j = 0; j < b.cols(); ++j)
-            bh.at(k, j) = roundToFp16(b.at(k, j));
+            bh.at(k, j) = spec_b.apply(b.at(k, j));
     for (int k = 0; k < a.cols(); ++k) {
         for (int i = 0; i < a.rows(); ++i) {
-            float av = roundToFp16(a.at(i, k));
+            float av = spec_a.apply(a.at(i, k));
             if (av == 0.0f)
                 continue;
             for (int j = 0; j < b.cols(); ++j)

@@ -13,17 +13,27 @@
 #ifndef DSTC_GEMM_WMMA_H
 #define DSTC_GEMM_WMMA_H
 
+#include "common/datatype.h"
 #include "tensor/matrix.h"
 
 namespace dstc {
 
-/** D = A x B (+C) with FEDP (inner-product) evaluation order. */
+/**
+ * D = A x B (+C) with FEDP (inner-product) evaluation order.
+ * Operands quantize through the given specs (FP16 by default);
+ * integer specs accumulate raw codes — the caller applies the
+ * deferred sa * sb output scale after its last accumulation.
+ */
 Matrix<float> wmmaInner(const Matrix<float> &a, const Matrix<float> &b,
-                        const Matrix<float> *c = nullptr);
+                        const Matrix<float> *c = nullptr,
+                        const QuantSpec &spec_a = {},
+                        const QuantSpec &spec_b = {});
 
 /** D = A x B (+C) with FEOP (outer-product, rank-1 update) order. */
 Matrix<float> wmmaOuter(const Matrix<float> &a, const Matrix<float> &b,
-                        const Matrix<float> *c = nullptr);
+                        const Matrix<float> *c = nullptr,
+                        const QuantSpec &spec_a = {},
+                        const QuantSpec &spec_b = {});
 
 } // namespace dstc
 

@@ -75,7 +75,7 @@ sramAreaMm2(double kbytes, int banks, int node_nm)
 }
 
 OverheadReport
-estimateOverhead(const GpuConfig &cfg)
+estimateOverhead(const GpuConfig &cfg, DataType dtype)
 {
     OverheadReport report;
     const double subcores = cfg.totalSubcores();
@@ -85,6 +85,18 @@ estimateOverhead(const GpuConfig &cfg)
     const double adders = subcores * cfg.accum_banks;
     report.components.push_back(
         {"Float Point Adders", adders * kAdderMm2, adders * kAdderW});
+
+    // Integer datatypes add an INT32 accumulate mode beside the FP32
+    // adders. A 32-bit integer adder is a small fraction of an FP32
+    // adder (no alignment shifter / normalizer), so charge the mode
+    // at that fraction of the FP constants.
+    if (dataTypeIsInteger(dtype)) {
+        constexpr double kIntAdderFraction = 0.3;
+        report.components.push_back(
+            {"INT32 Accumulate Adders",
+             adders * kAdderMm2 * kIntAdderFraction,
+             adders * kAdderW * kIntAdderFraction});
+    }
 
     // Accumulation operand collector (Fig. 20): queues + crossbar.
     const double entries = subcores * cfg.collector_window;

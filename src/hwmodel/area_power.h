@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/datatype.h"
 #include "timing/gpu_config.h"
 
 namespace dstc {
@@ -53,8 +54,15 @@ double nodeAreaScale(int from_nm, int to_nm);
  */
 double sramAreaMm2(double kbytes, int banks, int node_nm);
 
-/** Overhead of the dual-side sparse extension on @p cfg. */
-OverheadReport estimateOverhead(const GpuConfig &cfg);
+/**
+ * Overhead of the dual-side sparse extension on @p cfg. When @p dtype
+ * is an integer datatype, the accumulation adders additionally carry
+ * an INT32 accumulate mode (the IMMA-style datapath); integer adders
+ * are far smaller than the FP32 ones, so the extra mode shows up as a
+ * modest fourth component rather than a doubling.
+ */
+OverheadReport estimateOverhead(const GpuConfig &cfg,
+                                DataType dtype = DataType::Fp16);
 
 } // namespace dstc
 

@@ -6,14 +6,17 @@ namespace dstc {
 
 EnergyReport
 estimateEnergy(const KernelStats &stats, const EnergyParams &params,
-               const GpuConfig &cfg)
+               const GpuConfig &cfg, DataType dtype)
 {
     EnergyReport report;
 
     // Tensor-core math: issued OHMMAs each perform a full chunk of
     // MACs (padding lanes burn energy too — condensing is not free);
     // HMMA is the dense primitive; BOHMMA processes a 32x32 binary
-    // tile per instruction.
+    // tile per instruction. The per-MAC energy follows the request
+    // datatype (bitmap/POPC machinery does not).
+    const double mac_pj =
+        params.fp16_mac_pj * dataTypeMacEnergyScale(dtype);
     const double ohmma_macs =
         static_cast<double>(stats.mix.ohmma_issued) * cfg.ohmma_macs;
     const double hmma_macs =
@@ -21,7 +24,7 @@ estimateEnergy(const KernelStats &stats, const EnergyParams &params,
     const double bohmma_bitops =
         static_cast<double>(stats.mix.bohmma) * 32 * 32;
     report.compute_uj =
-        (ohmma_macs + hmma_macs) * params.fp16_mac_pj * 1e-6 +
+        (ohmma_macs + hmma_macs) * mac_pj * 1e-6 +
         bohmma_bitops * params.binary_mac_pj * 1e-6 +
         static_cast<double>(stats.mix.popc) * params.popc_pj * 1e-6;
 
@@ -38,15 +41,17 @@ estimateEnergy(const KernelStats &stats, const EnergyParams &params,
 
 EnergyReport
 denseGemmEnergy(int64_t m, int64_t n, int64_t k,
-                const EnergyParams &params, const GpuConfig &cfg)
+                const EnergyParams &params, const GpuConfig &cfg,
+                DataType dtype)
 {
     DenseGemmDevice device(cfg);
-    KernelStats stats = device.timeOnly(m, n, k);
+    KernelStats stats = device.timeOnly(m, n, k, dtype);
     // The dense kernel has no bitmap/POPC/merge machinery: charge
     // pure MAC + DRAM + static energy.
     EnergyReport report;
     report.compute_uj = static_cast<double>(m) * n * k *
-                        params.fp16_mac_pj * 1e-6;
+                        params.fp16_mac_pj *
+                        dataTypeMacEnergyScale(dtype) * 1e-6;
     report.dram_uj = stats.dram_bytes * params.dram_pj_per_byte * 1e-6;
     report.static_uj = params.static_w * stats.timeUs(); // W*us = uJ
     return report;

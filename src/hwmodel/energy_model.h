@@ -13,6 +13,7 @@
 #ifndef DSTC_HWMODEL_ENERGY_MODEL_H
 #define DSTC_HWMODEL_ENERGY_MODEL_H
 
+#include "common/datatype.h"
 #include "timing/gpu_config.h"
 #include "timing/stats.h"
 
@@ -46,18 +47,26 @@ struct EnergyReport
     }
 };
 
-/** Charge the per-op energies against a kernel's statistics. */
+/**
+ * Charge the per-op energies against a kernel's statistics. @p dtype
+ * scales the MAC terms by dataTypeMacEnergyScale (narrow integer
+ * multipliers are far cheaper than the FP16 pipe); the bitmap, POPC,
+ * merge and DRAM terms already reflect the datatype through the
+ * stats record itself (traffic shrinks with the lane width).
+ */
 EnergyReport estimateEnergy(const KernelStats &stats,
                             const EnergyParams &params,
-                            const GpuConfig &cfg);
+                            const GpuConfig &cfg,
+                            DataType dtype = DataType::Fp16);
 
 /**
- * Dense-GEMM energy for the same m x n x k work: the baseline an
- * efficiency ratio is formed against.
+ * Dense-GEMM energy for the same m x n x k work at @p dtype: the
+ * baseline an efficiency ratio is formed against.
  */
 EnergyReport denseGemmEnergy(int64_t m, int64_t n, int64_t k,
                              const EnergyParams &params,
-                             const GpuConfig &cfg);
+                             const GpuConfig &cfg,
+                             DataType dtype = DataType::Fp16);
 
 } // namespace dstc
 

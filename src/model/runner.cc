@@ -68,7 +68,7 @@ splitModelMethod(ModelMethod method, Method *out_method,
 
 std::vector<KernelRequest>
 ModelRunner::layerRequests(const DnnModel &model, ModelMethod method,
-                           uint64_t seed)
+                           uint64_t seed, DataType dtype)
 {
     Method registry_method;
     Lowering lowering;
@@ -98,6 +98,9 @@ ModelRunner::layerRequests(const DnnModel &model, ModelMethod method,
         req.b_cluster = layer.weight_cluster;
         req.seed = seed++;
         req.tag = layer.name;
+        // Conv layers above stay on the FP16 datapath; the datatype
+        // axis applies to the GEMM layers only.
+        req.withDataType(dtype);
         requests.push_back(std::move(req));
     }
     return requests;
@@ -105,13 +108,13 @@ ModelRunner::layerRequests(const DnnModel &model, ModelMethod method,
 
 ModelRunResult
 ModelRunner::run(const DnnModel &model, ModelMethod method,
-                 uint64_t seed) const
+                 uint64_t seed, DataType dtype) const
 {
     ModelRunResult result;
     result.model = model.name;
     result.method = method;
     for (const KernelRequest &req :
-         layerRequests(model, method, seed)) {
+         layerRequests(model, method, seed, dtype)) {
         KernelReport report = session_.run(req);
         result.layers.push_back(
             {report.tag, report.stats, report.backend});
@@ -121,13 +124,13 @@ ModelRunner::run(const DnnModel &model, ModelMethod method,
 
 ModelRunResult
 ModelRunner::runBatched(const DnnModel &model, ModelMethod method,
-                        uint64_t seed) const
+                        uint64_t seed, DataType dtype) const
 {
     ModelRunResult result;
     result.model = model.name;
     result.method = method;
-    for (KernelReport &report :
-         session_.runBatch(layerRequests(model, method, seed))) {
+    for (KernelReport &report : session_.runBatch(
+             layerRequests(model, method, seed, dtype))) {
         result.layers.push_back({std::move(report.tag), report.stats,
                                  std::move(report.backend)});
     }
@@ -136,13 +139,14 @@ ModelRunner::runBatched(const DnnModel &model, ModelMethod method,
 
 ModelRunResult
 ModelRunner::runSharded(Cluster &cluster, const DnnModel &model,
-                        ModelMethod method, uint64_t seed)
+                        ModelMethod method, uint64_t seed,
+                        DataType dtype)
 {
     ModelRunResult result;
     result.model = model.name;
     result.method = method;
-    for (KernelReport &report :
-         cluster.runBatch(layerRequests(model, method, seed))) {
+    for (KernelReport &report : cluster.runBatch(
+             layerRequests(model, method, seed, dtype))) {
         result.layers.push_back({std::move(report.tag), report.stats,
                                  std::move(report.backend),
                                  report.device});

@@ -71,22 +71,27 @@ class ModelRunner
     /**
      * The per-layer KernelRequests of @p model under @p method.
      * Deterministic for a given @p seed; sparsity patterns follow
-     * each layer's (sparsity, cluster) operating point.
+     * each layer's (sparsity, cluster) operating point. @p dtype sets
+     * the datatype of every GEMM layer; conv layers always run the
+     * FP16 datapath (the conv pipeline has no quantized lowering).
      */
     static std::vector<KernelRequest>
     layerRequests(const DnnModel &model, ModelMethod method,
-                  uint64_t seed = 1);
+                  uint64_t seed = 1,
+                  DataType dtype = DataType::Fp16);
 
     /** Time every layer of @p model under @p method, serially. */
     ModelRunResult run(const DnnModel &model, ModelMethod method,
-                       uint64_t seed = 1) const;
+                       uint64_t seed = 1,
+                       DataType dtype = DataType::Fp16) const;
 
     /**
      * Same as run(), executed as one submitBatch() on the session's
      * worker pool. Statistics are bitwise identical to run().
      */
     ModelRunResult runBatched(const DnnModel &model, ModelMethod method,
-                              uint64_t seed = 1) const;
+                              uint64_t seed = 1,
+                              DataType dtype = DataType::Fp16) const;
 
     /**
      * Data-parallel layer execution over a Cluster: the layer batch
@@ -99,7 +104,8 @@ class ModelRunner
     static ModelRunResult runSharded(Cluster &cluster,
                                      const DnnModel &model,
                                      ModelMethod method,
-                                     uint64_t seed = 1);
+                                     uint64_t seed = 1,
+                                     DataType dtype = DataType::Fp16);
 
   private:
     Session &session_;

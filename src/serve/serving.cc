@@ -26,6 +26,7 @@ ServingEngine::ServingEngine(ServingOptions options,
     copts.policy = PlacementPolicy::RoundRobin;
     copts.num_threads = options_.num_threads;
     copts.encode_workers = options_.encode_workers;
+    copts.resources = options_.resources;
     cluster_ = std::make_unique<Cluster>(std::move(copts));
 }
 

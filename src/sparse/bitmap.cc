@@ -21,7 +21,8 @@ BitmapMatrix::posOf(int r, int c) const
 }
 
 BitmapMatrix
-BitmapMatrix::encode(const Matrix<float> &dense, Major major)
+BitmapMatrix::encode(const Matrix<float> &dense, Major major,
+                     const QuantSpec &spec)
 {
     BitmapMatrix bm;
     bm.rows_ = dense.rows();
@@ -44,7 +45,7 @@ BitmapMatrix::encode(const Matrix<float> &dense, Major major)
                     pos;
                 setBit(bm.bits_, bitpos);
                 bm.values_.push_back(v);
-                bm.values_fp16_.push_back(roundToFp16(v));
+                bm.values_fp16_.push_back(spec.apply(v));
             }
         }
         bm.line_offsets_[line + 1] =
@@ -54,7 +55,8 @@ BitmapMatrix::encode(const Matrix<float> &dense, Major major)
 }
 
 BitmapMatrix
-BitmapMatrix::encodePlane(const float *data, int rows, int cols)
+BitmapMatrix::encodePlane(const float *data, int rows, int cols,
+                          const QuantSpec &spec)
 {
     BitmapMatrix bm;
     bm.rows_ = rows;
@@ -70,12 +72,12 @@ BitmapMatrix::encodePlane(const float *data, int rows, int cols)
     packRowsAndGatherValues(data, rows, cols, bm.words_per_line_,
                             bm.bits_.data(), bm.values_,
                             bm.line_offsets_.data());
-    // The FP16 mirror rounds in its own contiguous pass, where the
-    // independent iterations pipeline instead of serializing behind
-    // each ctz step.
+    // The quantized mirror rounds in its own contiguous pass, where
+    // the independent iterations pipeline instead of serializing
+    // behind each ctz step.
     bm.values_fp16_.resize(bm.values_.size());
     for (size_t i = 0; i < bm.values_.size(); ++i)
-        bm.values_fp16_[i] = roundToFp16(bm.values_[i]);
+        bm.values_fp16_[i] = spec.apply(bm.values_[i]);
     return bm;
 }
 
@@ -178,13 +180,14 @@ BitmapMatrix::lineValuesRange(int line, int lo, int hi) const
 }
 
 size_t
-BitmapMatrix::encodedBytes() const
+BitmapMatrix::encodedBytes(DataType dtype) const
 {
-    // Bitmap bits (1 per element) + FP16 values + per-line offsets
-    // (one 32-bit word per line, as the row-offset field in Fig. 11b).
+    // Bitmap bits (1 per element) + values at the datatype's lane
+    // width + per-line offsets (one 32-bit word per line, as the
+    // row-offset field in Fig. 11b).
     size_t bitmap_bytes = ceilDiv(
         static_cast<size_t>(rows_) * cols_, size_t{8});
-    return bitmap_bytes + values_.size() * 2 +
+    return bitmap_bytes + dataTypePackedBytes(dtype, values_.size()) +
            static_cast<size_t>(numLines()) * 4;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/bitutil.h"
+#include "common/datatype.h"
 #include "tensor/matrix.h"
 
 namespace dstc {
@@ -34,8 +35,14 @@ class BitmapMatrix
   public:
     BitmapMatrix() = default;
 
-    /** Encode a dense matrix. Exact zeros become bitmap zeros. */
-    static BitmapMatrix encode(const Matrix<float> &dense, Major major);
+    /**
+     * Encode a dense matrix. Exact zeros become bitmap zeros; the
+     * quantized value lane is filled by @p spec (default: the FP16
+     * rounding of the seed pipeline). A non-zero that quantizes to 0
+     * keeps its bit, so the bitmap is datatype-invariant.
+     */
+    static BitmapMatrix encode(const Matrix<float> &dense, Major major,
+                               const QuantSpec &spec = {});
 
     /**
      * Encode a row-major contiguous plane (rows x cols floats) as a
@@ -44,7 +51,8 @@ class BitmapMatrix
      * are built 64 elements per output word.
      */
     static BitmapMatrix encodePlane(const float *data, int rows,
-                                    int cols);
+                                    int cols,
+                                    const QuantSpec &spec = {});
 
     /**
      * Assemble a bitmap matrix from already-packed parts: per-line
@@ -126,11 +134,13 @@ class BitmapMatrix
     }
 
     /**
-     * The same values pre-rounded through FP16 — the quantization
-     * the Tensor Core datapath applies to its multiply operands.
+     * The same values pre-quantized through the encode-time
+     * QuantSpec — the lane the modeled datapath multiplies
+     * (precision-rounded for fp16/bf16, integer codes for int8/int4).
      * Computed once at encode time so the hot multiply loop never
      * re-rounds (an A tile's lines are re-read once per output tile
-     * column).
+     * column). Named for the FP16 default; lineValuesQuant is the
+     * datatype-general alias.
      */
     std::span<const float>
     lineValuesFp16(int line) const
@@ -138,6 +148,14 @@ class BitmapMatrix
         DSTC_ASSERT(line >= 0 && line < numLines());
         return {values_fp16_.data() + line_offsets_[line],
                 static_cast<size_t>(lineNnz(line))};
+    }
+
+    /** The quantized value lane of one line (alias of
+     *  lineValuesFp16, which predates the datatype axis). */
+    std::span<const float>
+    lineValuesQuant(int line) const
+    {
+        return lineValuesFp16(line);
     }
 
     /**
@@ -158,8 +176,9 @@ class BitmapMatrix
                 static_cast<size_t>(words_per_line_)};
     }
 
-    /** Bytes occupied by this encoding (bitmap + FP16 values). */
-    size_t encodedBytes() const;
+    /** Bytes occupied by this encoding: bitmap + values packed at
+     *  @p dtype width (FP16 by default; int4 nibble-packs). */
+    size_t encodedBytes(DataType dtype = DataType::Fp16) const;
 
     /** Non-zero positions of line [lo, hi) (for gather/scatter). */
     std::vector<int> linePositions(int line, int lo, int hi) const;
@@ -198,7 +217,7 @@ class BitmapMatrix
     int words_per_line_ = 0;
     std::vector<uint64_t> bits_;      ///< words_per_line_ words per line
     std::vector<float> values_;       ///< packed non-zeros, line order
-    std::vector<float> values_fp16_;  ///< values_ rounded through FP16
+    std::vector<float> values_fp16_;  ///< values_ through QuantSpec::apply
     std::vector<int> line_offsets_;   ///< per-line prefix sums into values_
 };
 

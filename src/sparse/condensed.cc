@@ -5,7 +5,8 @@
 namespace dstc {
 
 CondensedMatrix
-CondensedMatrix::fromBitmap(const BitmapMatrix &bm, int chunk)
+CondensedMatrix::fromBitmap(const BitmapMatrix &bm, int chunk,
+                            bool quantized_lane)
 {
     DSTC_ASSERT(chunk > 0);
     CondensedMatrix cm;
@@ -13,7 +14,8 @@ CondensedMatrix::fromBitmap(const BitmapMatrix &bm, int chunk)
     cm.lines_.resize(bm.numLines());
     cm.nnz_.resize(bm.numLines());
     for (int i = 0; i < bm.numLines(); ++i) {
-        auto vals = bm.lineValues(i);
+        auto vals = quantized_lane ? bm.lineValuesQuant(i)
+                                   : bm.lineValues(i);
         cm.nnz_[i] = static_cast<int>(vals.size());
         std::vector<float> padded(vals.begin(), vals.end());
         padded.resize(alignUp(cm.nnz_[i], chunk), 0.0f);

@@ -26,8 +26,12 @@ class CondensedMatrix
     /**
      * Condense a bitmap matrix. @p chunk is the OTC tile dimension on
      * this operand's side; every line is padded to a multiple of it.
+     * With @p quantized_lane the condensed vectors carry the
+     * encode-time quantized values (the lane the datapath actually
+     * multiplies — lineValuesQuant) instead of the raw FP32 mirror.
      */
-    static CondensedMatrix fromBitmap(const BitmapMatrix &bm, int chunk);
+    static CondensedMatrix fromBitmap(const BitmapMatrix &bm, int chunk,
+                                      bool quantized_lane = false);
 
     int numLines() const { return static_cast<int>(lines_.size()); }
     int chunk() const { return chunk_; }

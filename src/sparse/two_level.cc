@@ -8,7 +8,8 @@ namespace dstc {
 
 TwoLevelBitmapMatrix
 TwoLevelBitmapMatrix::encode(const Matrix<float> &dense, int tile_rows,
-                             int tile_cols, Major major)
+                             int tile_cols, Major major,
+                             const QuantSpec &spec)
 {
     DSTC_ASSERT(tile_rows > 0 && tile_cols > 0);
     TwoLevelBitmapMatrix tl;
@@ -19,6 +20,7 @@ TwoLevelBitmapMatrix::encode(const Matrix<float> &dense, int tile_rows,
     tl.n_tile_rows_ = ceilDiv(dense.rows(), tile_rows);
     tl.n_tile_cols_ = ceilDiv(dense.cols(), tile_cols);
     tl.major_ = major;
+    tl.spec_ = spec;
 
     int n_tiles = tl.n_tile_rows_ * tl.n_tile_cols_;
     tl.warp_bits_.assign(ceilDiv(n_tiles, 64), 0);
@@ -40,7 +42,7 @@ TwoLevelBitmapMatrix::encode(const Matrix<float> &dense, int tile_rows,
                 }
             }
             int ti = tl.tileIndex(tr, tc);
-            tl.tiles_[ti] = BitmapMatrix::encode(sub, major);
+            tl.tiles_[ti] = BitmapMatrix::encode(sub, major, spec);
             if (any)
                 setBit(tl.warp_bits_, ti);
         }
@@ -51,7 +53,8 @@ TwoLevelBitmapMatrix::encode(const Matrix<float> &dense, int tile_rows,
 TwoLevelBitmapMatrix
 TwoLevelBitmapMatrix::fromTiles(int rows, int cols, int tile_rows,
                                 int tile_cols, Major major,
-                                std::vector<BitmapMatrix> tiles)
+                                std::vector<BitmapMatrix> tiles,
+                                const QuantSpec &spec)
 {
     DSTC_ASSERT(tile_rows > 0 && tile_cols > 0);
     TwoLevelBitmapMatrix tl;
@@ -62,6 +65,7 @@ TwoLevelBitmapMatrix::fromTiles(int rows, int cols, int tile_rows,
     tl.n_tile_rows_ = ceilDiv(rows, tile_rows);
     tl.n_tile_cols_ = ceilDiv(cols, tile_cols);
     tl.major_ = major;
+    tl.spec_ = spec;
 
     const int n_tiles = tl.n_tile_rows_ * tl.n_tile_cols_;
     DSTC_ASSERT(static_cast<int>(tiles.size()) == n_tiles,
@@ -104,7 +108,7 @@ TwoLevelBitmapMatrix::selectTileRows(
         for (int tc = 0; tc < n_tile_cols_; ++tc)
             tiles.push_back(tiles_[tileIndex(tr, tc)]);
     return fromTiles(sliced_rows, cols_, tile_rows_, tile_cols_,
-                     major_, std::move(tiles));
+                     major_, std::move(tiles), spec_);
 }
 
 Matrix<float>
@@ -177,7 +181,8 @@ TwoLevelBitmapMatrix::encodedBytes() const
             const auto &t = tiles_[tileIndex(tr, tc)];
             bytes += ceilDiv(static_cast<size_t>(t.rows()) * t.cols(),
                              size_t{8});
-            bytes += static_cast<size_t>(t.nnz()) * 2;
+            bytes += dataTypePackedBytes(
+                spec_.dtype, static_cast<size_t>(t.nnz()));
         }
     }
     return bytes;

@@ -27,10 +27,14 @@ class TwoLevelBitmapMatrix
      * Encode a dense matrix with @p tile_rows x @p tile_cols warp
      * tiles. Partial edge tiles are allowed. Values within each tile
      * are packed in @p major order (Col for the A operand, Row for B).
+     * @p spec fills every tile's quantized value lane; integer specs
+     * must carry the *matrix-global* scale (tiles of one operand
+     * share it), which is why the spec is computed by the caller.
      */
     static TwoLevelBitmapMatrix encode(const Matrix<float> &dense,
                                        int tile_rows, int tile_cols,
-                                       Major major);
+                                       Major major,
+                                       const QuantSpec &spec = {});
 
     /**
      * Assemble a two-level matrix from already-encoded warp tiles,
@@ -38,12 +42,16 @@ class TwoLevelBitmapMatrix
      * clipped edge tiles included. The warp-bitmap is derived from
      * each tile's nnz. This is the word-parallel construction path:
      * producers that already hold per-tile bitmaps (the implicit
-     * im2col) skip the dense staging of encode() entirely.
+     * im2col) skip the dense staging of encode() entirely. @p spec
+     * records the quantization the tiles' value lanes were built
+     * with (it is bookkeeping here — the tiles already hold their
+     * lane values).
      */
     static TwoLevelBitmapMatrix fromTiles(int rows, int cols,
                                           int tile_rows, int tile_cols,
                                           Major major,
-                                          std::vector<BitmapMatrix> tiles);
+                                          std::vector<BitmapMatrix> tiles,
+                                          const QuantSpec &spec = {});
 
     /** Reconstruct the dense matrix. */
     Matrix<float> decode() const;
@@ -68,6 +76,9 @@ class TwoLevelBitmapMatrix
     int numTileRows() const { return n_tile_rows_; }
     int numTileCols() const { return n_tile_cols_; }
 
+    /** The quantization the value lanes were encoded with. */
+    const QuantSpec &spec() const { return spec_; }
+
     /** Warp-bitmap bit: true iff tile (tr, tc) holds any non-zero. */
     bool tileNonEmpty(int tr, int tc) const;
 
@@ -89,8 +100,10 @@ class TwoLevelBitmapMatrix
 
     /**
      * Bytes occupied: warp-bitmap + element bitmaps of non-empty
-     * tiles + FP16 values. Empty tiles store only their warp-bit,
-     * which is how very sparse matrices shrink (paper Sec. VI-D).
+     * tiles + values at the encoding datatype's lane width (FP16 by
+     * default, half that for int8, a quarter for int4). Empty tiles
+     * store only their warp-bit, which is how very sparse matrices
+     * shrink (paper Sec. VI-D).
      */
     size_t encodedBytes() const;
 
@@ -101,6 +114,7 @@ class TwoLevelBitmapMatrix
     int tile_rows_ = 0, tile_cols_ = 0;
     int n_tile_rows_ = 0, n_tile_cols_ = 0;
     Major major_ = Major::Row;
+    QuantSpec spec_;
     std::vector<uint64_t> warp_bits_;
     std::vector<BitmapMatrix> tiles_;
 };

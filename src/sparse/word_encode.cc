@@ -77,12 +77,13 @@ wordEncodeBits(const Matrix<float> &dense, Major major,
 }
 
 BitmapMatrix
-wordEncodeBitmap(const Matrix<float> &dense, Major major)
+wordEncodeBitmap(const Matrix<float> &dense, Major major,
+                 const QuantSpec &spec)
 {
     const int rows = dense.rows(), cols = dense.cols();
     if (major == Major::Row)
         return BitmapMatrix::encodePlane(dense.data().data(), rows,
-                                         cols);
+                                         cols, spec);
 
     // Pass 1, fused: row bitmap words plus the non-zeros packed in
     // row-major order (packRowsAndGatherValues) — the dense matrix
@@ -134,11 +135,11 @@ wordEncodeBitmap(const Matrix<float> &dense, Major major)
             }
         }
     }
-    // FP16-round in one contiguous pass (independent iterations
+    // Quantize in one contiguous pass (independent iterations
     // pipeline; the permute loop stays store-bound).
     for (int i = 0; i < nnz; ++i)
         fp16[static_cast<size_t>(i)] =
-            roundToFp16(values[static_cast<size_t>(i)]);
+            spec.apply(values[static_cast<size_t>(i)]);
     return BitmapMatrix::fromPacked(rows, cols, Major::Col,
                                     std::move(bits),
                                     std::move(values), std::move(fp16),
@@ -159,7 +160,7 @@ namespace {
  */
 TwoLevelBitmapMatrix
 wordEncodeTwoLevelRow32(const Matrix<float> &dense, int tile_rows,
-                        int num_workers)
+                        int num_workers, const QuantSpec &spec)
 {
     constexpr int kTileCols = 32;
     const int rows = dense.rows(), cols = dense.cols();
@@ -249,12 +250,13 @@ wordEncodeTwoLevelRow32(const Matrix<float> &dense, int tile_rows,
             }
         }
 
-        // FP16 mirrors in contiguous per-tile passes, then assemble.
+        // Quantized mirrors in contiguous per-tile passes, then
+        // assemble.
         for (int p = 0; p < n_tile_cols; ++p) {
             auto &values = t_values[static_cast<size_t>(p)];
             auto &fp16 = t_fp16[static_cast<size_t>(p)];
             for (size_t i = 0; i < values.size(); ++i)
-                fp16[i] = roundToFp16(values[i]);
+                fp16[i] = spec.apply(values[i]);
             const int t_cols =
                 std::min(kTileCols, cols - p * kTileCols);
             tiles[static_cast<size_t>(g) * n_tile_cols + p] =
@@ -273,7 +275,7 @@ wordEncodeTwoLevelRow32(const Matrix<float> &dense, int tile_rows,
 
     return TwoLevelBitmapMatrix::fromTiles(rows, cols, tile_rows,
                                            kTileCols, Major::Row,
-                                           std::move(tiles));
+                                           std::move(tiles), spec);
 }
 
 /**
@@ -290,7 +292,7 @@ wordEncodeTwoLevelRow32(const Matrix<float> &dense, int tile_rows,
  */
 TwoLevelBitmapMatrix
 wordEncodeTwoLevelCol32(const Matrix<float> &dense, int tile_cols,
-                        int num_workers)
+                        int num_workers, const QuantSpec &spec)
 {
     constexpr int kTileRows = 32;
     const int rows = dense.rows(), cols = dense.cols();
@@ -392,7 +394,7 @@ wordEncodeTwoLevelCol32(const Matrix<float> &dense, int tile_cols,
             auto &values = t_values[static_cast<size_t>(tc)];
             auto &fp16 = t_fp16[static_cast<size_t>(tc)];
             for (size_t i = 0; i < values.size(); ++i)
-                fp16[i] = roundToFp16(values[i]);
+                fp16[i] = spec.apply(values[i]);
             const int g_cols =
                 std::min(tile_cols, cols - tc * tile_cols);
             tiles[static_cast<size_t>(tr) * n_tile_cols + tc] =
@@ -411,14 +413,15 @@ wordEncodeTwoLevelCol32(const Matrix<float> &dense, int tile_cols,
 
     return TwoLevelBitmapMatrix::fromTiles(rows, cols, kTileRows,
                                            tile_cols, Major::Col,
-                                           std::move(tiles));
+                                           std::move(tiles), spec);
 }
 
 } // namespace
 
 TwoLevelBitmapMatrix
 wordEncodeTwoLevel(const Matrix<float> &dense, int tile_rows,
-                   int tile_cols, Major major, int num_workers)
+                   int tile_cols, Major major, int num_workers,
+                   const QuantSpec &spec)
 {
     DSTC_ASSERT(tile_rows > 0 && tile_cols > 0);
     const int rows = dense.rows(), cols = dense.cols();
@@ -426,13 +429,13 @@ wordEncodeTwoLevel(const Matrix<float> &dense, int tile_rows,
     const int n_tile_cols = ceilDiv(cols, tile_cols);
 
     if (major == Major::Row && tile_cols == 32)
-        return wordEncodeTwoLevelRow32(dense, tile_rows,
-                                       num_workers);
+        return wordEncodeTwoLevelRow32(dense, tile_rows, num_workers,
+                                       spec);
     if (major == Major::Col && tile_rows == 32)
-        return wordEncodeTwoLevelCol32(dense, tile_cols,
-                                       num_workers);
+        return wordEncodeTwoLevelCol32(dense, tile_cols, num_workers,
+                                       spec);
 
-    const BitmapMatrix full = wordEncodeBitmap(dense, major);
+    const BitmapMatrix full = wordEncodeBitmap(dense, major, spec);
 
     // The line axis of the tiling: tile columns for Major::Col
     // (lines are matrix columns), tile rows for Major::Row. Each
@@ -597,7 +600,7 @@ wordEncodeTwoLevel(const Matrix<float> &dense, int tile_rows,
 
     return TwoLevelBitmapMatrix::fromTiles(rows, cols, tile_rows,
                                            tile_cols, major,
-                                           std::move(tiles));
+                                           std::move(tiles), spec);
 }
 
 int64_t

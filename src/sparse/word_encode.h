@@ -29,10 +29,11 @@ namespace dstc {
 /**
  * Word-parallel BitmapMatrix::encode: bitmap words built 64
  * elements at a time, values packed via ctz walks. Bitwise identical
- * to encode(dense, major) in bits, values, the FP16 mirror and the
- * line offsets.
+ * to encode(dense, major, spec) in bits, values, the quantized
+ * mirror and the line offsets.
  */
-BitmapMatrix wordEncodeBitmap(const Matrix<float> &dense, Major major);
+BitmapMatrix wordEncodeBitmap(const Matrix<float> &dense, Major major,
+                              const QuantSpec &spec = {});
 
 /**
  * The bitmap words of @p dense alone (no values), in the line-major
@@ -58,11 +59,16 @@ std::vector<uint64_t> wordEncodeBits(const Matrix<float> &dense,
  *        0 = all hardware threads, 1 = serial in the caller). Tiles
  *        are disjoint, so the result is bitwise identical to the
  *        element-wise encode for every worker count.
+ * @param spec fills the quantized value lane (FP16 default). The
+ *        spec applies per element, so worker partitioning cannot
+ *        change it; integer specs carry the matrix-global scale
+ *        computed by the caller (QuantSpec::forValues).
  */
 TwoLevelBitmapMatrix wordEncodeTwoLevel(const Matrix<float> &dense,
                                         int tile_rows, int tile_cols,
                                         Major major,
-                                        int num_workers = 1);
+                                        int num_workers = 1,
+                                        const QuantSpec &spec = {});
 
 /**
  * Non-zero count of @p n floats by branchless 64-bit mask build +

@@ -61,6 +61,37 @@ refGemmFp16(const Matrix<float> &a, const Matrix<float> &b,
     return d;
 }
 
+Matrix<float>
+refGemmQuant(const Matrix<float> &a, const Matrix<float> &b,
+             const QuantSpec &spec_a, const QuantSpec &spec_b)
+{
+    DSTC_ASSERT(a.cols() == b.rows());
+    // Same shape as refGemmFp16 with QuantSpec::apply as the
+    // quantizer; the skip test reads the quantized A value, so codes
+    // rounding to 0 contribute nothing (matching the engines, where
+    // a zero lane value multiplies out to zero).
+    Matrix<float> bh(b.rows(), b.cols());
+    for (int k = 0; k < b.rows(); ++k)
+        for (int j = 0; j < b.cols(); ++j)
+            bh.at(k, j) = spec_b.apply(b.at(k, j));
+    Matrix<float> d(a.rows(), b.cols());
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int k = 0; k < a.cols(); ++k) {
+            float av = spec_a.apply(a.at(i, k));
+            if (av == 0.0f)
+                continue;
+            for (int j = 0; j < b.cols(); ++j)
+                d.at(i, j) += av * bh.at(k, j);
+        }
+    }
+    const float out_scale = QuantSpec::outputScale(spec_a, spec_b);
+    if (out_scale != 1.0f) {
+        for (float &v : d.data())
+            v *= out_scale;
+    }
+    return d;
+}
+
 Tensor4d
 refConv2d(const Tensor4d &input, const Matrix<float> &weights,
           const Conv2dParams &params)

@@ -8,6 +8,7 @@
 #ifndef DSTC_TENSOR_REFERENCE_H
 #define DSTC_TENSOR_REFERENCE_H
 
+#include "common/datatype.h"
 #include "tensor/matrix.h"
 #include "tensor/tensor4d.h"
 
@@ -33,6 +34,18 @@ Matrix<float> refGemm(const Matrix<float> &a, const Matrix<float> &b,
  */
 Matrix<float> refGemmFp16(const Matrix<float> &a, const Matrix<float> &b,
                           const Matrix<float> *c = nullptr);
+
+/**
+ * D = A x B where the operands quantize through arbitrary QuantSpecs
+ * (the datatype-general golden model). Accumulation is FP32 over the
+ * quantized values in increasing-k order; integer specs accumulate
+ * raw codes and apply the deferred sa * sb output scale once at the
+ * end — the exact contract of every quantized backend.
+ */
+Matrix<float> refGemmQuant(const Matrix<float> &a,
+                           const Matrix<float> &b,
+                           const QuantSpec &spec_a,
+                           const QuantSpec &spec_b);
 
 /**
  * Direct (no im2col) 2-D convolution of an NCHW input with OIHW

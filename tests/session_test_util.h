@@ -21,8 +21,8 @@ inline KernelReport
 spgemm(Session &session, const Matrix<float> &a,
        const Matrix<float> &b, const SpGemmOptions &options = {})
 {
-    KernelRequest req = KernelRequest::gemm(a, b);
-    req.method = Method::DualSparse;
+    KernelRequest req =
+        KernelRequest::gemm(a, b).withMethod(Method::DualSparse);
     req.gemm_options = options;
     return session.run(req);
 }
@@ -51,8 +51,8 @@ spgemmTime(Session &session, const SparsityProfile &a,
            const SparsityProfile &b,
            const SpGemmOptions &options = {})
 {
-    KernelRequest req = KernelRequest::gemm(a, b);
-    req.method = Method::DualSparse;
+    KernelRequest req =
+        KernelRequest::gemm(a, b).withMethod(Method::DualSparse);
     req.gemm_options = options;
     return session.run(req).stats;
 }
@@ -76,21 +76,23 @@ convTime(Session &session, const ConvShape &shape, ConvMethod method,
          double act_cluster = 1.0)
 {
     KernelRequest req =
-        KernelRequest::conv(shape, weight_sparsity, act_sparsity);
+        KernelRequest::conv(shape, weight_sparsity, act_sparsity)
+            .withSeed(seed)
+            .withClusters(act_cluster, weight_cluster);
     splitConvMethod(method, &req.method, &req.lowering);
-    req.seed = seed;
-    req.b_cluster = weight_cluster;
-    req.a_cluster = act_cluster;
     return session.run(req).stats;
 }
 
 /** CUTLASS-like dense GEMM time. */
 inline KernelStats
-denseGemmTime(Session &session, int64_t m, int64_t n, int64_t k)
+denseGemmTime(Session &session, int64_t m, int64_t n, int64_t k,
+              DataType dtype = DataType::Fp16)
 {
-    KernelRequest req = KernelRequest::gemm(m, n, k);
-    req.method = Method::Dense;
-    return session.run(req).stats;
+    return session
+        .run(KernelRequest::gemm(m, n, k)
+                 .withMethod(Method::Dense)
+                 .withDataType(dtype))
+        .stats;
 }
 
 /** Vector-wise sparse TC [72] GEMM time. */
@@ -98,10 +100,10 @@ inline KernelStats
 zhuGemmTime(Session &session, int64_t m, int64_t n, int64_t k,
             double weight_sparsity)
 {
-    KernelRequest req =
-        KernelRequest::gemm(m, n, k, 0.0, weight_sparsity);
-    req.method = Method::ZhuSparse;
-    return session.run(req).stats;
+    return session
+        .run(KernelRequest::gemm(m, n, k, 0.0, weight_sparsity)
+                 .withMethod(Method::ZhuSparse))
+        .stats;
 }
 
 /** cuSPARSE-like CSR SpGEMM expected time at given densities. */
@@ -109,10 +111,11 @@ inline KernelStats
 cusparseTime(Session &session, int64_t m, int64_t n, int64_t k,
              double density_a, double density_b)
 {
-    KernelRequest req = KernelRequest::gemm(
-        m, n, k, 1.0 - density_a, 1.0 - density_b);
-    req.method = Method::CusparseLike;
-    return session.run(req).stats;
+    return session
+        .run(KernelRequest::gemm(m, n, k, 1.0 - density_a,
+                                 1.0 - density_b)
+                 .withMethod(Method::CusparseLike))
+        .stats;
 }
 
 } // namespace testutil

@@ -242,11 +242,11 @@ TEST_F(ConvEquivalenceTest, SessionConvRequestHonorsWorkerKnob)
     Matrix<float> weights = randomSparseMatrix(8, 36, 0.8, rng);
 
     Session session(cfg_);
-    KernelRequest req = KernelRequest::conv(input, weights, s);
-    req.method = Method::DualSparse;
-    req.conv_options.num_workers = 1;
+    KernelRequest req = KernelRequest::conv(input, weights, s)
+                            .withMethod(Method::DualSparse);
+    req.withResources({.compute_workers = 1});
     KernelReport serial = session.run(req);
-    req.conv_options.num_workers = 4;
+    req.withResources({.compute_workers = 4});
     KernelReport pooled = session.run(req);
     ASSERT_TRUE(serial.output && pooled.output);
     expectOutputIdentical(*serial.output, *pooled.output, "session");

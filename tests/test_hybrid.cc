@@ -294,14 +294,14 @@ TEST(HybridTest, WorkerCountInvariance)
 
     Session serial_session;
     KernelRequest serial_req = hybridRequest(a, b, 0.5);
-    serial_req.gemm_options.num_workers = 1;
+    serial_req.withResources({.compute_workers = 1});
     KernelReport serial = serial_session.run(serial_req);
 
     SessionOptions opts;
-    opts.encode_workers = 4;
+    opts.resources.encode_workers = 4;
     Session pooled_session(opts);
     KernelRequest pooled_req = hybridRequest(a, b, 0.5);
-    pooled_req.gemm_options.num_workers = 4;
+    pooled_req.withResources({.compute_workers = 4});
     KernelReport pooled = pooled_session.run(pooled_req);
 
     expectStatsBitwiseEqual(serial.stats, pooled.stats, "workers");

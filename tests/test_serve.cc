@@ -294,11 +294,11 @@ TEST(ServingEngineTest, StatsAreWorkerCountInvariant)
         for (size_t d = 0; d < devices; ++d)
             opts.devices.push_back(GpuConfig::v100());
         opts.num_threads = 1;
-        opts.encode_workers = 1;
+        opts.resources.encode_workers = 1;
         ServingEngine serial(opts, testPool());
         const ServingStats reference = serial.run().stats;
         opts.num_threads = 4;
-        opts.encode_workers = 4;
+        opts.resources.encode_workers = 4;
         ServingEngine pooled(opts, testPool());
         EXPECT_TRUE(pooled.run().stats == reference)
             << devices << " devices";

@@ -42,6 +42,19 @@ BENCH_encode.json, BENCH_cluster.json):
     intentional cost-model changes — a quick point that silently
     stops splitting fails this, not just the floor).
 
+ 7. Precision gate (micro_spgemm / micro_encode): every precision
+    point, reference and measured, must hold its in-domain bitwise
+    guarantee (serial == pooled for all datatypes; integer datatypes
+    also == the refGemmQuant golden model, and the word encoder ==
+    the scalar encode under the same QuantSpec). On micro_spgemm the
+    int8 datapath must beat fp16 by `--precision-floor` on simulated
+    kernel time at every memory-bound operating point (the narrow
+    value lanes must actually shrink the modeled DRAM traffic); on
+    micro_encode the int8 and int4 encoded footprints must be
+    strictly smaller than fp16's. Simulated times and footprints are
+    deterministic, so these thresholds only absorb intentional
+    cost-model changes.
+
 The sanity gate's pooled-vs-word slack comparison is skipped when the
 measured run reports `hardware_concurrency == 1`: on a single
 hardware thread the pool cannot scale and its wall-clock is noise.
@@ -63,6 +76,7 @@ BENCHES = {
         "binary": os.path.join("bench", "micro_spgemm"),
         "reference": "BENCH_spgemm.json",
         "keys": ("sparsity", "tile_k"),
+        "precision": "gemm",
     },
     "micro_spconv": {
         "binary": os.path.join("bench", "micro_spconv"),
@@ -73,6 +87,7 @@ BENCHES = {
         "binary": os.path.join("bench", "micro_encode"),
         "reference": "BENCH_encode.json",
         "keys": ("kind", "sparsity", "stride"),
+        "precision": "encode",
     },
     "micro_cluster": {
         "binary": os.path.join("bench", "micro_cluster"),
@@ -312,6 +327,70 @@ def check_hybrid(name, ref_points, meas_points, args):
     return ok
 
 
+def check_precision(name, mode, ref_points, meas_points, args):
+    """Precision-axis gate (see module docstring, gate 7)."""
+    ok = True
+    for side, pts in (("reference", ref_points),
+                      ("measured", meas_points)):
+        if not pts:
+            ok = fail(f"{name} ({side}): no precision points — the "
+                      f"datatype axis went missing")
+            continue
+        by_sparsity = {}
+        for p in pts:
+            if not p.get("bitwise_equal", False):
+                ok = fail(f"{name} ({side}): precision point "
+                          f"dtype={p.get('dtype')} "
+                          f"sparsity={p.get('sparsity')} broke its "
+                          f"in-domain bitwise guarantee")
+            by_sparsity.setdefault(p.get("sparsity"),
+                                   {})[p.get("dtype")] = p
+
+        if mode == "gemm":
+            gated = False
+            for sparsity, by_dtype in sorted(by_sparsity.items()):
+                f16 = by_dtype.get("fp16")
+                i8 = by_dtype.get("int8")
+                if not f16 or not i8 or \
+                        not f16.get("memory_bound", False):
+                    continue
+                gated = True
+                ratio = f16.get("modeled_us", 0.0) / \
+                    max(i8.get("modeled_us", 0.0), 1e-9)
+                if ratio < args.precision_floor:
+                    ok = fail(
+                        f"{name} ({side}): int8 advantage over fp16 "
+                        f"at sparsity={sparsity} is {ratio:.2f}x, "
+                        f"below the {args.precision_floor:.2f}x "
+                        f"floor on simulated kernel time")
+                else:
+                    print(f"check_bench: {name} ({side}): int8 "
+                          f"{ratio:.2f}x faster than fp16 at "
+                          f"sparsity={sparsity} (simulated, "
+                          f"memory-bound)")
+        elif mode == "encode":
+            for sparsity, by_dtype in sorted(by_sparsity.items()):
+                f16 = by_dtype.get("fp16")
+                for narrow in ("int8", "int4"):
+                    p = by_dtype.get(narrow)
+                    if not f16 or not p:
+                        continue
+                    if not p.get("encoded_mb", 0.0) < \
+                            f16.get("encoded_mb", 0.0):
+                        ok = fail(
+                            f"{name} ({side}): {narrow} encoded "
+                            f"footprint "
+                            f"({p.get('encoded_mb')} MB) is not "
+                            f"smaller than fp16's "
+                            f"({f16.get('encoded_mb')} MB) at "
+                            f"sparsity={sparsity}")
+
+        if mode == "gemm" and not gated:
+            ok = fail(f"{name} ({side}): no memory-bound fp16/int8 "
+                      f"pair to gate the precision advantage on")
+    return ok
+
+
 def check_bench(name, spec, args):
     ref_path = os.path.join(args.repo_root, spec["reference"])
     binary = os.path.join(args.build_dir, spec["binary"])
@@ -401,6 +480,12 @@ def check_bench(name, spec, args):
                       f"is worse than {args.parallel_slack:.1f}x the "
                       f"single-thread word path ({word:.3f} ms)")
 
+    if spec.get("precision"):
+        ok = check_precision(name, spec["precision"],
+                             reference.get("precision_points", []),
+                             measured.get("precision_points", []),
+                             args) and ok
+
     if ok:
         print(f"check_bench: {name}: "
               f"{len(meas_points)} quick points green")
@@ -435,6 +520,10 @@ def main():
                              "within this factor of their "
                              "key-matched reference (deterministic "
                              "simulated ratios)")
+    parser.add_argument("--precision-floor", type=float, default=1.3,
+                        help="required int8-over-fp16 advantage on "
+                             "simulated kernel time at memory-bound "
+                             "precision points")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="per-bench quick-run timeout in seconds")
     args = parser.parse_args()

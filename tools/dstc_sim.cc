@@ -7,6 +7,7 @@
  * Usage:
  *   dstc_sim gemm M N K [--a-sparsity S] [--b-sparsity S]
  *            [--cluster C] [--seed N] [--hybrid-threshold T]
+ *            [--dtype fp32|fp16|bf16|int8|int4]
  *            [--method auto|dual|dense|zhu|ampere|cusparse|hybrid]
  *   dstc_sim conv --in-c C --hw H --out-c N [--kernel K] [--stride S]
  *            [--pad P] [--wsp S] [--asp S] [--batch B] [--seed N]
@@ -14,6 +15,7 @@
  *            [--method auto|dual|dense|zhu]
  *   dstc_sim model vgg16|resnet18|maskrcnn|bert|rnn
  *            [--method auto|dual|dense|single] [--seed N] [--batched]
+ *            [--dtype fp32|fp16|bf16|int8|int4]
  *   dstc_sim cluster vgg16|resnet18|maskrcnn|bert|rnn
  *            [--devices v100,a100,future] [--policy cost|rr|shard]
  *            [--method auto|dual|dense|single] [--replicate N]
@@ -26,7 +28,7 @@
  *            [--method auto|dual|dense|single] [--seed N]
  *   dstc_sim backends [M N K] [--a-sparsity S] [--b-sparsity S]
  *            [--cluster C] [--seed N] [--hybrid-threshold T]
- *   dstc_sim overhead
+ *   dstc_sim overhead [--dtype fp32|fp16|bf16|int8|int4]
  *
  * All commands run on the V100 machine model; pass --a100 to switch
  * (the cluster command instead takes its comma-separated --devices
@@ -78,8 +80,24 @@ parseMethodFlag(const CliArgs &args, const std::string &fallback,
     return true;
 }
 
+/** Parse the --dtype flag (defaulting to the FP16 datapath). */
+bool
+parseDataTypeFlag(const CliArgs &args, DataType *out)
+{
+    const std::string token = args.flag("dtype", "fp16");
+    if (!parseDataType(token, out)) {
+        std::fprintf(stderr,
+                     "error: unknown dtype '%s' (valid: "
+                     "fp32|fp16|bf16|int8|int4)\n",
+                     token.c_str());
+        return false;
+    }
+    return true;
+}
+
 void
-printReport(const KernelReport &report, const GpuConfig &cfg)
+printReport(const KernelReport &report, const GpuConfig &cfg,
+            DataType dtype = DataType::Fp16)
 {
     const KernelStats &stats = report.stats;
     std::printf("backend          : %s (%s)\n", report.backend.c_str(),
@@ -100,7 +118,7 @@ printReport(const KernelReport &report, const GpuConfig &cfg)
                     static_cast<long long>(stats.warp_tiles_skipped));
     }
     EnergyReport energy =
-        estimateEnergy(stats, EnergyParams::v100_12nm(), cfg);
+        estimateEnergy(stats, EnergyParams::v100_12nm(), cfg, dtype);
     std::printf("energy           : %.1f uJ\n", energy.totalUj());
 }
 
@@ -111,7 +129,8 @@ runGemm(const CliArgs &args, Session &session)
         return 2;
     if (!args.validateFlags("gemm",
                          {"a-sparsity", "b-sparsity", "cluster",
-                          "method", "seed", "hybrid-threshold"},
+                          "method", "seed", "hybrid-threshold",
+                          "dtype"},
                          {"a-sparsity", "b-sparsity", "cluster",
                           "hybrid-threshold"},
                          {}, {"seed"}, kGlobalFlags))
@@ -151,22 +170,34 @@ runGemm(const CliArgs &args, Session &session)
                           "cusparse", "hybrid"},
                          &method))
         return 2;
+    DataType dtype;
+    if (!parseDataTypeFlag(args, &dtype))
+        return 2;
+    if (method == Method::Hybrid && dataTypeIsInteger(dtype)) {
+        std::fprintf(stderr,
+                     "error: the hybrid composer has no integer "
+                     "datapath (per-class quantization scales would "
+                     "disagree); use --method dual\n");
+        return 2;
+    }
 
-    KernelRequest req = KernelRequest::gemm(m, n, k, sa, sb);
-    req.method = method;
-    req.a_cluster = sa > 0 ? cluster : 1.0;
-    req.b_cluster = sb > 0 ? cluster : 1.0;
-    req.seed = args.flagU64("seed", 1);
-    req.hybrid_options.threshold =
-        args.flagD("hybrid-threshold", -1.0);
+    KernelRequest req =
+        KernelRequest::gemm(m, n, k, sa, sb)
+            .withMethod(method)
+            .withDataType(dtype)
+            .withClusters(sa > 0 ? cluster : 1.0,
+                          sb > 0 ? cluster : 1.0)
+            .withSeed(args.flagU64("seed", 1))
+            .withHybridThreshold(args.flagD("hybrid-threshold", -1.0));
 
     KernelReport report = session.run(req);
     std::printf("GEMM %lld x %lld x %lld, A sparsity %.3f, B sparsity "
-                "%.3f (%s)\n",
+                "%.3f (%s, %s)\n",
                 static_cast<long long>(m), static_cast<long long>(n),
                 static_cast<long long>(k), sa, sb,
-                methodToken(req.method));
-    printReport(report, session.config());
+                methodToken(req.method),
+                dataTypeToken(req.dataType()));
+    printReport(report, session.config(), req.dataType());
     return 0;
 }
 
@@ -295,7 +326,8 @@ runModel(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("model", 2))
         return 2;
-    if (!args.validateFlags("model", {"method", "seed", "batched"}, {},
+    if (!args.validateFlags("model",
+                         {"method", "seed", "batched", "dtype"}, {},
                          {}, {"seed"}, kGlobalFlags))
         return 2;
     if (args.positional.size() < 2) {
@@ -312,13 +344,18 @@ runModel(const CliArgs &args, Session &session)
 
     const uint64_t seed =
         args.flagU64("seed", 1);
+    DataType dtype;
+    if (!parseDataTypeFlag(args, &dtype))
+        return 2;
     ModelRunner runner(session);
     ModelRunResult result =
         args.hasFlag("batched")
-            ? runner.runBatched(model, method, seed)
-            : runner.run(model, method, seed);
+            ? runner.runBatched(model, method, seed, dtype)
+            : runner.run(model, method, seed, dtype);
+    // The comparison baseline runs at the same datatype, so the
+    // speedup column isolates sparsity, not quantization.
     ModelRunResult dense =
-        runner.run(model, ModelMethod::DenseImplicit, seed);
+        runner.run(model, ModelMethod::DenseImplicit, seed, dtype);
 
     const bool show_backend = method == ModelMethod::Auto;
     TextTable table;
@@ -343,8 +380,8 @@ runModel(const CliArgs &args, Session &session)
     if (show_backend)
         total_row.push_back("");
     table.addRow(total_row);
-    std::printf("%s under %s%s:\n", model.name.c_str(),
-                modelMethodName(method),
+    std::printf("%s under %s (%s)%s:\n", model.name.c_str(),
+                modelMethodName(method), dataTypeToken(dtype),
                 args.hasFlag("batched") ? " (batched)" : "");
     table.print();
     return 0;
@@ -748,10 +785,13 @@ int
 runOverhead(const CliArgs &args, Session &session)
 {
     if (!args.checkPositionals("overhead", 1) ||
-        !args.validateFlags("overhead", {}, {}, {}, {},
+        !args.validateFlags("overhead", {"dtype"}, {}, {}, {},
                             kGlobalFlags))
         return 2;
-    OverheadReport report = estimateOverhead(session.config());
+    DataType dtype;
+    if (!parseDataTypeFlag(args, &dtype))
+        return 2;
+    OverheadReport report = estimateOverhead(session.config(), dtype);
     TextTable table;
     table.setHeader({"module", "area (mm^2)", "power (W)"});
     for (const auto &component : report.components)
