@@ -54,8 +54,27 @@ struct Point
     double goodput_rpms = 0.0;
     int steals = 0;
     int microbatches = 0;
+
+    // Fault sweep fields ("" / "none" / zeros on healthy points).
+    std::string faults = "";   ///< fault spec string
+    std::string recovery = "none"; ///< recovery policy label
+    int lost = 0;
+    int retries = 0;
+    int failovers = 0;
+    int hedges = 0;
+    double availability = 1.0;
+
     double wall_ms = 0.0;       ///< host wall clock (informative)
     bool bitwise_equal = false; ///< vs serial single-Session replay
+};
+
+/** One fault-sweep scenario: a spec plus the recovery policy mix. */
+struct FaultCase
+{
+    const char *label;   ///< "recovery" JSON value
+    const char *spec;    ///< FaultSpec string ("" = healthy)
+    double load_factor;
+    bool retry, hedge, failover, degrade;
 };
 
 /** A named device set. */
@@ -81,7 +100,8 @@ servingPool()
 
 Point
 runPoint(const DeviceSet &set, ServePolicy policy,
-         double load_factor, const char *load_name, double duration_ms)
+         double load_factor, const char *load_name, double duration_ms,
+         const FaultCase *fault = nullptr)
 {
     Point p;
     p.devices = set.name;
@@ -95,6 +115,21 @@ runPoint(const DeviceSet &set, ServePolicy policy,
     opts.arrivals.duration_ms = duration_ms;
     opts.arrivals.pattern = TrafficPattern::Bursty;
     opts.arrivals.seed = 7;
+    if (fault) {
+        p.faults = fault->spec;
+        p.recovery = fault->label;
+        std::string error;
+        if (!FaultSpec::parse(fault->spec, &opts.faults, &error)) {
+            std::fprintf(stderr, "bad fault spec '%s': %s\n",
+                         fault->spec, error.c_str());
+            std::exit(1);
+        }
+        opts.retry = fault->retry;
+        opts.retry_budget = 6;
+        opts.hedge = fault->hedge;
+        opts.failover = fault->failover;
+        opts.degrade = fault->degrade;
+    }
 
     // The offered rate is relative to the device set's estimated
     // capacity, so "0.8x" means the same pressure on every set.
@@ -121,6 +156,11 @@ runPoint(const DeviceSet &set, ServePolicy policy,
     p.goodput_rpms = stats.goodput_rpms;
     p.steals = static_cast<int>(stats.steals);
     p.microbatches = static_cast<int>(stats.microbatches);
+    p.lost = static_cast<int>(stats.faults.lost);
+    p.retries = static_cast<int>(stats.faults.retries);
+    p.failovers = static_cast<int>(stats.faults.failovers);
+    p.hedges = static_cast<int>(stats.faults.hedges);
+    p.availability = stats.faults.availability;
     p.bitwise_equal = engine.replayMatchesSerial(result);
     return p;
 }
@@ -162,13 +202,18 @@ writeJson(const char *path, const std::vector<Point> &points,
             "\"p99_us\": %.3f,\n"
             "     \"miss_rate\": %.4f, \"slo_attainment\": %.4f, "
             "\"throughput_rpms\": %.2f, \"goodput_rpms\": %.2f,\n"
-            "     \"steals\": %d, \"microbatches\": %d, "
-            "\"wall_ms\": %.3f, \"bitwise_equal\": %s}%s\n",
+            "     \"steals\": %d, \"microbatches\": %d,\n"
+            "     \"faults\": \"%s\", \"recovery\": \"%s\", "
+            "\"lost\": %d, \"retries\": %d, \"failovers\": %d, "
+            "\"hedges\": %d, \"availability\": %.4f,\n"
+            "     \"wall_ms\": %.3f, \"bitwise_equal\": %s}%s\n",
             p.devices.c_str(), p.policy.c_str(), p.load.c_str(),
             p.num_devices, p.rate_rpms, p.offered, p.completed,
             p.rejected, p.p50_us, p.p95_us, p.p99_us, p.miss_rate,
             p.slo_attainment, p.throughput_rpms, p.goodput_rpms,
-            p.steals, p.microbatches, p.wall_ms,
+            p.steals, p.microbatches, p.faults.c_str(),
+            p.recovery.c_str(), p.lost, p.retries, p.failovers,
+            p.hedges, p.availability, p.wall_ms,
             p.bitwise_equal ? "true" : "false",
             i + 1 < points.size() ? "," : "");
     }
@@ -243,6 +288,52 @@ main(int argc, char **argv)
         }
     }
 
+    // Fault sweep (v100+future, deadline policy): a mid-run crash
+    // with and without recovery — check_bench gates recovery goodput
+    // >= the no-recovery baseline — plus transient-only faults with
+    // retry, which must lose nothing, and a hedged variant for the
+    // interactive tail. The crash instant (500 us) is mid-run for
+    // the quick 1 ms sweep and the 25% mark of the full 2 ms one.
+    const DeviceSet *fault_set = nullptr;
+    for (const DeviceSet &set : sets)
+        if (std::string(set.name) == "v100+future")
+            fault_set = &set;
+    if (!fault_set) {
+        std::fprintf(stderr, "fault sweep set missing\n");
+        return 1;
+    }
+    const std::vector<FaultCase> fault_cases = {
+        {"failover", "crash@500:d1", 1.5, false, false, true, true},
+        {"none", "crash@500:d1", 1.5, false, false, false, false},
+        {"retry", "transient:p0.05", 0.8, true, false, true, true},
+        {"retry+hedge", "transient:p0.05;crash@500:d1", 0.8, true,
+         true, true, true},
+    };
+    std::printf("\nfault sweep on %s (deadline policy):\n",
+                fault_set->name);
+    std::printf("%14s %28s | %6s %5s | %7s %7s %7s | %7s %6s\n",
+                "recovery", "faults", "done", "lost", "retries",
+                "failov", "hedges", "good", "avail");
+    for (const FaultCase &fc : fault_cases) {
+        Point p = runPoint(*fault_set, ServePolicy::Deadline,
+                           fc.load_factor,
+                           fc.load_factor > 1.0 ? "1.5x" : "0.8x",
+                           duration_ms, &fc);
+        points.push_back(p);
+        std::printf("%14s %28s | %6d %5d | %7d %7d %7d | %7.1f "
+                    "%6.4f%s\n",
+                    p.recovery.c_str(), p.faults.c_str(), p.completed,
+                    p.lost, p.retries, p.failovers, p.hedges,
+                    p.goodput_rpms, p.availability,
+                    p.bitwise_equal ? "" : "  [MISMATCH]");
+        if (!p.bitwise_equal) {
+            std::fprintf(stderr,
+                         "FATAL: serving reports differ from the "
+                         "serial single-Session replay\n");
+            std::exit(1);
+        }
+    }
+
     // The serving headline: on the heterogeneous mix the
     // deadline-aware policy must beat round-robin tail latency and
     // goodput.
@@ -250,7 +341,8 @@ main(int argc, char **argv)
         double dl_p99 = 0.0, rr_p99 = 0.0;
         double dl_good = 0.0, rr_good = 0.0;
         for (const Point &p : points) {
-            if (p.devices != "v100+future" || p.load != load.name)
+            if (p.devices != "v100+future" || p.load != load.name ||
+                !p.faults.empty())
                 continue;
             if (p.policy == "deadline") {
                 dl_p99 = p.p99_us;

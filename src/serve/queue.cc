@@ -1,6 +1,7 @@
 #include "serve/queue.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -38,33 +39,56 @@ ServingQueue::ServingQueue(size_t num_devices, size_t depth_bound,
     DSTC_ASSERT(num_devices >= 1, "a queue needs a device");
 }
 
-ServingQueue::Admit
-ServingQueue::admit(QueuedRequest request,
-                    std::vector<QueuedRequest> *shed)
+std::optional<std::pair<size_t, size_t>>
+ServingQueue::shedVictim() const
 {
-    DSTC_ASSERT(request.device < queues_.size());
-    if (total_ >= depth_bound_) {
-        if (policy_ == AdmissionPolicy::Reject)
-            return Admit::Rejected;
-        // Shed the oldest queued request anywhere (lowest id: ids
-        // are the submission order, so "oldest" is well defined and
-        // deterministic).
-        size_t victim_dev = queues_.size();
-        size_t victim_idx = 0;
-        int64_t victim_id = 0;
-        for (size_t d = 0; d < queues_.size(); ++d) {
-            for (size_t i = 0; i < queues_[d].size(); ++i) {
-                const QueuedRequest &q = queues_[d][i];
-                if (victim_dev == queues_.size() ||
-                    q.id < victim_id) {
-                    victim_dev = d;
-                    victim_idx = i;
-                    victim_id = q.id;
-                }
+    // Default: the oldest queued request anywhere (lowest id: ids
+    // are the submission order, so "oldest" is well defined and
+    // deterministic). Batch-first: the lowest-priority class present
+    // loses first (batch, then standard, then interactive), oldest
+    // id within it — the graceful-degradation eviction order.
+    size_t victim_dev = queues_.size();
+    size_t victim_idx = 0;
+    for (size_t d = 0; d < queues_.size(); ++d) {
+        for (size_t i = 0; i < queues_[d].size(); ++i) {
+            const QueuedRequest &q = queues_[d][i];
+            if (victim_dev == queues_.size()) {
+                victim_dev = d;
+                victim_idx = i;
+                continue;
+            }
+            const QueuedRequest &v = queues_[victim_dev][victim_idx];
+            bool wins;
+            if (shed_batch_first_ &&
+                q.deadline_class != v.deadline_class)
+                // Higher enum value = lower priority = sheds first.
+                wins = static_cast<int>(q.deadline_class) >
+                       static_cast<int>(v.deadline_class);
+            else
+                wins = q.id < v.id;
+            if (wins) {
+                victim_dev = d;
+                victim_idx = i;
             }
         }
-        DSTC_ASSERT(victim_dev < queues_.size(),
+    }
+    if (victim_dev == queues_.size())
+        return std::nullopt;
+    return std::make_pair(victim_dev, victim_idx);
+}
+
+ServingQueue::Admit
+ServingQueue::admit(QueuedRequest request,
+                    std::vector<QueuedRequest> *shed, bool force)
+{
+    DSTC_ASSERT(request.device < queues_.size());
+    if (!force && total_ >= depth_bound_) {
+        if (policy_ == AdmissionPolicy::Reject)
+            return Admit::Rejected;
+        const auto victim = shedVictim();
+        DSTC_ASSERT(victim.has_value(),
                     "full queue with no entries");
+        auto [victim_dev, victim_idx] = *victim;
         if (shed)
             shed->push_back(queues_[victim_dev][victim_idx]);
         queues_[victim_dev].erase(queues_[victim_dev].begin() +
@@ -74,6 +98,43 @@ ServingQueue::admit(QueuedRequest request,
     queues_[request.device].push_back(request);
     ++total_;
     return Admit::Admitted;
+}
+
+std::vector<QueuedRequest>
+ServingQueue::drainDevice(size_t device)
+{
+    DSTC_ASSERT(device < queues_.size());
+    std::vector<QueuedRequest> drained =
+        std::move(queues_[device]);
+    queues_[device].clear();
+    total_ -= drained.size();
+    std::sort(drained.begin(), drained.end(),
+              [](const QueuedRequest &a, const QueuedRequest &b) {
+                  return a.id < b.id;
+              });
+    return drained;
+}
+
+void
+ServingQueue::setDepthBound(size_t bound)
+{
+    depth_bound_ = bound == 0 ? 1 : bound;
+}
+
+void
+ServingQueue::shedExcess(std::vector<QueuedRequest> *shed)
+{
+    while (total_ > depth_bound_) {
+        const auto victim = shedVictim();
+        DSTC_ASSERT(victim.has_value(),
+                    "positive total with no entries");
+        auto [victim_dev, victim_idx] = *victim;
+        if (shed)
+            shed->push_back(queues_[victim_dev][victim_idx]);
+        queues_[victim_dev].erase(queues_[victim_dev].begin() +
+                                  static_cast<long>(victim_idx));
+        --total_;
+    }
 }
 
 bool

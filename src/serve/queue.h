@@ -56,6 +56,10 @@ struct QueuedRequest
     double estimate_us = 0.0; ///< plan-stage estimate on the device
     DeadlineClass deadline_class = DeadlineClass::Standard;
     size_t device = 0; ///< placed device (updated when stolen)
+
+    // Fault-recovery provenance, carried through re-placements.
+    int attempts = 1;         ///< dispatch attempts including this one
+    bool failed_over = false; ///< re-placed off a crashed device
 };
 
 /** Bounded per-device queues with admission control. */
@@ -79,10 +83,14 @@ class ServingQueue
     /**
      * Enqueue @p request on its placed device. On overload, either
      * rejects it or sheds the oldest queued request (appended to
-     * @p shed, which the caller accounts as a deadline loss).
+     * @p shed, which the caller accounts as a deadline loss). With
+     * @p force the depth bound is ignored — the path for fault
+     * recovery re-placements (retries, failover), which already
+     * passed admission once and must not be double-charged.
      */
     Admit admit(QueuedRequest request,
-                std::vector<QueuedRequest> *shed);
+                std::vector<QueuedRequest> *shed,
+                bool force = false);
 
     bool empty(size_t device) const;
     size_t depth(size_t device) const;
@@ -130,9 +138,47 @@ class ServingQueue
     std::optional<QueuedRequest> steal(size_t thief,
                                        size_t *donor = nullptr);
 
+    /**
+     * Remove and return every request queued on @p device, in id
+     * order — the failover drain of a crashed device. The caller
+     * re-places (or accounts as lost) each entry.
+     */
+    std::vector<QueuedRequest> drainDevice(size_t device);
+
+    /**
+     * Rescale the global depth bound (graceful degradation: the
+     * bound tracks the surviving fleet's capacity). Clamped to >= 1;
+     * entries above the new bound stay queued until shedExcess.
+     */
+    void setDepthBound(size_t bound);
+
+    /**
+     * Evict queued requests until the total depth is back within the
+     * bound (after a setDepthBound shrink), appending victims to
+     * @p shed. Victim order follows the shed policy below.
+     */
+    void shedExcess(std::vector<QueuedRequest> *shed);
+
+    /**
+     * When enabled, overload eviction (admit-on-full under
+     * ShedOldest, and shedExcess) picks its victims class-first:
+     * batch before standard before interactive, oldest id within the
+     * class — under reduced capacity the throughput-oriented work is
+     * shed before anything a user is waiting on.
+     */
+    void setShedBatchFirst(bool enabled)
+    {
+        shed_batch_first_ = enabled;
+    }
+
   private:
+    /** The (device, index) of the next shed victim, or nullopt when
+     *  every queue is empty. */
+    std::optional<std::pair<size_t, size_t>> shedVictim() const;
+
     size_t depth_bound_;
     AdmissionPolicy policy_;
+    bool shed_batch_first_ = false;
     size_t total_ = 0;
     std::vector<std::vector<QueuedRequest>> queues_;
 };

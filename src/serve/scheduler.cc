@@ -64,28 +64,51 @@ DeadlineScheduler::placeArrival(
     std::lock_guard<std::mutex> lock(mu_);
     const size_t n = loads_.size();
     DSTC_ASSERT(ready_at_us.size() == n && backlog_us.size() == n);
+    size_t eligible = 0;
+    for (uint8_t a : alive_)
+        eligible += a;
+    DSTC_ASSERT(eligible >= 1,
+                "placement needs at least one live device");
     size_t pick = 0;
     if (serve_policy_ == ServePolicy::RoundRobin) {
-        pick = static_cast<size_t>(next_round_robin_++ % n);
+        // The k-th live device of the rotation — crashed devices
+        // never swallow a slot (the HealthTracker drives the mask).
+        for (size_t step = static_cast<size_t>(next_round_robin_++ %
+                                               eligible),
+                    d = 0;
+             d < n; ++d) {
+            if (!alive_[d])
+                continue;
+            if (step == 0) {
+                pick = d;
+                break;
+            }
+            --step;
+        }
     } else {
         DSTC_ASSERT(estimates.size() == n,
                     "cost/deadline placement needs one estimate per "
                     "device");
-        // Earliest estimated finish; under Deadline the caller's
-        // backlog_us only counts earlier-deadline entries, so a
-        // feasible device (finish <= deadline) always ranks ahead of
-        // an infeasible one and urgent requests see through lax
-        // backlog. Ties go to the lower index.
+        // Earliest estimated finish over the *live* devices; under
+        // Deadline the caller's backlog_us only counts
+        // earlier-deadline entries, so a feasible device (finish <=
+        // deadline) always ranks ahead of an infeasible one and
+        // urgent requests see through lax backlog. Ties go to the
+        // lower index.
+        bool found = false;
         bool best_miss = true;
         double best = std::numeric_limits<double>::infinity();
         for (size_t d = 0; d < n; ++d) {
+            if (!alive_[d])
+                continue;
             const double finish =
                 ready_at_us[d] + backlog_us[d] + estimates[d];
             const bool miss = serve_policy_ == ServePolicy::Deadline
                                   ? finish > deadline_us
                                   : false;
-            if ((best_miss && !miss) ||
+            if (!found || (best_miss && !miss) ||
                 (miss == best_miss && finish < best)) {
+                found = true;
                 best_miss = miss;
                 best = finish;
                 pick = d;

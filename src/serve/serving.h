@@ -30,6 +30,14 @@
  * plan-stage estimate on the *reference device* (device 0), plus a
  * fixed base slack — so the same traffic is held to the same SLO no
  * matter which policy or device mix serves it.
+ *
+ * Fault tolerance (see faults.h): a FaultSpec injects deterministic
+ * crash-stop, slowdown and transient faults into the timeline; the
+ * recovery policies — retry with exponential backoff, failover
+ * drain/re-placement off crashed devices, hedged dispatch for the
+ * interactive class, and capacity-rescaled graceful degradation —
+ * are all pure functions of (options, seed) too, so recovery
+ * quality is gated in CI exactly like p99 and goodput.
  */
 #ifndef DSTC_SERVE_SERVING_H
 #define DSTC_SERVE_SERVING_H
@@ -40,6 +48,7 @@
 
 #include "core/cluster.h"
 #include "serve/arrival.h"
+#include "serve/faults.h"
 #include "serve/queue.h"
 #include "serve/scheduler.h"
 #include "serve/stats.h"
@@ -80,6 +89,49 @@ struct ServingOptions
     double slo_standard_mult = 12.0;
     double slo_batch_mult = 60.0;
 
+    // -- fault injection and recovery ------------------------------
+    //
+    // All fault decisions live on the virtual clock and seeded
+    // hashes, so a faulted run is exactly as deterministic as a
+    // healthy one: same options + seed => identical stats, and every
+    // *completed* request still replays bitwise on a fresh serial
+    // Session.
+
+    /** Fault scenario (empty = healthy fleet). */
+    FaultSpec faults;
+
+    /** Seed of the fault injector's random draws and transient
+     *  hashes; 0 derives it from arrivals.seed. */
+    uint64_t fault_seed = 0;
+
+    /** Retry transiently failed dispatches with exponential backoff
+     *  (off: a transient failure loses the request). */
+    bool retry = false;
+
+    /** Maximum dispatch attempts per request (first try included);
+     *  past it the request is lost and counted retries_exhausted. */
+    int retry_budget = 3;
+
+    /** Backoff before retry attempt k (1-based redispatch) is
+     *  retry_backoff_us * 2^(k-1) simulated us. */
+    double retry_backoff_us = 10.0;
+
+    /** Drain a crashed device's queued and in-flight requests onto
+     *  the survivors (off: the no-recovery baseline — a crash loses
+     *  everything the device held). */
+    bool failover = true;
+
+    /** Hedge interactive dispatches: duplicate onto the best other
+     *  idle device, first successful completion wins, the loser is
+     *  cancelled on the spot. */
+    bool hedge = false;
+
+    /** Graceful degradation: the admission depth bound and the EDF
+     *  infeasibility guard rescale to the surviving fleet's
+     *  estimatedCapacityRpms, and overload eviction sheds the batch
+     *  class first. */
+    bool degrade = true;
+
     /** Shared worker-pool width of the underlying Cluster (serving
      *  stats are identical for every setting). */
     int num_threads = 1;
@@ -106,6 +158,9 @@ struct ServeOutcome
     bool met_deadline = false;
     bool stolen = false;          ///< re-placed by work stealing
     bool batched_follower = false; ///< rode a micro-batch (not head)
+    int attempts = 1;      ///< dispatch attempts (1 = first try won)
+    bool failed_over = false; ///< survived a crash via re-placement
+    bool hedged = false;      ///< dispatch was duplicated (hedging)
     KernelReport report;
 };
 

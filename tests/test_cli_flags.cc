@@ -163,31 +163,77 @@ TEST(CliFlags, ServeVocabularyValidates)
     // declares it: good invocations validate, malformed values are
     // returned as errors.
     const std::set<std::string> known = {
-        "devices", "policy",     "admission", "pattern", "rate",
-        "duration", "depth", "microbatch", "method",    "seed"};
+        "devices",    "policy",     "admission",    "pattern",
+        "rate",       "duration",   "depth",        "microbatch",
+        "method",     "seed",       "faults",       "fault-seed",
+        "retry",      "retry-budget", "backoff",    "hedge",
+        "no-failover", "no-degrade"};
+    const std::set<std::string> numeric = {"rate", "duration",
+                                           "backoff"};
+    const std::set<std::string> integer = {"depth", "microbatch",
+                                           "retry-budget"};
+    const std::set<std::string> u64 = {"seed", "fault-seed"};
+    const std::set<std::string> booleans = {
+        "a100", "batched", "explicit", "retry", "hedge",
+        "no-failover", "no-degrade"};
     CliArgs good = parse({"serve", "mix", "--rate", "800",
                           "--duration", "1.5", "--depth", "64",
-                          "--policy", "deadline"});
-    EXPECT_TRUE(good.validateFlags("serve", known,
-                                   {"rate", "duration"},
-                                   {"depth", "microbatch"}, {"seed"}));
+                          "--policy", "deadline", "--faults",
+                          "crash@500:d1", "--retry", "--retry-budget",
+                          "4", "--backoff", "12.5", "--hedge",
+                          "--fault-seed", "9"},
+                         booleans);
+    EXPECT_TRUE(good.validateFlags("serve", known, numeric, integer,
+                                   u64));
     EXPECT_TRUE(good.checkPositionals("serve", 2));
+    EXPECT_TRUE(good.hasFlag("retry"));
+    EXPECT_TRUE(good.hasFlag("hedge"));
+    EXPECT_FALSE(good.hasFlag("no-failover"));
+    EXPECT_EQ(good.flag("faults", ""), "crash@500:d1");
+    EXPECT_EQ(good.flagI("retry-budget", 0), 4);
+    EXPECT_DOUBLE_EQ(good.flagD("backoff", 0.0), 12.5);
+    EXPECT_EQ(good.flagU64("fault-seed", 0), 9u);
 
     CliArgs bad_rate = parse({"serve", "mix", "--rate", "fast"});
-    EXPECT_FALSE(bad_rate.validateFlags("serve", known,
-                                        {"rate", "duration"},
-                                        {"depth", "microbatch"},
-                                        {"seed"}));
+    EXPECT_FALSE(bad_rate.validateFlags("serve", known, numeric,
+                                        integer, u64));
     CliArgs bad_depth = parse({"serve", "mix", "--depth", "1e3"});
-    EXPECT_FALSE(bad_depth.validateFlags("serve", known,
-                                         {"rate", "duration"},
-                                         {"depth", "microbatch"},
-                                         {"seed"}));
+    EXPECT_FALSE(bad_depth.validateFlags("serve", known, numeric,
+                                         integer, u64));
     CliArgs unknown = parse({"serve", "mix", "--qos", "gold"});
-    EXPECT_FALSE(unknown.validateFlags("serve", known,
-                                       {"rate", "duration"},
-                                       {"depth", "microbatch"},
-                                       {"seed"}));
+    EXPECT_FALSE(unknown.validateFlags("serve", known, numeric,
+                                       integer, u64));
+    // New fault flags: values must validate like any other flag.
+    CliArgs bad_budget =
+        parse({"serve", "mix", "--retry-budget", "two"}, booleans);
+    EXPECT_FALSE(bad_budget.validateFlags("serve", known, numeric,
+                                          integer, u64));
+    CliArgs bad_backoff =
+        parse({"serve", "mix", "--backoff", "soon"}, booleans);
+    EXPECT_FALSE(bad_backoff.validateFlags("serve", known, numeric,
+                                           integer, u64));
+    CliArgs bad_fseed =
+        parse({"serve", "mix", "--fault-seed", "-1"}, booleans);
+    EXPECT_FALSE(bad_fseed.validateFlags("serve", known, numeric,
+                                         integer, u64));
+    // Boolean recovery flags never consume the next token.
+    CliArgs boolish =
+        parse({"serve", "mix", "--retry", "--rate", "500"}, booleans);
+    EXPECT_TRUE(boolish.validateFlags("serve", known, numeric,
+                                      integer, u64));
+    EXPECT_DOUBLE_EQ(boolish.flagD("rate", 0.0), 500.0);
+}
+
+TEST(CliFlags, FaultSpecRejectionIsAnExitTwoPath)
+{
+    // The CLI's --faults handling goes through FaultSpec::parse,
+    // which returns an error message instead of exiting; the helper
+    // contract mirrored here is "false + non-empty message".
+    // (dstc_sim maps that to exit code 2 — covered by the CI smoke.)
+    EXPECT_TRUE(checkChoiceFlag("admission", "reject",
+                                {"reject", "shed"}));
+    EXPECT_FALSE(checkPositiveFlag("retry-budget", 0.0));
+    EXPECT_FALSE(checkPositiveFlag("backoff", -1.0));
 }
 
 } // namespace

@@ -239,6 +239,104 @@ TEST(ServingQueueTest, StealTakesLeastUrgentFromDeepestQueue)
                  queue.totalDepth() == 0);
 }
 
+TEST(ServingQueueTest, ZeroDepthBoundClampsToOne)
+{
+    // depth 0 would deadlock admission entirely; the queue clamps
+    // both the constructor and setDepthBound to >= 1.
+    ServingQueue queue(1, 0, AdmissionPolicy::Reject);
+    EXPECT_EQ(queue.depthBound(), 1u);
+    EXPECT_EQ(queue.admit(makeQueued(0, 0, 10.0), nullptr),
+              ServingQueue::Admit::Admitted);
+    EXPECT_EQ(queue.admit(makeQueued(1, 0, 10.0), nullptr),
+              ServingQueue::Admit::Rejected);
+    queue.setDepthBound(0);
+    EXPECT_EQ(queue.depthBound(), 1u);
+}
+
+TEST(ServingQueueTest, EmptyQueueEdgeCases)
+{
+    ServingQueue queue(2, 4, AdmissionPolicy::ShedOldest);
+    // Every extraction on an empty queue is a clean miss, not a
+    // crash or a phantom entry.
+    EXPECT_FALSE(queue.pop(0, true).has_value());
+    EXPECT_FALSE(queue.pop(0, false).has_value());
+    EXPECT_FALSE(queue.steal(0, nullptr).has_value());
+    EXPECT_TRUE(queue.popBatchMates(0, 7, 3, true).empty());
+    EXPECT_TRUE(queue.drainDevice(0).empty());
+    EXPECT_EQ(queue.totalDepth(), 0u);
+    std::vector<QueuedRequest> shed;
+    queue.shedExcess(&shed); // nothing above the bound
+    EXPECT_TRUE(shed.empty());
+}
+
+TEST(ServingQueueTest, SingleElementShedAndSteal)
+{
+    ServingQueue queue(2, 1, AdmissionPolicy::ShedOldest);
+    ASSERT_EQ(queue.admit(makeQueued(0, 0, 10.0), nullptr),
+              ServingQueue::Admit::Admitted);
+    // Stealing the lone entry hands it to the thief for immediate
+    // dispatch — it leaves the queue entirely.
+    size_t donor = 99;
+    const std::optional<QueuedRequest> stolen =
+        queue.steal(1, &donor);
+    ASSERT_TRUE(stolen.has_value());
+    EXPECT_EQ(donor, 0u);
+    EXPECT_EQ(stolen->device, 1u);
+    EXPECT_EQ(queue.totalDepth(), 0u);
+    EXPECT_TRUE(queue.empty(0));
+    // Shedding at bound 1 evicts the lone entry for the newcomer.
+    ASSERT_EQ(queue.admit(makeQueued(1, 0, 10.0), nullptr),
+              ServingQueue::Admit::Admitted);
+    std::vector<QueuedRequest> shed;
+    EXPECT_EQ(queue.admit(makeQueued(2, 0, 10.0), &shed),
+              ServingQueue::Admit::Admitted);
+    ASSERT_EQ(shed.size(), 1u);
+    EXPECT_EQ(shed[0].id, 1);
+    EXPECT_EQ(queue.totalDepth(), 1u);
+}
+
+TEST(ServingQueueTest, BatchMatesGoneAfterDrain)
+{
+    // A batch head must not pull mates that a crash drain already
+    // removed from the device.
+    ServingQueue queue(2, 8, AdmissionPolicy::Reject);
+    queue.admit(makeQueued(0, 0, 10.0, 7), nullptr);
+    queue.admit(makeQueued(1, 0, 12.0, 7), nullptr);
+    queue.admit(makeQueued(2, 1, 14.0, 7), nullptr);
+    const std::vector<QueuedRequest> drained = queue.drainDevice(0);
+    ASSERT_EQ(drained.size(), 2u);
+    EXPECT_EQ(drained[0].id, 0); // id order
+    EXPECT_EQ(drained[1].id, 1);
+    EXPECT_TRUE(queue.popBatchMates(0, 7, 4, true).empty());
+    EXPECT_EQ(queue.depth(1), 1u); // the other device keeps its entry
+    EXPECT_EQ(queue.totalDepth(), 1u);
+}
+
+TEST(ServingQueueTest, ShedExcessEvictsBatchClassFirst)
+{
+    ServingQueue queue(1, 8, AdmissionPolicy::ShedOldest);
+    QueuedRequest interactive = makeQueued(0, 0, 10.0);
+    interactive.deadline_class = DeadlineClass::Interactive;
+    QueuedRequest batch = makeQueued(1, 0, 90.0);
+    batch.deadline_class = DeadlineClass::Batch;
+    QueuedRequest standard = makeQueued(2, 0, 50.0);
+    standard.deadline_class = DeadlineClass::Standard;
+    queue.admit(interactive, nullptr);
+    queue.admit(batch, nullptr);
+    queue.admit(standard, nullptr);
+    queue.setShedBatchFirst(true);
+    queue.setDepthBound(1);
+    std::vector<QueuedRequest> shed;
+    queue.shedExcess(&shed);
+    // Victim order under degradation: batch, then standard; the
+    // oldest (interactive, id 0) survives despite being oldest.
+    ASSERT_EQ(shed.size(), 2u);
+    EXPECT_EQ(shed[0].id, 1);
+    EXPECT_EQ(shed[1].id, 2);
+    EXPECT_EQ(queue.totalDepth(), 1u);
+    EXPECT_EQ(queue.pop(0, false)->id, 0);
+}
+
 // ---------------------------------------------------------------- //
 // ServingEngine
 
@@ -322,10 +420,14 @@ TEST(ServingEngineTest, OutcomesAreOrderedAndAccounted)
         EXPECT_GT(o.finish_us, o.start_us);
         EXPECT_EQ(o.met_deadline, o.finish_us <= o.deadline_us);
     }
-    // Everything admitted is eventually executed, shed or dropped.
+    // Everything admitted is eventually executed, shed, dropped or
+    // (under faults — none here) lost.
     EXPECT_EQ(stats.admitted, stats.offered - stats.rejected);
-    EXPECT_EQ(stats.completed + stats.shed + stats.dropped,
+    EXPECT_EQ(stats.completed + stats.shed + stats.dropped +
+                  stats.faults.lost,
               stats.admitted);
+    EXPECT_EQ(stats.faults.lost, 0);
+    EXPECT_EQ(stats.faults.availability, 1.0);
     int64_t placed = 0;
     for (int64_t p : stats.placed_per_device)
         placed += p;

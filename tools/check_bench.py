@@ -30,7 +30,13 @@ BENCH_encode.json, BENCH_cluster.json):
     and load level, deadline-aware placement must beat round-robin
     on simulated p99 tail latency and goodput (ratio >= 1), with the
     same reference-ratio tolerance; every point must also replay
-    bitwise against serial single-Session execution.
+    bitwise against serial single-Session execution. Fault sweep
+    points (faults != "") additionally gate recovery quality: under
+    the crash script, failover goodput must match or beat the
+    no-recovery baseline (and stay within tolerance of the reference
+    ratio); under transient-only faults with retry, zero requests
+    may be lost. Fault timelines are exactly as deterministic as
+    healthy ones, so these are not flaky thresholds.
  6. Hybrid-dispatch gate (micro_hybrid): on every point, reference
     and measured, the density-partitioned hybrid must match or beat
     the best single backend on simulated kernel time
@@ -122,7 +128,8 @@ def point_key(point, keys):
 def point_label(point):
     fields = ("kind", "shape", "m", "method", "sparsity", "wsp",
               "asp", "stride", "clustered", "tile_k", "devices",
-              "policy", "load", "mix", "b_sparsity", "b_kind")
+              "policy", "load", "mix", "b_sparsity", "b_kind",
+              "faults", "recovery")
     parts = [f"{k}={point[k]}" for k in fields if k in point]
     return "{" + ", ".join(parts) + "}"
 
@@ -240,6 +247,10 @@ def check_serve(name, ref_points, meas_points, args):
     metrics are simulated and deterministic, so the tolerance only
     absorbs intentional timing- or policy-model changes."""
     ok = True
+    # The policy-comparison gate runs on healthy points only; fault
+    # sweep points (faults != "") are gated by check_serve_faults.
+    ref_points = [p for p in ref_points if not p.get("faults", "")]
+    meas_points = [p for p in meas_points if not p.get("faults", "")]
     hetero = sorted({p["devices"] for p in meas_points
                      if "+" in p.get("devices", "")})
     if not hetero:
@@ -276,6 +287,79 @@ def check_serve(name, ref_points, meas_points, args):
                           f"{label} advantage {ratio:.2f}x "
                           f"(deadline vs rr)")
                 ok = point_ok and ok
+    return ok
+
+
+def recovery_goodput_ratio(points):
+    """failover-vs-no-recovery goodput ratio under the crash script
+    (> 1 means recovery converts lost work back into goodput)."""
+    recovered = baseline = None
+    for p in points:
+        if "crash" not in p.get("faults", "") or \
+                "transient" in p.get("faults", ""):
+            continue
+        if p.get("recovery") == "failover":
+            recovered = p.get("goodput_rpms", 0.0)
+        elif p.get("recovery") == "none":
+            baseline = p.get("goodput_rpms", 0.0)
+    if not recovered or not baseline:
+        return None
+    return recovered / baseline
+
+
+def check_serve_faults(name, ref_points, meas_points, args):
+    """Fault-recovery gate: the fault sweep's deterministic recovery
+    quality. Crash script: failover goodput >= the no-recovery
+    baseline, within tolerance of the reference ratio. Transient-only
+    with retry: zero lost requests, hard."""
+    ok = True
+    fault_meas = [p for p in meas_points if p.get("faults", "")]
+    if not fault_meas:
+        return fail(f"{name}: no fault sweep points measured")
+
+    ratio = recovery_goodput_ratio(fault_meas)
+    if ratio is None:
+        ok = fail(f"{name}: fault sweep lacks the failover/"
+                  f"no-recovery crash pair")
+    else:
+        if ratio < 1.0:
+            ok = fail(f"{name}: crash-script recovery goodput "
+                      f"({ratio:.2f}x) fell below the no-recovery "
+                      f"baseline")
+        ref = recovery_goodput_ratio(
+            [p for p in ref_points if p.get("faults", "")])
+        if ref is not None and ratio < args.tolerance * ref:
+            ok = fail(f"{name}: recovery goodput advantage "
+                      f"{ratio:.2f}x regressed below "
+                      f"{args.tolerance * ref:.2f}x (= "
+                      f"{args.tolerance:.2f} x reference {ref:.2f}x)")
+        if ok:
+            print(f"check_bench: {name}: crash-script recovery "
+                  f"goodput {ratio:.2f}x vs no-recovery baseline")
+
+    transient_retry = [
+        p for p in fault_meas
+        if "transient" in p.get("faults", "")
+        and "crash" not in p.get("faults", "")
+        and "retry" in p.get("recovery", "")]
+    if not transient_retry:
+        ok = fail(f"{name}: no transient-only retry point measured")
+    for p in transient_retry:
+        if p.get("lost", -1) != 0:
+            ok = fail(f"{name}: {point_label(p)} lost "
+                      f"{p.get('lost')} requests under transient-only "
+                      f"faults with retry (must be 0)")
+        elif p.get("retries", 0) <= 0:
+            ok = fail(f"{name}: {point_label(p)} recorded no retries "
+                      f"— the transient fault axis went missing")
+        else:
+            print(f"check_bench: {name}: {point_label(p)} retried "
+                  f"{p.get('retries')} transient failures, lost 0")
+    for p in fault_meas:
+        avail = p.get("availability", -1.0)
+        if not 0.0 <= avail <= 1.0:
+            ok = fail(f"{name}: {point_label(p)} availability "
+                      f"{avail} outside [0, 1]")
     return ok
 
 
@@ -427,6 +511,8 @@ def check_bench(name, spec, args):
 
     if spec.get("mode") == "serve":
         ok = check_serve(name, ref_points, meas_points, args) and ok
+        ok = check_serve_faults(name, ref_points, meas_points,
+                                args) and ok
         if ok:
             print(f"check_bench: {name}: "
                   f"{len(meas_points)} quick points green")

@@ -26,6 +26,15 @@
  *            [--pattern poisson|bursty] [--rate RPMS]
  *            [--duration MS] [--depth N] [--microbatch N]
  *            [--method auto|dual|dense|single] [--seed N]
+ *            [--faults SPEC] [--fault-seed N] [--retry]
+ *            [--retry-budget N] [--backoff US] [--hedge]
+ *            [--no-failover] [--no-degrade]
+ *
+ * Fault specs are ';'-separated events (see serve/faults.h):
+ *   crash@<t_us>:d<idx>             crash-stop a device at t
+ *   slow@<t_us>+<dur_us>x<f>:d<idx> slowdown window, factor f >= 1
+ *   transient:p<prob>               per-attempt failure probability
+ *   randcrash:<n>                   n seeded random crashes
  *   dstc_sim backends [M N K] [--a-sparsity S] [--b-sparsity S]
  *            [--cluster C] [--seed N] [--hybrid-threshold T]
  *   dstc_sim overhead [--dtype fp32|fp16|bf16|int8|int4]
@@ -536,15 +545,20 @@ runServe(const CliArgs &args)
     if (!args.validateFlags("serve",
                             {"devices", "policy", "admission",
                              "pattern", "rate", "duration", "depth",
-                             "microbatch", "method", "seed"},
-                            {"rate", "duration"},
-                            {"depth", "microbatch"}, {"seed"}, {}))
+                             "microbatch", "method", "seed", "faults",
+                             "fault-seed", "retry", "retry-budget",
+                             "backoff", "hedge", "no-failover",
+                             "no-degrade"},
+                            {"rate", "duration", "backoff"},
+                            {"depth", "microbatch", "retry-budget"},
+                            {"seed", "fault-seed"}, {}))
         return 2;
     if (args.positional.size() < 2) {
         std::fprintf(stderr,
                      "usage: dstc_sim serve <model|mix> [--devices "
                      "v100,a100,future] [--policy deadline|cost|rr] "
-                     "[--admission reject|shed] [flags]\n");
+                     "[--admission reject|shed] [--faults spec] "
+                     "[--retry] [--hedge] [flags]\n");
         return 2;
     }
 
@@ -600,6 +614,30 @@ runServe(const CliArgs &args)
     opts.queue_depth = static_cast<size_t>(depth);
     opts.microbatch = static_cast<size_t>(microbatch);
 
+    // Fault injection and recovery policies. Malformed specs are a
+    // usage error (exit 2) with the parser's own message — the same
+    // contract as every other flag.
+    const std::string fault_spec = args.flag("faults", "");
+    if (!fault_spec.empty()) {
+        std::string error;
+        if (!FaultSpec::parse(fault_spec, &opts.faults, &error)) {
+            std::fprintf(stderr, "serve: bad --faults spec: %s\n",
+                         error.c_str());
+            return 2;
+        }
+    }
+    opts.fault_seed = args.flagU64("fault-seed", 0);
+    opts.retry = args.hasFlag("retry");
+    opts.hedge = args.hasFlag("hedge");
+    opts.failover = !args.hasFlag("no-failover");
+    opts.degrade = !args.hasFlag("no-degrade");
+    const int retry_budget = args.flagI("retry-budget", 3);
+    opts.retry_backoff_us = args.flagD("backoff", 10.0);
+    if (!checkPositiveFlag("retry-budget", retry_budget) ||
+        !checkPositiveFlag("backoff", opts.retry_backoff_us))
+        return 2;
+    opts.retry_budget = retry_budget;
+
     ServingEngine engine(opts, std::move(pool));
     const double capacity = engine.estimatedCapacityRpms();
     ServingResult result = engine.run();
@@ -645,11 +683,12 @@ runServe(const CliArgs &args)
                 static_cast<long long>(stats.offered),
                 static_cast<long long>(stats.admitted));
     std::printf("completed          : %lld (%lld rejected, %lld "
-                "shed, %lld dropped)\n",
+                "shed, %lld dropped, %lld lost)\n",
                 static_cast<long long>(stats.completed),
                 static_cast<long long>(stats.rejected),
                 static_cast<long long>(stats.shed),
-                static_cast<long long>(stats.dropped));
+                static_cast<long long>(stats.dropped),
+                static_cast<long long>(stats.faults.lost));
     std::printf("latency p50/p95/p99: %.2f / %.2f / %.2f us\n",
                 stats.latency.p50_us, stats.latency.p95_us,
                 stats.latency.p99_us);
@@ -665,6 +704,29 @@ runServe(const CliArgs &args)
                 static_cast<long long>(stats.steals),
                 static_cast<long long>(stats.microbatches),
                 static_cast<long long>(stats.microbatched));
+
+    if (!opts.faults.empty()) {
+        const FaultRecoveryStats &fr = stats.faults;
+        std::printf("\nfault/recovery scoreboard:\n");
+        std::printf("crashes / slowdowns: %lld / %lld\n",
+                    static_cast<long long>(fr.crashes),
+                    static_cast<long long>(fr.slowdowns));
+        std::printf("transient failures : %lld\n",
+                    static_cast<long long>(fr.transient_failures));
+        std::printf("retries            : %lld (%lld exhausted)\n",
+                    static_cast<long long>(fr.retries),
+                    static_cast<long long>(fr.retries_exhausted));
+        std::printf("failovers          : %lld\n",
+                    static_cast<long long>(fr.failovers));
+        std::printf("hedges             : %lld (%lld secondary wins, "
+                    "%lld cancelled)\n",
+                    static_cast<long long>(fr.hedges),
+                    static_cast<long long>(fr.hedge_wins),
+                    static_cast<long long>(fr.hedges_cancelled));
+        std::printf("requests lost      : %lld\n",
+                    static_cast<long long>(fr.lost));
+        std::printf("availability       : %.4f\n", fr.availability);
+    }
     return 0;
 }
 
@@ -812,7 +874,9 @@ main(int argc, char **argv)
     // `--batched bogus` would silently eat the stray argument and
     // `--a100 model ...` would eat the command).
     CliArgs args =
-        parseCliArgs(argc, argv, {"a100", "batched", "explicit"});
+        parseCliArgs(argc, argv,
+                     {"a100", "batched", "explicit", "retry", "hedge",
+                      "no-failover", "no-degrade"});
     if (args.positional.empty()) {
         std::fprintf(stderr,
                      "usage: dstc_sim <gemm|conv|model|cluster|serve|"
