@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Scalar narrow-tile SpMM reference, compiled into the test-only
+ * `dstc_reference` library: the scalar NarrowTileMatrix::encode plus
+ * a serial strip-major multiply in the word path's exact
+ * accumulation order (ascending column within each strip, ascending
+ * row within each vector). The equivalence tests and
+ * bench/micro_spmm pin SpmmDevice::multiplyNarrow bitwise to this
+ * for every worker count and datatype.
+ */
+#include "gemm/spmm_device.h"
+
+#include "common/logging.h"
+
+namespace dstc {
+
+Matrix<float>
+refSpmmNarrow(const Matrix<float> &a, const Matrix<float> &b,
+              DataType dtype)
+{
+    DSTC_ASSERT(a.cols() == b.rows(), "SpMM dims: ", a.rows(), "x",
+                a.cols(), " * ", b.rows(), "x", b.cols());
+    const QuantSpec spec_a = QuantSpec::forValues(
+        dtype, a.data().data(), a.data().size());
+    const QuantSpec spec_b = QuantSpec::forValues(
+        dtype, b.data().data(), b.data().size());
+    const NarrowTileMatrix a_enc = NarrowTileMatrix::encode(a, spec_a);
+
+    const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+    std::vector<float> bq(static_cast<size_t>(k) * n);
+    const float *bsrc = b.data().data();
+    for (size_t i = 0; i < bq.size(); ++i)
+        bq[i] = spec_b.apply(bsrc[i]);
+
+    Matrix<float> d(static_cast<int>(m), static_cast<int>(n));
+    float *d_base = d.data().data();
+    for (int s = 0; s < a_enc.numStrips(); ++s) {
+        const int64_t r0 =
+            static_cast<int64_t>(s) * NarrowTileMatrix::kStripRows;
+        int64_t v = a_enc.stripOffset(s);
+        for (int w = 0; w < a_enc.wordsPerStrip(); ++w) {
+            uint64_t word = a_enc.stripWord(s, w);
+            const int64_t c_base = static_cast<int64_t>(w) << 6;
+            while (word) {
+                const int64_t c = c_base + std::countr_zero(word);
+                word &= word - 1;
+                uint8_t mask = a_enc.vectorMask(v);
+                const float *vals =
+                    a_enc.vectorValuesQuant(v).data();
+                const float *brow =
+                    bq.data() + static_cast<size_t>(c) * n;
+                while (mask) {
+                    const int j = std::countr_zero(
+                        static_cast<uint32_t>(mask));
+                    mask = static_cast<uint8_t>(mask & (mask - 1));
+                    const float x = *vals++;
+                    float *drow =
+                        d_base + static_cast<size_t>(r0 + j) * n;
+                    for (int64_t cn = 0; cn < n; ++cn)
+                        drow[cn] += x * brow[cn];
+                }
+                ++v;
+            }
+        }
+    }
+
+    const float out_scale = QuantSpec::outputScale(spec_a, spec_b);
+    if (out_scale != 1.0f)
+        for (float &x : d.data())
+            x *= out_scale;
+    return d;
+}
+
+} // namespace dstc

@@ -81,6 +81,62 @@ cusparseGemmTime(const GpuConfig &cfg, const CsrMatrix &a,
     return cusparseGemmTime(cfg, a.rows(), products, d.nnz());
 }
 
+Matrix<float>
+csrSpmm(const CsrMatrix &a, const Matrix<float> &b,
+        const QuantSpec &spec_a, const QuantSpec &spec_b)
+{
+    DSTC_ASSERT(a.cols() == b.rows());
+    const int n = b.cols();
+    Matrix<float> d(a.rows(), n);
+    for (int i = 0; i < a.rows(); ++i) {
+        float *drow = d.data().data() + static_cast<size_t>(i) * n;
+        for (int ai = a.rowPtr()[i]; ai < a.rowPtr()[i + 1]; ++ai) {
+            const int kk = a.colIdx()[ai];
+            const float av = spec_a.apply(a.values()[ai]);
+            const float *brow =
+                b.data().data() + static_cast<size_t>(kk) * n;
+            for (int c = 0; c < n; ++c)
+                drow[c] += av * spec_b.apply(brow[c]);
+        }
+    }
+    const float out_scale = QuantSpec::outputScale(spec_a, spec_b);
+    if (out_scale != 1.0f) {
+        for (float &v : d.data())
+            v *= out_scale;
+    }
+    return d;
+}
+
+namespace {
+
+// SpMM model constants: one row-parallel kernel (no symbolic phase),
+// so the fixed overhead is a single launch + descriptor setup; rows
+// cost only their row-pointer reads; the per-product rate is ~8x the
+// SpGEMM rate because the dense-B row gathers are unit-stride and
+// the accumulator is a register tile, not a hash table.
+constexpr double kSpmmFixedOverheadUs = 9.0;
+constexpr double kSpmmRowCostUs = 0.002;
+constexpr double kSpmmProductsPerUs = 350000.0;
+
+} // namespace
+
+KernelStats
+cusparseSpmmTime(const GpuConfig &cfg, int64_t rows, int64_t products,
+                 int64_t out_cells)
+{
+    (void)cfg; // latency-limited, like the SpGEMM model
+    KernelStats stats;
+    stats.name = "cusparse_spmm";
+    stats.compute_us =
+        static_cast<double>(rows) * kSpmmRowCostUs +
+        static_cast<double>(products) / kSpmmProductsPerUs +
+        static_cast<double>(out_cells) / kOutputNnzPerUs;
+    stats.memory_us = 0.0;
+    stats.launch_us = kSpmmFixedOverheadUs;
+    stats.bound = Bound::Compute;
+    return stats;
+}
+
 KernelStats
 cusparseGemmTimeExpected(const GpuConfig &cfg, int64_t m, int64_t n,
                          int64_t k, double density_a, double density_b)

@@ -62,6 +62,32 @@ KernelStats cusparseGemmTimeExpected(const GpuConfig &cfg, int64_t m,
                                      int64_t n, int64_t k,
                                      double density_a, double density_b);
 
+/**
+ * Functional CSR SpMM: D = A x B with A in CSR and B dense. Row-wise
+ * with ascending column indices, so each output cell accumulates its
+ * products in ascending-k order from spec-quantized operands — the
+ * same order and values as the dual-sparse SpMM paths, hence bitwise
+ * identical output (integer specs apply the deferred sa * sb scale
+ * after accumulation, also matching).
+ */
+Matrix<float> csrSpmm(const CsrMatrix &a, const Matrix<float> &b,
+                      const QuantSpec &spec_a = {DataType::Fp32, 1.0f},
+                      const QuantSpec &spec_b = {DataType::Fp32, 1.0f});
+
+/**
+ * Timing model of the library SpMM (cusparseSpMM-style): a single
+ * row-parallel CUDA-core kernel — no symbolic phase, no hash
+ * bookkeeping — with a per-row setup term, a per-product term (the
+ * dense-B gathers vectorize far better than SpGEMM's hash inserts),
+ * and a dense m x n output write.
+ *
+ * @param rows      rows of A
+ * @param products  total multiply count: nnz(A) * n
+ * @param out_cells m * n dense output elements
+ */
+KernelStats cusparseSpmmTime(const GpuConfig &cfg, int64_t rows,
+                             int64_t products, int64_t out_cells);
+
 } // namespace dstc
 
 #endif // DSTC_BASELINES_CUSPARSE_LIKE_H

@@ -25,6 +25,7 @@
 #include "core/method_map.h"
 #include "gemm/dense_gemm.h"
 #include "gemm/spgemm_device.h"
+#include "gemm/spmm_device.h"
 #include "sparse/word_encode.h"
 
 namespace dstc {
@@ -219,6 +220,129 @@ class DualGemmPlan : public ExecutionPlan
     std::shared_ptr<const TwoLevelBitmapMatrix> b_enc_;
 };
 
+/**
+ * Dual-side sparse SpMM plan: sparse A (narrow 8x1 or wide 32-wide
+ * two-level encoding) against a dense streamed B. The format choice
+ * is made at plan stage from the request's exact density profiles —
+ * both estimates fold the same per-strip counts the executed kernels
+ * fold, so the selection compares what execution would actually
+ * cost. SpmmFormat::Narrow/Wide override the choice.
+ */
+class DualSpmmPlan : public ExecutionPlan
+{
+  public:
+    DualSpmmPlan(const char *name, const KernelRequest &req,
+                 const PlanContext &ctx)
+        : ExecutionPlan(name, Method::DualSparse, req.tag), req_(req),
+          cfg_(*ctx.cfg), cache_(ctx.cache),
+          encode_workers_(ctx.encode_workers)
+    {
+    }
+
+  protected:
+    KernelReport
+    run() override
+    {
+        SpmmDevice device(cfg_);
+        const SpmmFormat format = chosenFormat();
+        KernelReport report;
+        if (req_.a && req_.b) {
+            // Encodes are deferred to execution so a losing Auto
+            // candidate (and the unchosen format) never pays for
+            // them.
+            PlanContext ctx;
+            ctx.cfg = &cfg_;
+            ctx.cache = cache_;
+            ctx.encode_workers = encode_workers_;
+            bool hit = false;
+            const QuantSpec spec_b =
+                specFor(req_.dataType(), *req_.b);
+            SpmmResult r =
+                format == SpmmFormat::Narrow
+                    ? device.multiplyNarrow(
+                          *resolveNarrowTileA(req_, ctx, digests_,
+                                              &hit),
+                          *req_.b, spec_b, req_.gemm_options)
+                    : device.multiplyWide(
+                          *resolveTwoLevelA(req_, ctx, digests_,
+                                            &hit),
+                          *req_.b, spec_b, req_.gemm_options);
+            cache_hit_ = cache_hit_ || hit;
+            report.stats = r.stats;
+            if (req_.gemm_options.functional)
+                report.d = std::make_shared<const Matrix<float>>(
+                    std::move(r.d));
+        } else {
+            report.stats = formatStats(format);
+        }
+        return report;
+    }
+
+    double
+    estimate() override
+    {
+        // The profile estimate of the chosen format — identical to
+        // the executed stats by construction (shared count-folding
+        // routine), so Auto ranks this plan at its true cost without
+        // encoding anything.
+        return formatStats(chosenFormat()).timeUs();
+    }
+
+  private:
+    SpmmFormat
+    chosenFormat()
+    {
+        if (format_ == SpmmFormat::Auto) {
+            if (req_.spmm_format != SpmmFormat::Auto)
+                format_ = req_.spmm_format;
+            else
+                format_ = formatStats(SpmmFormat::Narrow).timeUs() <=
+                                  formatStats(SpmmFormat::Wide)
+                                      .timeUs()
+                              ? SpmmFormat::Narrow
+                              : SpmmFormat::Wide;
+        }
+        return format_;
+    }
+
+    KernelStats
+    formatStats(SpmmFormat format)
+    {
+        const SpmmProfilesView &p = profiles();
+        SpmmDevice device(cfg_);
+        return format == SpmmFormat::Narrow
+                   ? device.timeNarrowFromProfile(*p.a8, req_.n,
+                                                  req_.gemm_options)
+                   : device.timeWideFromProfile(*p.a32, req_.n,
+                                                req_.gemm_options);
+    }
+
+    const SpmmProfilesView &
+    profiles()
+    {
+        if (!profiles_resolved_) {
+            profiles_resolved_ = true;
+            PlanContext ctx;
+            ctx.cfg = &cfg_;
+            ctx.cache = cache_;
+            bool hit = false;
+            profiles_ =
+                resolveSpmmProfiles(req_, ctx, digests_, &hit);
+            cache_hit_ = cache_hit_ || hit;
+        }
+        return profiles_;
+    }
+
+    KernelRequest req_;
+    GpuConfig cfg_;
+    EncodingCache *cache_;
+    int encode_workers_ = 1;
+    OperandDigests digests_;
+    SpmmFormat format_ = SpmmFormat::Auto; ///< Auto = not chosen yet
+    bool profiles_resolved_ = false;
+    SpmmProfilesView profiles_;
+};
+
 // -- shared conv plan (dual / dense / zhu) --------------------------
 
 class ConvPlan : public ExecutionPlan
@@ -299,15 +423,24 @@ class DualSparseBackend : public Backend
     bool
     supports(const KernelRequest &req) const override
     {
-        // Pre-encoded operands must come as a pair (a half-specified
-        // pair has no consistent execution).
-        if (req.kind == KernelRequest::Kind::Gemm)
+        switch (req.kind) {
+        case KernelRequest::Kind::Gemm:
+            // Pre-encoded operands must come as a pair (a
+            // half-specified pair has no consistent execution).
             return !req.a_encoded == !req.b_encoded;
-        // The dual-side design is inherently implicit (the bitmap
-        // im2col is part of the datapath, Sec. IV), and the conv
-        // pipeline is FP16-only.
-        return req.lowering == Lowering::Implicit &&
-               convDataTypeOk(req);
+        case KernelRequest::Kind::Spmm:
+            // SpMM resolves its own A-side encodings (narrow or
+            // wide, chosen at plan stage); pre-encoded operands have
+            // no entry point.
+            return !req.a_encoded && !req.b_encoded;
+        case KernelRequest::Kind::Conv:
+            // The dual-side design is inherently implicit (the
+            // bitmap im2col is part of the datapath, Sec. IV), and
+            // the conv pipeline is FP16-only.
+            return req.lowering == Lowering::Implicit &&
+                   convDataTypeOk(req);
+        }
+        return false;
     }
 
     std::unique_ptr<ExecutionPlan>
@@ -317,6 +450,8 @@ class DualSparseBackend : public Backend
         if (req.kind == KernelRequest::Kind::Conv)
             return std::make_unique<ConvPlan>(name(), method(), req,
                                               ctx);
+        if (req.kind == KernelRequest::Kind::Spmm)
+            return std::make_unique<DualSpmmPlan>(name(), req, ctx);
         return std::make_unique<DualGemmPlan>(name(), req, ctx);
     }
 };
@@ -383,12 +518,20 @@ class DenseBackend : public Backend
     bool
     supports(const KernelRequest &req) const override
     {
-        // Dense GEMM and both conv lowerings (FP16-only conv);
-        // pre-encoded two-level operands are only consumable by the
-        // dual-sparse kernel.
-        if (req.kind == KernelRequest::Kind::Gemm)
+        switch (req.kind) {
+        case KernelRequest::Kind::Gemm:
+        case KernelRequest::Kind::Spmm:
+            // Dense GEMM answers SpMM by streaming A as a dense m x k
+            // operand (zeros and all) — the format-insensitive
+            // floor every sparse path must beat. Pre-encoded
+            // two-level operands are only consumable by the
+            // dual-sparse kernel.
             return !req.a_encoded;
-        return convDataTypeOk(req);
+        case KernelRequest::Kind::Conv:
+            // Both conv lowerings, FP16-only conv pipeline.
+            return convDataTypeOk(req);
+        }
+        return false;
     }
 
     std::unique_ptr<ExecutionPlan>
@@ -398,6 +541,9 @@ class DenseBackend : public Backend
         if (req.kind == KernelRequest::Kind::Conv)
             return std::make_unique<ConvPlan>(name(), method(), req,
                                               ctx);
+        // Kind::Spmm shares the dense GEMM plan: same geometry
+        // fields, same kernel (A's sparsity is invisible to a dense
+        // datapath).
         return std::make_unique<DenseGemmPlan>(name(), req, ctx);
     }
 };
@@ -466,10 +612,19 @@ class ZhuSparseBackend : public Backend
     bool
     supports(const KernelRequest &req) const override
     {
-        if (req.kind == KernelRequest::Kind::Gemm)
+        switch (req.kind) {
+        case KernelRequest::Kind::Gemm:
             return !req.a_encoded; // no two-level consumption path
-        // Both Single Sparse conv lowerings, FP16 only.
-        return convDataTypeOk(req);
+        case KernelRequest::Kind::Spmm:
+            // The vector-wise format prunes B; SpMM's B side is
+            // dense by definition, so the design has nothing to
+            // exploit (and pruning dense B changes the numerics).
+            return false;
+        case KernelRequest::Kind::Conv:
+            // Both Single Sparse conv lowerings, FP16 only.
+            return convDataTypeOk(req);
+        }
+        return false;
     }
 
     std::unique_ptr<ExecutionPlan>
@@ -545,7 +700,8 @@ class AmpereSparseBackend : public Backend
     supports(const KernelRequest &req) const override
     {
         // GEMM only: the 2:4 production design has no conv strategy
-        // in the Fig. 22 comparison.
+        // in the Fig. 22 comparison, and its 2:4 prune has no handle
+        // on SpMM's dense B side.
         return req.kind == KernelRequest::Kind::Gemm &&
                !req.a_encoded;
     }
@@ -648,6 +804,93 @@ class CusparseGemmPlan : public ExecutionPlan
     std::shared_ptr<const CsrMatrix> b_csr_;
 };
 
+/**
+ * Library-style CSR SpMM plan (cusparseSpMM shape): one row-parallel
+ * kernel. The functional path accumulates in ascending-k order from
+ * spec-quantized operands, so its output is bitwise identical to the
+ * dual-sparse SpMM paths — the baseline the gate compares against is
+ * numerically the very same computation.
+ */
+class CusparseSpmmPlan : public ExecutionPlan
+{
+  public:
+    CusparseSpmmPlan(const char *name, const KernelRequest &req,
+                     const PlanContext &ctx)
+        : ExecutionPlan(name, Method::CusparseLike, req.tag),
+          req_(req), cfg_(*ctx.cfg), cache_(ctx.cache)
+    {
+    }
+
+  protected:
+    KernelReport
+    run() override
+    {
+        KernelReport report;
+        if (req_.a && req_.b) {
+            resolveCsrA();
+            const int64_t products =
+                static_cast<int64_t>(a_csr_->nnz()) * req_.n;
+            report.stats = cusparseSpmmTime(cfg_, req_.m, products,
+                                            req_.m * req_.n);
+            if (req_.gemm_options.functional) {
+                const DataType dtype = req_.dataType();
+                report.d = std::make_shared<const Matrix<float>>(
+                    csrSpmm(*a_csr_, *req_.b,
+                            specFor(dtype, *req_.a),
+                            specFor(dtype, *req_.b)));
+            }
+        } else {
+            report.stats = timeFromDensity();
+        }
+        return report;
+    }
+
+    double
+    estimate() override
+    {
+        // The density probe reads the exact non-zero count (word
+        // popcounts for concrete A, profile totals otherwise), and
+        // the model depends on A only through that count — so this
+        // estimate equals the executed stats without paying the CSR
+        // encode.
+        return timeFromDensity().timeUs();
+    }
+
+  private:
+    KernelStats
+    timeFromDensity()
+    {
+        double da, db;
+        operandDensities(req_, &da, &db);
+        const double nnz_a =
+            da * static_cast<double>(req_.m) * req_.k;
+        return cusparseSpmmTime(
+            cfg_, req_.m,
+            static_cast<int64_t>(nnz_a) * req_.n,
+            req_.m * req_.n);
+    }
+
+    void
+    resolveCsrA()
+    {
+        if (a_csr_)
+            return;
+        bool hit = false;
+        CacheKey key("csr-a");
+        key.u64(digests_.a(*req_.a));
+        const Matrix<float> *a = req_.a;
+        a_csr_ = cache_->getOrBuild<CsrMatrix>(
+            key.value(), [a] { return CsrMatrix::encode(*a); }, &hit);
+        cache_hit_ = cache_hit_ || hit;
+    }
+
+    KernelRequest req_;
+    GpuConfig cfg_;
+    EncodingCache *cache_;
+    OperandDigests digests_;
+    std::shared_ptr<const CsrMatrix> a_csr_;
+};
+
 class CusparseLikeBackend : public Backend
 {
   public:
@@ -657,7 +900,8 @@ class CusparseLikeBackend : public Backend
     bool
     supports(const KernelRequest &req) const override
     {
-        return req.kind == KernelRequest::Kind::Gemm &&
+        return (req.kind == KernelRequest::Kind::Gemm ||
+                req.kind == KernelRequest::Kind::Spmm) &&
                !req.a_encoded;
     }
 
@@ -665,6 +909,9 @@ class CusparseLikeBackend : public Backend
     plan(const KernelRequest &req,
          const PlanContext &ctx) const override
     {
+        if (req.kind == KernelRequest::Kind::Spmm)
+            return std::make_unique<CusparseSpmmPlan>(name(), req,
+                                                      ctx);
         return std::make_unique<CusparseGemmPlan>(name(), req, ctx);
     }
 };

@@ -119,6 +119,103 @@ resolveTwoLevelB(const KernelRequest &req, const PlanContext &ctx,
         hit);
 }
 
+SparsityProfile
+aggregateSpmmProfile(const SparsityProfile &a8)
+{
+    DSTC_ASSERT(a8.tile() == 8,
+                "SpMM strip profiles use tile = 8 granularity");
+    const int64_t k = a8.k();
+    const int groups32 =
+        static_cast<int>(ceilDiv<int64_t>(a8.extent(), 32));
+    SparsityProfile a32(groups32, k, 32, a8.extent());
+    for (int g = 0; g < groups32; ++g) {
+        const int s0 = g * 4;
+        const int s1 = std::min(a8.groups(), s0 + 4);
+        for (int64_t kk = 0; kk < k; ++kk) {
+            int sum = 0;
+            for (int s = s0; s < s1; ++s)
+                sum += a8.count(s, kk);
+            a32.setCount(g, kk, sum);
+        }
+    }
+    return a32;
+}
+
+SpmmProfilesView
+resolveSpmmProfiles(const KernelRequest &req, const PlanContext &ctx,
+                    OperandDigests &digests, bool *hit)
+{
+    if (req.a_profile) {
+        DSTC_ASSERT(req.a_profile->tile() == 8,
+                    "SpMM profile requests carry strip (tile = 8) "
+                    "profiles");
+        // Borrowed strip profile; its aggregation has no digestable
+        // identity to cache by, and it is one cheap counts pass.
+        SpmmProfilesView v;
+        v.a8 = std::shared_ptr<const SparsityProfile>(
+            std::shared_ptr<const void>(), req.a_profile);
+        v.a32 = std::make_shared<const SparsityProfile>(
+            aggregateSpmmProfile(*req.a_profile));
+        return v;
+    }
+    std::shared_ptr<const SpmmProfilePair> pair;
+    if (req.a) {
+        CacheKey key("spmm-profiles-from-matrix");
+        key.u64(digests.a(*req.a));
+        const Matrix<float> *a = req.a;
+        pair = ctx.cache->getOrBuild<SpmmProfilePair>(
+            key.value(),
+            [a] {
+                SparsityProfile a8 =
+                    SparsityProfile::fromMatrixAWord(*a, 8);
+                SparsityProfile a32 = aggregateSpmmProfile(a8);
+                return SpmmProfilePair{std::move(a8),
+                                       std::move(a32)};
+            },
+            hit);
+    } else {
+        CacheKey key("spmm-profiles-synthetic");
+        key.i64(req.m).i64(req.k);
+        key.f64(req.a_sparsity).f64(req.a_cluster).u64(req.seed);
+        const KernelRequest r = req;
+        pair = ctx.cache->getOrBuild<SpmmProfilePair>(
+            key.value(),
+            [r] {
+                Rng rng(r.seed);
+                SparsityProfile a8 = SparsityProfile::randomA(
+                    r.m, r.k, 8, 1.0 - r.a_sparsity, r.a_cluster,
+                    rng);
+                SparsityProfile a32 = aggregateSpmmProfile(a8);
+                return SpmmProfilePair{std::move(a8),
+                                       std::move(a32)};
+            },
+            hit);
+    }
+    SpmmProfilesView v;
+    v.a8 = std::shared_ptr<const SparsityProfile>(pair, &pair->a8);
+    v.a32 = std::shared_ptr<const SparsityProfile>(pair, &pair->a32);
+    return v;
+}
+
+std::shared_ptr<const NarrowTileMatrix>
+resolveNarrowTileA(const KernelRequest &req, const PlanContext &ctx,
+                   OperandDigests &digests, bool *hit)
+{
+    const SpGemmOptions &o = req.gemm_options;
+    CacheKey key("narrow-tile-a");
+    key.u64(digests.a(*req.a)).i32(static_cast<int32_t>(o.dtype));
+    const Matrix<float> *a = req.a;
+    const int workers = ctx.encode_workers;
+    return ctx.cache->getOrBuild<NarrowTileMatrix>(
+        key.value(),
+        [a, &o, workers] {
+            const QuantSpec spec = QuantSpec::forValues(
+                o.dtype, a->data().data(), a->data().size());
+            return wordEncodeNarrowTile(*a, workers, spec);
+        },
+        hit);
+}
+
 double
 profileDensity(const SparsityProfile &p)
 {

@@ -20,6 +20,8 @@
 
 namespace dstc {
 
+class NarrowTileMatrix;
+
 /** The profile pair of one synthetic GEMM operating point. Both
  *  sides share one generator stream (A drawn before B), so the pair
  *  is cached as a unit. */
@@ -140,6 +142,66 @@ resolveTwoLevelA(const KernelRequest &req, const PlanContext &ctx,
 std::shared_ptr<const TwoLevelBitmapMatrix>
 resolveTwoLevelB(const KernelRequest &req, const PlanContext &ctx,
                  OperandDigests &digests, bool *hit);
+
+/**
+ * The A-side profile pair of one SpMM request: the strip-granular
+ * (tile = 8) profile the narrow-format estimate runs on, and its
+ * exact warp-tile (tile = 32) aggregation for the wide-format
+ * estimate. Derived from one pattern — aggregation sums groups of
+ * four strips — so the two format estimates always see the same
+ * operand, synthetic points included.
+ */
+struct SpmmProfilePair
+{
+    SparsityProfile a8;
+    SparsityProfile a32;
+
+    /** Resident footprint, for the cache's byte-aware bound. */
+    size_t
+    encodedBytes() const
+    {
+        return (static_cast<size_t>(a8.groups()) * a8.k() +
+                static_cast<size_t>(a32.groups()) * a32.k()) *
+               sizeof(uint16_t);
+    }
+};
+
+/** Non-owning view of an SpMM request's A-side profile pair. */
+struct SpmmProfilesView
+{
+    std::shared_ptr<const SparsityProfile> a8;
+    std::shared_ptr<const SparsityProfile> a32;
+
+    explicit operator bool() const { return a8 && a32; }
+};
+
+/**
+ * Exact warp-tile aggregation of a strip-granular A profile: group g
+ * of the tile-32 result sums strips 4g .. 4g+3, so
+ * aggregateSpmmProfile(fromMatrixAWord(a, 8)) equals
+ * fromMatrixAWord(a, 32) count-for-count.
+ */
+SparsityProfile aggregateSpmmProfile(const SparsityProfile &a8);
+
+/**
+ * Resolve (or synthesize) the A-side profiles of an SpMM request:
+ * caller-provided strip profiles are referenced in place (their
+ * aggregation is built fresh — no digestable identity to cache by);
+ * concrete and synthetic operands resolve through the cache.
+ */
+SpmmProfilesView
+resolveSpmmProfiles(const KernelRequest &req, const PlanContext &ctx,
+                    OperandDigests &digests, bool *hit);
+
+/**
+ * Cache-backed narrow-tile encoding of an SpMM request's concrete A
+ * operand (requires req.a), built by the word-parallel encoder
+ * (bitwise identical to the scalar NarrowTileMatrix::encode for
+ * every ctx.encode_workers setting).
+ */
+std::shared_ptr<const NarrowTileMatrix>
+resolveNarrowTileA(const KernelRequest &req, const PlanContext &ctx,
+                   OperandDigests &digests, bool *hit);
 
 /** Non-zero fraction of a profile over its true extent — the same
  *  geometry KernelRequest::gemm(profile, profile) reports as m/n, so

@@ -25,6 +25,7 @@
 #include "common/logging.h"
 #include "core/gemm_operands.h"
 #include "core/kernel_registry.h"
+#include "sparse/narrow_tile.h"
 
 namespace dstc {
 
@@ -90,13 +91,18 @@ resolveBackend(const PlanContext &ctx, Method method)
 struct OperandView
 {
     std::shared_ptr<const SparsityProfile> a;
-    std::shared_ptr<const SparsityProfile> b;
+    std::shared_ptr<const SparsityProfile> b; ///< null for SpMM
     bool usable = false;
     bool cache_hit = false;
 
     /** Borrowed/owned view of a concrete/synthetic/profile request
      *  (kept so the profile-flavor class slices stay alive). */
     GemmProfilesView profiles;
+
+    /** SpMM flavor: the strip-granular A profile pair (the partition
+     *  runs on a8; each class's dual plan re-aggregates its slice
+     *  for the wide-format estimate). */
+    SpmmProfilesView spmm_profiles;
 };
 
 OperandView
@@ -104,6 +110,15 @@ resolveOperandView(const KernelRequest &req, const PlanContext &ctx,
                    OperandDigests &digests)
 {
     OperandView view;
+    if (req.kind == KernelRequest::Kind::Spmm) {
+        bool hit = false;
+        view.spmm_profiles =
+            resolveSpmmProfiles(req, ctx, digests, &hit);
+        view.cache_hit = hit;
+        view.a = view.spmm_profiles.a8;
+        view.usable = true;
+        return view;
+    }
     if (req.a_encoded && req.b_encoded) {
         const SpGemmOptions &o = req.gemm_options;
         const TwoLevelBitmapMatrix &a = *req.a_encoded;
@@ -141,6 +156,11 @@ resolveOperandView(const KernelRequest &req, const PlanContext &ctx,
 std::vector<Method>
 candidateMethods(const KernelRequest &req)
 {
+    if (req.kind == KernelRequest::Kind::Spmm)
+        // Zhu and ampere prune B; SpMM's B side is dense by
+        // definition, so neither has anything to exploit.
+        return {Method::DualSparse, Method::Dense,
+                Method::CusparseLike};
     if (req.a_encoded && req.b_encoded)
         return {Method::DualSparse};
     std::vector<Method> methods = {Method::DualSparse, Method::Dense,
@@ -158,15 +178,19 @@ candidateMethods(const KernelRequest &req)
 KernelStats
 classEstimate(const KernelRequest &req, const PlanContext &ctx,
               const SparsityProfile &a_slice,
-              const SparsityProfile &b_full, Method method)
+              const SparsityProfile *b_full, Method method)
 {
-    KernelRequest sub = KernelRequest::gemm(a_slice, b_full);
+    KernelRequest sub =
+        req.kind == KernelRequest::Kind::Spmm
+            ? KernelRequest::spmm(a_slice, req.n)
+            : KernelRequest::gemm(a_slice, *b_full);
     sub.method = method;
     sub.seed = req.seed;
     sub.tag = req.tag;
     sub.outer_product = req.outer_product;
     sub.gemm_options = req.gemm_options;
     sub.gemm_options.functional = false;
+    sub.spmm_format = req.spmm_format;
     return resolveBackend(ctx, method)->plan(sub, ctx)->execute().stats;
 }
 
@@ -207,7 +231,7 @@ planSplit(const KernelRequest &req, const PlanContext &ctx,
         return wholesaleDualSplit(req.a_encoded->numTileRows());
 
     const SparsityProfile &pa = *view.a;
-    const SparsityProfile &pb = *view.b;
+    const SparsityProfile *pb = view.b.get(); // null for SpMM
     const int groups = pa.groups();
     std::vector<double> density(groups);
     for (int g = 0; g < groups; ++g)
@@ -478,10 +502,14 @@ class HybridPlan : public ExecutionPlan
 
     /** Tile-row group edge of the partition (the A-side warp-tile
      *  rows: gemm_options.tile_m, or the pre-encoded operand's own
-     *  tiling when that is the request flavor). */
+     *  tiling when that is the request flavor; SpMM partitions at
+     *  strip granularity so a class boundary never splits a narrow
+     *  vector). */
     int
     partitionTile() const
     {
+        if (req_.kind == KernelRequest::Kind::Spmm)
+            return NarrowTileMatrix::kStripRows;
         return req_.a_encoded ? req_.a_encoded->tileRows()
                               : req_.gemm_options.tile_m;
     }
@@ -504,8 +532,24 @@ class HybridPlan : public ExecutionPlan
             return sub;
         }
         KernelRequest sub;
-        if (cls.method == Method::DualSparse &&
-            (req_.a_encoded || (req_.a && req_.b))) {
+        if (req_.kind == KernelRequest::Kind::Spmm) {
+            // SpMM classes carry matrix or strip-profile slices; the
+            // dual-sparse backend re-chooses its A format per class,
+            // so a split can run its dense stripes wide and its
+            // ultra-sparse stripes narrow.
+            if (req_.a && req_.b) {
+                matrix_slices_.push_back(gatherGroupRows(
+                    *req_.a, cls.groups, partitionTile()));
+                sub = KernelRequest::spmm(matrix_slices_.back(),
+                                          *req_.b);
+            } else {
+                profile_slices_.push_back(
+                    view_.a->selectGroups(cls.groups));
+                sub = KernelRequest::spmm(profile_slices_.back(),
+                                          req_.n);
+            }
+        } else if (cls.method == Method::DualSparse &&
+                   (req_.a_encoded || (req_.a && req_.b))) {
             const TwoLevelBitmapMatrix *full_a = req_.a_encoded;
             const TwoLevelBitmapMatrix *full_b = req_.b_encoded;
             if (!full_a) {
@@ -539,6 +583,7 @@ class HybridPlan : public ExecutionPlan
         sub.seed = req_.seed;
         sub.outer_product = req_.outer_product;
         sub.gemm_options = req_.gemm_options;
+        sub.spmm_format = req_.spmm_format;
         return sub;
     }
 
@@ -590,15 +635,18 @@ class HybridBackend : public Backend
     bool
     supports(const KernelRequest &req) const override
     {
-        // GEMM only (the conv paths pick their lowering, not a
+        // GEMM and SpMM (the conv paths pick their lowering, not a
         // per-tile backend); pre-encoded operands must come as a
         // pair, like the dual-sparse backend they route to.
         // Integer datatypes are excluded: each density class would
         // quantize its operand slice with a per-class scale, so the
         // stitched output would not match any single-backend result.
+        if (dataTypeIsInteger(req.gemm_options.dtype))
+            return false;
+        if (req.kind == KernelRequest::Kind::Spmm)
+            return !req.a_encoded && !req.b_encoded;
         return req.kind == KernelRequest::Kind::Gemm &&
-               !req.a_encoded == !req.b_encoded &&
-               !dataTypeIsInteger(req.gemm_options.dtype);
+               !req.a_encoded == !req.b_encoded;
     }
 
     // exact() stays true: every class routes to a backend that is
@@ -639,8 +687,9 @@ HybridSplit
 planHybridSplit(const KernelRequest &req, const PlanContext &ctx,
                 bool *cache_hit)
 {
-    DSTC_ASSERT(req.kind == KernelRequest::Kind::Gemm,
-                "hybrid partitions GEMM requests only");
+    DSTC_ASSERT(req.kind == KernelRequest::Kind::Gemm ||
+                    req.kind == KernelRequest::Kind::Spmm,
+                "hybrid partitions GEMM and SpMM requests only");
     OperandDigests digests;
     const OperandView view = resolveOperandView(req, ctx, digests);
     if (cache_hit)

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "gemm/sparsity_profile.h"
 
 namespace dstc {
 
@@ -90,6 +91,17 @@ KernelRegistry::plan(const KernelRequest &request,
                     "give both operand profiles or neither");
         DSTC_ASSERT(!request.a_encoded == !request.b_encoded,
                     "give both pre-encoded operands or neither");
+    } else if (request.kind == KernelRequest::Kind::Spmm) {
+        DSTC_ASSERT(!request.a == !request.b,
+                    "give both SpMM operands or neither");
+        DSTC_ASSERT(!request.b_profile,
+                    "SpMM's B side is dense — it has no B profile");
+        DSTC_ASSERT(!request.a_profile ||
+                        request.a_profile->tile() == 8,
+                    "SpMM profile requests carry strip (tile = 8) "
+                    "profiles");
+        DSTC_ASSERT(!request.a_encoded && !request.b_encoded,
+                    "SpMM resolves its own A-side encodings");
     } else {
         DSTC_ASSERT(!request.input == !request.b,
                     "functional conv needs input and weights "

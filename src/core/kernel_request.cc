@@ -48,6 +48,33 @@ methodName(Method method)
     panic("unknown method");
 }
 
+const char *
+spmmFormatToken(SpmmFormat format)
+{
+    switch (format) {
+      case SpmmFormat::Auto:
+        return "auto";
+      case SpmmFormat::Narrow:
+        return "narrow";
+      case SpmmFormat::Wide:
+        return "wide";
+    }
+    panic("unknown spmm format");
+}
+
+bool
+parseSpmmFormat(const std::string &token, SpmmFormat *out)
+{
+    for (SpmmFormat f :
+         {SpmmFormat::Auto, SpmmFormat::Narrow, SpmmFormat::Wide}) {
+        if (token == spmmFormatToken(f)) {
+            *out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
 bool
 parseMethod(const std::string &token, Method *out)
 {

@@ -71,6 +71,25 @@ struct HybridOptions
     double threshold = -1.0;
 };
 
+/**
+ * Storage format of the sparse A operand of an SpMM request. Auto
+ * lets the plan-stage cost model pick per request off the exact
+ * density profile; the explicit values pin it (tests, probes).
+ */
+enum class SpmmFormat
+{
+    Auto,   ///< cost model picks narrow vs wide per request
+    Narrow, ///< 8x1-vector narrow-tile encoding (ultra-sparse)
+    Wide,   ///< 32-wide two-level encoding (DNN-style sparsity)
+};
+
+/** Stable CLI/parse token of an SpMM format ("auto", "narrow",
+ *  "wide"). */
+const char *spmmFormatToken(SpmmFormat format);
+
+/** Parse a CLI token into an SpmmFormat; false on unknown token. */
+bool parseSpmmFormat(const std::string &token, SpmmFormat *out);
+
 /** Convolution lowering strategy (the Explicit/Implicit split of
  *  Fig. 22's legend). */
 enum class Lowering
@@ -130,6 +149,10 @@ struct KernelRequest
     {
         Gemm,
         Conv,
+        /** Sparse A x dense B (the real-matrix workload): only A is
+         *  encoded; B streams through dense. Geometry reuses the
+         *  GEMM fields (m, n, k, a_sparsity/a_cluster). */
+        Spmm,
     };
 
     Kind kind = Kind::Gemm;
@@ -171,6 +194,9 @@ struct KernelRequest
 
     /** Method::Hybrid knobs (ignored by every other method). */
     HybridOptions hybrid_options;
+
+    /** SpMM only: A-operand storage format (Auto = cost model). */
+    SpmmFormat spmm_format = SpmmFormat::Auto;
 
     /** Per-request worker override (see ExecutionResources). */
     ExecutionResources resources;
@@ -241,6 +267,48 @@ struct KernelRequest
         return r;
     }
 
+    /** Functional SpMM: sparse A (concrete values) times dense B. */
+    static KernelRequest
+    spmm(const Matrix<float> &a, const Matrix<float> &b)
+    {
+        KernelRequest r;
+        r.kind = Kind::Spmm;
+        r.m = a.rows();
+        r.n = b.cols();
+        r.k = a.cols();
+        r.a = &a;
+        r.b = &b;
+        return r;
+    }
+
+    /** Timing-only SpMM from a pre-extracted A-side popcount profile
+     *  at narrow (8-row strip) granularity; B is dense with @p n
+     *  columns. */
+    static KernelRequest
+    spmm(const SparsityProfile &a, int64_t n)
+    {
+        KernelRequest r;
+        r.kind = Kind::Spmm;
+        r.m = a.extent();
+        r.n = n;
+        r.k = a.k();
+        r.a_profile = &a;
+        return r;
+    }
+
+    /** Timing-only SpMM at a synthetic A-sparsity operating point. */
+    static KernelRequest
+    spmm(int64_t m, int64_t n, int64_t k, double a_sparsity)
+    {
+        KernelRequest r;
+        r.kind = Kind::Spmm;
+        r.m = m;
+        r.n = n;
+        r.k = k;
+        r.a_sparsity = a_sparsity;
+        return r;
+    }
+
     /** Timing-only convolution at a synthetic operating point. */
     static KernelRequest
     conv(const ConvShape &shape, double weight_sparsity = 0.0,
@@ -273,6 +341,7 @@ struct KernelRequest
     {
         return (kind == Kind::Gemm &&
                 ((a && b) || (a_encoded && b_encoded))) ||
+               (kind == Kind::Spmm && a && b) ||
                (kind == Kind::Conv && input && b);
     }
 
@@ -376,6 +445,14 @@ struct KernelRequest
     withHybridThreshold(double value)
     {
         hybrid_options.threshold = value;
+        return *this;
+    }
+
+    /** Pin the SpMM A-operand format (default Auto = cost model). */
+    KernelRequest &
+    withSpmmFormat(SpmmFormat value)
+    {
+        spmm_format = value;
         return *this;
     }
 

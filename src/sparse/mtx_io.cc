@@ -1,0 +1,192 @@
+#include "sparse/mtx_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace dstc {
+
+namespace {
+
+enum class MtxField { Real, Integer, Pattern };
+enum class MtxSymmetry { General, Symmetric, SkewSymmetric };
+
+std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Compose the "name:line: message" diagnostic. */
+bool
+fail(std::string *error, const std::string &name, int line,
+     const std::string &message)
+{
+    if (error) {
+        std::ostringstream os;
+        os << name << ":" << line << ": " << message;
+        *error = os.str();
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+loadMatrixMarket(std::istream &in, const std::string &name,
+                 Matrix<float> *out, std::string *error)
+{
+    std::string line;
+    int lineno = 0;
+
+    // -- banner ------------------------------------------------------
+    if (!std::getline(in, line))
+        return fail(error, name, 1, "empty file (no MatrixMarket banner)");
+    ++lineno;
+    std::istringstream banner(line);
+    std::string magic, object, format, field_tok, symmetry_tok;
+    banner >> magic >> object >> format >> field_tok >> symmetry_tok;
+    if (magic != "%%MatrixMarket")
+        return fail(error, name, lineno,
+                    "not a MatrixMarket file (banner begins '" +
+                        magic + "', expected '%%MatrixMarket')");
+    if (lowered(object) != "matrix")
+        return fail(error, name, lineno,
+                    "unsupported object '" + object +
+                        "' (only 'matrix')");
+    if (lowered(format) != "coordinate")
+        return fail(error, name, lineno,
+                    "unsupported format '" + format +
+                        "' (only 'coordinate'; array/dense input "
+                        "defeats the sparse corpus)");
+    MtxField field;
+    const std::string f = lowered(field_tok);
+    if (f == "real")
+        field = MtxField::Real;
+    else if (f == "integer")
+        field = MtxField::Integer;
+    else if (f == "pattern")
+        field = MtxField::Pattern;
+    else
+        return fail(error, name, lineno,
+                    "unsupported field '" + field_tok +
+                        "' (only real/integer/pattern)");
+    MtxSymmetry symmetry;
+    const std::string s = lowered(symmetry_tok);
+    if (s == "general")
+        symmetry = MtxSymmetry::General;
+    else if (s == "symmetric")
+        symmetry = MtxSymmetry::Symmetric;
+    else if (s == "skew-symmetric")
+        symmetry = MtxSymmetry::SkewSymmetric;
+    else
+        return fail(error, name, lineno,
+                    "unsupported symmetry '" + symmetry_tok +
+                        "' (only general/symmetric/skew-symmetric)");
+
+    // -- size line (after comments/blank lines) ----------------------
+    long long rows = 0, cols = 0, entries = 0;
+    for (;;) {
+        if (!std::getline(in, line))
+            return fail(error, name, lineno,
+                        "unexpected end of file before the size line");
+        ++lineno;
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream sz(line);
+        if (!(sz >> rows >> cols >> entries))
+            return fail(error, name, lineno,
+                        "malformed size line '" + line +
+                            "' (expected 'rows cols entries')");
+        std::string trailing;
+        if (sz >> trailing)
+            return fail(error, name, lineno,
+                        "trailing token '" + trailing +
+                            "' on the size line");
+        break;
+    }
+    if (rows <= 0 || cols <= 0 || entries < 0)
+        return fail(error, name, lineno,
+                    "invalid dimensions " + std::to_string(rows) +
+                        " x " + std::to_string(cols));
+    // The dense golden representation bounds what fits; the corpus
+    // matrices are a few thousand rows, so the cap is generous.
+    constexpr long long kMaxElements = 1LL << 28;
+    if (rows * cols > kMaxElements)
+        return fail(error, name, lineno,
+                    "matrix too large to densify (" +
+                        std::to_string(rows) + " x " +
+                        std::to_string(cols) + ")");
+    if (symmetry != MtxSymmetry::General && rows != cols)
+        return fail(error, name, lineno,
+                    "symmetric storage requires a square matrix");
+
+    Matrix<float> m(static_cast<int>(rows), static_cast<int>(cols));
+    long long seen = 0;
+    while (seen < entries) {
+        if (!std::getline(in, line))
+            return fail(error, name, lineno,
+                        "unexpected end of file: " +
+                            std::to_string(seen) + " of " +
+                            std::to_string(entries) + " entries read");
+        ++lineno;
+        if (line.empty() || line[0] == '%')
+            continue;
+        std::istringstream entry(line);
+        long long r = 0, c = 0;
+        if (!(entry >> r >> c))
+            return fail(error, name, lineno,
+                        "malformed entry '" + line +
+                            "' (expected 'row col [value]')");
+        double value = 1.0; // pattern entries carry no value token
+        if (field != MtxField::Pattern && !(entry >> value))
+            return fail(error, name, lineno,
+                        "entry '" + line + "' is missing its value");
+        std::string trailing;
+        if (entry >> trailing)
+            return fail(error, name, lineno,
+                        "trailing token '" + trailing +
+                            "' on entry line");
+        if (r < 1 || r > rows || c < 1 || c > cols)
+            return fail(error, name, lineno,
+                        "entry (" + std::to_string(r) + ", " +
+                            std::to_string(c) +
+                            ") outside the declared " +
+                            std::to_string(rows) + " x " +
+                            std::to_string(cols) + " shape");
+        if (symmetry == MtxSymmetry::SkewSymmetric && r == c)
+            return fail(error, name, lineno,
+                        "skew-symmetric matrices have no diagonal "
+                        "entries");
+        const int ri = static_cast<int>(r) - 1;
+        const int ci = static_cast<int>(c) - 1;
+        // Duplicates sum: the Matrix Market assembly convention.
+        m.at(ri, ci) += static_cast<float>(value);
+        if (ri != ci) {
+            if (symmetry == MtxSymmetry::Symmetric)
+                m.at(ci, ri) += static_cast<float>(value);
+            else if (symmetry == MtxSymmetry::SkewSymmetric)
+                m.at(ci, ri) -= static_cast<float>(value);
+        }
+        ++seen;
+    }
+
+    *out = std::move(m);
+    return true;
+}
+
+bool
+loadMatrixMarket(const std::string &path, Matrix<float> *out,
+                 std::string *error)
+{
+    std::ifstream in(path);
+    if (!in)
+        return fail(error, path, 0, "cannot open file");
+    return loadMatrixMarket(in, path, out, error);
+}
+
+} // namespace dstc

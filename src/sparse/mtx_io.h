@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Matrix Market (.mtx) loader for the real-matrix SpMM workloads
+ * (GNN adjacency, SuiteSparse-style inputs). Coordinate format only
+ * — the format real sparse collections ship in — with the three
+ * value types the corpus uses (real, integer, pattern) and the
+ * general / symmetric / skew-symmetric storage symmetries. Array
+ * (dense), complex and hermitian headers are rejected up front: the
+ * SpMM pipeline has no use for them, and silently densifying would
+ * defeat the point of the corpus.
+ *
+ * Errors never panic: every malformed input yields `false` plus a
+ * "file:line: message" diagnostic, so the CLI can exit cleanly (exit
+ * code 2) on a bad operand file.
+ */
+#ifndef DSTC_SPARSE_MTX_IO_H
+#define DSTC_SPARSE_MTX_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/matrix.h"
+
+namespace dstc {
+
+/**
+ * Load a Matrix Market coordinate file into a dense matrix (the
+ * library's golden representation; the sparse encoders take it from
+ * there).
+ *
+ * Accepted headers: `%%MatrixMarket matrix coordinate
+ * {real|integer|pattern} {general|symmetric|skew-symmetric}`.
+ * Entries are 1-based and bounds-checked; duplicate entries sum (the
+ * Matrix Market assembly convention); pattern entries load as 1.0;
+ * symmetric/skew-symmetric entries mirror across the diagonal (skew
+ * negates, and rejects explicit diagonal entries).
+ *
+ * @param path  file to read
+ * @param out   receives the matrix on success (untouched on failure)
+ * @param error receives a "path:line: message" diagnostic on failure
+ * @return true on success
+ */
+bool loadMatrixMarket(const std::string &path, Matrix<float> *out,
+                      std::string *error);
+
+/** Stream variant (tests and in-memory corpora); @p name labels the
+ *  stream in diagnostics the way the path labels a file. */
+bool loadMatrixMarket(std::istream &in, const std::string &name,
+                      Matrix<float> *out, std::string *error);
+
+} // namespace dstc
+
+#endif // DSTC_SPARSE_MTX_IO_H

@@ -1,0 +1,138 @@
+#include "sparse/narrow_tile.h"
+
+namespace dstc {
+
+NarrowTileMatrix
+NarrowTileMatrix::encode(const Matrix<float> &dense,
+                         const QuantSpec &spec)
+{
+    const int rows = dense.rows(), cols = dense.cols();
+    const int n_strips = ceilDiv(rows, kStripRows);
+    const int wps = ceilDiv(cols, 64);
+
+    NarrowTileMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.n_strips_ = n_strips;
+    m.words_per_strip_ = wps;
+    m.spec_ = spec;
+    m.vector_bits_.assign(static_cast<size_t>(n_strips) * wps, 0);
+    m.strip_offsets_.assign(static_cast<size_t>(n_strips) + 1, 0);
+    m.value_offsets_.push_back(0);
+
+    for (int s = 0; s < n_strips; ++s) {
+        const int r0 = s * kStripRows;
+        const int span = std::min(kStripRows, rows - r0);
+        for (int c = 0; c < cols; ++c) {
+            uint8_t mask = 0;
+            for (int j = 0; j < span; ++j)
+                if (dense(r0 + j, c) != 0.0f)
+                    mask |= static_cast<uint8_t>(1u << j);
+            if (!mask)
+                continue;
+            m.vector_bits_[static_cast<size_t>(s) * wps + (c >> 6)] |=
+                uint64_t{1} << (c & 63);
+            m.masks_.push_back(mask);
+            for (int j = 0; j < span; ++j)
+                if (mask & (1u << j))
+                    m.values_.push_back(dense(r0 + j, c));
+            m.value_offsets_.push_back(
+                static_cast<int64_t>(m.values_.size()));
+        }
+        m.strip_offsets_[static_cast<size_t>(s) + 1] =
+            static_cast<int64_t>(m.masks_.size());
+    }
+
+    m.values_quant_.resize(m.values_.size());
+    for (size_t i = 0; i < m.values_.size(); ++i)
+        m.values_quant_[i] = spec.apply(m.values_[i]);
+    return m;
+}
+
+NarrowTileMatrix
+NarrowTileMatrix::fromParts(int rows, int cols, const QuantSpec &spec,
+                            std::vector<uint64_t> vector_bits,
+                            std::vector<int64_t> strip_offsets,
+                            std::vector<uint8_t> masks,
+                            std::vector<int64_t> value_offsets,
+                            std::vector<float> values,
+                            std::vector<float> values_quant)
+{
+    const int n_strips = ceilDiv(rows, kStripRows);
+    const int wps = ceilDiv(cols, 64);
+    DSTC_ASSERT(vector_bits.size() ==
+                static_cast<size_t>(n_strips) * wps);
+    DSTC_ASSERT(strip_offsets.size() ==
+                static_cast<size_t>(n_strips) + 1);
+    DSTC_ASSERT(strip_offsets.back() ==
+                static_cast<int64_t>(masks.size()));
+    DSTC_ASSERT(value_offsets.size() == masks.size() + 1);
+    DSTC_ASSERT(value_offsets.back() ==
+                static_cast<int64_t>(values.size()));
+    DSTC_ASSERT(values_quant.size() == values.size());
+
+    NarrowTileMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.n_strips_ = n_strips;
+    m.words_per_strip_ = wps;
+    m.spec_ = spec;
+    m.vector_bits_ = std::move(vector_bits);
+    m.strip_offsets_ = std::move(strip_offsets);
+    m.masks_ = std::move(masks);
+    m.value_offsets_ = std::move(value_offsets);
+    m.values_ = std::move(values);
+    m.values_quant_ = std::move(values_quant);
+    return m;
+}
+
+Matrix<float>
+NarrowTileMatrix::decode() const
+{
+    Matrix<float> out(rows_, cols_);
+    for (int s = 0; s < n_strips_; ++s) {
+        const int r0 = s * kStripRows;
+        int64_t v = strip_offsets_[s];
+        for (int w = 0; w < words_per_strip_; ++w) {
+            uint64_t word = stripWord(s, w);
+            const int c_base = w << 6;
+            while (word) {
+                const int c = c_base + std::countr_zero(word);
+                word &= word - 1;
+                uint8_t mask = masks_[v];
+                const float *vals = values_.data() + value_offsets_[v];
+                while (mask) {
+                    const int j = std::countr_zero(
+                        static_cast<uint32_t>(mask));
+                    mask = static_cast<uint8_t>(mask & (mask - 1));
+                    out(r0 + j, c) = *vals++;
+                }
+                ++v;
+            }
+        }
+    }
+    return out;
+}
+
+size_t
+NarrowTileMatrix::encodedBytes(DataType dtype) const
+{
+    return narrowEncodedBytes(rows_, cols_, numVectors(), nnz(),
+                              dtype);
+}
+
+size_t
+NarrowTileMatrix::narrowEncodedBytes(int64_t rows, int64_t cols,
+                                     int64_t vectors, int64_t nnz,
+                                     DataType dtype)
+{
+    const int64_t strips = ceilDiv<int64_t>(rows, kStripRows);
+    const int64_t wps = ceilDiv<int64_t>(cols, 64);
+    size_t bytes = static_cast<size_t>(strips) * wps * 8; // level 1
+    bytes += static_cast<size_t>(vectors);                // row masks
+    bytes += dataTypePackedBytes(dtype, static_cast<size_t>(nnz));
+    bytes += static_cast<size_t>(strips) * 4; // per-strip offsets
+    return bytes;
+}
+
+} // namespace dstc

@@ -603,6 +603,129 @@ wordEncodeTwoLevel(const Matrix<float> &dense, int tile_rows,
                                            std::move(tiles), spec);
 }
 
+NarrowTileMatrix
+wordEncodeNarrowTile(const Matrix<float> &dense, int num_workers,
+                     const QuantSpec &spec)
+{
+    constexpr int kStrip = NarrowTileMatrix::kStripRows;
+    const int rows = dense.rows(), cols = dense.cols();
+    const int n_strips = ceilDiv(rows, kStrip);
+    const int wps = ceilDiv(cols, 64);
+    const float *data = dense.data().data();
+
+    // Sizing pass: per strip, pack the 8 row words per 64-column
+    // chunk, OR them into the level-1 word, and count vectors (POPC
+    // of the OR) and non-zeros (POPC of each row word).
+    std::vector<uint64_t> vector_bits(
+        static_cast<size_t>(n_strips) * wps, 0);
+    std::vector<int64_t> strip_vectors(
+        static_cast<size_t>(n_strips), 0);
+    std::vector<int64_t> strip_nnz(static_cast<size_t>(n_strips), 0);
+
+    auto size_strip = [&](int64_t sl) {
+        const int s = static_cast<int>(sl);
+        const int r0 = s * kStrip;
+        const int span = std::min(kStrip, rows - r0);
+        uint64_t *level1 =
+            vector_bits.data() + static_cast<size_t>(s) * wps;
+        int64_t nv = 0, nnz = 0;
+        for (int c0 = 0; c0 < cols; c0 += 64) {
+            const int chunk = std::min(64, cols - c0);
+            uint64_t combined = 0;
+            for (int j = 0; j < span; ++j) {
+                const uint64_t w = packNonzeroBits(
+                    data + static_cast<size_t>(r0 + j) * cols + c0,
+                    chunk);
+                combined |= w;
+                nnz += popcount64(w);
+            }
+            level1[c0 >> 6] = combined;
+            nv += popcount64(combined);
+        }
+        strip_vectors[static_cast<size_t>(s)] = nv;
+        strip_nnz[static_cast<size_t>(s)] = nnz;
+    };
+
+    int max_workers = 1;
+    ThreadPool *pool = resolveTilePool(num_workers, &max_workers);
+    parallelFor(pool, n_strips, max_workers, size_strip);
+
+    // Serial prefix scans give every strip a disjoint slice of the
+    // vector and value arrays.
+    std::vector<int64_t> strip_offsets(
+        static_cast<size_t>(n_strips) + 1, 0);
+    std::vector<int64_t> value_base(static_cast<size_t>(n_strips) + 1,
+                                    0);
+    for (int s = 0; s < n_strips; ++s) {
+        strip_offsets[static_cast<size_t>(s) + 1] =
+            strip_offsets[static_cast<size_t>(s)] +
+            strip_vectors[static_cast<size_t>(s)];
+        value_base[static_cast<size_t>(s) + 1] =
+            value_base[static_cast<size_t>(s)] +
+            strip_nnz[static_cast<size_t>(s)];
+    }
+    const int64_t total_vectors =
+        strip_offsets[static_cast<size_t>(n_strips)];
+    const int64_t total_nnz = value_base[static_cast<size_t>(n_strips)];
+
+    std::vector<uint8_t> masks(static_cast<size_t>(total_vectors));
+    std::vector<int64_t> value_offsets(
+        static_cast<size_t>(total_vectors) + 1, 0);
+    std::vector<float> values(static_cast<size_t>(total_nnz));
+    std::vector<float> values_quant(static_cast<size_t>(total_nnz));
+
+    // Fill pass: re-pack each strip's row words (still one stream
+    // over the dense rows, now cache-warm per strip), walk the
+    // level-1 word by ctz in ascending column order, and gather each
+    // vector's mask and values ascending row.
+    auto fill_strip = [&](int64_t sl) {
+        const int s = static_cast<int>(sl);
+        const int r0 = s * kStrip;
+        const int span = std::min(kStrip, rows - r0);
+        int64_t v = strip_offsets[static_cast<size_t>(s)];
+        int64_t at = value_base[static_cast<size_t>(s)];
+        uint64_t row_words[kStrip];
+        for (int c0 = 0; c0 < cols; c0 += 64) {
+            const int chunk = std::min(64, cols - c0);
+            uint64_t combined = 0;
+            for (int j = 0; j < span; ++j) {
+                row_words[j] = packNonzeroBits(
+                    data + static_cast<size_t>(r0 + j) * cols + c0,
+                    chunk);
+                combined |= row_words[j];
+            }
+            while (combined) {
+                const int b = std::countr_zero(combined);
+                combined &= combined - 1;
+                const int c = c0 + b;
+                uint8_t mask = 0;
+                for (int j = 0; j < span; ++j)
+                    if ((row_words[j] >> b) & 1) {
+                        mask |= static_cast<uint8_t>(1u << j);
+                        values[static_cast<size_t>(at++)] =
+                            data[static_cast<size_t>(r0 + j) * cols +
+                                 c];
+                    }
+                masks[static_cast<size_t>(v)] = mask;
+                value_offsets[static_cast<size_t>(v) + 1] = at;
+                ++v;
+            }
+        }
+        // Quantize this strip's contiguous value slice.
+        for (int64_t i = value_base[static_cast<size_t>(s)]; i < at;
+             ++i)
+            values_quant[static_cast<size_t>(i)] =
+                spec.apply(values[static_cast<size_t>(i)]);
+    };
+    parallelFor(pool, n_strips, max_workers, fill_strip);
+
+    return NarrowTileMatrix::fromParts(
+        rows, cols, spec, std::move(vector_bits),
+        std::move(strip_offsets), std::move(masks),
+        std::move(value_offsets), std::move(values),
+        std::move(values_quant));
+}
+
 int64_t
 wordNnz(const float *data, size_t n)
 {

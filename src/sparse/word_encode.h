@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sparse/bitmap.h"
+#include "sparse/narrow_tile.h"
 #include "sparse/two_level.h"
 #include "tensor/matrix.h"
 
@@ -69,6 +70,20 @@ TwoLevelBitmapMatrix wordEncodeTwoLevel(const Matrix<float> &dense,
                                         Major major,
                                         int num_workers = 1,
                                         const QuantSpec &spec = {});
+
+/**
+ * Word-parallel NarrowTileMatrix::encode: each 8-row strip packs its
+ * row words (64 compares per word), ORs them into the strip's
+ * level-1 vector-bitmap words, and gathers vector masks and values
+ * by ctz walks while the strip's rows are cache-resident — a sizing
+ * pass then a fill pass, like the two-level row builder. Strips are
+ * disjoint, so the result is bitwise identical to the scalar
+ * NarrowTileMatrix::encode for every worker count (same
+ * num_workers contract as wordEncodeTwoLevel).
+ */
+NarrowTileMatrix wordEncodeNarrowTile(const Matrix<float> &dense,
+                                      int num_workers = 1,
+                                      const QuantSpec &spec = {});
 
 /**
  * Non-zero count of @p n floats by branchless 64-bit mask build +

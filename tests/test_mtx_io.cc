@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Matrix Market loader gate: every accepted header variant loads to
+ * the exact dense matrix (mirroring, duplicate summing, pattern
+ * values), and every malformed input fails with a "name:line:
+ * message" diagnostic instead of a crash or a silently wrong matrix
+ * — the property the CLI's exit-2 contract rests on.
+ */
+#include "sparse/mtx_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dstc {
+namespace {
+
+Matrix<float>
+load(const std::string &text)
+{
+    std::istringstream in(text);
+    Matrix<float> m;
+    std::string error;
+    EXPECT_TRUE(loadMatrixMarket(in, "test.mtx", &m, &error)) << error;
+    return m;
+}
+
+/** Expect failure whose diagnostic contains @p fragment. */
+void
+expectError(const std::string &text, const std::string &fragment)
+{
+    std::istringstream in(text);
+    Matrix<float> m;
+    std::string error;
+    ASSERT_FALSE(loadMatrixMarket(in, "test.mtx", &m, &error))
+        << "accepted: " << text;
+    EXPECT_NE(error.find("test.mtx:"), std::string::npos) << error;
+    EXPECT_NE(error.find(fragment), std::string::npos)
+        << "diagnostic '" << error << "' lacks '" << fragment << "'";
+}
+
+TEST(MtxIo, RealGeneral)
+{
+    const Matrix<float> m = load("%%MatrixMarket matrix coordinate "
+                                 "real general\n"
+                                 "3 4 3\n"
+                                 "1 1 2.5\n"
+                                 "3 4 -1\n"
+                                 "2 2 0.5\n");
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    EXPECT_EQ(m.nnz(), 3);
+    EXPECT_EQ(m.at(0, 0), 2.5f);
+    EXPECT_EQ(m.at(2, 3), -1.0f);
+    EXPECT_EQ(m.at(1, 1), 0.5f);
+}
+
+TEST(MtxIo, CommentsAndBlankLines)
+{
+    const Matrix<float> m = load("%%MatrixMarket matrix coordinate "
+                                 "real general\n"
+                                 "% header comment\n"
+                                 "\n"
+                                 "2 2 2\n"
+                                 "% entry comment\n"
+                                 "1 2 1\n"
+                                 "\n"
+                                 "2 1 3\n");
+    EXPECT_EQ(m.at(0, 1), 1.0f);
+    EXPECT_EQ(m.at(1, 0), 3.0f);
+}
+
+TEST(MtxIo, PatternSymmetricMirrors)
+{
+    const Matrix<float> m = load("%%MatrixMarket matrix coordinate "
+                                 "pattern symmetric\n"
+                                 "3 3 2\n"
+                                 "2 1\n"
+                                 "3 3\n");
+    EXPECT_EQ(m.at(1, 0), 1.0f); // pattern loads as 1.0
+    EXPECT_EQ(m.at(0, 1), 1.0f); // mirrored
+    EXPECT_EQ(m.at(2, 2), 1.0f); // diagonal mirrors onto itself once
+    EXPECT_EQ(m.nnz(), 3);
+}
+
+TEST(MtxIo, IntegerField)
+{
+    const Matrix<float> m = load("%%MatrixMarket matrix coordinate "
+                                 "integer general\n"
+                                 "2 2 1\n"
+                                 "2 2 -7\n");
+    EXPECT_EQ(m.at(1, 1), -7.0f);
+}
+
+TEST(MtxIo, SkewSymmetricNegatesMirror)
+{
+    const Matrix<float> m = load("%%MatrixMarket matrix coordinate "
+                                 "real skew-symmetric\n"
+                                 "3 3 1\n"
+                                 "3 1 2\n");
+    EXPECT_EQ(m.at(2, 0), 2.0f);
+    EXPECT_EQ(m.at(0, 2), -2.0f);
+}
+
+TEST(MtxIo, DuplicateEntriesSum)
+{
+    const Matrix<float> m = load("%%MatrixMarket matrix coordinate "
+                                 "real general\n"
+                                 "2 2 3\n"
+                                 "1 1 1.5\n"
+                                 "1 1 2\n"
+                                 "2 1 1\n");
+    EXPECT_EQ(m.at(0, 0), 3.5f);
+    EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(MtxIo, CaseInsensitiveHeaderTokens)
+{
+    const Matrix<float> m = load("%%MatrixMarket MATRIX Coordinate "
+                                 "Real General\n"
+                                 "1 1 1\n"
+                                 "1 1 4\n");
+    EXPECT_EQ(m.at(0, 0), 4.0f);
+}
+
+TEST(MtxIo, MalformedInputsFailWithDiagnostics)
+{
+    expectError("", "empty file");
+    expectError("%%NotMatrixMarket matrix coordinate real general\n",
+                "not a MatrixMarket file");
+    expectError("%%MatrixMarket vector coordinate real general\n",
+                "unsupported object");
+    expectError("%%MatrixMarket matrix array real general\n",
+                "unsupported format");
+    expectError("%%MatrixMarket matrix coordinate complex general\n",
+                "unsupported field");
+    expectError("%%MatrixMarket matrix coordinate real hermitian\n",
+                "unsupported symmetry");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "% only comments\n",
+                "before the size line");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "3 oops 1\n",
+                "malformed size line");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "3 3 1 junk\n",
+                "trailing token");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "0 3 0\n",
+                "invalid dimensions");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "100000 100000 1\n"
+                "1 1 1\n",
+                "too large to densify");
+    expectError("%%MatrixMarket matrix coordinate real symmetric\n"
+                "2 3 1\n"
+                "1 1 1\n",
+                "square");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "3 3 2\n"
+                "1 1 1\n",
+                "1 of 2 entries");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "3 3 1\n"
+                "1 nope 1\n",
+                "malformed entry");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "3 3 1\n"
+                "1 1\n",
+                "missing its value");
+    expectError("%%MatrixMarket matrix coordinate pattern general\n"
+                "3 3 1\n"
+                "1 1 1\n",
+                "trailing token");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "3 3 1\n"
+                "4 1 1\n",
+                "outside the declared");
+    expectError("%%MatrixMarket matrix coordinate real general\n"
+                "3 3 1\n"
+                "0 1 1\n",
+                "outside the declared");
+    expectError("%%MatrixMarket matrix coordinate real "
+                "skew-symmetric\n"
+                "3 3 1\n"
+                "2 2 1\n",
+                "no diagonal");
+}
+
+TEST(MtxIo, FileVariantRoundTripAndOpenFailure)
+{
+    const char *path = "test_mtx_io_tmp.mtx";
+    {
+        std::ofstream f(path);
+        f << "%%MatrixMarket matrix coordinate real general\n"
+             "2 2 1\n"
+             "2 1 9\n";
+    }
+    Matrix<float> m;
+    std::string error;
+    ASSERT_TRUE(loadMatrixMarket(std::string(path), &m, &error))
+        << error;
+    EXPECT_EQ(m.at(1, 0), 9.0f);
+    std::remove(path);
+
+    ASSERT_FALSE(loadMatrixMarket(std::string("no/such/file.mtx"),
+                                  &m, &error));
+    EXPECT_NE(error.find("cannot open file"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("no/such/file.mtx:0:"), std::string::npos)
+        << error;
+}
+
+} // namespace
+} // namespace dstc

@@ -3,7 +3,7 @@
 
 Re-runs the micro benches in --quick mode and compares them against
 the checked-in perf trajectories (BENCH_spgemm.json, BENCH_spconv.json,
-BENCH_encode.json, BENCH_cluster.json):
+BENCH_encode.json, BENCH_cluster.json, BENCH_spmm.json, ...):
 
  1. Functional gate (hard): every point, measured and reference, must
     report bitwise_equal — the word-parallel pipelines must reproduce
@@ -61,6 +61,15 @@ BENCH_encode.json, BENCH_cluster.json):
     deterministic, so these thresholds only absorb intentional
     cost-model changes.
 
+ 8. SpMM gate (micro_spmm): every corpus point, reference and
+    measured, must hold the full bitwise set (narrow == scalar
+    reference == wide == csr, stable across worker counts); the
+    reference sweep's corpus-median narrow-vs-wide ratio must stay
+    >= `--spmm-median-win`; Auto format selection must stay within
+    `--spmm-select-slack` of the better format everywhere; and the
+    selected dual kernel must never lose to the cusparse-like
+    baseline. All simulated, deterministic ratios.
+
 The sanity gate's pooled-vs-word slack comparison is skipped when the
 measured run reports `hardware_concurrency == 1`: on a single
 hardware thread the pool cannot scale and its wall-clock is noise.
@@ -113,6 +122,13 @@ BENCHES = {
         "keys": ("mix", "b_sparsity", "b_kind"),
         "mode": "hybrid",
     },
+    "micro_spmm": {
+        "binary": os.path.join("bench", "micro_spmm"),
+        "reference": "BENCH_spmm.json",
+        "keys": ("matrix", "n"),
+        "mode": "spmm",
+        "corpus": True,
+    },
 }
 
 
@@ -126,10 +142,10 @@ def point_key(point, keys):
 
 
 def point_label(point):
-    fields = ("kind", "shape", "m", "method", "sparsity", "wsp",
-              "asp", "stride", "clustered", "tile_k", "devices",
-              "policy", "load", "mix", "b_sparsity", "b_kind",
-              "faults", "recovery")
+    fields = ("kind", "shape", "matrix", "m", "method", "sparsity",
+              "wsp", "asp", "stride", "clustered", "tile_k",
+              "devices", "policy", "load", "mix", "b_sparsity",
+              "b_kind", "faults", "recovery")
     parts = [f"{k}={point[k]}" for k in fields if k in point]
     return "{" + ", ".join(parts) + "}"
 
@@ -148,12 +164,13 @@ def check_points(name, points, *, require_positive):
     return ok
 
 
-def run_quick(binary, timeout_s):
+def run_quick(binary, timeout_s, extra=()):
     with tempfile.NamedTemporaryFile(suffix=".json",
                                      delete=False) as tmp:
         out_path = tmp.name
     try:
-        proc = subprocess.run([binary, "--quick", "--out", out_path],
+        proc = subprocess.run([binary, "--quick", "--out", out_path,
+                               *extra],
                               capture_output=True, text=True,
                               timeout=timeout_s)
         if proc.returncode != 0:
@@ -411,6 +428,80 @@ def check_hybrid(name, ref_points, meas_points, args):
     return ok
 
 
+def check_spmm(name, ref_points, meas_points, args):
+    """SpMM gate (micro_spmm): the narrow-tile format's real-matrix
+    claims. Hard, both sides: every point must also be bitwise stable
+    across worker counts (workers_bitwise_equal; plain bitwise_equal
+    — narrow == scalar reference == wide == csr — is already gated by
+    check_points). Reference sweep: the corpus-median narrow-vs-wide
+    ratio must stay >= `--spmm-median-win` (the tentpole's headline
+    claim at 99%+ sparsity). Every point, both sides: Auto format
+    selection must stay within `--spmm-select-slack` of the better
+    format, and the selected dual kernel must never lose to the
+    cusparse-like baseline. All ratios compare simulated kernel
+    times, which are deterministic, so `--spmm-tolerance` on the
+    measured-vs-reference ratio only absorbs intentional cost-model
+    changes."""
+    ok = True
+    for side, pts in (("reference", ref_points),
+                      ("measured", meas_points)):
+        for p in pts:
+            label = point_label(p)
+            if not p.get("workers_bitwise_equal", False):
+                ok = fail(f"{name} ({side}): {label} narrow kernel "
+                          f"is not bitwise stable across worker "
+                          f"counts")
+            if p.get("cusparse_vs_selected", 0.0) < 1.0:
+                ok = fail(f"{name} ({side}): {label} selected dual "
+                          f"kernel lost to the cusparse-like "
+                          f"baseline "
+                          f"({p.get('cusparse_vs_selected'):.2f}x)")
+            best = min(p.get("narrow_us", 0.0), p.get("wide_us", 0.0))
+            sel = p.get("selected_us", 0.0)
+            if not best > 0.0 or not sel > 0.0:
+                ok = fail(f"{name} ({side}): {label} has "
+                          f"non-positive simulated times")
+            elif sel > args.spmm_select_slack * best:
+                ok = fail(f"{name} ({side}): {label} Auto selection "
+                          f"picked a format {sel / best:.3f}x the "
+                          f"best (slack "
+                          f"{args.spmm_select_slack:.2f}x)")
+
+    ratios = sorted(p.get("narrow_vs_wide", 0.0) for p in ref_points)
+    if not ratios:
+        ok = fail(f"{name}: reference sweep has no points")
+    else:
+        mid = len(ratios) // 2
+        median = ratios[mid] if len(ratios) % 2 else \
+            0.5 * (ratios[mid - 1] + ratios[mid])
+        if median < args.spmm_median_win:
+            ok = fail(f"{name}: corpus-median narrow-vs-wide ratio "
+                      f"{median:.2f}x fell below the "
+                      f"{args.spmm_median_win:.2f}x headline floor")
+        else:
+            print(f"check_bench: {name}: corpus-median narrow-vs-"
+                  f"wide {median:.2f}x over {len(ratios)} matrices")
+
+    keys = ("matrix", "n")
+    for p in meas_points:
+        ratio = p.get("narrow_vs_wide", 0.0)
+        matches = [r.get("narrow_vs_wide", 0.0) for r in ref_points
+                   if point_key(r, keys) == point_key(p, keys)]
+        if not matches:
+            print(f"check_bench: note: {name} {point_label(p)} has "
+                  f"no reference point with the same operating key; "
+                  f"selection/baseline gates only")
+            continue
+        threshold = args.spmm_tolerance * min(matches)
+        if ratio < threshold:
+            ok = fail(f"{name}: {point_label(p)} narrow-vs-wide "
+                      f"{ratio:.4f}x regressed below "
+                      f"{threshold:.4f}x (= "
+                      f"{args.spmm_tolerance:.2f} x reference "
+                      f"{min(matches):.4f}x)")
+    return ok
+
+
 def check_precision(name, mode, ref_points, meas_points, args):
     """Precision-axis gate (see module docstring, gate 7)."""
     ok = True
@@ -491,8 +582,11 @@ def check_bench(name, spec, args):
     ok = check_points(f"{name} (reference)", ref_points,
                       require_positive=True)
 
+    extra = ()
+    if spec.get("corpus"):
+        extra = ("--corpus", os.path.join(args.repo_root, "corpus"))
     print(f"check_bench: running {binary} --quick ...")
-    measured = run_quick(binary, args.timeout)
+    measured = run_quick(binary, args.timeout, extra)
     if measured is None:
         return fail(f"{name}: quick run failed")
     measured_config = measured.get("config", {})
@@ -520,6 +614,13 @@ def check_bench(name, spec, args):
 
     if spec.get("mode") == "hybrid":
         ok = check_hybrid(name, ref_points, meas_points, args) and ok
+        if ok:
+            print(f"check_bench: {name}: "
+                  f"{len(meas_points)} quick points green")
+        return ok
+
+    if spec.get("mode") == "spmm":
+        ok = check_spmm(name, ref_points, meas_points, args) and ok
         if ok:
             print(f"check_bench: {name}: "
                   f"{len(meas_points)} quick points green")
@@ -604,6 +705,19 @@ def main():
                         default=0.95,
                         help="measured hybrid ratios must stay "
                              "within this factor of their "
+                             "key-matched reference (deterministic "
+                             "simulated ratios)")
+    parser.add_argument("--spmm-median-win", type=float, default=2.0,
+                        help="required corpus-median narrow-vs-wide "
+                             "advantage on the reference SpMM sweep")
+    parser.add_argument("--spmm-select-slack", type=float,
+                        default=1.05,
+                        help="Auto format selection may be at most "
+                             "this factor worse than the better "
+                             "format on any corpus matrix")
+    parser.add_argument("--spmm-tolerance", type=float, default=0.95,
+                        help="measured narrow-vs-wide ratios must "
+                             "stay within this factor of their "
                              "key-matched reference (deterministic "
                              "simulated ratios)")
     parser.add_argument("--precision-floor", type=float, default=1.3,

@@ -9,6 +9,9 @@
  *            [--cluster C] [--seed N] [--hybrid-threshold T]
  *            [--dtype fp32|fp16|bf16|int8|int4]
  *            [--method auto|dual|dense|zhu|ampere|cusparse|hybrid]
+ *   dstc_sim spmm <file.mtx> [N] | spmm M N K [--a-sparsity S]
+ *            [--format auto|narrow|wide] [--dtype ...] [--seed N]
+ *            [--method auto|dual|dense|cusparse|hybrid]
  *   dstc_sim conv --in-c C --hw H --out-c N [--kernel K] [--stride S]
  *            [--pad P] [--wsp S] [--asp S] [--batch B] [--seed N]
  *            [--cluster C] [--act-cluster C] [--explicit]
@@ -37,6 +40,7 @@
  *   randcrash:<n>                   n seeded random crashes
  *   dstc_sim backends [M N K] [--a-sparsity S] [--b-sparsity S]
  *            [--cluster C] [--seed N] [--hybrid-threshold T]
+ *   dstc_sim backends --mtx <file.mtx> [--n N]
  *   dstc_sim overhead [--dtype fp32|fp16|bf16|int8|int4]
  *
  * All commands run on the V100 machine model; pass --a100 to switch
@@ -55,12 +59,16 @@
 #include "common/cli_flags.h"
 #include "common/table.h"
 #include "core/cluster.h"
+#include "core/gemm_operands.h"
 #include "core/hybrid.h"
 #include "core/session.h"
+#include "gemm/spmm_device.h"
 #include "hwmodel/area_power.h"
 #include "hwmodel/energy_model.h"
 #include "model/runner.h"
 #include "serve/serving.h"
+#include "sparse/mtx_io.h"
+#include "sparse/narrow_tile.h"
 
 using namespace dstc;
 
@@ -206,6 +214,139 @@ runGemm(const CliArgs &args, Session &session)
                 static_cast<long long>(k), sa, sb,
                 methodToken(req.method),
                 dataTypeToken(req.dataType()));
+    printReport(report, session.config(), req.dataType());
+    return 0;
+}
+
+/** Parse one positive-integer positional ("M", "N", ...). */
+bool
+parseDimArg(const std::string &token, int64_t *out)
+{
+    char *end = nullptr;
+    errno = 0;
+    *out = std::strtoll(token.c_str(), &end, 10);
+    return !token.empty() && end == token.c_str() + token.size() &&
+           errno != ERANGE && *out > 0;
+}
+
+int
+runSpmm(const CliArgs &args, Session &session)
+{
+    if (!args.checkPositionals("spmm", 4))
+        return 2;
+    if (!args.validateFlags("spmm",
+                         {"a-sparsity", "cluster", "method", "format",
+                          "seed", "dtype", "hybrid-threshold"},
+                         {"a-sparsity", "cluster", "hybrid-threshold"},
+                         {}, {"seed"}, kGlobalFlags))
+        return 2;
+    if (args.positional.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: dstc_sim spmm <file.mtx> [N] [flags]\n"
+                     "       dstc_sim spmm M N K --a-sparsity S "
+                     "[flags]\n");
+        return 2;
+    }
+
+    Method method;
+    if (!parseMethodFlag(args, "dual",
+                         {"auto", "dual", "dense", "cusparse",
+                          "hybrid"},
+                         &method))
+        return 2;
+    SpmmFormat format;
+    if (!parseSpmmFormat(args.flag("format", "auto"), &format)) {
+        std::fprintf(stderr,
+                     "error: unknown format '%s' (valid: "
+                     "auto|narrow|wide)\n",
+                     args.flag("format", "auto").c_str());
+        return 2;
+    }
+    DataType dtype;
+    if (!parseDataTypeFlag(args, &dtype))
+        return 2;
+    if (method == Method::Hybrid && dataTypeIsInteger(dtype)) {
+        std::fprintf(stderr,
+                     "error: the hybrid composer has no integer "
+                     "datapath (per-class quantization scales would "
+                     "disagree); use --method dual\n");
+        return 2;
+    }
+    const uint64_t seed = args.flagU64("seed", 1);
+
+    // `spmm M N K --a-sparsity S` is the synthetic flavor; anything
+    // that does not parse as a dimension is a .mtx path.
+    int64_t first_dim = 0;
+    const bool synthetic = parseDimArg(args.positional[1], &first_dim);
+
+    Matrix<float> a_mtx, b_dense;
+    KernelRequest req;
+    if (synthetic) {
+        if (args.positional.size() != 4) {
+            std::fprintf(stderr,
+                         "usage: dstc_sim spmm M N K --a-sparsity S "
+                         "[flags]\n");
+            return 2;
+        }
+        int64_t n = 0, k = 0;
+        if (!parseDimArg(args.positional[2], &n) ||
+            !parseDimArg(args.positional[3], &k)) {
+            std::fprintf(stderr, "error: dimensions must be positive "
+                                 "integers\n");
+            return 2;
+        }
+        const double sa = args.flagD("a-sparsity", 0.99);
+        if (!checkSparsityFlag("a-sparsity", sa))
+            return 2;
+        const double cluster = args.flagD("cluster", 1.0);
+        if (!checkClusterFlag("cluster", cluster))
+            return 2;
+        req = KernelRequest::spmm(first_dim, n, k, sa);
+        req.a_cluster = cluster;
+        std::printf("SpMM %lld x %lld x %lld, A sparsity %.4f "
+                    "(synthetic)\n",
+                    static_cast<long long>(first_dim),
+                    static_cast<long long>(n),
+                    static_cast<long long>(k), sa);
+    } else {
+        if (args.positional.size() > 3) {
+            std::fprintf(stderr,
+                         "usage: dstc_sim spmm <file.mtx> [N] "
+                         "[flags]\n");
+            return 2;
+        }
+        const std::string &path = args.positional[1];
+        std::string error;
+        if (!loadMatrixMarket(path, &a_mtx, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 2;
+        }
+        int64_t n = 32;
+        if (args.positional.size() == 3 &&
+            !parseDimArg(args.positional[2], &n)) {
+            std::fprintf(stderr, "error: N must be a positive "
+                                 "integer\n");
+            return 2;
+        }
+        Rng rng(seed);
+        b_dense = randomSparseMatrix(a_mtx.cols(),
+                                     static_cast<int>(n), 0.0, rng);
+        req = KernelRequest::spmm(a_mtx, b_dense);
+        std::printf("SpMM %s: %d x %d, %d non-zeros (density %.4f%%)"
+                    ", N = %lld\n",
+                    path.c_str(), a_mtx.rows(), a_mtx.cols(),
+                    a_mtx.nnz(),
+                    100.0 * (1.0 - a_mtx.sparsity()),
+                    static_cast<long long>(n));
+    }
+    req = req.withMethod(method)
+              .withDataType(dtype)
+              .withSpmmFormat(format)
+              .withSeed(seed)
+              .withHybridThreshold(
+                  args.flagD("hybrid-threshold", -1.0));
+
+    KernelReport report = session.run(req);
     printReport(report, session.config(), req.dataType());
     return 0;
 }
@@ -730,21 +871,142 @@ runServe(const CliArgs &args)
     return 0;
 }
 
+/**
+ * `backends --mtx <file>`: the real-matrix probe. Prints the strip
+ * density histogram and the narrow-vs-32-wide structure view the
+ * SpMM format selection runs on, then each format's cost-model
+ * estimate and the dual plan's choice.
+ */
+int
+probeMtx(const std::string &path, int64_t n, Session &session)
+{
+    Matrix<float> a;
+    std::string error;
+    if (!loadMatrixMarket(path, &a, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+    }
+    const SparsityProfile a8 = SparsityProfile::fromMatrixAWord(a, 8);
+    const SparsityProfile a32 = aggregateSpmmProfile(a8);
+    const int64_t k = a8.k();
+    std::printf("%s: %d x %d, %d non-zeros (density %.4f%%)\n",
+                path.c_str(), a.rows(), a.cols(), a.nnz(),
+                100.0 * (1.0 - a.sparsity()));
+
+    // Strip (8-row group) density histogram, log-scale buckets: at
+    // corpus sparsities a linear histogram collapses into one bin.
+    const double edges[] = {0.0, 0.001, 0.005, 0.01, 0.05, 0.25, 1.0};
+    const char *labels[] = {"0%",       "(0, 0.1%]", "(0.1, 0.5%]",
+                            "(0.5, 1%]", "(1, 5%]",   "(5, 25%]",
+                            "> 25%"};
+    int hist[7] = {0};
+    for (int g = 0; g < a8.groups(); ++g) {
+        const double d = a8.groupDensity(g);
+        int bin = 0;
+        if (d > 0.0) {
+            bin = 6;
+            for (int e = 1; e < 6; ++e)
+                if (d <= edges[e]) {
+                    bin = e;
+                    break;
+                }
+        }
+        ++hist[bin];
+    }
+    std::printf("\nstrip density histogram (%d strips of 8 rows):\n",
+                a8.groups());
+    for (int b = 0; b < 7; ++b)
+        if (hist[b])
+            std::printf("  %-12s: %6d strip%s\n", labels[b], hist[b],
+                        hist[b] == 1 ? "" : "s");
+
+    // Narrow structure: 8x1 vectors; wide structure: 32x32 tiles.
+    int64_t vectors = 0, vector_nnz = 0;
+    for (int g = 0; g < a8.groups(); ++g)
+        for (int64_t kk = 0; kk < k; ++kk)
+            if (a8.count(g, kk) > 0) {
+                ++vectors;
+                vector_nnz += a8.count(g, kk);
+            }
+    const int64_t total_vectors =
+        static_cast<int64_t>(a8.groups()) * k;
+    const int64_t tile_cols = (k + 31) / 32;
+    int64_t tiles = 0, tile_nnz = 0;
+    for (int g = 0; g < a32.groups(); ++g) {
+        for (int64_t tj = 0; tj < tile_cols; ++tj) {
+            int64_t nnz = 0;
+            const int64_t k1 = std::min<int64_t>(k, (tj + 1) * 32);
+            for (int64_t kk = tj * 32; kk < k1; ++kk)
+                nnz += a32.count(g, kk);
+            if (nnz > 0) {
+                ++tiles;
+                tile_nnz += nnz;
+            }
+        }
+    }
+    const int64_t total_tiles = a32.groups() * tile_cols;
+    std::printf("\nformat structure:\n");
+    std::printf("  narrow 8x1 vectors : %lld / %lld non-empty "
+                "(%.2f%%), avg fill %.2f / 8\n",
+                static_cast<long long>(vectors),
+                static_cast<long long>(total_vectors),
+                100.0 * vectors / total_vectors,
+                vectors ? static_cast<double>(vector_nnz) / vectors
+                        : 0.0);
+    std::printf("  wide 32x32 tiles   : %lld / %lld non-empty "
+                "(%.2f%%), avg fill %.1f / 1024\n",
+                static_cast<long long>(tiles),
+                static_cast<long long>(total_tiles),
+                100.0 * tiles / total_tiles,
+                tiles ? static_cast<double>(tile_nnz) / tiles : 0.0);
+
+    SpmmDevice device(session.config());
+    const KernelStats tn = device.timeNarrowFromProfile(a8, n);
+    const KernelStats tw = device.timeWideFromProfile(a32, n);
+    std::printf("\ncost model at N = %lld:\n",
+                static_cast<long long>(n));
+    std::printf("  narrow : %8.2f us (%s bound)\n", tn.timeUs(),
+                tn.bound == Bound::Compute ? "compute" : "memory");
+    std::printf("  wide   : %8.2f us (%s bound)\n", tw.timeUs(),
+                tw.bound == Bound::Compute ? "compute" : "memory");
+    std::printf("  chosen : %s (%.2fx vs the other)\n",
+                tn.timeUs() <= tw.timeUs() ? "narrow" : "wide",
+                std::max(tn.timeUs(), tw.timeUs()) /
+                    std::min(tn.timeUs(), tw.timeUs()));
+    return 0;
+}
+
 int
 runBackends(const CliArgs &args, Session &session)
 {
     // With no shape the command describes the static registry; with
     // `backends M N K [--a-sparsity ...]` it reports each backend's
     // applicability and cost-model estimate for that request, plus
-    // the hybrid composer's partition preview.
+    // the hybrid composer's partition preview. `--mtx <file>`
+    // switches to the real-matrix SpMM probe instead.
     if (!args.checkPositionals("backends", 4) ||
         !args.validateFlags("backends",
                             {"a-sparsity", "b-sparsity", "cluster",
-                             "seed", "hybrid-threshold"},
+                             "seed", "hybrid-threshold", "mtx", "n"},
                             {"a-sparsity", "b-sparsity", "cluster",
                              "hybrid-threshold"},
-                            {}, {"seed"}, kGlobalFlags))
+                            {"n"}, {"seed"}, kGlobalFlags))
         return 2;
+    const std::string mtx_path = args.flag("mtx", "");
+    if (!mtx_path.empty()) {
+        if (args.positional.size() != 1) {
+            std::fprintf(stderr, "usage: dstc_sim backends --mtx "
+                                 "<file.mtx> [--n N]\n");
+            return 2;
+        }
+        const int n = args.flagI("n", 32);
+        if (n <= 0) {
+            std::fprintf(stderr,
+                         "error: --n must be a positive integer\n");
+            return 2;
+        }
+        return probeMtx(mtx_path, n, session);
+    }
     if (args.positional.size() != 1 && args.positional.size() != 4) {
         std::fprintf(stderr,
                      "usage: dstc_sim backends [M N K] [flags]\n");
@@ -879,8 +1141,8 @@ main(int argc, char **argv)
                       "no-failover", "no-degrade"});
     if (args.positional.empty()) {
         std::fprintf(stderr,
-                     "usage: dstc_sim <gemm|conv|model|cluster|serve|"
-                     "backends|overhead> [args] [--a100]\n");
+                     "usage: dstc_sim <gemm|spmm|conv|model|cluster|"
+                     "serve|backends|overhead> [args] [--a100]\n");
         return 2;
     }
 
@@ -893,6 +1155,8 @@ main(int argc, char **argv)
                                          : GpuConfig::v100());
     if (command == "gemm")
         return runGemm(args, session);
+    if (command == "spmm")
+        return runSpmm(args, session);
     if (command == "conv")
         return runConv(args, session);
     if (command == "model")
@@ -902,8 +1166,8 @@ main(int argc, char **argv)
     if (command == "overhead")
         return runOverhead(args, session);
     std::fprintf(stderr,
-                 "error: unknown command '%s' (valid: gemm, conv, "
-                 "model, cluster, serve, backends, overhead)\n",
+                 "error: unknown command '%s' (valid: gemm, spmm, "
+                 "conv, model, cluster, serve, backends, overhead)\n",
                  command.c_str());
     return 2;
 }
